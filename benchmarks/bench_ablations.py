@@ -1,0 +1,170 @@
+"""Experiment A1 — ablations and cross-validations of the model itself.
+
+The counts in every other bench are only as credible as the machine
+model; this bench stress-tests the model's own choices:
+
+* **LRU cross-validation** — replay the exact address trace of an
+  explicit algorithm through a fully associative LRU cache and check
+  the miss traffic agrees with the machine's word counters within a
+  small constant (the DAM counts are not an artifact of explicit
+  charging);
+* **stack-distance consistency** — one stack-distance pass must
+  reproduce direct LRU miss counts at every capacity;
+* **message-cap ablation** — capping messages at M words (the paper's
+  model) vs uncapped runs: identical in the whole-column regime,
+  divergent once single transfers exceed M;
+* **arithmetic invariance** — every algorithm performs exactly
+  A(n) = (n³−n)/3 + (n²+n)/2 flops (§3.1.3), and communication counts
+  are independent of the matrix values.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit_report
+from repro.analysis.report import ReportWriter
+from repro.analysis.sweeps import measure
+from repro.layouts import ColumnMajorLayout
+from repro.machine import LRUCache, SequentialMachine
+from repro.machine.stack_distance import StackDistanceAnalyzer
+from repro.matrices import TrackedMatrix
+from repro.matrices.generators import random_spd
+from repro.sequential import (
+    cholesky_flops,
+    lapack_blocked,
+    naive_left_looking,
+    naive_right_looking,
+)
+
+N = 24
+
+
+def traced_run(algo, n, M, **kw):
+    machine = SequentialMachine(M, record_trace=True)
+    A = TrackedMatrix(random_spd(n, seed=1), ColumnMajorLayout(n), machine)
+    algo(A, **kw)
+    return machine
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return {
+        "naive-left": traced_run(naive_left_looking, N, 4 * N),
+        "naive-right": traced_run(naive_right_looking, N, 4 * N),
+        "lapack(b=4)": traced_run(lapack_blocked, N, 3 * 16, block=4),
+    }
+
+
+def test_generate_ablation_report(benchmark, traces):
+    writer = ReportWriter("ablations")
+    rows = []
+    for name, machine in traces.items():
+        lru = LRUCache(machine.M)
+        lru.replay(machine.trace.address_stream())
+        lru.flush()
+        rows.append(
+            [
+                name,
+                machine.M,
+                machine.words,
+                lru.stats.traffic_words,
+                machine.words / lru.stats.traffic_words,
+            ]
+        )
+    writer.add_table(
+        ["algorithm", "M", "DAM words", "LRU traffic", "DAM/LRU"],
+        rows,
+        title=f"A1: explicit DAM counts vs LRU replay of the same trace (n={N})",
+    )
+    emit_report(writer)
+    machine = traces["naive-left"]
+    benchmark.pedantic(
+        lambda: LRUCache(machine.M).replay(machine.trace.address_stream()),
+        rounds=3,
+        iterations=1,
+    )
+
+
+class TestLRUCrossValidation:
+    def test_lru_close_below_dam(self, traces):
+        """An LRU cache of the same capacity does about as well as the
+        explicit schedule — it keeps hot words the schedule re-reads,
+        but pays write-allocate fills on fresh outputs, so it can land
+        slightly on either side.  Within ±10% here."""
+        for name, machine in traces.items():
+            lru = LRUCache(machine.M)
+            lru.replay(machine.trace.address_stream())
+            lru.flush()
+            assert lru.stats.traffic_words <= 1.1 * machine.words, name
+            assert lru.stats.traffic_words >= 0.5 * machine.words, name
+
+    def test_dam_within_constant_of_lru(self, traces):
+        for name, machine in traces.items():
+            lru = LRUCache(machine.M)
+            lru.replay(machine.trace.address_stream())
+            lru.flush()
+            assert machine.words <= 6 * lru.stats.traffic_words, name
+
+    def test_stack_distance_matches_lru_everywhere(self, traces):
+        machine = traces["naive-left"]
+        addresses = [a for a, _w in machine.trace.address_stream()]
+        an = StackDistanceAnalyzer().analyze(addresses)
+        for M in (4, 16, 64, 256):
+            direct = LRUCache(M)
+            for a in addresses:
+                direct.access(a)
+            assert an.misses(M) == direct.stats.misses, M
+
+
+class TestMessageCapAblation:
+    def test_cap_inactive_in_whole_column_regime(self):
+        """With M ≥ 2n every transfer fits one message: capped and
+        uncapped counts coincide."""
+        machine = traced_run(naive_left_looking, N, 4 * N)
+        uncapped = sum(
+            ev.intervals.messages(None) for ev in machine.trace.transfers()
+        )
+        assert machine.messages == uncapped
+
+    def test_cap_active_for_large_transfers(self):
+        """Toledo's base case reads whole columns: with M < n the cap
+        splits them, and messages exceed the uncapped run count."""
+        from repro.sequential import toledo
+
+        machine = traced_run(toledo, 64, 16)
+        uncapped = sum(
+            ev.intervals.messages(None) for ev in machine.trace.transfers()
+        )
+        assert machine.messages > uncapped
+
+
+class TestArithmeticInvariance:
+    def test_flop_formula(self):
+        assert cholesky_flops(1) == 1
+        assert cholesky_flops(2) == 5
+        assert cholesky_flops(3) == 14
+        n = 100
+        assert cholesky_flops(n) == (n**3 - n) // 3 + (n**2 + n) // 2
+
+    @pytest.mark.parametrize(
+        "algo", ["naive-left", "lapack", "toledo", "square-recursive"]
+    )
+    def test_counts_data_independent(self, algo):
+        runs = {
+            (
+                measure(algo, 16, 192, seed=s).words,
+                measure(algo, 16, 192, seed=s).messages,
+                measure(algo, 16, 192, seed=s).flops,
+            )
+            for s in (0, 1, 2)
+        }
+        assert len(runs) == 1
+
+    def test_flops_equal_across_algorithms(self):
+        flops = {
+            measure(a, 20, 256).flops
+            for a in ("naive-left", "naive-right", "lapack",
+                      "toledo", "square-recursive")
+        }
+        assert flops == {cholesky_flops(20)}

@@ -1,0 +1,128 @@
+"""Experiment F6 — the quantitative counterpart of Figure 6.
+
+Left half of the figure: the block-cyclic distribution.  We measure
+per-processor storage balance across block sizes, including the
+paper's remark that at ``b = n/√P`` nearly half the processors own
+only never-referenced blocks.
+
+Right half: the information flow.  We count the per-iteration
+broadcast structure (column broadcast, bundled row broadcasts,
+bundled re-broadcasts) and check the total message volume against the
+critical-path counts.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from benchmarks.conftest import emit_report
+from repro.analysis.report import ReportWriter
+from repro.matrices.generators import random_spd
+from repro.parallel import BlockCyclicMatrix, Network, ProcessorGrid, pxpotrf
+
+N = 64
+P = 16
+
+
+@pytest.fixture(scope="module")
+def distributions():
+    grid = ProcessorGrid.square(P)
+    out = {}
+    for b in (2, 4, 8, 16):
+        dist = BlockCyclicMatrix(random_spd(N, seed=0), b, grid, Network(P))
+        out[b] = dist.owned_words()
+    return out
+
+
+def test_generate_blockcyclic_report(benchmark, distributions):
+    writer = ReportWriter("blockcyclic")
+    rows = []
+    for b, owned in distributions.items():
+        vals = sorted(owned.values())
+        idle = sum(1 for v in vals if v == 0)
+        rows.append(
+            [
+                b,
+                min(vals),
+                max(vals),
+                (max(vals) / max(min(vals), 1)),
+                idle,
+                (N * N + N * b) // 2,
+            ]
+        )
+    writer.add_table(
+        ["b", "min words", "max words", "spread", "idle procs",
+         "total stored"],
+        rows,
+        title=f"F6a: block-cyclic storage balance (n={N}, P={P})",
+    )
+
+    # information-flow counts per panel iteration at two block sizes
+    flows = []
+    for b in (4, 16):
+        res = pxpotrf(random_spd(N, seed=1), b, P)
+        net = res.network
+        flows.append(
+            [
+                b,
+                N // b,
+                res.critical_messages,
+                res.critical_words,
+                sum(p.messages_sent for p in net.processors),
+                sum(p.words_sent for p in net.processors),
+            ]
+        )
+    writer.add_table(
+        ["b", "panels", "crit msgs", "crit words", "total msgs",
+         "total words"],
+        flows,
+        title="F6b: PxPOTRF information flow",
+    )
+    emit_report(writer)
+    grid = ProcessorGrid.square(P)
+    benchmark.pedantic(
+        lambda: BlockCyclicMatrix(
+            random_spd(N, seed=0), 4, grid, Network(P)
+        ).owned_words(),
+        rounds=3,
+        iterations=1,
+    )
+
+
+class TestBlockCyclicShape:
+    def test_small_blocks_balance(self, distributions):
+        owned = distributions[2]
+        vals = sorted(owned.values())
+        assert vals[0] > 0
+        assert vals[-1] / vals[0] < 2.5
+
+    def test_extreme_block_idles_processors(self, distributions):
+        """b = n/√P: the upper-triangle owners hold nothing
+        (the paper's end-of-§3.3.1 caveat)."""
+        owned = distributions[16]
+        idle = sum(1 for v in owned.values() if v == 0)
+        expected_idle = (P - math.isqrt(P)) // 2  # strictly-upper positions
+        assert idle == expected_idle
+
+    def test_total_stored_invariant(self, distributions):
+        """Stored words = lower block triangle, with diagonal blocks
+        stored as full b×b rectangles: (n² + n·b)/2 for b | n."""
+        for b, owned in distributions.items():
+            assert sum(owned.values()) == (N * N + N * b) // 2
+
+    def test_balance_degrades_monotonically(self, distributions):
+        spreads = []
+        for b in (2, 4, 8, 16):
+            vals = sorted(distributions[b].values())
+            spreads.append(vals[-1] / max(vals[0], 1))
+        assert spreads == sorted(spreads)
+
+    def test_critical_path_below_total(self):
+        res = pxpotrf(random_spd(N, seed=1), 8, P)
+        total_msgs = sum(p.messages_sent for p in res.network.processors)
+        assert res.critical_messages < total_msgs
+        assert res.critical_words <= sum(
+            p.words_sent for p in res.network.processors
+        )

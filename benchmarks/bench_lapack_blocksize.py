@@ -1,0 +1,97 @@
+"""Experiment E2 — LAPACK POTRF's block-size sweep (§3.1.6).
+
+B(n) = O(n³/b + n²): bandwidth falls as 1/b until b = Θ(√M); b = 1
+degenerates to the naïve algorithm; and the latency story depends on
+storage (Conclusion 3): blocked storage divides messages by ~b²·(the
+column count), column-major only by b.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from benchmarks.conftest import emit_report
+from repro.analysis.report import ReportWriter
+from repro.analysis.sweeps import measure
+from repro.bounds.sequential import (
+    cholesky_bandwidth_lower_bound,
+    cholesky_latency_lower_bound,
+)
+from repro.util.fitting import fit_power_law
+
+N = 128
+M = 3 * 16 * 16  # b_opt = 16
+BLOCKS = [1, 2, 4, 8, 16]
+
+
+@pytest.fixture(scope="module")
+def block_sweep():
+    out = {}
+    for b in BLOCKS:
+        out[("column-major", b)] = measure("lapack", N, M, block=b)
+        out[("blocked", b)] = measure(
+            "lapack", N, M, layout="blocked", layout_block=b, block=b
+        )
+    return out
+
+
+def test_generate_blocksize_report(benchmark, block_sweep):
+    bw_lb = cholesky_bandwidth_lower_bound(N, M)
+    lat_lb = cholesky_latency_lower_bound(N, M)
+    writer = ReportWriter("lapack_blocksize")
+    rows = []
+    for b in BLOCKS:
+        mc = block_sweep[("column-major", b)]
+        mb = block_sweep[("blocked", b)]
+        rows.append(
+            [b, mc.words, mc.words / bw_lb, mc.messages, mb.messages,
+             mb.messages / lat_lb]
+        )
+    writer.add_table(
+        ["b", "words", "words/LB", "msgs col-major", "msgs blocked",
+         "blocked msgs/LB"],
+        rows,
+        title=f"E2: LAPACK POTRF block-size sweep (n={N}, M={M})",
+    )
+    emit_report(writer)
+    benchmark.pedantic(
+        lambda: measure("lapack", N, M, block=16, verify=False),
+        rounds=3, iterations=1,
+    )
+
+
+class TestBlocksizeShape:
+    def test_bandwidth_monotone_in_b(self, block_sweep):
+        words = [block_sweep[("column-major", b)].words for b in BLOCKS]
+        assert words == sorted(words, reverse=True)
+
+    def test_inverse_b_scaling(self, block_sweep):
+        fit = fit_power_law(
+            BLOCKS, [block_sweep[("column-major", b)].words for b in BLOCKS]
+        )
+        assert fit.exponent_close_to(-1.0, tol=0.2)
+
+    def test_optimal_b_meets_bandwidth_bound(self, block_sweep):
+        m = block_sweep[("column-major", 16)]
+        assert m.words <= 4 * cholesky_bandwidth_lower_bound(N, M)
+
+    def test_b1_is_naive_magnitude(self, block_sweep):
+        naive = measure("naive-left", N, 4 * N)
+        m1 = block_sweep[("column-major", 1)]
+        assert 0.2 <= m1.words / naive.words <= 5.0
+
+    def test_latency_optimal_only_on_blocked_storage(self, block_sweep):
+        lat_lb = cholesky_latency_lower_bound(N, M)
+        mb = block_sweep[("blocked", 16)]
+        mc = block_sweep[("column-major", 16)]
+        assert mb.messages <= 10 * lat_lb
+        assert mc.messages >= (16 / 2) * mb.messages  # the factor-b gap
+
+    def test_storage_does_not_change_bandwidth(self, block_sweep):
+        for b in BLOCKS:
+            assert (
+                block_sweep[("blocked", b)].words
+                == block_sweep[("column-major", b)].words
+            )

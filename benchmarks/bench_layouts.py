@@ -1,0 +1,101 @@
+"""Experiment F1 — the quantitative counterpart of Figure 2.
+
+For each storage format, how many messages does fetching an aligned
+``b × b`` block (and one full column) cost?  This single table is the
+mechanical cause of every latency row in Table 1: column-major-class
+formats pay one message per column; block-contiguous formats pay O(1)
+per aligned block — and Morton pays Θ(n) for a *column*, which is
+Toledo's downfall.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit_report
+from repro.analysis.report import ReportWriter
+from repro.layouts import (
+    BlockedLayout,
+    ColumnMajorLayout,
+    MortonLayout,
+    PackedLayout,
+    RecursivePackedLayout,
+    RFPLayout,
+    RowMajorLayout,
+)
+
+N = 64
+B = 16
+
+
+def layouts():
+    return [
+        ColumnMajorLayout(N),
+        RowMajorLayout(N),
+        PackedLayout(N),
+        RFPLayout(N),
+        BlockedLayout(N, B),
+        MortonLayout(N),
+        RecursivePackedLayout(N, "recursive"),
+        RecursivePackedLayout(N, "column"),
+    ]
+
+
+@pytest.fixture(scope="module")
+def geometry():
+    rows = {}
+    for lay in layouts():
+        # an aligned off-diagonal block (fully stored in every format)
+        block_runs = lay.intervals(2 * B, 3 * B, 0, B).runs
+        diag_runs = lay.intervals(B, 2 * B, B, 2 * B).runs
+        col_runs = lay.column_intervals(3, 3, N).runs
+        rows[lay.name] = (block_runs, diag_runs, col_runs, lay.block_contiguous)
+    return rows
+
+
+def test_generate_layout_report(benchmark, geometry):
+    writer = ReportWriter("layout_geometry")
+    writer.add_text(
+        f"F1 (Figure 2, quantified): runs needed to fetch an aligned "
+        f"{B}x{B} block / a diagonal block / one column, n={N}.\n"
+    )
+    writer.add_table(
+        ["layout", "block runs", "diag-block runs", "column runs",
+         "block-contiguous"],
+        [
+            [name, br, dr, cr, "yes" if bc else "no"]
+            for name, (br, dr, cr, bc) in geometry.items()
+        ],
+        title="F1: message geometry by storage format",
+    )
+    emit_report(writer)
+    lay = MortonLayout(N)
+    benchmark.pedantic(
+        lambda: lay.intervals(0, N, 0, N), rounds=5, iterations=2
+    )
+
+
+class TestLayoutGeometry:
+    def test_column_class_pays_per_column(self, geometry):
+        for name in ("column-major", "packed", "rfp"):
+            block_runs = geometry[name][0]
+            assert block_runs >= B / 2, name
+
+    def test_block_class_pays_constant(self, geometry):
+        for name in ("blocked", "morton", "recursive-packed"):
+            block_runs = geometry[name][0]
+            assert block_runs <= 4, name
+
+    def test_hybrid_rect_is_column_class(self, geometry):
+        assert geometry["recursive-packed-hybrid"][0] >= B / 2
+
+    def test_column_cheap_on_column_major(self, geometry):
+        assert geometry["column-major"][2] == 1
+        assert geometry["packed"][2] == 1
+
+    def test_column_expensive_on_morton(self, geometry):
+        assert geometry["morton"][2] >= N / 4
+
+    def test_row_major_mirrors_column_major(self, geometry):
+        # fetching a *block* is symmetric between the two
+        assert geometry["row-major"][0] == geometry["column-major"][0]

@@ -1,0 +1,129 @@
+"""Experiment E7 — the memory hierarchy (§3.2, Corollary 3.2,
+Conclusions 4–5).
+
+One run of each algorithm on a three-level machine; per level, report
+measured words/messages as multiples of that level's lower bound.
+The table shows:
+
+* AP00/Morton: bounded ratios at *every* level (Conclusion 5);
+* LAPACK(b): optimal only at the level b was tuned for — smaller
+  levels overflow (capacity violation), larger levels overpay
+  bandwidth (§3.2.2's dilemma);
+* Toledo: bandwidth fine except the n² log n tax, latency bad
+  everywhere (Conclusion 4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit_report
+from repro.analysis.report import ReportWriter
+from repro.bounds.multilevel import multilevel_bounds
+from repro.layouts import MortonLayout
+from repro.machine import HierarchicalMachine
+from repro.matrices import TrackedMatrix
+from repro.matrices.generators import random_spd
+from repro.sequential import lapack_blocked, square_recursive, toledo
+
+N = 128
+LEVELS = [3 * 4 * 4, 3 * 16 * 16, 3 * 64 * 64]  # 48, 768, 12288
+
+
+def run_hier(algo, **kw):
+    machine = HierarchicalMachine(LEVELS, enforce_capacity=False)
+    a0 = random_spd(N, seed=7)
+    A = TrackedMatrix(a0, MortonLayout(N), machine)
+    L = algo(A, **kw)
+    assert np.allclose(L, np.linalg.cholesky(a0), atol=1e-8)
+    return machine
+
+
+@pytest.fixture(scope="module")
+def hierarchy_runs():
+    return {
+        "AP00": run_hier(square_recursive),
+        "Toledo": run_hier(toledo),
+        "LAPACK(b=4)": run_hier(lapack_blocked, block=4),
+        "LAPACK(b=16)": run_hier(lapack_blocked, block=16),
+        "LAPACK(b=64)": run_hier(lapack_blocked, block=64),
+    }
+
+
+def test_generate_multilevel_report(benchmark, hierarchy_runs):
+    bounds = multilevel_bounds(N, LEVELS)
+    writer = ReportWriter("multilevel")
+    writer.add_text(
+        f"E7: three-level hierarchy {LEVELS}, n={N}, Morton storage.\n"
+        "Ratios are measured/lower-bound per level; 'viol' marks a\n"
+        "working set exceeding the level's capacity.\n"
+    )
+    rows = []
+    for name, machine in hierarchy_runs.items():
+        for lvl, lb in zip(machine.levels, bounds):
+            rows.append(
+                [
+                    name,
+                    lvl.capacity,
+                    lvl.words,
+                    lvl.words / max(lb.bandwidth, 1.0),
+                    lvl.messages,
+                    lvl.messages / max(lb.latency, 1.0),
+                    "viol" if lvl.capacity_violated else "",
+                ]
+            )
+    writer.add_table(
+        ["algorithm", "level M", "words", "W/LB", "messages", "M/LB", "cap"],
+        rows,
+        title="E7: per-level communication vs Corollary 3.2 bounds",
+    )
+    emit_report(writer)
+    benchmark.pedantic(lambda: run_hier(square_recursive), rounds=3, iterations=1)
+
+
+class TestMultilevelShape:
+    def test_ap00_bounded_everywhere(self, hierarchy_runs):
+        machine = hierarchy_runs["AP00"]
+        for lvl, lb in zip(machine.levels, multilevel_bounds(N, LEVELS)):
+            assert lvl.words <= 8 * (lb.bandwidth + N * N), lvl.name
+            assert lvl.messages <= 50 * (lb.latency + N * N / lvl.capacity)
+            assert not lvl.capacity_violated
+
+    def test_lapack_small_b_overpays_large_level(self, hierarchy_runs):
+        small = hierarchy_runs["LAPACK(b=4)"]
+        big_level = small.levels[-1]
+        lb = multilevel_bounds(N, LEVELS)[-1]
+        assert big_level.words > 3 * (lb.bandwidth + N * N)
+
+    def test_lapack_big_b_violates_small_levels(self, hierarchy_runs):
+        big = hierarchy_runs["LAPACK(b=64)"]
+        assert big.levels[0].capacity_violated
+        assert big.levels[1].capacity_violated
+        assert not big.levels[2].capacity_violated
+
+    def test_lapack_middle_b_good_only_at_middle(self, hierarchy_runs):
+        mid = hierarchy_runs["LAPACK(b=16)"]
+        bounds = multilevel_bounds(N, LEVELS)
+        assert mid.levels[0].capacity_violated  # 3·16² > 48
+        # at its own level it is fine
+        assert mid.levels[1].words <= 6 * (bounds[1].bandwidth + N * N)
+        # at the big level it pays ~n³/16 ≫ n³/√M₃
+        assert mid.levels[2].words > 2 * (bounds[2].bandwidth + N * N)
+
+    def test_no_single_b_works_everywhere(self, hierarchy_runs):
+        bounds = multilevel_bounds(N, LEVELS)
+        for name in ("LAPACK(b=4)", "LAPACK(b=16)", "LAPACK(b=64)"):
+            machine = hierarchy_runs[name]
+            ok_everywhere = all(
+                (not lvl.capacity_violated)
+                and lvl.words <= 3 * (lb.bandwidth + N * N)
+                for lvl, lb in zip(machine.levels, bounds)
+            )
+            assert not ok_everywhere, name
+
+    def test_toledo_latency_bad_at_every_level(self, hierarchy_runs):
+        t = hierarchy_runs["Toledo"]
+        s = hierarchy_runs["AP00"]
+        for tl, sl in zip(t.levels[1:], s.levels[1:]):
+            assert tl.messages > 5 * sl.messages

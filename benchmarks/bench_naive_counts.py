@@ -1,0 +1,120 @@
+"""Experiments E1 + F3 — the naïve algorithms' exact counts (§3.1.4–5).
+
+The paper gives *closed forms*, not asymptotics, for the naïve
+algorithms in the M > 2n regime with column-major storage:
+
+    left-looking :  words = n³/6 + n² + 5n/6,  messages = n²/2 + 3n/2
+    right-looking:  words = n³/3 + n² + 2n/3,  messages = n² + n
+
+This bench sweeps n and asserts the measured counters equal those
+polynomials *exactly* (integer equality), then covers the segmented
+M < 2n regime (Θ(n³) words, O(n³/M) messages) that Figure 3's sweep
+pictures describe.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit_report
+from repro.analysis.report import ReportWriter
+from repro.analysis.sweeps import measure, sweep_param
+
+NS = [8, 16, 32, 64, 96]
+
+
+@pytest.fixture(scope="module")
+def naive_measurements():
+    out = {}
+    for n in NS:
+        out[("left", n)] = measure("naive-left", n, 4 * n)
+        out[("right", n)] = measure("naive-right", n, 4 * n)
+    return out
+
+
+def left_words(n):
+    return (n**3 + 6 * n**2 + 5 * n) // 6
+
+
+def left_messages(n):
+    return (n**2 + 3 * n) // 2
+
+
+def right_words(n):
+    return (n**3 + 3 * n**2 + 2 * n) // 3
+
+
+def right_messages(n):
+    return n**2 + n
+
+
+def test_generate_naive_report(benchmark, naive_measurements):
+    writer = ReportWriter("naive_exact_counts")
+    rows = []
+    for n in NS:
+        ml = naive_measurements[("left", n)]
+        mr = naive_measurements[("right", n)]
+        rows.append(
+            [
+                n,
+                ml.words,
+                left_words(n),
+                ml.messages,
+                left_messages(n),
+                mr.words,
+                right_words(n),
+                mr.messages,
+                right_messages(n),
+            ]
+        )
+    writer.add_table(
+        ["n", "left W", "n3/6+n2+5n/6", "left M", "n2/2+3n/2",
+         "right W", "n3/3+n2+2n/3", "right M", "n2+n"],
+        rows,
+        title="E1: naive algorithms, measured vs the paper's exact formulas",
+    )
+    emit_report(writer)
+    benchmark.pedantic(
+        lambda: measure("naive-left", 64, 256, verify=False),
+        rounds=3, iterations=1,
+    )
+
+
+class TestExactEquality:
+    @pytest.mark.parametrize("n", NS)
+    def test_left_exact(self, naive_measurements, n):
+        m = naive_measurements[("left", n)]
+        assert m.words == left_words(n)
+        assert m.messages == left_messages(n)
+
+    @pytest.mark.parametrize("n", NS)
+    def test_right_exact(self, naive_measurements, n):
+        m = naive_measurements[("right", n)]
+        assert m.words == right_words(n)
+        assert m.messages == right_messages(n)
+
+
+class TestSegmentedRegime:
+    """Figure 3 / §3.1.4's M < 2n case."""
+
+    def test_left_messages_scale_inverse_M(self):
+        _, fit = sweep_param(
+            "naive-left", 64, [12, 24, 48, 96], metric="messages"
+        )
+        assert fit.exponent_close_to(-1.0, tol=0.35)
+
+    def test_left_words_flat_in_M(self):
+        _, fit = sweep_param("naive-left", 64, [12, 24, 48, 96])
+        assert abs(fit.exponent) < 0.2
+
+    def test_right_words_flat_in_M(self):
+        _, fit = sweep_param("naive-right", 64, [12, 24, 48])
+        assert abs(fit.exponent) < 0.2
+
+    def test_words_cubic_in_n_both_regimes(self):
+        from repro.analysis.sweeps import sweep_n
+
+        _, fit_big = sweep_n("naive-left", [32, 64, 128], lambda n: 4 * n)
+        _, fit_small = sweep_n("naive-left", [16, 32, 64], 24)
+        assert fit_big.exponent_close_to(3.0, tol=0.25)
+        assert fit_small.exponent_close_to(3.0, tol=0.25)

@@ -1,0 +1,115 @@
+"""Experiment T2b — the parallel matmul baseline (Theorem 2 side).
+
+The Main Theorem says Cholesky's parallel communication is matmul's;
+this bench runs the classical 2D multiplication (SUMMA) next to
+PxPOTRF on identical grids and shows the two share one profile:
+
+* both meet the 2D bounds (n²/√P words, √P messages) within log P at
+  b = n/√P;
+* their critical-path counts differ by small constants;
+* their flops differ by exactly 6 (2n³ vs n³/3).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit_report
+from repro.analysis.report import ReportWriter
+from repro.bounds.parallel import (
+    parallel_bandwidth_lower_bound,
+    parallel_latency_lower_bound,
+)
+from repro.matrices.generators import random_spd
+from repro.parallel import pxpotrf, summa
+
+CONFIGS = [(4, 64), (16, 64), (16, 128)]
+
+
+@pytest.fixture(scope="module")
+def pairs():
+    out = {}
+    for P, n in CONFIGS:
+        b = n // math.isqrt(P)
+        rng = np.random.default_rng(P + n)
+        a, bm = rng.standard_normal((n, n)), rng.standard_normal((n, n))
+        mm = summa(a, bm, b, P)
+        assert np.allclose(mm.C, a @ bm, atol=1e-8)
+        chol = pxpotrf(random_spd(n, seed=P), b, P)
+        out[(P, n)] = (mm, chol)
+    return out
+
+
+def test_generate_parallel_matmul_report(benchmark, pairs):
+    writer = ReportWriter("parallel_matmul")
+    rows = []
+    for (P, n), (mm, chol) in pairs.items():
+        w_lb = parallel_bandwidth_lower_bound(n, P)
+        m_lb = parallel_latency_lower_bound(P)
+        rows.append(
+            [
+                P, n,
+                mm.critical_words, chol.critical_words,
+                mm.critical_words / w_lb, chol.critical_words / w_lb,
+                mm.critical_messages, chol.critical_messages,
+                mm.critical_messages / m_lb,
+            ]
+        )
+    writer.add_table(
+        ["P", "n", "MM words", "Chol words", "MM W/LB", "Chol W/LB",
+         "MM msgs", "Chol msgs", "MM M/LB"],
+        rows,
+        title="T2b: SUMMA vs PxPOTRF at b = n/sqrt(P) — one communication profile",
+    )
+    # beyond the paper's 2D case: the 3D algorithm trades P^{1/3}-fold
+    # memory replication for asymptotically less communication
+    from repro.parallel.matmul3d import matmul_3d
+
+    n, P = 64, 64
+    rng = np.random.default_rng(1)
+    a3, b3 = rng.standard_normal((n, n)), rng.standard_normal((n, n))
+    two_d = summa(a3, b3, n // 8, P)
+    three_d = matmul_3d(a3, b3, P)
+    writer2 = ReportWriter("parallel_matmul")  # append to the same report
+    writer2.sections = writer.sections
+    writer2.add_table(
+        ["layout", "crit words", "crit msgs", "peak memory/proc"],
+        [
+            ["2D (SUMMA, b=n/√P)", two_d.critical_words,
+             two_d.critical_messages,
+             max(sum(int(v.size) for v in p.store.values())
+                 + p.peak_buffer_words for p in two_d.network.processors)],
+            ["3D (p=4 cube)", three_d.critical_words,
+             three_d.critical_messages, three_d.peak_memory_words],
+        ],
+        title=f"T2c: 2D vs 3D multiplication at n={n}, P={P} "
+              "(the ITT04 memory/communication tradeoff)",
+    )
+    emit_report(writer2)
+    rng = np.random.default_rng(0)
+    a, bm = rng.standard_normal((32, 32)), rng.standard_normal((32, 32))
+    benchmark.pedantic(lambda: summa(a, bm, 16, 4), rounds=3, iterations=1)
+
+
+class TestKinship:
+    def test_both_meet_bounds_within_logP(self, pairs):
+        for (P, n), (mm, chol) in pairs.items():
+            logP = math.log2(P)
+            w_lb = parallel_bandwidth_lower_bound(n, P)
+            m_lb = parallel_latency_lower_bound(P)
+            for res in (mm, chol):
+                assert res.critical_words <= 4 * w_lb * logP, (P, n)
+                assert res.critical_messages <= 4 * m_lb * logP, (P, n)
+
+    def test_profiles_within_constant(self, pairs):
+        for key, (mm, chol) in pairs.items():
+            assert 0.2 <= chol.critical_words / mm.critical_words <= 5.0, key
+            assert 0.2 <= chol.critical_messages / mm.critical_messages <= 5.0
+
+    def test_flop_ratio_exactly_six(self, pairs):
+        for key, (mm, chol) in pairs.items():
+            ratio = mm.total_flops / chol.total_flops
+            assert ratio == pytest.approx(6.0, rel=0.05), key

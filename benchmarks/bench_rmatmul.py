@@ -1,0 +1,133 @@
+"""Experiment E5 — Theorem 3 (recursive matmul bandwidth, four cases)
+and Claim 3.3 (matmul latency by layout).
+
+The proof of Theorem 3 distinguishes four regimes by which of m, n, r
+exceed Θ(√M):
+
+    I   all large   → Θ(mnr/√M)
+    II  two large   → Θ(mn)             (the small dimension rides free)
+    III one large   → Θ(mn + mr)
+    IV  all small   → Θ(mn + nr + mr)   (one read, one write)
+
+This bench measures each regime and the layout-dependent latency of
+square multiplication (Θ(n³/M^{3/2}) Morton vs Θ(n³/M) column-major).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit_report
+from repro.analysis.report import ReportWriter
+from repro.bounds.matmul import rmatmul_bandwidth_theta, theorem3_regime
+from repro.layouts import ColumnMajorLayout, MortonLayout
+from repro.machine import SequentialMachine
+from repro.matrices import TrackedMatrix
+from repro.sequential import rmatmul
+from repro.util.fitting import fit_power_law
+
+M_FAST = 192  # sqrt(M) ≈ 13.9
+
+
+def run_matmul(m, n, r, M=M_FAST, layout_cls=ColumnMajorLayout):
+    """C += A·B with rectangular operands embedded in square matrices."""
+    machine = SequentialMachine(M)
+    size = max(m, n, r)
+    rng = np.random.default_rng(0)
+    C = TrackedMatrix(rng.standard_normal((size, size)), layout_cls(size), machine)
+    A = TrackedMatrix(rng.standard_normal((size, size)), layout_cls(size), machine)
+    B = TrackedMatrix(rng.standard_normal((size, size)), layout_cls(size), machine)
+    c0 = C.data[:m, :r].copy()
+    a0 = A.data[:m, :n].copy()
+    b0 = B.data[:n, :r].copy()
+    rmatmul(C.block(0, m, 0, r), A.block(0, m, 0, n), B.block(0, n, 0, r))
+    assert np.allclose(C.data[:m, :r], c0 + a0 @ b0, atol=1e-8)
+    return machine
+
+
+CASES = [
+    # (m, n, r) — one per Theorem 3 regime at M = 192
+    (96, 96, 96),  # I: all ≫ √M
+    (96, 96, 8),  # II: r small
+    (96, 8, 8),  # III: only m large
+    (8, 8, 8),  # IV: all small
+]
+
+
+@pytest.fixture(scope="module")
+def regime_runs():
+    return {dims: run_matmul(*dims) for dims in CASES}
+
+
+def test_generate_rmatmul_report(benchmark, regime_runs):
+    writer = ReportWriter("rmatmul_theorem3")
+    rows = []
+    for dims, machine in regime_runs.items():
+        m, n, r = dims
+        theta = rmatmul_bandwidth_theta(m, n, r, M_FAST)
+        rows.append(
+            [
+                f"{m}x{n}x{r}",
+                f"case {theorem3_regime(m, n, r, M_FAST)}",
+                machine.words,
+                theta,
+                machine.words / theta,
+            ]
+        )
+    writer.add_table(
+        ["dims", "regime", "words", "theta-form", "ratio"],
+        rows,
+        title=f"E5: recursive matmul vs Theorem 3 (M={M_FAST})",
+    )
+    emit_report(writer)
+    benchmark.pedantic(lambda: run_matmul(64, 64, 64), rounds=3, iterations=1)
+
+
+class TestTheorem3:
+    def test_all_regimes_within_constant(self, regime_runs):
+        for dims, machine in regime_runs.items():
+            theta = rmatmul_bandwidth_theta(*dims, M_FAST)
+            assert 0.2 * theta <= machine.words <= 6 * theta, dims
+
+    def test_case1_scales_as_cube_over_sqrtM(self):
+        words = [run_matmul(s, s, s).words for s in (32, 64, 128)]
+        fit = fit_power_law([32, 64, 128], words)
+        assert fit.exponent_close_to(3.0, tol=0.25)
+
+    def test_case1_inverse_sqrtM(self):
+        Ms = [48, 192, 768]
+        words = [run_matmul(64, 64, 64, M=M).words for M in Ms]
+        fit = fit_power_law(Ms, words)
+        assert fit.exponent_close_to(-0.5, tol=0.2)
+
+    def test_case2_tracks_theta_across_small_dim(self):
+        """In regime II the measured/Θ ratio stays bounded as the
+        small dimension varies below √M (the Θ-form's mn and mnr/√M
+        terms trade off; the constant must not drift)."""
+        ratios = []
+        for r in (2, 4, 8, 13):
+            machine = run_matmul(96, 96, r)
+            ratios.append(
+                machine.words / rmatmul_bandwidth_theta(96, 96, r, M_FAST)
+            )
+        assert max(ratios) <= 4.0
+        assert max(ratios) / min(ratios) <= 3.5
+
+    def test_case4_single_pass(self, regime_runs):
+        m, n, r = 8, 8, 8
+        machine = regime_runs[(m, n, r)]
+        # exactly: read A, B, C once, write C once
+        assert machine.counters.words_read == m * n + n * r + m * r
+        assert machine.counters.words_written == m * r
+
+    def test_claim33_latency_by_layout(self):
+        n, M = 64, 48
+        col = run_matmul(n, n, n, M=M, layout_cls=ColumnMajorLayout)
+        mor = run_matmul(n, n, n, M=M, layout_cls=MortonLayout)
+        assert col.words == mor.words
+        # Θ(n³/M) vs Θ(n³/M^{3/2}): a √M-ish gap
+        assert col.messages >= 2.5 * mor.messages
+        assert mor.messages <= 40 * (n**3 / M**1.5)

@@ -1,0 +1,98 @@
+"""Experiment E6 — the recursive triangular solve (§3.2.5,
+recurrences (15)–(16)).
+
+B(n) = O(n³/√M + n²) and L(n) = O(n³/M^{3/2}) on block-contiguous
+storage; the bench sweeps n and M and checks both, plus the
+column-major latency penalty.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit_report
+from repro.analysis.report import ReportWriter
+from repro.layouts import ColumnMajorLayout, MortonLayout
+from repro.machine import SequentialMachine
+from repro.matrices import TrackedMatrix
+from repro.matrices.generators import random_spd
+from repro.sequential import rtrsm
+from repro.util.fitting import fit_power_law
+
+NS = [32, 64, 128]
+MS = [48, 192, 768]
+
+
+def run_rtrsm(n, M, layout_cls=MortonLayout):
+    machine = SequentialMachine(M)
+    rng = np.random.default_rng(1)
+    A = TrackedMatrix(rng.standard_normal((n, n)), layout_cls(n), machine)
+    Lmat = TrackedMatrix(
+        np.linalg.cholesky(random_spd(n, seed=2)), layout_cls(n), machine
+    )
+    a0 = A.data.copy()
+    rtrsm(A.whole(), Lmat.whole().T)
+    assert np.allclose(A.data @ Lmat.data.T, a0, atol=1e-7)
+    return machine
+
+
+@pytest.fixture(scope="module")
+def rtrsm_runs():
+    out = {}
+    for n in NS:
+        out[("n", n)] = run_rtrsm(n, 192)
+    for M in MS:
+        out[("M", M)] = run_rtrsm(128, M)
+    return out
+
+
+def test_generate_rtrsm_report(benchmark, rtrsm_runs):
+    writer = ReportWriter("rtrsm")
+    rows = []
+    for M in MS:
+        machine = rtrsm_runs[("M", M)]
+        bound_w = 128**3 / M**0.5 + 128**2
+        bound_m = 128**3 / M**1.5 + 128**2 / M
+        rows.append(
+            [M, machine.words, machine.words / bound_w,
+             machine.messages, machine.messages / bound_m]
+        )
+    writer.add_table(
+        ["M", "words", "words/bound", "messages", "msgs/bound"],
+        rows,
+        title="E6: recursive TRSM (n=128, Morton storage)",
+    )
+    emit_report(writer)
+    benchmark.pedantic(lambda: run_rtrsm(64, 192), rounds=3, iterations=1)
+
+
+class TestRtrsmShape:
+    def test_bandwidth_bound(self, rtrsm_runs):
+        for M in MS:
+            machine = rtrsm_runs[("M", M)]
+            assert machine.words <= 6 * (128**3 / M**0.5 + 128**2), M
+
+    def test_latency_bound(self, rtrsm_runs):
+        for M in MS:
+            machine = rtrsm_runs[("M", M)]
+            assert machine.messages <= 60 * (128**3 / M**1.5 + 128**2 / M), M
+
+    def test_cubic_in_n(self, rtrsm_runs):
+        fit = fit_power_law(NS, [rtrsm_runs[("n", n)].words for n in NS])
+        assert fit.exponent_close_to(3.0, tol=0.3)
+
+    def test_inverse_sqrtM(self, rtrsm_runs):
+        fit = fit_power_law(MS, [rtrsm_runs[("M", M)].words for M in MS])
+        assert fit.exponent_close_to(-0.5, tol=0.2)
+
+    def test_latency_inverse_M32(self, rtrsm_runs):
+        fit = fit_power_law(MS, [rtrsm_runs[("M", M)].messages for M in MS])
+        assert fit.exponent_close_to(-1.5, tol=0.4)
+
+    def test_column_major_latency_penalty(self):
+        n, M = 64, 48
+        mor = run_rtrsm(n, M, MortonLayout)
+        col = run_rtrsm(n, M, ColumnMajorLayout)
+        assert col.words == mor.words
+        assert col.messages > 2.5 * mor.messages

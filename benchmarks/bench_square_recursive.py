@@ -1,0 +1,117 @@
+"""Experiment E4 — the Ahmed–Pingali square recursive algorithm
+(§3.2.3, recurrences (13)–(14)).
+
+Bandwidth O(n³/√M + n²) and latency O(n³/M^{3/2}) on Morton storage,
+across both n and M sweeps, with explicit constants — the paper's
+only algorithm meeting both bounds, cache-obliviously.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from benchmarks.conftest import emit_report
+from repro.analysis.report import ReportWriter
+from repro.analysis.sweeps import measure, sweep_n, sweep_param
+from repro.bounds.sequential import (
+    cholesky_bandwidth_lower_bound,
+    cholesky_latency_lower_bound,
+)
+
+NS = [32, 64, 128, 256]
+MS = [48, 192, 768, 3072]
+N_REF = 128
+
+
+@pytest.fixture(scope="module")
+def sq_sweep():
+    out = {}
+    for M in MS:
+        out[("M", M)] = measure("square-recursive", N_REF, M, layout="morton")
+    for n in NS:
+        out[("n", n)] = measure("square-recursive", n, 192, layout="morton")
+    return out
+
+
+def test_generate_square_recursive_report(benchmark, sq_sweep):
+    writer = ReportWriter("square_recursive")
+    rows_m = []
+    for M in MS:
+        m = sq_sweep[("M", M)]
+        rows_m.append(
+            [
+                M,
+                m.words,
+                m.words / cholesky_bandwidth_lower_bound(N_REF, M),
+                m.messages,
+                m.messages / max(cholesky_latency_lower_bound(N_REF, M), 1.0),
+            ]
+        )
+    writer.add_table(
+        ["M", "words", "words/LB", "messages", "msgs/LB"],
+        rows_m,
+        title=f"E4a: AP00 on Morton storage, M sweep (n={N_REF})",
+    )
+    rows_n = []
+    for n in NS:
+        m = sq_sweep[("n", n)]
+        rows_n.append(
+            [n, m.words, m.words / cholesky_bandwidth_lower_bound(n, 192),
+             m.messages]
+        )
+    writer.add_table(
+        ["n", "words", "words/LB", "messages"],
+        rows_n,
+        title="E4b: AP00 on Morton storage, n sweep (M=192)",
+    )
+    emit_report(writer)
+    benchmark.pedantic(
+        lambda: measure("square-recursive", N_REF, 192, layout="morton",
+                        verify=False),
+        rounds=3, iterations=1,
+    )
+
+
+class TestSquareRecursiveShape:
+    def test_bandwidth_constant_vs_bound(self, sq_sweep):
+        for M in MS:
+            m = sq_sweep[("M", M)]
+            lb = cholesky_bandwidth_lower_bound(N_REF, M) + N_REF**2
+            assert m.words <= 6 * lb, M
+
+    def test_latency_constant_vs_bound(self, sq_sweep):
+        for M in MS:
+            m = sq_sweep[("M", M)]
+            lb = cholesky_latency_lower_bound(N_REF, M) + N_REF**2 / M
+            assert m.messages <= 40 * lb, M
+
+    def test_cubic_in_n(self):
+        _, fit = sweep_n(
+            "square-recursive", NS, 192, layout="morton", metric="words"
+        )
+        assert fit.exponent_close_to(3.0, tol=0.25)
+
+    def test_latency_cubic_in_n(self):
+        _, fit = sweep_n(
+            "square-recursive", NS, 192, layout="morton", metric="messages"
+        )
+        assert fit.exponent_close_to(3.0, tol=0.35)
+
+    def test_inverse_sqrtM(self):
+        _, fit = sweep_param("square-recursive", N_REF, MS, layout="morton")
+        assert fit.exponent_close_to(-0.5, tol=0.15)
+
+    def test_latency_inverse_M32(self):
+        _, fit = sweep_param(
+            "square-recursive", N_REF, MS, layout="morton", metric="messages"
+        )
+        assert fit.exponent_close_to(-1.5, tol=0.35)
+
+    def test_no_tuning_parameter(self, sq_sweep):
+        """Cache-obliviousness, operationally: the measured counts at
+        each M come from the *same* parameter-free run structure, so
+        the flops are identical across all M."""
+        flops = {sq_sweep[("M", M)].flops for M in MS}
+        assert len(flops) == 1

@@ -1,0 +1,167 @@
+"""Experiment T1 — regenerate Table 1 (sequential bandwidth & latency).
+
+For every algorithm × storage class the paper tabulates, measure words
+and messages on the DAM machine at a reference (n, M), report them as
+multiples of the lower bounds Ω(n³/√M) and Ω(n³/M^{3/2}), and check
+the table's qualitative content:
+
+* naïve variants miss the bandwidth bound by ~√M (ratio grows with M);
+* LAPACK and the recursive algorithms meet the bandwidth bound
+  (bounded ratio, M-sweep exponent ≈ −1/2);
+* only LAPACK-on-blocked and AP00-on-Morton meet the latency bound
+  (exponent ≈ −3/2); Toledo on Morton is Ω(n²) messages; the AGW01
+  hybrid and column-major storage are stuck at ~n³/M.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from benchmarks.conftest import emit_report
+from repro.analysis.report import ReportWriter
+from repro.analysis.sweeps import measure, sweep_param
+from repro.bounds.sequential import (
+    cholesky_bandwidth_lower_bound,
+    cholesky_latency_lower_bound,
+)
+
+N_REF = 128
+M_REF = 3 * 16 * 16  # = 768; b_opt = 16
+
+#: the Table 1 census: (algorithm, layout, layout-kw, cache-oblivious)
+CENSUS = [
+    ("naive-left", "column-major", {}, True),
+    ("naive-right", "column-major", {}, True),
+    ("lapack", "column-major", {}, False),
+    ("lapack", "blocked", {"layout_block": 16}, False),
+    ("lapack-right", "blocked", {"layout_block": 16}, False),
+    ("toledo", "column-major", {}, True),
+    ("toledo", "morton", {}, True),
+    ("square-recursive", "recursive-packed-hybrid", {}, True),
+    ("square-recursive", "column-major", {}, True),
+    ("square-recursive", "morton", {}, True),
+]
+
+
+@pytest.fixture(scope="module")
+def table1_rows():
+    rows = {}
+    for algo, layout, kw, oblivious in CENSUS:
+        m = measure(algo, N_REF, M_REF, layout=layout, **kw)
+        assert m.correct, (algo, layout)
+        rows[(algo, layout)] = (m, oblivious)
+    return rows
+
+
+def test_generate_table1(benchmark, table1_rows):
+    bw_lb = cholesky_bandwidth_lower_bound(N_REF, M_REF)
+    lat_lb = cholesky_latency_lower_bound(N_REF, M_REF)
+    writer = ReportWriter("table1_sequential")
+    writer.add_text(
+        f"Table 1 (measured): n={N_REF}, M={M_REF}; ratios are vs the "
+        f"lower bounds n^3/sqrt(M)={bw_lb:.0f} words and "
+        f"n^3/M^1.5={lat_lb:.1f} messages.\n"
+    )
+    out = []
+    for (algo, layout), (m, oblivious) in table1_rows.items():
+        out.append(
+            [
+                algo,
+                layout,
+                m.words,
+                m.words / bw_lb,
+                m.messages,
+                m.messages / lat_lb,
+                "yes" if oblivious else "no",
+            ]
+        )
+    writer.add_table(
+        ["algorithm", "storage", "words", "words/LB",
+         "messages", "msgs/LB", "oblivious"],
+        out,
+        title="T1: sequential communication vs lower bounds",
+    )
+    emit_report(writer)
+    # timing unit: one reference simulation
+    benchmark.pedantic(
+        lambda: measure("square-recursive", N_REF, M_REF, layout="morton",
+                        verify=False),
+        rounds=3,
+        iterations=1,
+    )
+
+
+class TestTable1Shape:
+    """The qualitative content of Table 1, asserted."""
+
+    def test_bandwidth_optimal_class(self, table1_rows):
+        bw_lb = cholesky_bandwidth_lower_bound(N_REF, M_REF)
+        for key in [
+            ("lapack", "column-major"),
+            ("lapack", "blocked"),
+            ("square-recursive", "morton"),
+            ("square-recursive", "column-major"),
+            ("square-recursive", "recursive-packed-hybrid"),
+        ]:
+            m, _ = table1_rows[key]
+            assert m.words <= 8 * bw_lb, key
+
+    def test_naive_miss_bandwidth_by_sqrtM(self, table1_rows):
+        bw_lb = cholesky_bandwidth_lower_bound(N_REF, M_REF)
+        for key in [("naive-left", "column-major"), ("naive-right", "column-major")]:
+            m, _ = table1_rows[key]
+            # the gap is Θ(√M)/6 ≈ 4.6 at this configuration
+            assert m.words >= 3 * bw_lb, key
+
+    def test_latency_optimal_class(self, table1_rows):
+        lat_lb = cholesky_latency_lower_bound(N_REF, M_REF)
+        for key in [("lapack", "blocked"), ("square-recursive", "morton")]:
+            m, _ = table1_rows[key]
+            assert m.messages <= 40 * lat_lb, key
+
+    def test_latency_suboptimal_class(self, table1_rows):
+        """Column-major rows pay ~n³/M messages: √M above the bound."""
+        lat_lb = cholesky_latency_lower_bound(N_REF, M_REF)
+        for key in [
+            ("lapack", "column-major"),
+            ("square-recursive", "column-major"),
+            ("square-recursive", "recursive-packed-hybrid"),
+        ]:
+            m, _ = table1_rows[key]
+            assert m.messages >= 3 * lat_lb, key
+
+    def test_toledo_morton_latency_quadratic(self, table1_rows):
+        m, _ = table1_rows[("toledo", "morton")]
+        assert m.messages >= N_REF**2 / 4
+
+    def test_bandwidth_exponents_in_M(self):
+        """Optimal algorithms scale as M^{-1/2}; naïve is M-flat."""
+        Ms = [48, 192, 768, 3072]
+        _, fit_opt = sweep_param("square-recursive", N_REF, Ms, layout="morton")
+        assert fit_opt.exponent_close_to(-0.5, tol=0.15)
+        _, fit_naive = sweep_param(
+            "naive-left", N_REF, [300, 600, 1200], layout="column-major"
+        )
+        assert abs(fit_naive.exponent) < 0.1
+
+    def test_latency_exponents_in_M(self):
+        Ms = [48, 192, 768, 3072]
+        _, fit = sweep_param(
+            "square-recursive", N_REF, Ms, layout="morton", metric="messages"
+        )
+        assert fit.exponent_close_to(-1.5, tol=0.35)
+
+    def test_row_ordering_matches_table(self, table1_rows):
+        """Dominance ordering of Table 1's bandwidth column."""
+        words = {k: m.words for k, (m, _) in table1_rows.items()}
+        assert words[("naive-right", "column-major")] > words[
+            ("naive-left", "column-major")
+        ]
+        assert words[("naive-left", "column-major")] > words[
+            ("lapack", "blocked")
+        ]
+        assert words[("toledo", "column-major")] >= words[
+            ("square-recursive", "morton")
+        ]

@@ -1,0 +1,153 @@
+"""Experiments T2 + E8 — regenerate Table 2 (parallel ScaLAPACK).
+
+Sweep PxPOTRF over processor counts and block sizes; report measured
+critical-path words/messages and max-per-processor flops against
+
+* the 2D lower bounds Ω(n²/√P) words, Ω(√P) messages, Ω(n³/P) flops
+  (Corollary 2.4), and
+* §3.3.1's exact predictions (3/2)(n/b)·log₂P messages and
+  (nb/4 + n²/√P)·log₂P words,
+
+checking Conclusion 6: at b = n/√P both bounds are met to within the
+log P factor, with flops still O(n³/P).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit_report
+from repro.analysis.report import ReportWriter
+from repro.bounds.parallel import (
+    optimal_block_size,
+    parallel_bandwidth_lower_bound,
+    parallel_latency_lower_bound,
+    scalapack_messages,
+    scalapack_words,
+)
+from repro.matrices.generators import random_spd
+from repro.parallel import pxpotrf
+from repro.sequential import cholesky_flops
+
+SWEEP = [
+    # (P, n, block sizes)
+    (4, 64, (4, 8, 16, 32)),
+    (16, 64, (4, 8, 16)),
+    (16, 128, (8, 16, 32)),
+    (64, 128, (4, 8, 16)),
+]
+
+
+@pytest.fixture(scope="module")
+def sweep_results():
+    results = {}
+    for P, n, blocks in SWEEP:
+        a = random_spd(n, seed=P)
+        ref = np.linalg.cholesky(a)
+        for b in blocks:
+            res = pxpotrf(a, b, P)
+            assert np.allclose(res.L, ref, atol=1e-8), (P, n, b)
+            results[(P, n, b)] = res
+    return results
+
+
+def test_generate_table2(benchmark, sweep_results):
+    writer = ReportWriter("table2_parallel")
+    writer.add_text(
+        "Table 2 (measured): PxPOTRF critical-path counts vs the 2D "
+        "lower bounds and the paper's exact predictions.\n"
+    )
+    rows = []
+    for (P, n, b), res in sweep_results.items():
+        w_lb = parallel_bandwidth_lower_bound(n, P)
+        m_lb = parallel_latency_lower_bound(P)
+        rows.append(
+            [
+                P,
+                n,
+                b,
+                "*" if b == n // math.isqrt(P) else "",
+                res.critical_words,
+                scalapack_words(n, b, P),
+                res.critical_words / w_lb,
+                res.critical_messages,
+                scalapack_messages(n, b, P),
+                res.critical_messages / m_lb,
+                res.max_flops,
+                res.max_flops / (cholesky_flops(n) / P),
+            ]
+        )
+    writer.add_table(
+        ["P", "n", "b", "b=n/sqrtP", "words", "pred_w", "words/LB",
+         "msgs", "pred_m", "msgs/LB", "max_flops", "flops/(F/P)"],
+        rows,
+        title="T2: ScaLAPACK PxPOTRF vs 2D lower bounds",
+    )
+    emit_report(writer)
+    a = random_spd(64, seed=0)
+    benchmark.pedantic(lambda: pxpotrf(a, 16, 16), rounds=3, iterations=1)
+
+
+class TestTable2Shape:
+    def test_measured_tracks_prediction(self, sweep_results):
+        """E8: the exact §3.3.1 formulas bound the measurement from
+        above (they charge full panels for every iteration) and from
+        below within a small constant."""
+        for (P, n, b), res in sweep_results.items():
+            pred_m = scalapack_messages(n, b, P)
+            pred_w = scalapack_words(n, b, P)
+            assert res.critical_messages <= 1.6 * pred_m + 1, (P, n, b)
+            assert res.critical_messages >= 0.2 * pred_m, (P, n, b)
+            assert res.critical_words <= 1.6 * pred_w, (P, n, b)
+            assert res.critical_words >= 0.15 * pred_w, (P, n, b)
+
+    def test_optimal_block_meets_both_bounds(self, sweep_results):
+        """Conclusion 6, at every swept (P, n) with b = n/√P."""
+        for (P, n, b), res in sweep_results.items():
+            if b != n // math.isqrt(P):
+                continue
+            logP = math.log2(P)
+            assert res.critical_messages <= 3 * math.sqrt(P) * logP
+            assert (
+                res.critical_words
+                <= 3 * parallel_bandwidth_lower_bound(n, P) * logP
+            )
+
+    def test_latency_grows_as_n_over_b(self, sweep_results):
+        for P, n, blocks in SWEEP:
+            msgs = [sweep_results[(P, n, b)].critical_messages for b in blocks]
+            assert msgs == sorted(msgs, reverse=True), (P, n)
+
+    def test_flop_balance_penalty_bounded(self, sweep_results):
+        """Large b costs parallelism but only a constant factor of
+        flop balance (§3.3.1's closing argument)."""
+        for (P, n, b), res in sweep_results.items():
+            if b != n // math.isqrt(P):
+                continue
+            assert res.max_flops <= 8 * cholesky_flops(n) / P
+
+    def test_bandwidth_scales_like_formula_in_P(self):
+        """Words track (nb/4 + n²/√P)·log₂P across P — note the two
+        factors nearly cancel between P=4 and P=16, and the measured
+        ratio must reproduce exactly that near-cancellation."""
+        n = 96
+        words = {}
+        for P in (4, 16):
+            res = pxpotrf(random_spd(n, seed=1), 8, P)
+            words[P] = res.critical_words
+        measured_ratio = words[4] / words[16]
+        predicted_ratio = scalapack_words(n, 8, 4) / scalapack_words(n, 8, 16)
+        assert measured_ratio == pytest.approx(predicted_ratio, rel=0.5)
+
+    def test_latency_scales_with_sqrtP_at_optimal_b(self):
+        msgs = {}
+        for P in (4, 16, 64):
+            n = 8 * math.isqrt(P)
+            b = optimal_block_size(n, P)
+            msgs[P] = pxpotrf(random_spd(n, seed=2), b, P).critical_messages
+        assert msgs[4] < msgs[16] < msgs[64]
+        # √P log P growth: 64 vs 4 should be ≈ (8·6)/(2·2) = 12×
+        assert 4 <= msgs[64] / max(msgs[4], 1) <= 30

@@ -1,0 +1,112 @@
+"""Experiment E3 — the rectangular recursive algorithm (Claim 3.1).
+
+Bandwidth Θ(n³/√M + n² log n): the log-n term is visible as excess
+words over the square-recursive algorithm at large M, and the √M
+scaling at small M.  Latency: Ω(n³/M) on column-major storage and
+Ω(n²) on Morton storage — never optimal for M > n^{2/3}
+(Conclusion 4).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from benchmarks.conftest import emit_report
+from repro.analysis.report import ReportWriter
+from repro.analysis.sweeps import measure, sweep_param
+
+N = 128
+MS = [48, 192, 768, 3072]
+
+
+@pytest.fixture(scope="module")
+def toledo_sweep():
+    out = {}
+    for M in MS:
+        out[("column-major", M)] = measure("toledo", N, M)
+        out[("morton", M)] = measure("toledo", N, M, layout="morton")
+        out[("sq", M)] = measure("square-recursive", N, M, layout="morton")
+    return out
+
+
+def claim31_bandwidth(n, M):
+    return n**3 / math.sqrt(M) + n * n * math.log2(n)
+
+
+def test_generate_toledo_report(benchmark, toledo_sweep):
+    writer = ReportWriter("toledo")
+    rows = []
+    for M in MS:
+        mc = toledo_sweep[("column-major", M)]
+        mm = toledo_sweep[("morton", M)]
+        sq = toledo_sweep[("sq", M)]
+        rows.append(
+            [
+                M,
+                mc.words,
+                claim31_bandwidth(N, M),
+                mc.words / claim31_bandwidth(N, M),
+                sq.words,
+                mc.messages,
+                mm.messages,
+                N * N,
+            ]
+        )
+    writer.add_table(
+        ["M", "words", "claim3.1", "ratio", "AP00 words",
+         "msgs col-major", "msgs morton", "n^2"],
+        rows,
+        title=f"E3: Toledo rectangular recursive (n={N})",
+    )
+    emit_report(writer)
+    benchmark.pedantic(
+        lambda: measure("toledo", N, 768, verify=False), rounds=3, iterations=1
+    )
+
+
+class TestToledoShape:
+    def test_bandwidth_tracks_claim31(self, toledo_sweep):
+        for M in MS:
+            m = toledo_sweep[("column-major", M)]
+            ref = claim31_bandwidth(N, M)
+            assert 0.1 * ref <= m.words <= 4 * ref, M
+
+    def test_log_term_dominates_at_large_M(self, toledo_sweep):
+        """When the whole matrix nearly fits, AP00 reads it ~once but
+        Toledo still pays the per-column recursion tax."""
+        big = measure("toledo", N, 8 * N * N)
+        sq = measure("square-recursive", N, 8 * N * N)
+        assert sq.words == 2 * N * N
+        assert big.words > 2.0 * sq.words
+
+    def test_sqrtM_scaling_at_small_M(self):
+        _, fit = sweep_param("toledo", N, [48, 108, 192, 432])
+        # n³/√M dominates here: exponent near −1/2 (the log term
+        # flattens it slightly)
+        assert -0.6 <= fit.exponent <= -0.25
+
+    def test_latency_column_major_inverse_M(self, toledo_sweep):
+        msgs = [toledo_sweep[("column-major", M)].messages for M in MS]
+        assert msgs == sorted(msgs, reverse=True)
+
+    def test_latency_morton_floor_n2(self, toledo_sweep):
+        """Ω(n²) messages on Morton storage regardless of M."""
+        for M in MS:
+            m = toledo_sweep[("morton", M)]
+            assert m.messages >= N * N / 4, M
+
+    def test_not_latency_optimal_above_n23(self, toledo_sweep):
+        """Conclusion 4: for M > n^{2/3} Toledo's Ω(n²) message floor
+        puts it far above AP00 — and the gap *grows* with M (the paper
+        makes no claim at M ≈ n^{2/3}, where the measured gap is
+        indeed small)."""
+        ratios = []
+        for M in MS:
+            t = toledo_sweep[("morton", M)]
+            s = toledo_sweep[("sq", M)]
+            ratios.append(t.messages / s.messages)
+            if M > N ** (2 / 3) * 4:  # comfortably above the threshold
+                assert t.messages > 5 * s.messages, M
+        assert ratios == sorted(ratios)  # gap grows with M

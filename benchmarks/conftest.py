@@ -1,0 +1,34 @@
+"""Shared infrastructure for the benchmark harness.
+
+Each ``bench_*.py`` regenerates one artifact of the paper's evaluation
+(a table, a figure's quantitative counterpart, or an in-text formula),
+asserts that the measured *shape* matches the paper's claim, and
+writes the rendered table to ``reports/``.
+
+Conventions:
+
+* expensive sweeps run once per module via session-scoped fixtures;
+* the ``benchmark`` fixture times one representative unit of the sweep
+  (so ``pytest benchmarks/ --benchmark-only`` also yields a timing
+  table for the simulator itself);
+* every module ends by emitting a ``ReportWriter`` artifact — run with
+  ``-s`` to see the tables inline, or read them from ``reports/``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import ReportWriter
+
+
+@pytest.fixture(scope="session")
+def reports_emitted():
+    """Collect report names emitted during the session (diagnostics)."""
+    emitted: list[str] = []
+    yield emitted
+
+
+def emit_report(writer: ReportWriter) -> str:
+    """Print and save a report; returns the saved path."""
+    return writer.emit(echo=True)

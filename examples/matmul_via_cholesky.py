@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""The lower-bound reduction, end to end (Section 2, Algorithm 1).
+
+Multiplies two matrices *by factoring a 3n×3n Cholesky input* built
+from them and two masked identity-like blocks (Table 3's 0*/1*
+values), then reads the product out of the L₃₂ᵀ block — the
+construction that transfers every matmul communication lower bound to
+Cholesky.
+
+The script also runs the instrumented version and prints the phase
+accounting of Corollary 2.3: building T' and extracting the product
+cost O(n²) words; the Cholesky in the middle dominates and exceeds
+the ITT04 matmul lower bound.
+
+Usage::
+
+    python examples/matmul_via_cholesky.py [n]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.bounds.matmul import matmul_bandwidth_lower_bound
+from repro.reduction import multiply_via_cholesky, multiply_via_cholesky_counted
+from repro.util.tables import format_kv_block
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 24
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((n, n))
+    b = rng.standard_normal((n, n))
+
+    print(f"multiplying two {n}x{n} matrices via a {3 * n}x{3 * n} Cholesky\n")
+    for order in ("left", "right", "recursive"):
+        product = multiply_via_cholesky(a, b, order=order)
+        err = np.max(np.abs(product - a @ b))
+        print(f"  schedule {order:9s}: max |A·B - L32^T| = {err:.2e}")
+
+    M = 2 * 3 * n
+    product, machine, phases = multiply_via_cholesky_counted(a, b, M=M)
+    assert np.allclose(product, a @ b, atol=1e-8)
+    lb = matmul_bandwidth_lower_bound(n, M=M)
+    print()
+    print(
+        format_kv_block(
+            f"instrumented run (fast memory M={M} words)",
+            [
+                ("step 2: build T'          (words)", phases["setup"]),
+                ("step 3: starred Cholesky  (words)", phases["cholesky"]),
+                ("step 4: extract L32^T     (words)", phases["extract"]),
+                ("ITT04 matmul lower bound  (words)", round(max(lb, 0.0), 1)),
+                ("cholesky words / matmul bound",
+                 round(phases["cholesky"] / max(lb, 1.0), 2)),
+            ],
+        )
+    )
+    print(
+        "Any classical Cholesky must move at least what the embedded\n"
+        "multiplication requires — Theorem 1, measured."
+    )
+
+
+if __name__ == "__main__":
+    main()

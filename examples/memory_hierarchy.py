@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Cache-obliviousness across a deep memory hierarchy (§3.2).
+
+Simulates a laptop-shaped three-level hierarchy (L1 / L2 / L3-sized
+fast memories, in words) and factors one matrix with:
+
+* the Ahmed–Pingali recursive algorithm — no tuning parameter, and
+  its traffic at *every* level lands within a small constant of that
+  level's lower bound (Conclusion 5);
+* LAPACK POTRF tuned for each level in turn — each tuning is good at
+  its own level and bad elsewhere: too-big blocks overflow the faster
+  levels (flagged as capacity violations), too-small blocks overpay
+  bandwidth at the slower levels (§3.2.2's dilemma).
+
+Usage::
+
+    python examples/memory_hierarchy.py [n]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import HierarchicalMachine, TrackedMatrix, make_layout, random_spd
+from repro.bounds.multilevel import multilevel_bounds
+from repro.sequential import lapack_blocked, square_recursive
+from repro.util.imath import largest_fitting_block
+from repro.util.tables import format_table
+
+LEVELS = [3 * 4 * 4, 3 * 16 * 16, 3 * 64 * 64]  # 48 / 768 / 12288 words
+
+
+def run(algo, n, a0, **kw):
+    machine = HierarchicalMachine(LEVELS, enforce_capacity=False)
+    A = TrackedMatrix(a0, make_layout("morton", n), machine)
+    L = algo(A, **kw)
+    assert np.allclose(L, np.linalg.cholesky(a0), atol=1e-8)
+    return machine
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 128
+    a0 = random_spd(n, seed=2)
+    bounds = multilevel_bounds(n, LEVELS)
+
+    runs = {"AP00 (oblivious)": run(square_recursive, n, a0)}
+    for M in LEVELS:
+        b = largest_fitting_block(M)
+        runs[f"LAPACK b={b}"] = run(lapack_blocked, n, a0, block=b)
+
+    rows = []
+    for name, machine in runs.items():
+        for lvl, lb in zip(machine.levels, bounds):
+            rows.append(
+                [
+                    name,
+                    lvl.capacity,
+                    lvl.words,
+                    lvl.words / max(lb.bandwidth, 1.0),
+                    lvl.messages,
+                    "OVERFLOW" if lvl.capacity_violated else "fits",
+                ]
+            )
+    print(
+        format_table(
+            ["algorithm", "level M", "words", "words/LB", "messages", "capacity"],
+            rows,
+            title=f"three-level hierarchy {LEVELS}, n={n}, Morton storage",
+        )
+    )
+    print(
+        "AP00 keeps a bounded words/LB ratio at every level with no\n"
+        "tuning; every LAPACK block size is either overpaying (big\n"
+        "ratios above its level) or overflowing (below its level)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Domain scenario: solving a discretized PDE system end to end.
+
+Assembles the classic SPD stiffness matrix of a 1-D Poisson problem
+(tridiagonal [−1, 2, −1], dense here because the paper's algorithms
+are dense), adds a few global coupling constraints so the system is
+genuinely dense, then solves ``A x = b`` by Cholesky factorization +
+two triangular substitutions on the tracked machine.
+
+What the phase accounting shows — and why communication-optimal
+*factorization* is the whole game for solvers:
+
+* factorization moves Θ(n³/√M) words;
+* both substitution sweeps together move ~n² words;
+
+so at any realistic n/M the factorization is >90% of the traffic, and
+switching it from the naïve algorithm to a communication-optimal one
+cuts the end-to-end data movement by nearly the full Θ(√M) factor.
+
+Usage::
+
+    python examples/pde_solver.py [n]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import SequentialMachine, TrackedMatrix, make_layout
+from repro.sequential.solve import back_substitution, cholesky_solve, forward_substitution
+from repro.sequential.registry import run_algorithm
+from repro.util.tables import format_table
+
+
+def poisson_like(n: int, couplings: int = 4, seed: int = 0) -> np.ndarray:
+    """1-D Poisson stiffness + a few rank-1 global couplings (SPD)."""
+    a = 2.0 * np.eye(n) - np.eye(n, k=1) - np.eye(n, k=-1)
+    rng = np.random.default_rng(seed)
+    for _ in range(couplings):
+        v = rng.standard_normal(n) / np.sqrt(n)
+        a += np.outer(v, v)
+    return a + 0.1 * np.eye(n)
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 96
+    M = 3 * 16 * 16
+    a0 = poisson_like(n)
+    b = np.sin(np.linspace(0.0, np.pi, n))
+
+    rows = []
+    for algo in ("naive-left", "lapack", "square-recursive"):
+        machine = SequentialMachine(max(M, 4 * n))
+        A = TrackedMatrix(a0, make_layout("morton", n), machine)
+        run_algorithm(algo, A)
+        factor_words = machine.words
+        y = forward_substitution(A, b)
+        x = back_substitution(A, y)
+        solve_words = machine.words - factor_words
+        residual = np.linalg.norm(a0 @ x - b) / np.linalg.norm(b)
+        assert residual < 1e-10
+        rows.append(
+            [algo, factor_words, solve_words,
+             100.0 * factor_words / machine.words, machine.flops]
+        )
+    print(
+        format_table(
+            ["factorization", "factor words", "substitution words",
+             "factor %", "flops"],
+            rows,
+            title=f"Poisson-like SPD solve, n={n}, M={max(M, 4 * n)} "
+                  "(residual < 1e-10 in every row)",
+        )
+    )
+
+    # the one-call convenience API
+    machine = SequentialMachine(max(M, 4 * n))
+    A = TrackedMatrix(a0, make_layout("morton", n), machine)
+    x = cholesky_solve(A, b)
+    print(
+        f"cholesky_solve(): |Ax-b|/|b| = "
+        f"{np.linalg.norm(a0 @ x - b) / np.linalg.norm(b):.2e}, "
+        f"{machine.words:,} words total"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Shim for environments without the `wheel` package (offline install).
+
+`pip install -e . --no-build-isolation --no-use-pep517` uses this; all
+metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,86 @@
+"""repro — Communication-Optimal Parallel and Sequential Cholesky.
+
+A faithful, instrumented reproduction of Ballard, Demmel, Holtz &
+Schwartz, *Communication-Optimal Parallel and Sequential Cholesky
+Decomposition* (SPAA 2009 / arXiv:0902.2537): every algorithm the
+paper analyzes, running on simulated machines that count exactly the
+words and messages the paper's model counts, plus the lower-bound
+reduction (matrix multiplication via Cholesky over masked values).
+
+Quick start::
+
+    import numpy as np
+    from repro import (
+        SequentialMachine, TrackedMatrix, make_layout,
+        random_spd, run_algorithm,
+    )
+
+    n, M = 128, 3 * 16 * 16
+    machine = SequentialMachine(M)
+    A = TrackedMatrix(random_spd(n), make_layout("morton", n), machine)
+    L = run_algorithm("square-recursive", A)
+    assert np.allclose(L, np.linalg.cholesky(random_spd(n)))
+    print(machine.words, machine.messages)   # Table 1, measured
+
+Subpackages: ``machine`` (DAM/hierarchy simulators), ``layouts``
+(Figure 2 storage formats), ``matrices`` (generators + tracked
+operands), ``sequential`` (Algorithms 2–8), ``parallel`` (network
+simulator + Algorithm 9), ``starred``/``reduction`` (Table 3 +
+Algorithm 1), ``bounds`` (Theorems 1–3, Corollaries 2.3/2.4/3.2),
+``analysis`` (stability, sweeps, reports).
+"""
+
+from repro.machine import (
+    CapacityError,
+    HierarchicalMachine,
+    ModelError,
+    SequentialMachine,
+)
+from repro.layouts import available_layouts, make_layout
+from repro.matrices import TrackedMatrix, random_spd
+from repro.sequential import (
+    available_algorithms,
+    cholesky_flops,
+    lapack_blocked,
+    naive_left_looking,
+    naive_right_looking,
+    rmatmul,
+    rsyrk,
+    rtrsm,
+    run_algorithm,
+    square_recursive,
+    toledo,
+)
+from repro.parallel import ProcessorGrid, pxpotrf
+from repro.reduction import multiply_via_cholesky
+from repro.starred import ONE_STAR, ZERO_STAR
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "SequentialMachine",
+    "HierarchicalMachine",
+    "CapacityError",
+    "ModelError",
+    "make_layout",
+    "available_layouts",
+    "TrackedMatrix",
+    "random_spd",
+    "run_algorithm",
+    "available_algorithms",
+    "cholesky_flops",
+    "naive_left_looking",
+    "naive_right_looking",
+    "lapack_blocked",
+    "toledo",
+    "square_recursive",
+    "rmatmul",
+    "rsyrk",
+    "rtrsm",
+    "pxpotrf",
+    "ProcessorGrid",
+    "multiply_via_cholesky",
+    "ONE_STAR",
+    "ZERO_STAR",
+    "__version__",
+]

@@ -1,0 +1,44 @@
+"""Measurement and reporting utilities.
+
+``repro.analysis.stability``
+    Backward-error checks per §3.1.2 (the standard Cholesky error
+    analysis holds for *any* summation order, hence for every
+    algorithm here; the tests verify the normwise residual bound).
+
+``repro.analysis.sweeps``
+    The measurement engine of the benchmark harness: run an algorithm
+    over (n, M, layout) grids, collect counters, fit scaling
+    exponents.
+
+``repro.analysis.report``
+    Assemble the Table 1 / Table 2 style text reports the benches
+    print and save under ``reports/``.
+"""
+
+from repro.analysis.stability import residual_ratio, stability_report
+from repro.analysis.sweeps import Measurement, measure, sweep_n, sweep_param
+from repro.analysis.report import ReportWriter
+from repro.analysis.dag import CholeskyDag, direct_dependencies
+from repro.analysis.figures import (
+    render_block_cyclic,
+    render_dependencies,
+    render_layout,
+)
+from repro.analysis.heatmap import access_counts, render_heatmap
+
+__all__ = [
+    "residual_ratio",
+    "stability_report",
+    "Measurement",
+    "measure",
+    "sweep_n",
+    "sweep_param",
+    "ReportWriter",
+    "CholeskyDag",
+    "direct_dependencies",
+    "render_dependencies",
+    "render_layout",
+    "render_block_cyclic",
+    "access_counts",
+    "render_heatmap",
+]

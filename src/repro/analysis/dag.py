@@ -1,0 +1,163 @@
+"""The element-level dependency DAG of Cholesky (paper, Figure 1).
+
+Equations (5)–(6) make entry ``L(i, j)`` depend on
+
+    S(i,i) = { L(i,k) : k < i }                      (diagonal)
+    S(i,j) = { L(i,k) : k < j } ∪ { L(j,k) : k <= j } (off-diagonal)
+
+and Lemma 2.2's proof inducts over the partial order these sets
+generate.  This module materializes that DAG so the claims about it
+become executable:
+
+* the sets themselves (:func:`direct_dependencies`, matching (7)–(8));
+* validity of a schedule (:func:`is_valid_schedule`) — the tests check
+  that the left-looking, right-looking and recursive element orders
+  used by :mod:`repro.starred.linalg` are all topological orders, which
+  is the precondition of Lemma 2.2;
+* the DAG's *critical path* (:func:`critical_path_length`), the depth
+  below which no amount of parallelism can finish — 2n−1 levels of
+  element dependencies;
+* per-entry dependency counts for the Figure 1 rendering in
+  :mod:`repro.analysis.figures`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+
+from repro.util.validation import check_positive_int
+
+Entry = Tuple[int, int]
+
+
+def entries(n: int) -> Iterator[Entry]:
+    """All lower-triangle entries, column-major order."""
+    check_positive_int("n", n)
+    for j in range(n):
+        for i in range(j, n):
+            yield (i, j)
+
+
+def direct_dependencies(i: int, j: int) -> List[Entry]:
+    """The set S(i,j) of Equations (7)–(8), 0-based.
+
+    For a diagonal entry ``(i, i)``: all earlier entries of row i.
+    For ``i > j``: row i left of column j, plus row j up to and
+    including the pivot ``(j, j)``.
+    """
+    if i < j or i < 0:
+        raise ValueError(f"({i},{j}) is not a lower-triangle entry")
+    if i == j:
+        return [(i, k) for k in range(i)]
+    deps = [(i, k) for k in range(j)]
+    deps += [(j, k) for k in range(j + 1)]
+    return deps
+
+
+class CholeskyDag:
+    """The full dependency DAG for an n×n factorization."""
+
+    def __init__(self, n: int) -> None:
+        self.n = check_positive_int("n", n)
+        self.deps: Dict[Entry, List[Entry]] = {
+            e: direct_dependencies(*e) for e in entries(n)
+        }
+
+    def __len__(self) -> int:
+        return len(self.deps)
+
+    def edge_count(self) -> int:
+        """Total number of direct-dependency edges (Σ|S(i,j)|)."""
+        return sum(len(d) for d in self.deps.values())
+
+    # -- schedules ---------------------------------------------------------
+
+    def is_valid_schedule(self, order: Sequence[Entry]) -> bool:
+        """Whether ``order`` computes every entry after its deps.
+
+        This is exactly the hypothesis of Lemma 2.2: "any ordering of
+        the computation of the elements of L that respects the partial
+        ordering ... results in a correct computation".
+        """
+        if sorted(order) != sorted(self.deps):
+            return False
+        position = {e: t for t, e in enumerate(order)}
+        return all(
+            all(position[d] < position[e] for d in self.deps[e])
+            for e in order
+        )
+
+    @staticmethod
+    def left_looking_order(n: int) -> List[Entry]:
+        """Column at a time, top to bottom (Algorithm 2's order)."""
+        return list(entries(n))
+
+    @staticmethod
+    def right_looking_order(n: int) -> List[Entry]:
+        """Algorithm 3 finalizes entries in the same column-major
+        element order; the *updates* are eager but each entry's final
+        value is produced column by column."""
+        return list(entries(n))
+
+    @staticmethod
+    def up_looking_order(n: int) -> List[Entry]:
+        """Row at a time, left to right (the row-wise variant)."""
+        return [(i, j) for i in range(n) for j in range(i + 1)]
+
+    @staticmethod
+    def recursive_order(n: int) -> List[Entry]:
+        """The element order induced by Algorithm 6's recursion."""
+        from repro.util.imath import split_point
+
+        out: List[Entry] = []
+
+        def tri(lo: int, hi: int) -> None:
+            if hi - lo == 1:
+                out.append((lo, lo))
+                return
+            k = lo + split_point(hi - lo)
+            tri(lo, k)
+            # panel: L21 column-major, then trailing triangle
+            for j in range(lo, k):
+                for i in range(k, hi):
+                    out.append((i, j))
+            tri(k, hi)
+
+        tri(0, n)
+        return out
+
+    # -- structure metrics ------------------------------------------------------
+
+    def levels(self) -> Dict[Entry, int]:
+        """Longest-path depth of every entry (level 0 = no deps)."""
+        depth: Dict[Entry, int] = {}
+        for e in entries(self.n):  # column-major is a topological order
+            ds = self.deps[e]
+            depth[e] = 1 + max((depth[d] for d in ds), default=-1)
+        return depth
+
+    def critical_path_length(self) -> int:
+        """Number of levels on the longest dependency chain.
+
+        For Cholesky this is ``2n − 1``: the chain
+        L(0,0) → L(1,0) → L(1,1) → L(2,1) → … alternates sub-diagonal
+        and diagonal entries.  This is the depth bound any parallel
+        schedule of the classical algorithm obeys.
+        """
+        return 1 + max(self.levels().values())
+
+    def dependency_counts(self) -> Dict[Entry, int]:
+        """|S(i,j)| per entry — 2j+1 off-diagonal, i on the diagonal."""
+        return {e: len(d) for e, d in self.deps.items()}
+
+    def transitive_dependencies(self, i: int, j: int) -> set[Entry]:
+        """Everything (i,j) depends on, directly or not — the light
+        grey region of Figure 1."""
+        seen: set[Entry] = set()
+        stack = list(self.deps[(i, j)])
+        while stack:
+            e = stack.pop()
+            if e not in seen:
+                seen.add(e)
+                stack.extend(self.deps[e])
+        return seen

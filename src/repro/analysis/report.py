@@ -1,0 +1,70 @@
+"""Report assembly: text artifacts under ``reports/``.
+
+Every bench both prints its table (visible with ``pytest -s`` or via
+``python -m repro.cli``) and writes it to ``reports/<name>.txt`` so
+EXPERIMENTS.md can quote stable artifacts.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Sequence
+
+from repro.util.tables import format_kv_block, format_table
+
+
+def default_reports_dir() -> str:
+    """``reports/`` next to the repository root (cwd-based fallback)."""
+    here = os.path.dirname(os.path.abspath(__file__))
+    for candidate in (
+        os.path.normpath(os.path.join(here, "..", "..", "..", "reports")),
+        os.path.join(os.getcwd(), "reports"),
+    ):
+        parent = os.path.dirname(candidate)
+        if os.path.isdir(parent):
+            return candidate
+    return os.path.join(os.getcwd(), "reports")
+
+
+class ReportWriter:
+    """Accumulates report sections, then prints and/or saves them."""
+
+    def __init__(self, name: str, directory: str | None = None) -> None:
+        self.name = name
+        self.directory = directory or default_reports_dir()
+        self.sections: list[str] = []
+
+    def add_table(
+        self,
+        headers: Sequence[str],
+        rows: Iterable[Sequence[object]],
+        title: str | None = None,
+    ) -> None:
+        """Append an aligned table section."""
+        self.sections.append(format_table(headers, rows, title=title))
+
+    def add_kv(self, title: str, pairs: Iterable[tuple[str, object]]) -> None:
+        """Append a titled key/value block section."""
+        self.sections.append(format_kv_block(title, pairs))
+
+    def add_text(self, text: str) -> None:
+        """Append a free-text section (newline-terminated)."""
+        self.sections.append(text if text.endswith("\n") else text + "\n")
+
+    def render(self) -> str:
+        """All sections joined into the final report text."""
+        return "\n".join(self.sections)
+
+    def save(self) -> str:
+        """Write the report to ``reports/<name>.txt``; returns the path."""
+        os.makedirs(self.directory, exist_ok=True)
+        path = os.path.join(self.directory, f"{self.name}.txt")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.render())
+        return path
+
+    def emit(self, echo: bool = True) -> str:
+        """Print (optionally) and save; returns the saved path."""
+        if echo:
+            print(self.render())
+        return self.save()

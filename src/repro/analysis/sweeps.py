@@ -1,0 +1,121 @@
+"""Measurement sweeps: the engine behind every bench.
+
+``measure`` runs one (algorithm, layout, n, M) configuration on a
+fresh machine and returns a :class:`Measurement` with every counter.
+``sweep_n`` / ``sweep_param`` run geometric sweeps and return the
+series the benches fit exponents to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.layouts.registry import make_layout
+from repro.machine.core import SequentialMachine
+from repro.matrices.generators import random_spd
+from repro.matrices.tracked import TrackedMatrix
+from repro.sequential.registry import run_algorithm
+from repro.util.fitting import PowerFit, fit_power_law
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """Counters from one simulated run."""
+
+    algorithm: str
+    layout: str
+    n: int
+    M: int
+    words: int
+    messages: int
+    words_read: int
+    words_written: int
+    flops: int
+    correct: bool
+
+    @property
+    def bandwidth_per_flop(self) -> float:
+        return self.words / self.flops if self.flops else 0.0
+
+
+def measure(
+    algorithm: str,
+    n: int,
+    M: int,
+    *,
+    layout: str = "column-major",
+    layout_block: int | None = None,
+    seed: int = 0,
+    verify: bool = True,
+    **params,
+) -> Measurement:
+    """Run one configuration and collect its counters.
+
+    ``verify=True`` (default) checks the factor against the reference
+    Cholesky — a benchmark that silently produced wrong numerics
+    would invalidate its counts, so verification is part of the
+    measurement.
+    """
+    machine = SequentialMachine(M)
+    if layout == "blocked" and layout_block is None:
+        layout_block = params.get("block") or max(1, int(np.sqrt(M // 3)))
+    lay = make_layout(layout, n, block=layout_block)
+    a0 = random_spd(n, seed=seed)
+    A = TrackedMatrix(a0, lay, machine)
+    L = run_algorithm(algorithm, A, **params)
+    ok = True
+    if verify:
+        ok = bool(np.allclose(L, np.linalg.cholesky(a0), atol=1e-6))
+    lvl = machine.levels[0]
+    return Measurement(
+        algorithm=algorithm,
+        layout=lay.name,
+        n=n,
+        M=M,
+        words=lvl.words,
+        messages=lvl.messages,
+        words_read=lvl.counters.words_read,
+        words_written=lvl.counters.words_written,
+        flops=machine.flops,
+        correct=ok,
+    )
+
+
+def sweep_n(
+    algorithm: str,
+    ns: Sequence[int],
+    M: int | Callable[[int], int],
+    *,
+    layout: str = "column-major",
+    metric: str = "words",
+    **kw,
+) -> tuple[list[Measurement], PowerFit]:
+    """Sweep the matrix dimension; fit ``metric ~ n^p``.
+
+    ``M`` may be a constant or a function of n (e.g. ``lambda n: 4*n``
+    to stay in the naïve whole-column regime).
+    """
+    ms = []
+    for n in ns:
+        m_val = M(n) if callable(M) else M
+        ms.append(measure(algorithm, n, m_val, layout=layout, **kw))
+    fit = fit_power_law([m.n for m in ms], [getattr(m, metric) for m in ms])
+    return ms, fit
+
+
+def sweep_param(
+    algorithm: str,
+    n: int,
+    Ms: Sequence[int],
+    *,
+    layout: str = "column-major",
+    metric: str = "words",
+    **kw,
+) -> tuple[list[Measurement], PowerFit]:
+    """Sweep the fast-memory size at fixed n; fit ``metric ~ M^p``."""
+    ms = [measure(algorithm, n, M, layout=layout, **kw) for M in Ms]
+    fit = fit_power_law([m.M for m in ms], [getattr(m, metric) for m in ms])
+    return ms, fit

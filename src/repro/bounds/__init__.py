@@ -1,0 +1,64 @@
+"""Communication lower bounds and model predictions.
+
+The quantitative skeleton of the paper:
+
+``repro.bounds.matmul``
+    Theorem 2 / Corollary 2.1 (the ITT04 matmul bounds, with their
+    explicit constants) and Theorem 3 (the FLPR99 recursive-matmul
+    bandwidth, all four size regimes).
+
+``repro.bounds.sequential``
+    Corollary 2.3 (two-level Cholesky bounds) and the per-algorithm
+    Table 1 predictions the benches compare measurements against.
+
+``repro.bounds.parallel``
+    Corollary 2.4 (2D parallel bounds) and the ScaLAPACK critical-path
+    predictions of §3.3.1 (Table 2), exact in n, b, P.
+
+``repro.bounds.multilevel``
+    Corollary 3.2 (per-level hierarchy bounds).
+"""
+
+from repro.bounds.matmul import (
+    matmul_bandwidth_lower_bound,
+    matmul_latency_lower_bound,
+    rmatmul_bandwidth_theta,
+)
+from repro.bounds.sequential import (
+    cholesky_bandwidth_lower_bound,
+    cholesky_latency_lower_bound,
+    table1_predictions,
+)
+from repro.bounds.parallel import (
+    parallel_bandwidth_lower_bound,
+    parallel_flops_lower_bound,
+    parallel_latency_lower_bound,
+    scalapack_messages,
+    scalapack_words,
+)
+from repro.bounds.multilevel import multilevel_bounds
+from repro.bounds.pebble import (
+    analyze_trace,
+    segment_capacity,
+    segment_lower_bound,
+    triple_count,
+)
+
+__all__ = [
+    "analyze_trace",
+    "segment_capacity",
+    "segment_lower_bound",
+    "triple_count",
+    "matmul_bandwidth_lower_bound",
+    "matmul_latency_lower_bound",
+    "rmatmul_bandwidth_theta",
+    "cholesky_bandwidth_lower_bound",
+    "cholesky_latency_lower_bound",
+    "table1_predictions",
+    "parallel_bandwidth_lower_bound",
+    "parallel_latency_lower_bound",
+    "parallel_flops_lower_bound",
+    "scalapack_messages",
+    "scalapack_words",
+    "multilevel_bounds",
+]

@@ -1,0 +1,74 @@
+"""Matrix-multiplication communication bounds (Theorems 2 and 3).
+
+Theorem 2 ([ITT04]): any classical multiplication of ``n×m`` by
+``m×r`` on P processors with local memory M moves, on some processor,
+at least
+
+    nmr / (2·sqrt(2)·P·sqrt(M)) − M          words,
+
+and by the message-size argument (Corollary 2.1) at least
+
+    nmr / (2·sqrt(2)·P·M^{3/2}) − 1          messages.
+
+Theorem 3 ([FLPR99]): the recursive multiplication's bandwidth is
+
+    Θ(nmr/sqrt(M) + nm + mr + nr)
+
+with four regimes depending on which dimensions exceed Θ(sqrt(M)).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.util.validation import check_positive_int
+
+
+def matmul_bandwidth_lower_bound(
+    n: int, m: int | None = None, r: int | None = None,
+    *, M: int, P: int = 1,
+) -> float:
+    """Theorem 2's word lower bound (can be ≤ 0 for tiny problems).
+
+    ``m`` and ``r`` default to ``n`` (square multiplication).
+    """
+    m = n if m is None else m
+    r = n if r is None else r
+    check_positive_int("M", M)
+    check_positive_int("P", P)
+    return n * m * r / (2.0 * math.sqrt(2.0) * P * math.sqrt(M)) - M
+
+
+def matmul_latency_lower_bound(
+    n: int, m: int | None = None, r: int | None = None,
+    *, M: int, P: int = 1,
+) -> float:
+    """Corollary 2.1's message lower bound (can be ≤ 0 for tiny problems)."""
+    m = n if m is None else m
+    r = n if r is None else r
+    check_positive_int("M", M)
+    check_positive_int("P", P)
+    return n * m * r / (2.0 * math.sqrt(2.0) * P * M**1.5) - 1.0
+
+
+def rmatmul_bandwidth_theta(m: int, n: int, r: int, M: int) -> float:
+    """The Θ-form of Theorem 3 evaluated without hidden constants:
+    ``mnr/sqrt(M) + mn + nr + mr``.
+
+    Useful as the reference curve for the E5 bench; measurements
+    should track this within a constant factor in all four regimes.
+    """
+    check_positive_int("M", M)
+    return m * n * r / math.sqrt(M) + m * n + n * r + m * r
+
+
+def theorem3_regime(m: int, n: int, r: int, M: int, alpha: float = 1.0) -> int:
+    """Which of Theorem 3's four cases (I–IV) a size triple falls in.
+
+    ``alpha`` is the proof's fitting constant: a dimension is 'large'
+    when it exceeds ``alpha·sqrt(M)``.  Returns 1..4 = number the
+    paper's proof uses (I: all large … IV: all small).
+    """
+    t = alpha * math.sqrt(M)
+    large = sum(d > t for d in (m, n, r))
+    return {3: 1, 2: 2, 1: 3, 0: 4}[large]

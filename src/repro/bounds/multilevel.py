@@ -1,0 +1,62 @@
+"""Multi-level hierarchy bounds (Corollary 3.2).
+
+For levels ``M_1 < ... < M_d``, the two-level argument applies to
+every boundary independently: traffic across the boundary above level
+``i`` obeys the two-level bounds with ``M = M_i``.  This module
+evaluates those per-level references, optionally weighted by per-level
+inverse bandwidths β_i and latencies α_i to produce the cost sums of
+equations (11)–(12).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.util.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class LevelBound:
+    """Lower-bound references for one hierarchy boundary."""
+
+    capacity: int
+    bandwidth: float  # Ω(n³/√M_i − M_i), clamped at 0
+    latency: float  # Ω(n³/M_i^{3/2})
+
+
+def multilevel_bounds(n: int, capacities: Sequence[int]) -> list[LevelBound]:
+    """Per-level lower-bound references of Corollary 3.2."""
+    check_positive_int("n", n)
+    out = []
+    for M in capacities:
+        check_positive_int("capacity", M)
+        out.append(
+            LevelBound(
+                capacity=M,
+                bandwidth=max(0.0, n**3 / math.sqrt(M) - M),
+                latency=n**3 / M**1.5,
+            )
+        )
+    return out
+
+
+def weighted_bandwidth_cost(
+    n: int, capacities: Sequence[int], betas: Sequence[float]
+) -> float:
+    """Equation (11): Σ β_i · (n³/√M_i − M_i), clamped at 0 per level."""
+    bounds = multilevel_bounds(n, capacities)
+    if len(betas) != len(bounds):
+        raise ValueError("one β per level required")
+    return sum(b * lb.bandwidth for b, lb in zip(betas, bounds))
+
+
+def weighted_latency_cost(
+    n: int, capacities: Sequence[int], alphas: Sequence[float]
+) -> float:
+    """Equation (12): Σ α_i · n³/M_i^{3/2}."""
+    bounds = multilevel_bounds(n, capacities)
+    if len(alphas) != len(bounds):
+        raise ValueError("one α per level required")
+    return sum(a * lb.latency for a, lb in zip(alphas, bounds))

@@ -1,0 +1,90 @@
+"""Parallel (2D) bounds and the ScaLAPACK predictions of §3.3.1.
+
+With P processors and local memories ``M = Θ(n²/P)`` (the 2D layout),
+Corollary 2.4 gives
+
+    bandwidth = Ω(n²/sqrt(P)),    latency = Ω(sqrt(P)),
+
+and §3.3.1's critical-path analysis of PxPOTRF gives the *exact*
+reference counts
+
+    messages(n, b, P) = (3/2)·(n/b)·log₂P
+    words(n, b, P)    = (n·b/4 + n²/sqrt(P))·log₂P
+
+which at the latency-optimal block size ``b = n/sqrt(P)`` become
+``(3/2)·sqrt(P)·log₂P`` messages and ``(5/4)·(n²/sqrt(P))·log₂P``
+words (Table 2, bottom row).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.util.validation import check_positive_int
+
+
+def parallel_bandwidth_lower_bound(n: int, P: int) -> float:
+    """Ω-reference for per-processor words in the 2D layout: n²/√P."""
+    check_positive_int("n", n)
+    check_positive_int("P", P)
+    return n * n / math.sqrt(P)
+
+
+def parallel_latency_lower_bound(P: int) -> float:
+    """Ω-reference for critical-path messages in the 2D layout: √P."""
+    check_positive_int("P", P)
+    return math.sqrt(P)
+
+
+def parallel_flops_lower_bound(n: int, P: int) -> float:
+    """Ω-reference for per-processor flops: n³/(3P)."""
+    check_positive_int("n", n)
+    check_positive_int("P", P)
+    return n**3 / (3.0 * P)
+
+
+def scalapack_messages(n: int, b: int, P: int) -> float:
+    """§3.3.1 critical-path message count: (3/2)·(n/b)·log₂P."""
+    check_positive_int("n", n)
+    check_positive_int("b", b)
+    check_positive_int("P", P)
+    return 1.5 * (n / b) * math.log2(P) if P > 1 else 0.0
+
+def scalapack_words(n: int, b: int, P: int) -> float:
+    """§3.3.1 critical-path word count: (n·b/4 + n²/√P)·log₂P."""
+    check_positive_int("n", n)
+    check_positive_int("b", b)
+    check_positive_int("P", P)
+    if P == 1:
+        return 0.0
+    return (n * b / 4.0 + n * n / math.sqrt(P)) * math.log2(P)
+
+
+def scalapack_flops(n: int, b: int, P: int) -> float:
+    """§3.3.1 critical-path flop reference: n·b²/3 + n²·b/(2√P) + n³/(3P).
+
+    The paper states the O-form ``O(nb² + n²b/√P + n³/P)``; the
+    constants here come from summing its per-phase counts with the
+    exact kernel flops (Chol(b) ≈ b³/3, TRSM ≈ b³, SYRK ≈ b³) and are
+    the reference curve for the T2 flop-balance check.
+    """
+    check_positive_int("n", n)
+    check_positive_int("b", b)
+    check_positive_int("P", P)
+    return n * b * b / 3.0 + n * n * b / (2.0 * math.sqrt(P)) + n**3 / (3.0 * P)
+
+
+def optimal_block_size(n: int, P: int) -> int:
+    """The latency-optimal choice of §3.3.1: ``b = n / sqrt(P)``.
+
+    Requires P to be a perfect square dividing n² the way the paper's
+    grid assumption does; returns the integer block size.
+    """
+    check_positive_int("n", n)
+    check_positive_int("P", P)
+    root = math.isqrt(P)
+    if root * root != P:
+        raise ValueError(f"P={P} must be a perfect square for a square grid")
+    if n % root != 0:
+        raise ValueError(f"sqrt(P)={root} must divide n={n}")
+    return n // root

@@ -1,0 +1,198 @@
+"""Command-line report generator.
+
+``python -m repro.cli [experiment ...]`` regenerates the paper's
+tables from fresh simulations and writes them under ``reports/``.
+With no arguments, every experiment runs.  These are the same
+measurements the benchmark harness validates (``pytest benchmarks/``);
+the CLI exists so a reader can reproduce any single table in seconds
+without pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.analysis.report import ReportWriter
+from repro.analysis.sweeps import measure
+from repro.bounds.parallel import (
+    parallel_bandwidth_lower_bound,
+    parallel_latency_lower_bound,
+    scalapack_messages,
+    scalapack_words,
+)
+from repro.bounds.matmul import matmul_bandwidth_lower_bound
+from repro.bounds.multilevel import multilevel_bounds
+from repro.bounds.sequential import (
+    cholesky_bandwidth_lower_bound,
+    cholesky_latency_lower_bound,
+)
+from repro.layouts import make_layout
+from repro.machine import HierarchicalMachine
+from repro.matrices import TrackedMatrix
+from repro.matrices.generators import random_spd
+from repro.parallel import pxpotrf
+from repro.reduction import multiply_via_cholesky_counted
+from repro.sequential import cholesky_flops, lapack_blocked, square_recursive
+
+
+def report_table1(n: int = 128, M: int = 768) -> ReportWriter:
+    """Sequential census vs lower bounds (Table 1)."""
+    census = [
+        ("naive-left", "column-major", {}),
+        ("naive-right", "column-major", {}),
+        ("lapack", "column-major", {}),
+        ("lapack", "blocked", {"layout_block": int(math.isqrt(M // 3))}),
+        ("toledo", "column-major", {}),
+        ("toledo", "morton", {}),
+        ("square-recursive", "recursive-packed-hybrid", {}),
+        ("square-recursive", "morton", {}),
+    ]
+    bw_lb = cholesky_bandwidth_lower_bound(n, M)
+    lat_lb = cholesky_latency_lower_bound(n, M)
+    writer = ReportWriter("cli_table1")
+    rows = []
+    for algo, layout, kw in census:
+        m = measure(algo, n, M, layout=layout, **kw)
+        rows.append(
+            [algo, layout, m.words, m.words / bw_lb, m.messages,
+             m.messages / lat_lb]
+        )
+    writer.add_table(
+        ["algorithm", "storage", "words", "W/LB", "messages", "M/LB"],
+        rows,
+        title=f"Table 1 (measured): n={n}, M={M}",
+    )
+    return writer
+
+
+def report_table2(n: int = 96) -> ReportWriter:
+    """Parallel ScaLAPACK vs lower bounds (Table 2)."""
+    writer = ReportWriter("cli_table2")
+    rows = []
+    a = random_spd(n, seed=0)
+    for P in (4, 16):
+        root = math.isqrt(P)
+        for b in sorted({max(1, n // (4 * root)), n // root}):
+            res = pxpotrf(a, b, P)
+            rows.append(
+                [
+                    P,
+                    b,
+                    res.critical_words,
+                    scalapack_words(n, b, P),
+                    res.critical_words / parallel_bandwidth_lower_bound(n, P),
+                    res.critical_messages,
+                    scalapack_messages(n, b, P),
+                    res.critical_messages / parallel_latency_lower_bound(P),
+                    res.max_flops / (cholesky_flops(n) / P),
+                ]
+            )
+    writer.add_table(
+        ["P", "b", "words", "pred W", "W/LB", "msgs", "pred M", "M/LB",
+         "flop bal"],
+        rows,
+        title=f"Table 2 (measured): PxPOTRF, n={n}",
+    )
+    return writer
+
+
+def report_reduction(n: int = 16) -> ReportWriter:
+    """Algorithm 1 phase accounting (Theorem 1 / Corollary 2.3)."""
+    rng = np.random.default_rng(0)
+    a, b = rng.standard_normal((n, n)), rng.standard_normal((n, n))
+    M = 2 * 3 * n
+    product, machine, phases = multiply_via_cholesky_counted(a, b, M=M)
+    assert np.allclose(product, a @ b, atol=1e-8)
+    writer = ReportWriter("cli_reduction")
+    writer.add_kv(
+        f"Algorithm 1: {n}x{n} matmul via {3 * n}x{3 * n} Cholesky (M={M})",
+        [
+            ("step 2 (build T') words", phases["setup"]),
+            ("step 3 (Cholesky) words", phases["cholesky"]),
+            ("step 4 (extract) words", phases["extract"]),
+            ("ITT04 matmul bound", max(matmul_bandwidth_lower_bound(n, M=M), 0.0)),
+        ],
+    )
+    return writer
+
+
+def report_multilevel(n: int = 128) -> ReportWriter:
+    """Hierarchy behaviour (Corollary 3.2, Conclusions 4–5)."""
+    levels = [48, 768, 12288]
+    writer = ReportWriter("cli_multilevel")
+    rows = []
+    a0 = random_spd(n, seed=1)
+    runs: Dict[str, HierarchicalMachine] = {}
+    for name, algo, kw in [
+        ("AP00", square_recursive, {}),
+        ("LAPACK(b=4)", lapack_blocked, {"block": 4}),
+        ("LAPACK(b=64)", lapack_blocked, {"block": 64}),
+    ]:
+        machine = HierarchicalMachine(levels, enforce_capacity=False)
+        A = TrackedMatrix(a0, make_layout("morton", n), machine)
+        algo(A, **kw)
+        runs[name] = machine
+    for name, machine in runs.items():
+        for lvl, lb in zip(machine.levels, multilevel_bounds(n, levels)):
+            rows.append(
+                [name, lvl.capacity, lvl.words,
+                 lvl.words / max(lb.bandwidth, 1.0),
+                 "viol" if lvl.capacity_violated else ""]
+            )
+    writer.add_table(
+        ["algorithm", "level M", "words", "W/LB", "capacity"],
+        rows,
+        title=f"Multilevel hierarchy {levels}, n={n}",
+    )
+    return writer
+
+
+EXPERIMENTS: Dict[str, Callable[[], ReportWriter]] = {
+    "table1": report_table1,
+    "table2": report_table2,
+    "reduction": report_reduction,
+    "multilevel": report_multilevel,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-reports",
+        description="Regenerate the paper's tables from fresh simulations.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="EXPERIMENT",
+        help=f"which experiments to run: {', '.join(EXPERIMENTS)}, or 'all' "
+        "(default: all)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="save reports without printing"
+    )
+    args = parser.parse_args(argv)
+    unknown = [e for e in args.experiments if e != "all" and e not in EXPERIMENTS]
+    if unknown:
+        parser.error(
+            f"unknown experiment(s) {unknown}; "
+            f"choose from {', '.join(EXPERIMENTS)} or 'all'"
+        )
+    wanted = (
+        list(EXPERIMENTS)
+        if "all" in args.experiments or not args.experiments
+        else args.experiments
+    )
+    for name in wanted:
+        writer = EXPERIMENTS[name]()
+        path = writer.emit(echo=not args.quiet)
+        print(f"[saved] {path}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

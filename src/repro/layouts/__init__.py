@@ -1,0 +1,54 @@
+"""Matrix storage layouts (the paper's Figure 2).
+
+A *layout* maps a matrix entry ``(i, j)`` to a linear slow-memory
+address and — the part the latency analysis lives on — turns a
+rectangular sub-block into the set of contiguous address runs that
+storing it implies.  Whether fetching a ``b × b`` block costs one
+message or ``b`` messages is entirely a layout property (Section
+3.1.1), and it is what separates the "column-major" from the
+"contiguous blocks" rows of Table 1.
+
+Column-major class (one run per column crossing a block):
+
+* :class:`ColumnMajorLayout` — full storage, Fortran order;
+* :class:`RowMajorLayout` — full storage, C order;
+* :class:`PackedLayout` — 'old packed' triangular storage;
+* :class:`RFPLayout` — rectangular full packed.
+
+Block-contiguous class (an aligned block is O(1) runs):
+
+* :class:`BlockedLayout` — tiles of a fixed, cache-aware size;
+* :class:`MortonLayout` — the cache-oblivious recursive / space-
+  filling-curve ('bit interleaved') format;
+* :class:`RecursivePackedLayout` — triangular recursive storage, in
+  both the fully recursive flavour and the AGW01 hybrid whose
+  rectangular sub-blocks are column-major (which is exactly why AGW01
+  cannot reach the latency lower bound).
+
+Every layout is a bijection from its stored entries onto
+``[0, storage_words)`` (property-tested), and every layout's
+``intervals`` agrees with per-element enumeration (property-tested).
+"""
+
+from repro.layouts.base import Layout, LayoutError
+from repro.layouts.dense import ColumnMajorLayout, RowMajorLayout
+from repro.layouts.packed import PackedLayout
+from repro.layouts.rfp import RFPLayout
+from repro.layouts.blocked import BlockedLayout
+from repro.layouts.morton import MortonLayout
+from repro.layouts.recursive_packed import RecursivePackedLayout
+from repro.layouts.registry import available_layouts, make_layout
+
+__all__ = [
+    "Layout",
+    "LayoutError",
+    "ColumnMajorLayout",
+    "RowMajorLayout",
+    "PackedLayout",
+    "RFPLayout",
+    "BlockedLayout",
+    "MortonLayout",
+    "RecursivePackedLayout",
+    "available_layouts",
+    "make_layout",
+]

@@ -1,0 +1,146 @@
+"""Layout base class.
+
+A layout describes how an ``n × n`` matrix is serialized into slow
+memory.  Algorithms never compute addresses themselves: they ask the
+layout for the :class:`~repro.util.intervals.IntervalSet` of a
+rectangle, and the machine turns those runs into words and messages.
+
+Full layouts store every entry; triangular (packed) layouts store only
+``i >= j`` (lower).  Requests are always *clipped to the stored
+region*: asking a packed layout for a block that straddles the
+diagonal yields the runs of the stored (lower) part, which is how the
+paper's algorithms access symmetric matrices ("only half of the matrix
+is referenced").  Asking for entries that are entirely outside the
+stored region is an error — it would mean the algorithm reads data
+that does not exist.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterator
+
+from repro.util.intervals import IntervalSet, merge_intervals
+from repro.util.validation import check_positive_int
+
+
+class LayoutError(ValueError):
+    """An access fell outside a layout's stored region."""
+
+
+class Layout(ABC):
+    """Maps matrix entries to linear addresses; see the module docstring.
+
+    Parameters
+    ----------
+    n:
+        Matrix dimension.
+    """
+
+    #: short machine-readable identifier (subclasses override)
+    name: str = "abstract"
+    #: whether an aligned block of any size is O(1) contiguous runs
+    block_contiguous: bool = False
+    #: whether only the lower triangle is stored
+    packed: bool = False
+
+    def __init__(self, n: int) -> None:
+        self.n = check_positive_int("n", n)
+
+    # -- abstract interface -------------------------------------------
+
+    @property
+    @abstractmethod
+    def storage_words(self) -> int:
+        """Total words of slow memory the layout occupies."""
+
+    @abstractmethod
+    def address(self, i: int, j: int) -> int:
+        """Linear address of entry ``(i, j)``; raises LayoutError if
+        the entry is not stored."""
+
+    # -- stored-region geometry -----------------------------------------
+
+    def stores(self, i: int, j: int) -> bool:
+        """Whether entry ``(i, j)`` is represented in storage."""
+        if not (0 <= i < self.n and 0 <= j < self.n):
+            return False
+        return (i >= j) if self.packed else True
+
+    def _check_rect(self, r0: int, r1: int, c0: int, c1: int) -> None:
+        if not (0 <= r0 <= r1 <= self.n and 0 <= c0 <= c1 <= self.n):
+            raise LayoutError(
+                f"rectangle [{r0},{r1})x[{c0},{c1}) is outside a "
+                f"{self.n}x{self.n} matrix"
+            )
+
+    def _clip_column(self, c: int, r0: int, r1: int) -> tuple[int, int]:
+        """Clip a column's row range to the stored region."""
+        if self.packed:
+            r0 = max(r0, c)
+        return r0, r1
+
+    def stored_cells(
+        self, r0: int, r1: int, c0: int, c1: int
+    ) -> Iterator[tuple[int, int]]:
+        """All stored entries within the rectangle (column order)."""
+        self._check_rect(r0, r1, c0, c1)
+        for c in range(c0, c1):
+            lo, hi = self._clip_column(c, r0, r1)
+            for i in range(lo, hi):
+                yield i, c
+
+    def rect_words(self, r0: int, r1: int, c0: int, c1: int) -> int:
+        """Number of stored entries within the rectangle."""
+        self._check_rect(r0, r1, c0, c1)
+        total = 0
+        for c in range(c0, c1):
+            lo, hi = self._clip_column(c, r0, r1)
+            if hi > lo:
+                total += hi - lo
+        return total
+
+    # -- interval computation --------------------------------------------
+
+    def intervals(self, r0: int, r1: int, c0: int, c1: int) -> IntervalSet:
+        """Address runs of the stored entries of ``[r0,r1) × [c0,c1)``.
+
+        The base implementation enumerates entries; subclasses override
+        with analytic versions (and the tests check they agree).
+        """
+        self._check_rect(r0, r1, c0, c1)
+        return IntervalSet(
+            (a, a + 1)
+            for a in (self.address(i, j) for i, j in self.stored_cells(r0, r1, c0, c1))
+        )
+
+    def column_intervals(self, c: int, r0: int, r1: int) -> IntervalSet:
+        """Address runs of rows ``[r0, r1)`` of column ``c``."""
+        return self.intervals(r0, r1, c, c + 1)
+
+    def full_intervals(self) -> IntervalSet:
+        """Address runs of the entire stored matrix."""
+        return self.intervals(0, self.n, 0, self.n)
+
+    # -- helpers shared by column-major-style subclasses ------------------
+
+    def _column_run_intervals(
+        self, r0: int, r1: int, c0: int, c1: int
+    ) -> IntervalSet:
+        """Build intervals from one contiguous run per (clipped) column.
+
+        Valid for any layout in which each column's stored rows are
+        consecutive addresses (column-major, old packed, parts of RFP).
+        Subclasses using this must guarantee that property.
+        """
+        self._check_rect(r0, r1, c0, c1)
+        runs = []
+        for c in range(c0, c1):
+            lo, hi = self._clip_column(c, r0, r1)
+            if hi > lo:
+                start = self.address(lo, c)
+                runs.append((start, start + (hi - lo)))
+        return IntervalSet(merge_intervals(runs))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(n={self.n})"

@@ -1,0 +1,91 @@
+"""Blocked (tiled) contiguous storage.
+
+The cache-*aware* member of the paper's block-contiguous class: the
+matrix is cut into ``block × block`` tiles (edge tiles clipped), each
+tile stored contiguously (column-major inside the tile), tiles ordered
+column-major over the tile grid.  Fetching an aligned tile is a single
+message, which is what lets LAPACK's POTRF reach the latency lower
+bound when ``block = Θ(sqrt(M))`` (Conclusion 3).
+
+The ``block`` parameter is machine-specific — exactly the tuning knob
+whose multi-level dilemma §3.2.2 describes.
+"""
+
+from __future__ import annotations
+
+from repro.layouts.base import Layout, LayoutError
+from repro.util.intervals import IntervalSet, merge_intervals
+from repro.util.imath import ceil_div
+from repro.util.validation import check_positive_int
+
+
+class BlockedLayout(Layout):
+    """Full storage in contiguous square tiles of a fixed size."""
+
+    name = "blocked"
+    block_contiguous = True
+    packed = False
+
+    def __init__(self, n: int, block: int) -> None:
+        super().__init__(n)
+        self.block = check_positive_int("block", block)
+        if self.block > n:
+            self.block = n
+        self.tiles = ceil_div(n, self.block)
+        # cumulative start offset of each tile, column-major tile order
+        b, t = self.block, self.tiles
+        heights = [min(b, n - it * b) for it in range(t)]
+        widths = [min(b, n - jt * b) for jt in range(t)]
+        self._heights = heights
+        self._widths = widths
+        offsets: list[int] = []
+        acc = 0
+        for jt in range(t):
+            for it in range(t):
+                offsets.append(acc)
+                acc += heights[it] * widths[jt]
+        self._offsets = offsets
+        self._total = acc
+
+    @property
+    def storage_words(self) -> int:
+        return self._total
+
+    def _tile_offset(self, it: int, jt: int) -> int:
+        return self._offsets[jt * self.tiles + it]
+
+    def address(self, i: int, j: int) -> int:
+        if not self.stores(i, j):
+            raise LayoutError(f"({i},{j}) outside {self.n}x{self.n} matrix")
+        b = self.block
+        it, jt = i // b, j // b
+        li, lj = i - it * b, j - jt * b
+        return self._tile_offset(it, jt) + li + lj * self._heights[it]
+
+    def intervals(self, r0: int, r1: int, c0: int, c1: int) -> IntervalSet:
+        self._check_rect(r0, r1, c0, c1)
+        if r1 <= r0 or c1 <= c0:
+            return IntervalSet()
+        b = self.block
+        runs: list[tuple[int, int]] = []
+        for jt in range(c0 // b, ceil_div(c1, b)):
+            w = self._widths[jt]
+            lc0 = max(c0 - jt * b, 0)
+            lc1 = min(c1 - jt * b, w)
+            for it in range(r0 // b, ceil_div(r1, b)):
+                h = self._heights[it]
+                lr0 = max(r0 - it * b, 0)
+                lr1 = min(r1 - it * b, h)
+                off = self._tile_offset(it, jt)
+                if lr0 == 0 and lr1 == h:
+                    # full tile height: the covered columns are one run
+                    runs.append((off + lc0 * h, off + lc1 * h))
+                else:
+                    for c in range(lc0, lc1):
+                        runs.append(
+                            (off + c * h + lr0, off + c * h + lr1)
+                        )
+        return IntervalSet(merge_intervals(runs))
+
+    def __repr__(self) -> str:
+        return f"BlockedLayout(n={self.n}, block={self.block})"

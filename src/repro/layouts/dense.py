@@ -1,0 +1,78 @@
+"""Full (dense) column-major and row-major layouts.
+
+These are the formats the paper calls "Column-Major Storage": best for
+the naïve one-column-at-a-time algorithms, but a ``b × b`` block is
+``b`` separate runs, which is where LAPACK's latency loses a factor of
+``b ≈ sqrt(M)`` (Conclusion 3).
+"""
+
+from __future__ import annotations
+
+from repro.layouts.base import Layout, LayoutError
+from repro.util.intervals import IntervalSet, merge_intervals
+
+
+class ColumnMajorLayout(Layout):
+    """Fortran-order full storage: ``address(i, j) = i + j * n``."""
+
+    name = "column-major"
+    block_contiguous = False
+    packed = False
+
+    @property
+    def storage_words(self) -> int:
+        return self.n * self.n
+
+    def address(self, i: int, j: int) -> int:
+        if not self.stores(i, j):
+            raise LayoutError(f"({i},{j}) outside {self.n}x{self.n} matrix")
+        return i + j * self.n
+
+    def intervals(self, r0: int, r1: int, c0: int, c1: int) -> IntervalSet:
+        self._check_rect(r0, r1, c0, c1)
+        if r1 <= r0 or c1 <= c0:
+            return IntervalSet()
+        if r0 == 0 and r1 == self.n:
+            # full columns are one contiguous run
+            return IntervalSet.single(c0 * self.n, c1 * self.n)
+        n = self.n
+        return IntervalSet(
+            merge_intervals(
+                (r0 + c * n, r1 + c * n) for c in range(c0, c1)
+            )
+        )
+
+
+class RowMajorLayout(Layout):
+    """C-order full storage: ``address(i, j) = i * n + j``.
+
+    The mirror image of column-major; the paper notes every algorithm
+    has a row-wise twin with identical counts, and the tests verify
+    that symmetry.
+    """
+
+    name = "row-major"
+    block_contiguous = False
+    packed = False
+
+    @property
+    def storage_words(self) -> int:
+        return self.n * self.n
+
+    def address(self, i: int, j: int) -> int:
+        if not self.stores(i, j):
+            raise LayoutError(f"({i},{j}) outside {self.n}x{self.n} matrix")
+        return i * self.n + j
+
+    def intervals(self, r0: int, r1: int, c0: int, c1: int) -> IntervalSet:
+        self._check_rect(r0, r1, c0, c1)
+        if r1 <= r0 or c1 <= c0:
+            return IntervalSet()
+        if c0 == 0 and c1 == self.n:
+            return IntervalSet.single(r0 * self.n, r1 * self.n)
+        n = self.n
+        return IntervalSet(
+            merge_intervals(
+                (r * n + c0, r * n + c1) for r in range(r0, r1)
+            )
+        )

@@ -1,0 +1,88 @@
+"""Recursive (Morton / bit-interleaved / space-filling-curve) storage.
+
+The cache-*oblivious* member of the block-contiguous class: the matrix
+is stored along a Z-order curve, so *every* power-of-two-aligned
+square sub-block of every size is contiguous — no block-size parameter
+to tune.  This is the 'recursive format' of Figure 2 and the storage
+that makes the Ahmed–Pingali algorithm latency-optimal at every level
+of the hierarchy (Conclusion 5).
+
+The dimension is padded to the next power of two; padding addresses
+exist but are never stored entries (``stores`` is false there), so the
+words of an interval request count only real entries... *almost*: a
+Z-order run over a fully covered quadrant includes padding holes.  To
+keep word counts exact we subtract padded addresses during the
+recursive descent — a quadrant is emitted as one run only when it
+contains no padding.
+"""
+
+from __future__ import annotations
+
+from repro.layouts.base import Layout, LayoutError
+from repro.util.intervals import IntervalSet, merge_intervals
+from repro.util.imath import next_pow2
+
+
+def interleave_bits(i: int, j: int) -> int:
+    """Z-order key: bit ``k`` of ``i`` goes to bit ``2k+1``, of ``j`` to ``2k``."""
+    out = 0
+    k = 0
+    while i or j:
+        out |= ((j & 1) << (2 * k)) | ((i & 1) << (2 * k + 1))
+        i >>= 1
+        j >>= 1
+        k += 1
+    return out
+
+
+class MortonLayout(Layout):
+    """Bit-interleaved recursive full storage."""
+
+    name = "morton"
+    block_contiguous = True
+    packed = False
+
+    def __init__(self, n: int) -> None:
+        super().__init__(n)
+        self.padded = next_pow2(n)
+
+    @property
+    def storage_words(self) -> int:
+        # address space including padding holes; stored entries are n*n
+        return self.padded * self.padded
+
+    def address(self, i: int, j: int) -> int:
+        if not self.stores(i, j):
+            raise LayoutError(f"({i},{j}) outside {self.n}x{self.n} matrix")
+        return interleave_bits(i, j)
+
+    def intervals(self, r0: int, r1: int, c0: int, c1: int) -> IntervalSet:
+        self._check_rect(r0, r1, c0, c1)
+        if r1 <= r0 or c1 <= c0:
+            return IntervalSet()
+        runs: list[tuple[int, int]] = []
+        n = self.n
+
+        def descend(qr: int, qc: int, size: int, base: int) -> None:
+            # intersection of the quadrant with the request and with
+            # the real (un-padded) matrix
+            lo_r, hi_r = max(qr, r0), min(qr + size, r1, n)
+            lo_c, hi_c = max(qc, c0), min(qc + size, c1, n)
+            if lo_r >= hi_r or lo_c >= hi_c:
+                return
+            if lo_r == qr and hi_r == qr + size and lo_c == qc and hi_c == qc + size:
+                runs.append((base, base + size * size))
+                return
+            if size == 1:
+                runs.append((base, base + 1))
+                return
+            half = size // 2
+            sq = half * half
+            # children in address order: (0,0), (0,1), (1,0), (1,1)
+            descend(qr, qc, half, base)
+            descend(qr, qc + half, half, base + sq)
+            descend(qr + half, qc, half, base + 2 * sq)
+            descend(qr + half, qc + half, half, base + 3 * sq)
+
+        descend(0, 0, self.padded, 0)
+        return IntervalSet(merge_intervals(runs))

@@ -1,0 +1,42 @@
+"""'Old packed' triangular storage (LAPACK ``xPPTRF`` format).
+
+Only the lower triangle is stored, column by column: column ``j``
+holds rows ``j .. n-1`` consecutively.  Saves half the space of full
+storage; like column-major, a block access costs one message per
+column, so it belongs to the paper's column-major class.
+"""
+
+from __future__ import annotations
+
+from repro.layouts.base import Layout, LayoutError
+from repro.util.intervals import IntervalSet
+
+
+class PackedLayout(Layout):
+    """Lower-triangular packed column storage.
+
+    ``address(i, j) = (i - j) + j*n - j*(j-1)/2`` for ``i >= j``:
+    the columns ``0 .. j-1`` before it occupy
+    ``n + (n-1) + ... + (n-j+1) = j*n - j*(j-1)/2`` words.
+    """
+
+    name = "packed"
+    block_contiguous = False
+    packed = True
+
+    @property
+    def storage_words(self) -> int:
+        return self.n * (self.n + 1) // 2
+
+    def _column_start(self, j: int) -> int:
+        return j * self.n - (j * (j - 1)) // 2
+
+    def address(self, i: int, j: int) -> int:
+        if not self.stores(i, j):
+            raise LayoutError(
+                f"({i},{j}) not stored by lower packed layout (n={self.n})"
+            )
+        return self._column_start(j) + (i - j)
+
+    def intervals(self, r0: int, r1: int, c0: int, c1: int) -> IntervalSet:
+        return self._column_run_intervals(r0, r1, c0, c1)

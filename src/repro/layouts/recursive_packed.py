@@ -1,0 +1,194 @@
+"""Recursive packed triangular storage (AGW01 / recursive full packed).
+
+Stores only the lower triangle, laid out by the Cholesky recursion
+itself: for a split ``n = k + (n-k)``,
+
+    [ tri(A11) | rect(A21) | tri(A22) ]
+
+are stored consecutively, with the triangles recursing.  Two flavours
+of the rectangular ``A21`` block exist, and the difference is exactly
+the paper's point about [AGW01]:
+
+* ``rect_order='column'`` — the AGW01 hybrid 'recursive packed
+  format': rectangular blocks are plain column-major so that BLAS3
+  GEMM can be called on them.  Space-optimal and bandwidth-friendly,
+  but a sub-block fetch costs one message per column, so the format
+  *cannot* attain the latency lower bound (Table 1's
+  "Recursive Packed Format" row).
+* ``rect_order='recursive'`` — the fully recursive 'recursive full
+  packed' format (Figure 2, bottom right): rectangles keep splitting
+  their larger dimension, so aligned sub-blocks of every size are
+  O(1) runs and latency optimality is preserved.
+"""
+
+from __future__ import annotations
+
+from repro.layouts.base import Layout, LayoutError
+from repro.util.intervals import IntervalSet, merge_intervals
+from repro.util.imath import ceil_div
+
+
+def _tri_words(n: int) -> int:
+    return n * (n + 1) // 2
+
+
+class RecursivePackedLayout(Layout):
+    """Recursive lower-triangular packed storage."""
+
+    name = "recursive-packed"
+    block_contiguous = True  # 'recursive' flavour; hybrid overrides below
+    packed = True
+
+    def __init__(self, n: int, rect_order: str = "recursive") -> None:
+        super().__init__(n)
+        if rect_order not in ("recursive", "column"):
+            raise ValueError(
+                f"rect_order must be 'recursive' or 'column', got {rect_order!r}"
+            )
+        self.rect_order = rect_order
+        self.block_contiguous = rect_order == "recursive"
+        self.name = (
+            "recursive-packed"
+            if rect_order == "recursive"
+            else "recursive-packed-hybrid"
+        )
+
+    @property
+    def storage_words(self) -> int:
+        return _tri_words(self.n)
+
+    # -- addresses ------------------------------------------------------
+
+    def address(self, i: int, j: int) -> int:
+        if not self.stores(i, j):
+            raise LayoutError(
+                f"({i},{j}) not stored by {self.name} layout (n={self.n})"
+            )
+        return self._tri_address(i, j, 0, self.n, 0)
+
+    def _tri_address(self, i: int, j: int, r: int, n: int, base: int) -> int:
+        """Address within a diagonal triangle node at offset ``r``, size ``n``."""
+        if n == 1:
+            return base
+        k = ceil_div(n, 2)
+        if j < r + k:
+            if i < r + k:
+                return self._tri_address(i, j, r, k, base)
+            return (
+                base
+                + _tri_words(k)
+                + self._rect_address(i - (r + k), j - r, n - k, k)
+            )
+        return self._tri_address(
+            i, j, r + k, n - k, base + _tri_words(k) + (n - k) * k
+        )
+
+    def _rect_address(self, li: int, lj: int, m: int, w: int) -> int:
+        """Address within an ``m × w`` rectangle node (local coords)."""
+        if self.rect_order == "column":
+            return li + lj * m
+        base = 0
+        while not (m == 1 and w == 1):
+            if m >= w:
+                k = ceil_div(m, 2)
+                if li < k:
+                    m = k
+                else:
+                    base += k * w
+                    li -= k
+                    m -= k
+            else:
+                k = ceil_div(w, 2)
+                if lj < k:
+                    w = k
+                else:
+                    base += m * k
+                    lj -= k
+                    w -= k
+        return base
+
+    # -- intervals -------------------------------------------------------
+
+    def intervals(self, r0: int, r1: int, c0: int, c1: int) -> IntervalSet:
+        self._check_rect(r0, r1, c0, c1)
+        runs: list[tuple[int, int]] = []
+        self._tri_intervals(r0, r1, c0, c1, 0, self.n, 0, runs)
+        return IntervalSet(merge_intervals(runs))
+
+    def _tri_intervals(
+        self,
+        r0: int,
+        r1: int,
+        c0: int,
+        c1: int,
+        r: int,
+        n: int,
+        base: int,
+        out: list[tuple[int, int]],
+    ) -> None:
+        lo_r, hi_r = max(r0, r), min(r1, r + n)
+        lo_c, hi_c = max(c0, r), min(c1, r + n)
+        if lo_r >= hi_r or lo_c >= hi_c or hi_r <= lo_c:
+            return  # no stored entry of this triangle is requested
+        if lo_r == r and hi_r == r + n and lo_c == r and hi_c == r + n:
+            out.append((base, base + _tri_words(n)))
+            return
+        if n == 1:
+            out.append((base, base + 1))
+            return
+        k = ceil_div(n, 2)
+        self._tri_intervals(r0, r1, c0, c1, r, k, base, out)
+        self._rect_intervals(
+            r0, r1, c0, c1, r + k, r, n - k, k, base + _tri_words(k), out
+        )
+        self._tri_intervals(
+            r0, r1, c0, c1, r + k, n - k, base + _tri_words(k) + (n - k) * k, out
+        )
+
+    def _rect_intervals(
+        self,
+        r0: int,
+        r1: int,
+        c0: int,
+        c1: int,
+        gr: int,
+        gc: int,
+        m: int,
+        w: int,
+        base: int,
+        out: list[tuple[int, int]],
+    ) -> None:
+        lo_r, hi_r = max(r0, gr), min(r1, gr + m)
+        lo_c, hi_c = max(c0, gc), min(c1, gc + w)
+        if lo_r >= hi_r or lo_c >= hi_c:
+            return
+        if self.rect_order == "column":
+            if lo_r == gr and hi_r == gr + m:
+                out.append(
+                    (base + (lo_c - gc) * m, base + (hi_c - gc) * m)
+                )
+            else:
+                for c in range(lo_c, hi_c):
+                    start = base + (c - gc) * m + (lo_r - gr)
+                    out.append((start, start + (hi_r - lo_r)))
+            return
+        if lo_r == gr and hi_r == gr + m and lo_c == gc and hi_c == gc + w:
+            out.append((base, base + m * w))
+            return
+        if m >= w and m > 1:
+            k = ceil_div(m, 2)
+            self._rect_intervals(r0, r1, c0, c1, gr, gc, k, w, base, out)
+            self._rect_intervals(
+                r0, r1, c0, c1, gr + k, gc, m - k, w, base + k * w, out
+            )
+        elif w > 1:
+            k = ceil_div(w, 2)
+            self._rect_intervals(r0, r1, c0, c1, gr, gc, m, k, base, out)
+            self._rect_intervals(
+                r0, r1, c0, c1, gr, gc + k, m, w - k, base + m * k, out
+            )
+        else:  # 1 x 1, partially covered is impossible here
+            out.append((base, base + 1))
+
+    def __repr__(self) -> str:
+        return f"RecursivePackedLayout(n={self.n}, rect_order={self.rect_order!r})"

@@ -1,0 +1,59 @@
+"""Layout registry: build layouts from short names.
+
+The benchmark harness and CLI refer to layouts by the names used in
+Table 1 / Figure 2; this module is the single mapping from those names
+to constructors.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.layouts.base import Layout
+from repro.layouts.blocked import BlockedLayout
+from repro.layouts.dense import ColumnMajorLayout, RowMajorLayout
+from repro.layouts.morton import MortonLayout
+from repro.layouts.packed import PackedLayout
+from repro.layouts.recursive_packed import RecursivePackedLayout
+from repro.layouts.rfp import RFPLayout
+
+_FACTORIES: Dict[str, Callable[..., Layout]] = {
+    "column-major": ColumnMajorLayout,
+    "row-major": RowMajorLayout,
+    "packed": PackedLayout,
+    "rfp": RFPLayout,
+    "blocked": BlockedLayout,
+    "morton": MortonLayout,
+    "recursive-packed": lambda n: RecursivePackedLayout(n, "recursive"),
+    "recursive-packed-hybrid": lambda n: RecursivePackedLayout(n, "column"),
+}
+
+
+def available_layouts() -> tuple[str, ...]:
+    """Names accepted by :func:`make_layout`."""
+    return tuple(sorted(_FACTORIES))
+
+
+def make_layout(name: str, n: int, *, block: int | None = None) -> Layout:
+    """Construct a layout by name.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`available_layouts`.
+    n:
+        Matrix dimension.
+    block:
+        Tile size; required for (and only for) ``"blocked"``.
+    """
+    if name not in _FACTORIES:
+        raise ValueError(
+            f"unknown layout {name!r}; available: {available_layouts()}"
+        )
+    if name == "blocked":
+        if block is None:
+            raise ValueError("the 'blocked' layout needs a block size")
+        return BlockedLayout(n, block)
+    if block is not None:
+        raise ValueError(f"layout {name!r} does not take a block size")
+    return _FACTORIES[name](n)

@@ -1,0 +1,83 @@
+"""Rectangular Full Packed (RFP) storage.
+
+RFP (Gustavson et al.; LAPACK ``xPFTRF``) stores the lower triangle of
+an ``n × n`` matrix in a dense rectangle of exactly ``n(n+1)/2``
+words, giving packed storage *and* uniform indexing: the leading
+columns of the triangle are stored as columns, and the trailing
+triangle is stored transposed into the otherwise-unused upper corner
+of the same rectangle.
+
+The paper lists RFP among the column-major class (Figure 2 top row):
+block fetches still cost one message per column (or per row, in the
+transposed corner), so RFP cannot make LAPACK latency-optimal either.
+
+Mapping implemented here (``TRANSR='N'``, ``UPLO='L'``), with the RFP
+rectangle stored column-major:
+
+* n even, k = n/2, rectangle (n+1) × k:
+  - ``j <  k``: ``A(i,j) -> RFP(i+1, j)``
+  - ``j >= k``: ``A(i,j) -> RFP(j-k, i-k)`` (transposed corner)
+* n odd, k = (n+1)/2, rectangle n × k:
+  - ``j <  k``: ``A(i,j) -> RFP(i, j)``
+  - ``j >= k``: ``A(i,j) -> RFP(j-k, i-k+1)``
+
+Both maps are bijections onto ``[0, n(n+1)/2)`` (property-tested).
+"""
+
+from __future__ import annotations
+
+from repro.layouts.base import Layout, LayoutError
+from repro.util.intervals import IntervalSet, merge_intervals
+
+
+class RFPLayout(Layout):
+    """Rectangular Full Packed lower-triangular storage."""
+
+    name = "rfp"
+    block_contiguous = False
+    packed = True
+
+    def __init__(self, n: int) -> None:
+        super().__init__(n)
+        self._even = n % 2 == 0
+        #: split column: columns >= k live in the transposed corner
+        self.k = n // 2 if self._even else (n + 1) // 2
+        #: leading dimension of the RFP rectangle
+        self.ld = n + 1 if self._even else n
+
+    @property
+    def storage_words(self) -> int:
+        return self.n * (self.n + 1) // 2
+
+    def address(self, i: int, j: int) -> int:
+        if not self.stores(i, j):
+            raise LayoutError(
+                f"({i},{j}) not stored by RFP layout (n={self.n})"
+            )
+        k, ld = self.k, self.ld
+        if self._even:
+            if j < k:
+                return (i + 1) + j * ld
+            return (j - k) + (i - k) * ld
+        if j < k:
+            return i + j * ld
+        return (j - k) + (i - k + 1) * ld
+
+    def intervals(self, r0: int, r1: int, c0: int, c1: int) -> IntervalSet:
+        self._check_rect(r0, r1, c0, c1)
+        k, ld = self.k, self.ld
+        runs: list[tuple[int, int]] = []
+        # leading part: one run per column (consecutive i)
+        for c in range(c0, min(c1, k)):
+            lo, hi = max(r0, c), r1
+            if hi > lo:
+                start = self.address(lo, c)
+                runs.append((start, start + (hi - lo)))
+        # transposed corner: one run per *row* (consecutive j)
+        if c1 > k:
+            for i in range(max(r0, k), r1):
+                lo, hi = max(c0, k), min(c1, i + 1)
+                if hi > lo:
+                    start = self.address(i, lo)
+                    runs.append((start, start + (hi - lo)))
+        return IntervalSet(merge_intervals(runs))

@@ -1,0 +1,379 @@
+"""The sequential DAM machine and its multi-level generalization.
+
+Model (paper, Section 1 and §3.2):
+
+* Slow memory holds the matrix; fast memory holds ``M`` words.
+* Communication = transferring words between the two.  *Bandwidth* is
+  the number of words moved; *latency* is the number of messages,
+  where one message carries a maximal run of consecutively stored
+  words, at most ``M`` of them.
+* In the hierarchical model there are levels ``M_1 < M_2 < ... < M_d``
+  and an optimal algorithm must minimize the traffic across *every*
+  adjacent pair simultaneously (Corollary 3.2).
+
+Two charging disciplines coexist, mirroring the paper's analyses:
+
+**Explicit transfers** (:meth:`HierarchicalMachine.read` /
+:meth:`~HierarchicalMachine.write`) model algorithms that decide their
+own data movement — the naïve algorithms, LAPACK's blocked POTRF, and
+the per-column base cases of Toledo's recursion.  An explicit transfer
+crosses the *entire* hierarchy (write-through), which is exactly how
+the paper charges Toledo's leaf I/O at every level (the recurrence of
+Claim 3.1 charges ``2m`` per leaf regardless of ``M``).  The machine
+tracks the explicitly resident working set and enforces the fast
+memory capacity, so an algorithm that claims to be blocked for size
+``M`` is *checked*, not trusted.
+
+**Ideal-cache scopes** (:meth:`HierarchicalMachine.scope`) model
+cache-oblivious recursions (Algorithms 5–8).  A scope declares the
+footprint of a recursive subproblem.  For each level, at the moment a
+scope's footprint first fits in that level (and no enclosing scope
+did), the scope's inputs are charged as reads and — when the scope
+exits — its outputs as writes, both at that level only.  This is
+precisely the paper's accounting: the recurrence base cases
+("if n ≤ sqrt(M/3)") charge the subproblem's operands once, and
+everything beneath the frontier is free at that level.
+
+Numerical work is real: the algorithms compute actual factorizations
+with NumPy once a subproblem fits the smallest level, so every
+simulated run is verified against a reference Cholesky.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Sequence
+
+from repro.machine.counters import CommCounters, MemoryLevel
+from repro.machine.tracing import MachineTrace, ReadEvent, ScopeEvent, WriteEvent
+from repro.util.intervals import IntervalSet
+from repro.util.validation import check_positive_int
+
+
+class ModelError(RuntimeError):
+    """An algorithm was run outside the regime its model supports."""
+
+
+class CapacityError(ModelError):
+    """The explicit working set exceeded the fast memory capacity."""
+
+
+class _Scope:
+    """Handle returned by :meth:`HierarchicalMachine.scope`.
+
+    ``fits`` tells the algorithm whether the subproblem footprint fits
+    the *fastest* level; once it does, no deeper recursion can incur
+    any further charge at any level, so the algorithm may (and, for
+    simulation speed, should) compute the subproblem directly with
+    NumPy instead of recursing to scalar base cases.
+    """
+
+    __slots__ = ("fits", "depth", "_write_levels")
+
+    def __init__(self, fits: bool, depth: int) -> None:
+        self.fits = fits
+        self.depth = depth
+        self._write_levels: list[MemoryLevel] = []
+
+
+class HierarchicalMachine:
+    """A machine with ``d`` fast-memory levels above slow memory.
+
+    Parameters
+    ----------
+    capacities:
+        Level sizes in words, strictly increasing
+        (``M_1 < M_2 < ... < M_d``).  A single entry gives the
+        two-level DAM machine of Section 1.
+    enforce_capacity:
+        If true (default), exceeding the fastest level's capacity with
+        explicitly resident data raises :class:`CapacityError`; if
+        false, the violation is recorded on the affected levels
+        (``level.capacity_violated``) and execution continues.  The
+        multilevel benches use ``False`` to *demonstrate* LAPACK's
+        tuning dilemma (§3.2.2) rather than crash on it.
+    record_trace:
+        If true, every transfer and scope is appended to
+        :attr:`trace` for inspection.
+    """
+
+    def __init__(
+        self,
+        capacities: Sequence[int],
+        *,
+        enforce_capacity: bool = True,
+        record_trace: bool = False,
+    ) -> None:
+        caps = [check_positive_int("capacity", c) for c in capacities]
+        if not caps:
+            raise ValueError("need at least one fast-memory level")
+        if any(b <= a for a, b in zip(caps, caps[1:])):
+            raise ValueError(
+                f"capacities must be strictly increasing, got {caps}"
+            )
+        self.levels: tuple[MemoryLevel, ...] = tuple(
+            MemoryLevel(capacity=c, name=f"L{i + 1}(M={c})")
+            for i, c in enumerate(caps)
+        )
+        self.enforce_capacity = bool(enforce_capacity)
+        self.flops: int = 0
+        self.resident: IntervalSet = IntervalSet()
+        self.trace: MachineTrace | None = MachineTrace() if record_trace else None
+        self._scope_depth: int = 0
+        self._next_base: int = 0
+
+    # -- convenience accessors (fastest level) -------------------------
+
+    @property
+    def fast(self) -> MemoryLevel:
+        """The fastest (smallest) level."""
+        return self.levels[0]
+
+    @property
+    def M(self) -> int:
+        """Fast memory size of the fastest level, in words."""
+        return self.levels[0].capacity
+
+    @property
+    def words(self) -> int:
+        """Words moved across the fastest boundary (Table 1 'Bandwidth')."""
+        return self.levels[0].words
+
+    @property
+    def messages(self) -> int:
+        """Messages across the fastest boundary (Table 1 'Latency')."""
+        return self.levels[0].messages
+
+    @property
+    def counters(self) -> CommCounters:
+        return self.levels[0].counters
+
+    def snapshot(self) -> list[CommCounters]:
+        """Per-level counter copies, for phase diffing in benches."""
+        return [lvl.counters.snapshot() for lvl in self.levels]
+
+    # -- explicit transfers ---------------------------------------------
+
+    def read(self, ivs: IntervalSet) -> None:
+        """Explicitly transfer ``ivs`` from slow memory into fast memory.
+
+        Charges every level (write-through hierarchy), makes the
+        addresses resident, and checks capacity.  Re-reading resident
+        addresses still charges: the paper's explicit algorithms are
+        counted by the transfers they *issue*.
+        """
+        if ivs.is_empty():
+            return
+        words = ivs.words
+        for level in self.levels:
+            level.counters.add_read(words, ivs.messages(cap=level.capacity))
+        self.resident = self.resident | ivs
+        self._note_resident()
+        if self.trace is not None:
+            self.trace.append(ReadEvent(ivs))
+
+    def write(self, ivs: IntervalSet) -> None:
+        """Explicitly transfer ``ivs`` from fast memory back to slow memory.
+
+        The addresses must be resident (an algorithm can only write
+        back data it holds); they stay resident afterwards.
+        """
+        if ivs.is_empty():
+            return
+        if self.enforce_capacity and not ivs.issubset(self.resident):
+            missing = ivs - self.resident
+            raise CapacityError(
+                f"write of non-resident addresses {missing!r}; "
+                "explicit algorithms must read (or allocate) before writing"
+            )
+        words = ivs.words
+        for level in self.levels:
+            level.counters.add_write(words, ivs.messages(cap=level.capacity))
+        if self.trace is not None:
+            self.trace.append(WriteEvent(ivs))
+
+    def allocate(self, ivs: IntervalSet) -> None:
+        """Make addresses resident *without* a read (freshly computed data).
+
+        Used when an algorithm creates output in fast memory (e.g. a
+        factor block it is about to write back) rather than loading it.
+        Counts against capacity but moves no words.
+        """
+        if ivs.is_empty():
+            return
+        self.resident = self.resident | ivs
+        self._note_resident()
+
+    def release(self, ivs: IntervalSet) -> None:
+        """Evict addresses from fast memory (no traffic for clean data).
+
+        Dirty data must be written back with :meth:`write` *before*
+        being released; the machine cannot tell dirty from clean, so
+        that discipline is the algorithm's responsibility (and is
+        what the paper's counts assume).
+        """
+        if ivs.is_empty():
+            return
+        self.resident = self.resident - ivs
+
+    def release_all(self) -> None:
+        """Evict everything (end of an algorithm phase)."""
+        self.resident = IntervalSet()
+
+    def _note_resident(self) -> None:
+        words = self.resident.words
+        for level in self.levels:
+            level.note_resident(words)
+        if self.enforce_capacity and words > self.fast.capacity:
+            raise CapacityError(
+                f"resident set of {words} words exceeds fast memory "
+                f"capacity M={self.fast.capacity}"
+            )
+
+    # -- ideal-cache scopes ----------------------------------------------
+
+    @contextmanager
+    def scope(
+        self,
+        read_ivs: IntervalSet,
+        write_ivs: IntervalSet | None = None,
+    ) -> Iterator[_Scope]:
+        """Declare a cache-oblivious recursive subproblem.
+
+        Parameters
+        ----------
+        read_ivs:
+            Addresses the subproblem consumes (its whole input
+            footprint, including any accumulated-into output).
+        write_ivs:
+            Addresses the subproblem produces; defaults to none.
+
+        For each level whose capacity first covers the footprint here
+        (ideal-cache frontier), ``read_ivs`` is charged as a read now
+        and ``write_ivs`` as a write when the scope exits.  The scope
+        handle's ``fits`` flag reports whether the footprint fits the
+        fastest level — the signal to stop recursing and compute.
+        """
+        footprint = read_ivs if write_ivs is None else (read_ivs | write_ivs)
+        fwords = footprint.words
+        self._scope_depth += 1
+        handle = _Scope(
+            fits=fwords <= self.fast.capacity, depth=self._scope_depth
+        )
+        for level in self.levels:
+            if level.fitted_scope_depth is None and fwords <= level.capacity:
+                level.fitted_scope_depth = self._scope_depth
+                level.counters.add_read(
+                    read_ivs.words, read_ivs.messages(cap=level.capacity)
+                )
+                level.note_resident(fwords)
+                handle._write_levels.append(level)
+        if self.trace is not None:
+            self.trace.append(
+                ScopeEvent(footprint, fitted=[l.name for l in handle._write_levels])
+            )
+        try:
+            yield handle
+        finally:
+            for level in handle._write_levels:
+                if write_ivs is not None and not write_ivs.is_empty():
+                    level.counters.add_write(
+                        write_ivs.words, write_ivs.messages(cap=level.capacity)
+                    )
+                level.fitted_scope_depth = None
+            self._scope_depth -= 1
+
+    # -- address-space management ------------------------------------------
+
+    def reserve_address_space(self, words: int) -> int:
+        """Reserve a slow-memory region of ``words`` addresses.
+
+        Returns the base address.  Matrices sharing one machine (e.g.
+        the three operands of a matmul) call this so their address
+        ranges — and hence their message runs — never overlap.
+        """
+        if words < 0:
+            raise ValueError("cannot reserve a negative region")
+        base = self._next_base
+        self._next_base += words
+        return base
+
+    # -- arithmetic -------------------------------------------------------
+
+    def add_flops(self, n: int) -> None:
+        """Record ``n`` scalar floating-point operations (§3.1.3)."""
+        if n < 0:
+            raise ValueError("flop count must be non-negative")
+        self.flops += n
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def reset(self) -> None:
+        """Zero all counters and evict everything (reuse between runs)."""
+        for level in self.levels:
+            level.counters = CommCounters()
+            level.peak_resident = 0
+            level.fitted_scope_depth = None
+        self.flops = 0
+        self.resident = IntervalSet()
+        self._scope_depth = 0
+        if self.trace is not None:
+            self.trace = MachineTrace()
+
+    def bandwidth_cost(self, betas: Sequence[float]) -> float:
+        """Weighted bandwidth cost ``Σ β_i · words_i`` — the measured
+        side of Corollary 3.2's Equation (11)."""
+        if len(betas) != len(self.levels):
+            raise ValueError(
+                f"need one β per level ({len(self.levels)}), got {len(betas)}"
+            )
+        return sum(b * lvl.words for b, lvl in zip(betas, self.levels))
+
+    def latency_cost(self, alphas: Sequence[float]) -> float:
+        """Weighted latency cost ``Σ α_i · messages_i`` — the measured
+        side of Corollary 3.2's Equation (12)."""
+        if len(alphas) != len(self.levels):
+            raise ValueError(
+                f"need one α per level ({len(self.levels)}), got {len(alphas)}"
+            )
+        return sum(a * lvl.messages for a, lvl in zip(alphas, self.levels))
+
+    def summary(self) -> dict[str, object]:
+        """A plain-dict report of all counters (for benches / JSON)."""
+        return {
+            "flops": self.flops,
+            "levels": [
+                {
+                    "name": lvl.name,
+                    "capacity": lvl.capacity,
+                    "words": lvl.words,
+                    "words_read": lvl.counters.words_read,
+                    "words_written": lvl.counters.words_written,
+                    "messages": lvl.messages,
+                    "peak_resident": lvl.peak_resident,
+                    "capacity_violated": lvl.capacity_violated,
+                }
+                for lvl in self.levels
+            ],
+        }
+
+    def __repr__(self) -> str:
+        caps = ", ".join(str(l.capacity) for l in self.levels)
+        return f"{type(self).__name__}([{caps}])"
+
+
+class SequentialMachine(HierarchicalMachine):
+    """The two-level DAM machine of Section 1 (one fast level of size M)."""
+
+    def __init__(
+        self,
+        M: int,
+        *,
+        enforce_capacity: bool = True,
+        record_trace: bool = False,
+    ) -> None:
+        super().__init__(
+            [M],
+            enforce_capacity=enforce_capacity,
+            record_trace=record_trace,
+        )

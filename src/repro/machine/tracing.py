@@ -1,0 +1,97 @@
+"""Event recording for machine runs.
+
+A :class:`MachineTrace` is an append-only list of the transfers and
+scopes a machine performed.  Traces exist for three reasons:
+
+1. debugging an algorithm's communication pattern;
+2. feeding the LRU cross-validation (`repro.machine.lru`) with the
+   exact address stream an explicit algorithm produced;
+3. rendering the quantitative counterparts of the paper's Figures
+   (which slow-memory runs a layout turns a block access into).
+
+Tracing is off by default — the counters alone are O(1) memory, while
+a trace grows with the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Sequence
+
+from repro.util.intervals import IntervalSet
+
+
+@dataclass(frozen=True)
+class ReadEvent:
+    """An explicit slow→fast transfer."""
+
+    intervals: IntervalSet
+
+    @property
+    def words(self) -> int:
+        return self.intervals.words
+
+
+@dataclass(frozen=True)
+class WriteEvent:
+    """An explicit fast→slow transfer."""
+
+    intervals: IntervalSet
+
+    @property
+    def words(self) -> int:
+        return self.intervals.words
+
+
+@dataclass(frozen=True)
+class ScopeEvent:
+    """Entry into an ideal-cache scope (cache-oblivious subproblem)."""
+
+    footprint: IntervalSet
+    fitted: Sequence[str] = ()
+
+    @property
+    def words(self) -> int:
+        return self.footprint.words
+
+
+Event = ReadEvent | WriteEvent | ScopeEvent
+
+
+@dataclass
+class MachineTrace:
+    """Append-only record of machine events."""
+
+    events: List[Event] = field(default_factory=list)
+
+    def append(self, event: Event) -> None:
+        """Record one event."""
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self.events)
+
+    def transfers(self) -> Iterator[ReadEvent | WriteEvent]:
+        """Only the explicit transfer events, in order."""
+        for ev in self.events:
+            if isinstance(ev, (ReadEvent, WriteEvent)):
+                yield ev
+
+    def address_stream(self) -> Iterator[tuple[int, bool]]:
+        """Flatten explicit transfers into ``(address, is_write)`` pairs.
+
+        This is the stream the LRU cross-validator replays.  Scope
+        events are skipped: scopes describe charging frontiers, not
+        individual word touches.
+        """
+        for ev in self.transfers():
+            is_write = isinstance(ev, WriteEvent)
+            for addr in ev.intervals.addresses():
+                yield addr, is_write
+
+    def total_words(self) -> int:
+        """Total explicit words transferred (reads + writes)."""
+        return sum(ev.words for ev in self.transfers())

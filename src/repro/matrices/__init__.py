@@ -1,0 +1,35 @@
+"""Matrices bound to machines: the operands of every algorithm.
+
+``repro.matrices.generators``
+    Reproducible SPD test-matrix families (the workloads of the
+    benchmark harness).
+
+``repro.matrices.tracked``
+    :class:`TrackedMatrix` — a NumPy matrix married to a storage
+    layout and a machine, so that every block read/write is charged
+    as the words and messages the layout implies — and
+    :class:`BlockRef`, the rectangular sub-block handle the recursive
+    algorithms (Algorithms 5–8) operate on.
+"""
+
+from repro.matrices.generators import (
+    banded_spd,
+    diagonally_dominant,
+    hilbert_shifted,
+    random_spd,
+    wishart_like,
+)
+from repro.matrices.tracked import BlockRef, TrackedMatrix, footprint
+from repro.matrices.convert import convert_layout
+
+__all__ = [
+    "convert_layout",
+    "random_spd",
+    "diagonally_dominant",
+    "wishart_like",
+    "hilbert_shifted",
+    "banded_spd",
+    "TrackedMatrix",
+    "BlockRef",
+    "footprint",
+]

@@ -1,0 +1,107 @@
+"""Symmetric positive definite test-matrix families.
+
+All generators are deterministic given a seed, return float64 C-order
+arrays, and produce genuinely SPD matrices (checked in tests via
+reference Cholesky).  These are the workloads the paper's algorithms
+are run on; the communication counts are data-independent (classical
+Cholesky does the same movement for every SPD input of a given size),
+so the variety here exists to exercise the *numerics* of every code
+path, not to change the counts — and one ablation bench verifies that
+data-independence explicitly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import check_positive_int
+
+
+def _rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def random_spd(n: int, seed: int | np.random.Generator | None = 0) -> np.ndarray:
+    """Random SPD matrix ``G Gᵀ + n·I`` with ``G`` standard normal.
+
+    The ``n·I`` shift keeps the condition number moderate so residual
+    checks stay tight across sizes.
+    """
+    n = check_positive_int("n", n)
+    rng = _rng(seed)
+    g = rng.standard_normal((n, n))
+    a = g @ g.T + n * np.eye(n)
+    return np.ascontiguousarray((a + a.T) / 2.0)
+
+
+def wishart_like(
+    n: int, samples: int | None = None, seed: int | np.random.Generator | None = 0
+) -> np.ndarray:
+    """Sample-covariance-shaped SPD matrix ``(1/s) Σ x xᵀ + ε I``.
+
+    A classic source of SPD systems (Gaussian-process / statistics
+    workloads).  ``samples`` defaults to ``2 n`` so the raw covariance
+    is already full rank; a small ridge makes definiteness robust.
+    """
+    n = check_positive_int("n", n)
+    s = 2 * n if samples is None else check_positive_int("samples", samples)
+    rng = _rng(seed)
+    x = rng.standard_normal((s, n))
+    a = (x.T @ x) / s + 1e-3 * np.eye(n)
+    return np.ascontiguousarray((a + a.T) / 2.0)
+
+
+def diagonally_dominant(
+    n: int, seed: int | np.random.Generator | None = 0
+) -> np.ndarray:
+    """Symmetric strictly diagonally dominant matrix (hence SPD)."""
+    n = check_positive_int("n", n)
+    rng = _rng(seed)
+    a = rng.uniform(-1.0, 1.0, size=(n, n))
+    a = (a + a.T) / 2.0
+    np.fill_diagonal(a, np.abs(a).sum(axis=1) + 1.0)
+    return np.ascontiguousarray(a)
+
+
+def hilbert_shifted(n: int, shift: float = 1e-2) -> np.ndarray:
+    """Hilbert matrix plus a diagonal shift.
+
+    The Hilbert matrix is SPD but catastrophically ill-conditioned;
+    the shift keeps it factorable in float64 while preserving the
+    strong off-diagonal coupling that stresses accumulation order.
+    """
+    n = check_positive_int("n", n)
+    i = np.arange(n)
+    h = 1.0 / (i[:, None] + i[None, :] + 1.0)
+    return np.ascontiguousarray(h + shift * np.eye(n))
+
+
+def banded_spd(
+    n: int, bandwidth: int = 2, seed: int | np.random.Generator | None = 0
+) -> np.ndarray:
+    """SPD matrix with a limited band (PDE-discretization-shaped).
+
+    Built as ``B Bᵀ + I`` with ``B`` banded, which keeps the band at
+    ``2·bandwidth`` and guarantees definiteness.
+    """
+    n = check_positive_int("n", n)
+    bw = check_positive_int("bandwidth", bandwidth)
+    rng = _rng(seed)
+    b = rng.standard_normal((n, n))
+    i = np.arange(n)
+    mask = np.abs(i[:, None] - i[None, :]) <= bw
+    b = b * mask
+    a = b @ b.T + np.eye(n)
+    return np.ascontiguousarray((a + a.T) / 2.0)
+
+
+ALL_GENERATORS = {
+    "random-spd": random_spd,
+    "wishart": wishart_like,
+    "diag-dominant": diagonally_dominant,
+    "hilbert-shifted": hilbert_shifted,
+    "banded": banded_spd,
+}
+"""Name → generator map used by tests and the CLI."""

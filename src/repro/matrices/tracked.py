@@ -1,0 +1,275 @@
+"""Machine-bound matrices and block references.
+
+:class:`TrackedMatrix` is the slow-memory resident operand: a dense
+NumPy array (the numerical truth) plus a storage layout (the address
+truth) plus the machine that gets charged for every access.  The NumPy
+array always holds the matrix in natural ``(i, j)`` indexing — the
+layout affects *addresses and therefore messages*, never the numbers —
+which is what lets one algorithm run unchanged over every layout of
+Figure 2 while producing layout-dependent latency, exactly as in
+Table 1.
+
+:class:`BlockRef` is a rectangular view ``[r0, r1) × [c0, c1)`` of a
+tracked matrix (optionally transposed).  It is the operand type of all
+the blocked and recursive algorithms and offers two access styles:
+
+* **charged**: :meth:`BlockRef.load` / :meth:`BlockRef.store` /
+  :meth:`BlockRef.release` issue explicit machine transfers — used by
+  the explicit algorithms (naïve, LAPACK POTRF, Toledo's base cases);
+* **free**: :meth:`BlockRef.peek` / :meth:`BlockRef.poke` touch only
+  the numbers — used *inside* a fitted ideal-cache scope, whose entry
+  already charged the whole footprint (see
+  :meth:`repro.machine.core.HierarchicalMachine.scope`).
+
+For packed (triangular) layouts the charged words of a block are the
+*stored* entries only; numerically the dense rectangle is returned
+(the upper mirror of a symmetric operand), matching how packed BLAS
+kernels treat symmetric data.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.layouts.base import Layout
+from repro.machine.core import HierarchicalMachine
+from repro.util.intervals import IntervalSet, union_all
+from repro.util.validation import check_square
+
+
+class TrackedMatrix:
+    """A matrix in slow memory, bound to a layout and a machine.
+
+    Parameters
+    ----------
+    data:
+        Square float64 array holding the values (copied).
+    layout:
+        Storage layout; must have the same dimension as ``data``.
+    machine:
+        The machine charged for accesses.
+    base:
+        Slow-memory base address; by default a fresh region is
+        reserved from the machine so multiple matrices never alias.
+    name:
+        Label used in error messages and reports.
+    """
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        layout: Layout,
+        machine: HierarchicalMachine,
+        *,
+        base: int | None = None,
+        name: str = "A",
+    ) -> None:
+        self.data = check_square("data", data).copy()
+        if layout.n != self.data.shape[0]:
+            raise ValueError(
+                f"layout dimension {layout.n} != matrix dimension "
+                f"{self.data.shape[0]}"
+            )
+        self.layout = layout
+        self.machine = machine
+        self.base = (
+            machine.reserve_address_space(layout.storage_words)
+            if base is None
+            else int(base)
+        )
+        self.name = name
+
+    @property
+    def n(self) -> int:
+        return self.layout.n
+
+    # -- geometry --------------------------------------------------------
+
+    def intervals(self, r0: int, r1: int, c0: int, c1: int) -> IntervalSet:
+        """Global (base-shifted) address runs of a rectangle."""
+        return self.layout.intervals(r0, r1, c0, c1).shift(self.base)
+
+    def block(
+        self, r0: int, r1: int, c0: int, c1: int
+    ) -> "BlockRef":
+        """A :class:`BlockRef` for ``[r0, r1) × [c0, c1)``."""
+        return BlockRef(self, r0, r1, c0, c1)
+
+    def whole(self) -> "BlockRef":
+        """A reference to the entire matrix."""
+        return BlockRef(self, 0, self.n, 0, self.n)
+
+    # -- results -----------------------------------------------------------
+
+    def lower(self) -> np.ndarray:
+        """The lower triangle of the current values (the factor L)."""
+        return np.tril(self.data)
+
+    def __repr__(self) -> str:
+        return (
+            f"TrackedMatrix({self.name!r}, n={self.n}, "
+            f"layout={self.layout.name}, base={self.base})"
+        )
+
+
+class BlockRef:
+    """A (possibly transposed) rectangular view of a tracked matrix."""
+
+    __slots__ = ("matrix", "r0", "r1", "c0", "c1", "transposed")
+
+    def __init__(
+        self,
+        matrix: TrackedMatrix,
+        r0: int,
+        r1: int,
+        c0: int,
+        c1: int,
+        transposed: bool = False,
+    ) -> None:
+        if not (0 <= r0 <= r1 <= matrix.n and 0 <= c0 <= c1 <= matrix.n):
+            raise ValueError(
+                f"block [{r0},{r1})x[{c0},{c1}) outside "
+                f"{matrix.n}x{matrix.n} matrix {matrix.name!r}"
+            )
+        self.matrix = matrix
+        self.r0, self.r1, self.c0, self.c1 = r0, r1, c0, c1
+        self.transposed = transposed
+
+    # -- shape -------------------------------------------------------------
+
+    @property
+    def rows(self) -> int:
+        """Logical row count (after transposition)."""
+        return (self.c1 - self.c0) if self.transposed else (self.r1 - self.r0)
+
+    @property
+    def cols(self) -> int:
+        """Logical column count (after transposition)."""
+        return (self.r1 - self.r0) if self.transposed else (self.c1 - self.c0)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.rows, self.cols)
+
+    @property
+    def T(self) -> "BlockRef":
+        """The transposed view of the same storage region."""
+        return BlockRef(
+            self.matrix, self.r0, self.r1, self.c0, self.c1,
+            transposed=not self.transposed,
+        )
+
+    @property
+    def intervals(self) -> IntervalSet:
+        """Global address runs of the stored entries of this block."""
+        return self.matrix.intervals(self.r0, self.r1, self.c0, self.c1)
+
+    @property
+    def words(self) -> int:
+        """Number of stored entries (what a transfer of this block costs)."""
+        return self.matrix.layout.rect_words(self.r0, self.r1, self.c0, self.c1)
+
+    # -- splitting -----------------------------------------------------------
+
+    def sub(self, r0: int, r1: int, c0: int, c1: int) -> "BlockRef":
+        """Sub-block in *logical* (post-transpose) local coordinates."""
+        if self.transposed:
+            r0, r1, c0, c1 = c0, c1, r0, r1
+        if not (0 <= r0 <= r1 <= self.r1 - self.r0):
+            raise ValueError("row range outside block")
+        if not (0 <= c0 <= c1 <= self.c1 - self.c0):
+            raise ValueError("column range outside block")
+        return BlockRef(
+            self.matrix,
+            self.r0 + r0, self.r0 + r1,
+            self.c0 + c0, self.c0 + c1,
+            transposed=self.transposed,
+        )
+
+    def split_rows(self, k: int) -> tuple["BlockRef", "BlockRef"]:
+        """Split logically at row ``k`` into (top, bottom)."""
+        return (
+            self.sub(0, k, 0, self.cols),
+            self.sub(k, self.rows, 0, self.cols),
+        )
+
+    def split_cols(self, k: int) -> tuple["BlockRef", "BlockRef"]:
+        """Split logically at column ``k`` into (left, right)."""
+        return (
+            self.sub(0, self.rows, 0, k),
+            self.sub(0, self.rows, k, self.cols),
+        )
+
+    def quadrants(
+        self, kr: int, kc: int
+    ) -> tuple["BlockRef", "BlockRef", "BlockRef", "BlockRef"]:
+        """Split into (11, 12, 21, 22) at logical row ``kr`` / col ``kc``."""
+        return (
+            self.sub(0, kr, 0, kc),
+            self.sub(0, kr, kc, self.cols),
+            self.sub(kr, self.rows, 0, kc),
+            self.sub(kr, self.rows, kc, self.cols),
+        )
+
+    # -- numerical access (free) ----------------------------------------------
+
+    def peek(self) -> np.ndarray:
+        """Copy of the values, uncharged (use inside fitted scopes)."""
+        a = self.matrix.data[self.r0 : self.r1, self.c0 : self.c1]
+        return np.array(a.T if self.transposed else a, copy=True)
+
+    def poke(self, values: np.ndarray) -> None:
+        """Write values, uncharged (use inside fitted scopes)."""
+        v = np.asarray(values, dtype=np.float64)
+        if self.transposed:
+            v = v.T
+        target = self.matrix.data[self.r0 : self.r1, self.c0 : self.c1]
+        if v.shape != target.shape:
+            raise ValueError(
+                f"value shape {v.shape} != block shape {target.shape}"
+            )
+        target[...] = v
+
+    # -- charged access ----------------------------------------------------------
+
+    def load(self) -> np.ndarray:
+        """Explicitly transfer the block into fast memory; returns values."""
+        self.matrix.machine.read(self.intervals)
+        return self.peek()
+
+    def store(self, values: np.ndarray) -> None:
+        """Update values and explicitly transfer the block to slow memory."""
+        self.poke(values)
+        self.matrix.machine.write(self.intervals)
+
+    def alloc(self) -> None:
+        """Mark the block resident without a read (fresh output)."""
+        self.matrix.machine.allocate(self.intervals)
+
+    def release(self) -> None:
+        """Evict the block from fast memory (no traffic)."""
+        self.matrix.machine.release(self.intervals)
+
+    @contextmanager
+    def held(self) -> Iterator[np.ndarray]:
+        """``load`` on entry, ``release`` on exit (read-only use)."""
+        arr = self.load()
+        try:
+            yield arr
+        finally:
+            self.release()
+
+    def __repr__(self) -> str:
+        t = ".T" if self.transposed else ""
+        return (
+            f"BlockRef({self.matrix.name}[{self.r0}:{self.r1},"
+            f"{self.c0}:{self.c1}]{t})"
+        )
+
+
+def footprint(refs: Sequence[BlockRef]) -> IntervalSet:
+    """Union of the address runs of several blocks (scope footprints)."""
+    return union_all([ref.intervals for ref in refs])

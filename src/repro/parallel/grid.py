@@ -1,0 +1,61 @@
+"""The 2D processor grid of §3.3.1.
+
+The paper's analysis assumes a square grid ``P_r = P_c = sqrt(P)``;
+the implementation allows any rectangular grid but the benches sweep
+square ones.  Ranks are laid out row-major: processor ``(r, c)`` has
+rank ``r · P_c + c``.
+"""
+
+from __future__ import annotations
+
+from repro.util.validation import check_positive_int
+
+
+class ProcessorGrid:
+    """A ``P_r × P_c`` grid of processor ranks."""
+
+    def __init__(self, rows: int, cols: int | None = None) -> None:
+        self.rows = check_positive_int("rows", rows)
+        self.cols = self.rows if cols is None else check_positive_int("cols", cols)
+
+    @classmethod
+    def square(cls, P: int) -> "ProcessorGrid":
+        """The √P × √P grid (P must be a perfect square)."""
+        import math
+
+        check_positive_int("P", P)
+        root = math.isqrt(P)
+        if root * root != P:
+            raise ValueError(f"P={P} is not a perfect square")
+        return cls(root, root)
+
+    @property
+    def size(self) -> int:
+        return self.rows * self.cols
+
+    def rank(self, r: int, c: int) -> int:
+        """Linear rank of grid position ``(r, c)``."""
+        if not (0 <= r < self.rows and 0 <= c < self.cols):
+            raise ValueError(f"({r},{c}) outside {self.rows}x{self.cols} grid")
+        return r * self.cols + c
+
+    def position(self, rank: int) -> tuple[int, int]:
+        """Grid position of a linear rank."""
+        if not (0 <= rank < self.size):
+            raise ValueError(f"rank {rank} outside grid of {self.size}")
+        return divmod(rank, self.cols)
+
+    def block_owner(self, bi: int, bj: int) -> int:
+        """Owner rank of matrix block ``(bi, bj)`` under the cyclic map."""
+        return self.rank(bi % self.rows, bj % self.cols)
+
+    def row_group(self, r: int) -> list[int]:
+        """All ranks in grid row ``r`` (a broadcast domain)."""
+        return [self.rank(r, c) for c in range(self.cols)]
+
+    def col_group(self, c: int) -> list[int]:
+        """All ranks in grid column ``c`` (a broadcast domain)."""
+        return [self.rank(r, c) for r in range(self.rows)]
+
+    def __repr__(self) -> str:
+        return f"ProcessorGrid({self.rows}x{self.cols})"

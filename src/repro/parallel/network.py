@@ -1,0 +1,265 @@
+"""Event-driven α-β network simulator.
+
+Model (paper, Section 1): a message of ``w`` consecutively stored
+words moves between two processors in time ``α + β·w``; both
+endpoints are occupied for the transfer.  Each processor carries a
+logical clock and *path counters*: on every transfer the receiver's
+(and sender's) path is inherited from whichever endpoint determined
+the new clock value and incremented by the transfer — so at the end,
+the processor with the largest clock holds exactly the words and
+messages **along the critical path**, which is the quantity Table 2
+counts.
+
+Collectives are binomial trees of point-to-point sends: broadcasting
+to g processors takes ⌈log₂ g⌉ rounds along the path, which is where
+every log P in the measured ScaLAPACK counts comes from.
+
+Numerical payloads ride along with sends into per-processor inboxes;
+the PxPOTRF driver computes only with locally available data, so the
+simulation is a real distributed algorithm, not an accounting layer
+over a sequential one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Sequence
+
+import numpy as np
+
+from repro.util.validation import check_nonnegative_int, check_positive_int
+
+
+class NetworkError(RuntimeError):
+    """Misuse of the network model (bad rank, empty group, ...)."""
+
+
+@dataclass
+class Processor:
+    """One processor: clock, path counters, totals, and private stores."""
+
+    rank: int
+    # logical clock and critical-path counters
+    t: float = 0.0
+    path_words: int = 0
+    path_messages: int = 0
+    # per-processor totals (load-balance reporting)
+    words_sent: int = 0
+    words_received: int = 0
+    messages_sent: int = 0
+    messages_received: int = 0
+    flops: int = 0
+    # private data: owned blocks and received (buffered) payloads
+    store: Dict[Any, np.ndarray] = field(default_factory=dict)
+    inbox: Dict[Any, Any] = field(default_factory=dict)
+    # peak transient buffer footprint in words (memory-scalability check)
+    buffer_words: int = 0
+    peak_buffer_words: int = 0
+
+    def note_buffer(self, delta_words: int) -> None:
+        """Track transient receive-buffer usage (peak recorded)."""
+        self.buffer_words += delta_words
+        if self.buffer_words > self.peak_buffer_words:
+            self.peak_buffer_words = self.buffer_words
+
+    @property
+    def total_words(self) -> int:
+        return self.words_sent + self.words_received
+
+    @property
+    def total_messages(self) -> int:
+        return self.messages_sent + self.messages_received
+
+
+class Network:
+    """P processors connected by an α-β network."""
+
+    def __init__(self, P: int, *, alpha: float = 1.0, beta: float = 1.0,
+                 gamma: float = 0.0) -> None:
+        check_positive_int("P", P)
+        if alpha < 0 or beta < 0 or gamma < 0:
+            raise ValueError("alpha, beta, gamma must be non-negative")
+        self.alpha = float(alpha)
+        self.beta = float(beta)
+        self.gamma = float(gamma)
+        self.processors = [Processor(rank=i) for i in range(P)]
+
+    @property
+    def P(self) -> int:
+        return len(self.processors)
+
+    def __getitem__(self, rank: int) -> Processor:
+        if not (0 <= rank < self.P):
+            raise NetworkError(f"rank {rank} outside 0..{self.P - 1}")
+        return self.processors[rank]
+
+    # -- point-to-point ---------------------------------------------------
+
+    def send(
+        self,
+        src: int,
+        dst: int,
+        words: int,
+        payload: Any = None,
+        key: Any = None,
+    ) -> None:
+        """Transfer one message of ``words`` words from src to dst.
+
+        The payload (if any) lands in ``dst.inbox[key]``.  Clocks and
+        path counters advance per the α-β model; per-processor totals
+        always accumulate.
+        """
+        check_nonnegative_int("words", words)
+        if src == dst:
+            raise NetworkError("a processor cannot message itself")
+        s, d = self[src], self[dst]
+        base = s if s.t >= d.t else d
+        path = (base.path_words + words, base.path_messages + 1)
+        t_new = max(s.t, d.t) + self.alpha + self.beta * words
+        for e in (s, d):
+            e.t = t_new
+            e.path_words, e.path_messages = path
+        s.words_sent += words
+        s.messages_sent += 1
+        d.words_received += words
+        d.messages_received += 1
+        if payload is not None:
+            d.inbox[key] = payload
+            d.note_buffer(words)
+
+    # -- compute -----------------------------------------------------------
+
+    def compute(self, rank: int, flops: int) -> None:
+        """Record local arithmetic (advances the clock by γ per flop)."""
+        check_nonnegative_int("flops", flops)
+        p = self[rank]
+        p.flops += flops
+        p.t += self.gamma * flops
+
+    # -- collectives ----------------------------------------------------------
+
+    def broadcast(
+        self,
+        root: int,
+        members: Sequence[int],
+        words: int,
+        payload: Any = None,
+        key: Any = None,
+    ) -> None:
+        """Binomial-tree broadcast from root to every member.
+
+        ⌈log₂ g⌉ rounds deep for a group of g — each non-root member
+        receives exactly one message; the path through the tree
+        carries ⌈log₂ g⌉ messages of ``words`` words each.
+        """
+        group = list(members)
+        if root not in group:
+            raise NetworkError(f"root {root} not in broadcast group {group}")
+        if len(set(group)) != len(group):
+            raise NetworkError(f"duplicate ranks in broadcast group {group}")
+        # order with root first; binomial doubling over positions
+        order = [root] + [m for m in group if m != root]
+        have = 1
+        while have < len(order):
+            senders = min(have, len(order) - have)
+            for i in range(senders):
+                self.send(order[i], order[have + i], words, payload, key)
+            have += senders
+        if payload is not None and key is not None:
+            # root holds the payload too (no self-message, no charge)
+            self[root].inbox[key] = payload
+
+    def reduce(
+        self,
+        root: int,
+        members: Sequence[int],
+        words: int,
+        contributions: dict[int, Any] | None = None,
+        combine=None,
+        key: Any = None,
+    ) -> Any:
+        """Binomial-tree reduction onto ``root``.
+
+        The mirror image of :meth:`broadcast`: ⌈log₂ g⌉ rounds, each
+        non-root member sends exactly one message of ``words`` words.
+        ``contributions`` maps each member to its local value and
+        ``combine(a, b)`` merges two of them; the fully combined value
+        is returned (and stored in ``root``'s inbox under ``key``).
+        """
+        group = list(members)
+        if root not in group:
+            raise NetworkError(f"root {root} not in reduce group {group}")
+        if len(set(group)) != len(group):
+            raise NetworkError(f"duplicate ranks in reduce group {group}")
+        order = [root] + [m for m in group if m != root]
+        values = dict(contributions or {})
+        active = len(order)
+        while active > 1:
+            half = (active + 1) // 2
+            for i in range(half, active):
+                src, dst = order[i], order[i - half]
+                self.send(src, dst, words)
+                if values:
+                    if combine is None:
+                        raise NetworkError(
+                            "reduce with contributions needs a combine op"
+                        )
+                    values[dst] = combine(values[dst], values[src])
+            active = half
+        result = values.get(root)
+        if result is not None and key is not None:
+            self[root].inbox[key] = result
+            self[root].note_buffer(words)
+        return result
+
+    # -- results ------------------------------------------------------------------
+
+    def critical(self) -> Processor:
+        """The processor whose clock ends largest (the critical path)."""
+        return max(self.processors, key=lambda p: p.t)
+
+    @property
+    def critical_time(self) -> float:
+        return self.critical().t
+
+    @property
+    def critical_words(self) -> int:
+        """Words along the critical path (Table 2 'Bandwidth')."""
+        return self.critical().path_words
+
+    @property
+    def critical_messages(self) -> int:
+        """Messages along the critical path (Table 2 'Latency')."""
+        return self.critical().path_messages
+
+    @property
+    def max_flops(self) -> int:
+        """Largest per-processor arithmetic (Table 2 'FLOPS')."""
+        return max(p.flops for p in self.processors)
+
+    @property
+    def max_words(self) -> int:
+        """Largest per-processor total traffic (load-balance metric)."""
+        return max(p.total_words for p in self.processors)
+
+    def clear_inboxes(self) -> None:
+        """Drop all buffered payloads (end of an algorithm phase)."""
+        for p in self.processors:
+            p.inbox.clear()
+            p.buffer_words = 0
+
+    def summary(self) -> dict[str, object]:
+        """Plain-dict report of the run's headline counters."""
+        return {
+            "P": self.P,
+            "critical_time": self.critical_time,
+            "critical_words": self.critical_words,
+            "critical_messages": self.critical_messages,
+            "max_flops": self.max_flops,
+            "max_words": self.max_words,
+            "total_words": sum(p.words_sent for p in self.processors),
+            "total_messages": sum(p.messages_sent for p in self.processors),
+        }
+
+    def __repr__(self) -> str:
+        return f"Network(P={self.P}, alpha={self.alpha}, beta={self.beta})"

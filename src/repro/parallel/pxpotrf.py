@@ -1,0 +1,212 @@
+"""Algorithm 9: ScaLAPACK's PxPOTRF on the simulated network.
+
+Per panel ``J`` (Figure 6, right):
+
+1. the owner of the diagonal block factors it locally;
+2. the factor is broadcast down the grid column that owns panel ``J``
+   (``b(b+1)/2`` words, ⌈log₂ P_r⌉ deep);
+3. every processor owning panel blocks triangular-solves *all* of
+   them, then broadcasts the bundle across its grid row in **one**
+   message (the batching §3.3.1's count relies on);
+4. every processor owning trailing diagonal blocks re-broadcasts the
+   panel blocks its grid column needs down that column (again one
+   bundled message per source);
+5. every owner of a trailing block updates it with the two panel
+   blocks it received.
+
+Every processor touches only blocks it owns or has received — a
+forgotten broadcast is a numerically wrong factor, which is what the
+correctness tests would catch.
+
+§3.3.1's critical-path predictions, which the T2 bench reproduces:
+
+    messages = (3/2)·(n/b)·log₂P,
+    words    = (n·b/4 + n²/√P)·log₂P,
+
+latency-optimal at the largest block size ``b = n/√P``, while flops
+stay O(n³/P) — losing nothing on the computational bound.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.parallel.blockcyclic import BlockCyclicMatrix
+from repro.parallel.grid import ProcessorGrid
+from repro.parallel.network import Network
+from repro.sequential.flops import cholesky_flops, gemm_flops, syrk_flops, trsm_flops
+from repro.sequential.kernels import dense_cholesky, solve_lower_transposed_right
+from repro.util.validation import check_positive_int
+
+
+@dataclass
+class ParallelRunResult:
+    """Outcome of a PxPOTRF run: the factor plus the accounting."""
+
+    L: np.ndarray
+    network: Network
+    n: int
+    block: int
+    P: int
+
+    @property
+    def critical_words(self) -> int:
+        return self.network.critical_words
+
+    @property
+    def critical_messages(self) -> int:
+        return self.network.critical_messages
+
+    @property
+    def max_flops(self) -> int:
+        return self.network.max_flops
+
+    @property
+    def total_flops(self) -> int:
+        return sum(p.flops for p in self.network.processors)
+
+    @property
+    def max_words(self) -> int:
+        return self.network.max_words
+
+    @property
+    def peak_buffer_words(self) -> int:
+        return max(p.peak_buffer_words for p in self.network.processors)
+
+    @property
+    def peak_memory_words(self) -> int:
+        """Largest per-processor footprint: owned blocks + transient
+        receive buffers.  The 2D memory-scalability premise
+        (M = O(n²/P), Section 1) demands this stay O(n²/P + n·b)."""
+        return max(
+            sum(int(v.size) for v in p.store.values()) + p.peak_buffer_words
+            for p in self.network.processors
+        )
+
+
+def pxpotrf(
+    a: np.ndarray,
+    block: int,
+    grid: ProcessorGrid | int,
+    *,
+    alpha: float = 1.0,
+    beta: float = 1.0,
+    gamma: float = 0.0,
+) -> ParallelRunResult:
+    """Run Algorithm 9 on a fresh simulated network.
+
+    Parameters
+    ----------
+    a:
+        Symmetric positive definite matrix.
+    block:
+        Distribution/algorithm block size ``b``.
+    grid:
+        A :class:`ProcessorGrid`, or an integer P (perfect square)
+        for the paper's square grid.
+    alpha, beta, gamma:
+        Per-message, per-word, and per-flop costs of the simulated
+        machine (only the critical-path *time* depends on them; the
+        word/message counts do not).
+
+    Returns a :class:`ParallelRunResult` whose ``L`` satisfies
+    ``L·Lᵀ = a``.
+    """
+    if isinstance(grid, int):
+        grid = ProcessorGrid.square(grid)
+    check_positive_int("block", block)
+    network = Network(grid.size, alpha=alpha, beta=beta, gamma=gamma)
+    dist = BlockCyclicMatrix(a, block, grid, network)
+    nb = dist.nblocks
+
+    for J in range(nb):
+        jc = J % grid.cols
+        w = dist.block_dim(J)
+        diag_owner = dist.owner(J, J)
+
+        # -- 1. local factorization of the diagonal block --------------
+        owner_proc = network[diag_owner]
+        ljj = dense_cholesky(owner_proc.store[("A", J, J)])
+        owner_proc.store[("A", J, J)] = ljj
+        network.compute(diag_owner, cholesky_flops(w))
+
+        if J == nb - 1:
+            break  # no trailing work after the last panel
+
+        # -- 2. broadcast the factor down the owning grid column -------
+        network.broadcast(
+            diag_owner,
+            grid.col_group(jc),
+            words=w * (w + 1) // 2,
+            payload=ljj,
+            key=("diag", J),
+        )
+
+        # -- 3. panel solves + bundled row broadcasts --------------------
+        panel_by_owner: dict[int, list[int]] = defaultdict(list)
+        for I in range(J + 1, nb):
+            panel_by_owner[dist.owner(I, J)].append(I)
+        for rank, rows in sorted(panel_by_owner.items()):
+            proc = network[rank]
+            ljj_local = proc.inbox[("diag", J)]
+            bundle: dict[int, np.ndarray] = {}
+            for I in rows:
+                lij = solve_lower_transposed_right(
+                    proc.store[("A", I, J)], ljj_local
+                )
+                proc.store[("A", I, J)] = lij
+                network.compute(rank, trsm_flops(dist.block_dim(I), w))
+                bundle[I] = lij
+            r = grid.position(rank)[0]
+            network.broadcast(
+                rank,
+                grid.row_group(r),
+                words=sum(v.size for v in bundle.values()),
+                payload=bundle,
+                key=("panelrow", J, r),
+            )
+
+        # -- 4. bundled re-broadcasts down the trailing grid columns -----
+        diag_by_owner: dict[int, list[int]] = defaultdict(list)
+        for l in range(J + 1, nb):
+            diag_by_owner[dist.owner(l, l)].append(l)
+        for rank, diags in sorted(diag_by_owner.items()):
+            proc = network[rank]
+            r, c = grid.position(rank)
+            row_bundle = proc.inbox[("panelrow", J, r)]
+            col_bundle = {l: row_bundle[l] for l in diags}
+            # key includes the source grid row: on non-square grids a
+            # column hosts several diagonal owners (one per grid row)
+            network.broadcast(
+                rank,
+                grid.col_group(c),
+                words=sum(v.size for v in col_bundle.values()),
+                payload=col_bundle,
+                key=("panelcol", J, c, r),
+            )
+
+        # -- 5. trailing updates with received panel blocks ---------------
+        for l in range(J + 1, nb):
+            for k in range(l, nb):
+                rank = dist.owner(k, l)
+                proc = network[rank]
+                lkj = proc.inbox[("panelrow", J, grid.position(rank)[0])][k]
+                llj = proc.inbox[
+                    ("panelcol", J, l % grid.cols, l % grid.rows)
+                ][l]
+                proc.store[("A", k, l)] = proc.store[("A", k, l)] - lkj @ llj.T
+                dk, dl = dist.block_dim(k), dist.block_dim(l)
+                if k == l:
+                    network.compute(rank, syrk_flops(dk, w))
+                else:
+                    network.compute(rank, gemm_flops(dk, w, dl))
+
+        network.clear_inboxes()
+
+    L = dist.gather_lower()
+    return ParallelRunResult(
+        L=L, network=network, n=dist.global_n, block=block, P=grid.size
+    )

@@ -1,0 +1,155 @@
+"""2D parallel matrix multiplication (SUMMA) on the simulated network.
+
+The paper's parallel lower bound for Cholesky (Corollary 2.4) is the
+ITT04 matmul bound in disguise, so the natural parallel baseline is
+the classical 2D multiplication algorithm itself: SUMMA
+(van de Geijn–Watts), the algorithm behind PBLAS ``PDGEMM``.
+
+Both operands are distributed over the √P × √P grid in b×b blocks
+(block-cyclic).  For each of the n/b panel steps, the owners of the
+current column panel of A broadcast their blocks across their grid
+rows, the owners of the row panel of B broadcast down their grid
+columns, and every processor accumulates into its local C blocks.
+
+Critical-path counts mirror PxPOTRF's shape: Θ((n/b)·log P) messages
+and Θ((n²/√P)·log P) words — meeting the 2D bounds of Theorem 2 /
+Corollary 2.1 within the log P factor, with the same optimal block
+size b = n/√P.  The benches use it to show Cholesky and matmul share
+one communication profile, which is the Main Theorem's point.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.parallel.grid import ProcessorGrid
+from repro.parallel.network import Network
+from repro.sequential.flops import gemm_flops
+from repro.util.imath import ceil_div
+from repro.util.validation import check_positive_int
+
+
+@dataclass
+class SummaResult:
+    """Outcome of a SUMMA run: the product plus the accounting."""
+
+    C: np.ndarray
+    network: Network
+    n: int
+    block: int
+    P: int
+
+    @property
+    def critical_words(self) -> int:
+        return self.network.critical_words
+
+    @property
+    def critical_messages(self) -> int:
+        return self.network.critical_messages
+
+    @property
+    def max_flops(self) -> int:
+        return self.network.max_flops
+
+    @property
+    def total_flops(self) -> int:
+        return sum(p.flops for p in self.network.processors)
+
+
+def summa(
+    a: np.ndarray,
+    b: np.ndarray,
+    block: int,
+    grid: ProcessorGrid | int,
+    *,
+    alpha: float = 1.0,
+    beta: float = 1.0,
+) -> SummaResult:
+    """Multiply two square matrices on a simulated 2D grid.
+
+    Parameters mirror :func:`repro.parallel.pxpotrf.pxpotrf`; the
+    result's ``C`` equals ``a @ b`` (verified in the tests).
+    """
+    if isinstance(grid, int):
+        grid = ProcessorGrid.square(grid)
+    check_positive_int("block", block)
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    n = a.shape[0]
+    if a.shape != (n, n) or b.shape != (n, n):
+        raise ValueError(f"need square operands, got {a.shape} and {b.shape}")
+    network = Network(grid.size, alpha=alpha, beta=beta)
+    nb = ceil_div(n, block)
+
+    def brange(k: int) -> tuple[int, int]:
+        return k * block, min((k + 1) * block, n)
+
+    def owner(bi: int, bj: int) -> int:
+        return grid.block_owner(bi, bj)
+
+    # scatter A, B; zero local C blocks
+    for bi in range(nb):
+        r0, r1 = brange(bi)
+        for bj in range(nb):
+            c0, c1 = brange(bj)
+            p = network[owner(bi, bj)]
+            p.store[("A", bi, bj)] = a[r0:r1, c0:c1].copy()
+            p.store[("B", bi, bj)] = b[r0:r1, c0:c1].copy()
+            p.store[("C", bi, bj)] = np.zeros((r1 - r0, c1 - c0))
+
+    for K in range(nb):
+        # owners of A's column panel K broadcast along their grid rows
+        a_by_owner: dict[int, list[int]] = defaultdict(list)
+        for bi in range(nb):
+            a_by_owner[owner(bi, K)].append(bi)
+        for rank, rows in sorted(a_by_owner.items()):
+            proc = network[rank]
+            bundle = {bi: proc.store[("A", bi, K)] for bi in rows}
+            r = grid.position(rank)[0]
+            network.broadcast(
+                rank,
+                grid.row_group(r),
+                words=sum(v.size for v in bundle.values()),
+                payload=bundle,
+                key=("Arow", K, r),
+            )
+        # owners of B's row panel K broadcast down their grid columns
+        b_by_owner: dict[int, list[int]] = defaultdict(list)
+        for bj in range(nb):
+            b_by_owner[owner(K, bj)].append(bj)
+        for rank, cols in sorted(b_by_owner.items()):
+            proc = network[rank]
+            bundle = {bj: proc.store[("B", K, bj)] for bj in cols}
+            c = grid.position(rank)[1]
+            network.broadcast(
+                rank,
+                grid.col_group(c),
+                words=sum(v.size for v in bundle.values()),
+                payload=bundle,
+                key=("Bcol", K, c),
+            )
+        # local accumulation
+        for bi in range(nb):
+            for bj in range(nb):
+                rank = owner(bi, bj)
+                proc = network[rank]
+                r, c = grid.position(rank)
+                ablk = proc.inbox[("Arow", K, r)][bi]
+                bblk = proc.inbox[("Bcol", K, c)][bj]
+                proc.store[("C", bi, bj)] += ablk @ bblk
+                network.compute(
+                    rank, gemm_flops(ablk.shape[0], ablk.shape[1], bblk.shape[1])
+                )
+        network.clear_inboxes()
+
+    # gather C (free verification step, like pxpotrf's gather)
+    out = np.zeros((n, n))
+    for bi in range(nb):
+        r0, r1 = brange(bi)
+        for bj in range(nb):
+            c0, c1 = brange(bj)
+            out[r0:r1, c0:c1] = network[owner(bi, bj)].store[("C", bi, bj)]
+    return SummaResult(C=out, network=network, n=n, block=block, P=grid.size)

@@ -1,0 +1,36 @@
+"""Algorithm 1: matrix multiplication via Cholesky decomposition.
+
+The constructive half of the paper's Main Theorem: given ``A`` and
+``B``, build the 3n×3n masked matrix
+
+          ⎛ I    Aᵀ   −B ⎞
+    T' =  ⎜ A    C     0 ⎟        C = 1* on the diagonal, 0* off it,
+          ⎝ −Bᵀ  0     C ⎠
+
+run *any* classical Cholesky on it, and read ``A·B`` out of the
+``L₃₂ᵀ`` block of the factor.  Because constructing T' and extracting
+the product cost only O(n²) words, every communication lower bound
+for classical matmul transfers to classical Cholesky (Theorem 1,
+Corollaries 2.3–2.4).
+
+This package provides the construction, the end-to-end multiplication
+(under several Cholesky schedules — Lemma 2.2 says any schedule
+works), and a machine-instrumented variant whose measured traffic the
+benches compare against the ITT04 bound.
+"""
+
+from repro.reduction.construct import build_reduction_input, expected_factor
+from repro.reduction.algorithm1 import (
+    multiply_via_cholesky,
+    multiply_via_cholesky_counted,
+)
+from repro.reduction.lu_reduction import lu_nopivot, multiply_via_lu
+
+__all__ = [
+    "build_reduction_input",
+    "expected_factor",
+    "multiply_via_cholesky",
+    "multiply_via_cholesky_counted",
+    "multiply_via_lu",
+    "lu_nopivot",
+]

@@ -1,0 +1,152 @@
+"""Algorithm 1 end-to-end, plus the machine-instrumented variant.
+
+``multiply_via_cholesky`` is the paper's Algorithm 1 verbatim: build
+T', factor it classically over masked values, return ``L₃₂ᵀ``.
+
+``multiply_via_cholesky_counted`` additionally runs the factorization
+as an *instrumented* left-looking sweep over a machine-bound
+``StarredMatrix``, so the bench can compare the measured words of
+step 3 against the ITT04 matmul lower bound — the empirical face of
+Theorem 1 (and of Corollary 2.3's bookkeeping: steps 2 and 4 cost
+only O(n²) words).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.layouts.registry import make_layout
+from repro.machine.core import HierarchicalMachine, ModelError, SequentialMachine
+from repro.reduction.construct import build_reduction_input, extract_product
+from repro.starred.linalg import starred_cholesky
+from repro.starred.tracked import StarredMatrix
+from repro.starred.value import ssqrt
+
+
+def multiply_via_cholesky(
+    a, b, order: str = "left", backend: str = "object"
+) -> np.ndarray:
+    """Compute ``A·B`` through a classical Cholesky factorization.
+
+    Parameters
+    ----------
+    a, b:
+        Square float matrices of equal size.
+    order:
+        Which classical schedule to run the factorization with
+        (``"left"``, ``"right"``, ``"recursive"``); by Lemma 2.2 all
+        orders give the same product.
+    backend:
+        ``"object"`` — scalar masked values (any order); or
+        ``"bitflag"`` — the paper's vectorized "extra bit per word"
+        encoding (left-looking order only), which is orders of
+        magnitude faster and lets the reduction run at real sizes.
+
+    Returns the float matrix ``A·B``.
+    """
+    t = build_reduction_input(a, b)
+    n = np.asarray(a).shape[0]
+    if backend == "bitflag":
+        if order != "left":
+            raise ValueError(
+                "the bitflag backend implements the left-looking order"
+            )
+        from repro.starred.bitflag import BitFlagArray, bitflag_cholesky
+
+        ell = bitflag_cholesky(BitFlagArray.from_object(t)).to_object()
+    elif backend == "object":
+        ell = starred_cholesky(t, order=order)
+    else:
+        raise ValueError(f"unknown backend {backend!r}")
+    return extract_product(ell, n)
+
+
+def multiply_via_cholesky_counted(
+    a,
+    b,
+    *,
+    M: int | None = None,
+    layout: str = "column-major",
+    machine: HierarchicalMachine | None = None,
+) -> tuple[np.ndarray, HierarchicalMachine, dict[str, int]]:
+    """Algorithm 1 with measured communication.
+
+    Runs the naïve left-looking schedule over a machine-bound masked
+    matrix (Algorithm 2's exact movement pattern, so the step-3 counts
+    are the ones §3.1.4 predicts for a 3n-sized Cholesky), and
+    accounts steps 2 (building T') and 4 (extracting the product) as
+    the O(n²) transfers Corollary 2.3 charges them.
+
+    Returns ``(product, machine, phase_words)`` where ``phase_words``
+    maps ``"setup"``/``"cholesky"``/``"extract"`` to word counts.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    n = a.shape[0]
+    big = 3 * n
+    if machine is None:
+        machine = SequentialMachine(max(4 * big, 8) if M is None else M)
+    if machine.M < 2 * big:
+        raise ModelError(
+            f"instrumented reduction needs M >= 2·(3n) = {2 * big}, "
+            f"got M={machine.M}"
+        )
+    lay = make_layout(layout, big)
+    t = StarredMatrix(build_reduction_input(a, b), lay, machine)
+
+    # -- step 2: writing T' into slow memory costs ≤ 18n² words ----------
+    # (streamed column by column so the working set stays within M)
+    before = machine.counters.snapshot()
+    for c in range(big):
+        ivs = t.intervals(0, big, c, c + 1)
+        machine.allocate(ivs)
+        machine.write(ivs)
+        machine.release(ivs)
+    setup_words = (machine.counters - before).words
+
+    # -- step 3: classical (left-looking) Cholesky over masked values ----
+    before = machine.counters.snapshot()
+    _starred_left_looking(t)
+    chol_words = (machine.counters - before).words
+
+    # -- step 4: read the product block back out -------------------------
+    before = machine.counters.snapshot()
+    product = np.empty((n, n), dtype=np.float64)
+    for c in range(n):
+        col = t.load_column(n + c, 2 * n, 3 * n)  # column of L32
+        product[c, :] = [float(v) for v in col]  # transposed extraction
+        t.release_column(n + c, 2 * n, 3 * n)
+    extract_words = (machine.counters - before).words
+
+    phases = {
+        "setup": setup_words,
+        "cholesky": chol_words,
+        "extract": extract_words,
+    }
+    return product, machine, phases
+
+
+def _starred_left_looking(t: StarredMatrix) -> None:
+    """Algorithm 2's movement pattern over masked values (Alg', step 1).
+
+    Identical loop structure and identical transfers to
+    :func:`repro.sequential.naive.naive_left_looking`; only the scalar
+    arithmetic is swapped for the Table 3 operations — exactly the
+    paper's "attach an extra bit and check it before each operation"
+    transformation.
+    """
+    n = t.n
+    machine = t.machine
+    for j in range(n):
+        colj = t.load_column(j, j, n)
+        for k in range(j):
+            colk = t.load_column(k, j, n)
+            colj = colj - colk * colk[0]
+            machine.add_flops(2 * (n - j))
+            t.release_column(k, j, n)
+        pivot = ssqrt(colj[0])
+        colj[0] = pivot
+        for i in range(1, n - j):
+            colj[i] = colj[i] / pivot
+        machine.add_flops(n - j)
+        t.store_column(j, j, n, colj)
+        t.release_column(j, j, n)

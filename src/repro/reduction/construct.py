@@ -1,0 +1,93 @@
+"""Construction of the reduction input T' (paper, Equation 4).
+
+``T'`` is symmetric, 3n×3n, with identity / data / masked-C blocks.
+Its (unique, classical) Cholesky factor is
+
+         ⎛ I                  ⎞
+    L =  ⎜ A     C'           ⎟     with  C'  lower-unitriangular of
+         ⎝ −Bᵀ   (A·B)ᵀ   C'  ⎠     1* diagonal / 0* sub-diagonal,
+
+so the product sits in ``L₃₂ᵀ``.  ``expected_factor`` builds this L
+directly for the tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.starred.value import ONE_STAR, ZERO_STAR
+
+
+def _as_float_matrix(name: str, a) -> np.ndarray:
+    arr = np.asarray(a, dtype=np.float64)
+    if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
+        raise ValueError(f"{name} must be square, got shape {arr.shape}")
+    return arr
+
+
+def _masked_c(n: int) -> np.ndarray:
+    """The matrix C: 1* on the diagonal, 0* everywhere else."""
+    c = np.empty((n, n), dtype=object)
+    c[...] = ZERO_STAR
+    for i in range(n):
+        c[i, i] = ONE_STAR
+    return c
+
+
+def _masked_c_factor(n: int) -> np.ndarray:
+    """C' (Equation 3): 1* diagonal, 0* strictly below, real 0 above."""
+    c = np.empty((n, n), dtype=object)
+    c[...] = 0.0
+    for i in range(n):
+        c[i, i] = ONE_STAR
+        for j in range(i):
+            c[i, j] = ZERO_STAR
+    return c
+
+
+def build_reduction_input(a, b) -> np.ndarray:
+    """The 3n×3n masked matrix T' of Equation (4), as an object array."""
+    a = _as_float_matrix("A", a)
+    b = _as_float_matrix("B", b)
+    if a.shape != b.shape:
+        raise ValueError(f"A {a.shape} and B {b.shape} must match")
+    n = a.shape[0]
+    t = np.empty((3 * n, 3 * n), dtype=object)
+    t[...] = 0.0
+    # block row/column 1
+    t[:n, :n] = np.eye(n)
+    t[:n, n : 2 * n] = a.T
+    t[n : 2 * n, :n] = a
+    t[:n, 2 * n :] = -b
+    t[2 * n :, :n] = -b.T
+    # masked diagonal blocks
+    t[n : 2 * n, n : 2 * n] = _masked_c(n)
+    t[2 * n :, 2 * n :] = _masked_c(n)
+    return t
+
+
+def expected_factor(a, b) -> np.ndarray:
+    """The factor L of Equation (4), built directly (for verification)."""
+    a = _as_float_matrix("A", a)
+    b = _as_float_matrix("B", b)
+    n = a.shape[0]
+    ell = np.empty((3 * n, 3 * n), dtype=object)
+    ell[...] = 0.0
+    ell[:n, :n] = np.eye(n)
+    ell[n : 2 * n, :n] = a
+    ell[2 * n :, :n] = -b.T
+    ell[n : 2 * n, n : 2 * n] = _masked_c_factor(n)
+    ell[2 * n :, n : 2 * n] = (a @ b).T
+    ell[2 * n :, 2 * n :] = _masked_c_factor(n)
+    return ell
+
+
+def extract_product(ell: np.ndarray, n: int) -> np.ndarray:
+    """``A·B = L₃₂ᵀ`` as a float array (Algorithm 1, step 4)."""
+    block = ell[2 * n : 3 * n, n : 2 * n]
+    out = np.empty((n, n), dtype=np.float64)
+    for i in range(n):
+        for j in range(n):
+            v = block[j, i]  # transpose
+            out[i, j] = float(v)
+    return out

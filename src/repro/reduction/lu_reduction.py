@@ -1,0 +1,122 @@
+"""The LU warm-up reduction (paper, Equation 1).
+
+Before the Cholesky construction, Section 2 recalls the classical
+embedding of a product into an LU factorization:
+
+        ⎛ I   0  −B ⎞   ⎛ I        ⎞ ⎛ I   0   −B  ⎞
+        ⎜ A   I   0 ⎟ = ⎜ A  I     ⎟ ⎜     I   A·B ⎟
+        ⎝ 0   0   I ⎠   ⎝ 0  0   I ⎠ ⎝         I   ⎠
+
+so ``A·B`` appears in the ``U₂₃`` block of the (unpivoted) LU factor.
+Unlike the Cholesky case this needs no masked values — the diagonal is
+all ones, so no pivoting is required and nothing must be hidden
+(there is no ``A·Aᵀ`` block to mask).  The paper notes pivoting can be
+accommodated by scaling; :func:`multiply_via_lu` exposes that ``scale``
+knob so the tests can check the invariance.
+
+This module implements the construction plus a classical unpivoted LU
+(both elementwise and blocked-recursive orders) — a second, simpler
+end-to-end instance of "factorizations compute products" alongside
+Algorithm 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.imath import split_point
+from repro.util.validation import check_positive_int
+
+
+def lu_nopivot(a: np.ndarray, order: str = "right") -> tuple[np.ndarray, np.ndarray]:
+    """Classical LU without pivoting: ``A = L·U``, unit-diagonal L.
+
+    Parameters
+    ----------
+    a:
+        Square matrix whose leading principal minors are nonsingular
+        (guaranteed for the Equation 1 construction: every pivot is 1).
+    order:
+        ``"right"`` — the eager outer-product schedule; or
+        ``"recursive"`` — the Toledo-style column recursion.  Both are
+        classical (no distributivity), so both serve the reduction.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    n = a.shape[0]
+    if a.shape != (n, n):
+        raise ValueError(f"need a square matrix, got {a.shape}")
+    work = a.copy()
+    if order == "right":
+        _lu_right(work)
+    elif order == "recursive":
+        _lu_recursive(work, 0, n)
+    else:
+        raise ValueError(f"unknown order {order!r}")
+    lower = np.tril(work, -1) + np.eye(n)
+    upper = np.triu(work)
+    return lower, upper
+
+
+def _lu_right(a: np.ndarray) -> None:
+    n = a.shape[0]
+    for k in range(n):
+        pivot = a[k, k]
+        if pivot == 0.0:
+            raise ZeroDivisionError(
+                f"zero pivot at step {k}: unpivoted LU needs nonsingular "
+                "leading minors"
+            )
+        a[k + 1 :, k] /= pivot
+        a[k + 1 :, k + 1 :] -= np.outer(a[k + 1 :, k], a[k, k + 1 :])
+
+
+def _lu_recursive(a: np.ndarray, lo: int, hi: int) -> None:
+    n = hi - lo
+    if n == 1:
+        if a[lo, lo] == 0.0:
+            raise ZeroDivisionError(f"zero pivot at step {lo}")
+        return
+    k = lo + split_point(n)
+    _lu_recursive(a, lo, k)
+    # panel solves: L21 = A21·U11⁻¹ and U12 = L11⁻¹·A12
+    l11 = np.tril(a[lo:k, lo:k], -1) + np.eye(k - lo)
+    u11 = np.triu(a[lo:k, lo:k])
+    a[k:hi, lo:k] = np.linalg.solve(u11.T, a[k:hi, lo:k].T).T
+    a[lo:k, k:hi] = np.linalg.solve(l11, a[lo:k, k:hi])
+    a[k:hi, k:hi] -= a[k:hi, lo:k] @ a[lo:k, k:hi]
+    _lu_recursive(a, k, hi)
+
+
+def build_lu_input(a, b, scale: float = 1.0) -> np.ndarray:
+    """The 3n×3n matrix of Equation (1), optionally scaled.
+
+    ``scale`` multiplies A and B and divides nothing — the product
+    block comes out scaled by ``scale²`` and callers rescale; the
+    paper's pivoting remark is that scaling A and B *down* keeps them
+    too small to be chosen as pivots in a pivoted LU.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    n = a.shape[0]
+    if a.shape != (n, n) or b.shape != a.shape:
+        raise ValueError(f"need equal square inputs, got {a.shape}, {b.shape}")
+    t = np.zeros((3 * n, 3 * n))
+    eye = np.eye(n)
+    t[:n, :n] = eye
+    t[n : 2 * n, n : 2 * n] = eye
+    t[2 * n :, 2 * n :] = eye
+    t[n : 2 * n, :n] = scale * a
+    t[:n, 2 * n :] = -scale * b
+    return t
+
+
+def multiply_via_lu(a, b, order: str = "right", scale: float = 1.0) -> np.ndarray:
+    """Compute ``A·B`` through an unpivoted LU factorization (Eq. 1).
+
+    Returns the float matrix ``A·B`` (rescaled if ``scale != 1``).
+    """
+    n = np.asarray(a).shape[0]
+    check_positive_int("n", n)
+    t = build_lu_input(a, b, scale=scale)
+    _lower, upper = lu_nopivot(t, order=order)
+    return upper[n : 2 * n, 2 * n :] / (scale * scale)

@@ -1,0 +1,72 @@
+"""Sequential Cholesky algorithms (the paper's Section 3.1–3.2).
+
+Every algorithm here:
+
+* computes a *real* factorization ``A = L Lᵀ`` (verified against a
+  reference Cholesky in the tests),
+* runs over any storage layout of :mod:`repro.layouts`,
+* charges its data movement to the machine its operand is bound to,
+* counts its floating-point operations exactly (§3.1.3).
+
+The census, with their Table 1 rows:
+
+=====================  ============================================
+function               paper artifact
+=====================  ============================================
+``naive_left_looking``  Algorithm 2 (naïve left-looking)
+``naive_right_looking`` Algorithm 3 (naïve right-looking)
+``naive_up_looking``    the row-wise twin the paper mentions
+``lapack_blocked``      Algorithm 4 (LAPACK POTRF)
+``toledo``              Algorithm 5 (rectangular recursive, [Tol97])
+``square_recursive``    Algorithm 6 (square recursive, [AP00])
+``rmatmul``             Algorithm 7 (recursive matmul, [FLPR99])
+``rtrsm``               Algorithm 8 (recursive triangular solve)
+``rsyrk``               the symmetric rank-k twin of Algorithm 7
+=====================  ============================================
+"""
+
+from repro.sequential.flops import (
+    cholesky_flops,
+    gemm_flops,
+    syrk_flops,
+    trsm_flops,
+)
+from repro.sequential.naive import (
+    naive_left_looking,
+    naive_right_looking,
+    naive_up_looking,
+)
+from repro.sequential.lapack_blocked import lapack_blocked
+from repro.sequential.rmatmul import rmatmul
+from repro.sequential.rsyrk import rsyrk
+from repro.sequential.rtrsm import rtrsm
+from repro.sequential.square_recursive import square_recursive
+from repro.sequential.toledo import toledo
+from repro.sequential.registry import ALGORITHMS, available_algorithms, run_algorithm
+from repro.sequential.solve import (
+    back_substitution,
+    cholesky_solve,
+    forward_substitution,
+)
+
+__all__ = [
+    "cholesky_flops",
+    "gemm_flops",
+    "syrk_flops",
+    "trsm_flops",
+    "naive_left_looking",
+    "naive_right_looking",
+    "naive_up_looking",
+    "lapack_blocked",
+    "toledo",
+    "square_recursive",
+    "rmatmul",
+    "rsyrk",
+    "rtrsm",
+    "ALGORITHMS",
+    "available_algorithms",
+    "run_algorithm",
+    "forward_substitution",
+    "back_substitution",
+    "cholesky_solve",
+]

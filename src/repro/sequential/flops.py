@@ -1,0 +1,67 @@
+"""Exact arithmetic-operation counts (paper §3.1.3).
+
+All the sequential algorithms perform *the same* scalar operations, up
+to reordering (Equations 5–6): entry ``L(i, j)`` (0-based, ``i >= j``)
+costs ``j`` multiplications, ``j`` subtractions and one division (one
+square root on the diagonal) — ``2j + 1`` flops.  Summing gives the
+exact total
+
+    A(n) = (n³ − n)/3 + (n² + n)/2  =  n³/3 + Θ(n²),
+
+and because the blocked/recursive algorithms perform exactly the same
+scalar work partitioned into kernels, the kernel counts below are
+exact too — the test suite checks that every algorithm's counted
+flops equal ``cholesky_flops(n)`` to the word.
+"""
+
+from __future__ import annotations
+
+from repro.util.validation import check_nonnegative_int
+
+
+def cholesky_flops(n: int) -> int:
+    """Exact flops of an ``n × n`` Cholesky factorization.
+
+    ``sum_{j=0}^{n-1} (n - j)(2j + 1) = (n³ − n)/3 + (n² + n)/2``.
+    """
+    n = check_nonnegative_int("n", n)
+    return (n**3 - n) // 3 + (n**2 + n) // 2
+
+
+def gemm_flops(m: int, k: int, r: int) -> int:
+    """Exact flops of ``C -= A·B`` with A ``m×k``, B ``k×r``.
+
+    Each of the ``m·r`` output entries takes ``k`` multiplications and
+    ``k`` additions/subtractions (fused accumulate into C).
+    """
+    return 2 * m * k * r
+
+
+def syrk_flops(m: int, k: int) -> int:
+    """Exact flops of the symmetric update ``C -= A·Aᵀ`` (lower only).
+
+    ``m(m+1)/2`` stored entries, ``2k`` flops each.
+    """
+    return m * (m + 1) * k
+
+
+def trsm_flops(m: int, b: int) -> int:
+    """Exact flops of ``X = A·L^{-T}`` with A ``m×b``, L ``b×b``.
+
+    Each of the ``m`` rows performs a length-``b`` triangular back
+    substitution: ``sum_{j=0}^{b-1} (2j + 1) = b²`` flops.
+    """
+    return m * b * b
+
+
+def column_scale_flops(m: int) -> int:
+    """Exact flops of finishing one column: one sqrt + ``m−1`` divisions."""
+    if m < 1:
+        raise ValueError("column length must be >= 1")
+    return m
+
+
+def column_update_flops(m: int) -> int:
+    """Exact flops of one rank-1 column update of length ``m``
+    (``m`` multiplications + ``m`` subtractions)."""
+    return 2 * m

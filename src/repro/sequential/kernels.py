@@ -1,0 +1,53 @@
+"""In-fast-memory numerical kernels.
+
+Once a block (or a recursion's working set) is resident in fast
+memory, arithmetic is free in the communication model; these helpers
+do that arithmetic with NumPy/SciPy so the simulated algorithms
+produce real factors.
+
+A recurring wrinkle: our algorithms, like LAPACK's, reference only the
+*lower* triangle of symmetric blocks, so the strictly-upper part of a
+diagonal block may hold stale values by the time it is factored.
+``sym_from_lower`` rebuilds the symmetric operand the mathematics
+refers to before handing it to a dense kernel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.linalg import solve_triangular
+
+
+def sym_from_lower(c: np.ndarray) -> np.ndarray:
+    """Symmetric matrix whose lower triangle is ``tril(c)``."""
+    low = np.tril(c)
+    return low + np.tril(c, -1).T
+
+
+def dense_cholesky(c: np.ndarray) -> np.ndarray:
+    """Lower Cholesky factor of the symmetric operand in ``tril(c)``.
+
+    Raises ``numpy.linalg.LinAlgError`` if the operand is not positive
+    definite — the loud failure mode the paper's no-pivoting setting
+    implies.
+    """
+    return np.linalg.cholesky(sym_from_lower(c))
+
+
+def solve_lower_transposed_right(a: np.ndarray, l: np.ndarray) -> np.ndarray:
+    """``X = A · L^{-T}`` with ``L`` lower triangular (TRSM 'RLT').
+
+    Reads only ``tril(l)``.  This is the panel update of Algorithm 4
+    (line 6) and Algorithm 6 (line 5): ``X Lᵀ = A``.
+    """
+    # X Lᵀ = A  ⇔  L Xᵀ = Aᵀ
+    return solve_triangular(l, a.T, lower=True, trans="N").T
+
+
+def solve_upper_right(a: np.ndarray, u: np.ndarray) -> np.ndarray:
+    """``X = A · U^{-1}`` with ``U`` upper triangular (Algorithm 8).
+
+    Reads only ``triu(u)``.
+    """
+    # X U = A  ⇔  Uᵀ Xᵀ = Aᵀ
+    return solve_triangular(u, a.T, lower=False, trans="T").T

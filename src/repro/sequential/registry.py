@@ -1,0 +1,62 @@
+"""Registry of the sequential Cholesky algorithms.
+
+Single mapping from the names used in Table 1 and the reports to the
+callables, so the benchmark harness, the CLI and the tests all sweep
+the same census.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.matrices.tracked import TrackedMatrix
+from repro.sequential.blocked_right import lapack_blocked_right
+from repro.sequential.lapack_blocked import lapack_blocked
+from repro.sequential.naive import (
+    naive_left_looking,
+    naive_right_looking,
+    naive_up_looking,
+)
+from repro.sequential.square_recursive import square_recursive
+from repro.sequential.toledo import toledo
+
+Algorithm = Callable[..., np.ndarray]
+
+ALGORITHMS: Dict[str, Algorithm] = {
+    "naive-left": naive_left_looking,
+    "naive-right": naive_right_looking,
+    "naive-up": naive_up_looking,
+    "lapack": lapack_blocked,
+    "lapack-right": lapack_blocked_right,
+    "toledo": toledo,
+    "square-recursive": square_recursive,
+}
+"""Name → algorithm map (Table 1 census)."""
+
+
+def available_algorithms() -> tuple[str, ...]:
+    """Names accepted by :func:`run_algorithm`."""
+    return tuple(sorted(ALGORITHMS))
+
+
+def run_algorithm(name: str, A: TrackedMatrix, **params) -> np.ndarray:
+    """Run a registered algorithm on a tracked matrix.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`available_algorithms`.
+    A:
+        The tracked operand (overwritten with its factor).
+    params:
+        Algorithm-specific keywords (e.g. ``block=`` for ``"lapack"``).
+
+    Returns the lower factor ``L``.
+    """
+    if name not in ALGORITHMS:
+        raise ValueError(
+            f"unknown algorithm {name!r}; available: {available_algorithms()}"
+        )
+    return ALGORITHMS[name](A, **params)

@@ -1,0 +1,114 @@
+"""Solving SPD systems with a tracked factor.
+
+The paper's introduction motivates Cholesky as the factorization "used
+for solving dense symmetric positive definite linear systems"; this
+module completes that use case on the same machine model: triangular
+substitution sweeps whose column reads are charged like every other
+access, and an end-to-end :func:`cholesky_solve` (factor + two
+substitutions) so the examples can show where the communication in a
+full solve actually goes (answer: overwhelmingly the factorization —
+substitution moves Θ(n²/2) words against the factorization's
+Θ(n³/√M)).
+
+The right-hand side lives in its own slow-memory region and is held
+resident through a sweep, so the model requirement is ``M >= 2n + 1``
+(one column + the RHS + the pivot), mirroring the naïve algorithms'
+whole-column regime.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.machine.core import ModelError
+from repro.matrices.tracked import TrackedMatrix
+from repro.sequential.registry import run_algorithm
+from repro.util.intervals import IntervalSet
+
+
+def _as_rhs(b: np.ndarray, n: int) -> np.ndarray:
+    arr = np.asarray(b, dtype=np.float64)
+    if arr.ndim == 1:
+        arr = arr[:, None]
+    if arr.ndim != 2 or arr.shape[0] != n:
+        raise ValueError(f"rhs must have {n} rows, got shape {arr.shape}")
+    return arr.copy()
+
+
+def _hold_rhs(machine, words: int) -> IntervalSet:
+    base = machine.reserve_address_space(words)
+    ivs = IntervalSet.single(base, base + words)
+    machine.read(ivs)
+    return ivs
+
+
+def forward_substitution(L: TrackedMatrix, b: np.ndarray) -> np.ndarray:
+    """Solve ``L y = b`` with ``L`` the lower triangle of a tracked factor.
+
+    Sweeps columns left to right, reading each column of L once:
+    n(n+1)/2 words, one message per column on column-major storage.
+    """
+    n, machine = L.n, L.machine
+    y = _as_rhs(b, n)
+    if machine.M < 2 * n + 1:
+        raise ModelError(
+            f"forward substitution needs M >= 2n+1 = {2 * n + 1}, got {machine.M}"
+        )
+    rhs_ivs = _hold_rhs(machine, y.size)
+    for j in range(n):
+        col_ref = L.block(j, n, j, j + 1)
+        col = col_ref.load()
+        y[j] /= col[0, 0]
+        machine.add_flops(y.shape[1])
+        if j + 1 < n:
+            y[j + 1 :] -= col[1:] * y[j]
+            machine.add_flops(2 * (n - j - 1) * y.shape[1])
+        col_ref.release()
+    machine.write(rhs_ivs)
+    machine.release(rhs_ivs)
+    return y if np.asarray(b).ndim == 2 else y[:, 0]
+
+
+def back_substitution(L: TrackedMatrix, y: np.ndarray) -> np.ndarray:
+    """Solve ``Lᵀ x = y`` with ``L`` the lower triangle of a tracked factor.
+
+    Sweeps columns right to left; each column of L is again read once.
+    """
+    n, machine = L.n, L.machine
+    x = _as_rhs(y, n)
+    if machine.M < 2 * n + 1:
+        raise ModelError(
+            f"back substitution needs M >= 2n+1 = {2 * n + 1}, got {machine.M}"
+        )
+    rhs_ivs = _hold_rhs(machine, x.size)
+    for j in range(n - 1, -1, -1):
+        col_ref = L.block(j, n, j, j + 1)
+        col = col_ref.load()
+        if j + 1 < n:
+            x[j] -= col[1:, 0] @ x[j + 1 :]
+            machine.add_flops(2 * (n - j - 1) * x.shape[1])
+        x[j] /= col[0, 0]
+        machine.add_flops(x.shape[1])
+        col_ref.release()
+    machine.write(rhs_ivs)
+    machine.release(rhs_ivs)
+    return x if np.asarray(y).ndim == 2 else x[:, 0]
+
+
+def cholesky_solve(
+    A: TrackedMatrix,
+    b: np.ndarray,
+    *,
+    algorithm: str = "square-recursive",
+    **params,
+) -> np.ndarray:
+    """Solve ``A x = b`` end to end: factor, then two substitutions.
+
+    ``A`` is overwritten with its factor (like the in-place algorithms
+    of Section 3); all communication lands on ``A``'s machine.  Phase
+    costs can be recovered with counter snapshots — see
+    ``examples/pde_solver.py``.
+    """
+    run_algorithm(algorithm, A, **params)
+    y = forward_substitution(A, b)
+    return back_substitution(A, y)

@@ -1,0 +1,123 @@
+"""Algorithm 5: the rectangular recursive Cholesky (Toledo-style).
+
+The Cholesky specialization of Toledo's recursive LU [Tol97]: recurse
+on the *column* dimension only, with a per-column base case that
+explicitly reads, scales, and writes one column of the (rectangular)
+panel.  The trailing update is performed with the cache-oblivious
+multiplication/symmetric-update kernels.
+
+The per-column base case is the algorithm's signature and its
+weakness: its I/O is explicit (it happens at every level of the
+hierarchy regardless of cache size), producing
+
+* the ``+ mn log n`` bandwidth term of Claim 3.1
+  — B(n,n) = Θ(n³/√M + n² log n), bandwidth-optimal except in the
+  narrow range M > n²/log²n;
+* latency Ω(n³/M) on column-major storage and Ω(n²) on recursive
+  block storage (a column of a Morton matrix is Θ(m) runs), so it is
+  *never* latency-optimal for M > n^{2/3} (Conclusion 4).
+
+When a column is longer than fast memory the base case streams it in
+pivot-pinned segments, unchanged in total words.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.machine.core import ModelError
+from repro.matrices.tracked import BlockRef, TrackedMatrix
+from repro.sequential.flops import column_scale_flops
+from repro.sequential.rmatmul import _rmatmul
+from repro.sequential.rsyrk import _rsyrk
+from repro.util.imath import split_point
+
+
+def toledo(A: TrackedMatrix) -> np.ndarray:
+    """Rectangular recursive Cholesky (Algorithm 5).
+
+    Returns the lower factor ``L`` (left in ``A``'s lower triangle).
+    """
+    _rect_rchol(A.whole())
+    A.machine.release_all()
+    return A.lower()
+
+
+def _rect_rchol(A: BlockRef) -> None:
+    """Factor an ``m × n`` panel (``m >= n``) of the global matrix.
+
+    The panel is the lower-left part of a positive definite matrix:
+    its top ``n × n`` block is factored, the rest of the panel is
+    transformed into the corresponding rows of ``L``.
+    """
+    m, n = A.shape
+    if m < n:
+        raise ValueError(f"panel must be at least as tall as wide, got {m}x{n}")
+    if n == 1:
+        _factor_column(A)
+        return
+    k = split_point(n)
+    left, right = A.split_cols(k)       # left: m×k, right: m×(n−k)
+    _rect_rchol(left)                   # L(:, :k)
+    # trailing update of the lower-right (m−k)×(n−k) panel:
+    #   A22 (diagonal block) gets a symmetric update,
+    #   A32 (below it) a general one — together the paper's line 5.
+    l21 = left.sub(k, n, 0, k)          # (n−k)×k
+    a22 = right.sub(k, n, 0, n - k)     # (n−k)×(n−k), diagonal block
+    _rsyrk(a22, l21)
+    if m > n:
+        l31 = left.sub(n, m, 0, k)      # (m−n)×k
+        a32 = right.sub(n, m, 0, n - k) # (m−n)×(n−k)
+        _rmatmul(a32, l31, l21.T, -1.0)
+    _rect_rchol(right.sub(k, m, 0, n - k))
+
+
+def _factor_column(A: BlockRef) -> None:
+    """Base case: explicitly read/scale/write one column (2m words).
+
+    This I/O is charged at *every* hierarchy level — it is real
+    traffic the algorithm issues whether or not the column is cached,
+    which is exactly how Claim 3.1's recurrence charges it.
+    """
+    machine = A.matrix.machine
+    m = A.rows
+    M = machine.M
+    if m + 1 <= M:
+        col = A.load()
+        _scale(col, float(col[0, 0]), machine, with_sqrt=True)
+        A.store(col)
+        A.release()
+        return
+    # column longer than fast memory: stream pivot-pinned segments
+    if M < 2:
+        raise ModelError(f"toledo base case needs M >= 2, got M={M}")
+    seg = M - 1
+    pivot_ref = A.sub(0, 1, 0, 1)
+    pivot_vals = pivot_ref.load()
+    if pivot_vals[0, 0] <= 0:
+        raise np.linalg.LinAlgError("non-positive pivot: matrix is not SPD")
+    pivot = math.sqrt(float(pivot_vals[0, 0]))
+    pivot_vals[0, 0] = pivot
+    machine.add_flops(1)
+    pivot_ref.store(pivot_vals)
+    for r in range(1, m, seg):
+        re = min(r + seg, m)
+        seg_ref = A.sub(r, re, 0, 1)
+        vals = seg_ref.load()
+        vals /= pivot
+        machine.add_flops(re - r)
+        seg_ref.store(vals)
+        seg_ref.release()
+    pivot_ref.release()
+
+
+def _scale(col: np.ndarray, pivot: float, machine, *, with_sqrt: bool) -> None:
+    if pivot <= 0:
+        raise np.linalg.LinAlgError("non-positive pivot: matrix is not SPD")
+    if with_sqrt:
+        col[0, 0] = math.sqrt(pivot)
+        if col.shape[0] > 1:
+            col[1:] /= col[0, 0]
+        machine.add_flops(column_scale_flops(col.shape[0]))

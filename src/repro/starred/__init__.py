@@ -1,0 +1,47 @@
+"""The masked-value arithmetic of the lower-bound reduction (Table 3).
+
+The paper's reduction embeds a matrix product inside a Cholesky
+factorization by filling two diagonal blocks of the input with special
+values ``0*`` and ``1*`` that behave like 0 and 1 under
+multiplication/division but *mask* any real value under addition and
+subtraction.  This package implements that arithmetic exactly:
+
+* :data:`ZERO_STAR`, :data:`ONE_STAR` — the masked scalars, with
+  operator overloads implementing Table 3 (and raising on the
+  undefined divisions);
+* :func:`ssqrt` — the square root extended to masked values;
+* element-level linear algebra over object arrays: classical matmul,
+  and the generic Cholesky of Equations (5)–(6) in several evaluation
+  orders (Lemma 2.2 holds for *any* order respecting the dependency
+  DAG, and the tests check several);
+* :class:`StarredMatrix` — a machine-bound matrix of masked values,
+  so the reduction's communication is *measured*, not just asserted.
+"""
+
+from repro.starred.value import (
+    ONE_STAR,
+    ZERO_STAR,
+    Star,
+    StarArithmeticError,
+    is_starred,
+    ssqrt,
+)
+from repro.starred.linalg import (
+    starred_cholesky,
+    starred_matmul,
+    to_object_matrix,
+)
+from repro.starred.tracked import StarredMatrix
+
+__all__ = [
+    "Star",
+    "ZERO_STAR",
+    "ONE_STAR",
+    "StarArithmeticError",
+    "is_starred",
+    "ssqrt",
+    "starred_matmul",
+    "starred_cholesky",
+    "to_object_matrix",
+    "StarredMatrix",
+]

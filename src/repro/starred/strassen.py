@@ -1,0 +1,78 @@
+"""Strassen's multiplication over masked values — the executable
+footnote on why the lower bound covers only *classical* algorithms.
+
+The masked arithmetic of Table 3 is commutative and associative but
+**not distributive**, and the reduction's correctness (Lemma 2.2)
+leans on every computed product being a genuine ``a·b`` of operands
+the dependency DAG provides.  Strassen's algorithm rewrites products
+using distributivity — ``(a11 + a22)(b11 + b22)`` etc. — so over
+masked values it computes *different* (wrong) results where a mask is
+involved, while remaining correct on purely real inputs.
+
+That asymmetry is exactly the paper's scoping statement: "our results
+do not apply when using distributivity to reorganize the algorithm
+(such as Strassen-like algorithms)".  The tests exhibit a concrete
+masked input where :func:`strassen_matmul` and the classical
+:func:`repro.starred.linalg.starred_matmul` disagree.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.starred.linalg import starred_matmul
+from repro.util.imath import is_pow2, next_pow2
+
+
+def strassen_matmul(
+    a: np.ndarray, b: np.ndarray, *, leaf: int = 1
+) -> np.ndarray:
+    """Strassen's algorithm over object (masked or real) matrices.
+
+    Pads to a power of two with real zeros, recurses down to
+    ``leaf × leaf`` blocks (multiplied classically), and combines with
+    the seven Strassen products.  Correct for real inputs; *not*
+    faithful for masked inputs — by design, see the module docstring.
+    """
+    a = np.asarray(a, dtype=object)
+    b = np.asarray(b, dtype=object)
+    n = a.shape[0]
+    if a.shape != (n, n) or b.shape != (n, n):
+        raise ValueError(f"need equal square operands, got {a.shape}, {b.shape}")
+    size = n if is_pow2(n) else next_pow2(n)
+    if size != n:
+        a = _pad(a, size)
+        b = _pad(b, size)
+    out = _strassen(a, b, max(1, leaf))
+    return out[:n, :n]
+
+
+def _pad(m: np.ndarray, size: int) -> np.ndarray:
+    out = np.empty((size, size), dtype=object)
+    out[...] = 0.0
+    out[: m.shape[0], : m.shape[1]] = m
+    return out
+
+
+def _strassen(a: np.ndarray, b: np.ndarray, leaf: int) -> np.ndarray:
+    n = a.shape[0]
+    if n <= leaf:
+        return starred_matmul(a, b)
+    h = n // 2
+    a11, a12, a21, a22 = a[:h, :h], a[:h, h:], a[h:, :h], a[h:, h:]
+    b11, b12, b21, b22 = b[:h, :h], b[:h, h:], b[h:, :h], b[h:, h:]
+    # the seven products — every one of these sums *before multiplying*
+    # is a distributivity rewrite the masked arithmetic does not license
+    m1 = _strassen(a11 + a22, b11 + b22, leaf)
+    m2 = _strassen(a21 + a22, b11, leaf)
+    m3 = _strassen(a11, b12 - b22, leaf)
+    m4 = _strassen(a22, b21 - b11, leaf)
+    m5 = _strassen(a11 + a12, b22, leaf)
+    m6 = _strassen(a21 - a11, b11 + b12, leaf)
+    m7 = _strassen(a12 - a22, b21 + b22, leaf)
+    out = np.empty((n, n), dtype=object)
+    out[:h, :h] = m1 + m4 - m5 + m7
+    out[:h, h:] = m3 + m5
+    out[h:, :h] = m2 + m4
+    out[h:, h:] = m1 - m2 + m3 + m6
+    return out

@@ -1,0 +1,155 @@
+"""The ``0*`` / ``1*`` masked scalars (paper, Table 3).
+
+Arithmetic rules, with ``x, y`` real:
+
+========  =========  =========  =========
+op        1* (rhs)   0* (rhs)   y (rhs)
+========  =========  =========  =========
+1* ±      1*         1*         1*
+0* ±      1*         0*         0*
+x  ±      1*         0*         x ± y
+1* ·      1*         0*         y
+0* ·      0*         0          0
+x  ·      x          0          x·y
+1* /      1*         —          1/y
+0* /      0*         —          0
+x  /      x          —          x/y
+√         1*         0*         √x
+========  =========  =========  =========
+
+Note the asymmetries the correctness proof leans on: ``0*`` *masks*
+reals under ± (so it hides the ``A·Aᵀ`` that plagued the naïve
+reduction), while ``0* · x = 0`` is a *real* zero (so products of one
+masked and one real factor cannot contaminate the embedded product
+block).  Division by ``0*`` is undefined and raising on it is a
+correctness check: Lemma 2.2 proves a classical Cholesky never
+attempts it.
+
+The set is commutative and associative under + and ·, but **not
+distributive** — which is exactly why the reduction only applies to
+classical (non-Strassen) algorithms.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Union
+
+Real = Union[int, float]
+MaskedValue = Union["Star", Real]
+
+
+class StarArithmeticError(ZeroDivisionError):
+    """An operation undefined in Table 3 was attempted (division by 0*)."""
+
+
+class Star:
+    """One of the two masked scalars; use the singletons
+    :data:`ZERO_STAR` and :data:`ONE_STAR`."""
+
+    __slots__ = ("one",)
+
+    def __init__(self, one: bool) -> None:
+        self.one = bool(one)
+
+    # -- helpers ---------------------------------------------------------
+
+    @staticmethod
+    def _is_real(v: object) -> bool:
+        return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+    def __repr__(self) -> str:
+        return "1*" if self.one else "0*"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Star):
+            return self.one == other.one
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(("Star", self.one))
+
+    def __neg__(self) -> "Star":
+        # the paper defines −0* ≡ 0* and −1* ≡ 1*
+        return self
+
+    # -- addition / subtraction (masking) ------------------------------------
+
+    def _addsub(self, other: MaskedValue) -> MaskedValue:
+        if isinstance(other, Star):
+            return ONE_STAR if (self.one or other.one) else ZERO_STAR
+        if self._is_real(other):
+            return self  # a star masks any real
+        return NotImplemented
+
+    def __add__(self, other: MaskedValue) -> MaskedValue:
+        return self._addsub(other)
+
+    def __radd__(self, other: MaskedValue) -> MaskedValue:
+        return self._addsub(other)
+
+    def __sub__(self, other: MaskedValue) -> MaskedValue:
+        return self._addsub(other)
+
+    def __rsub__(self, other: MaskedValue) -> MaskedValue:
+        return self._addsub(other)
+
+    # -- multiplication ----------------------------------------------------
+
+    def __mul__(self, other: MaskedValue) -> MaskedValue:
+        if isinstance(other, Star):
+            if self.one and other.one:
+                return ONE_STAR
+            if self.one or other.one:
+                return ZERO_STAR  # 1*·0* = 0*
+            return 0.0  # 0*·0* = 0 (real!)
+        if self._is_real(other):
+            return float(other) if self.one else 0.0
+        return NotImplemented
+
+    def __rmul__(self, other: MaskedValue) -> MaskedValue:
+        return self.__mul__(other)  # multiplication table is symmetric
+
+    # -- division ------------------------------------------------------------
+
+    def __truediv__(self, other: MaskedValue) -> MaskedValue:
+        if isinstance(other, Star):
+            if not other.one:
+                raise StarArithmeticError("division by 0* is undefined")
+            return self  # anything / 1* is itself
+        if self._is_real(other):
+            if other == 0:
+                raise ZeroDivisionError("division by real zero")
+            # 1*/y = 1/y;  0*/y = 0  (both real results)
+            return (1.0 / float(other)) if self.one else 0.0
+        return NotImplemented
+
+    def __rtruediv__(self, other: MaskedValue) -> MaskedValue:
+        # real / star
+        if self._is_real(other):
+            if not self.one:
+                raise StarArithmeticError("division by 0* is undefined")
+            return float(other)
+        return NotImplemented
+
+
+ZERO_STAR = Star(one=False)
+"""The masking zero ``0*``."""
+
+ONE_STAR = Star(one=True)
+"""The masking one ``1*``."""
+
+
+def is_starred(v: object) -> bool:
+    """Whether ``v`` is one of the masked scalars."""
+    return isinstance(v, Star)
+
+
+def ssqrt(v: MaskedValue) -> MaskedValue:
+    """Square root extended to masked values (Table 3, last column)."""
+    if isinstance(v, Star):
+        return v
+    x = float(v)
+    if x < 0:
+        raise ValueError(f"square root of negative real {x}")
+    return math.sqrt(x)

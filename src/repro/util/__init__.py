@@ -1,0 +1,56 @@
+"""Shared low-level utilities for the reproduction.
+
+This package deliberately contains no model logic.  It provides:
+
+``repro.util.intervals``
+    Exact integer interval algebra.  The communication model of the
+    paper counts a *message* as a maximal contiguous run of addresses
+    (capped at the fast-memory size), so every layout and machine in
+    this repository speaks the language of half-open integer intervals.
+
+``repro.util.imath``
+    Small integer-math helpers (ceil-div, powers of two, splitting
+    ranges in half the way the recursive algorithms of the paper do).
+
+``repro.util.fitting``
+    Log-log scaling-exponent estimation used by the benchmark harness
+    to check that measured counts follow the paper's Θ-forms.
+
+``repro.util.tables``
+    Plain-text table rendering for the Table 1 / Table 2 reports.
+
+``repro.util.validation``
+    Argument-checking helpers shared by the public API.
+"""
+
+from repro.util.intervals import IntervalSet, merge_intervals
+from repro.util.imath import (
+    ceil_div,
+    ilog2,
+    is_pow2,
+    next_pow2,
+    split_point,
+)
+from repro.util.fitting import PowerFit, fit_power_law
+from repro.util.tables import format_table
+from repro.util.validation import (
+    check_positive_int,
+    check_square,
+    check_symmetric,
+)
+
+__all__ = [
+    "IntervalSet",
+    "merge_intervals",
+    "ceil_div",
+    "ilog2",
+    "is_pow2",
+    "next_pow2",
+    "split_point",
+    "PowerFit",
+    "fit_power_law",
+    "format_table",
+    "check_positive_int",
+    "check_square",
+    "check_symmetric",
+]

@@ -1,0 +1,97 @@
+"""Log-log power-law fitting for the benchmark harness.
+
+The paper's evaluation artifacts (Tables 1 and 2) are asymptotic
+Θ/O-forms.  To check that a *measured* count follows, say,
+``B(n) = Θ(n³ / sqrt(M))``, the harness measures the count over a
+geometric sweep of the parameter and fits the exponent of the
+power law ``count ≈ c · x^p`` by least squares in log-log space.
+
+``fit_power_law`` returns the fitted exponent, the prefactor, and the
+coefficient of determination so benches can assert both "the exponent
+is right" and "the data is actually a power law".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class PowerFit:
+    """Result of a least-squares power-law fit ``y ≈ coeff * x**exponent``."""
+
+    exponent: float
+    coeff: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        """Evaluate the fitted power law at ``x``."""
+        return self.coeff * x**self.exponent
+
+    def exponent_close_to(self, target: float, tol: float = 0.25) -> bool:
+        """Whether the fitted exponent is within ``tol`` of ``target``.
+
+        The default tolerance is generous because lower-order terms
+        (the ``+ n²`` in ``Θ(n³/√M + n²)``) bend finite-size sweeps.
+        """
+        return abs(self.exponent - target) <= tol
+
+
+def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> PowerFit:
+    """Least-squares fit of ``y = c * x**p`` in log-log space.
+
+    Parameters
+    ----------
+    xs, ys:
+        Positive samples; at least two distinct ``x`` values.
+
+    Returns
+    -------
+    PowerFit
+        Fitted exponent ``p``, prefactor ``c`` and ``R²`` of the fit
+        in log space.
+    """
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have the same length")
+    if len(xs) < 2:
+        raise ValueError("need at least two samples to fit an exponent")
+    if any(x <= 0 for x in xs) or any(y <= 0 for y in ys):
+        raise ValueError("power-law fitting needs strictly positive data")
+
+    lx = [math.log(x) for x in xs]
+    ly = [math.log(y) for y in ys]
+    n = len(lx)
+    mean_x = sum(lx) / n
+    mean_y = sum(ly) / n
+    sxx = sum((x - mean_x) ** 2 for x in lx)
+    if sxx == 0.0:
+        raise ValueError("all x values identical; cannot fit an exponent")
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(lx, ly))
+    slope = sxy / sxx
+    intercept = mean_y - slope * mean_x
+
+    syy = sum((y - mean_y) ** 2 for y in ly)
+    if syy == 0.0:
+        r2 = 1.0
+    else:
+        ss_res = sum(
+            (y - (slope * x + intercept)) ** 2 for x, y in zip(lx, ly)
+        )
+        r2 = 1.0 - ss_res / syy
+    return PowerFit(exponent=slope, coeff=math.exp(intercept), r_squared=r2)
+
+
+def ratio_spread(ys: Sequence[float]) -> float:
+    """``max(y) / min(y)`` — how flat a series is.
+
+    Used to check claims of the form "latency is Θ(√P) *independent of
+    n*": sweep n at fixed P and assert the spread stays near 1.
+    """
+    if not ys:
+        raise ValueError("empty series")
+    lo, hi = min(ys), max(ys)
+    if lo <= 0:
+        raise ValueError("ratio spread needs positive data")
+    return hi / lo

@@ -1,0 +1,73 @@
+"""Integer-math helpers shared across the model code.
+
+The recursive algorithms of the paper split dimensions "in half",
+padding to even sizes where needed; the machine model rounds block
+sizes to integers; the layouts need powers of two for bit
+interleaving.  These helpers centralize those conventions so every
+module splits and rounds identically.
+"""
+
+from __future__ import annotations
+
+
+def ceil_div(a: int, b: int) -> int:
+    """``ceil(a / b)`` in exact integer arithmetic (``b > 0``)."""
+    if b <= 0:
+        raise ValueError(f"divisor must be positive, got {b}")
+    return -((-a) // b)
+
+
+def is_pow2(n: int) -> bool:
+    """Whether ``n`` is a positive power of two."""
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def next_pow2(n: int) -> int:
+    """The smallest power of two >= ``n`` (``n >= 1``)."""
+    if n < 1:
+        raise ValueError(f"need n >= 1, got {n}")
+    return 1 << (n - 1).bit_length()
+
+
+def ilog2(n: int) -> int:
+    """``log2(n)`` for an exact power of two."""
+    if not is_pow2(n):
+        raise ValueError(f"{n} is not a positive power of two")
+    return n.bit_length() - 1
+
+
+def split_point(n: int) -> int:
+    """Where the recursive algorithms split a dimension of size ``n``.
+
+    The paper's recursions divide block sizes by two, "perhaps padding
+    submatrices to have even dimensions as needed".  We use
+    ``ceil(n / 2)``, which keeps the *first* half the larger one; this
+    matches the convention that the leading submatrix ``A11`` of a
+    Cholesky recursion must be factored first and may not be empty.
+    """
+    if n < 2:
+        raise ValueError(f"cannot split a dimension of size {n}")
+    return ceil_div(n, 2)
+
+
+def isqrt_floor(n: int) -> int:
+    """Integer floor square root (thin wrapper, for readability)."""
+    import math
+
+    if n < 0:
+        raise ValueError(f"need n >= 0, got {n}")
+    return math.isqrt(n)
+
+
+def largest_fitting_block(memory_words: int, matrices: int = 3) -> int:
+    """Largest block size b such that ``matrices`` b×b blocks fit in memory.
+
+    The paper's blocked algorithms assume ``b <= sqrt(M / 3)`` so that
+    three operand blocks are simultaneously resident (Algorithm 4 and
+    the base cases of the recursive algorithms).
+    """
+    if memory_words < matrices:
+        raise ValueError(
+            f"memory of {memory_words} words cannot hold {matrices} blocks"
+        )
+    return isqrt_floor(memory_words // matrices)

@@ -1,0 +1,255 @@
+"""Exact integer interval algebra.
+
+The sequential model of the paper (Section 1, footnote 1) is the
+two-level I/O (DAM) model with transfer granularity of one word, where
+a *message* is a bundle of consecutively stored words.  Consequently
+the fundamental object every storage layout produces, and every
+machine consumes, is a set of half-open integer intervals
+``[start, stop)`` over the linear (slow-memory) address space.
+
+``IntervalSet`` is an immutable, always-normalized (sorted, disjoint,
+non-adjacent) set of such intervals.  Normalization is what makes the
+message count well defined: two adjacent address runs are one message.
+
+All arithmetic here is exact integer arithmetic; there is no floating
+point anywhere in the counting path.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence, Tuple
+
+Interval = Tuple[int, int]
+
+
+def merge_intervals(raw: Iterable[Interval]) -> Tuple[Interval, ...]:
+    """Sort and coalesce intervals, dropping empties.
+
+    Overlapping and *adjacent* intervals are merged: ``(0, 4)`` and
+    ``(4, 9)`` become ``(0, 9)``, because a single message can carry a
+    contiguous run regardless of how the run was assembled.
+
+    Parameters
+    ----------
+    raw:
+        Any iterable of ``(start, stop)`` pairs with ``start <= stop``.
+
+    Returns
+    -------
+    tuple of (start, stop)
+        Sorted, disjoint, non-adjacent, non-empty intervals.
+    """
+    cleaned = sorted((int(a), int(b)) for a, b in raw if b > a)
+    if not cleaned:
+        return ()
+    merged: list[Interval] = [cleaned[0]]
+    for start, stop in cleaned[1:]:
+        last_start, last_stop = merged[-1]
+        if start <= last_stop:  # overlap or adjacency
+            if stop > last_stop:
+                merged[-1] = (last_start, stop)
+        else:
+            merged.append((start, stop))
+    return tuple(merged)
+
+
+class IntervalSet:
+    """An immutable normalized set of half-open integer intervals.
+
+    Instances support the operations the communication model needs:
+
+    * ``len(s)`` / ``s.runs`` — number of maximal contiguous runs
+      (= number of messages when no message-size cap applies);
+    * ``s.words`` — total number of addresses covered (= bandwidth
+      cost of transferring the set);
+    * ``s.messages(cap)`` — number of messages when a single message
+      may carry at most ``cap`` words (the paper caps messages at the
+      fast-memory size M);
+    * set algebra (``|``, ``&``, ``-``) used by tests and by the
+      resident-set tracking of the machines.
+    """
+
+    __slots__ = ("_ivs",)
+
+    def __init__(self, intervals: Iterable[Interval] = ()) -> None:
+        self._ivs: Tuple[Interval, ...] = merge_intervals(intervals)
+
+    # -- constructors -------------------------------------------------
+
+    @classmethod
+    def single(cls, start: int, stop: int) -> "IntervalSet":
+        """The set covering the single run ``[start, stop)``."""
+        return cls(((start, stop),))
+
+    @classmethod
+    def point(cls, address: int) -> "IntervalSet":
+        """The set covering one address."""
+        return cls(((address, address + 1),))
+
+    @classmethod
+    def _from_normalized(cls, ivs: Tuple[Interval, ...]) -> "IntervalSet":
+        out = cls.__new__(cls)
+        out._ivs = ivs
+        return out
+
+    # -- basic queries -------------------------------------------------
+
+    @property
+    def intervals(self) -> Tuple[Interval, ...]:
+        """The normalized intervals as a tuple of ``(start, stop)``."""
+        return self._ivs
+
+    @property
+    def runs(self) -> int:
+        """Number of maximal contiguous runs."""
+        return len(self._ivs)
+
+    @property
+    def words(self) -> int:
+        """Total number of addresses covered."""
+        return sum(b - a for a, b in self._ivs)
+
+    def messages(self, cap: int | None = None) -> int:
+        """Number of messages needed to transfer this set.
+
+        Parameters
+        ----------
+        cap:
+            Maximum words per message, or ``None`` for unbounded
+            messages.  The paper uses ``cap = M`` (a message cannot
+            exceed the fast memory that receives it).
+        """
+        if cap is None:
+            return len(self._ivs)
+        if cap <= 0:
+            raise ValueError(f"message cap must be positive, got {cap}")
+        total = 0
+        for a, b in self._ivs:
+            total += -((a - b) // cap)  # ceil((b - a) / cap)
+        return total
+
+    def is_empty(self) -> bool:
+        """Whether the set covers no addresses."""
+        return not self._ivs
+
+    def __len__(self) -> int:
+        return len(self._ivs)
+
+    def __iter__(self) -> Iterator[Interval]:
+        return iter(self._ivs)
+
+    def __bool__(self) -> bool:
+        return bool(self._ivs)
+
+    def __contains__(self, address: int) -> bool:
+        # binary search over the sorted runs
+        lo, hi = 0, len(self._ivs)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            a, b = self._ivs[mid]
+            if address < a:
+                hi = mid
+            elif address >= b:
+                lo = mid + 1
+            else:
+                return True
+        return False
+
+    def addresses(self) -> Iterator[int]:
+        """Iterate over every covered address (tests / small inputs only)."""
+        for a, b in self._ivs:
+            yield from range(a, b)
+
+    def shift(self, offset: int) -> "IntervalSet":
+        """Translate every interval by ``offset`` (relocating a matrix
+        into its slot of a shared slow-memory address space)."""
+        return IntervalSet._from_normalized(
+            tuple((a + offset, b + offset) for a, b in self._ivs)
+        )
+
+    # -- set algebra ---------------------------------------------------
+
+    def union(self, other: "IntervalSet") -> "IntervalSet":
+        """Addresses covered by either set."""
+        return IntervalSet(self._ivs + other._ivs)
+
+    def intersection(self, other: "IntervalSet") -> "IntervalSet":
+        """Addresses covered by both sets."""
+        out: list[Interval] = []
+        i = j = 0
+        a, b = self._ivs, other._ivs
+        while i < len(a) and j < len(b):
+            lo = max(a[i][0], b[j][0])
+            hi = min(a[i][1], b[j][1])
+            if lo < hi:
+                out.append((lo, hi))
+            if a[i][1] < b[j][1]:
+                i += 1
+            else:
+                j += 1
+        return IntervalSet._from_normalized(tuple(out))
+
+    def difference(self, other: "IntervalSet") -> "IntervalSet":
+        """Addresses covered by this set but not by ``other``."""
+        out: list[Interval] = []
+        j = 0
+        b = other._ivs
+        for lo, hi in self._ivs:
+            cur = lo
+            while j < len(b) and b[j][1] <= cur:
+                j += 1
+            k = j
+            while k < len(b) and b[k][0] < hi:
+                blo, bhi = b[k]
+                if blo > cur:
+                    out.append((cur, blo))
+                cur = max(cur, bhi)
+                if bhi >= hi:
+                    break
+                k += 1
+            if cur < hi:
+                out.append((cur, hi))
+        return IntervalSet._from_normalized(merge_intervals(out))
+
+    def __or__(self, other: "IntervalSet") -> "IntervalSet":
+        return self.union(other)
+
+    def __and__(self, other: "IntervalSet") -> "IntervalSet":
+        return self.intersection(other)
+
+    def __sub__(self, other: "IntervalSet") -> "IntervalSet":
+        return self.difference(other)
+
+    def issubset(self, other: "IntervalSet") -> bool:
+        """Whether every covered address is covered by ``other``."""
+        return (self - other).is_empty()
+
+    def isdisjoint(self, other: "IntervalSet") -> bool:
+        """Whether the two sets share no address."""
+        return (self & other).is_empty()
+
+    # -- dunder plumbing -----------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IntervalSet):
+            return NotImplemented
+        return self._ivs == other._ivs
+
+    def __hash__(self) -> int:
+        return hash(self._ivs)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"[{a},{b})" for a, b in self._ivs)
+        return f"IntervalSet({inner})"
+
+
+def union_all(sets: Sequence[IntervalSet]) -> IntervalSet:
+    """Union of many interval sets (single normalization pass)."""
+    raw: list[Interval] = []
+    for s in sets:
+        raw.extend(s.intervals)
+    return IntervalSet(raw)
+
+
+EMPTY = IntervalSet()
+"""The empty interval set (shared immutable instance)."""

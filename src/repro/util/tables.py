@@ -1,0 +1,75 @@
+"""Plain-text table rendering.
+
+The benchmark harness regenerates the paper's Table 1 / Table 2 as
+monospace text, both to stdout and into ``reports/``.  This module is
+the single place that knows how to align columns so every report looks
+the same.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render rows as an aligned monospace table.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Row tuples; cells are formatted with a compact numeric style.
+    title:
+        Optional title line printed above the table.
+
+    Returns
+    -------
+    str
+        The rendered table, ending with a newline.
+    """
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    for i, row in enumerate(str_rows):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {i} has {len(row)} cells, expected {len(headers)}"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(headers)))
+    lines.append(fmt_row(["-" * w for w in widths]))
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines) + "\n"
+
+
+def format_kv_block(title: str, pairs: Iterable[tuple[str, object]]) -> str:
+    """Render a titled key/value block (used for bench summaries)."""
+    lines = [title]
+    items = list(pairs)
+    width = max((len(k) for k, _ in items), default=0)
+    for key, value in items:
+        lines.append(f"  {key.ljust(width)} : {_cell(value)}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,60 @@
+"""Argument validation helpers for the public API.
+
+Centralizing the checks keeps error messages uniform across the many
+entry points (every sequential algorithm, every layout constructor,
+the parallel driver) and keeps the algorithm bodies readable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def check_positive_int(name: str, value: int) -> int:
+    """Require ``value`` to be a positive integer; return it as ``int``."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    value = int(value)
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value
+
+
+def check_nonnegative_int(name: str, value: int) -> int:
+    """Require ``value`` to be a non-negative integer; return it as ``int``."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    value = int(value)
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def check_square(name: str, a: np.ndarray) -> np.ndarray:
+    """Require a 2-D square ndarray; return it as float64 C-order."""
+    arr = np.asarray(a, dtype=np.float64)
+    if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
+        raise ValueError(f"{name} must be a square matrix, got shape {arr.shape}")
+    return np.ascontiguousarray(arr)
+
+
+def check_symmetric(name: str, a: np.ndarray, tol: float = 1e-12) -> np.ndarray:
+    """Require a symmetric square ndarray (within ``tol``, relative)."""
+    arr = check_square(name, a)
+    scale = max(1.0, float(np.max(np.abs(arr))) if arr.size else 1.0)
+    if not np.allclose(arr, arr.T, atol=tol * scale, rtol=0.0):
+        raise ValueError(f"{name} must be symmetric")
+    return arr
+
+
+def check_spd_cheap(name: str, a: np.ndarray) -> np.ndarray:
+    """Cheap sanity check for positive definiteness (positive diagonal).
+
+    The algorithms themselves fail loudly (sqrt of a non-positive
+    pivot) if the matrix is not positive definite; this check only
+    catches obviously wrong inputs early with a clearer message.
+    """
+    arr = check_symmetric(name, a)
+    if arr.size and np.any(np.diag(arr) <= 0):
+        raise ValueError(f"{name} has a non-positive diagonal entry; not SPD")
+    return arr

@@ -1,0 +1,116 @@
+"""Tests for stability checks, measurement sweeps, and reports."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import ReportWriter
+from repro.analysis.stability import (
+    UNIT_ROUNDOFF,
+    residual_ratio,
+    stability_report,
+)
+from repro.analysis.sweeps import measure, sweep_n, sweep_param
+from repro.matrices.generators import hilbert_shifted, random_spd
+from repro.sequential import available_algorithms, run_algorithm
+from repro.machine import SequentialMachine
+from repro.matrices import TrackedMatrix
+from repro.layouts import ColumnMajorLayout
+
+
+class TestStability:
+    def test_unit_roundoff(self):
+        assert UNIT_ROUNDOFF == pytest.approx(2.0**-53)
+
+    def test_exact_factor_ratio_zero(self):
+        a = random_spd(8, seed=0)
+        L = np.linalg.cholesky(a)
+        assert residual_ratio(a, L) < 10.0
+
+    @pytest.mark.parametrize("algo", available_algorithms())
+    @pytest.mark.parametrize("gen", [random_spd, hilbert_shifted])
+    def test_every_algorithm_backward_stable(self, algo, gen):
+        """§3.1.2: Higham's bound holds for every evaluation order."""
+        n = 24
+        a = gen(n)
+        machine = SequentialMachine(4 * n)
+        A = TrackedMatrix(a, ColumnMajorLayout(n), machine)
+        L = run_algorithm(algo, A)
+        assert residual_ratio(a, L) < 50.0, algo
+
+    def test_wrong_factor_flagged(self):
+        a = random_spd(8, seed=1)
+        assert residual_ratio(a, np.eye(8)) > 1e6
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            residual_ratio(np.eye(3), np.eye(4))
+
+    def test_report(self):
+        a = random_spd(6, seed=2)
+        rep = stability_report(a, {"ref": np.linalg.cholesky(a)})
+        assert set(rep) == {"ref"} and rep["ref"] < 10.0
+
+
+class TestMeasure:
+    def test_measurement_fields(self):
+        m = measure("naive-left", 16, 64)
+        assert m.correct
+        assert m.words == m.words_read + m.words_written
+        assert m.n == 16 and m.M == 64
+        assert m.bandwidth_per_flop > 0
+
+    def test_blocked_layout_default_block(self):
+        m = measure("lapack", 16, 3 * 4 * 4, layout="blocked")
+        assert m.correct and m.layout == "blocked"
+
+    def test_algorithm_params_pass_through(self):
+        m1 = measure("lapack", 32, 3 * 8 * 8, block=2)
+        m2 = measure("lapack", 32, 3 * 8 * 8, block=8)
+        assert m1.words > m2.words
+
+    def test_sweep_n_fits_cubic_for_naive(self):
+        _, fit = sweep_n("naive-left", [16, 32, 64], lambda n: 4 * n)
+        assert fit.exponent_close_to(3.0, tol=0.3)
+        assert fit.r_squared > 0.99
+
+    def test_sweep_param_fits_inverse_sqrt(self):
+        ms, fit = sweep_param(
+            "square-recursive", 128, [48, 192, 768, 3072], layout="morton"
+        )
+        assert fit.exponent_close_to(-0.5, tol=0.2)
+        assert all(m.correct for m in ms)
+
+    def test_sweep_messages_metric(self):
+        _, fit = sweep_param(
+            "square-recursive",
+            128,
+            [48, 192, 768],
+            layout="morton",
+            metric="messages",
+        )
+        assert fit.exponent_close_to(-1.5, tol=0.4)
+
+
+class TestReportWriter:
+    def test_sections_and_save(self, tmp_path):
+        w = ReportWriter("unit", directory=str(tmp_path))
+        w.add_table(["a", "b"], [[1, 2]], title="T")
+        w.add_kv("K", [("x", 1)])
+        w.add_text("done")
+        out = w.render()
+        assert "T" in out and "K" in out and "done" in out
+        path = w.save()
+        assert os.path.exists(path)
+        assert open(path).read() == out
+
+    def test_emit_prints(self, tmp_path, capsys):
+        w = ReportWriter("unit2", directory=str(tmp_path))
+        w.add_text("hello-report")
+        w.emit()
+        assert "hello-report" in capsys.readouterr().out
+
+    def test_default_dir_resolves(self):
+        w = ReportWriter("unit3")
+        assert w.directory.endswith("reports")

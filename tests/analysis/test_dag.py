@@ -1,0 +1,116 @@
+"""Tests for the Cholesky dependency DAG (Figure 1 / Lemma 2.2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.dag import CholeskyDag, direct_dependencies, entries
+
+
+class TestDirectDependencies:
+    def test_matches_equation_7(self):
+        # S(i,i) = { L(i,k) : k < i }
+        assert direct_dependencies(3, 3) == [(3, 0), (3, 1), (3, 2)]
+        assert direct_dependencies(0, 0) == []
+
+    def test_matches_equation_8(self):
+        # S(i,j) = { L(i,k) : k < j } ∪ { L(j,k) : k <= j }
+        assert direct_dependencies(4, 2) == [
+            (4, 0), (4, 1), (2, 0), (2, 1), (2, 2),
+        ]
+
+    def test_counts(self):
+        # |S(i,j)| = 2j+1 off-diagonal, i on the diagonal
+        dag = CholeskyDag(8)
+        for (i, j), count in dag.dependency_counts().items():
+            assert count == (i if i == j else 2 * j + 1)
+
+    def test_upper_triangle_rejected(self):
+        with pytest.raises(ValueError):
+            direct_dependencies(1, 3)
+
+
+class TestDagStructure:
+    def test_sizes(self):
+        dag = CholeskyDag(6)
+        assert len(dag) == 21
+        assert len(list(entries(6))) == 21
+
+    @given(st.integers(1, 12))
+    def test_edge_count_formula(self, n):
+        """Σ|S| = Σ_diag i + Σ_offdiag (2j+1)."""
+        dag = CholeskyDag(n)
+        want = sum(i for i in range(n)) + sum(
+            (2 * j + 1) * (n - j - 1) for j in range(n)
+        )
+        assert dag.edge_count() == want
+
+    @given(st.integers(1, 16))
+    def test_critical_path_is_2n_minus_1(self, n):
+        assert CholeskyDag(n).critical_path_length() == 2 * n - 1
+
+    def test_levels_monotone_along_deps(self):
+        dag = CholeskyDag(7)
+        depth = dag.levels()
+        for e, deps in dag.deps.items():
+            for d in deps:
+                assert depth[d] < depth[e]
+
+    def test_transitive_closure_of_last_entry(self):
+        """The final diagonal entry depends on everything else."""
+        n = 6
+        dag = CholeskyDag(n)
+        closure = dag.transitive_dependencies(n - 1, n - 1)
+        assert len(closure) == len(dag) - 1
+
+    def test_first_entry_depends_on_nothing(self):
+        assert CholeskyDag(5).transitive_dependencies(0, 0) == set()
+
+
+class TestSchedules:
+    """Lemma 2.2's hypothesis: every schedule we implement respects
+    the partial order."""
+
+    @pytest.mark.parametrize("n", [1, 2, 5, 9])
+    def test_left_looking_valid(self, n):
+        dag = CholeskyDag(n)
+        assert dag.is_valid_schedule(CholeskyDag.left_looking_order(n))
+
+    @pytest.mark.parametrize("n", [1, 2, 5, 9])
+    def test_up_looking_valid(self, n):
+        dag = CholeskyDag(n)
+        assert dag.is_valid_schedule(CholeskyDag.up_looking_order(n))
+
+    @pytest.mark.parametrize("n", [1, 2, 5, 9, 12])
+    def test_recursive_valid(self, n):
+        dag = CholeskyDag(n)
+        assert dag.is_valid_schedule(CholeskyDag.recursive_order(n))
+
+    def test_invalid_schedule_detected(self):
+        dag = CholeskyDag(4)
+        order = CholeskyDag.left_looking_order(4)
+        order[0], order[-1] = order[-1], order[0]
+        assert not dag.is_valid_schedule(order)
+
+    def test_incomplete_schedule_detected(self):
+        dag = CholeskyDag(4)
+        assert not dag.is_valid_schedule(CholeskyDag.left_looking_order(3))
+
+    @settings(max_examples=20, deadline=None)
+    @given(n=st.integers(2, 8), seed=st.integers(0, 100))
+    def test_random_topological_orders_valid(self, n, seed):
+        """Any topological shuffle of the DAG is a valid schedule."""
+        import random
+
+        dag = CholeskyDag(n)
+        rng = random.Random(seed)
+        remaining = dict(dag.deps)
+        done: set = set()
+        order = []
+        while remaining:
+            ready = [e for e, d in remaining.items() if all(x in done for x in d)]
+            pick = rng.choice(ready)
+            order.append(pick)
+            done.add(pick)
+            del remaining[pick]
+        assert dag.is_valid_schedule(order)

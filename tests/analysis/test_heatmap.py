@@ -1,0 +1,88 @@
+"""Tests for the access heatmaps (Figure 3's quantitative face)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.heatmap import access_counts, render_heatmap
+from repro.layouts import ColumnMajorLayout
+from repro.machine import SequentialMachine
+from repro.matrices import TrackedMatrix
+from repro.matrices.generators import random_spd
+from repro.sequential import (
+    lapack_blocked,
+    naive_left_looking,
+    naive_right_looking,
+)
+
+
+def traced(algo, n=16, M=None, **kw):
+    machine = SequentialMachine(M or 4 * n, record_trace=True)
+    A = TrackedMatrix(random_spd(n, seed=1), ColumnMajorLayout(n), machine)
+    algo(A, **kw)
+    return machine, A
+
+
+class TestAccessCounts:
+    def test_totals_match_machine_words(self):
+        machine, A = traced(naive_left_looking)
+        counts = access_counts(machine.trace, A)
+        assert counts.sum() == machine.words
+
+    def test_left_looking_shape(self):
+        """Entry (i, j) of the history is re-read once per later
+        column: counts decrease with j at fixed i."""
+        n = 16
+        machine, A = traced(naive_left_looking, n)
+        counts = access_counts(machine.trace, A)
+        i = n - 1
+        cols = counts[i, : i + 1]
+        assert cols[0] == cols.max()  # first column read most
+        assert all(cols[j] >= cols[j + 1] for j in range(i - 1))
+
+    def test_left_exact_count_formula(self):
+        """Entry (i, j) is moved exactly ``2 + (i − j)`` times: once
+        read and once written as part of column j, plus one history
+        read for each later column k with j < k <= i (the k-loop reads
+        rows k..n of column j, which include row i iff k <= i)."""
+        n = 12
+        machine, A = traced(naive_left_looking, n)
+        counts = access_counts(machine.trace, A)
+        for j in range(n):
+            for i in range(j, n):
+                assert counts[i, j] == 2 + (i - j), (i, j)
+
+    def test_right_looking_touches_more(self):
+        machine_l, A_l = traced(naive_left_looking)
+        machine_r, A_r = traced(naive_right_looking)
+        cl = access_counts(machine_l.trace, A_l)
+        cr = access_counts(machine_r.trace, A_r)
+        assert cr.sum() > cl.sum()
+        # the trailing corner is the right-looking hot spot
+        n = cl.shape[0]
+        assert cr[n - 1, n - 1] > cl[n - 1, n - 1]
+
+    def test_blocked_flattens_heatmap(self):
+        n = 16
+        machine_n, A_n = traced(naive_left_looking, n)
+        machine_b, A_b = traced(lapack_blocked, n, M=3 * 8 * 8, block=8)
+        peak_naive = access_counts(machine_n.trace, A_n).max()
+        peak_blocked = access_counts(machine_b.trace, A_b).max()
+        assert peak_blocked < peak_naive
+
+    def test_upper_triangle_untouched(self):
+        machine, A = traced(naive_left_looking)
+        counts = access_counts(machine.trace, A)
+        assert counts[np.triu_indices(counts.shape[0], 1)].sum() == 0
+
+
+class TestRendering:
+    def test_render_shape(self):
+        machine, A = traced(naive_left_looking, 8)
+        out = render_heatmap(access_counts(machine.trace, A), "left")
+        lines = out.splitlines()
+        assert lines[0] == "left"
+        assert len(lines) == 2 + 8
+
+    def test_render_empty(self):
+        out = render_heatmap(np.zeros((3, 3), dtype=np.int64))
+        assert "peak = 0" in out

@@ -1,0 +1,168 @@
+"""Tests for the bound formulas, including measured-vs-bound checks."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bounds.matmul import (
+    matmul_bandwidth_lower_bound,
+    matmul_latency_lower_bound,
+    rmatmul_bandwidth_theta,
+    theorem3_regime,
+)
+from repro.bounds.multilevel import (
+    multilevel_bounds,
+    weighted_bandwidth_cost,
+    weighted_latency_cost,
+)
+from repro.bounds.parallel import (
+    optimal_block_size,
+    parallel_bandwidth_lower_bound,
+    parallel_flops_lower_bound,
+    parallel_latency_lower_bound,
+    scalapack_flops,
+    scalapack_messages,
+    scalapack_words,
+)
+from repro.bounds.sequential import (
+    cholesky_bandwidth_certified,
+    cholesky_bandwidth_lower_bound,
+    cholesky_latency_certified,
+    cholesky_latency_lower_bound,
+    table1_predictions,
+)
+
+
+class TestMatmulBounds:
+    def test_theorem2_values(self):
+        # n³ / (2√2 √M) − M at n=64, M=64
+        got = matmul_bandwidth_lower_bound(64, M=64)
+        want = 64**3 / (2 * math.sqrt(2) * 8) - 64
+        assert got == pytest.approx(want)
+
+    def test_rectangular(self):
+        got = matmul_bandwidth_lower_bound(4, 5, 6, M=16)
+        want = 120 / (2 * math.sqrt(2) * 4) - 16
+        assert got == pytest.approx(want)
+
+    def test_latency_is_bandwidth_over_M(self):
+        n, M = 128, 64
+        bw = matmul_bandwidth_lower_bound(n, M=M)
+        lat = matmul_latency_lower_bound(n, M=M)
+        assert lat == pytest.approx((bw + M) / M - 1.0)
+
+    def test_parallel_scaling(self):
+        n, M = 256, 64
+        assert matmul_bandwidth_lower_bound(
+            n, M=M, P=4
+        ) < matmul_bandwidth_lower_bound(n, M=M, P=1)
+
+    def test_theta_form(self):
+        assert rmatmul_bandwidth_theta(4, 5, 6, 16) == pytest.approx(
+            120 / 4 + 20 + 30 + 24
+        )
+
+    def test_regimes(self):
+        M = 100  # sqrt(M) = 10
+        assert theorem3_regime(50, 50, 50, M) == 1
+        assert theorem3_regime(50, 50, 5, M) == 2
+        assert theorem3_regime(50, 5, 5, M) == 3
+        assert theorem3_regime(5, 5, 5, M) == 4
+
+
+class TestSequentialBounds:
+    def test_forms(self):
+        assert cholesky_bandwidth_lower_bound(64, 64) == pytest.approx(64**3 / 8)
+        assert cholesky_latency_lower_bound(64, 64) == pytest.approx(64**3 / 512)
+
+    def test_certified_positive_for_large_sizes(self):
+        # the O(n²) set-up cost dominates until k = n/3 exceeds
+        # ~19·2√2·√M, so the certified bound turns positive late —
+        # that is the honest constant the reduction gives
+        assert cholesky_bandwidth_certified(2000, 64) > 0
+        assert cholesky_latency_certified(300, 64) > 0
+
+    def test_certified_zero_for_tiny(self):
+        assert cholesky_bandwidth_certified(2, 64) == 0.0
+        assert cholesky_latency_certified(1, 64) == 0.0
+
+    def test_certified_below_theta_reference(self):
+        n, M = 2000, 64
+        assert cholesky_bandwidth_certified(n, M) < cholesky_bandwidth_lower_bound(n, M)
+
+    def test_table1_rows(self):
+        rows = table1_predictions(64, 192)
+        names = {(r.algorithm, r.storage) for r in rows}
+        assert ("lapack", "blocked") in names
+        assert ("square-recursive", "morton") in names
+        lb = next(r for r in rows if r.algorithm == "lower-bound")
+        for r in rows:
+            assert r.bandwidth >= lb.bandwidth * 0.99
+
+    def test_measured_above_lower_bound(self):
+        """Every algorithm's measured words dominate Ω(n³/√M)·c for a
+        modest c — the sanity face of Corollary 2.3."""
+        from repro.analysis.sweeps import measure
+
+        n, M = 64, 192
+        for algo in ("naive-left", "lapack", "toledo", "square-recursive"):
+            m = measure(algo, n, M)
+            assert m.words >= 0.1 * cholesky_bandwidth_lower_bound(n, M), algo
+
+
+class TestParallelBounds:
+    def test_forms(self):
+        assert parallel_bandwidth_lower_bound(64, 16) == pytest.approx(1024.0)
+        assert parallel_latency_lower_bound(16) == 4.0
+        assert parallel_flops_lower_bound(64, 16) == pytest.approx(64**3 / 48)
+
+    def test_scalapack_formulas(self):
+        n, b, P = 64, 16, 16
+        assert scalapack_messages(n, b, P) == pytest.approx(1.5 * 4 * 4)
+        assert scalapack_words(n, b, P) == pytest.approx(
+            (64 * 16 / 4 + 64 * 64 / 4) * 4
+        )
+        assert scalapack_messages(n, b, 1) == 0.0
+        assert scalapack_words(n, b, 1) == 0.0
+
+    def test_scalapack_flops_orders(self):
+        n, P = 256, 16
+        b_opt = optimal_block_size(n, P)
+        f = scalapack_flops(n, b_opt, P)
+        assert f <= 3 * parallel_flops_lower_bound(n, P) * 3
+
+    def test_optimal_block(self):
+        assert optimal_block_size(64, 16) == 16
+        with pytest.raises(ValueError):
+            optimal_block_size(64, 8)
+        with pytest.raises(ValueError):
+            optimal_block_size(65, 16)
+
+    def test_message_optimum_at_largest_b(self):
+        n, P = 256, 16
+        msgs = [scalapack_messages(n, b, P) for b in (4, 16, 64)]
+        assert msgs[0] > msgs[1] > msgs[2]
+
+
+class TestMultilevelBounds:
+    def test_per_level(self):
+        bounds = multilevel_bounds(64, [64, 4096])
+        assert bounds[0].bandwidth == pytest.approx(64**3 / 8 - 64)
+        assert bounds[1].latency == pytest.approx(64**3 / 4096**1.5)
+
+    def test_bandwidth_clamped(self):
+        bounds = multilevel_bounds(4, [10**6])
+        assert bounds[0].bandwidth == 0.0
+
+    def test_weighted_costs(self):
+        caps, betas, alphas = [64, 4096], [1.0, 2.0], [0.5, 1.0]
+        bw = weighted_bandwidth_cost(64, caps, betas)
+        lat = weighted_latency_cost(64, caps, alphas)
+        assert bw > 0 and lat > 0
+
+    def test_weight_length_mismatch(self):
+        with pytest.raises(ValueError):
+            weighted_bandwidth_cost(64, [64], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            weighted_latency_cost(64, [64], [])

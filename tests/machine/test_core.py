@@ -1,0 +1,278 @@
+"""Tests for the DAM / hierarchical machine."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.machine import (
+    CapacityError,
+    HierarchicalMachine,
+    SequentialMachine,
+)
+from repro.util.intervals import IntervalSet
+
+
+def ivs(*pairs):
+    return IntervalSet(pairs)
+
+
+class TestConstruction:
+    def test_two_level(self):
+        m = SequentialMachine(64)
+        assert m.M == 64
+        assert len(m.levels) == 1
+        assert m.words == 0 and m.messages == 0
+
+    def test_hierarchy_orders(self):
+        h = HierarchicalMachine([8, 64, 512])
+        assert [l.capacity for l in h.levels] == [8, 64, 512]
+
+    def test_rejects_non_increasing(self):
+        with pytest.raises(ValueError):
+            HierarchicalMachine([64, 64])
+        with pytest.raises(ValueError):
+            HierarchicalMachine([64, 8])
+        with pytest.raises(ValueError):
+            HierarchicalMachine([])
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            SequentialMachine(0)
+
+
+class TestExplicitTransfers:
+    def test_read_counts_words_and_messages(self):
+        m = SequentialMachine(16)
+        m.read(ivs((0, 9), (12, 15)))
+        assert m.counters.words_read == 12
+        assert m.counters.messages_read == 2
+        assert m.words == 12 and m.messages == 2
+
+    def test_message_cap_is_M(self):
+        # a 4-word run at M=4 is 1 message ...
+        m = SequentialMachine(4)
+        m.read(ivs((0, 4)))
+        assert m.counters.messages_read == 1
+        # ... while a 6-word run at M=4 needs ceil(6/4) = 2 messages
+        # (capacity checks disabled: we only exercise message splitting)
+        m2 = SequentialMachine(4, enforce_capacity=False)
+        m2.read(ivs((10, 16)))
+        assert m2.counters.messages_read == 2
+
+    def test_empty_read_free(self):
+        m = SequentialMachine(8)
+        m.read(IntervalSet())
+        assert m.words == 0
+
+    def test_write_requires_resident(self):
+        m = SequentialMachine(16)
+        with pytest.raises(CapacityError):
+            m.write(ivs((0, 4)))
+
+    def test_write_after_read(self):
+        m = SequentialMachine(16)
+        m.read(ivs((0, 4)))
+        m.write(ivs((0, 4)))
+        assert m.counters.words_written == 4
+        assert m.counters.messages_written == 1
+        assert m.words == 8
+
+    def test_allocate_then_write(self):
+        m = SequentialMachine(16)
+        m.allocate(ivs((0, 4)))
+        m.write(ivs((0, 4)))
+        assert m.counters.words_read == 0
+        assert m.counters.words_written == 4
+
+    def test_release_frees_capacity(self):
+        m = SequentialMachine(8)
+        m.read(ivs((0, 8)))
+        m.release(ivs((0, 8)))
+        m.read(ivs((8, 16)))  # would blow capacity if not released
+        assert m.counters.words_read == 16
+
+    def test_reread_still_charges(self):
+        m = SequentialMachine(8)
+        m.read(ivs((0, 4)))
+        m.read(ivs((0, 4)))
+        assert m.counters.words_read == 8
+
+    def test_hierarchy_charges_all_levels(self):
+        h = HierarchicalMachine([4, 64])
+        h.read(ivs((0, 4)))
+        assert h.levels[0].counters.words_read == 4
+        assert h.levels[1].counters.words_read == 4
+        # message cap differs per level: run of 4 fits one L2 message,
+        # and one L1 message (cap 4)
+        assert h.levels[0].counters.messages_read == 1
+        assert h.levels[1].counters.messages_read == 1
+
+
+class TestCapacity:
+    def test_enforced_by_default(self):
+        m = SequentialMachine(4)
+        with pytest.raises(CapacityError):
+            m.read(ivs((0, 5)))
+
+    def test_accumulated_residency(self):
+        m = SequentialMachine(6)
+        m.read(ivs((0, 4)))
+        with pytest.raises(CapacityError):
+            m.read(ivs((10, 14)))
+
+    def test_overlapping_reads_share_residency(self):
+        m = SequentialMachine(6)
+        m.read(ivs((0, 4)))
+        m.read(ivs((2, 6)))  # union is 6 words: fits
+        assert m.resident.words == 6
+
+    def test_unenforced_records_violation(self):
+        m = SequentialMachine(4, enforce_capacity=False)
+        m.read(ivs((0, 10)))
+        assert m.fast.capacity_violated
+        assert m.fast.peak_resident == 10
+
+    def test_violation_flag_per_level(self):
+        h = HierarchicalMachine([4, 64], enforce_capacity=False)
+        h.read(ivs((0, 10)))
+        assert h.levels[0].capacity_violated
+        assert not h.levels[1].capacity_violated
+
+
+class TestScopes:
+    def test_fitting_scope_charges_once(self):
+        m = SequentialMachine(32)
+        a = ivs((0, 10))
+        with m.scope(a, a) as sc:
+            assert sc.fits
+            with m.scope(ivs((0, 5)), ivs((0, 5))):
+                pass  # inner scope must not re-charge
+        assert m.counters.words_read == 10
+        assert m.counters.words_written == 10
+
+    def test_nonfitting_scope_charges_nothing(self):
+        m = SequentialMachine(4)
+        with m.scope(ivs((0, 10))) as sc:
+            assert not sc.fits
+        assert m.words == 0
+
+    def test_children_charge_after_nonfitting_parent(self):
+        m = SequentialMachine(4)
+        with m.scope(ivs((0, 8))) as sc:
+            assert not sc.fits
+            with m.scope(ivs((0, 4)), ivs((0, 4))) as c1:
+                assert c1.fits
+            with m.scope(ivs((4, 8)), ivs((4, 8))) as c2:
+                assert c2.fits
+        assert m.counters.words_read == 8
+        assert m.counters.words_written == 8
+
+    def test_sibling_scopes_both_charge(self):
+        m = SequentialMachine(16)
+        for k in range(3):
+            with m.scope(ivs((k * 4, k * 4 + 4)), ivs((k * 4, k * 4 + 4))):
+                pass
+        assert m.counters.words_read == 12
+
+    def test_multilevel_cutoffs(self):
+        h = HierarchicalMachine([4, 16])
+        big = ivs((0, 16))
+        with h.scope(big, big):  # fits L2 only
+            with h.scope(ivs((0, 4)), ivs((0, 4))):  # fits L1
+                pass
+            with h.scope(ivs((4, 8)), ivs((4, 8))):
+                pass
+        # L2 charged once with 16 words each way; L1 charged 4+4
+        assert h.levels[1].counters.words_read == 16
+        assert h.levels[1].counters.words_written == 16
+        assert h.levels[0].counters.words_read == 8
+
+    def test_scope_messages_use_level_cap(self):
+        h = HierarchicalMachine([4, 64])
+        run = ivs((0, 4))
+        with h.scope(run, run):
+            pass
+        assert h.levels[0].counters.messages_read == 1
+        assert h.levels[1].counters.messages_read == 1
+        h2 = HierarchicalMachine([4, 64])
+        run8 = ivs((0, 8))  # fits only L2
+        with h2.scope(run8, run8):
+            pass
+        assert h2.levels[0].counters.messages_read == 0
+        assert h2.levels[1].counters.messages_read == 1
+
+    def test_scope_without_writeback(self):
+        m = SequentialMachine(16)
+        with m.scope(ivs((0, 4))):
+            pass
+        assert m.counters.words_read == 4
+        assert m.counters.words_written == 0
+
+    def test_scope_reset_on_exception(self):
+        m = SequentialMachine(16)
+        with pytest.raises(RuntimeError):
+            with m.scope(ivs((0, 4))):
+                raise RuntimeError("boom")
+        # cutoff marker released: next scope charges again
+        with m.scope(ivs((0, 4))):
+            pass
+        assert m.counters.words_read == 8
+
+
+class TestLifecycle:
+    def test_reset(self):
+        m = SequentialMachine(16, record_trace=True)
+        m.read(ivs((0, 4)))
+        m.add_flops(7)
+        m.reset()
+        assert m.words == 0 and m.flops == 0
+        assert m.resident.is_empty()
+        assert len(m.trace) == 0
+
+    def test_flops(self):
+        m = SequentialMachine(16)
+        m.add_flops(10)
+        m.add_flops(5)
+        assert m.flops == 15
+        with pytest.raises(ValueError):
+            m.add_flops(-1)
+
+    def test_snapshot_diff(self):
+        m = SequentialMachine(16)
+        m.read(ivs((0, 4)))
+        before = m.snapshot()[0]
+        m.read(ivs((8, 12)))
+        delta = m.counters - before
+        assert delta.words_read == 4
+
+    def test_summary_keys(self):
+        m = SequentialMachine(16)
+        m.read(ivs((0, 4)))
+        s = m.summary()
+        assert s["levels"][0]["words"] == 4
+        assert s["levels"][0]["capacity"] == 16
+
+    def test_trace_records(self):
+        m = SequentialMachine(16, record_trace=True)
+        m.read(ivs((0, 4)))
+        m.write(ivs((0, 4)))
+        with m.scope(ivs((0, 2))):
+            pass
+        kinds = [type(ev).__name__ for ev in m.trace]
+        assert kinds == ["ReadEvent", "WriteEvent", "ScopeEvent"]
+        assert m.trace.total_words() == 8
+
+    def test_repr(self):
+        assert "64" in repr(SequentialMachine(64))
+
+
+@given(st.lists(st.tuples(st.integers(0, 50), st.integers(1, 10)), min_size=1, max_size=8))
+def test_words_equal_interval_measure(chunks):
+    """Property: read words always equal the interval measure."""
+    m = SequentialMachine(10_000)
+    total = 0
+    for start, width in chunks:
+        s = IntervalSet([(start, start + width)])
+        m.read(s)
+        total += width
+    assert m.counters.words_read == total

@@ -1,0 +1,124 @@
+"""Property tests of the machine model's invariants.
+
+These pin down the semantics the algorithm analyses rely on:
+scope charging equals an independently-computed reference, counters
+are monotone, and per-level counts of a hierarchy equal the counts of
+isolated two-level machines.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import HierarchicalMachine, SequentialMachine
+from repro.util.intervals import IntervalSet
+
+# a random "recursion": a tree of scopes over a small address space
+scope_tree = st.recursive(
+    st.tuples(st.integers(0, 40), st.integers(1, 30)),  # leaf: (start, width)
+    lambda children: st.tuples(
+        st.tuples(st.integers(0, 40), st.integers(1, 30)),
+        st.lists(children, min_size=1, max_size=3),
+    ),
+    max_leaves=8,
+)
+
+
+def run_tree(machine, node):
+    """Execute a scope tree: every node declares its own footprint."""
+    if isinstance(node[1], int):  # leaf
+        start, width = node
+        ivs = IntervalSet.single(start, start + width)
+        with machine.scope(ivs, ivs):
+            pass
+        return
+    (start, width), children = node
+    ivs = IntervalSet.single(start, start + width)
+    with machine.scope(ivs, ivs):
+        for child in children:
+            run_tree(machine, child)
+
+
+def reference_charges(node, M, inside_fitted=False):
+    """Reference semantics: first-fitting scopes charge read+write."""
+    if isinstance(node[1], int):
+        footprint = node[1]
+        children = []
+        start, width = node
+    else:
+        (start, width), children = node
+        footprint = width
+    words = 0
+    fits = footprint <= M
+    if fits and not inside_fitted:
+        words += 2 * width  # read + write of the declared footprint
+    for child in children:
+        words += reference_charges(child, M, inside_fitted or fits)
+    return words
+
+
+class TestScopeSemantics:
+    @settings(max_examples=60, deadline=None)
+    @given(scope_tree, st.integers(1, 40))
+    def test_matches_reference(self, tree, M):
+        machine = SequentialMachine(M)
+        run_tree(machine, tree)
+        assert machine.words == reference_charges(tree, M)
+
+    @settings(max_examples=40, deadline=None)
+    @given(scope_tree, st.integers(1, 20), st.integers(1, 3))
+    def test_hierarchy_equals_independent_levels(self, tree, M1, factor):
+        levels = [M1, M1 * (factor + 1) + 1]
+        hier = HierarchicalMachine(levels)
+        run_tree(hier, tree)
+        for i, M in enumerate(levels):
+            solo = SequentialMachine(M)
+            run_tree(solo, tree)
+            assert hier.levels[i].words == solo.words, (i, M)
+            assert hier.levels[i].messages == solo.messages, (i, M)
+
+    @settings(max_examples=40, deadline=None)
+    @given(scope_tree)
+    def test_huge_memory_charges_root_only(self, tree):
+        """When everything fits the first level, only the outermost
+        scope charges: exactly one read + one write of its footprint."""
+        machine = SequentialMachine(10_000)
+        run_tree(machine, tree)
+        root_width = tree[0][1] if not isinstance(tree[1], int) else tree[1]
+        assert machine.words == 2 * root_width
+
+
+class TestCounterMonotonicity:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 100), st.integers(1, 10)),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    def test_reads_accumulate(self, chunks):
+        machine = SequentialMachine(10_000)
+        prev_words = prev_msgs = 0
+        for start, width in chunks:
+            machine.read(IntervalSet.single(start, start + width))
+            assert machine.words > prev_words
+            assert machine.messages >= prev_msgs
+            prev_words, prev_msgs = machine.words, machine.messages
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 60), st.integers(1, 8)),
+            min_size=1,
+            max_size=10,
+        ),
+        st.integers(1, 16),
+    )
+    def test_message_cap_sandwich(self, chunks, M):
+        """words/M <= messages <= words, always."""
+        machine = SequentialMachine(M, enforce_capacity=False)
+        for start, width in chunks:
+            machine.read(IntervalSet.single(start, start + width))
+        assert machine.messages <= machine.counters.words_read
+        assert machine.messages * M >= machine.counters.words_read

@@ -1,0 +1,70 @@
+"""Tests for trace recording."""
+
+from repro.machine import SequentialMachine
+from repro.machine.tracing import MachineTrace, ReadEvent, ScopeEvent, WriteEvent
+from repro.util.intervals import IntervalSet
+
+
+def ivs(*pairs):
+    return IntervalSet(pairs)
+
+
+class TestEvents:
+    def test_event_words(self):
+        assert ReadEvent(ivs((0, 5))).words == 5
+        assert WriteEvent(ivs((0, 3), (7, 9))).words == 5
+        assert ScopeEvent(ivs((0, 4)), fitted=["L1"]).words == 4
+
+    def test_trace_append_iter(self):
+        t = MachineTrace()
+        t.append(ReadEvent(ivs((0, 2))))
+        t.append(ScopeEvent(ivs((0, 1))))
+        assert len(t) == 2
+        assert [type(e).__name__ for e in t] == ["ReadEvent", "ScopeEvent"]
+
+    def test_transfers_filter_scopes(self):
+        t = MachineTrace()
+        t.append(ReadEvent(ivs((0, 2))))
+        t.append(ScopeEvent(ivs((0, 9))))
+        t.append(WriteEvent(ivs((0, 2))))
+        assert len(list(t.transfers())) == 2
+        assert t.total_words() == 4
+
+    def test_address_stream(self):
+        t = MachineTrace()
+        t.append(ReadEvent(ivs((3, 5))))
+        t.append(WriteEvent(ivs((0, 1))))
+        assert list(t.address_stream()) == [(3, False), (4, False), (0, True)]
+
+
+class TestMachineRecording:
+    def test_disabled_by_default(self):
+        m = SequentialMachine(16)
+        assert m.trace is None
+        m.read(ivs((0, 4)))  # must not fail without a trace
+
+    def test_scope_records_fitted_levels(self):
+        m = SequentialMachine(16, record_trace=True)
+        with m.scope(ivs((0, 4))):
+            pass
+        ev = m.trace.events[0]
+        assert isinstance(ev, ScopeEvent)
+        assert list(ev.fitted) == [m.fast.name]
+
+    def test_nonfitting_scope_records_empty_fitted(self):
+        m = SequentialMachine(2, record_trace=True)
+        with m.scope(ivs((0, 9))):
+            pass
+        assert list(m.trace.events[0].fitted) == []
+
+    def test_stream_matches_counters(self):
+        m = SequentialMachine(64, record_trace=True)
+        m.read(ivs((0, 10)))
+        m.write(ivs((0, 10)))
+        m.release_all()
+        m.read(ivs((20, 25)))
+        stream = list(m.trace.address_stream())
+        reads = sum(1 for _a, w in stream if not w)
+        writes = sum(1 for _a, w in stream if w)
+        assert reads == m.counters.words_read
+        assert writes == m.counters.words_written

@@ -1,0 +1,64 @@
+"""Tests for the measured weighted hierarchy costs (Eqs 11–12)."""
+
+import numpy as np
+import pytest
+
+from repro.bounds.multilevel import (
+    weighted_bandwidth_cost,
+    weighted_latency_cost,
+)
+from repro.layouts import MortonLayout
+from repro.machine import HierarchicalMachine, SequentialMachine
+from repro.matrices import TrackedMatrix
+from repro.matrices.generators import random_spd
+from repro.sequential import square_recursive
+from repro.util.intervals import IntervalSet
+
+LEVELS = [48, 768, 12288]
+# realistic weight ordering: faster levels cost less per word/message
+BETAS = [1.0, 4.0, 64.0]
+ALPHAS = [1.0, 10.0, 1000.0]
+
+
+class TestMechanics:
+    def test_weighted_sums(self):
+        h = HierarchicalMachine([4, 64])
+        h.read(IntervalSet.single(0, 4))
+        assert h.bandwidth_cost([1.0, 10.0]) == pytest.approx(4 + 40)
+        assert h.latency_cost([1.0, 10.0]) == pytest.approx(1 + 10)
+
+    def test_length_mismatch(self):
+        h = HierarchicalMachine([4, 64])
+        with pytest.raises(ValueError):
+            h.bandwidth_cost([1.0])
+        with pytest.raises(ValueError):
+            h.latency_cost([1.0, 2.0, 3.0])
+
+    def test_two_level_special_case(self):
+        m = SequentialMachine(16)
+        m.read(IntervalSet.single(0, 8))
+        assert m.bandwidth_cost([2.0]) == 16.0
+
+
+class TestAgainstCorollary32:
+    def test_measured_cost_dominates_weighted_bound(self):
+        """Equation (11)/(12): the measured weighted cost of a real
+        factorization dominates the weighted lower-bound sums."""
+        n = 128
+        machine = HierarchicalMachine(LEVELS)
+        A = TrackedMatrix(random_spd(n, seed=1), MortonLayout(n), machine)
+        square_recursive(A)
+        assert machine.bandwidth_cost(BETAS) >= weighted_bandwidth_cost(
+            n, LEVELS, BETAS
+        )
+        assert machine.latency_cost(ALPHAS) >= weighted_latency_cost(
+            n, LEVELS, ALPHAS
+        )
+
+    def test_optimal_algorithm_within_constant_of_weighted_bound(self):
+        n = 128
+        machine = HierarchicalMachine(LEVELS)
+        A = TrackedMatrix(random_spd(n, seed=1), MortonLayout(n), machine)
+        square_recursive(A)
+        bound = weighted_bandwidth_cost(n, LEVELS, BETAS)
+        assert machine.bandwidth_cost(BETAS) <= 20 * bound

@@ -1,0 +1,88 @@
+"""Property tests for BlockRef splitting — the recursion's geometry.
+
+The recursive algorithms trust that splitting a block partitions its
+storage exactly; these tests verify that for random split sequences,
+transposes included.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.layouts import ColumnMajorLayout, MortonLayout, PackedLayout
+from repro.machine import SequentialMachine
+from repro.matrices import TrackedMatrix, footprint
+from repro.matrices.generators import random_spd
+from repro.util.intervals import union_all
+
+
+def make_matrix(n, layout_cls):
+    machine = SequentialMachine(10**6)
+    return TrackedMatrix(random_spd(n, seed=1), layout_cls(n), machine)
+
+
+layout_strategy = st.sampled_from([ColumnMajorLayout, MortonLayout, PackedLayout])
+
+
+class TestSplitPartitions:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        n=st.integers(2, 12),
+        k=st.integers(1, 11),
+        layout_cls=layout_strategy,
+        transposed=st.booleans(),
+    )
+    def test_row_split_partitions_addresses(self, n, k, layout_cls, transposed):
+        k = min(k, n - 1)
+        A = make_matrix(n, layout_cls)
+        block = A.whole().T if transposed else A.whole()
+        top, bottom = block.split_rows(k)
+        assert top.intervals.isdisjoint(bottom.intervals)
+        assert (top.intervals | bottom.intervals) == block.intervals
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        n=st.integers(2, 12),
+        kr=st.integers(1, 11),
+        kc=st.integers(1, 11),
+        layout_cls=layout_strategy,
+    )
+    def test_quadrants_partition_addresses(self, n, kr, kc, layout_cls):
+        kr, kc = min(kr, n - 1), min(kc, n - 1)
+        A = make_matrix(n, layout_cls)
+        quads = A.whole().quadrants(kr, kc)
+        total = union_all([q.intervals for q in quads])
+        assert total == A.whole().intervals
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert quads[i].intervals.isdisjoint(quads[j].intervals)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=st.integers(2, 10),
+        k=st.integers(1, 9),
+        layout_cls=layout_strategy,
+    )
+    def test_split_values_partition_numerics(self, n, k, layout_cls):
+        k = min(k, n - 1)
+        A = make_matrix(n, layout_cls)
+        left, right = A.whole().split_cols(k)
+        rebuilt = np.hstack([left.peek(), right.peek()])
+        assert np.array_equal(rebuilt, A.whole().peek())
+
+    @settings(max_examples=40, deadline=None)
+    @given(n=st.integers(1, 10), layout_cls=layout_strategy)
+    def test_transpose_involution(self, n, layout_cls):
+        A = make_matrix(n, layout_cls)
+        b = A.block(0, n, 0, n)
+        assert np.array_equal(b.T.T.peek(), b.peek())
+        assert b.T.intervals == b.intervals
+
+    @settings(max_examples=30, deadline=None)
+    @given(n=st.integers(2, 10))
+    def test_footprint_of_overlapping_refs(self, n):
+        A = make_matrix(n, ColumnMajorLayout)
+        b1 = A.block(0, n, 0, n)
+        b2 = A.block(0, n // 2 + 1, 0, n)
+        f = footprint([b1, b2, b2.T])
+        assert f == b1.intervals  # overlaps deduplicate

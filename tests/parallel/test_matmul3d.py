@@ -1,0 +1,117 @@
+"""Tests for the 3D multiplication extension and the reduce collective."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.parallel import Network, NetworkError
+from repro.parallel.matmul3d import matmul_3d
+from repro.parallel.summa import summa
+
+
+def rand(n, seed=0):
+    return np.random.default_rng(seed).standard_normal((n, n))
+
+
+class TestReduceCollective:
+    def test_tree_depth(self):
+        net = Network(8)
+        net.reduce(0, list(range(8)), words=4)
+        assert net.critical_messages == 3  # ceil(log2 8)
+
+    def test_total_messages(self):
+        net = Network(8)
+        net.reduce(0, list(range(8)), words=4)
+        assert sum(p.messages_sent for p in net.processors) == 7
+
+    def test_combines_values(self):
+        net = Network(4)
+        result = net.reduce(
+            2,
+            [0, 1, 2, 3],
+            words=1,
+            contributions={i: float(i) for i in range(4)},
+            combine=lambda a, b: a + b,
+            key="sum",
+        )
+        assert result == 6.0
+        assert net[2].inbox["sum"] == 6.0
+
+    def test_root_not_member(self):
+        net = Network(4)
+        with pytest.raises(NetworkError):
+            net.reduce(3, [0, 1], words=1)
+
+    def test_contributions_need_combine(self):
+        net = Network(2)
+        with pytest.raises(NetworkError):
+            net.reduce(0, [0, 1], words=1, contributions={0: 1.0, 1: 2.0})
+
+    def test_singleton(self):
+        net = Network(2)
+        assert net.reduce(1, [1], words=5, contributions={1: 9}, combine=None) == 9
+        assert net.critical_messages == 0
+
+
+class TestMatmul3D:
+    @pytest.mark.parametrize("P,n", [(1, 6), (8, 8), (8, 16), (27, 9)])
+    def test_matches_numpy(self, P, n):
+        a, b = rand(n, 1), rand(n, 2)
+        res = matmul_3d(a, b, P)
+        assert np.allclose(res.C, a @ b, atol=1e-8)
+
+    def test_total_flops(self):
+        n = 8
+        res = matmul_3d(rand(n), rand(n, 1), 8)
+        total = sum(p.flops for p in res.network.processors)
+        assert total == 2 * n**3
+
+    def test_not_a_cube(self):
+        with pytest.raises(ValueError):
+            matmul_3d(rand(8), rand(8, 1), 4)
+
+    def test_indivisible_n(self):
+        with pytest.raises(ValueError):
+            matmul_3d(rand(9), rand(9, 1), 8)
+
+    def test_nonsquare(self):
+        with pytest.raises(ValueError):
+            matmul_3d(np.zeros((2, 3)), np.zeros((3, 3)), 1)
+
+
+class TestMemoryCommunicationTradeoff:
+    """The ITT04 general bound in action: 3D trades memory for words."""
+
+    def test_3d_beats_2d_communication(self):
+        n, P = 64, 64  # p = 4 (cube) vs 8x8 (square)
+        a, b = rand(n, 3), rand(n, 4)
+        three_d = matmul_3d(a, b, P)
+        two_d = summa(a, b, n // 8, P)
+        assert np.allclose(three_d.C, two_d.C, atol=1e-8)
+        assert three_d.critical_words < two_d.critical_words
+
+    def test_3d_pays_with_memory(self):
+        n, P = 64, 64
+        a, b = rand(n, 3), rand(n, 4)
+        three_d = matmul_3d(a, b, P)
+        # replication: per-processor footprint ~ n²/P^{2/3} ≫ n²/P
+        assert three_d.peak_memory_words > 2 * (n * n // P)
+        assert three_d.peak_memory_words <= 8 * (n * n // round(P ** (2 / 3)))
+
+    def test_words_scale_as_p_to_two_thirds(self):
+        n = 48
+        words = {}
+        for P in (8, 27):
+            words[P] = matmul_3d(rand(n, 1), rand(n, 2), P).critical_words
+        # (n/p)²·log p: from p=2 to p=3 → (48/2)²·1=576 vs (48/3)²·log3
+        predicted_ratio = (24**2 * 1) / (16**2 * math.log2(3))
+        measured_ratio = words[8] / words[27]
+        assert measured_ratio == pytest.approx(predicted_ratio, rel=0.5)
+
+    def test_critical_words_bound(self):
+        n, P = 64, 64
+        res = matmul_3d(rand(n, 1), rand(n, 2), P)
+        p = 4
+        bound = (n / p) ** 2 * (2 * math.ceil(math.log2(p)) + math.ceil(math.log2(p)))
+        assert res.critical_words <= 2 * bound

@@ -1,0 +1,155 @@
+"""Tests for the processor grid and the α-β network simulator."""
+
+import pytest
+
+from repro.parallel import Network, NetworkError, ProcessorGrid
+
+
+class TestGrid:
+    def test_square(self):
+        g = ProcessorGrid.square(9)
+        assert (g.rows, g.cols, g.size) == (3, 3, 9)
+
+    def test_square_rejects_nonsquare(self):
+        with pytest.raises(ValueError):
+            ProcessorGrid.square(8)
+
+    def test_rank_position_roundtrip(self):
+        g = ProcessorGrid(2, 3)
+        for r in range(2):
+            for c in range(3):
+                assert g.position(g.rank(r, c)) == (r, c)
+
+    def test_rank_bounds(self):
+        g = ProcessorGrid(2, 2)
+        with pytest.raises(ValueError):
+            g.rank(2, 0)
+        with pytest.raises(ValueError):
+            g.position(4)
+
+    def test_block_owner_cyclic(self):
+        g = ProcessorGrid(2, 2)
+        assert g.block_owner(0, 0) == g.block_owner(2, 2)
+        assert g.block_owner(1, 0) != g.block_owner(0, 0)
+
+    def test_groups(self):
+        g = ProcessorGrid(2, 3)
+        assert g.row_group(1) == [3, 4, 5]
+        assert g.col_group(2) == [2, 5]
+
+
+class TestSend:
+    def test_basic_counting(self):
+        net = Network(2, alpha=2.0, beta=0.5)
+        net.send(0, 1, 10)
+        assert net[0].words_sent == 10
+        assert net[1].words_received == 10
+        assert net[0].messages_sent == 1
+        assert net.critical_time == pytest.approx(2.0 + 5.0)
+        assert net.critical_words == 10
+        assert net.critical_messages == 1
+
+    def test_self_send_rejected(self):
+        net = Network(2)
+        with pytest.raises(NetworkError):
+            net.send(0, 0, 5)
+
+    def test_bad_rank(self):
+        net = Network(2)
+        with pytest.raises(NetworkError):
+            net[5]
+
+    def test_clocks_synchronize_endpoints(self):
+        net = Network(3, alpha=1.0, beta=1.0)
+        net.send(0, 1, 4)  # t = 5 at {0,1}
+        net.send(2, 1, 1)  # t = max(0, 5) + 2 = 7 at {1,2}
+        assert net[1].t == pytest.approx(7.0)
+        assert net[2].t == pytest.approx(7.0)
+        assert net[0].t == pytest.approx(5.0)
+
+    def test_path_counters_follow_late_endpoint(self):
+        net = Network(3)
+        net.send(0, 1, 100)  # heavy first hop
+        net.send(1, 2, 1)  # path through 0->1->2
+        assert net[2].path_words == 101
+        assert net[2].path_messages == 2
+
+    def test_path_prefers_critical_branch(self):
+        net = Network(4, alpha=0.0, beta=1.0)
+        net.send(0, 1, 100)  # 0,1 at t=100
+        net.send(2, 3, 5)  # 2,3 at t=5
+        net.send(1, 3, 1)  # 3 inherits the heavy path
+        assert net[3].path_words == 101
+
+    def test_payload_delivery(self):
+        net = Network(2)
+        net.send(0, 1, 3, payload=[1, 2, 3], key="x")
+        assert net[1].inbox["x"] == [1, 2, 3]
+        assert net[1].peak_buffer_words == 3
+
+    def test_compute(self):
+        net = Network(2, gamma=0.5)
+        net.compute(0, 10)
+        assert net[0].flops == 10
+        assert net[0].t == pytest.approx(5.0)
+        assert net.max_flops == 10
+
+    def test_negative_words_rejected(self):
+        net = Network(2)
+        with pytest.raises(ValueError):
+            net.send(0, 1, -1)
+
+
+class TestBroadcast:
+    @pytest.mark.parametrize("g", [1, 2, 3, 4, 5, 8, 16])
+    def test_tree_depth_is_log(self, g):
+        import math
+
+        net = Network(max(g, 1))
+        members = list(range(g))
+        net.broadcast(0, members, words=1, payload="v", key="k")
+        depth = math.ceil(math.log2(g)) if g > 1 else 0
+        assert net.critical_messages == depth
+        # every member got the payload
+        for m in members:
+            assert net[m].inbox["k"] == "v"
+
+    def test_total_messages_is_g_minus_1(self):
+        net = Network(8)
+        net.broadcast(0, list(range(8)), words=2)
+        assert sum(p.messages_sent for p in net.processors) == 7
+
+    def test_nonzero_root(self):
+        net = Network(4)
+        net.broadcast(2, [0, 1, 2, 3], words=1, payload=9, key="k")
+        assert all(net[m].inbox["k"] == 9 for m in range(4))
+
+    def test_root_not_in_group(self):
+        net = Network(4)
+        with pytest.raises(NetworkError):
+            net.broadcast(3, [0, 1], words=1)
+
+    def test_duplicate_members(self):
+        net = Network(4)
+        with pytest.raises(NetworkError):
+            net.broadcast(0, [0, 1, 1], words=1)
+
+    def test_singleton_group_free(self):
+        net = Network(2)
+        net.broadcast(0, [0], words=5, payload="p", key="k")
+        assert net.critical_messages == 0
+        assert net[0].inbox["k"] == "p"
+
+    def test_clear_inboxes(self):
+        net = Network(2)
+        net.send(0, 1, 3, payload="x", key="k")
+        net.clear_inboxes()
+        assert net[1].inbox == {}
+        assert net[1].buffer_words == 0
+        assert net[1].peak_buffer_words == 3  # peak survives
+
+    def test_summary(self):
+        net = Network(2)
+        net.send(0, 1, 3)
+        s = net.summary()
+        assert s["critical_words"] == 3 and s["P"] == 2

@@ -1,0 +1,102 @@
+"""Property tests of the network simulator's invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.matrices.generators import random_spd
+from repro.parallel import Network, pxpotrf
+
+P = 6
+
+send_sequence = st.lists(
+    st.tuples(
+        st.integers(0, P - 1),
+        st.integers(0, P - 1),
+        st.integers(0, 30),
+    ).filter(lambda t: t[0] != t[1]),
+    min_size=1,
+    max_size=30,
+)
+
+
+class TestNetworkInvariants:
+    @settings(max_examples=50, deadline=None)
+    @given(send_sequence)
+    def test_conservation(self, sends):
+        net = Network(P)
+        for s, d, w in sends:
+            net.send(s, d, w)
+        sent = sum(p.words_sent for p in net.processors)
+        received = sum(p.words_received for p in net.processors)
+        assert sent == received == sum(w for _s, _d, w in sends)
+        assert sum(p.messages_sent for p in net.processors) == len(sends)
+
+    @settings(max_examples=50, deadline=None)
+    @given(send_sequence)
+    def test_path_bounded_by_totals(self, sends):
+        net = Network(P)
+        for s, d, w in sends:
+            net.send(s, d, w)
+        assert net.critical_messages <= len(sends)
+        assert net.critical_words <= sum(w for _s, _d, w in sends)
+        assert net.critical_messages >= 1
+
+    @settings(max_examples=50, deadline=None)
+    @given(send_sequence, st.floats(0.1, 5.0), st.floats(0.0, 2.0))
+    def test_time_matches_alpha_beta_along_path(self, sends, alpha, beta):
+        """Sequential dependencies only: with α,β fixed, the critical
+        time equals α·path_messages + β·path_words when every send
+        chains through the path processor — in general ≥ the path's
+        own cost is not guaranteed, but ≤ total cost always is."""
+        net = Network(P, alpha=alpha, beta=beta)
+        for s, d, w in sends:
+            net.send(s, d, w)
+        total_cost = alpha * len(sends) + beta * sum(w for _s, _d, w in sends)
+        crit = net.critical()
+        assert net.critical_time <= total_cost + 1e-6
+        assert net.critical_time == pytest.approx(
+            alpha * crit.path_messages + beta * crit.path_words
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(2, 12), st.integers(0, 20))
+    def test_broadcast_word_conservation(self, group_size, words):
+        net = Network(group_size)
+        net.broadcast(0, list(range(group_size)), words)
+        for rank in range(1, group_size):
+            assert net[rank].words_received == words
+
+    def test_chain_time_accumulates(self):
+        net = Network(4, alpha=1.0, beta=0.0)
+        net.send(0, 1, 0)
+        net.send(1, 2, 0)
+        net.send(2, 3, 0)
+        assert net.critical_time == pytest.approx(3.0)
+        assert net.critical_messages == 3
+
+    def test_parallel_sends_overlap(self):
+        net = Network(4, alpha=1.0, beta=0.0)
+        net.send(0, 1, 0)
+        net.send(2, 3, 0)
+        assert net.critical_time == pytest.approx(1.0)
+
+
+class TestMemoryScalability:
+    @pytest.mark.parametrize("P,n,b", [(4, 32, 8), (16, 64, 4), (16, 64, 16)])
+    def test_peak_memory_is_2d_scalable(self, P, n, b):
+        res = pxpotrf(random_spd(n, seed=1), b, P)
+        # owned ~ (n²+nb)/(2P)·(imbalance) + buffers ~ nb/√P + b²
+        budget = 3 * (n * n / P + n * b + b * b)
+        assert res.peak_memory_words <= budget
+
+    def test_memory_grows_with_block_size(self):
+        n, P = 64, 16
+        small = pxpotrf(random_spd(n, seed=1), 4, P).peak_memory_words
+        large = pxpotrf(random_spd(n, seed=1), 16, P).peak_memory_words
+        assert large > small
+
+    def test_gamma_compute_time(self):
+        net = Network(2, gamma=1e-3)
+        net.compute(0, 1000)
+        assert net[0].t == pytest.approx(1.0)

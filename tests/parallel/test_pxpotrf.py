@@ -1,0 +1,184 @@
+"""Tests for block-cyclic distribution and the parallel Cholesky."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bounds.parallel import (
+    optimal_block_size,
+    parallel_bandwidth_lower_bound,
+    parallel_latency_lower_bound,
+    scalapack_messages,
+    scalapack_words,
+)
+from repro.matrices.generators import diagonally_dominant, random_spd
+from repro.parallel import BlockCyclicMatrix, Network, ProcessorGrid, pxpotrf
+from repro.sequential import cholesky_flops
+
+
+class TestBlockCyclic:
+    def test_scatter_owns_lower_triangle_only(self):
+        n, b = 12, 3
+        grid = ProcessorGrid(2, 2)
+        net = Network(4)
+        dist = BlockCyclicMatrix(random_spd(n), b, grid, net)
+        stored = [key for p in net.processors for key in p.store]
+        assert all(bi >= bj for (_tag, bi, bj) in stored)
+        assert len(stored) == 10  # 4x4 block grid lower triangle
+
+    def test_block_ranges_ragged(self):
+        grid = ProcessorGrid(1, 1)
+        net = Network(1)
+        dist = BlockCyclicMatrix(random_spd(10), 4, grid, net)
+        assert dist.nblocks == 3
+        assert dist.block_range(2) == (8, 10)
+        assert dist.block_dim(2) == 2
+        with pytest.raises(ValueError):
+            dist.block_range(3)
+
+    def test_gather_roundtrip(self):
+        n = 9
+        a = random_spd(n, seed=2)
+        grid = ProcessorGrid(3, 3)
+        net = Network(9)
+        dist = BlockCyclicMatrix(a, 2, grid, net)
+        assert np.allclose(dist.gather_lower(), np.tril(a))
+
+    def test_gather_charged(self):
+        a = random_spd(6, seed=1)
+        grid, net = ProcessorGrid(2, 2), Network(4)
+        dist = BlockCyclicMatrix(a, 3, grid, net)
+        dist.gather_lower(charge=True)
+        assert net[0].words_received > 0
+
+    def test_owned_words_balance(self):
+        """Block-cyclic with small b balances storage; b = n/√P does
+        not (the paper's end-of-§3.3.1 remark)."""
+        n = 32
+        a = random_spd(n)
+        grid = ProcessorGrid(2, 2)
+        balanced = BlockCyclicMatrix(a, 4, grid, Network(4)).owned_words()
+        extreme = BlockCyclicMatrix(a, 16, grid, Network(4)).owned_words()
+        spread_b = max(balanced.values()) / min(balanced.values())
+        # at b = n/√P one processor owns nothing but upper blocks
+        assert min(extreme.values()) == 0
+        assert spread_b < 2.0
+
+    def test_grid_network_mismatch(self):
+        with pytest.raises(ValueError):
+            BlockCyclicMatrix(random_spd(4), 2, ProcessorGrid(2, 2), Network(2))
+
+    def test_asymmetric_rejected(self):
+        with pytest.raises(ValueError):
+            BlockCyclicMatrix(
+                np.triu(np.ones((4, 4))), 2, ProcessorGrid(1, 1), Network(1)
+            )
+
+
+class TestPxpotrfCorrectness:
+    @pytest.mark.parametrize("P", [1, 4, 9, 16])
+    @pytest.mark.parametrize("n,b", [(24, 4), (24, 8), (30, 7), (13, 3)])
+    def test_matches_reference(self, P, n, b):
+        a = random_spd(n, seed=n + P)
+        res = pxpotrf(a, b, P)
+        assert np.allclose(res.L, np.linalg.cholesky(a), atol=1e-8)
+
+    def test_rectangular_grid(self):
+        a = random_spd(20, seed=3)
+        res = pxpotrf(a, 4, ProcessorGrid(2, 3))
+        assert np.allclose(res.L, np.linalg.cholesky(a), atol=1e-8)
+
+    def test_other_matrix_family(self):
+        a = diagonally_dominant(18, seed=5)
+        res = pxpotrf(a, 5, 4)
+        assert np.allclose(res.L @ res.L.T, a, atol=1e-8)
+
+    def test_block_larger_than_n(self):
+        a = random_spd(6, seed=1)
+        res = pxpotrf(a, 64, 4)
+        assert np.allclose(res.L, np.linalg.cholesky(a), atol=1e-8)
+        assert res.critical_messages == 0  # single block: all local
+
+    @pytest.mark.parametrize("P", [1, 4, 16])
+    def test_total_flops_exact(self, P):
+        """The distributed algorithm performs exactly the classical
+        arithmetic, partitioned (§3.1.3 extended to §3.3)."""
+        n = 24
+        res = pxpotrf(random_spd(n), 4, P)
+        assert res.total_flops == cholesky_flops(n)
+
+    def test_not_spd_raises(self):
+        a = random_spd(12, seed=0)
+        a[6, 6] = -100.0
+        with pytest.raises(np.linalg.LinAlgError):
+            pxpotrf(a, 4, 4)
+
+
+class TestPxpotrfCounts:
+    """Table 2 / §3.3.1: measured vs predicted critical-path counts."""
+
+    @pytest.mark.parametrize("P", [4, 16])
+    @pytest.mark.parametrize("nb_factor", [4, 8])
+    def test_messages_within_prediction(self, P, nb_factor):
+        b = 4
+        n = b * nb_factor * math.isqrt(P)
+        res = pxpotrf(random_spd(n, seed=1), b, P)
+        pred = scalapack_messages(n, b, P)
+        assert res.critical_messages <= 1.5 * pred
+        assert res.critical_messages >= 0.25 * pred
+
+    @pytest.mark.parametrize("P", [4, 16])
+    def test_words_within_prediction(self, P):
+        b = 4
+        n = 8 * b * math.isqrt(P)
+        res = pxpotrf(random_spd(n, seed=1), b, P)
+        pred = scalapack_words(n, b, P)
+        assert res.critical_words <= 1.5 * pred
+        assert res.critical_words >= 0.2 * pred
+
+    def test_optimal_block_hits_latency_bound(self):
+        """b = n/√P: messages = O(√P log P) and words near the n²/√P
+        lower bound (Conclusion 6)."""
+        P, n = 16, 64
+        b = optimal_block_size(n, P)
+        assert b == 16
+        res = pxpotrf(random_spd(n, seed=2), b, P)
+        logP = math.log2(P)
+        assert res.critical_messages <= 3 * math.sqrt(P) * logP
+        assert res.critical_words <= 3 * parallel_bandwidth_lower_bound(n, P) * logP
+        assert res.critical_messages >= parallel_latency_lower_bound(P) / 2
+
+    def test_small_block_pays_latency(self):
+        """Messages grow as n/b: shrinking b must raise the message
+        count and b = n/√P must be the minimum."""
+        P, n = 4, 32
+        msgs = {b: pxpotrf(random_spd(n), b, P).critical_messages
+                for b in (2, 4, 8, 16)}
+        assert msgs[2] > msgs[4] > msgs[8] >= msgs[16]
+
+    def test_flops_balance_at_optimal_block(self):
+        """Choosing b = n/√P keeps max-per-processor flops O(n³/P)
+        (the paper's closing point of §3.3.1)."""
+        P, n = 16, 64
+        b = optimal_block_size(n, P)
+        res = pxpotrf(random_spd(n, seed=3), b, P)
+        assert res.max_flops <= 8 * cholesky_flops(n) / P
+
+    def test_memory_scalable_buffers(self):
+        """2D regime: per-processor peak buffering stays O(n²/P + nb)."""
+        P, n, b = 16, 64, 4
+        res = pxpotrf(random_spd(n, seed=4), b, P)
+        assert res.peak_buffer_words <= 4 * (n * n // P + n * b)
+
+    def test_counts_deterministic(self):
+        n = 24
+        r1 = pxpotrf(random_spd(n, seed=0), 4, 4)
+        r2 = pxpotrf(random_spd(n, seed=9), 4, 4)
+        assert r1.critical_words == r2.critical_words
+        assert r1.critical_messages == r2.critical_messages
+
+    def test_p1_has_no_communication(self):
+        res = pxpotrf(random_spd(16), 4, 1)
+        assert res.critical_words == 0
+        assert res.critical_messages == 0

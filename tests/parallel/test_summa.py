@@ -1,0 +1,93 @@
+"""Tests for the SUMMA baseline and its relation to PxPOTRF."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bounds.matmul import matmul_bandwidth_lower_bound
+from repro.matrices.generators import random_spd
+from repro.parallel import ProcessorGrid, pxpotrf, summa
+
+
+def rand(n, seed=0):
+    return np.random.default_rng(seed).standard_normal((n, n))
+
+
+class TestSummaCorrectness:
+    @pytest.mark.parametrize("P", [1, 4, 9, 16])
+    @pytest.mark.parametrize("n,b", [(24, 4), (30, 7), (16, 16)])
+    def test_matches_numpy(self, P, n, b):
+        a, bm = rand(n, 1), rand(n, 2)
+        res = summa(a, bm, b, P)
+        assert np.allclose(res.C, a @ bm, atol=1e-8)
+
+    def test_rectangular_grid(self):
+        a, bm = rand(12, 3), rand(12, 4)
+        res = summa(a, bm, 3, ProcessorGrid(2, 3))
+        assert np.allclose(res.C, a @ bm, atol=1e-8)
+
+    def test_total_flops_exact(self):
+        n = 16
+        res = summa(rand(n), rand(n, 1), 4, 4)
+        assert res.total_flops == 2 * n**3
+
+    def test_nonsquare_rejected(self):
+        with pytest.raises(ValueError):
+            summa(np.zeros((2, 3)), np.zeros((3, 3)), 1, 1)
+
+    def test_p1_no_communication(self):
+        res = summa(rand(8), rand(8, 1), 4, 1)
+        assert res.critical_messages == 0
+
+
+class TestSummaCounts:
+    def test_meets_2d_bandwidth_bound_within_logP(self):
+        n, P = 64, 16
+        b = n // math.isqrt(P)
+        res = summa(rand(n), rand(n, 1), b, P)
+        lb = n * n / math.sqrt(P)
+        assert res.critical_words <= 4 * lb * math.log2(P)
+
+    def test_messages_scale_with_panels(self):
+        n, P = 32, 4
+        m_small = summa(rand(n), rand(n, 1), 4, P).critical_messages
+        m_big = summa(rand(n), rand(n, 1), 16, P).critical_messages
+        assert m_small > 2 * m_big
+
+    def test_flop_balance(self):
+        n, P = 32, 16
+        res = summa(rand(n), rand(n, 1), 8, P)
+        assert res.max_flops <= 2 * (2 * n**3) / P
+
+    def test_exceeds_itt04_per_processor_bound(self):
+        """Theorem 2: some processor moves ≥ nmr/(2√2·P·√M) − M words;
+        SUMMA's max per-processor traffic respects that."""
+        n, P = 64, 16
+        M = n * n // P
+        res = summa(rand(n), rand(n, 1), 16, P)
+        lb = matmul_bandwidth_lower_bound(n, M=M, P=P)
+        max_traffic = max(p.total_words for p in res.network.processors)
+        assert max_traffic >= lb
+
+
+class TestCholeskyMatmulKinship:
+    """The Main Theorem's moral: Cholesky and matmul share one
+    communication profile on the same machine."""
+
+    def test_same_shape_of_counts(self):
+        n, P = 64, 16
+        b = n // math.isqrt(P)
+        chol = pxpotrf(random_spd(n, seed=1), b, P)
+        mm = summa(rand(n), rand(n, 1), b, P)
+        # same Θ(√P log P) messages and Θ(n²/√P · log P) words:
+        # within small constants of each other
+        assert 0.2 <= chol.critical_messages / mm.critical_messages <= 5.0
+        assert 0.2 <= chol.critical_words / mm.critical_words <= 5.0
+
+    def test_cholesky_does_half_the_flops(self):
+        """Cholesky ≈ n³/3 vs matmul's 2n³ — a factor 6, exactly."""
+        n, P = 32, 4
+        chol = pxpotrf(random_spd(n, seed=2), 8, P)
+        mm = summa(rand(n), rand(n, 1), 8, P)
+        assert mm.total_flops / chol.total_flops == pytest.approx(6.0, rel=0.05)

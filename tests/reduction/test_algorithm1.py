@@ -1,0 +1,154 @@
+"""Tests for Algorithm 1: matrix multiplication via Cholesky."""
+
+import numpy as np
+import pytest
+
+from repro.bounds.matmul import matmul_bandwidth_lower_bound
+from repro.machine import SequentialMachine
+from repro.reduction import (
+    build_reduction_input,
+    expected_factor,
+    multiply_via_cholesky,
+    multiply_via_cholesky_counted,
+)
+from repro.reduction.construct import extract_product
+from repro.starred.linalg import starred_cholesky, starred_matmul
+from repro.starred.value import ONE_STAR, ZERO_STAR, is_starred
+
+
+def rand(n, seed):
+    return np.random.default_rng(seed).standard_normal((n, n))
+
+
+class TestConstruction:
+    def test_shape_and_blocks(self):
+        n = 3
+        a, b = rand(n, 0), rand(n, 1)
+        t = build_reduction_input(a, b)
+        assert t.shape == (9, 9)
+        assert float(t[0, 0]) == 1.0 and float(t[0, 1]) == 0.0
+        assert t[n, n] is ONE_STAR
+        assert t[n, n + 1] is ZERO_STAR
+        assert t[2 * n, 2 * n] is ONE_STAR
+        assert float(t[n, 0]) == pytest.approx(a[0, 0])
+        assert float(t[0, 2 * n]) == pytest.approx(-b[0, 0])
+
+    def test_symmetric_modulo_stars(self):
+        n = 4
+        t = build_reduction_input(rand(n, 2), rand(n, 3))
+        for i in range(3 * n):
+            for j in range(3 * n):
+                x, y = t[i, j], t[j, i]
+                if is_starred(x) or is_starred(y):
+                    assert x == y
+                else:
+                    assert float(x) == pytest.approx(float(y))
+
+    def test_mismatched_inputs(self):
+        with pytest.raises(ValueError):
+            build_reduction_input(rand(3, 0), rand(4, 1))
+        with pytest.raises(ValueError):
+            build_reduction_input(np.zeros((2, 3)), np.zeros((2, 3)))
+
+    def test_expected_factor_reconstructs_t(self):
+        """L·Lᵀ = T' under classical (starred) multiplication."""
+        n = 3
+        a, b = rand(n, 4), rand(n, 5)
+        ell = expected_factor(a, b)
+        t = build_reduction_input(a, b)
+        got = starred_matmul(ell, ell.T.copy())
+        for i in range(3 * n):
+            for j in range(i + 1):  # lower triangle
+                x, y = got[i, j], t[i, j]
+                if is_starred(x) or is_starred(y):
+                    assert x == y, (i, j)
+                else:
+                    assert float(x) == pytest.approx(float(y), abs=1e-9)
+
+
+class TestAlgorithm1:
+    @pytest.mark.parametrize("order", ["left", "right", "recursive"])
+    @pytest.mark.parametrize("n", [1, 2, 3, 6, 10])
+    def test_product_correct(self, order, n):
+        a, b = rand(n, n), rand(n, n + 1)
+        got = multiply_via_cholesky(a, b, order=order)
+        assert np.allclose(got, a @ b, atol=1e-8)
+
+    def test_factor_matches_expected(self):
+        n = 4
+        a, b = rand(n, 7), rand(n, 8)
+        ell = starred_cholesky(build_reduction_input(a, b), order="left")
+        want = expected_factor(a, b)
+        for i in range(3 * n):
+            for j in range(i + 1):
+                x, y = ell[i, j], want[i, j]
+                if is_starred(x) or is_starred(y):
+                    assert x == y, (i, j)
+                else:
+                    assert float(x) == pytest.approx(float(y), abs=1e-8)
+
+    def test_no_masking_contamination(self):
+        """Lemma 2.2's point: the L32 block is purely real."""
+        n = 5
+        ell = starred_cholesky(
+            build_reduction_input(rand(n, 9), rand(n, 10)), order="left"
+        )
+        block = ell[2 * n :, n : 2 * n]
+        assert not any(is_starred(v) for v in block.flat)
+
+    def test_extract_product(self):
+        n = 3
+        a, b = rand(n, 11), rand(n, 12)
+        assert np.allclose(
+            extract_product(expected_factor(a, b), n), a @ b
+        )
+
+
+class TestCountedReduction:
+    def test_product_and_phases(self):
+        n = 6
+        a, b = rand(n, 0), rand(n, 1)
+        product, machine, phases = multiply_via_cholesky_counted(a, b)
+        assert np.allclose(product, a @ b, atol=1e-8)
+        big = 3 * n
+        # step 2 writes the stored matrix once: exactly (3n)² words here,
+        # within the paper's 18n² allowance
+        assert phases["setup"] == big * big
+        assert phases["setup"] <= 18 * n * n
+        # step 4 reads the n×n product block once
+        assert phases["extract"] == n * n
+        # step 3 is the dominant phase
+        assert phases["cholesky"] > phases["setup"] + phases["extract"]
+
+    def test_cholesky_phase_follows_naive_formula(self):
+        """Step 3's movement is Algorithm 2's on a 3n matrix: exact."""
+        n = 5
+        big = 3 * n
+        _, _, phases = multiply_via_cholesky_counted(rand(n, 2), rand(n, 3))
+        assert 6 * phases["cholesky"] == big**3 + 6 * big**2 + 5 * big
+
+    def test_dominates_matmul_lower_bound(self):
+        """Theorem 1, measured: the Cholesky words exceed the ITT04
+        bound for the embedded n-sized multiplication."""
+        n = 12
+        M = 2 * 3 * n  # smallest legal fast memory
+        _, machine, phases = multiply_via_cholesky_counted(
+            rand(n, 4), rand(n, 5), M=M
+        )
+        bound = matmul_bandwidth_lower_bound(n, M=M)
+        assert phases["cholesky"] >= bound
+
+    def test_too_small_memory(self):
+        from repro.machine import ModelError
+
+        with pytest.raises(ModelError):
+            multiply_via_cholesky_counted(rand(4, 0), rand(4, 1), M=10)
+
+    def test_custom_machine(self):
+        n = 4
+        machine = SequentialMachine(1000)
+        product, out_machine, _ = multiply_via_cholesky_counted(
+            rand(n, 1), rand(n, 2), machine=machine
+        )
+        assert out_machine is machine
+        assert machine.words > 0

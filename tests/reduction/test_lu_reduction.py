@@ -1,0 +1,91 @@
+"""Tests for the LU warm-up reduction (Equation 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.reduction.lu_reduction import (
+    build_lu_input,
+    lu_nopivot,
+    multiply_via_lu,
+)
+
+
+def rand(n, seed=0):
+    return np.random.default_rng(seed).standard_normal((n, n))
+
+
+class TestLuNopivot:
+    @pytest.mark.parametrize("order", ["right", "recursive"])
+    @pytest.mark.parametrize("n", [1, 2, 5, 9, 16])
+    def test_factorizes(self, order, n):
+        # diagonally dominant => nonsingular leading minors
+        a = rand(n, n) + n * np.eye(n)
+        lower, upper = lu_nopivot(a, order=order)
+        assert np.allclose(lower @ upper, a, atol=1e-8)
+        assert np.allclose(np.diag(lower), 1.0)
+        assert np.allclose(np.tril(upper, -1), 0.0)
+        assert np.allclose(np.triu(lower, 1), 0.0)
+
+    def test_orders_agree(self):
+        a = rand(8, 1) + 8 * np.eye(8)
+        l1, u1 = lu_nopivot(a, "right")
+        l2, u2 = lu_nopivot(a, "recursive")
+        assert np.allclose(l1, l2, atol=1e-8)
+        assert np.allclose(u1, u2, atol=1e-8)
+
+    def test_zero_pivot_raises(self):
+        a = np.array([[0.0, 1.0], [1.0, 0.0]])
+        with pytest.raises(ZeroDivisionError):
+            lu_nopivot(a)
+
+    def test_bad_order(self):
+        with pytest.raises(ValueError):
+            lu_nopivot(np.eye(2), order="left-ish")
+
+    def test_nonsquare(self):
+        with pytest.raises(ValueError):
+            lu_nopivot(np.zeros((2, 3)))
+
+
+class TestEquation1:
+    def test_construction_blocks(self):
+        n = 3
+        a, b = rand(n, 0), rand(n, 1)
+        t = build_lu_input(a, b)
+        assert t.shape == (9, 9)
+        assert np.allclose(t[:n, :n], np.eye(n))
+        assert np.allclose(t[n : 2 * n, :n], a)
+        assert np.allclose(t[:n, 2 * n :], -b)
+        assert np.allclose(t[2 * n :, :n], 0.0)
+
+    def test_factor_structure_matches_equation1(self):
+        """L and U come out exactly as Equation (1) displays them."""
+        n = 4
+        a, b = rand(n, 2), rand(n, 3)
+        lower, upper = lu_nopivot(build_lu_input(a, b))
+        assert np.allclose(lower[n : 2 * n, :n], a, atol=1e-10)
+        assert np.allclose(upper[:n, 2 * n :], -b, atol=1e-10)
+        assert np.allclose(upper[n : 2 * n, 2 * n :], a @ b, atol=1e-8)
+        # every pivot is exactly 1: no pivoting was ever needed
+        assert np.allclose(np.diag(upper), 1.0)
+
+    @pytest.mark.parametrize("order", ["right", "recursive"])
+    @pytest.mark.parametrize("n", [1, 3, 8, 12])
+    def test_multiply_via_lu(self, order, n):
+        a, b = rand(n, n), rand(n, n + 1)
+        assert np.allclose(multiply_via_lu(a, b, order=order), a @ b, atol=1e-8)
+
+    @settings(max_examples=20, deadline=None)
+    @given(n=st.integers(1, 8), scale=st.floats(0.01, 1.0))
+    def test_scaling_invariance(self, n, scale):
+        """The paper's pivoting remark: scaling A and B changes no
+        result, only pivot magnitudes."""
+        a, b = rand(n, 5), rand(n, 6)
+        got = multiply_via_lu(a, b, scale=scale)
+        assert np.allclose(got, a @ b, atol=1e-6)
+
+    def test_mismatched(self):
+        with pytest.raises(ValueError):
+            build_lu_input(rand(3), rand(4))

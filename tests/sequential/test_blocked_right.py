@@ -1,0 +1,86 @@
+"""Tests for the right-looking blocked variant (sequential PxPOTRF)."""
+
+import numpy as np
+import pytest
+
+from repro.layouts import BlockedLayout, ColumnMajorLayout
+from repro.machine import ModelError, SequentialMachine
+from repro.matrices import TrackedMatrix
+from repro.matrices.generators import random_spd
+from repro.sequential import cholesky_flops
+from repro.sequential.blocked_right import lapack_blocked_right
+from repro.sequential.lapack_blocked import lapack_blocked
+
+
+def run(algo, n, M, layout=None, **kw):
+    machine = SequentialMachine(M)
+    lay = layout or ColumnMajorLayout(n)
+    A = TrackedMatrix(random_spd(n, seed=n), lay, machine)
+    L = algo(A, **kw)
+    return machine, L
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n,b", [(1, 1), (8, 3), (24, 8), (30, 7)])
+    def test_matches_reference(self, n, b):
+        machine, L = run(lapack_blocked_right, n, max(64, 3 * b * b), block=b)
+        assert np.allclose(L, np.linalg.cholesky(random_spd(n, seed=n)), atol=1e-8)
+
+    def test_exact_flops(self):
+        n = 24
+        machine, _ = run(lapack_blocked_right, n, 3 * 64, block=8)
+        assert machine.flops == cholesky_flops(n)
+
+    def test_block_too_big(self):
+        with pytest.raises(ModelError):
+            run(lapack_blocked_right, 16, 47, block=4)
+
+    def test_default_block(self):
+        machine, L = run(lapack_blocked_right, 20, 3 * 5 * 5)
+        assert np.allclose(L, np.linalg.cholesky(random_spd(20, seed=20)), atol=1e-8)
+
+    def test_machine_clean(self):
+        machine, _ = run(lapack_blocked_right, 16, 192, block=4)
+        assert machine.resident.is_empty()
+
+
+class TestLeftRightAsymmetry:
+    """The block-level version of the naïve left/right asymmetry."""
+
+    def test_same_flops_as_left(self):
+        n, b, M = 32, 4, 192
+        m_left, _ = run(lapack_blocked, n, M, block=b)
+        m_right, _ = run(lapack_blocked_right, n, M, block=b)
+        assert m_left.flops == m_right.flops == cholesky_flops(n)
+
+    def test_right_moves_more_words(self):
+        n, b, M = 48, 4, 192
+        m_left, _ = run(lapack_blocked, n, M, block=b)
+        m_right, _ = run(lapack_blocked_right, n, M, block=b)
+        assert m_right.words > m_left.words
+        assert m_right.words < 4 * m_left.words  # same Θ(n³/b)
+
+    def test_right_writes_trailing_blocks_repeatedly(self):
+        n, b, M = 48, 4, 192
+        m_left, _ = run(lapack_blocked, n, M, block=b)
+        m_right, _ = run(lapack_blocked_right, n, M, block=b)
+        assert m_right.counters.words_written > 2 * m_left.counters.words_written
+
+    def test_same_latency_benefit_from_blocked_storage(self):
+        n, b = 48, 8
+        M = 3 * b * b
+        m_col, _ = run(lapack_blocked_right, n, M, block=b)
+        m_blk, _ = run(
+            lapack_blocked_right, n, M, layout=BlockedLayout(n, b), block=b
+        )
+        assert m_col.words == m_blk.words
+        assert m_col.messages >= (b // 2) * m_blk.messages
+
+    def test_bandwidth_scales_inverse_b(self):
+        from repro.util.fitting import fit_power_law
+
+        n, M = 64, 3 * 16 * 16
+        bs = [2, 4, 8, 16]
+        words = [run(lapack_blocked_right, n, M, block=b)[0].words for b in bs]
+        fit = fit_power_law(bs, words)
+        assert fit.exponent_close_to(-1.0, tol=0.25)

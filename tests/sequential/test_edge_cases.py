@@ -1,0 +1,161 @@
+"""Boundary-condition tests across the sequential algorithms.
+
+The regime switches (M = 2n, the minimum legal M, n = 1, b = n, block
+sizes that don't divide n) are where counting code rots; every switch
+gets a test.
+"""
+
+import numpy as np
+import pytest
+
+from repro.layouts import ColumnMajorLayout, MortonLayout
+from repro.machine import ModelError, SequentialMachine
+from repro.matrices import TrackedMatrix
+from repro.matrices.generators import random_spd
+from repro.sequential import (
+    cholesky_flops,
+    lapack_blocked,
+    naive_left_looking,
+    naive_right_looking,
+    naive_up_looking,
+    run_algorithm,
+    square_recursive,
+    toledo,
+)
+
+
+def run(algo, n, M, layout_cls=ColumnMajorLayout, seed=None, **kw):
+    a0 = random_spd(n, seed=n if seed is None else seed)
+    machine = SequentialMachine(M)
+    A = TrackedMatrix(a0, layout_cls(n), machine)
+    L = algo(A, **kw)
+    assert np.allclose(L, np.linalg.cholesky(a0), atol=1e-8)
+    assert machine.flops == cholesky_flops(n)
+    return machine
+
+
+class TestRegimeBoundaries:
+    def test_naive_left_exactly_2n(self):
+        n = 16
+        m = run(naive_left_looking, n, 2 * n)
+        # still the whole-column regime: exact formula holds
+        assert 6 * m.words == n**3 + 6 * n**2 + 5 * n
+
+    def test_naive_left_just_below_2n(self):
+        n = 16
+        m = run(naive_left_looking, n, 2 * n - 1)  # segmented path
+        assert m.words >= (n**3 + 6 * n**2 + 5 * n) // 6
+
+    def test_naive_minimum_memory(self):
+        run(naive_left_looking, 12, 4)
+        run(naive_right_looking, 12, 4)
+
+    def test_naive_below_minimum_raises(self):
+        with pytest.raises(ModelError):
+            run(naive_left_looking, 12, 3)
+        with pytest.raises(ModelError):
+            run(naive_right_looking, 12, 3)
+
+    def test_up_looking_requires_whole_rows(self):
+        with pytest.raises(ModelError):
+            run(naive_up_looking, 16, 16)
+
+    def test_n_equals_one_everywhere(self):
+        for algo in (naive_left_looking, naive_right_looking,
+                     naive_up_looking, lapack_blocked, toledo,
+                     square_recursive):
+            m = run(algo, 1, 8)
+            assert m.flops == 1  # one square root
+
+    def test_segment_size_one(self):
+        """M = 4 forces one-word segments in the naïve path."""
+        m = run(naive_left_looking, 10, 4)
+        assert m.messages >= m.words // 4
+
+
+class TestBlockBoundaries:
+    def test_block_equals_n(self):
+        n = 8
+        m = run(lapack_blocked, n, 3 * n * n, block=n)
+        # single block: read once, factor, write once
+        assert m.words == 2 * n * n
+
+    def test_block_exceeds_n_clipped(self):
+        n = 8
+        run(lapack_blocked, n, 3 * n * n, block=5 * n)
+
+    def test_ragged_blocks(self):
+        run(lapack_blocked, 23, 3 * 5 * 5, block=5)
+        run(lapack_blocked, 23, 300, block=7)
+
+    def test_exact_capacity_block(self):
+        # 3b² == M exactly is legal
+        run(lapack_blocked, 12, 48, block=4)
+
+    def test_one_over_capacity_block(self):
+        with pytest.raises(ModelError):
+            run(lapack_blocked, 12, 47, block=4)
+
+
+class TestRecursiveBoundaries:
+    @pytest.mark.parametrize("n", [3, 5, 7, 11, 13, 17])
+    def test_odd_sizes_toledo(self, n):
+        run(toledo, n, 3 * 4 * 4)
+
+    @pytest.mark.parametrize("n", [3, 5, 7, 11, 13, 17])
+    def test_odd_sizes_square_recursive(self, n):
+        run(square_recursive, n, 3 * 4 * 4)
+
+    def test_morton_nonpow2(self):
+        run(square_recursive, 13, 48, layout_cls=MortonLayout)
+        run(toledo, 13, 48, layout_cls=MortonLayout)
+
+    def test_toledo_column_longer_than_memory(self):
+        # M < n: the base case must stream pivot-pinned segments
+        m = run(toledo, 24, 16)
+        assert m.words > 0
+
+    def test_tiny_memory_recursive(self):
+        run(square_recursive, 16, 4)
+
+    def test_matrix_fits_entirely(self):
+        n = 8
+        m = run(square_recursive, n, 10 * n * n)
+        assert m.words == 2 * n * n
+        m2 = run(lapack_blocked, n, 10 * n * n, block=n)
+        assert m2.words == 2 * n * n
+
+
+class TestDegenerateValues:
+    def test_identity_matrix(self):
+        n = 9
+        machine = SequentialMachine(4 * n)
+        A = TrackedMatrix(np.eye(n), ColumnMajorLayout(n), machine)
+        L = run_algorithm("square-recursive", A)
+        assert np.allclose(L, np.eye(n))
+
+    def test_diagonal_matrix(self):
+        n = 7
+        d = np.diag(np.arange(1.0, n + 1.0))
+        machine = SequentialMachine(4 * n)
+        A = TrackedMatrix(d, ColumnMajorLayout(n), machine)
+        L = run_algorithm("lapack", A, block=3)
+        assert np.allclose(L @ L.T, d)
+
+    def test_nearly_singular_still_factors(self):
+        n = 8
+        a = random_spd(n, seed=1)
+        a += 1e-10 * np.eye(n)
+        machine = SequentialMachine(4 * n)
+        A = TrackedMatrix(a, ColumnMajorLayout(n), machine)
+        L = run_algorithm("naive-left", A)
+        assert np.allclose(L @ L.T, a, atol=1e-6)
+
+    def test_semidefinite_fails_loudly(self):
+        n = 6
+        v = np.ones((n, 1))
+        a = v @ v.T  # rank 1, PSD but not PD
+        machine = SequentialMachine(4 * n)
+        A = TrackedMatrix(a, ColumnMajorLayout(n), machine)
+        with pytest.raises(np.linalg.LinAlgError):
+            run_algorithm("naive-left", A)

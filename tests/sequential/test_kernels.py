@@ -1,0 +1,238 @@
+"""Tests for the recursive kernels (Algorithms 7, 8 and the SYRK twin)
+and the in-fast-memory numerical helpers."""
+
+import numpy as np
+import pytest
+
+from repro.layouts import ColumnMajorLayout, MortonLayout
+from repro.machine import ModelError, SequentialMachine
+from repro.matrices import TrackedMatrix
+from repro.matrices.generators import random_spd
+from repro.sequential import gemm_flops, rmatmul, rsyrk, rtrsm, syrk_flops, trsm_flops
+from repro.sequential.kernels import (
+    dense_cholesky,
+    solve_lower_transposed_right,
+    solve_upper_right,
+    sym_from_lower,
+)
+
+
+def square_tracked(n, M, seed=0, layout_cls=ColumnMajorLayout, name="A"):
+    machine = SequentialMachine(M)
+    return machine, TrackedMatrix(
+        random_spd(n, seed=seed), layout_cls(n), machine, name=name
+    )
+
+
+def three_matrices(n, M, layout_cls=ColumnMajorLayout):
+    machine = SequentialMachine(M)
+    rng = np.random.default_rng(5)
+    mats = []
+    for name in "CAB":
+        mats.append(
+            TrackedMatrix(
+                rng.standard_normal((n, n)), layout_cls(n), machine, name=name
+            )
+        )
+    return machine, mats
+
+
+class TestRMatmul:
+    @pytest.mark.parametrize("n", [1, 2, 5, 8, 13])
+    @pytest.mark.parametrize("M", [16, 64, 10_000])
+    def test_matches_numpy(self, n, M):
+        if M < 3:  # pragma: no cover - guard
+            pytest.skip()
+        machine, (C, A, B) = three_matrices(n, max(M, 4))
+        c0, a0, b0 = C.data.copy(), A.data.copy(), B.data.copy()
+        rmatmul(C.whole(), A.whole(), B.whole())
+        assert np.allclose(C.data, c0 + a0 @ b0)
+
+    def test_subtract(self):
+        machine, (C, A, B) = three_matrices(6, 10_000)
+        c0, a0, b0 = C.data.copy(), A.data.copy(), B.data.copy()
+        rmatmul(C.whole(), A.whole(), B.whole(), subtract=True)
+        assert np.allclose(C.data, c0 - a0 @ b0)
+
+    def test_rectangular_blocks(self):
+        machine, (C, A, B) = three_matrices(8, 10_000)
+        c0, a0, b0 = C.data.copy(), A.data.copy(), B.data.copy()
+        # C[0:3, 0:5] += A[0:3, 0:8] @ B[0:8, 0:5]
+        rmatmul(C.block(0, 3, 0, 5), A.block(0, 3, 0, 8), B.block(0, 8, 0, 5))
+        expect = c0.copy()
+        expect[0:3, 0:5] += a0[0:3, :] @ b0[:, 0:5]
+        assert np.allclose(C.data, expect)
+
+    def test_transposed_operand(self):
+        machine, (C, A, B) = three_matrices(6, 10_000)
+        c0, a0, b0 = C.data.copy(), A.data.copy(), B.data.copy()
+        rmatmul(C.whole(), A.whole(), B.whole().T)
+        assert np.allclose(C.data, c0 + a0 @ b0.T)
+
+    def test_exact_flops(self):
+        machine, (C, A, B) = three_matrices(7, 64)
+        rmatmul(C.whole(), A.whole(), B.whole())
+        assert machine.flops == gemm_flops(7, 7, 7)
+
+    def test_shape_mismatch(self):
+        machine, (C, A, B) = three_matrices(6, 64)
+        with pytest.raises(ValueError):
+            rmatmul(C.block(0, 2, 0, 2), A.whole(), B.whole())
+
+    def test_different_machines_rejected(self):
+        _, (C, A, B) = three_matrices(4, 64)
+        other_machine, D = square_tracked(4, 64)
+        with pytest.raises(ValueError):
+            rmatmul(C.whole(), D.whole(), B.whole())
+
+    def test_too_small_memory(self):
+        machine, (C, A, B) = three_matrices(4, 2)
+        with pytest.raises(ModelError):
+            rmatmul(C.whole(), A.whole(), B.whole())
+
+    def test_bandwidth_when_everything_fits(self):
+        n = 8
+        machine, (C, A, B) = three_matrices(n, 10_000)
+        rmatmul(C.whole(), A.whole(), B.whole())
+        # one read of 3n², one write of n²
+        assert machine.counters.words_read == 3 * n * n
+        assert machine.counters.words_written == n * n
+
+    def test_bandwidth_scaling_in_M(self):
+        n = 32
+        words = []
+        for M in (27, 108, 432):
+            machine, (C, A, B) = three_matrices(n, M)
+            rmatmul(C.whole(), A.whole(), B.whole())
+            words.append(machine.words)
+        # B ~ n^3 / sqrt(M): quadrupling M should halve words, roughly
+        assert words[0] > 1.6 * words[1] > 2.5 * words[2]
+
+    def test_latency_morton_vs_column(self):
+        """Claim 3.3: Θ(n³/M^{3/2}) vs Θ(n³/M)."""
+        n, M = 32, 48
+        machine_m, (Cm, Am, Bm) = three_matrices(n, M, layout_cls=MortonLayout)
+        rmatmul(Cm.whole(), Am.whole(), Bm.whole())
+        machine_c, (Cc, Ac, Bc) = three_matrices(n, M)
+        rmatmul(Cc.whole(), Ac.whole(), Bc.whole())
+        assert machine_c.words == machine_m.words
+        assert machine_c.messages > 2 * machine_m.messages
+
+
+class TestRSyrk:
+    @pytest.mark.parametrize("n,k", [(1, 1), (4, 4), (6, 3), (3, 9), (8, 5)])
+    def test_matches_numpy(self, n, k):
+        machine = SequentialMachine(10_000)
+        rng = np.random.default_rng(1)
+        size = max(n, k)
+        C = TrackedMatrix(random_spd(size, seed=2), ColumnMajorLayout(size), machine)
+        A = TrackedMatrix(
+            rng.standard_normal((size, size)), ColumnMajorLayout(size), machine
+        )
+        c0 = C.data.copy()
+        a = A.data[:n, :k]
+        rsyrk(C.block(0, n, 0, n), A.block(0, n, 0, k))
+        assert np.allclose(C.data[:n, :n], c0[:n, :n] - a @ a.T)
+
+    def test_exact_flops(self):
+        machine = SequentialMachine(40)
+        C = TrackedMatrix(random_spd(6), ColumnMajorLayout(6), machine)
+        A = TrackedMatrix(random_spd(6, seed=1), ColumnMajorLayout(6), machine)
+        rsyrk(C.whole(), A.block(0, 6, 0, 4))
+        assert machine.flops == syrk_flops(6, 4)
+
+    def test_shape_mismatch(self):
+        machine = SequentialMachine(64)
+        C = TrackedMatrix(random_spd(6), ColumnMajorLayout(6), machine)
+        A = TrackedMatrix(random_spd(6, seed=1), ColumnMajorLayout(6), machine)
+        with pytest.raises(ValueError):
+            rsyrk(C.block(0, 4, 0, 4), A.whole())
+
+    def test_cheaper_than_gemm(self):
+        """The symmetric update moves fewer words than a full multiply
+        of the same shape (it skips the upper half's operand traffic
+        in the flop count and reads one operand instead of two)."""
+        n, M = 32, 48
+        machine_s = SequentialMachine(M)
+        C = TrackedMatrix(random_spd(n), ColumnMajorLayout(n), machine_s)
+        A = TrackedMatrix(random_spd(n, seed=1), ColumnMajorLayout(n), machine_s)
+        rsyrk(C.whole(), A.whole())
+        machine_g, (Cg, Ag, Bg) = three_matrices(n, M)
+        rmatmul(Cg.whole(), Ag.whole(), Bg.whole())
+        assert machine_s.flops < machine_g.flops
+        assert machine_s.words < machine_g.words
+
+
+class TestRTrsm:
+    @pytest.mark.parametrize("m,n", [(1, 1), (4, 4), (8, 4), (4, 8), (9, 5)])
+    def test_matches_solve(self, m, n):
+        machine = SequentialMachine(10_000)
+        size = max(m, n)
+        A = TrackedMatrix(
+            np.random.default_rng(0).standard_normal((size, size)),
+            ColumnMajorLayout(size),
+            machine,
+        )
+        Lmat = TrackedMatrix(
+            np.linalg.cholesky(random_spd(size, seed=4)),
+            ColumnMajorLayout(size),
+            machine,
+        )
+        a0 = A.data[:m, :n].copy()
+        l0 = Lmat.data[:n, :n]
+        rtrsm(A.block(0, m, 0, n), Lmat.block(0, n, 0, n).T)
+        # X = a0 · (l0^T)^{-1}
+        assert np.allclose(A.data[:m, :n] @ l0.T, a0, atol=1e-8)
+
+    def test_exact_flops(self):
+        machine = SequentialMachine(48)
+        A = TrackedMatrix(random_spd(8), ColumnMajorLayout(8), machine)
+        Lmat = TrackedMatrix(
+            np.linalg.cholesky(random_spd(8, seed=4)), ColumnMajorLayout(8), machine
+        )
+        rtrsm(A.block(0, 8, 0, 4), Lmat.block(0, 4, 0, 4).T)
+        assert machine.flops == trsm_flops(8, 4)
+
+    def test_shape_mismatch(self):
+        machine = SequentialMachine(64)
+        A = TrackedMatrix(random_spd(6), ColumnMajorLayout(6), machine)
+        U = TrackedMatrix(random_spd(6, seed=1), ColumnMajorLayout(6), machine)
+        with pytest.raises(ValueError):
+            rtrsm(A.whole(), U.block(0, 4, 0, 4))
+
+    def test_garbage_below_diagonal_ignored(self):
+        """U is read as upper triangular even if the storage below the
+        diagonal holds stale values (as it does mid-factorization)."""
+        machine = SequentialMachine(10_000)
+        u_full = np.triu(random_spd(5, seed=6)) + 5 * np.eye(5)
+        junk = u_full + np.tril(np.full((5, 5), 99.0), -1)
+        U = TrackedMatrix(junk, ColumnMajorLayout(5), machine)
+        A = TrackedMatrix(random_spd(5, seed=7), ColumnMajorLayout(5), machine)
+        a0 = A.data.copy()
+        rtrsm(A.whole(), U.whole())
+        assert np.allclose(A.data @ u_full, a0, atol=1e-8)
+
+
+class TestNumericKernels:
+    def test_sym_from_lower(self):
+        c = np.array([[2.0, 99.0], [1.0, 3.0]])
+        s = sym_from_lower(c)
+        assert np.allclose(s, [[2.0, 1.0], [1.0, 3.0]])
+
+    def test_dense_cholesky_ignores_upper(self):
+        a = random_spd(5, seed=1)
+        junk = a.copy()
+        junk[np.triu_indices(5, 1)] = -1e9
+        assert np.allclose(dense_cholesky(junk), np.linalg.cholesky(a))
+
+    def test_solve_lower_transposed_right(self):
+        l = np.linalg.cholesky(random_spd(4, seed=2))
+        a = np.random.default_rng(0).standard_normal((3, 4))
+        x = solve_lower_transposed_right(a, l)
+        assert np.allclose(x @ l.T, a)
+
+    def test_solve_upper_right(self):
+        u = np.linalg.cholesky(random_spd(4, seed=2)).T
+        a = np.random.default_rng(0).standard_normal((3, 4))
+        x = solve_upper_right(a, u)
+        assert np.allclose(x @ u, a)

@@ -1,0 +1,121 @@
+"""Multi-level memory hierarchy behaviour (§3.2, Conclusions 4–5).
+
+The square recursive algorithm must be bandwidth- and latency-optimal
+at *every* level simultaneously; LAPACK can only be tuned for one
+level; Toledo pays its per-column I/O at every level.
+"""
+
+import numpy as np
+import pytest
+
+from repro.layouts import BlockedLayout, ColumnMajorLayout, MortonLayout
+from repro.machine import HierarchicalMachine
+from repro.matrices import TrackedMatrix
+from repro.matrices.generators import random_spd
+from repro.sequential import lapack_blocked, square_recursive, toledo
+
+LEVELS = [3 * 4 * 4, 3 * 8 * 8, 3 * 32 * 32]  # M1 < M2 < M3
+
+
+def run_hier(algo, n, levels=LEVELS, layout=None, enforce=True, **kw):
+    machine = HierarchicalMachine(levels, enforce_capacity=enforce)
+    lay = layout or MortonLayout(n)
+    A = TrackedMatrix(random_spd(n, seed=1), lay, machine)
+    algo(A, **kw)
+    return machine
+
+
+class TestSquareRecursiveMultilevel:
+    def test_numerics_unaffected(self):
+        n = 64
+        machine = HierarchicalMachine(LEVELS)
+        A = TrackedMatrix(random_spd(n, seed=1), MortonLayout(n), machine)
+        L = square_recursive(A)
+        assert np.allclose(L, np.linalg.cholesky(random_spd(n, seed=1)))
+
+    def test_bandwidth_optimal_at_every_level(self):
+        n = 128
+        machine = run_hier(square_recursive, n)
+        for lvl in machine.levels:
+            bound = n**3 / np.sqrt(lvl.capacity) + n * n
+            assert lvl.words <= 10 * bound, lvl.name
+
+    def test_latency_optimal_at_every_level(self):
+        n = 128
+        machine = run_hier(square_recursive, n)
+        for lvl in machine.levels:
+            bound = n**3 / lvl.capacity**1.5 + n * n / lvl.capacity
+            assert lvl.messages <= 40 * bound, lvl.name
+
+    def test_level_traffic_decreases_up_the_hierarchy(self):
+        n = 128
+        machine = run_hier(square_recursive, n)
+        words = [lvl.words for lvl in machine.levels]
+        assert words[0] > words[1] > words[2]
+
+    def test_matches_single_level_runs(self):
+        """Hierarchical charging must equal d independent two-level
+        runs — the defining property of the ideal-cache scopes."""
+        n = 64
+        machine = run_hier(square_recursive, n)
+        for i, M in enumerate(LEVELS):
+            single = run_hier(square_recursive, n, levels=[M])
+            assert machine.levels[i].words == single.levels[0].words
+            assert machine.levels[i].messages == single.levels[0].messages
+
+
+class TestLapackTuningDilemma:
+    """§3.2.2: no single block size serves every level."""
+
+    def test_tuned_for_small_level_wastes_big_level(self):
+        n = 128
+        b_small = 4  # 3b² = M1
+        machine = run_hier(lapack_blocked, n, block=b_small)
+        big = machine.levels[-1]
+        optimal_big = n**3 / np.sqrt(big.capacity) + n * n
+        # traffic at the big level is ~n³/b_small, far above optimal
+        assert big.words > 3 * optimal_big
+
+    def test_tuned_for_big_level_violates_small_level(self):
+        n = 128
+        b_big = 32  # 3b² = M3
+        machine = run_hier(
+            lapack_blocked, n, block=b_big, enforce=False
+        )
+        assert machine.levels[0].capacity_violated
+        assert machine.levels[1].capacity_violated
+        assert not machine.levels[2].capacity_violated
+
+    def test_square_recursive_beats_lapack_somewhere(self):
+        """Whatever b LAPACK picks, some level is worse than the
+        oblivious algorithm's (capacity-violated or ≥2× the words)."""
+        n = 128
+        oblivious = run_hier(square_recursive, n)
+        for b in (4, 8, 32):
+            machine = run_hier(lapack_blocked, n, block=b, enforce=False)
+            worse_somewhere = any(
+                lvl.capacity_violated or lvl.words > 2 * obl.words
+                for lvl, obl in zip(machine.levels, oblivious.levels)
+            )
+            assert worse_somewhere, f"b={b}"
+
+
+class TestToledoMultilevel:
+    def test_column_io_charged_at_all_levels(self):
+        """Toledo's per-column base case pays 2·(column length) at
+        every level — so even the largest level sees the n² log n
+        term, unlike square-recursive whose top-level traffic is 2n²
+        once the matrix fits."""
+        n = 128
+        big = 4 * n * n  # whole matrix fits the single level
+        t = run_hier(toledo, n, levels=[big])
+        s = run_hier(square_recursive, n, levels=[big])
+        assert s.levels[0].words == 2 * n * n
+        assert t.levels[0].words > 3 * n * n
+
+    def test_bandwidth_near_optimal_at_each_level(self):
+        n = 128
+        machine = run_hier(toledo, n)
+        for lvl in machine.levels:
+            bound = n**3 / np.sqrt(lvl.capacity) + n * n * np.log2(n)
+            assert lvl.words <= 12 * bound, lvl.name

@@ -1,0 +1,120 @@
+"""Tests for the tracked triangular solves and the end-to-end solver."""
+
+import numpy as np
+import pytest
+
+from repro.layouts import ColumnMajorLayout, MortonLayout
+from repro.machine import ModelError, SequentialMachine
+from repro.matrices import TrackedMatrix
+from repro.matrices.generators import random_spd
+from repro.sequential.registry import run_algorithm
+from repro.sequential.solve import (
+    back_substitution,
+    cholesky_solve,
+    forward_substitution,
+)
+
+
+def factored(n, M=None, seed=0, layout_cls=ColumnMajorLayout):
+    a0 = random_spd(n, seed=seed)
+    machine = SequentialMachine(M or 8 * n)
+    A = TrackedMatrix(a0, layout_cls(n), machine)
+    run_algorithm("square-recursive", A)
+    return a0, machine, A
+
+
+class TestSubstitution:
+    @pytest.mark.parametrize("n", [1, 2, 7, 24])
+    def test_forward(self, n):
+        a0, machine, A = factored(n)
+        b = np.arange(1.0, n + 1.0)
+        y = forward_substitution(A, b)
+        L = np.linalg.cholesky(a0)
+        assert np.allclose(L @ y, b, atol=1e-8)
+        assert y.ndim == 1
+
+    @pytest.mark.parametrize("n", [1, 2, 7, 24])
+    def test_backward(self, n):
+        a0, machine, A = factored(n)
+        y = np.arange(1.0, n + 1.0)
+        x = back_substitution(A, y)
+        L = np.linalg.cholesky(a0)
+        assert np.allclose(L.T @ x, y, atol=1e-8)
+
+    def test_multiple_rhs(self):
+        n, k = 12, 3
+        a0, machine, A = factored(n)
+        B = np.random.default_rng(1).standard_normal((n, k))
+        y = forward_substitution(A, B)
+        x = back_substitution(A, y)
+        assert x.shape == (n, k)
+        assert np.allclose(a0 @ x, B, atol=1e-7)
+
+    def test_word_count_is_triangle_plus_rhs(self):
+        n = 16
+        a0, machine, A = factored(n)
+        before = machine.counters.snapshot()
+        forward_substitution(A, np.ones(n))
+        delta = machine.counters - before
+        # n(n+1)/2 words of L read + RHS read and written once
+        assert delta.words_read == n * (n + 1) // 2 + n
+        assert delta.words_written == n
+
+    def test_flop_count(self):
+        n = 16
+        a0, machine, A = factored(n)
+        f0 = machine.flops
+        forward_substitution(A, np.ones(n))
+        # n divisions + 2·(n(n-1)/2) multiply-subtract
+        assert machine.flops - f0 == n * n
+
+    def test_rhs_shape_mismatch(self):
+        _, _, A = factored(8)
+        with pytest.raises(ValueError):
+            forward_substitution(A, np.ones(9))
+
+    def test_memory_too_small(self):
+        a0 = random_spd(16)
+        machine = SequentialMachine(20)  # < 2n+1
+        A = TrackedMatrix(a0, ColumnMajorLayout(16), machine)
+        run_algorithm("lapack", A, block=2)
+        with pytest.raises(ModelError):
+            forward_substitution(A, np.ones(16))
+
+    def test_machine_clean_after_solve(self):
+        n = 12
+        _, machine, A = factored(n)
+        forward_substitution(A, np.ones(n))
+        assert machine.resident.is_empty()
+
+
+class TestCholeskySolve:
+    @pytest.mark.parametrize("algo", ["naive-left", "lapack", "square-recursive"])
+    def test_end_to_end(self, algo):
+        n = 20
+        a0 = random_spd(n, seed=3)
+        machine = SequentialMachine(8 * n)
+        A = TrackedMatrix(a0, ColumnMajorLayout(n), machine)
+        b = np.cos(np.arange(n, dtype=float))
+        x = cholesky_solve(A, b, algorithm=algo)
+        assert np.allclose(a0 @ x, b, atol=1e-7)
+
+    def test_works_on_morton(self):
+        n = 16
+        a0 = random_spd(n, seed=5)
+        machine = SequentialMachine(8 * n)
+        A = TrackedMatrix(a0, MortonLayout(n), machine)
+        x = cholesky_solve(A, np.ones(n))
+        assert np.allclose(a0 @ x, np.ones(n), atol=1e-7)
+
+    def test_factor_dominates_traffic(self):
+        n = 64
+        a0 = random_spd(n, seed=6)
+        machine = SequentialMachine(max(3 * 8 * 8, 2 * n + 2))
+        A = TrackedMatrix(a0, ColumnMajorLayout(n), machine)
+        run_algorithm("square-recursive", A)
+        factor_words = machine.words
+        forward_substitution(A, np.ones(n))
+        back_substitution(A, np.ones(n))
+        solve_words = machine.words - factor_words
+        assert factor_words > 5 * solve_words

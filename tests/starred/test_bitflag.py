@@ -1,0 +1,176 @@
+"""Tests for the vectorized bit-flagged masked arithmetic.
+
+The backend is validated two ways: elementwise cross-validation of
+every operation against the object (scalar) backend on random masked
+operands, and end-to-end agreement of the whole reduction pipeline.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.matrices.generators import random_spd
+from repro.reduction import build_reduction_input, multiply_via_cholesky
+from repro.starred.bitflag import (
+    BitFlagArray,
+    bf_addsub,
+    bf_div,
+    bf_mul,
+    bf_sqrt,
+    bitflag_cholesky,
+)
+from repro.starred.linalg import starred_cholesky, to_object_matrix
+from repro.starred.value import (
+    ONE_STAR,
+    ZERO_STAR,
+    StarArithmeticError,
+    is_starred,
+    ssqrt,
+)
+
+masked_scalar = st.one_of(
+    st.floats(-50, 50, allow_nan=False)
+    .map(float)
+    .filter(lambda x: x == 0.0 or abs(x) > 1e-9),  # no subnormal divisors
+    st.just(ZERO_STAR),
+    st.just(ONE_STAR),
+)
+
+
+def obj_equal(a, b, tol=1e-9):
+    if is_starred(a) or is_starred(b):
+        return a == b
+    return abs(float(a) - float(b)) <= tol
+
+
+def to_bf(values) -> BitFlagArray:
+    return BitFlagArray.from_object(np.array(values, dtype=object))
+
+
+class TestConversions:
+    def test_roundtrip(self):
+        obj = np.array([[1.5, ZERO_STAR], [ONE_STAR, -2.0]], dtype=object)
+        bf = BitFlagArray.from_object(obj)
+        back = bf.to_object()
+        assert back[0, 0] == 1.5
+        assert back[0, 1] is ZERO_STAR
+        assert back[1, 0] is ONE_STAR
+        assert back[1, 1] == -2.0
+
+    def test_from_real(self):
+        bf = BitFlagArray.from_real(np.eye(3))
+        assert bf.is_real().all()
+        assert bf.values[1, 1] == 1.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            BitFlagArray(np.zeros(3), np.zeros(4, dtype=np.uint8))
+
+    def test_bad_flags(self):
+        with pytest.raises(ValueError):
+            BitFlagArray(np.zeros(2), np.array([0, 7], dtype=np.uint8))
+
+
+class TestElementwiseCrossValidation:
+    @settings(max_examples=60, deadline=None)
+    @given(masked_scalar, masked_scalar)
+    def test_add_matches_object(self, x, y):
+        got = bf_addsub(to_bf([x]), to_bf([y]), +1.0).to_object()[0]
+        assert obj_equal(got, x + y)
+
+    @settings(max_examples=60, deadline=None)
+    @given(masked_scalar, masked_scalar)
+    def test_sub_matches_object(self, x, y):
+        got = bf_addsub(to_bf([x]), to_bf([y]), -1.0).to_object()[0]
+        assert obj_equal(got, x - y)
+
+    @settings(max_examples=60, deadline=None)
+    @given(masked_scalar, masked_scalar)
+    def test_mul_matches_object(self, x, y):
+        got = bf_mul(to_bf([x]), to_bf([y])).to_object()[0]
+        assert obj_equal(got, x * y)
+
+    @settings(max_examples=60, deadline=None)
+    @given(masked_scalar, masked_scalar)
+    def test_div_matches_object(self, x, y):
+        bx, by = to_bf([x]), to_bf([y])
+        try:
+            want = x / y
+        except (StarArithmeticError, ZeroDivisionError) as exc:
+            with pytest.raises(type(exc)):
+                bf_div(bx, by)
+            return
+        got = bf_div(bx, by).to_object()[0]
+        assert obj_equal(got, want)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.one_of(
+            st.floats(0, 100, allow_nan=False).map(float),
+            st.just(ZERO_STAR),
+            st.just(ONE_STAR),
+        )
+    )
+    def test_sqrt_matches_object(self, x):
+        got = bf_sqrt(to_bf([x])).to_object()[0]
+        assert obj_equal(got, ssqrt(x))
+
+    def test_sqrt_negative_raises(self):
+        with pytest.raises(ValueError):
+            bf_sqrt(to_bf([-1.0]))
+
+
+class TestBitflagCholesky:
+    @pytest.mark.parametrize("n", [1, 2, 5, 10])
+    def test_real_matrices(self, n):
+        a = random_spd(n, seed=n)
+        L = bitflag_cholesky(BitFlagArray.from_real(a))
+        assert L.is_real().all()
+        assert np.allclose(np.tril(L.values), np.linalg.cholesky(a), atol=1e-8)
+
+    @pytest.mark.parametrize("n", [2, 4, 7])
+    def test_reduction_input_matches_object_backend(self, n):
+        rng = np.random.default_rng(n)
+        t = build_reduction_input(
+            rng.standard_normal((n, n)), rng.standard_normal((n, n))
+        )
+        obj = starred_cholesky(t, order="left")
+        bf = bitflag_cholesky(BitFlagArray.from_object(t)).to_object()
+        big = 3 * n
+        for i in range(big):
+            for j in range(i + 1):
+                assert obj_equal(bf[i, j], obj[i, j], tol=1e-8), (i, j)
+
+    def test_nonsquare_rejected(self):
+        with pytest.raises(ValueError):
+            bitflag_cholesky(BitFlagArray.from_real(np.zeros((2, 3))))
+
+
+class TestReductionBackend:
+    @pytest.mark.parametrize("n", [1, 4, 16, 40])
+    def test_multiply_bitflag(self, n):
+        rng = np.random.default_rng(n)
+        a, b = rng.standard_normal((n, n)), rng.standard_normal((n, n))
+        got = multiply_via_cholesky(a, b, backend="bitflag")
+        assert np.allclose(got, a @ b, atol=1e-7)
+
+    def test_backends_agree(self):
+        n = 8
+        rng = np.random.default_rng(0)
+        a, b = rng.standard_normal((n, n)), rng.standard_normal((n, n))
+        assert np.allclose(
+            multiply_via_cholesky(a, b, backend="object"),
+            multiply_via_cholesky(a, b, backend="bitflag"),
+            atol=1e-10,
+        )
+
+    def test_bad_backend(self):
+        with pytest.raises(ValueError):
+            multiply_via_cholesky(np.eye(2), np.eye(2), backend="quantum")
+
+    def test_bitflag_requires_left_order(self):
+        with pytest.raises(ValueError):
+            multiply_via_cholesky(
+                np.eye(2), np.eye(2), order="right", backend="bitflag"
+            )

@@ -1,0 +1,114 @@
+"""Tests for masked-value linear algebra and the C-factor identities."""
+
+import numpy as np
+import pytest
+
+from repro.matrices.generators import random_spd
+from repro.reduction.construct import _masked_c, _masked_c_factor
+from repro.starred.linalg import (
+    starred_cholesky,
+    starred_matmul,
+    to_object_matrix,
+)
+from repro.starred.value import ONE_STAR, ZERO_STAR, is_starred
+
+
+def obj_allclose(a, b, tol=1e-9):
+    a, b = np.asarray(a, dtype=object), np.asarray(b, dtype=object)
+    if a.shape != b.shape:
+        return False
+    for x, y in zip(a.flat, b.flat):
+        if is_starred(x) or is_starred(y):
+            if x != y:
+                return False
+        elif abs(float(x) - float(y)) > tol:
+            return False
+    return True
+
+
+class TestToObjectMatrix:
+    def test_floats(self):
+        m = to_object_matrix([[1, 2], [3, 4]])
+        assert m.dtype == object and m[1, 0] == 3.0
+
+    def test_stars_pass_through(self):
+        m = to_object_matrix([[ONE_STAR, 0.0], [ZERO_STAR, 1.0]])
+        assert m[0, 0] is ONE_STAR
+
+    def test_ragged_rejected(self):
+        with pytest.raises(ValueError):
+            to_object_matrix([[1, 2], [3]])
+
+
+class TestStarredMatmul:
+    def test_real_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        a, b = rng.standard_normal((4, 5)), rng.standard_normal((5, 3))
+        got = starred_matmul(to_object_matrix(a), to_object_matrix(b))
+        assert obj_allclose(got, a @ b, tol=1e-9)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            starred_matmul(np.empty((2, 3), object), np.empty((2, 3), object))
+
+    def test_c_is_identity_like(self):
+        """§2: X·C = X for real X (C acts as identity on reals)."""
+        n = 3
+        c = _masked_c(n)
+        x = to_object_matrix(np.random.default_rng(1).standard_normal((n, n)))
+        assert obj_allclose(starred_matmul(x, c), x)
+        assert obj_allclose(starred_matmul(c, x), x)
+
+    def test_c_prime_identity_like(self):
+        n = 3
+        cp = _masked_c_factor(n)
+        x = to_object_matrix(np.random.default_rng(2).standard_normal((n, n)))
+        assert obj_allclose(starred_matmul(x, cp), x)
+        assert obj_allclose(starred_matmul(cp, x), x)
+
+    def test_c_plus_real_is_c(self):
+        """§2: C + X = C (masking under addition)."""
+        n = 3
+        c = _masked_c(n)
+        x = to_object_matrix(np.random.default_rng(3).standard_normal((n, n)))
+        assert obj_allclose(c + x, c)
+
+
+class TestStarredCholeskyOnReals:
+    @pytest.mark.parametrize("order", ["left", "right", "recursive"])
+    @pytest.mark.parametrize("n", [1, 2, 5, 9])
+    def test_matches_reference(self, order, n):
+        a = random_spd(n, seed=n)
+        L = starred_cholesky(to_object_matrix(a), order=order)
+        ref = np.linalg.cholesky(a)
+        assert obj_allclose(L, ref, tol=1e-8)
+
+    def test_orders_agree(self):
+        a = random_spd(7, seed=1)
+        t = to_object_matrix(a)
+        ls = [starred_cholesky(t, order=o) for o in ("left", "right", "recursive")]
+        assert obj_allclose(ls[0], ls[1], tol=1e-9)
+        assert obj_allclose(ls[0], ls[2], tol=1e-9)
+
+    def test_bad_order(self):
+        with pytest.raises(ValueError):
+            starred_cholesky(to_object_matrix(np.eye(2)), order="sideways")
+
+    def test_non_square(self):
+        with pytest.raises(ValueError):
+            starred_cholesky(np.empty((2, 3), dtype=object))
+
+
+class TestCholeskyOfC:
+    """Equation (3): the unique classical factor of C is C'."""
+
+    @pytest.mark.parametrize("order", ["left", "right", "recursive"])
+    @pytest.mark.parametrize("n", [1, 2, 4, 7])
+    def test_factor_of_c(self, order, n):
+        got = starred_cholesky(_masked_c(n), order=order)
+        assert obj_allclose(got, _masked_c_factor(n))
+
+    def test_c_prime_reconstructs_c(self):
+        n = 4
+        cp = _masked_c_factor(n)
+        assert obj_allclose(starred_matmul(cp, cp.T.copy()), _masked_c(n))

@@ -1,0 +1,85 @@
+"""Tests for the Strassen-over-masked-values demonstration."""
+
+import numpy as np
+import pytest
+
+from repro.starred.linalg import starred_matmul, to_object_matrix
+from repro.starred.strassen import strassen_matmul
+from repro.starred.value import ONE_STAR, ZERO_STAR, is_starred
+
+
+def rand_obj(n, seed=0):
+    return to_object_matrix(np.random.default_rng(seed).standard_normal((n, n)))
+
+
+class TestOnReals:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 6, 8])
+    def test_matches_numpy(self, n):
+        a = np.random.default_rng(n).standard_normal((n, n))
+        b = np.random.default_rng(n + 1).standard_normal((n, n))
+        got = strassen_matmul(to_object_matrix(a), to_object_matrix(b))
+        want = a @ b
+        for i in range(n):
+            for j in range(n):
+                assert float(got[i, j]) == pytest.approx(want[i, j], abs=1e-8)
+
+    def test_leaf_parameter(self):
+        n = 8
+        a, b = rand_obj(n, 1), rand_obj(n, 2)
+        g1 = strassen_matmul(a, b, leaf=1)
+        g4 = strassen_matmul(a, b, leaf=4)
+        for i in range(n):
+            for j in range(n):
+                assert float(g1[i, j]) == pytest.approx(float(g4[i, j]), abs=1e-8)
+
+    def test_shape_check(self):
+        with pytest.raises(ValueError):
+            strassen_matmul(np.empty((2, 3), object), np.empty((3, 3), object))
+
+
+class TestOnMaskedValues:
+    """The point: distributivity rewrites break the masked semantics."""
+
+    def test_disagrees_with_classical_on_masked_input(self):
+        # C (the masked identity) times a real matrix: classically
+        # C·X = X, but Strassen forms sums like (1* + 0*) = 1* before
+        # multiplying, polluting the products.
+        n = 2
+        c = np.empty((n, n), dtype=object)
+        c[...] = ZERO_STAR
+        for i in range(n):
+            c[i, i] = ONE_STAR
+        x = rand_obj(n, seed=3)
+        classical = starred_matmul(c, x)
+        strassen = strassen_matmul(c, x)
+        diffs = 0
+        for i in range(n):
+            for j in range(n):
+                a_, b_ = classical[i, j], strassen[i, j]
+                if is_starred(a_) != is_starred(b_):
+                    diffs += 1
+                elif not is_starred(a_) and abs(float(a_) - float(b_)) > 1e-9:
+                    diffs += 1
+        assert diffs > 0
+
+    def test_classical_is_the_faithful_one(self):
+        """Cross-check that the classical product, not Strassen's, is
+        the masked-identity behaviour the reduction needs."""
+        n = 2
+        c = np.empty((n, n), dtype=object)
+        c[...] = ZERO_STAR
+        for i in range(n):
+            c[i, i] = ONE_STAR
+        x = rand_obj(n, seed=4)
+        classical = starred_matmul(c, x)
+        for i in range(n):
+            for j in range(n):
+                assert float(classical[i, j]) == pytest.approx(
+                    float(x[i, j]), abs=1e-12
+                )
+
+    def test_paper_distributivity_example(self):
+        """1·(1* + 1*) = 1 ≠ 2 = 1·1* + 1·1* — the scalar seed of the
+        whole phenomenon."""
+        assert 1.0 * (ONE_STAR + ONE_STAR) == pytest.approx(1.0)
+        assert (1.0 * ONE_STAR) + (1.0 * ONE_STAR) == pytest.approx(2.0)

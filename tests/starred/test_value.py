@@ -1,0 +1,167 @@
+"""Exhaustive tests of the Table 3 arithmetic."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.starred.value import (
+    ONE_STAR,
+    ZERO_STAR,
+    Star,
+    StarArithmeticError,
+    is_starred,
+    ssqrt,
+)
+
+reals = st.floats(-100, 100, allow_nan=False).filter(lambda x: abs(x) > 1e-9)
+
+
+class TestAdditionTable:
+    """The ± table of Table 3, entry by entry."""
+
+    def test_star_star(self):
+        assert ONE_STAR + ONE_STAR == ONE_STAR
+        assert ONE_STAR + ZERO_STAR == ONE_STAR
+        assert ZERO_STAR + ONE_STAR == ONE_STAR
+        assert ZERO_STAR + ZERO_STAR == ZERO_STAR
+        assert ONE_STAR - ONE_STAR == ONE_STAR
+        assert ZERO_STAR - ZERO_STAR == ZERO_STAR
+
+    @given(reals)
+    def test_star_masks_real(self, x):
+        assert ONE_STAR + x == ONE_STAR
+        assert x + ONE_STAR == ONE_STAR
+        assert ZERO_STAR + x == ZERO_STAR
+        assert x + ZERO_STAR == ZERO_STAR
+        assert ONE_STAR - x == ONE_STAR
+        assert x - ONE_STAR == ONE_STAR
+        assert ZERO_STAR - x == ZERO_STAR
+        assert x - ZERO_STAR == ZERO_STAR
+
+    @given(reals, reals)
+    def test_real_real_untouched(self, x, y):
+        assert x + y == pytest.approx(x + y)
+
+
+class TestMultiplicationTable:
+    def test_star_star(self):
+        assert ONE_STAR * ONE_STAR == ONE_STAR
+        assert ONE_STAR * ZERO_STAR == ZERO_STAR
+        assert ZERO_STAR * ONE_STAR == ZERO_STAR
+        # 0*·0* is REAL zero (Table 3)
+        assert ZERO_STAR * ZERO_STAR == 0.0
+        assert not is_starred(ZERO_STAR * ZERO_STAR)
+
+    @given(reals)
+    def test_one_star_is_identity(self, x):
+        assert ONE_STAR * x == pytest.approx(x)
+        assert x * ONE_STAR == pytest.approx(x)
+        assert not is_starred(ONE_STAR * x)
+
+    @given(reals)
+    def test_zero_star_annihilates_to_real_zero(self, x):
+        assert ZERO_STAR * x == 0.0
+        assert x * ZERO_STAR == 0.0
+        assert not is_starred(ZERO_STAR * x)
+
+
+class TestDivisionTable:
+    def test_star_by_one_star(self):
+        assert ONE_STAR / ONE_STAR == ONE_STAR
+        assert ZERO_STAR / ONE_STAR == ZERO_STAR
+
+    @given(reals)
+    def test_real_by_one_star(self, x):
+        assert x / ONE_STAR == pytest.approx(x)
+
+    @given(reals)
+    def test_star_by_real(self, y):
+        assert ONE_STAR / y == pytest.approx(1.0 / y)
+        assert ZERO_STAR / y == 0.0
+
+    def test_division_by_zero_star_undefined(self):
+        for num in (ONE_STAR, ZERO_STAR, 3.5):
+            with pytest.raises(StarArithmeticError):
+                num / ZERO_STAR
+
+    def test_division_by_real_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            ONE_STAR / 0.0
+
+
+class TestSqrt:
+    def test_stars(self):
+        assert ssqrt(ONE_STAR) == ONE_STAR
+        assert ssqrt(ZERO_STAR) == ZERO_STAR
+
+    @given(st.floats(0, 1e6, allow_nan=False))
+    def test_reals(self, x):
+        assert ssqrt(x) == pytest.approx(math.sqrt(x))
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            ssqrt(-1.0)
+
+
+class TestAlgebraicStructure:
+    """The properties §2 verifies: commutativity, associativity, and
+    the *failure* of distributivity."""
+
+    values = [ONE_STAR, ZERO_STAR, 2.0, -0.5]
+
+    def test_addition_commutative(self):
+        for a in self.values:
+            for b in self.values:
+                assert a + b == b + a
+
+    def test_multiplication_commutative(self):
+        for a in self.values:
+            for b in self.values:
+                assert a * b == b * a
+
+    def test_addition_associative(self):
+        for a in self.values:
+            for b in self.values:
+                for c in self.values:
+                    assert (a + b) + c == a + (b + c)
+
+    def test_multiplication_associative(self):
+        for a in self.values:
+            for b in self.values:
+                for c in self.values:
+                    lhs, rhs = (a * b) * c, a * (b * c)
+                    if isinstance(lhs, Star) or isinstance(rhs, Star):
+                        assert lhs == rhs
+                    else:
+                        assert lhs == pytest.approx(rhs)
+
+    def test_distributivity_fails(self):
+        """The paper's example: 1·(1* + 1*) = 1 ≠ 2 = 1·1* + 1·1*."""
+        lhs = 1.0 * (ONE_STAR + ONE_STAR)
+        rhs = (1.0 * ONE_STAR) + (1.0 * ONE_STAR)
+        assert lhs == pytest.approx(1.0)
+        assert rhs == pytest.approx(2.0)
+        assert lhs != rhs
+
+
+class TestDunder:
+    def test_negation_fixed_points(self):
+        assert -ZERO_STAR == ZERO_STAR
+        assert -ONE_STAR == ONE_STAR
+
+    def test_repr(self):
+        assert repr(ONE_STAR) == "1*"
+        assert repr(ZERO_STAR) == "0*"
+
+    def test_eq_and_hash(self):
+        assert ONE_STAR == Star(True)
+        assert hash(ONE_STAR) == hash(Star(True))
+        assert ONE_STAR != ZERO_STAR
+        assert (ONE_STAR == 1.0) is False
+
+    def test_is_starred(self):
+        assert is_starred(ONE_STAR) and is_starred(ZERO_STAR)
+        assert not is_starred(1.0)
+        assert not is_starred(None)

@@ -1,0 +1,55 @@
+"""Direct tests of the CLI report generators (content, not just exit)."""
+
+import pytest
+
+from repro.cli import (
+    report_multilevel,
+    report_reduction,
+    report_table1,
+    report_table2,
+)
+
+
+class TestReportContent:
+    def test_table1_rows_and_ratios(self):
+        w = report_table1(n=64, M=192)
+        text = w.render()
+        assert "naive-left" in text and "square-recursive" in text
+        assert "W/LB" in text
+        # the bandwidth-optimal rows must show single-digit ratios:
+        # spot-check by parsing the lapack line
+        lapack_line = next(
+            l for l in text.splitlines() if l.strip().startswith("lapack ")
+        )
+        ratio = float(lapack_line.split()[3])
+        assert ratio < 8.0
+
+    def test_table2_mentions_predictions(self):
+        w = report_table2(n=32)
+        text = w.render()
+        assert "PxPOTRF" in text
+        assert "pred W" in text and "flop bal" in text
+
+    def test_reduction_phases(self):
+        w = report_reduction(n=8)
+        text = w.render()
+        assert "step 2" in text and "step 3" in text and "step 4" in text
+        assert "ITT04" in text
+
+    def test_multilevel_flags_violations(self):
+        w = report_multilevel(n=64)
+        text = w.render()
+        assert "AP00" in text
+        assert "viol" in text  # LAPACK b=64 must overflow level 1
+
+
+class TestReportSideEffects:
+    @pytest.mark.parametrize(
+        "fn", [report_table1, report_table2, report_reduction, report_multilevel]
+    )
+    def test_writers_saveable(self, fn, tmp_path):
+        kwargs = {"n": 32} if fn is not report_table1 else {"n": 32, "M": 108}
+        w = fn(**kwargs)
+        w.directory = str(tmp_path)
+        path = w.save()
+        assert open(path).read() == w.render()

@@ -1,0 +1,118 @@
+"""Cross-module integration tests: full workflows end to end.
+
+Each test here exercises several subsystems together the way a
+downstream user would — factor on a hierarchy then solve; compare a
+sequential and a parallel run of the same problem; run the reduction
+on top of the instrumented machinery; chain generators → layouts →
+algorithms → analysis.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    HierarchicalMachine,
+    SequentialMachine,
+    TrackedMatrix,
+    available_algorithms,
+    cholesky_flops,
+    make_layout,
+    pxpotrf,
+    random_spd,
+    run_algorithm,
+)
+from repro.analysis.stability import residual_ratio
+from repro.bounds.pebble import segment_lower_bound
+from repro.bounds.sequential import cholesky_bandwidth_lower_bound
+from repro.matrices.generators import banded_spd, wishart_like
+from repro.reduction import multiply_via_cholesky_counted
+from repro.sequential.solve import cholesky_solve
+
+
+class TestFactorThenSolveOnHierarchy:
+    def test_full_pipeline(self):
+        n = 64
+        a0 = wishart_like(n, seed=3)
+        machine = HierarchicalMachine([3 * 8 * 8, 3 * 32 * 32])
+        A = TrackedMatrix(a0, make_layout("morton", n), machine)
+        b = np.linspace(1.0, 2.0, n)
+        x = cholesky_solve(A, b)
+        assert np.allclose(a0 @ x, b, atol=1e-6)
+        # both levels were charged and neither violated capacity
+        for lvl in machine.levels:
+            assert lvl.words > 0
+            assert not lvl.capacity_violated
+        assert residual_ratio(a0, A.lower()) < 50.0
+
+
+class TestSequentialParallelAgreement:
+    def test_same_factor_same_flops(self):
+        n = 32
+        a0 = random_spd(n, seed=8)
+        machine = SequentialMachine(4 * n)
+        A = TrackedMatrix(a0, make_layout("column-major", n), machine)
+        l_seq = run_algorithm("lapack", A, block=4)
+        res = pxpotrf(a0, 4, 4)
+        assert np.allclose(l_seq, res.L, atol=1e-8)
+        assert machine.flops == res.total_flops == cholesky_flops(n)
+
+    def test_parallel_critical_words_below_sequential(self):
+        """Distributing over P processors must cut the per-path
+        traffic below one processor doing everything at M = n²/P."""
+        n, P = 64, 16
+        a0 = random_spd(n, seed=9)
+        res = pxpotrf(a0, 16, P)
+        machine = SequentialMachine(n * n // P)
+        A = TrackedMatrix(a0, make_layout("column-major", n), machine)
+        run_algorithm("lapack", A)
+        assert res.critical_words < machine.words
+
+
+class TestReductionOnTopOfEverything:
+    def test_counted_reduction_beats_pebble_bound(self):
+        """Two independent lower-bound routes agree: the measured
+        Cholesky-phase words of Algorithm 1 (a 3n matrix) dominate the
+        segment-argument floor for that matrix size."""
+        n = 10
+        big, M = 3 * n, 2 * 3 * n
+        rng = np.random.default_rng(0)
+        _, machine, phases = multiply_via_cholesky_counted(
+            rng.standard_normal((n, n)), rng.standard_normal((n, n)), M=M
+        )
+        floor = segment_lower_bound(big, M)
+        assert phases["cholesky"] >= floor
+
+
+class TestEveryAlgorithmEveryGeneratorEveryLayout:
+    """A broad smoke matrix: no combination silently breaks."""
+
+    @pytest.mark.parametrize("layout", ["packed", "rfp", "recursive-packed"])
+    def test_packed_layouts_full_census(self, layout):
+        n = 18
+        a0 = banded_spd(n, bandwidth=3, seed=2)
+        ref = np.linalg.cholesky(a0)
+        for algo in available_algorithms():
+            machine = SequentialMachine(4 * n)
+            A = TrackedMatrix(a0, make_layout(layout, n), machine)
+            L = run_algorithm(algo, A)
+            assert np.allclose(L, ref, atol=1e-7), (algo, layout)
+            assert machine.flops == cholesky_flops(n)
+
+    def test_bandwidth_hierarchy_consistent_with_bounds(self):
+        """Measured ordering at one configuration: lower bound <=
+        best algorithm <= worst algorithm, with the naive ones last."""
+        n, M = 64, 192
+        words = {}
+        for algo in ("lapack", "square-recursive", "toledo",
+                     "naive-left", "naive-right"):
+            machine = SequentialMachine(M)
+            A = TrackedMatrix(
+                random_spd(n, seed=1), make_layout("column-major", n), machine
+            )
+            run_algorithm(algo, A)
+            words[algo] = machine.words
+        lb = cholesky_bandwidth_lower_bound(n, M)
+        best = min(words.values())
+        assert 0.3 * lb <= best <= 8 * lb
+        assert words["naive-right"] == max(words.values())
+        assert words["naive-left"] > words["lapack"]

@@ -1,0 +1,66 @@
+"""Tests for power-law fitting."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.fitting import fit_power_law, ratio_spread
+
+
+class TestFitPowerLaw:
+    def test_exact_cubic(self):
+        xs = [8, 16, 32, 64, 128]
+        ys = [2.5 * x**3 for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert fit.exponent == pytest.approx(3.0, abs=1e-9)
+        assert fit.coeff == pytest.approx(2.5, rel=1e-9)
+        assert fit.r_squared == pytest.approx(1.0, abs=1e-12)
+
+    @given(
+        st.floats(0.5, 4.0),
+        st.floats(0.1, 10.0),
+    )
+    def test_recovers_exponent(self, p, c):
+        xs = [4.0, 8.0, 16.0, 32.0]
+        ys = [c * x**p for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert math.isclose(fit.exponent, p, abs_tol=1e-6)
+        assert fit.exponent_close_to(p, tol=0.01)
+
+    def test_predict(self):
+        fit = fit_power_law([2, 4, 8], [4, 16, 64])
+        assert fit.predict(16) == pytest.approx(256.0, rel=1e-6)
+
+    def test_lower_order_term_bends_exponent(self):
+        # n^3 + big*n^2 over a small range fits below 3; the tolerance
+        # knob exists precisely for this.
+        xs = [16, 32, 64]
+        ys = [x**3 + 100 * x**2 for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert 2.0 < fit.exponent < 3.0
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1], [1])
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2], [1])
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2], [0, 1])
+        with pytest.raises(ValueError):
+            fit_power_law([2, 2], [1, 1])
+
+
+class TestRatioSpread:
+    def test_flat(self):
+        assert ratio_spread([5.0, 5.0, 5.0]) == 1.0
+
+    def test_spread(self):
+        assert ratio_spread([2.0, 8.0]) == 4.0
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            ratio_spread([])
+        with pytest.raises(ValueError):
+            ratio_spread([0.0, 1.0])

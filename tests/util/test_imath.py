@@ -1,0 +1,84 @@
+"""Tests for integer-math helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.imath import (
+    ceil_div,
+    ilog2,
+    is_pow2,
+    isqrt_floor,
+    largest_fitting_block,
+    next_pow2,
+    split_point,
+)
+
+
+class TestCeilDiv:
+    @given(st.integers(-1000, 1000), st.integers(1, 100))
+    def test_matches_float_ceil(self, a, b):
+        import math
+
+        assert ceil_div(a, b) == math.ceil(a / b)
+
+    def test_bad_divisor(self):
+        with pytest.raises(ValueError):
+            ceil_div(3, 0)
+
+
+class TestPow2:
+    def test_is_pow2(self):
+        assert [n for n in range(1, 20) if is_pow2(n)] == [1, 2, 4, 8, 16]
+        assert not is_pow2(0)
+        assert not is_pow2(-4)
+
+    @given(st.integers(1, 10**6))
+    def test_next_pow2(self, n):
+        p = next_pow2(n)
+        assert is_pow2(p) and p >= n
+        assert p // 2 < n
+
+    def test_next_pow2_bad(self):
+        with pytest.raises(ValueError):
+            next_pow2(0)
+
+    def test_ilog2(self):
+        assert ilog2(1) == 0
+        assert ilog2(1024) == 10
+        with pytest.raises(ValueError):
+            ilog2(3)
+
+
+class TestSplitPoint:
+    @given(st.integers(2, 10**6))
+    def test_halves(self, n):
+        k = split_point(n)
+        assert 1 <= k < n
+        assert k >= n - k  # first half is the bigger one
+        assert k - (n - k) <= 1
+
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            split_point(1)
+
+
+class TestSqrtAndBlocks:
+    @given(st.integers(0, 10**9))
+    def test_isqrt(self, n):
+        r = isqrt_floor(n)
+        assert r * r <= n < (r + 1) * (r + 1)
+
+    def test_isqrt_negative(self):
+        with pytest.raises(ValueError):
+            isqrt_floor(-1)
+
+    @given(st.integers(3, 10**6))
+    def test_largest_fitting_block(self, M):
+        b = largest_fitting_block(M)
+        assert 3 * b * b <= M
+        assert 3 * (b + 1) * (b + 1) > M
+
+    def test_block_too_small_memory(self):
+        with pytest.raises(ValueError):
+            largest_fitting_block(2)

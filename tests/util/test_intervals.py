@@ -1,0 +1,148 @@
+"""Unit and property tests for the interval algebra."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.intervals import EMPTY, IntervalSet, merge_intervals, union_all
+
+
+def as_set(ivs: IntervalSet) -> set[int]:
+    return set(ivs.addresses())
+
+
+interval_strategy = st.tuples(
+    st.integers(0, 200), st.integers(0, 60)
+).map(lambda t: (t[0], t[0] + t[1]))
+
+ivset_strategy = st.lists(interval_strategy, max_size=10).map(IntervalSet)
+
+
+class TestMerge:
+    def test_empty(self):
+        assert merge_intervals([]) == ()
+        assert IntervalSet().is_empty()
+        assert not EMPTY
+
+    def test_drops_empty_intervals(self):
+        assert merge_intervals([(5, 5), (3, 3)]) == ()
+
+    def test_adjacent_coalesce(self):
+        assert merge_intervals([(0, 4), (4, 9)]) == ((0, 9),)
+
+    def test_overlap_coalesce(self):
+        assert merge_intervals([(0, 6), (4, 9)]) == ((0, 9),)
+
+    def test_disjoint_kept_sorted(self):
+        assert merge_intervals([(12, 15), (0, 9)]) == ((0, 9), (12, 15))
+
+    def test_nested(self):
+        assert merge_intervals([(0, 10), (2, 5)]) == ((0, 10),)
+
+    @given(st.lists(interval_strategy, max_size=12))
+    def test_normalization_invariants(self, raw):
+        merged = merge_intervals(raw)
+        # sorted, disjoint, non-adjacent, non-empty
+        for a, b in merged:
+            assert a < b
+        for (a1, b1), (a2, b2) in zip(merged, merged[1:]):
+            assert b1 < a2
+        # covers the same address set
+        want = set()
+        for a, b in raw:
+            want.update(range(a, b))
+        got = set()
+        for a, b in merged:
+            got.update(range(a, b))
+        assert got == want
+
+
+class TestCounts:
+    def test_words_and_runs(self):
+        s = IntervalSet([(0, 4), (4, 9), (12, 15)])
+        assert s.words == 12
+        assert s.runs == 2
+        assert len(s) == 2
+
+    def test_messages_uncapped(self):
+        s = IntervalSet([(0, 9), (12, 15)])
+        assert s.messages() == 2
+
+    def test_messages_capped(self):
+        s = IntervalSet([(0, 9), (12, 15)])
+        # ceil(9/4) + ceil(3/4) = 3 + 1
+        assert s.messages(4) == 4
+
+    def test_messages_cap_one_equals_words(self):
+        s = IntervalSet([(0, 9), (12, 15)])
+        assert s.messages(1) == s.words
+
+    def test_messages_bad_cap(self):
+        with pytest.raises(ValueError):
+            IntervalSet([(0, 1)]).messages(0)
+
+    @given(ivset_strategy, st.integers(1, 50))
+    def test_message_bounds(self, s, cap):
+        m = s.messages(cap)
+        assert s.runs <= m or s.is_empty()
+        assert m <= s.words
+        # capped messages never beat ceil(words / cap)
+        assert m >= -(-s.words // cap)
+
+
+class TestSetAlgebra:
+    @given(ivset_strategy, ivset_strategy)
+    def test_union_matches_sets(self, a, b):
+        assert as_set(a | b) == as_set(a) | as_set(b)
+
+    @given(ivset_strategy, ivset_strategy)
+    def test_intersection_matches_sets(self, a, b):
+        assert as_set(a & b) == as_set(a) & as_set(b)
+
+    @given(ivset_strategy, ivset_strategy)
+    def test_difference_matches_sets(self, a, b):
+        assert as_set(a - b) == as_set(a) - as_set(b)
+
+    @given(ivset_strategy, ivset_strategy)
+    def test_subset_disjoint(self, a, b):
+        assert a.issubset(a | b)
+        assert (a - b).isdisjoint(b)
+
+    @given(ivset_strategy)
+    def test_self_identities(self, a):
+        assert (a - a).is_empty()
+        assert (a & a) == a
+        assert (a | a) == a
+
+    @given(ivset_strategy, st.integers(0, 260))
+    def test_contains(self, s, addr):
+        assert (addr in s) == (addr in as_set(s))
+
+    def test_union_all(self):
+        parts = [IntervalSet([(i * 10, i * 10 + 5)]) for i in range(4)]
+        u = union_all(parts)
+        assert u.words == 20
+        assert u.runs == 4
+
+
+class TestDunder:
+    def test_eq_hash(self):
+        a = IntervalSet([(0, 4), (4, 8)])
+        b = IntervalSet([(0, 8)])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != IntervalSet([(0, 7)])
+
+    def test_eq_other_type(self):
+        assert IntervalSet([(0, 1)]) != "x"
+
+    def test_repr_roundtrip_info(self):
+        s = IntervalSet([(0, 4), (9, 11)])
+        assert "[0,4)" in repr(s) and "[9,11)" in repr(s)
+
+    def test_point_and_single(self):
+        assert IntervalSet.point(7).words == 1
+        assert IntervalSet.single(3, 9).words == 6
+
+    def test_iteration(self):
+        assert list(IntervalSet([(0, 2), (5, 6)])) == [(0, 2), (5, 6)]

@@ -1,0 +1,41 @@
+"""Tests for table rendering."""
+
+import pytest
+
+from repro.util.tables import format_kv_block, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["algo", "words"], [["naive", 100], ["lapack", 7]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        widths = {len(l) for l in lines}
+        assert len(widths) == 1  # all lines equal width
+
+    def test_title(self):
+        out = format_table(["a"], [[1]], title="Table 1")
+        assert out.startswith("Table 1\n")
+
+    def test_float_formatting(self):
+        out = format_table(["x"], [[1234567.0], [0.00001], [3.5], [0.0]])
+        assert "1.235e+06" in out
+        assert "1.000e-05" in out
+        assert "3.5" in out
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_ends_with_newline(self):
+        assert format_table(["a"], [[1]]).endswith("\n")
+
+
+class TestKvBlock:
+    def test_basic(self):
+        out = format_kv_block("summary", [("words", 10), ("messages", 2)])
+        assert "summary" in out
+        assert "words" in out and "10" in out
+
+    def test_empty(self):
+        assert format_kv_block("t", []) == "t\n"

@@ -1,0 +1,58 @@
+"""Tests for argument validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.util.validation import (
+    check_nonnegative_int,
+    check_positive_int,
+    check_spd_cheap,
+    check_square,
+    check_symmetric,
+)
+
+
+class TestInts:
+    def test_positive_ok(self):
+        assert check_positive_int("n", 5) == 5
+        assert check_positive_int("n", np.int64(5)) == 5
+
+    def test_positive_rejects(self):
+        with pytest.raises(ValueError):
+            check_positive_int("n", 0)
+        with pytest.raises(ValueError):
+            check_positive_int("n", -3)
+        with pytest.raises(TypeError):
+            check_positive_int("n", 2.0)
+        with pytest.raises(TypeError):
+            check_positive_int("n", True)
+
+    def test_nonnegative(self):
+        assert check_nonnegative_int("n", 0) == 0
+        with pytest.raises(ValueError):
+            check_nonnegative_int("n", -1)
+
+
+class TestMatrices:
+    def test_square_ok(self):
+        a = check_square("A", [[1, 2], [3, 4]])
+        assert a.dtype == np.float64
+        assert a.flags["C_CONTIGUOUS"]
+
+    def test_square_rejects(self):
+        with pytest.raises(ValueError):
+            check_square("A", np.zeros((2, 3)))
+        with pytest.raises(ValueError):
+            check_square("A", np.zeros(4))
+
+    def test_symmetric(self):
+        a = np.array([[2.0, 1.0], [1.0, 3.0]])
+        assert check_symmetric("A", a) is not None
+        with pytest.raises(ValueError):
+            check_symmetric("A", np.array([[1.0, 2.0], [0.0, 1.0]]))
+
+    def test_spd_cheap(self):
+        assert check_spd_cheap("A", np.eye(3)) is not None
+        bad = -np.eye(3)
+        with pytest.raises(ValueError):
+            check_spd_cheap("A", bad)
