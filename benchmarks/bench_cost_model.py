@@ -22,6 +22,7 @@ import pytest
 from benchmarks.conftest import emit_report
 from repro.analysis.report import ReportWriter
 from repro.analysis.sweeps import measure
+from repro.experiments import ExperimentSpec, run_experiment
 
 N = 128
 M = 3 * 16 * 16
@@ -39,11 +40,18 @@ RATIOS = [0.0, 1.0, 10.0, 100.0, 1000.0]  # α/β, with β = 1
 
 @pytest.fixture(scope="module")
 def counts():
-    out = {}
-    for algo, layout, kw in CONTENDERS:
-        m = measure(algo, N, M, layout=layout, **kw)
-        out[(algo, layout)] = (m.words, m.messages)
-    return out
+    spec = ExperimentSpec.from_cases(
+        "bench_cost_model",
+        [
+            {"algorithm": algo, "layout": layout, "n": N, "M": M, "params": kw}
+            for algo, layout, kw in CONTENDERS
+        ],
+    )
+    result = run_experiment(spec)
+    return {
+        (algo, layout): (m.words, m.messages)
+        for (algo, layout, _kw), m in zip(CONTENDERS, result.measurements)
+    }
 
 
 def cost(words: int, messages: int, alpha_over_beta: float) -> float:

@@ -19,17 +19,24 @@ import pytest
 from benchmarks.conftest import emit_report
 from repro.analysis.report import ReportWriter
 from repro.analysis.sweeps import measure, sweep_param
+from repro.experiments import ExperimentSpec, run_experiment
 
 NS = [8, 16, 32, 64, 96]
 
 
 @pytest.fixture(scope="module")
 def naive_measurements():
-    out = {}
-    for n in NS:
-        out[("left", n)] = measure("naive-left", n, 4 * n)
-        out[("right", n)] = measure("naive-right", n, 4 * n)
-    return out
+    keys = [(side, n) for n in NS for side in ("left", "right")]
+    spec = ExperimentSpec.from_cases(
+        "bench_naive_counts",
+        [
+            {"algorithm": f"naive-{side}", "layout": "column-major",
+             "n": n, "M": 4 * n}
+            for side, n in keys
+        ],
+    )
+    result = run_experiment(spec)
+    return dict(zip(keys, result.measurements))
 
 
 def left_words(n):

@@ -15,7 +15,6 @@ import pytest
 
 from benchmarks.conftest import emit_report
 from repro.analysis.report import ReportWriter
-from repro.analysis.sweeps import measure
 from repro.bounds.pebble import (
     analyze_trace,
     naive_left_trace,
@@ -33,7 +32,14 @@ ALGOS = ["naive-left", "naive-right", "lapack", "toledo", "square-recursive"]
 
 @pytest.fixture(scope="module")
 def measurements():
-    return {algo: measure(algo, N, M) for algo in ALGOS}
+    from repro.experiments import ExperimentSpec, run_experiment
+
+    spec = ExperimentSpec.from_cases(
+        "bench_segment_argument",
+        [{"algorithm": algo, "n": N, "M": M} for algo in ALGOS],
+    )
+    result = run_experiment(spec)
+    return dict(zip(ALGOS, result.measurements))
 
 
 def test_generate_segment_report(benchmark, measurements):

@@ -26,6 +26,7 @@ from repro.bounds.sequential import (
     cholesky_bandwidth_lower_bound,
     cholesky_latency_lower_bound,
 )
+from repro.experiments import ExperimentSpec, run_experiment
 
 N_REF = 128
 M_REF = 3 * 16 * 16  # = 768; b_opt = 16
@@ -47,9 +48,17 @@ CENSUS = [
 
 @pytest.fixture(scope="module")
 def table1_rows():
+    spec = ExperimentSpec.from_cases(
+        "bench_table1",
+        [
+            {"algorithm": algo, "layout": layout, "n": N_REF, "M": M_REF,
+             "params": kw}
+            for algo, layout, kw, _oblivious in CENSUS
+        ],
+    )
+    result = run_experiment(spec)
     rows = {}
-    for algo, layout, kw, oblivious in CENSUS:
-        m = measure(algo, N_REF, M_REF, layout=layout, **kw)
+    for (algo, layout, _kw, oblivious), m in zip(CENSUS, result.measurements):
         assert m.correct, (algo, layout)
         rows[(algo, layout)] = (m, oblivious)
     return rows

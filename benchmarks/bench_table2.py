@@ -16,11 +16,11 @@ from __future__ import annotations
 
 import math
 
-import numpy as np
 import pytest
 
 from benchmarks.conftest import emit_report
 from repro.analysis.report import ReportWriter
+from repro.analysis.sweeps import measure_parallel
 from repro.bounds.parallel import (
     optimal_block_size,
     parallel_bandwidth_lower_bound,
@@ -28,8 +28,7 @@ from repro.bounds.parallel import (
     scalapack_messages,
     scalapack_words,
 )
-from repro.matrices.generators import random_spd
-from repro.parallel import pxpotrf
+from repro.experiments import ExperimentSpec, run_experiment
 from repro.sequential import cholesky_flops
 
 SWEEP = [
@@ -43,14 +42,12 @@ SWEEP = [
 
 @pytest.fixture(scope="module")
 def sweep_results():
+    configs = [(n, b, P) for P, n, blocks in SWEEP for b in blocks]
+    result = run_experiment(ExperimentSpec.parallel("bench_table2", configs))
     results = {}
-    for P, n, blocks in SWEEP:
-        a = random_spd(n, seed=P)
-        ref = np.linalg.cholesky(a)
-        for b in blocks:
-            res = pxpotrf(a, b, P)
-            assert np.allclose(res.L, ref, atol=1e-8), (P, n, b)
-            results[(P, n, b)] = res
+    for (n, b, P), m in zip(configs, result.measurements):
+        assert m.correct, (P, n, b)
+        results[(P, n, b)] = m
     return results
 
 
@@ -61,7 +58,7 @@ def test_generate_table2(benchmark, sweep_results):
         "lower bounds and the paper's exact predictions.\n"
     )
     rows = []
-    for (P, n, b), res in sweep_results.items():
+    for (P, n, b), m in sweep_results.items():
         w_lb = parallel_bandwidth_lower_bound(n, P)
         m_lb = parallel_latency_lower_bound(P)
         rows.append(
@@ -70,14 +67,14 @@ def test_generate_table2(benchmark, sweep_results):
                 n,
                 b,
                 "*" if b == n // math.isqrt(P) else "",
-                res.critical_words,
+                m.words,
                 scalapack_words(n, b, P),
-                res.critical_words / w_lb,
-                res.critical_messages,
+                m.words / w_lb,
+                m.messages,
                 scalapack_messages(n, b, P),
-                res.critical_messages / m_lb,
-                res.max_flops,
-                res.max_flops / (cholesky_flops(n) / P),
+                m.messages / m_lb,
+                m.flops,
+                m.flops / (cholesky_flops(n) / P),
             ]
         )
     writer.add_table(
@@ -87,8 +84,10 @@ def test_generate_table2(benchmark, sweep_results):
         title="T2: ScaLAPACK PxPOTRF vs 2D lower bounds",
     )
     emit_report(writer)
-    a = random_spd(64, seed=0)
-    benchmark.pedantic(lambda: pxpotrf(a, 16, 16), rounds=3, iterations=1)
+    benchmark.pedantic(
+        lambda: measure_parallel(64, 16, 16, verify=False),
+        rounds=3, iterations=1,
+    )
 
 
 class TestTable2Shape:
@@ -96,38 +95,38 @@ class TestTable2Shape:
         """E8: the exact §3.3.1 formulas bound the measurement from
         above (they charge full panels for every iteration) and from
         below within a small constant."""
-        for (P, n, b), res in sweep_results.items():
+        for (P, n, b), m in sweep_results.items():
             pred_m = scalapack_messages(n, b, P)
             pred_w = scalapack_words(n, b, P)
-            assert res.critical_messages <= 1.6 * pred_m + 1, (P, n, b)
-            assert res.critical_messages >= 0.2 * pred_m, (P, n, b)
-            assert res.critical_words <= 1.6 * pred_w, (P, n, b)
-            assert res.critical_words >= 0.15 * pred_w, (P, n, b)
+            assert m.messages <= 1.6 * pred_m + 1, (P, n, b)
+            assert m.messages >= 0.2 * pred_m, (P, n, b)
+            assert m.words <= 1.6 * pred_w, (P, n, b)
+            assert m.words >= 0.15 * pred_w, (P, n, b)
 
     def test_optimal_block_meets_both_bounds(self, sweep_results):
         """Conclusion 6, at every swept (P, n) with b = n/√P."""
-        for (P, n, b), res in sweep_results.items():
+        for (P, n, b), m in sweep_results.items():
             if b != n // math.isqrt(P):
                 continue
             logP = math.log2(P)
-            assert res.critical_messages <= 3 * math.sqrt(P) * logP
+            assert m.messages <= 3 * math.sqrt(P) * logP
             assert (
-                res.critical_words
+                m.words
                 <= 3 * parallel_bandwidth_lower_bound(n, P) * logP
             )
 
     def test_latency_grows_as_n_over_b(self, sweep_results):
         for P, n, blocks in SWEEP:
-            msgs = [sweep_results[(P, n, b)].critical_messages for b in blocks]
+            msgs = [sweep_results[(P, n, b)].messages for b in blocks]
             assert msgs == sorted(msgs, reverse=True), (P, n)
 
     def test_flop_balance_penalty_bounded(self, sweep_results):
         """Large b costs parallelism but only a constant factor of
         flop balance (§3.3.1's closing argument)."""
-        for (P, n, b), res in sweep_results.items():
+        for (P, n, b), m in sweep_results.items():
             if b != n // math.isqrt(P):
                 continue
-            assert res.max_flops <= 8 * cholesky_flops(n) / P
+            assert m.flops <= 8 * cholesky_flops(n) / P
 
     def test_bandwidth_scales_like_formula_in_P(self):
         """Words track (nb/4 + n²/√P)·log₂P across P — note the two
@@ -136,8 +135,7 @@ class TestTable2Shape:
         n = 96
         words = {}
         for P in (4, 16):
-            res = pxpotrf(random_spd(n, seed=1), 8, P)
-            words[P] = res.critical_words
+            words[P] = measure_parallel(n, 8, P, seed=1).words
         measured_ratio = words[4] / words[16]
         predicted_ratio = scalapack_words(n, 8, 4) / scalapack_words(n, 8, 16)
         assert measured_ratio == pytest.approx(predicted_ratio, rel=0.5)
@@ -147,7 +145,7 @@ class TestTable2Shape:
         for P in (4, 16, 64):
             n = 8 * math.isqrt(P)
             b = optimal_block_size(n, P)
-            msgs[P] = pxpotrf(random_spd(n, seed=2), b, P).critical_messages
+            msgs[P] = measure_parallel(n, b, P, seed=2).messages
         assert msgs[4] < msgs[16] < msgs[64]
         # √P log P growth: 64 vs 4 should be ≈ (8·6)/(2·2) = 12×
         assert 4 <= msgs[64] / max(msgs[4], 1) <= 30

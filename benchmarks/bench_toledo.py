@@ -16,19 +16,29 @@ import pytest
 from benchmarks.conftest import emit_report
 from repro.analysis.report import ReportWriter
 from repro.analysis.sweeps import measure, sweep_param
+from repro.experiments import ExperimentSpec, run_experiment
 
 N = 128
 MS = [48, 192, 768, 3072]
 
+CASES = [
+    *((("column-major", M), ("toledo", "column-major", M)) for M in MS),
+    *((("morton", M), ("toledo", "morton", M)) for M in MS),
+    *((("sq", M), ("square-recursive", "morton", M)) for M in MS),
+]
+
 
 @pytest.fixture(scope="module")
 def toledo_sweep():
-    out = {}
-    for M in MS:
-        out[("column-major", M)] = measure("toledo", N, M)
-        out[("morton", M)] = measure("toledo", N, M, layout="morton")
-        out[("sq", M)] = measure("square-recursive", N, M, layout="morton")
-    return out
+    spec = ExperimentSpec.from_cases(
+        "bench_toledo",
+        [
+            {"algorithm": algo, "layout": layout, "n": N, "M": M}
+            for _key, (algo, layout, M) in CASES
+        ],
+    )
+    result = run_experiment(spec)
+    return {key: m for (key, _case), m in zip(CASES, result.measurements)}
 
 
 def claim31_bandwidth(n, M):

@@ -18,16 +18,32 @@ Quick start::
     n, M = 128, 3 * 16 * 16
     machine = SequentialMachine(M)
     A = TrackedMatrix(random_spd(n), make_layout("morton", n), machine)
-    L = run_algorithm("square-recursive", A)
+    L = run_algorithm("square-recursive", A)     # RunResult: the factor
     assert np.allclose(L, np.linalg.cholesky(random_spd(n)))
-    print(machine.words, machine.messages)   # Table 1, measured
+    m = L.measurement                            # ...plus its counters
+    print(m.words, m.messages)                   # Table 1, measured
+
+Grid sweeps go through the declarative experiment engine — parallel
+across a process pool and served from a content-addressed cache on
+re-runs::
+
+    from repro import ExperimentSpec, run_experiment
+
+    spec = ExperimentSpec.sequential(
+        "demo", algorithms=["lapack", "square-recursive"],
+        layouts=["morton"], ns=[64, 128], Ms=[192, 768],
+    )
+    result = run_experiment(spec, jobs=4)
+    for m in result.measurements:
+        print(m.algorithm, m.n, m.M, m.words, m.messages)
 
 Subpackages: ``machine`` (DAM/hierarchy simulators), ``layouts``
 (Figure 2 storage formats), ``matrices`` (generators + tracked
 operands), ``sequential`` (Algorithms 2–8), ``parallel`` (network
 simulator + Algorithm 9), ``starred``/``reduction`` (Table 3 +
 Algorithm 1), ``bounds`` (Theorems 1–3, Corollaries 2.3/2.4/3.2),
-``analysis`` (stability, sweeps, reports).
+``analysis`` (stability, sweeps, reports), ``experiments`` (the
+parallel cached experiment engine).
 """
 
 from repro.machine import (
@@ -53,7 +69,14 @@ from repro.sequential import (
 )
 from repro.parallel import ProcessorGrid, pxpotrf
 from repro.reduction import multiply_via_cholesky
+from repro.results import Measurement, RunResult
 from repro.starred import ONE_STAR, ZERO_STAR
+from repro.experiments import (
+    ExperimentEngine,
+    ExperimentSpec,
+    ResultCache,
+    run_experiment,
+)
 
 __version__ = "0.1.0"
 
@@ -82,5 +105,11 @@ __all__ = [
     "multiply_via_cholesky",
     "ONE_STAR",
     "ZERO_STAR",
+    "Measurement",
+    "RunResult",
+    "ExperimentSpec",
+    "ExperimentEngine",
+    "ResultCache",
+    "run_experiment",
     "__version__",
 ]

@@ -16,7 +16,13 @@
 """
 
 from repro.analysis.stability import residual_ratio, stability_report
-from repro.analysis.sweeps import Measurement, measure, sweep_n, sweep_param
+from repro.analysis.sweeps import (
+    Measurement,
+    measure,
+    measure_parallel,
+    sweep_n,
+    sweep_param,
+)
 from repro.analysis.report import ReportWriter
 from repro.analysis.dag import CholeskyDag, direct_dependencies
 from repro.analysis.figures import (
@@ -31,6 +37,7 @@ __all__ = [
     "stability_report",
     "Measurement",
     "measure",
+    "measure_parallel",
     "sweep_n",
     "sweep_param",
     "ReportWriter",

@@ -1,14 +1,24 @@
-"""Measurement sweeps: the engine behind every bench.
+"""Measurement sweeps: the primitives behind every bench.
 
 ``measure`` runs one (algorithm, layout, n, M) configuration on a
-fresh machine and returns a :class:`Measurement` with every counter.
+fresh machine; ``measure_parallel`` runs one PxPOTRF (n, block, P)
+configuration on a fresh network.  Both return the unified
+:class:`repro.results.Measurement` schema, so sequential and parallel
+benches consume one type.
+
 ``sweep_n`` / ``sweep_param`` run geometric sweeps and return the
-series the benches fit exponents to.
+series the benches fit exponents to.  They are thin wrappers over the
+:mod:`repro.experiments` engine: each sweep is expanded into an
+:class:`~repro.experiments.spec.ExperimentSpec`, points get
+deterministically derived per-point seeds (no more silently
+correlating every point on ``seed=0``), results are served from the
+content-addressed cache when available, and ``jobs=N`` fans fresh
+points out over a process pool.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import replace
 from typing import Callable, Sequence
 
 import numpy as np
@@ -17,28 +27,18 @@ from repro.layouts.registry import make_layout
 from repro.machine.core import SequentialMachine
 from repro.matrices.generators import random_spd
 from repro.matrices.tracked import TrackedMatrix
+from repro.parallel.pxpotrf import pxpotrf
+from repro.results import Measurement, freeze_params
 from repro.sequential.registry import run_algorithm
 from repro.util.fitting import PowerFit, fit_power_law
 
-
-@dataclass(frozen=True)
-class Measurement:
-    """Counters from one simulated run."""
-
-    algorithm: str
-    layout: str
-    n: int
-    M: int
-    words: int
-    messages: int
-    words_read: int
-    words_written: int
-    flops: int
-    correct: bool
-
-    @property
-    def bandwidth_per_flop(self) -> float:
-        return self.words / self.flops if self.flops else 0.0
+__all__ = [
+    "Measurement",
+    "measure",
+    "measure_parallel",
+    "sweep_n",
+    "sweep_param",
+]
 
 
 def measure(
@@ -52,12 +52,14 @@ def measure(
     verify: bool = True,
     **params,
 ) -> Measurement:
-    """Run one configuration and collect its counters.
+    """Run one sequential configuration and collect its counters.
 
     ``verify=True`` (default) checks the factor against the reference
     Cholesky — a benchmark that silently produced wrong numerics
     would invalidate its counts, so verification is part of the
-    measurement.
+    measurement.  The returned measurement carries the live
+    :class:`~repro.results.RunResult` (factor + machine handle) in its
+    ``run`` field.
     """
     machine = SequentialMachine(M)
     if layout == "blocked" and layout_block is None:
@@ -69,7 +71,12 @@ def measure(
     ok = True
     if verify:
         ok = bool(np.allclose(L, np.linalg.cholesky(a0), atol=1e-6))
+    L.verified = ok
+    L.seed = seed
     lvl = machine.levels[0]
+    recorded = dict(params)
+    if layout_block is not None:
+        recorded["layout_block"] = layout_block
     return Measurement(
         algorithm=algorithm,
         layout=lay.name,
@@ -81,7 +88,68 @@ def measure(
         words_written=lvl.counters.words_written,
         flops=machine.flops,
         correct=ok,
+        seed=seed,
+        params=freeze_params(recorded),
+        run=L,
     )
+
+
+def measure_parallel(
+    n: int,
+    block: int,
+    P: int,
+    *,
+    seed: int = 0,
+    verify: bool = True,
+) -> Measurement:
+    """Run one PxPOTRF configuration; report it in the unified schema.
+
+    ``words``/``messages`` are the critical-path counts and ``flops``
+    the max per-processor work — the Table 2 quantities — exposed
+    through the same :class:`~repro.results.Measurement` fields the
+    sequential path uses, with ``P`` and ``block`` filled in.
+    """
+    a0 = random_spd(n, seed=seed)
+    res = pxpotrf(a0, block, P)
+    ok = True
+    if verify:
+        ok = bool(np.allclose(res.L, np.linalg.cholesky(a0), atol=1e-8))
+    return replace(res.measurement, correct=ok, seed=seed)
+
+
+def _sweep(
+    name: str,
+    algorithm: str,
+    configs: Sequence[tuple[int, int]],
+    layout: str,
+    metric: str,
+    xs: Sequence[int],
+    jobs: int,
+    cache,
+    seed: int,
+    kw: dict,
+) -> tuple[list[Measurement], PowerFit]:
+    """Shared sweep body: build a spec, run the engine, fit the metric."""
+    from repro.experiments import ExperimentSpec, run_experiment
+
+    kw = dict(kw)
+    verify = kw.pop("verify", True)
+    cases = [
+        {
+            "algorithm": algorithm,
+            "layout": layout,
+            "n": n,
+            "M": m_val,
+            "params": kw,
+            "verify": verify,
+        }
+        for n, m_val in configs
+    ]
+    spec = ExperimentSpec.from_cases(name, cases, seed=seed)
+    result = run_experiment(spec, jobs=jobs, cache=cache)
+    ms = result.measurements
+    fit = fit_power_law(xs, [getattr(m, metric) for m in ms])
+    return ms, fit
 
 
 def sweep_n(
@@ -91,19 +159,32 @@ def sweep_n(
     *,
     layout: str = "column-major",
     metric: str = "words",
+    jobs: int = 1,
+    cache="default",
+    seed: int = 0,
     **kw,
 ) -> tuple[list[Measurement], PowerFit]:
     """Sweep the matrix dimension; fit ``metric ~ n^p``.
 
     ``M`` may be a constant or a function of n (e.g. ``lambda n: 4*n``
-    to stay in the naïve whole-column regime).
+    to stay in the naïve whole-column regime).  ``seed`` is the root
+    the per-point seeds derive from (every point gets its own input
+    matrix); ``jobs``/``cache`` are forwarded to the experiment
+    engine.
     """
-    ms = []
-    for n in ns:
-        m_val = M(n) if callable(M) else M
-        ms.append(measure(algorithm, n, m_val, layout=layout, **kw))
-    fit = fit_power_law([m.n for m in ms], [getattr(m, metric) for m in ms])
-    return ms, fit
+    configs = [(n, M(n) if callable(M) else M) for n in ns]
+    return _sweep(
+        f"sweep_n-{algorithm}-{layout}-{metric}",
+        algorithm,
+        configs,
+        layout,
+        metric,
+        [n for n, _ in configs],
+        jobs,
+        cache,
+        seed,
+        kw,
+    )
 
 
 def sweep_param(
@@ -113,9 +194,26 @@ def sweep_param(
     *,
     layout: str = "column-major",
     metric: str = "words",
+    jobs: int = 1,
+    cache="default",
+    seed: int = 0,
     **kw,
 ) -> tuple[list[Measurement], PowerFit]:
-    """Sweep the fast-memory size at fixed n; fit ``metric ~ M^p``."""
-    ms = [measure(algorithm, n, M, layout=layout, **kw) for M in Ms]
-    fit = fit_power_law([m.M for m in ms], [getattr(m, metric) for m in ms])
-    return ms, fit
+    """Sweep the fast-memory size at fixed n; fit ``metric ~ M^p``.
+
+    Engine-backed like :func:`sweep_n`: cached, parallelizable via
+    ``jobs``, per-point seeds derived from ``seed``.
+    """
+    configs = [(n, M) for M in Ms]
+    return _sweep(
+        f"sweep_param-{algorithm}-{layout}-{metric}",
+        algorithm,
+        configs,
+        layout,
+        metric,
+        [M for _, M in configs],
+        jobs,
+        cache,
+        seed,
+        kw,
+    )

@@ -1,0 +1,56 @@
+"""Declarative, parallel, cached experiment runs.
+
+Every number this repository reports flows through simulated runs over
+(algorithm, layout, n, M) and (n, block, P) grids.  This package is
+the substrate that executes those grids as *experiments* rather than
+ad-hoc for-loops:
+
+``repro.experiments.spec``
+    :class:`ExperimentSpec` — a declarative grid, expanded into frozen
+    :class:`SpecPoint` records with deterministically derived
+    per-point seeds.
+
+``repro.experiments.cache``
+    :class:`ResultCache` — a content-addressed on-disk store keyed on
+    (point, code version), so re-runs and overlapping benches serve
+    measurements from disk instead of re-simulating.
+
+``repro.experiments.engine``
+    :class:`ExperimentEngine` / :func:`run_experiment` — fan cache
+    misses out over a process pool, collect unified
+    :class:`~repro.results.Measurement` values in spec order, and emit
+    JSON artifacts with per-point wall time.
+
+See ``docs/EXPERIMENTS_API.md`` for the full guide and migration notes
+from the old ``measure``/``sweep_n`` call shapes.
+"""
+
+from repro.experiments.cache import (
+    CACHE_DIR_ENV,
+    ResultCache,
+    code_version,
+    default_cache_dir,
+)
+from repro.experiments.engine import (
+    ExperimentEngine,
+    ExperimentResult,
+    PointResult,
+    execute_point,
+    run_experiment,
+)
+from repro.experiments.spec import ExperimentSpec, SpecPoint, derive_seed
+
+__all__ = [
+    "ExperimentSpec",
+    "SpecPoint",
+    "derive_seed",
+    "ResultCache",
+    "code_version",
+    "default_cache_dir",
+    "CACHE_DIR_ENV",
+    "ExperimentEngine",
+    "ExperimentResult",
+    "PointResult",
+    "execute_point",
+    "run_experiment",
+]

@@ -1,0 +1,172 @@
+"""Content-addressed on-disk cache for experiment results.
+
+A cache entry is one JSON file per :class:`~repro.experiments.spec.SpecPoint`,
+addressed by ``sha256(point + code version)``:
+
+* the **point** part means any change to the configuration — n, M,
+  seed, params, verify flag — is a different key (spec-change
+  invalidation is automatic);
+* the **code version** part is a digest over every ``.py`` source file
+  of the ``repro`` package, so editing any simulator/algorithm code
+  invalidates the whole cache rather than serving stale counters.
+
+Layout on disk::
+
+    <cache-dir>/<key[:2]>/<key>.json
+
+Each file holds ``{"key", "code_version", "point", "measurement",
+"wall_time", "created"}``.  Writes are atomic (temp file + rename), so
+a concurrent reader never sees a torn entry; unreadable or corrupt
+entries are treated as misses.
+
+The default location is ``$REPRO_CACHE_DIR`` or ``.repro-cache/`` next
+to the repository root.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import time
+from functools import lru_cache
+
+from repro.experiments.spec import SpecPoint
+
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+@lru_cache(maxsize=1)
+def code_version() -> str:
+    """Digest of the ``repro`` package sources (plus its version string).
+
+    Computed once per process; any change to any ``.py`` file under
+    the installed package changes the digest and thereby every cache
+    key.
+    """
+    import repro
+
+    root = os.path.dirname(os.path.abspath(repro.__file__))
+    h = hashlib.sha256()
+    for dirpath, _dirnames, filenames in sorted(os.walk(root)):
+        for fn in sorted(filenames):
+            if not fn.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, fn)
+            h.update(os.path.relpath(path, root).encode("utf-8"))
+            with open(path, "rb") as fh:
+                h.update(fh.read())
+    h.update(repro.__version__.encode("utf-8"))
+    return h.hexdigest()[:16]
+
+
+def default_cache_dir() -> str:
+    """``$REPRO_CACHE_DIR`` if set, else ``.repro-cache`` at the repo root."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return env
+    here = os.path.dirname(os.path.abspath(__file__))
+    repo = os.path.normpath(os.path.join(here, "..", "..", ".."))
+    if os.path.isdir(repo):
+        return os.path.join(repo, ".repro-cache")
+    return os.path.join(os.getcwd(), ".repro-cache")
+
+
+class ResultCache:
+    """Persistent point → measurement store with hit/miss accounting.
+
+    Parameters
+    ----------
+    directory:
+        Root of the cache tree (created lazily on first ``put``).
+    version:
+        Code-version token mixed into every key; defaults to
+        :func:`code_version`.  Tests inject fixed tokens to exercise
+        invalidation without editing source files.
+    """
+
+    def __init__(self, directory: str | os.PathLike, *, version: str | None = None):
+        self.directory = str(directory)
+        self.version = version if version is not None else code_version()
+        self.hits = 0
+        self.misses = 0
+
+    @classmethod
+    def default(cls) -> "ResultCache":
+        """The cache at :func:`default_cache_dir`."""
+        return cls(default_cache_dir())
+
+    def key_for(self, point: SpecPoint) -> str:
+        """Content-address of a point under the current code version."""
+        blob = json.dumps(
+            {"version": self.version, "point": point.to_dict()},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def path_for(self, point: SpecPoint) -> str:
+        """On-disk path the point's entry lives at."""
+        key = self.key_for(point)
+        return os.path.join(self.directory, key[:2], f"{key}.json")
+
+    def get(self, point: SpecPoint) -> dict | None:
+        """Load the entry for ``point``; ``None`` (a miss) if absent/corrupt."""
+        path = self.path_for(point)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                entry = json.load(fh)
+            if not isinstance(entry, dict) or "measurement" not in entry:
+                raise ValueError("malformed cache entry")
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def put(self, point: SpecPoint, measurement, wall_time: float) -> str:
+        """Atomically store a computed measurement; returns the path.
+
+        ``measurement`` may be a :class:`~repro.results.Measurement`
+        (serialized via ``to_dict``) or an already-serialized mapping.
+        """
+        path = self.path_for(point)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        serialized = (
+            measurement.to_dict()
+            if hasattr(measurement, "to_dict")
+            else dict(measurement)
+        )
+        entry = {
+            "key": self.key_for(point),
+            "code_version": self.version,
+            "point": point.to_dict(),
+            "measurement": serialized,
+            "wall_time": float(wall_time),
+            "created": time.time(),
+        }
+        fd, tmp = tempfile.mkstemp(
+            dir=os.path.dirname(path), prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(entry, fh, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        return path
+
+    def __len__(self) -> int:
+        """Number of entries currently on disk (all versions)."""
+        count = 0
+        if not os.path.isdir(self.directory):
+            return 0
+        for dirpath, _dirs, files in os.walk(self.directory):
+            count += sum(1 for f in files if f.endswith(".json"))
+        return count
+
+
+__all__ = ["ResultCache", "code_version", "default_cache_dir", "CACHE_DIR_ENV"]

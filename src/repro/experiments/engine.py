@@ -1,0 +1,283 @@
+"""The parallel, cached experiment engine.
+
+Executes the points of an :class:`~repro.experiments.spec.ExperimentSpec`
+and returns an :class:`ExperimentResult` with one
+:class:`~repro.results.Measurement` per point, in spec order, plus
+per-point wall time and cache provenance.
+
+Execution model:
+
+* every point is first looked up in the :class:`ResultCache`; hits are
+  served without simulating;
+* misses run through :func:`repro.analysis.sweeps.measure` (sequential
+  points) or :func:`~repro.analysis.sweeps.measure_parallel` (PxPOTRF
+  points) — serially for ``jobs=1``, fanned out over a
+  ``concurrent.futures.ProcessPoolExecutor`` otherwise;
+* computed measurements are written back to the cache, so overlapping
+  benches and re-runs converge to pure cache reads.
+
+Because each point's seed is fixed by the spec and the simulators are
+deterministic, a ``jobs=N`` run produces measurements identical to a
+serial run — the engine asserts nothing about scheduling, only about
+configurations.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.experiments.cache import ResultCache, code_version
+from repro.experiments.spec import PARALLEL, ExperimentSpec, SpecPoint
+from repro.results import Measurement
+
+ProgressFn = Callable[[int, int, "PointResult"], None]
+
+
+def execute_point(point: SpecPoint) -> "tuple[Measurement, float]":
+    """Run one spec point from scratch; returns (measurement, seconds).
+
+    This is the process-pool worker: it takes only a picklable
+    :class:`SpecPoint` and returns a detached (``run``-free)
+    measurement, so results cross process boundaries cleanly.
+    """
+    # Imported here, not at module top: sweeps imports the engine for
+    # its thin wrappers, and the lazy import breaks the cycle.
+    from repro.analysis.sweeps import measure, measure_parallel
+
+    t0 = time.perf_counter()
+    if point.kind == PARALLEL:
+        m = measure_parallel(
+            point.n, point.block, point.P, seed=point.seed, verify=point.verify
+        )
+    else:
+        kwargs = dict(point.params)
+        layout_block = kwargs.pop("layout_block", None)
+        m = measure(
+            point.algorithm,
+            point.n,
+            point.M,
+            layout=point.layout,
+            layout_block=layout_block,
+            seed=point.seed,
+            verify=point.verify,
+            **kwargs,
+        )
+    return m.without_run(), time.perf_counter() - t0
+
+
+@dataclass(frozen=True)
+class PointResult:
+    """One executed (or cache-served) spec point."""
+
+    point: SpecPoint
+    measurement: Measurement
+    wall_time: float
+    cached: bool
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict for artifact output."""
+        return {
+            "point": self.point.to_dict(),
+            "measurement": self.measurement.to_dict(),
+            "wall_time": float(self.wall_time),
+            "cached": bool(self.cached),
+        }
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """All point results of one spec run, in spec order."""
+
+    spec: ExperimentSpec
+    points: "tuple[PointResult, ...]"
+    wall_time: float
+
+    @property
+    def measurements(self) -> "list[Measurement]":
+        """The measurements alone, in spec order."""
+        return [p.measurement for p in self.points]
+
+    @property
+    def cache_hits(self) -> int:
+        """How many points were served from the cache."""
+        return sum(1 for p in self.points if p.cached)
+
+    @property
+    def cache_misses(self) -> int:
+        """How many points were simulated fresh."""
+        return sum(1 for p in self.points if not p.cached)
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict: spec, code version, per-point results."""
+        return {
+            "spec": self.spec.to_dict(),
+            "code_version": code_version(),
+            "wall_time": float(self.wall_time),
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "points": [p.to_dict() for p in self.points],
+        }
+
+    def save(self, directory: str | None = None) -> str:
+        """Write the JSON artifact; returns the path.
+
+        Defaults to ``reports/experiments/<spec-name>.json`` next to
+        the text reports.
+        """
+        import json
+
+        from repro.analysis.report import default_reports_dir
+
+        directory = directory or os.path.join(default_reports_dir(), "experiments")
+        os.makedirs(directory, exist_ok=True)
+        safe = re.sub(r"[^A-Za-z0-9._-]+", "_", self.spec.name) or "experiment"
+        path = os.path.join(directory, f"{safe}.json")
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_dict(), fh, indent=1, sort_keys=True)
+        return path
+
+
+class ExperimentEngine:
+    """Runs specs with a shared cache, job count and progress stream.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes for cache-miss points; ``1`` (default) runs
+        serially in-process.
+    cache:
+        ``"default"`` for the shared on-disk cache, ``None`` to
+        disable caching, or an explicit :class:`ResultCache`.
+    progress:
+        Optional callback ``(done, total, point_result)`` invoked as
+        each point resolves.
+    verbose:
+        Emit per-point progress lines and a summary to stderr.
+    """
+
+    def __init__(
+        self,
+        *,
+        jobs: int = 1,
+        cache: "ResultCache | str | None" = "default",
+        progress: Optional[ProgressFn] = None,
+        verbose: bool = False,
+    ):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = int(jobs)
+        if cache == "default":
+            cache = ResultCache.default()
+        elif isinstance(cache, str):
+            cache = ResultCache(cache)
+        self.cache: ResultCache | None = cache
+        self.progress = progress
+        self.verbose = verbose
+        self.results: "list[ExperimentResult]" = []
+
+    def _notify(self, done: int, total: int, pr: PointResult, name: str) -> None:
+        if self.verbose:
+            tag = "cache" if pr.cached else f"{pr.wall_time:.2f}s"
+            print(
+                f"[engine] {name}: {done}/{total} {pr.point.label()} ({tag})",
+                file=sys.stderr,
+            )
+        if self.progress is not None:
+            self.progress(done, total, pr)
+
+    def run(self, spec: ExperimentSpec) -> ExperimentResult:
+        """Execute every point of ``spec`` (cache first, then compute)."""
+        t0 = time.perf_counter()
+        total = len(spec.points)
+        out: "list[PointResult | None]" = [None] * total
+        pending: "list[tuple[int, SpecPoint]]" = []
+        done = 0
+        for i, pt in enumerate(spec.points):
+            entry = self.cache.get(pt) if self.cache is not None else None
+            if entry is not None:
+                try:
+                    m = Measurement.from_dict(entry["measurement"])
+                except (KeyError, TypeError, ValueError):
+                    pending.append((i, pt))
+                    continue
+                out[i] = PointResult(pt, m, float(entry.get("wall_time", 0.0)), True)
+                done += 1
+                self._notify(done, total, out[i], spec.name)
+            else:
+                pending.append((i, pt))
+
+        def record(i: int, pt: SpecPoint, m: Measurement, dt: float) -> None:
+            nonlocal done
+            if self.cache is not None:
+                self.cache.put(pt, m.to_dict(), dt)
+            out[i] = PointResult(pt, m, dt, False)
+            done += 1
+            self._notify(done, total, out[i], spec.name)
+
+        if pending and self.jobs > 1 and len(pending) > 1:
+            workers = min(self.jobs, len(pending))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    pool.submit(execute_point, pt): (i, pt) for i, pt in pending
+                }
+                for fut in as_completed(futures):
+                    i, pt = futures[fut]
+                    m, dt = fut.result()
+                    record(i, pt, m, dt)
+        else:
+            for i, pt in pending:
+                m, dt = execute_point(pt)
+                record(i, pt, m, dt)
+
+        result = ExperimentResult(
+            spec=spec,
+            points=tuple(out),  # type: ignore[arg-type]
+            wall_time=time.perf_counter() - t0,
+        )
+        self.results.append(result)
+        return result
+
+    def summary(self) -> str:
+        """One-line account of everything this engine ran."""
+        total = sum(len(r.points) for r in self.results)
+        hits = sum(r.cache_hits for r in self.results)
+        secs = sum(r.wall_time for r in self.results)
+        return (
+            f"[engine] {total} points across {len(self.results)} spec(s): "
+            f"{hits} from cache, {total - hits} computed, "
+            f"jobs={self.jobs}, {secs:.2f}s"
+        )
+
+    def save_artifacts(self, directory: str | None = None) -> "list[str]":
+        """Write one JSON artifact per spec run so far; returns paths."""
+        return [r.save(directory) for r in self.results]
+
+
+def run_experiment(
+    spec: ExperimentSpec,
+    *,
+    jobs: int = 1,
+    cache: "ResultCache | str | None" = "default",
+    progress: Optional[ProgressFn] = None,
+    verbose: bool = False,
+) -> ExperimentResult:
+    """One-shot convenience: build an engine, run one spec."""
+    engine = ExperimentEngine(
+        jobs=jobs, cache=cache, progress=progress, verbose=verbose
+    )
+    return engine.run(spec)
+
+
+__all__ = [
+    "ExperimentEngine",
+    "ExperimentResult",
+    "PointResult",
+    "execute_point",
+    "run_experiment",
+]

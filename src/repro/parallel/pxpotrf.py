@@ -37,6 +37,7 @@ import numpy as np
 from repro.parallel.blockcyclic import BlockCyclicMatrix
 from repro.parallel.grid import ProcessorGrid
 from repro.parallel.network import Network
+from repro.results import Measurement
 from repro.sequential.flops import cholesky_flops, gemm_flops, syrk_flops, trsm_flops
 from repro.sequential.kernels import dense_cholesky, solve_lower_transposed_right
 from repro.util.validation import check_positive_int
@@ -75,6 +76,31 @@ class ParallelRunResult:
     @property
     def peak_buffer_words(self) -> int:
         return max(p.peak_buffer_words for p in self.network.processors)
+
+    @property
+    def measurement(self) -> Measurement:
+        """The run in the unified :class:`~repro.results.Measurement` schema.
+
+        ``words``/``messages`` carry the critical-path counts and
+        ``flops`` the max per-processor work, so Table 1 and Table 2
+        consumers read one type.  The DAM read/write split does not
+        exist on the network; ``words_read`` mirrors ``words`` and
+        ``words_written`` is 0 by convention.
+        """
+        return Measurement(
+            algorithm="pxpotrf",
+            layout="block-cyclic",
+            n=self.n,
+            M=None,
+            words=int(self.critical_words),
+            messages=int(self.critical_messages),
+            words_read=int(self.critical_words),
+            words_written=0,
+            flops=int(self.max_flops),
+            correct=True,
+            P=self.P,
+            block=self.block,
+        )
 
     @property
     def peak_memory_words(self) -> int:

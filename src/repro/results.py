@@ -1,0 +1,229 @@
+"""Unified run results: one schema for every execution path.
+
+Historically ``run_algorithm`` returned a bare ``np.ndarray`` factor
+while ``measure`` returned a counters-only dataclass, and the parallel
+path had its own ``ParallelRunResult`` vocabulary
+(``critical_words``/``critical_messages``/``max_flops``).  This module
+defines the single schema all three now share:
+
+:class:`Measurement`
+    A frozen record of one run's configuration and counters — the same
+    fields whether the run was a sequential DAM simulation or a
+    PxPOTRF network simulation (parallel runs fill ``P``/``block`` and
+    report critical-path counts through ``words``/``messages``/
+    ``flops``).  It serializes losslessly to/from JSON dicts, which is
+    what the experiment cache stores.
+
+:class:`RunResult`
+    The factor itself *plus* provenance.  It subclasses ``np.ndarray``,
+    so every pre-existing call shape — ``np.allclose(L, ref)``,
+    ``L.T``, indexing — keeps working on the return value of
+    ``run_algorithm`` unchanged; the redesign adds ``.measurement``,
+    ``.machine`` and ``.config`` on top instead of breaking callers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Any, Iterable, Mapping
+
+import numpy as np
+
+ParamsTuple = "tuple[tuple[str, Any], ...]"
+
+
+def freeze_params(params: Mapping[str, Any] | Iterable[tuple[str, Any]] | None):
+    """Canonicalize a params mapping into a sorted tuple of pairs.
+
+    The frozen form is hashable (usable in frozen dataclasses and as
+    part of cache keys) and order-independent: two equal mappings
+    always freeze identically.
+    """
+    if params is None:
+        return ()
+    items = params.items() if isinstance(params, Mapping) else params
+    return tuple(sorted((str(k), v) for k, v in items))
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """Configuration + counters of one simulated run (any path).
+
+    The first ten fields are the original sequential schema and keep
+    their order, so existing positional construction still works.  The
+    trailing fields unify the parallel path (``P``, ``block``), record
+    the seed/params provenance, and optionally carry the live
+    :class:`RunResult` (never serialized, excluded from equality).
+
+    For parallel runs ``words``/``messages``/``flops`` hold the
+    critical-path words, critical-path messages and max-per-processor
+    flops; the DAM read/write split does not exist on the network, so
+    ``words_read = words`` and ``words_written = 0`` there.
+    """
+
+    algorithm: str
+    layout: str
+    n: int
+    M: int | None
+    words: int
+    messages: int
+    words_read: int
+    words_written: int
+    flops: int
+    correct: bool
+    P: int | None = None
+    block: int | None = None
+    seed: int | None = None
+    params: tuple = ()
+    run: "RunResult | None" = field(default=None, compare=False, repr=False)
+
+    @property
+    def bandwidth_per_flop(self) -> float:
+        """Words moved per flop performed (0 for a flop-free run)."""
+        return self.words / self.flops if self.flops else 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict (canonical types; ``run`` is dropped)."""
+        return {
+            "algorithm": str(self.algorithm),
+            "layout": str(self.layout),
+            "n": int(self.n),
+            "M": None if self.M is None else int(self.M),
+            "words": int(self.words),
+            "messages": int(self.messages),
+            "words_read": int(self.words_read),
+            "words_written": int(self.words_written),
+            "flops": int(self.flops),
+            "correct": bool(self.correct),
+            "P": None if self.P is None else int(self.P),
+            "block": None if self.block is None else int(self.block),
+            "seed": None if self.seed is None else int(self.seed),
+            "params": [[k, v] for k, v in self.params],
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "Measurement":
+        """Rebuild a measurement from :meth:`to_dict` output."""
+        return cls(
+            algorithm=d["algorithm"],
+            layout=d["layout"],
+            n=int(d["n"]),
+            M=None if d.get("M") is None else int(d["M"]),
+            words=int(d["words"]),
+            messages=int(d["messages"]),
+            words_read=int(d["words_read"]),
+            words_written=int(d["words_written"]),
+            flops=int(d["flops"]),
+            correct=bool(d["correct"]),
+            P=None if d.get("P") is None else int(d["P"]),
+            block=None if d.get("block") is None else int(d["block"]),
+            seed=None if d.get("seed") is None else int(d["seed"]),
+            params=tuple((str(k), v) for k, v in (d.get("params") or ())),
+        )
+
+    def without_run(self) -> "Measurement":
+        """A copy with the live ``run`` handle dropped (picklable/cacheable)."""
+        if self.run is None:
+            return self
+        return Measurement(
+            **{f.name: getattr(self, f.name) for f in fields(self) if f.name != "run"}
+        )
+
+
+class RunResult(np.ndarray):
+    """The factor ``L`` plus the provenance of the run that produced it.
+
+    A ``RunResult`` *is* the factor — it subclasses ``np.ndarray``, so
+    the historical call shape ``L = run_algorithm(...)`` followed by
+    array operations keeps working verbatim (this is the deprecation
+    shim: the old shape is a strict subset of the new object).  On top
+    of the array it carries:
+
+    ``algorithm``, ``layout``, ``n``, ``params``, ``seed``
+        The configuration that produced the factor.
+    ``machine``
+        The simulator the run was charged to — the live trace handle
+        (counters, per-level state, optional event trace).
+    ``verified``
+        ``True``/``False`` once checked against a reference Cholesky,
+        ``None`` if never verified.
+
+    ``.measurement`` snapshots the machine counters into the unified
+    :class:`Measurement` schema.
+    """
+
+    _provenance = ("algorithm", "layout", "n", "params", "seed", "machine", "verified")
+
+    def __new__(
+        cls,
+        L: np.ndarray,
+        *,
+        algorithm: str,
+        layout: str,
+        n: int,
+        params: tuple = (),
+        seed: int | None = None,
+        machine=None,
+        verified: bool | None = None,
+    ):
+        obj = np.asarray(L).view(cls)
+        obj.algorithm = algorithm
+        obj.layout = layout
+        obj.n = n
+        obj.params = freeze_params(params) if not isinstance(params, tuple) else params
+        obj.seed = seed
+        obj.machine = machine
+        obj.verified = verified
+        return obj
+
+    def __array_finalize__(self, obj):
+        if obj is None:
+            return
+        for name in self._provenance:
+            setattr(self, name, getattr(obj, name, None))
+
+    @property
+    def L(self) -> np.ndarray:
+        """The factor as a plain ``np.ndarray`` view (no provenance)."""
+        return self.view(np.ndarray)
+
+    @property
+    def config(self) -> dict:
+        """The run's configuration as a plain dict (for logs/artifacts)."""
+        return {
+            "algorithm": self.algorithm,
+            "layout": self.layout,
+            "n": self.n,
+            "params": dict(self.params or ()),
+            "seed": self.seed,
+        }
+
+    @property
+    def measurement(self) -> Measurement:
+        """Snapshot the machine's counters as a :class:`Measurement`.
+
+        Requires the run to have been produced against a machine (the
+        normal ``run_algorithm`` path); derived arrays obtained by
+        slicing keep the handle, detached copies may not.
+        """
+        if self.machine is None:
+            raise ValueError("this RunResult carries no machine handle")
+        lvl = self.machine.levels[0]
+        return Measurement(
+            algorithm=self.algorithm,
+            layout=self.layout,
+            n=self.n,
+            M=self.machine.M,
+            words=lvl.words,
+            messages=lvl.messages,
+            words_read=lvl.counters.words_read,
+            words_written=lvl.counters.words_written,
+            flops=self.machine.flops,
+            correct=True if self.verified is None else bool(self.verified),
+            seed=self.seed,
+            params=self.params or (),
+            run=self,
+        )
+
+
+__all__ = ["Measurement", "RunResult", "freeze_params"]

@@ -12,6 +12,7 @@ from typing import Callable, Dict
 import numpy as np
 
 from repro.matrices.tracked import TrackedMatrix
+from repro.results import RunResult, freeze_params
 from repro.sequential.blocked_right import lapack_blocked_right
 from repro.sequential.lapack_blocked import lapack_blocked
 from repro.sequential.naive import (
@@ -41,7 +42,7 @@ def available_algorithms() -> tuple[str, ...]:
     return tuple(sorted(ALGORITHMS))
 
 
-def run_algorithm(name: str, A: TrackedMatrix, **params) -> np.ndarray:
+def run_algorithm(name: str, A: TrackedMatrix, **params) -> RunResult:
     """Run a registered algorithm on a tracked matrix.
 
     Parameters
@@ -53,10 +54,21 @@ def run_algorithm(name: str, A: TrackedMatrix, **params) -> np.ndarray:
     params:
         Algorithm-specific keywords (e.g. ``block=`` for ``"lapack"``).
 
-    Returns the lower factor ``L``.
+    Returns the lower factor ``L`` as a
+    :class:`~repro.results.RunResult` — an ``np.ndarray`` subclass, so
+    every pre-existing array-shaped use keeps working, with the run's
+    machine handle, configuration and ``.measurement`` attached.
     """
     if name not in ALGORITHMS:
         raise ValueError(
             f"unknown algorithm {name!r}; available: {available_algorithms()}"
         )
-    return ALGORITHMS[name](A, **params)
+    L = ALGORITHMS[name](A, **params)
+    return RunResult(
+        L,
+        algorithm=name,
+        layout=A.layout.name,
+        n=A.layout.n,
+        params=freeze_params(params),
+        machine=A.machine,
+    )

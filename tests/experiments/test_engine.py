@@ -1,0 +1,95 @@
+"""Engine behaviour: caching across runs, parallel == serial, artifacts."""
+
+import json
+
+import pytest
+
+from repro.experiments import (
+    ExperimentEngine,
+    ExperimentResult,
+    ExperimentSpec,
+    ResultCache,
+    run_experiment,
+)
+
+SPEC = ExperimentSpec.sequential(
+    "engine_test",
+    algorithms=["naive-left", "lapack"],
+    ns=[8, 16],
+    Ms=[64],
+)
+
+PAR_SPEC = ExperimentSpec.parallel("engine_par_test", [(16, 4, 4), (16, 8, 4)])
+
+
+class TestCachingAcrossRuns:
+    def test_second_run_served_from_cache(self, tmp_path):
+        first = ExperimentEngine(cache=str(tmp_path)).run(SPEC)
+        assert first.cache_hits == 0
+        assert first.cache_misses == len(SPEC)
+
+        second = ExperimentEngine(cache=str(tmp_path)).run(SPEC)
+        assert second.cache_hits == len(SPEC)
+        assert second.cache_misses == 0
+        assert second.measurements == first.measurements
+
+    def test_no_cache_engine_always_computes(self):
+        result = run_experiment(SPEC, cache=None)
+        again = run_experiment(SPEC, cache=None)
+        assert result.cache_hits == again.cache_hits == 0
+        assert result.measurements == again.measurements
+
+
+class TestParallelExecution:
+    def test_jobs_2_identical_to_serial(self, tmp_path):
+        serial = run_experiment(SPEC, jobs=1, cache=None)
+        parallel = run_experiment(SPEC, jobs=2, cache=None)
+        assert parallel.measurements == serial.measurements
+        assert [p.point for p in parallel.points] == [
+            p.point for p in serial.points
+        ]
+
+    def test_parallel_points_through_engine(self):
+        result = run_experiment(PAR_SPEC, cache=None)
+        for m in result.measurements:
+            assert m.algorithm == "pxpotrf"
+            assert m.P == 4
+            assert m.words > 0 and m.messages > 0 and m.flops > 0
+            assert m.correct
+        # smaller blocks, more messages on the critical path
+        m4, m8 = result.measurements
+        assert m4.block == 4 and m8.block == 8
+        assert m4.messages > m8.messages
+
+    def test_progress_callback_sees_every_point(self):
+        seen = []
+        ExperimentEngine(
+            cache=None, progress=lambda done, total, pr: seen.append(pr.point)
+        ).run(SPEC)
+        assert sorted(p.key() for p in seen) == sorted(
+            p.key() for p in SPEC.points
+        )
+
+
+class TestArtifacts:
+    def test_save_round_trips_measurements(self, tmp_path):
+        from pathlib import Path
+
+        result = run_experiment(SPEC, cache=None)
+        path = Path(result.save(tmp_path))
+        data = json.loads(path.read_text())
+        assert data["spec"]["name"] == "engine_test"
+        assert len(data["points"]) == len(SPEC)
+        from repro.results import Measurement
+
+        restored = [
+            Measurement.from_dict(p["measurement"]) for p in data["points"]
+        ]
+        assert restored == list(result.measurements)
+        assert all(p["wall_time"] >= 0 for p in data["points"])
+
+    def test_result_to_dict_marks_cached_points(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        ExperimentEngine(cache=cache).run(SPEC)
+        second = ExperimentEngine(cache=cache).run(SPEC)
+        assert all(p["cached"] for p in second.to_dict()["points"])

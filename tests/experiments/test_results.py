@@ -1,0 +1,148 @@
+"""Unified RunResult/Measurement schema and backward-compat shims."""
+
+import numpy as np
+import pytest
+
+from repro.layouts.registry import make_layout
+from repro.machine.core import SequentialMachine
+from repro.matrices.generators import random_spd
+from repro.matrices.tracked import TrackedMatrix
+from repro.results import Measurement, RunResult, freeze_params
+from repro.sequential.registry import run_algorithm
+
+
+def _run(algorithm="lapack", n=16, M=96, seed=0, **params):
+    machine = SequentialMachine(M)
+    a0 = random_spd(n, seed=seed)
+    A = TrackedMatrix(a0, make_layout("column-major", n), machine)
+    return a0, run_algorithm(algorithm, A, **params)
+
+
+class TestRunResultIsTheFactor:
+    """The old call shape — treat the return as a bare array — must work."""
+
+    def test_array_operations(self):
+        a0, L = _run()
+        assert isinstance(L, np.ndarray)
+        assert np.allclose(L @ L.T, a0, atol=1e-6)
+        assert L[0, 0] == pytest.approx(np.sqrt(a0[0, 0]))
+        assert np.tril(L).shape == (16, 16)
+
+    def test_provenance_attached(self):
+        _, L = _run()
+        assert isinstance(L, RunResult)
+        assert L.algorithm == "lapack"
+        assert L.layout == "column-major"
+        assert L.n == 16
+        assert L.machine is not None
+        assert L.config["algorithm"] == "lapack"
+
+    def test_plain_view(self):
+        _, L = _run()
+        assert type(L.L) is np.ndarray
+        assert np.array_equal(L.L, np.asarray(L))
+
+    def test_slices_keep_provenance(self):
+        _, L = _run()
+        assert L[:4, :4].algorithm == "lapack"
+
+    def test_measurement_requires_machine(self):
+        bare = RunResult(
+            np.eye(3), algorithm="x", layout="column-major", n=3
+        )
+        with pytest.raises(ValueError):
+            bare.measurement
+
+    def test_measurement_matches_machine_counters(self):
+        _, L = _run()
+        m = L.measurement
+        lvl = L.machine.levels[0]
+        assert m.words == lvl.words
+        assert m.messages == lvl.messages
+        assert m.flops == L.machine.flops
+        assert m.run is L
+
+
+class TestMeasureAttachesRun:
+    def test_run_handle_consistent(self):
+        from repro.analysis.sweeps import measure
+
+        m = measure("lapack", 16, 96, block=4)
+        assert m.run is not None
+        assert m.run.measurement.words == m.words
+        assert m.run.verified is True
+        assert m.seed == 0
+        assert dict(m.params)["block"] == 4
+
+    def test_without_run_detaches_and_compares_equal(self):
+        from repro.analysis.sweeps import measure
+
+        m = measure("lapack", 16, 96)
+        bare = m.without_run()
+        assert bare.run is None
+        assert bare == m  # run is excluded from equality
+
+
+class TestParallelSchema:
+    def test_pxpotrf_measurement_fields(self):
+        from repro.matrices.generators import random_spd
+        from repro.parallel.pxpotrf import pxpotrf
+
+        res = pxpotrf(random_spd(16, seed=0), 4, 4)
+        m = res.measurement
+        assert m.algorithm == "pxpotrf"
+        assert m.layout == "block-cyclic"
+        assert (m.P, m.block, m.M) == (4, 4, None)
+        assert m.words == res.critical_words
+        assert m.messages == res.critical_messages
+        assert m.flops == res.max_flops
+
+    def test_measure_parallel(self):
+        from repro.analysis.sweeps import measure_parallel
+
+        m = measure_parallel(16, 4, 4, seed=3)
+        assert m.correct
+        assert m.seed == 3
+        assert m.words > 0 and m.messages > 0 and m.flops > 0
+
+
+class TestMeasurementSerialization:
+    def test_dict_round_trip(self):
+        from repro.analysis.sweeps import measure
+
+        m = measure("lapack", 16, 96, block=4)
+        rebuilt = Measurement.from_dict(m.to_dict())
+        assert rebuilt == m
+        assert rebuilt.run is None
+
+    def test_positional_construction_still_works(self):
+        """The original ten-field positional shape is preserved."""
+        m = Measurement("a", "column-major", 4, 48, 10, 2, 8, 2, 30, True)
+        assert (m.words, m.messages, m.flops) == (10, 2, 30)
+        assert m.P is None and m.seed is None
+
+    def test_freeze_params_order_independent(self):
+        assert freeze_params({"b": 1, "a": 2}) == freeze_params(
+            [("a", 2), ("b", 1)]
+        )
+
+
+class TestBackCompatImports:
+    def test_measurement_importable_from_sweeps(self):
+        from repro.analysis.sweeps import Measurement as SweepsMeasurement
+
+        assert SweepsMeasurement is Measurement
+
+    def test_top_level_exports(self):
+        import repro
+
+        for name in (
+            "Measurement",
+            "RunResult",
+            "ExperimentSpec",
+            "ExperimentEngine",
+            "ResultCache",
+            "run_experiment",
+        ):
+            assert getattr(repro, name) is not None
+            assert name in repro.__all__

@@ -1,0 +1,113 @@
+"""Spec expansion, per-point seed derivation, and point identity."""
+
+import pytest
+
+from repro.experiments import ExperimentSpec, SpecPoint, derive_seed
+
+
+class TestGridExpansion:
+    def test_full_product(self):
+        spec = ExperimentSpec.sequential(
+            "g",
+            algorithms=["naive-left", "lapack"],
+            layouts=["column-major", "morton"],
+            ns=[8, 16],
+            Ms=[64],
+        )
+        assert len(spec) == 2 * 2 * 2 * 1
+        assert all(p.kind == "sequential" for p in spec.points)
+
+    def test_param_grid_is_extra_dimension(self):
+        spec = ExperimentSpec.sequential(
+            "g",
+            algorithms=["lapack"],
+            ns=[32],
+            Ms=[192],
+            param_grid={"block": [2, 4, 8]},
+        )
+        assert len(spec) == 3
+        assert [dict(p.params)["block"] for p in spec.points] == [2, 4, 8]
+
+    def test_expansion_is_deterministic(self):
+        make = lambda: ExperimentSpec.sequential(
+            "g", algorithms=["lapack"], ns=[8, 16], Ms=[48, 96]
+        )
+        assert make().points == make().points
+
+    def test_parallel_configs(self):
+        spec = ExperimentSpec.parallel("p", [(16, 4, 4), (32, 8, 16)])
+        assert len(spec) == 2
+        pt = spec.points[1]
+        assert pt.kind == "parallel"
+        assert (pt.n, pt.block, pt.P) == (32, 8, 16)
+        assert pt.M is None
+
+    def test_from_cases_respects_explicit_seed(self):
+        spec = ExperimentSpec.from_cases(
+            "c",
+            [
+                {"algorithm": "lapack", "n": 16, "M": 48, "seed": 7},
+                {"algorithm": "lapack", "n": 32, "M": 48},
+            ],
+        )
+        assert spec.points[0].seed == 7
+        assert spec.points[1].seed != 7  # derived, not the default 0
+
+
+class TestSeedPlumbing:
+    def test_points_get_distinct_seeds(self):
+        """The old behaviour — every point silently on seed=0 — is gone."""
+        spec = ExperimentSpec.sequential(
+            "g", algorithms=["naive-left"], ns=[8, 16, 32], Ms=[64, 128]
+        )
+        seeds = [p.seed for p in spec.points]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_root_seed_changes_every_point(self):
+        a = ExperimentSpec.sequential("g", algorithms=["lapack"], ns=[8], Ms=[48])
+        b = ExperimentSpec.sequential(
+            "g", algorithms=["lapack"], ns=[8], Ms=[48], seed=1
+        )
+        assert a.points[0].seed != b.points[0].seed
+
+    def test_derive_seed_deterministic_and_32bit(self):
+        s1 = derive_seed(0, "lapack", 128, 768)
+        s2 = derive_seed(0, "lapack", 128, 768)
+        assert s1 == s2
+        assert 0 <= s1 < 2**32
+        assert derive_seed(0, "lapack", 128, 769) != s1
+
+
+class TestPointIdentity:
+    def test_key_stable_for_equal_points(self):
+        mk = lambda: SpecPoint(
+            kind="sequential", algorithm="lapack", layout="blocked",
+            n=64, M=192, seed=3, params=(("block", 8),),
+        )
+        assert mk().key() == mk().key()
+
+    def test_key_changes_with_any_field(self):
+        base = SpecPoint(
+            kind="sequential", algorithm="lapack", layout="column-major",
+            n=64, M=192, seed=3,
+        )
+        import dataclasses
+
+        for change in (
+            {"n": 65}, {"M": 193}, {"seed": 4},
+            {"params": (("block", 2),)}, {"verify": False},
+        ):
+            assert dataclasses.replace(base, **change).key() != base.key()
+
+    def test_dict_round_trip(self):
+        pt = SpecPoint(
+            kind="parallel", algorithm="pxpotrf", layout="block-cyclic",
+            n=64, P=16, block=8, seed=11,
+        )
+        assert SpecPoint.from_dict(pt.to_dict()) == pt
+
+    def test_points_are_hashable_and_picklable(self):
+        import pickle
+
+        pt = ExperimentSpec.parallel("p", [(16, 4, 4)]).points[0]
+        assert hash(pt) == hash(pickle.loads(pickle.dumps(pt)))

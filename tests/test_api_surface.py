@@ -25,6 +25,7 @@ PACKAGES = [
     "repro.reduction",
     "repro.bounds",
     "repro.analysis",
+    "repro.experiments",
 ]
 
 
@@ -74,6 +75,9 @@ def test_top_level_quickstart_names():
     for name in (
         "SequentialMachine", "TrackedMatrix", "make_layout",
         "random_spd", "run_algorithm",
+        "Measurement", "RunResult",
+        "ExperimentSpec", "ExperimentEngine", "ResultCache",
+        "run_experiment",
     ):
         assert name in repro.__all__
 
