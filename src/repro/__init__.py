@@ -43,7 +43,8 @@ operands), ``sequential`` (Algorithms 2–8), ``parallel`` (network
 simulator + Algorithm 9), ``starred``/``reduction`` (Table 3 +
 Algorithm 1), ``bounds`` (Theorems 1–3, Corollaries 2.3/2.4/3.2),
 ``analysis`` (stability, sweeps, reports), ``experiments`` (the
-parallel cached experiment engine).
+parallel cached experiment engine), ``observability`` (phase spans,
+metrics, Chrome-trace export — ``repro trace`` on the command line).
 """
 
 from repro.machine import (
@@ -76,6 +77,13 @@ from repro.experiments import (
     ExperimentSpec,
     ResultCache,
     run_experiment,
+)
+from repro.observability import (
+    METRICS,
+    SpanProfile,
+    observe,
+    phase_report,
+    write_chrome_trace,
 )
 
 __version__ = "0.1.0"
@@ -111,5 +119,10 @@ __all__ = [
     "ExperimentEngine",
     "ResultCache",
     "run_experiment",
+    "observe",
+    "SpanProfile",
+    "METRICS",
+    "phase_report",
+    "write_chrome_trace",
     "__version__",
 ]

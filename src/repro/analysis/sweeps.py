@@ -27,6 +27,8 @@ from repro.layouts.registry import make_layout
 from repro.machine.core import SequentialMachine
 from repro.matrices.generators import random_spd
 from repro.matrices.tracked import TrackedMatrix
+from repro.observability.metrics import publish_run
+from repro.observability.spans import observe as attach_spans
 from repro.parallel.pxpotrf import pxpotrf
 from repro.results import Measurement, freeze_params
 from repro.sequential.registry import run_algorithm
@@ -50,6 +52,7 @@ def measure(
     layout_block: int | None = None,
     seed: int = 0,
     verify: bool = True,
+    observe: bool = False,
     **params,
 ) -> Measurement:
     """Run one sequential configuration and collect its counters.
@@ -60,8 +63,15 @@ def measure(
     measurement.  The returned measurement carries the live
     :class:`~repro.results.RunResult` (factor + machine handle) in its
     ``run`` field.
+
+    ``observe=True`` attaches a span recorder to the machine before
+    the run: the measurement's ``profile`` field then carries the
+    phase-attribution tree (spans are read-only snapshots of the
+    counters, so every count is identical either way).
     """
     machine = SequentialMachine(M)
+    if observe:
+        attach_spans(machine, name=algorithm)
     if layout == "blocked" and layout_block is None:
         layout_block = params.get("block") or max(1, int(np.sqrt(M // 3)))
     lay = make_layout(layout, n, block=layout_block)
@@ -77,6 +87,14 @@ def measure(
     recorded = dict(params)
     if layout_block is not None:
         recorded["layout_block"] = layout_block
+    publish_run(
+        kind="sequential",
+        algorithm=algorithm,
+        words=lvl.words,
+        messages=lvl.messages,
+        flops=machine.flops,
+    )
+    span_tree = machine.profiler.profile() if observe else None
     return Measurement(
         algorithm=algorithm,
         layout=lay.name,
@@ -91,6 +109,7 @@ def measure(
         seed=seed,
         params=freeze_params(recorded),
         run=L,
+        profile=None if span_tree is None else span_tree.to_dict(),
     )
 
 
@@ -101,6 +120,7 @@ def measure_parallel(
     *,
     seed: int = 0,
     verify: bool = True,
+    observe: bool = False,
 ) -> Measurement:
     """Run one PxPOTRF configuration; report it in the unified schema.
 
@@ -108,13 +128,23 @@ def measure_parallel(
     the max per-processor work — the Table 2 quantities — exposed
     through the same :class:`~repro.results.Measurement` fields the
     sequential path uses, with ``P`` and ``block`` filled in.
+    ``observe=True`` records per-panel spans into the measurement's
+    ``profile`` field (counts are unchanged).
     """
     a0 = random_spd(n, seed=seed)
-    res = pxpotrf(a0, block, P)
+    res = pxpotrf(a0, block, P, observe_spans=observe)
     ok = True
     if verify:
         ok = bool(np.allclose(res.L, np.linalg.cholesky(a0), atol=1e-8))
-    return replace(res.measurement, correct=ok, seed=seed)
+    m = res.measurement
+    publish_run(
+        kind="parallel",
+        algorithm="pxpotrf",
+        words=m.words,
+        messages=m.messages,
+        flops=m.flops,
+    )
+    return replace(m, correct=ok, seed=seed)
 
 
 def _sweep(

@@ -12,7 +12,17 @@ a process pool, and every point is served from the content-addressed
 result cache when its configuration and the code are unchanged
 (``--no-cache`` / ``--cache-dir`` control this).  Each engine run also
 leaves a JSON artifact with per-point wall times under
-``reports/experiments/``.
+``reports/experiments/``.  ``--require-warm`` fails the run if any
+point had to be simulated — CI uses it to assert cache warmness on
+the second pass.
+
+``repro trace`` is the observability subcommand: it runs one
+configuration with span recording on and writes a Chrome
+``trace_event`` JSON (loadable in ``chrome://tracing`` or Perfetto)
+and/or a phase-attribution text report::
+
+    repro trace chol --algorithm blocked_right --n 256 --out trace.json
+    repro trace pxpotrf --n 64 --block 16 --P 4 --out ptrace.json
 """
 
 from __future__ import annotations
@@ -43,7 +53,12 @@ from repro.machine import HierarchicalMachine
 from repro.matrices import TrackedMatrix
 from repro.matrices.generators import random_spd
 from repro.reduction import multiply_via_cholesky_counted
-from repro.sequential import cholesky_flops, lapack_blocked, square_recursive
+from repro.sequential import (
+    available_algorithms,
+    cholesky_flops,
+    lapack_blocked,
+    square_recursive,
+)
 
 
 def report_table1(
@@ -195,11 +210,147 @@ EXPERIMENTS: Dict[str, Callable[..., ReportWriter]] = {
     "multilevel": report_multilevel,
 }
 
+#: Friendly spellings accepted by ``repro trace --algorithm`` on top of
+#: the registry names (underscores normalize to dashes first).
+ALGORITHM_ALIASES: Dict[str, str] = {
+    "blocked-right": "lapack-right",
+    "lapack-blocked": "lapack",
+    "blocked": "lapack",
+    "naive": "naive-left",
+    "recursive": "square-recursive",
+    "ap00": "square-recursive",
+}
+
+
+def normalize_algorithm(name: str) -> str:
+    """Map a CLI algorithm spelling onto a registry name.
+
+    Underscores become dashes (``blocked_right`` → ``blocked-right``)
+    and the :data:`ALGORITHM_ALIASES` table resolves the common
+    shorthands; unknown names pass through for the registry to reject
+    with its own message.
+    """
+    key = name.strip().lower().replace("_", "-")
+    return ALGORITHM_ALIASES.get(key, key)
+
+
+def trace_main(argv: "list[str]") -> int:
+    """``repro trace``: one observed run → Chrome trace / phase report."""
+    import math as _math
+    import os
+
+    from repro.analysis.sweeps import measure
+    from repro.matrices.generators import random_spd
+    from repro.observability import (
+        SpanProfile,
+        phase_report,
+        write_chrome_trace,
+    )
+    from repro.parallel.pxpotrf import pxpotrf
+    from repro.parallel.summa import summa
+
+    parser = argparse.ArgumentParser(
+        prog="repro trace",
+        description="Run one configuration with phase spans recorded and "
+        "export a Chrome trace_event JSON and/or a phase report.",
+    )
+    parser.add_argument(
+        "target",
+        choices=("chol", "pxpotrf", "summa"),
+        help="what to trace: a sequential Cholesky ('chol'), the "
+        "parallel PxPOTRF, or the SUMMA baseline",
+    )
+    parser.add_argument(
+        "--algorithm",
+        default="lapack",
+        metavar="NAME",
+        help="sequential algorithm (chol only); registry names plus "
+        "aliases like 'blocked_right' (default: lapack)",
+    )
+    parser.add_argument("--n", type=int, default=128, help="matrix dimension")
+    parser.add_argument(
+        "--M", type=int, default=None,
+        help="fast-memory words (chol only; default: 3*n)",
+    )
+    parser.add_argument(
+        "--layout", default="column-major", help="storage layout (chol only)"
+    )
+    parser.add_argument(
+        "--block", type=int, default=None,
+        help="distribution block size (parallel; default: n/sqrt(P))",
+    )
+    parser.add_argument(
+        "--P", type=int, default=4,
+        help="processors, a perfect square (parallel; default: 4)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="input matrix seed")
+    parser.add_argument(
+        "--out", metavar="FILE", default=None,
+        help="write the Chrome trace_event JSON here",
+    )
+    parser.add_argument(
+        "--report", action="store_true",
+        help="print the phase-attribution report to stdout",
+    )
+    args = parser.parse_args(argv)
+
+    if args.target == "chol":
+        algorithm = normalize_algorithm(args.algorithm)
+        if algorithm not in available_algorithms():
+            parser.error(
+                f"unknown algorithm {args.algorithm!r}; "
+                f"available: {', '.join(available_algorithms())}"
+            )
+        M = args.M if args.M is not None else 3 * args.n
+        m = measure(
+            algorithm,
+            args.n,
+            M,
+            layout=args.layout,
+            seed=args.seed,
+            observe=True,
+        )
+        profile = SpanProfile.from_dict(m.profile)
+        words, messages = m.words, m.messages
+    else:
+        root = _math.isqrt(args.P)
+        if root * root != args.P:
+            parser.error(f"--P must be a perfect square, got {args.P}")
+        block = args.block if args.block is not None else max(1, args.n // root)
+        a0 = random_spd(args.n, seed=args.seed)
+        if args.target == "pxpotrf":
+            res = pxpotrf(a0, block, args.P, observe_spans=True)
+        else:
+            rng = np.random.default_rng(args.seed + 1)
+            res = summa(
+                a0, rng.standard_normal((args.n, args.n)), block, args.P,
+                observe_spans=True,
+            )
+        profile = res.profile
+        words, messages = res.critical_words, res.critical_messages
+
+    if args.out:
+        path = write_chrome_trace(profile, args.out)
+        print(f"[trace] {os.path.abspath(path)}", file=sys.stderr)
+    if args.report or not args.out:
+        print(phase_report(profile))
+    print(
+        f"[trace] {args.target}: {words} words, {messages} messages, "
+        f"{sum(1 for _ in profile.walk())} spans",
+        file=sys.stderr,
+    )
+    return 0
+
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "trace":
+        return trace_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-reports",
-        description="Regenerate the paper's tables from (cached) simulations.",
+        description="Regenerate the paper's tables from (cached) simulations. "
+        "Use 'repro trace ...' for the observability subcommand.",
     )
     parser.add_argument(
         "experiments",
@@ -229,7 +380,15 @@ def main(argv: list[str] | None = None) -> int:
         help="result cache location (default: $REPRO_CACHE_DIR or "
         ".repro-cache at the repo root)",
     )
+    parser.add_argument(
+        "--require-warm",
+        action="store_true",
+        help="fail (exit 1) if any sweep point missed the result cache "
+        "— asserts a previous run already warmed it",
+    )
     args = parser.parse_args(argv)
+    if args.require_warm and args.no_cache:
+        parser.error("--require-warm contradicts --no-cache")
     unknown = [e for e in args.experiments if e != "all" and e not in EXPERIMENTS]
     if unknown:
         parser.error(
@@ -258,6 +417,15 @@ def main(argv: list[str] | None = None) -> int:
         print(f"[saved] {path}", file=sys.stderr)
     if engine.results:
         print(engine.summary(), file=sys.stderr)
+    if args.require_warm:
+        misses = sum(r.cache_misses for r in engine.results)
+        if misses:
+            print(
+                f"[engine] --require-warm: {misses} point(s) missed the "
+                "cache",
+                file=sys.stderr,
+            )
+            return 1
     return 0
 
 

@@ -33,6 +33,7 @@ import time
 from functools import lru_cache
 
 from repro.experiments.spec import SpecPoint
+from repro.observability.metrics import METRICS
 
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
@@ -121,8 +122,10 @@ class ResultCache:
                 raise ValueError("malformed cache entry")
         except (OSError, ValueError):
             self.misses += 1
+            METRICS.counter("repro_cache_lookups_total", result="miss").inc()
             return None
         self.hits += 1
+        METRICS.counter("repro_cache_lookups_total", result="hit").inc()
         return entry
 
     def put(self, point: SpecPoint, measurement, wall_time: float) -> str:

@@ -34,6 +34,7 @@ from typing import Callable, Optional
 
 from repro.experiments.cache import ResultCache, code_version
 from repro.experiments.spec import PARALLEL, ExperimentSpec, SpecPoint
+from repro.observability.metrics import METRICS
 from repro.results import Measurement
 
 ProgressFn = Callable[[int, int, "PointResult"], None]
@@ -53,7 +54,12 @@ def execute_point(point: SpecPoint) -> "tuple[Measurement, float]":
     t0 = time.perf_counter()
     if point.kind == PARALLEL:
         m = measure_parallel(
-            point.n, point.block, point.P, seed=point.seed, verify=point.verify
+            point.n,
+            point.block,
+            point.P,
+            seed=point.seed,
+            verify=point.verify,
+            observe=point.observe,
         )
     else:
         kwargs = dict(point.params)
@@ -66,6 +72,7 @@ def execute_point(point: SpecPoint) -> "tuple[Measurement, float]":
             layout_block=layout_block,
             seed=point.seed,
             verify=point.verify,
+            observe=point.observe,
             **kwargs,
         )
     return m.without_run(), time.perf_counter() - t0
@@ -208,6 +215,7 @@ class ExperimentEngine:
                     continue
                 out[i] = PointResult(pt, m, float(entry.get("wall_time", 0.0)), True)
                 done += 1
+                METRICS.counter("repro_engine_points_total", source="cache").inc()
                 self._notify(done, total, out[i], spec.name)
             else:
                 pending.append((i, pt))
@@ -218,6 +226,8 @@ class ExperimentEngine:
                 self.cache.put(pt, m.to_dict(), dt)
             out[i] = PointResult(pt, m, dt, False)
             done += 1
+            METRICS.counter("repro_engine_points_total", source="computed").inc()
+            METRICS.histogram("repro_point_wall_seconds", kind=pt.kind).observe(dt)
             self._notify(done, total, out[i], spec.name)
 
         if pending and self.jobs > 1 and len(pending) > 1:

@@ -63,6 +63,10 @@ class SpecPoint:
     P: int | None = None
     block: int | None = None
     params: tuple = ()
+    #: Record a phase-span profile alongside the counters.  Part of
+    #: the cache key: an observed and an unobserved run store
+    #: different payloads (the former carries the span tree).
+    observe: bool = False
 
     def to_dict(self) -> dict:
         """JSON-ready canonical dict (the cache-key input)."""
@@ -77,6 +81,7 @@ class SpecPoint:
             "P": None if self.P is None else int(self.P),
             "block": None if self.block is None else int(self.block),
             "params": [[k, v] for k, v in self.params],
+            "observe": bool(self.observe),
         }
 
     @classmethod
@@ -93,6 +98,7 @@ class SpecPoint:
             P=None if d.get("P") is None else int(d["P"]),
             block=None if d.get("block") is None else int(d["block"]),
             params=tuple((str(k), v) for k, v in (d.get("params") or ())),
+            observe=bool(d.get("observe", False)),
         )
 
     def key(self) -> str:
@@ -138,6 +144,7 @@ class ExperimentSpec:
         param_grid: Mapping[str, Sequence[Any]] | None = None,
         seed: int = 0,
         verify: bool = True,
+        observe: bool = False,
     ) -> "ExperimentSpec":
         """Cross an algorithm × layout × n × M (× param) grid.
 
@@ -145,6 +152,8 @@ class ExperimentSpec:
         ``param_grid`` maps parameter names to value sequences and is
         expanded as an extra cross-product dimension (e.g.
         ``{"block": [4, 16, 64]}`` for a block-size sweep).
+        ``observe=True`` records a phase-span profile for every point
+        (stored in the artifact next to the counters).
         """
         base = dict(params or {})
         grid_names = sorted(param_grid or {})
@@ -164,6 +173,7 @@ class ExperimentSpec:
                         M=int(M),
                         params=frozen,
                         verify=verify,
+                        observe=observe,
                         seed=derive_seed(seed, algo, layout, n, M, frozen),
                     )
                 )
@@ -177,13 +187,14 @@ class ExperimentSpec:
         *,
         seed: int = 0,
         verify: bool = True,
+        observe: bool = False,
     ) -> "ExperimentSpec":
         """Build a spec from explicit case dicts (census-style lists).
 
         Each case needs ``algorithm``, ``n`` and either ``M`` (+
         optional ``layout``/``params``) for a sequential point or
         ``P`` + ``block`` for a parallel one.  A case may pin its own
-        ``seed``; otherwise one is derived from the spec's root seed.
+        ``seed`` or ``observe``; otherwise the spec-wide values apply.
         """
         pts = []
         for case in cases:
@@ -191,6 +202,7 @@ class ExperimentSpec:
             n = int(case["n"])
             explicit = case.get("seed")
             vfy = bool(case.get("verify", verify))
+            obs = bool(case.get("observe", observe))
             if case.get("P") is not None:
                 P, block = int(case["P"]), int(case["block"])
                 pts.append(
@@ -202,6 +214,7 @@ class ExperimentSpec:
                         P=P,
                         block=block,
                         verify=vfy,
+                        observe=obs,
                         seed=_point_seed(seed, explicit, algo, n, block, P),
                     )
                 )
@@ -218,6 +231,7 @@ class ExperimentSpec:
                         M=M,
                         params=frozen,
                         verify=vfy,
+                        observe=obs,
                         seed=_point_seed(seed, explicit, algo, layout, n, M, frozen),
                     )
                 )
@@ -231,13 +245,16 @@ class ExperimentSpec:
         *,
         seed: int = 0,
         verify: bool = True,
+        observe: bool = False,
     ) -> "ExperimentSpec":
         """Spec over PxPOTRF configurations ``(n, block, P)``."""
         cases = [
             {"algorithm": "pxpotrf", "n": n, "block": b, "P": P}
             for n, b, P in configs
         ]
-        return cls.from_cases(name, cases, seed=seed, verify=verify)
+        return cls.from_cases(
+            name, cases, seed=seed, verify=verify, observe=observe
+        )
 
     def to_dict(self) -> dict:
         """JSON-ready dict (used by the engine's artifact output)."""

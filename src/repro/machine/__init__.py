@@ -35,7 +35,13 @@ from repro.machine.core import (
 )
 from repro.machine.lru import LRUCache
 from repro.machine.stack_distance import StackDistanceAnalyzer
-from repro.machine.tracing import MachineTrace, ReadEvent, ScopeEvent, WriteEvent
+from repro.machine.tracing import (
+    MachineTrace,
+    ReadEvent,
+    ScopeEvent,
+    TraceOverflow,
+    WriteEvent,
+)
 
 __all__ = [
     "CommCounters",
@@ -50,4 +56,5 @@ __all__ = [
     "ReadEvent",
     "WriteEvent",
     "ScopeEvent",
+    "TraceOverflow",
 ]

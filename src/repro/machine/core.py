@@ -46,6 +46,7 @@ from typing import Iterator, Sequence
 
 from repro.machine.counters import CommCounters, MemoryLevel
 from repro.machine.tracing import MachineTrace, ReadEvent, ScopeEvent, WriteEvent
+from repro.observability.spans import NULL_PROFILER
 from repro.util.intervals import IntervalSet
 from repro.util.validation import check_positive_int
 
@@ -95,6 +96,11 @@ class HierarchicalMachine:
     record_trace:
         If true, every transfer and scope is appended to
         :attr:`trace` for inspection.
+    trace_max_events:
+        Optional cap on recorded trace events: past it the trace
+        stops growing and counts dropped events behind an explicit
+        overflow marker (see :class:`~repro.machine.tracing.MachineTrace`).
+        ``None`` (default) keeps the historical unbounded behaviour.
     """
 
     def __init__(
@@ -103,6 +109,7 @@ class HierarchicalMachine:
         *,
         enforce_capacity: bool = True,
         record_trace: bool = False,
+        trace_max_events: int | None = None,
     ) -> None:
         caps = [check_positive_int("capacity", c) for c in capacities]
         if not caps:
@@ -118,7 +125,12 @@ class HierarchicalMachine:
         self.enforce_capacity = bool(enforce_capacity)
         self.flops: int = 0
         self.resident: IntervalSet = IntervalSet()
-        self.trace: MachineTrace | None = MachineTrace() if record_trace else None
+        self.trace: MachineTrace | None = (
+            MachineTrace(max_events=trace_max_events) if record_trace else None
+        )
+        #: Phase-span recorder; the shared no-op unless
+        #: :func:`repro.observability.observe` attaches a live one.
+        self.profiler = NULL_PROFILER
         self._scope_depth: int = 0
         self._next_base: int = 0
 
@@ -318,7 +330,7 @@ class HierarchicalMachine:
         self.resident = IntervalSet()
         self._scope_depth = 0
         if self.trace is not None:
-            self.trace = MachineTrace()
+            self.trace = MachineTrace(max_events=self.trace.max_events)
 
     def bandwidth_cost(self, betas: Sequence[float]) -> float:
         """Weighted bandwidth cost ``Σ β_i · words_i`` — the measured
@@ -371,9 +383,11 @@ class SequentialMachine(HierarchicalMachine):
         *,
         enforce_capacity: bool = True,
         record_trace: bool = False,
+        trace_max_events: int | None = None,
     ) -> None:
         super().__init__(
             [M],
             enforce_capacity=enforce_capacity,
             record_trace=record_trace,
+            trace_max_events=trace_max_events,
         )

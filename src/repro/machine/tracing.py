@@ -55,18 +55,64 @@ class ScopeEvent:
         return self.footprint.words
 
 
-Event = ReadEvent | WriteEvent | ScopeEvent
+@dataclass
+class TraceOverflow:
+    """Marker standing in for events dropped past ``max_events``.
+
+    Appended once, in place, when a capped trace fills up; ``dropped``
+    then counts every event that would have followed.  Transfer
+    iteration (:meth:`MachineTrace.transfers`) skips it, so consumers
+    of the *recorded* prefix keep working — but an overflowed trace is
+    no longer the complete address stream, which
+    :meth:`MachineTrace.address_stream` callers (the LRU
+    cross-validator) must check via :attr:`MachineTrace.dropped`.
+    """
+
+    dropped: int = 0
+
+
+Event = ReadEvent | WriteEvent | ScopeEvent | TraceOverflow
 
 
 @dataclass
 class MachineTrace:
-    """Append-only record of machine events."""
+    """Record of machine events, optionally capped.
+
+    ``max_events`` bounds memory: a long run with tracing enabled
+    historically grew the event list without limit.  With a cap, the
+    first ``max_events`` events are kept verbatim, then a single
+    :class:`TraceOverflow` marker absorbs (and counts) the rest.
+    """
 
     events: List[Event] = field(default_factory=list)
+    max_events: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_events is not None and self.max_events < 1:
+            raise ValueError(
+                f"max_events must be >= 1 or None, got {self.max_events}"
+            )
+        self._overflow: TraceOverflow | None = None
 
     def append(self, event: Event) -> None:
-        """Record one event."""
+        """Record one event (or count it as dropped past the cap)."""
+        if self.max_events is not None and len(self.events) >= self.max_events:
+            if self._overflow is None:
+                self._overflow = TraceOverflow()
+                self.events.append(self._overflow)
+            self._overflow.dropped += 1
+            return
         self.events.append(event)
+
+    def clear(self) -> None:
+        """Drop all recorded events (reuse the trace between phases)."""
+        self.events.clear()
+        self._overflow = None
+
+    @property
+    def dropped(self) -> int:
+        """How many events were dropped past ``max_events`` (0 if none)."""
+        return 0 if self._overflow is None else self._overflow.dropped
 
     def __len__(self) -> int:
         return len(self.events)

@@ -1,0 +1,79 @@
+"""Unified observability: phase spans, metrics and trace exporters.
+
+The paper's whole evaluation is counts — words and messages per memory
+boundary — and this package makes those counts *attributable* and
+*exportable* instead of scattered:
+
+``repro.observability.spans``
+    Nestable, named phase spans (``with prof.span("panel", j=k):``)
+    that snapshot communication-counter deltas on entry/exit, so every
+    word/message/flop is attributed to a phase path like
+    ``chol/chol[1]/syrk``.  Zero-cost when disabled: machines and
+    networks default to :data:`NULL_PROFILER`.
+
+``repro.observability.metrics``
+    A process-wide registry of labeled counters, gauges and histograms
+    (:data:`METRICS`) fed by the machine, the experiment engine and
+    the result cache, with Prometheus-style text and JSON dumps.
+
+``repro.observability.export``
+    Chrome ``trace_event`` JSON (loadable in ``chrome://tracing`` /
+    Perfetto) and plain-text phase-attribution reports.
+
+Typical use::
+
+    from repro.observability import observe, write_chrome_trace
+
+    machine = SequentialMachine(M)
+    recorder = observe(machine)
+    run_algorithm("square-recursive", TrackedMatrix(a, layout, machine))
+    profile = recorder.profile()
+    assert profile.leaf_total("words") == machine.counters.words
+    write_chrome_trace(profile, "trace.json")
+"""
+
+from repro.observability.export import (
+    chrome_trace_events,
+    phase_report,
+    phase_totals,
+    write_chrome_trace,
+)
+from repro.observability.metrics import (
+    METRICS,
+    CounterMetric,
+    GaugeMetric,
+    HistogramMetric,
+    MetricsError,
+    MetricsRegistry,
+    publish_machine,
+    publish_run,
+)
+from repro.observability.spans import (
+    COUNTER_FIELDS,
+    NULL_PROFILER,
+    NullProfiler,
+    SpanProfile,
+    SpanRecorder,
+    observe,
+)
+
+__all__ = [
+    "COUNTER_FIELDS",
+    "METRICS",
+    "NULL_PROFILER",
+    "CounterMetric",
+    "GaugeMetric",
+    "HistogramMetric",
+    "MetricsError",
+    "MetricsRegistry",
+    "NullProfiler",
+    "SpanProfile",
+    "SpanRecorder",
+    "chrome_trace_events",
+    "observe",
+    "phase_report",
+    "phase_totals",
+    "publish_machine",
+    "publish_run",
+    "write_chrome_trace",
+]

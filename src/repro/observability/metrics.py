@@ -1,0 +1,299 @@
+"""Process-wide metrics: labeled counters, gauges and histograms.
+
+One registry serves the whole process (:data:`METRICS`), the way a
+production service would run a single metrics endpoint: the machine
+publishes its per-level counters, the experiment engine its cache
+hits/misses and per-point wall times, the result cache its lookup
+outcomes.  Consumers read :meth:`MetricsRegistry.render_text` (a
+Prometheus-style exposition) or :meth:`MetricsRegistry.to_dict`
+(JSON-ready).
+
+Metric names used by the library (all under the ``repro_`` prefix):
+
+====================================  =========  =============================
+name                                  type       labels
+====================================  =========  =============================
+``repro_runs_total``                  counter    ``kind``, ``algorithm``
+``repro_run_words_total``             counter    ``kind``, ``algorithm``
+``repro_run_messages_total``          counter    ``kind``, ``algorithm``
+``repro_run_flops_total``             counter    ``kind``, ``algorithm``
+``repro_cache_lookups_total``         counter    ``result`` (hit/miss)
+``repro_engine_points_total``         counter    ``source`` (cache/computed)
+``repro_point_wall_seconds``          histogram  ``kind``
+``repro_machine_words``               gauge      ``level``
+``repro_machine_messages``            gauge      ``level``
+``repro_machine_peak_resident``       gauge      ``level``
+``repro_machine_flops``               gauge      —
+====================================  =========  =============================
+
+Instruments are cheap (one dict lookup + integer add) but they are
+*not* on the per-transfer hot path: the simulators publish once per
+run, never per word.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+#: Default histogram bucket upper bounds (seconds-flavored).
+DEFAULT_BUCKETS = (0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10.0, 60.0)
+
+
+class MetricsError(ValueError):
+    """Misuse of the registry (type conflict, bad increment, ...)."""
+
+
+def _freeze_labels(labels: Mapping[str, Any]) -> tuple:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class CounterMetric:
+    """A monotonically increasing count for one label set."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise MetricsError(f"counter increment must be >= 0, got {amount}")
+        self.value += amount
+
+
+class GaugeMetric:
+    """A point-in-time value for one label set (set, not accumulated)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float | int = 0
+
+    def set(self, value: int | float) -> None:
+        """Record the current value."""
+        self.value = value
+
+
+class HistogramMetric:
+    """A distribution summary: count/sum/min/max plus bucket counts."""
+
+    __slots__ = ("buckets", "bucket_counts", "count", "total", "min", "max")
+
+    def __init__(self, buckets: "tuple[float, ...]" = DEFAULT_BUCKETS) -> None:
+        self.buckets = tuple(sorted(buckets))
+        self.bucket_counts = [0] * (len(self.buckets) + 1)  # +1 = +Inf
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def observe(self, value: int | float) -> None:
+        """Record one sample."""
+        v = float(value)
+        self.count += 1
+        self.total += v
+        self.min = v if self.min is None else min(self.min, v)
+        self.max = v if self.max is None else max(self.max, v)
+        for i, bound in enumerate(self.buckets):
+            if v <= bound:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        """Average of the recorded samples (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Named, labeled instrument store with text and JSON dumps.
+
+    ``counter``/``gauge``/``histogram`` return the instrument for a
+    (name, labels) pair, creating it on first use; re-using a name
+    with a different instrument type raises :class:`MetricsError`.
+    """
+
+    _TYPES = {
+        "counter": CounterMetric,
+        "gauge": GaugeMetric,
+        "histogram": HistogramMetric,
+    }
+
+    def __init__(self) -> None:
+        # name -> {"type": str, "series": {labels_tuple: instrument}}
+        self._metrics: "dict[str, dict]" = {}
+
+    def _series(self, kind: str, name: str, labels: Mapping[str, Any], **kw):
+        entry = self._metrics.get(name)
+        if entry is None:
+            entry = {"type": kind, "series": {}}
+            self._metrics[name] = entry
+        elif entry["type"] != kind:
+            raise MetricsError(
+                f"metric {name!r} already registered as {entry['type']}, "
+                f"requested as {kind}"
+            )
+        key = _freeze_labels(labels)
+        inst = entry["series"].get(key)
+        if inst is None:
+            inst = self._TYPES[kind](**kw)
+            entry["series"][key] = inst
+        return inst
+
+    def counter(self, name: str, **labels: Any) -> CounterMetric:
+        """The counter for ``name`` with this label set."""
+        return self._series("counter", name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> GaugeMetric:
+        """The gauge for ``name`` with this label set."""
+        return self._series("gauge", name, labels)
+
+    def histogram(
+        self,
+        name: str,
+        *,
+        buckets: "Iterable[float] | None" = None,
+        **labels: Any,
+    ) -> HistogramMetric:
+        """The histogram for ``name`` with this label set.
+
+        ``buckets`` applies only on first creation of the series.
+        """
+        kw = {} if buckets is None else {"buckets": tuple(buckets)}
+        return self._series("histogram", name, labels, **kw)
+
+    # -- reads -----------------------------------------------------------
+
+    def value(self, name: str, **labels: Any):
+        """Current value of a counter/gauge series, or ``None`` if absent.
+
+        For histograms returns the :class:`HistogramMetric` itself.
+        """
+        entry = self._metrics.get(name)
+        if entry is None:
+            return None
+        inst = entry["series"].get(_freeze_labels(labels))
+        if inst is None:
+            return None
+        return inst if isinstance(inst, HistogramMetric) else inst.value
+
+    def names(self) -> "tuple[str, ...]":
+        """All registered metric names, sorted."""
+        return tuple(sorted(self._metrics))
+
+    def to_dict(self) -> dict:
+        """JSON-ready dump of every series."""
+        out: dict = {}
+        for name in sorted(self._metrics):
+            entry = self._metrics[name]
+            series = []
+            for key in sorted(entry["series"]):
+                inst = entry["series"][key]
+                rec: dict = {"labels": dict(key)}
+                if isinstance(inst, HistogramMetric):
+                    rec.update(
+                        count=inst.count,
+                        sum=inst.total,
+                        min=inst.min,
+                        max=inst.max,
+                        buckets=[
+                            {"le": b, "count": c}
+                            for b, c in zip(
+                                list(inst.buckets) + ["+Inf"],
+                                inst.bucket_counts,
+                            )
+                        ],
+                    )
+                else:
+                    rec["value"] = inst.value
+                series.append(rec)
+            out[name] = {"type": entry["type"], "series": series}
+        return out
+
+    def render_text(self) -> str:
+        """Prometheus-style plain-text exposition of every series."""
+        lines: list[str] = []
+        for name in sorted(self._metrics):
+            entry = self._metrics[name]
+            lines.append(f"# TYPE {name} {entry['type']}")
+            for key in sorted(entry["series"]):
+                inst = entry["series"][key]
+                label_str = (
+                    "{" + ",".join(f'{k}="{v}"' for k, v in key) + "}"
+                    if key
+                    else ""
+                )
+                if isinstance(inst, HistogramMetric):
+                    lines.append(f"{name}_count{label_str} {inst.count}")
+                    lines.append(f"{name}_sum{label_str} {inst.total:.6g}")
+                    for b, c in zip(
+                        list(inst.buckets) + ["+Inf"], inst.bucket_counts
+                    ):
+                        bl = dict(key)
+                        bl["le"] = str(b)
+                        bstr = "{" + ",".join(
+                            f'{k}="{v}"' for k, v in sorted(bl.items())
+                        ) + "}"
+                        lines.append(f"{name}_bucket{bstr} {c}")
+                else:
+                    lines.append(f"{name}{label_str} {inst.value}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def reset(self) -> None:
+        """Drop every registered metric (tests and fresh CLI runs)."""
+        self._metrics.clear()
+
+
+#: The process-wide registry the library publishes into.
+METRICS = MetricsRegistry()
+
+
+def publish_machine(machine, registry: "MetricsRegistry | None" = None) -> None:
+    """Publish a machine's per-level counters as gauges.
+
+    Called at the end of a run (never per transfer); ``registry``
+    defaults to the global :data:`METRICS`.
+    """
+    reg = registry if registry is not None else METRICS
+    for level in machine.levels:
+        reg.gauge("repro_machine_words", level=level.name).set(level.words)
+        reg.gauge("repro_machine_messages", level=level.name).set(
+            level.messages
+        )
+        reg.gauge("repro_machine_peak_resident", level=level.name).set(
+            level.peak_resident
+        )
+    reg.gauge("repro_machine_flops").set(machine.flops)
+
+
+def publish_run(
+    *,
+    kind: str,
+    algorithm: str,
+    words: int,
+    messages: int,
+    flops: int,
+    registry: "MetricsRegistry | None" = None,
+) -> None:
+    """Publish one completed run's headline counts to the registry."""
+    reg = registry if registry is not None else METRICS
+    labels = {"kind": kind, "algorithm": algorithm}
+    reg.counter("repro_runs_total", **labels).inc()
+    reg.counter("repro_run_words_total", **labels).inc(int(words))
+    reg.counter("repro_run_messages_total", **labels).inc(int(messages))
+    reg.counter("repro_run_flops_total", **labels).inc(int(flops))
+
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "METRICS",
+    "CounterMetric",
+    "GaugeMetric",
+    "HistogramMetric",
+    "MetricsError",
+    "MetricsRegistry",
+    "publish_machine",
+    "publish_run",
+]

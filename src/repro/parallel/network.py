@@ -27,6 +27,7 @@ from typing import Any, Dict, Sequence
 
 import numpy as np
 
+from repro.observability.spans import NULL_PROFILER
 from repro.util.validation import check_nonnegative_int, check_positive_int
 
 
@@ -83,6 +84,9 @@ class Network:
         self.beta = float(beta)
         self.gamma = float(gamma)
         self.processors = [Processor(rank=i) for i in range(P)]
+        #: Phase-span recorder; the shared no-op unless
+        #: :func:`repro.observability.observe` attaches a live one.
+        self.profiler = NULL_PROFILER
 
     @property
     def P(self) -> int:

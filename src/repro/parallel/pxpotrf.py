@@ -34,6 +34,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.observability.spans import SpanProfile, observe
 from repro.parallel.blockcyclic import BlockCyclicMatrix
 from repro.parallel.grid import ProcessorGrid
 from repro.parallel.network import Network
@@ -52,6 +53,8 @@ class ParallelRunResult:
     n: int
     block: int
     P: int
+    #: Span tree of the run (``None`` unless ``observe=True``).
+    profile: "SpanProfile | None" = None
 
     @property
     def critical_words(self) -> int:
@@ -100,6 +103,7 @@ class ParallelRunResult:
             correct=True,
             P=self.P,
             block=self.block,
+            profile=None if self.profile is None else self.profile.to_dict(),
         )
 
     @property
@@ -121,6 +125,7 @@ def pxpotrf(
     alpha: float = 1.0,
     beta: float = 1.0,
     gamma: float = 0.0,
+    observe_spans: bool = False,
 ) -> ParallelRunResult:
     """Run Algorithm 9 on a fresh simulated network.
 
@@ -137,6 +142,12 @@ def pxpotrf(
         Per-message, per-word, and per-flop costs of the simulated
         machine (only the critical-path *time* depends on them; the
         word/message counts do not).
+    observe_spans:
+        If true, attach a span recorder to the network and record one
+        ``panel`` span per step with children for each of the five
+        sub-steps; the tree is returned as the result's ``profile``.
+        Counters are read-only snapshots, so the measured counts are
+        identical either way.
 
     Returns a :class:`ParallelRunResult` whose ``L`` satisfies
     ``L·Lᵀ = a``.
@@ -145,6 +156,8 @@ def pxpotrf(
         grid = ProcessorGrid.square(grid)
     check_positive_int("block", block)
     network = Network(grid.size, alpha=alpha, beta=beta, gamma=gamma)
+    recorder = observe(network, name="pxpotrf") if observe_spans else None
+    prof = network.profiler
     dist = BlockCyclicMatrix(a, block, grid, network)
     nb = dist.nblocks
 
@@ -153,86 +166,101 @@ def pxpotrf(
         w = dist.block_dim(J)
         diag_owner = dist.owner(J, J)
 
-        # -- 1. local factorization of the diagonal block --------------
-        owner_proc = network[diag_owner]
-        ljj = dense_cholesky(owner_proc.store[("A", J, J)])
-        owner_proc.store[("A", J, J)] = ljj
-        network.compute(diag_owner, cholesky_flops(w))
+        with prof.span("panel", J=J):
+            # -- 1. local factorization of the diagonal block --------------
+            with prof.span("potf2"):
+                owner_proc = network[diag_owner]
+                ljj = dense_cholesky(owner_proc.store[("A", J, J)])
+                owner_proc.store[("A", J, J)] = ljj
+                network.compute(diag_owner, cholesky_flops(w))
 
-        if J == nb - 1:
-            break  # no trailing work after the last panel
+            if J == nb - 1:
+                break  # no trailing work after the last panel
 
-        # -- 2. broadcast the factor down the owning grid column -------
-        network.broadcast(
-            diag_owner,
-            grid.col_group(jc),
-            words=w * (w + 1) // 2,
-            payload=ljj,
-            key=("diag", J),
-        )
-
-        # -- 3. panel solves + bundled row broadcasts --------------------
-        panel_by_owner: dict[int, list[int]] = defaultdict(list)
-        for I in range(J + 1, nb):
-            panel_by_owner[dist.owner(I, J)].append(I)
-        for rank, rows in sorted(panel_by_owner.items()):
-            proc = network[rank]
-            ljj_local = proc.inbox[("diag", J)]
-            bundle: dict[int, np.ndarray] = {}
-            for I in rows:
-                lij = solve_lower_transposed_right(
-                    proc.store[("A", I, J)], ljj_local
+            # -- 2. broadcast the factor down the owning grid column -------
+            with prof.span("bcast-diag"):
+                network.broadcast(
+                    diag_owner,
+                    grid.col_group(jc),
+                    words=w * (w + 1) // 2,
+                    payload=ljj,
+                    key=("diag", J),
                 )
-                proc.store[("A", I, J)] = lij
-                network.compute(rank, trsm_flops(dist.block_dim(I), w))
-                bundle[I] = lij
-            r = grid.position(rank)[0]
-            network.broadcast(
-                rank,
-                grid.row_group(r),
-                words=sum(v.size for v in bundle.values()),
-                payload=bundle,
-                key=("panelrow", J, r),
-            )
 
-        # -- 4. bundled re-broadcasts down the trailing grid columns -----
-        diag_by_owner: dict[int, list[int]] = defaultdict(list)
-        for l in range(J + 1, nb):
-            diag_by_owner[dist.owner(l, l)].append(l)
-        for rank, diags in sorted(diag_by_owner.items()):
-            proc = network[rank]
-            r, c = grid.position(rank)
-            row_bundle = proc.inbox[("panelrow", J, r)]
-            col_bundle = {l: row_bundle[l] for l in diags}
-            # key includes the source grid row: on non-square grids a
-            # column hosts several diagonal owners (one per grid row)
-            network.broadcast(
-                rank,
-                grid.col_group(c),
-                words=sum(v.size for v in col_bundle.values()),
-                payload=col_bundle,
-                key=("panelcol", J, c, r),
-            )
+            # -- 3. panel solves + bundled row broadcasts --------------------
+            with prof.span("panel-solve"):
+                panel_by_owner: dict[int, list[int]] = defaultdict(list)
+                for I in range(J + 1, nb):
+                    panel_by_owner[dist.owner(I, J)].append(I)
+                for rank, rows in sorted(panel_by_owner.items()):
+                    proc = network[rank]
+                    ljj_local = proc.inbox[("diag", J)]
+                    bundle: dict[int, np.ndarray] = {}
+                    for I in rows:
+                        lij = solve_lower_transposed_right(
+                            proc.store[("A", I, J)], ljj_local
+                        )
+                        proc.store[("A", I, J)] = lij
+                        network.compute(rank, trsm_flops(dist.block_dim(I), w))
+                        bundle[I] = lij
+                    r = grid.position(rank)[0]
+                    network.broadcast(
+                        rank,
+                        grid.row_group(r),
+                        words=sum(v.size for v in bundle.values()),
+                        payload=bundle,
+                        key=("panelrow", J, r),
+                    )
 
-        # -- 5. trailing updates with received panel blocks ---------------
-        for l in range(J + 1, nb):
-            for k in range(l, nb):
-                rank = dist.owner(k, l)
-                proc = network[rank]
-                lkj = proc.inbox[("panelrow", J, grid.position(rank)[0])][k]
-                llj = proc.inbox[
-                    ("panelcol", J, l % grid.cols, l % grid.rows)
-                ][l]
-                proc.store[("A", k, l)] = proc.store[("A", k, l)] - lkj @ llj.T
-                dk, dl = dist.block_dim(k), dist.block_dim(l)
-                if k == l:
-                    network.compute(rank, syrk_flops(dk, w))
-                else:
-                    network.compute(rank, gemm_flops(dk, w, dl))
+            # -- 4. bundled re-broadcasts down the trailing grid columns -----
+            with prof.span("bcast-panel"):
+                diag_by_owner: dict[int, list[int]] = defaultdict(list)
+                for l in range(J + 1, nb):
+                    diag_by_owner[dist.owner(l, l)].append(l)
+                for rank, diags in sorted(diag_by_owner.items()):
+                    proc = network[rank]
+                    r, c = grid.position(rank)
+                    row_bundle = proc.inbox[("panelrow", J, r)]
+                    col_bundle = {l: row_bundle[l] for l in diags}
+                    # key includes the source grid row: on non-square grids a
+                    # column hosts several diagonal owners (one per grid row)
+                    network.broadcast(
+                        rank,
+                        grid.col_group(c),
+                        words=sum(v.size for v in col_bundle.values()),
+                        payload=col_bundle,
+                        key=("panelcol", J, c, r),
+                    )
 
-        network.clear_inboxes()
+            # -- 5. trailing updates with received panel blocks ---------------
+            with prof.span("update"):
+                for l in range(J + 1, nb):
+                    for k in range(l, nb):
+                        rank = dist.owner(k, l)
+                        proc = network[rank]
+                        lkj = proc.inbox[
+                            ("panelrow", J, grid.position(rank)[0])
+                        ][k]
+                        llj = proc.inbox[
+                            ("panelcol", J, l % grid.cols, l % grid.rows)
+                        ][l]
+                        proc.store[("A", k, l)] = (
+                            proc.store[("A", k, l)] - lkj @ llj.T
+                        )
+                        dk, dl = dist.block_dim(k), dist.block_dim(l)
+                        if k == l:
+                            network.compute(rank, syrk_flops(dk, w))
+                        else:
+                            network.compute(rank, gemm_flops(dk, w, dl))
+
+            network.clear_inboxes()
 
     L = dist.gather_lower()
     return ParallelRunResult(
-        L=L, network=network, n=dist.global_n, block=block, P=grid.size
+        L=L,
+        network=network,
+        n=dist.global_n,
+        block=block,
+        P=grid.size,
+        profile=None if recorder is None else recorder.profile(),
     )

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.observability.spans import SpanProfile, observe
 from repro.parallel.grid import ProcessorGrid
 from repro.parallel.network import Network
 from repro.sequential.flops import gemm_flops
@@ -41,6 +42,8 @@ class SummaResult:
     n: int
     block: int
     P: int
+    #: Span tree of the run (``None`` unless ``observe_spans=True``).
+    profile: "SpanProfile | None" = None
 
     @property
     def critical_words(self) -> int:
@@ -67,11 +70,14 @@ def summa(
     *,
     alpha: float = 1.0,
     beta: float = 1.0,
+    observe_spans: bool = False,
 ) -> SummaResult:
     """Multiply two square matrices on a simulated 2D grid.
 
     Parameters mirror :func:`repro.parallel.pxpotrf.pxpotrf`; the
-    result's ``C`` equals ``a @ b`` (verified in the tests).
+    result's ``C`` equals ``a @ b`` (verified in the tests).  With
+    ``observe_spans`` the per-step broadcasts and updates are recorded
+    as a span tree on the result's ``profile``.
     """
     if isinstance(grid, int):
         grid = ProcessorGrid.square(grid)
@@ -82,6 +88,8 @@ def summa(
     if a.shape != (n, n) or b.shape != (n, n):
         raise ValueError(f"need square operands, got {a.shape} and {b.shape}")
     network = Network(grid.size, alpha=alpha, beta=beta)
+    recorder = observe(network, name="summa") if observe_spans else None
+    prof = network.profiler
     nb = ceil_div(n, block)
 
     def brange(k: int) -> tuple[int, int]:
@@ -101,49 +109,56 @@ def summa(
             p.store[("C", bi, bj)] = np.zeros((r1 - r0, c1 - c0))
 
     for K in range(nb):
-        # owners of A's column panel K broadcast along their grid rows
-        a_by_owner: dict[int, list[int]] = defaultdict(list)
-        for bi in range(nb):
-            a_by_owner[owner(bi, K)].append(bi)
-        for rank, rows in sorted(a_by_owner.items()):
-            proc = network[rank]
-            bundle = {bi: proc.store[("A", bi, K)] for bi in rows}
-            r = grid.position(rank)[0]
-            network.broadcast(
-                rank,
-                grid.row_group(r),
-                words=sum(v.size for v in bundle.values()),
-                payload=bundle,
-                key=("Arow", K, r),
-            )
-        # owners of B's row panel K broadcast down their grid columns
-        b_by_owner: dict[int, list[int]] = defaultdict(list)
-        for bj in range(nb):
-            b_by_owner[owner(K, bj)].append(bj)
-        for rank, cols in sorted(b_by_owner.items()):
-            proc = network[rank]
-            bundle = {bj: proc.store[("B", K, bj)] for bj in cols}
-            c = grid.position(rank)[1]
-            network.broadcast(
-                rank,
-                grid.col_group(c),
-                words=sum(v.size for v in bundle.values()),
-                payload=bundle,
-                key=("Bcol", K, c),
-            )
-        # local accumulation
-        for bi in range(nb):
-            for bj in range(nb):
-                rank = owner(bi, bj)
-                proc = network[rank]
-                r, c = grid.position(rank)
-                ablk = proc.inbox[("Arow", K, r)][bi]
-                bblk = proc.inbox[("Bcol", K, c)][bj]
-                proc.store[("C", bi, bj)] += ablk @ bblk
-                network.compute(
-                    rank, gemm_flops(ablk.shape[0], ablk.shape[1], bblk.shape[1])
-                )
-        network.clear_inboxes()
+        with prof.span("step", K=K):
+            # owners of A's column panel K broadcast along their grid rows
+            with prof.span("bcast-A"):
+                a_by_owner: dict[int, list[int]] = defaultdict(list)
+                for bi in range(nb):
+                    a_by_owner[owner(bi, K)].append(bi)
+                for rank, rows in sorted(a_by_owner.items()):
+                    proc = network[rank]
+                    bundle = {bi: proc.store[("A", bi, K)] for bi in rows}
+                    r = grid.position(rank)[0]
+                    network.broadcast(
+                        rank,
+                        grid.row_group(r),
+                        words=sum(v.size for v in bundle.values()),
+                        payload=bundle,
+                        key=("Arow", K, r),
+                    )
+            # owners of B's row panel K broadcast down their grid columns
+            with prof.span("bcast-B"):
+                b_by_owner: dict[int, list[int]] = defaultdict(list)
+                for bj in range(nb):
+                    b_by_owner[owner(K, bj)].append(bj)
+                for rank, cols in sorted(b_by_owner.items()):
+                    proc = network[rank]
+                    bundle = {bj: proc.store[("B", K, bj)] for bj in cols}
+                    c = grid.position(rank)[1]
+                    network.broadcast(
+                        rank,
+                        grid.col_group(c),
+                        words=sum(v.size for v in bundle.values()),
+                        payload=bundle,
+                        key=("Bcol", K, c),
+                    )
+            # local accumulation
+            with prof.span("update"):
+                for bi in range(nb):
+                    for bj in range(nb):
+                        rank = owner(bi, bj)
+                        proc = network[rank]
+                        r, c = grid.position(rank)
+                        ablk = proc.inbox[("Arow", K, r)][bi]
+                        bblk = proc.inbox[("Bcol", K, c)][bj]
+                        proc.store[("C", bi, bj)] += ablk @ bblk
+                        network.compute(
+                            rank,
+                            gemm_flops(
+                                ablk.shape[0], ablk.shape[1], bblk.shape[1]
+                            ),
+                        )
+            network.clear_inboxes()
 
     # gather C (free verification step, like pxpotrf's gather)
     out = np.zeros((n, n))
@@ -152,4 +167,11 @@ def summa(
         for bj in range(nb):
             c0, c1 = brange(bj)
             out[r0:r1, c0:c1] = network[owner(bi, bj)].store[("C", bi, bj)]
-    return SummaResult(C=out, network=network, n=n, block=block, P=grid.size)
+    return SummaResult(
+        C=out,
+        network=network,
+        n=n,
+        block=block,
+        P=grid.size,
+        profile=None if recorder is None else recorder.profile(),
+    )

@@ -76,6 +76,11 @@ class Measurement:
     seed: int | None = None
     params: tuple = ()
     run: "RunResult | None" = field(default=None, compare=False, repr=False)
+    #: Serialized span tree (``SpanProfile.to_dict()``) when the run
+    #: was observed, else ``None``.  A dict is unhashable, so it is
+    #: excluded from equality/hash like ``run``; unlike ``run`` it
+    #: round-trips through :meth:`to_dict`/:meth:`from_dict`.
+    profile: dict | None = field(default=None, compare=False, repr=False)
 
     @property
     def bandwidth_per_flop(self) -> float:
@@ -99,6 +104,7 @@ class Measurement:
             "block": None if self.block is None else int(self.block),
             "seed": None if self.seed is None else int(self.seed),
             "params": [[k, v] for k, v in self.params],
+            "profile": self.profile,
         }
 
     @classmethod
@@ -119,6 +125,7 @@ class Measurement:
             block=None if d.get("block") is None else int(d["block"]),
             seed=None if d.get("seed") is None else int(d["seed"]),
             params=tuple((str(k), v) for k, v in (d.get("params") or ())),
+            profile=d.get("profile"),
         )
 
     def without_run(self) -> "Measurement":
@@ -199,6 +206,19 @@ class RunResult(np.ndarray):
         }
 
     @property
+    def profile(self):
+        """Span tree of the run (:class:`~repro.observability.SpanProfile`).
+
+        ``None`` unless the run's machine had a live span recorder
+        attached (``observe=True`` paths); the no-op profiler reports
+        no tree.
+        """
+        prof = getattr(self.machine, "profiler", None)
+        if prof is None or not prof.enabled:
+            return None
+        return prof.profile()
+
+    @property
     def measurement(self) -> Measurement:
         """Snapshot the machine's counters as a :class:`Measurement`.
 
@@ -209,6 +229,7 @@ class RunResult(np.ndarray):
         if self.machine is None:
             raise ValueError("this RunResult carries no machine handle")
         lvl = self.machine.levels[0]
+        span_tree = self.profile
         return Measurement(
             algorithm=self.algorithm,
             layout=self.layout,
@@ -223,6 +244,7 @@ class RunResult(np.ndarray):
             seed=self.seed,
             params=self.params or (),
             run=self,
+            profile=None if span_tree is None else span_tree.to_dict(),
         )
 
 

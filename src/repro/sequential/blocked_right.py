@@ -52,46 +52,51 @@ def lapack_blocked_right(A: TrackedMatrix, block: int | None = None) -> np.ndarr
     def edge(k: int) -> tuple[int, int]:
         return k * b, min((k + 1) * b, n)
 
+    prof = machine.profiler
     for J in range(nb):
         j0, j1 = edge(J)
         w = j1 - j0
 
-        # factor the (already fully updated) diagonal block
-        diag_ref = A.block(j0, j1, j0, j1)
-        ldiag = dense_cholesky(diag_ref.load())
-        machine.add_flops(cholesky_flops(w))
-        diag_ref.store(ldiag)
+        with prof.span("panel", J=J):
+            # factor the (already fully updated) diagonal block
+            with prof.span("potf2"):
+                diag_ref = A.block(j0, j1, j0, j1)
+                ldiag = dense_cholesky(diag_ref.load())
+                machine.add_flops(cholesky_flops(w))
+                diag_ref.store(ldiag)
 
-        # panel solve, diagonal factor kept resident (2 blocks)
-        for I in range(J + 1, nb):
-            i0, i1 = edge(I)
-            panel_ref = A.block(i0, i1, j0, j1)
-            panel = solve_lower_transposed_right(panel_ref.load(), ldiag)
-            machine.add_flops(trsm_flops(i1 - i0, w))
-            panel_ref.store(panel)
-            panel_ref.release()
-        diag_ref.release()
+            # panel solve, diagonal factor kept resident (2 blocks)
+            with prof.span("trsm"):
+                for I in range(J + 1, nb):
+                    i0, i1 = edge(I)
+                    panel_ref = A.block(i0, i1, j0, j1)
+                    panel = solve_lower_transposed_right(panel_ref.load(), ldiag)
+                    machine.add_flops(trsm_flops(i1 - i0, w))
+                    panel_ref.store(panel)
+                    panel_ref.release()
+                diag_ref.release()
 
-        # eager trailing update: every remaining block, right now
-        for K in range(J + 1, nb):
-            k0, k1 = edge(K)
-            right_ref = A.block(k0, k1, j0, j1)  # L(K,J)
-            right = right_ref.load()
-            for I in range(K, nb):
-                i0, i1 = edge(I)
-                left_ref = A.block(i0, i1, j0, j1)  # L(I,J)
-                left = left_ref.load()
-                target_ref = A.block(i0, i1, k0, k1)
-                target = target_ref.load()
-                target -= left @ right.T
-                if I == K:
-                    machine.add_flops(syrk_flops(i1 - i0, w))
-                else:
-                    machine.add_flops(gemm_flops(i1 - i0, w, k1 - k0))
-                target_ref.store(target)
-                target_ref.release()
-                left_ref.release()
-            right_ref.release()
+            # eager trailing update: every remaining block, right now
+            with prof.span("update"):
+                for K in range(J + 1, nb):
+                    k0, k1 = edge(K)
+                    right_ref = A.block(k0, k1, j0, j1)  # L(K,J)
+                    right = right_ref.load()
+                    for I in range(K, nb):
+                        i0, i1 = edge(I)
+                        left_ref = A.block(i0, i1, j0, j1)  # L(I,J)
+                        left = left_ref.load()
+                        target_ref = A.block(i0, i1, k0, k1)
+                        target = target_ref.load()
+                        target -= left @ right.T
+                        if I == K:
+                            machine.add_flops(syrk_flops(i1 - i0, w))
+                        else:
+                            machine.add_flops(gemm_flops(i1 - i0, w, k1 - k0))
+                        target_ref.store(target)
+                        target_ref.release()
+                        left_ref.release()
+                    right_ref.release()
 
     machine.release_all()
     return A.lower()

@@ -71,60 +71,66 @@ def lapack_blocked(A: TrackedMatrix, block: int | None = None) -> np.ndarray:
         """Row/column range of block index k."""
         return k * b, min((k + 1) * b, n)
 
+    prof = machine.profiler
     for J in range(nb):
         j0, j1 = edge(J)
         w = j1 - j0
 
-        # --- SYRK: A22 <- A22 - A21 A21^T, streaming history blocks ---
-        diag_ref = A.block(j0, j1, j0, j1)
-        diag = diag_ref.load()
-        for K in range(J):
-            k0, k1 = edge(K)
-            hist_ref = A.block(j0, j1, k0, k1)
-            hist = hist_ref.load()
-            diag -= hist @ hist.T
-            machine.add_flops(syrk_flops(w, k1 - k0))
-            hist_ref.release()
+        with prof.span("panel", J=J):
+            # --- SYRK: A22 <- A22 - A21 A21^T, streaming history blocks ---
+            with prof.span("syrk"):
+                diag_ref = A.block(j0, j1, j0, j1)
+                diag = diag_ref.load()
+                for K in range(J):
+                    k0, k1 = edge(K)
+                    hist_ref = A.block(j0, j1, k0, k1)
+                    hist = hist_ref.load()
+                    diag -= hist @ hist.T
+                    machine.add_flops(syrk_flops(w, k1 - k0))
+                    hist_ref.release()
 
-        # --- POTF2: factor the diagonal block in fast memory ---
-        ldiag = dense_cholesky(diag)
-        machine.add_flops(cholesky_flops(w))
-        diag_ref.store(ldiag)
-        diag_ref.release()
+            # --- POTF2: factor the diagonal block in fast memory ---
+            with prof.span("potf2"):
+                ldiag = dense_cholesky(diag)
+                machine.add_flops(cholesky_flops(w))
+                diag_ref.store(ldiag)
+                diag_ref.release()
 
-        # --- GEMM: panel blocks <- panel - A31 A21^T, streaming pairs ---
-        for I in range(J + 1, nb):
-            i0, i1 = edge(I)
-            panel_ref = A.block(i0, i1, j0, j1)
-            panel = panel_ref.load()
-            for K in range(J):
-                k0, k1 = edge(K)
-                left_ref = A.block(i0, i1, k0, k1)
-                right_ref = A.block(j0, j1, k0, k1)
-                left = left_ref.load()
-                right = right_ref.load()
-                panel -= left @ right.T
-                machine.add_flops(gemm_flops(i1 - i0, k1 - k0, w))
-                left_ref.release()
-                right_ref.release()
-            panel_ref.store(panel)
-            panel_ref.release()
+            # --- GEMM: panel blocks <- panel - A31 A21^T, streaming pairs ---
+            with prof.span("gemm"):
+                for I in range(J + 1, nb):
+                    i0, i1 = edge(I)
+                    panel_ref = A.block(i0, i1, j0, j1)
+                    panel = panel_ref.load()
+                    for K in range(J):
+                        k0, k1 = edge(K)
+                        left_ref = A.block(i0, i1, k0, k1)
+                        right_ref = A.block(j0, j1, k0, k1)
+                        left = left_ref.load()
+                        right = right_ref.load()
+                        panel -= left @ right.T
+                        machine.add_flops(gemm_flops(i1 - i0, k1 - k0, w))
+                        left_ref.release()
+                        right_ref.release()
+                    panel_ref.store(panel)
+                    panel_ref.release()
 
-        if J + 1 == nb:
-            break  # no panel below the last diagonal block
+            if J + 1 == nb:
+                break  # no panel below the last diagonal block
 
-        # --- TRSM: panel blocks <- panel * L22^{-T} ---
-        diag_ref2 = A.block(j0, j1, j0, j1)
-        ldiag = diag_ref2.load()
-        for I in range(J + 1, nb):
-            i0, i1 = edge(I)
-            panel_ref = A.block(i0, i1, j0, j1)
-            panel = panel_ref.load()
-            panel = solve_lower_transposed_right(panel, ldiag)
-            machine.add_flops(trsm_flops(i1 - i0, w))
-            panel_ref.store(panel)
-            panel_ref.release()
-        diag_ref2.release()
+            # --- TRSM: panel blocks <- panel * L22^{-T} ---
+            with prof.span("trsm"):
+                diag_ref2 = A.block(j0, j1, j0, j1)
+                ldiag = diag_ref2.load()
+                for I in range(J + 1, nb):
+                    i0, i1 = edge(I)
+                    panel_ref = A.block(i0, i1, j0, j1)
+                    panel = panel_ref.load()
+                    panel = solve_lower_transposed_right(panel, ldiag)
+                    machine.add_flops(trsm_flops(i1 - i0, w))
+                    panel_ref.store(panel)
+                    panel_ref.release()
+                diag_ref2.release()
 
     machine.release_all()
     return A.lower()

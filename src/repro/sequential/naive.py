@@ -57,51 +57,55 @@ def naive_left_looking(A: TrackedMatrix) -> np.ndarray:
 
 def _left_whole_columns(A: TrackedMatrix) -> None:
     n, machine = A.n, A.machine
+    prof = machine.profiler
     for j in range(n):
-        colj_ref = A.block(j, n, j, j + 1)
-        colj = colj_ref.load()
-        for k in range(j):
-            colk_ref = A.block(j, n, k, k + 1)
-            colk = colk_ref.load()
-            colj -= colk * colk[0, 0]
-            machine.add_flops(column_update_flops(n - j))
-            colk_ref.release()
-        _scale_column_in_place(colj, machine)
-        colj_ref.store(colj)
-        colj_ref.release()
+        with prof.span("column", j=j):
+            colj_ref = A.block(j, n, j, j + 1)
+            colj = colj_ref.load()
+            for k in range(j):
+                colk_ref = A.block(j, n, k, k + 1)
+                colk = colk_ref.load()
+                colj -= colk * colk[0, 0]
+                machine.add_flops(column_update_flops(n - j))
+                colk_ref.release()
+            _scale_column_in_place(colj, machine)
+            colj_ref.store(colj)
+            colj_ref.release()
 
 
 def _left_segmented(A: TrackedMatrix) -> None:
     n, machine, M = A.n, A.machine, A.machine.M
+    prof = machine.profiler
     seg = max(1, (M - 2) // 2)  # segment + sibling segment + 2 pinned words
     for j in range(n):
-        pivot: float | None = None
-        pivot_ref = A.block(j, j + 1, j, j + 1)
-        for r in range(j, n, seg):
-            re = min(r + seg, n)
-            seg_ref = A.block(r, re, j, j + 1)
-            vals = seg_ref.load()
-            for k in range(j):
-                segk_ref = A.block(r, re, k, k + 1)
-                segk = segk_ref.load()
-                ajk_ref = A.block(j, j + 1, k, k + 1)
-                ajk = ajk_ref.load()[0, 0]
-                vals -= segk * ajk
-                machine.add_flops(column_update_flops(re - r))
-                segk_ref.release()
-                ajk_ref.release()
-            if r == j:
-                _scale_column_in_place(vals, machine)
-                pivot = float(vals[0, 0])
-            else:
-                vals /= pivot
-                machine.add_flops(re - r)
-            seg_ref.store(vals)
-            seg_ref.release()
-            if r == j:
-                # pin the finished pivot (one word) for later segments
-                pivot_ref.load()
-        pivot_ref.release()
+        with prof.span("column", j=j):
+            pivot: float | None = None
+            pivot_ref = A.block(j, j + 1, j, j + 1)
+            for r in range(j, n, seg):
+                re = min(r + seg, n)
+                seg_ref = A.block(r, re, j, j + 1)
+                vals = seg_ref.load()
+                for k in range(j):
+                    segk_ref = A.block(r, re, k, k + 1)
+                    segk = segk_ref.load()
+                    ajk_ref = A.block(j, j + 1, k, k + 1)
+                    ajk = ajk_ref.load()[0, 0]
+                    vals -= segk * ajk
+                    machine.add_flops(column_update_flops(re - r))
+                    segk_ref.release()
+                    ajk_ref.release()
+                if r == j:
+                    _scale_column_in_place(vals, machine)
+                    pivot = float(vals[0, 0])
+                else:
+                    vals /= pivot
+                    machine.add_flops(re - r)
+                seg_ref.store(vals)
+                seg_ref.release()
+                if r == j:
+                    # pin the finished pivot (one word) for later segments
+                    pivot_ref.load()
+            pivot_ref.release()
 
 
 def naive_right_looking(A: TrackedMatrix) -> np.ndarray:
@@ -125,60 +129,64 @@ def naive_right_looking(A: TrackedMatrix) -> np.ndarray:
 
 def _right_whole_columns(A: TrackedMatrix) -> None:
     n, machine = A.n, A.machine
+    prof = machine.profiler
     for j in range(n):
-        colj_ref = A.block(j, n, j, j + 1)
-        colj = colj_ref.load()
-        _scale_column_in_place(colj, machine)
-        for k in range(j + 1, n):
-            colk_ref = A.block(k, n, k, k + 1)
-            colk = colk_ref.load()
-            colk -= colj[k - j :] * colj[k - j, 0]
-            machine.add_flops(column_update_flops(n - k))
-            colk_ref.store(colk)
-            colk_ref.release()
-        colj_ref.store(colj)
-        colj_ref.release()
+        with prof.span("column", j=j):
+            colj_ref = A.block(j, n, j, j + 1)
+            colj = colj_ref.load()
+            _scale_column_in_place(colj, machine)
+            for k in range(j + 1, n):
+                colk_ref = A.block(k, n, k, k + 1)
+                colk = colk_ref.load()
+                colk -= colj[k - j :] * colj[k - j, 0]
+                machine.add_flops(column_update_flops(n - k))
+                colk_ref.store(colk)
+                colk_ref.release()
+            colj_ref.store(colj)
+            colj_ref.release()
 
 
 def _right_segmented(A: TrackedMatrix) -> None:
     n, machine, M = A.n, A.machine, A.machine.M
+    prof = machine.profiler
     # factorization phase: segment + pinned pivot word
     seg_f = max(1, M - 1)
     # update phase: two sibling segments + pinned multiplier word
     seg_u = max(1, (M - 1) // 2)
     for j in range(n):
-        pivot: float | None = None
-        pivot_ref = A.block(j, j + 1, j, j + 1)
-        for r in range(j, n, seg_f):
-            re = min(r + seg_f, n)
-            seg_ref = A.block(r, re, j, j + 1)
-            vals = seg_ref.load()
-            if r == j:
-                _scale_column_in_place(vals, machine)
-                pivot = float(vals[0, 0])
-            else:
-                vals /= pivot
-                machine.add_flops(re - r)
-            seg_ref.store(vals)
-            seg_ref.release()
-            if r == j:
-                pivot_ref.load()
-        pivot_ref.release()
-        for k in range(j + 1, n):
-            akj_ref = A.block(k, k + 1, j, j + 1)
-            akj = akj_ref.load()[0, 0]
-            for r in range(k, n, seg_u):
-                re = min(r + seg_u, n)
-                segj_ref = A.block(r, re, j, j + 1)
-                segk_ref = A.block(r, re, k, k + 1)
-                segj = segj_ref.load()
-                segk = segk_ref.load()
-                segk -= segj * akj
-                machine.add_flops(column_update_flops(re - r))
-                segk_ref.store(segk)
-                segj_ref.release()
-                segk_ref.release()
-            akj_ref.release()
+        with prof.span("column", j=j):
+            pivot: float | None = None
+            pivot_ref = A.block(j, j + 1, j, j + 1)
+            for r in range(j, n, seg_f):
+                re = min(r + seg_f, n)
+                seg_ref = A.block(r, re, j, j + 1)
+                vals = seg_ref.load()
+                if r == j:
+                    _scale_column_in_place(vals, machine)
+                    pivot = float(vals[0, 0])
+                else:
+                    vals /= pivot
+                    machine.add_flops(re - r)
+                seg_ref.store(vals)
+                seg_ref.release()
+                if r == j:
+                    pivot_ref.load()
+            pivot_ref.release()
+            for k in range(j + 1, n):
+                akj_ref = A.block(k, k + 1, j, j + 1)
+                akj = akj_ref.load()[0, 0]
+                for r in range(k, n, seg_u):
+                    re = min(r + seg_u, n)
+                    segj_ref = A.block(r, re, j, j + 1)
+                    segk_ref = A.block(r, re, k, k + 1)
+                    segj = segj_ref.load()
+                    segk = segk_ref.load()
+                    segk -= segj * akj
+                    machine.add_flops(column_update_flops(re - r))
+                    segk_ref.store(segk)
+                    segj_ref.release()
+                    segk_ref.release()
+                akj_ref.release()
 
 
 def naive_up_looking(A: TrackedMatrix) -> np.ndarray:
@@ -196,24 +204,26 @@ def naive_up_looking(A: TrackedMatrix) -> np.ndarray:
         M >= 2 * n,
         f"naïve up-looking is implemented for M >= 2n (got M={M}, n={n})",
     )
+    prof = machine.profiler
     for i in range(n):
-        rowi_ref = A.block(i, i + 1, 0, i + 1)
-        rowi = rowi_ref.load()[0]
-        for j in range(i):
-            rowj_ref = A.block(j, j + 1, 0, j + 1)
-            rowj = rowj_ref.load()[0]
-            rowi[j] = (rowi[j] - rowi[:j] @ rowj[:j]) / rowj[j]
-            machine.add_flops(2 * j + 1)
-            rowj_ref.release()
-        pivot = rowi[i] - rowi[:i] @ rowi[:i]
-        if pivot <= 0:
-            raise np.linalg.LinAlgError(
-                f"non-positive pivot {pivot!r}: matrix is not positive definite"
-            )
-        rowi[i] = math.sqrt(pivot)
-        machine.add_flops(2 * i + 1)
-        rowi_ref.store(rowi[None, :])
-        rowi_ref.release()
+        with prof.span("row", i=i):
+            rowi_ref = A.block(i, i + 1, 0, i + 1)
+            rowi = rowi_ref.load()[0]
+            for j in range(i):
+                rowj_ref = A.block(j, j + 1, 0, j + 1)
+                rowj = rowj_ref.load()[0]
+                rowi[j] = (rowi[j] - rowi[:j] @ rowj[:j]) / rowj[j]
+                machine.add_flops(2 * j + 1)
+                rowj_ref.release()
+            pivot = rowi[i] - rowi[:i] @ rowi[:i]
+            if pivot <= 0:
+                raise np.linalg.LinAlgError(
+                    f"non-positive pivot {pivot!r}: matrix is not positive definite"
+                )
+            rowi[i] = math.sqrt(pivot)
+            machine.add_flops(2 * i + 1)
+            rowi_ref.store(rowi[None, :])
+            rowi_ref.release()
     machine.release_all()
     return A.lower()
 

@@ -46,7 +46,9 @@ def _rmatmul(C: BlockRef, A: BlockRef, B: BlockRef, sign: float) -> None:
     m, k = A.shape
     r = B.shape[1]
     reads = footprint([A, B, C])
-    with machine.scope(reads, C.intervals) as sc:
+    with machine.profiler.span("matmul"), machine.scope(
+        reads, C.intervals
+    ) as sc:
         if sc.fits:
             c = C.peek()
             c += sign * (A.peek() @ B.peek())

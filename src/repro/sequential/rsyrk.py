@@ -42,7 +42,9 @@ def rsyrk(C: BlockRef, A: BlockRef) -> None:
 def _rsyrk(C: BlockRef, A: BlockRef) -> None:
     machine = C.matrix.machine
     m, k = A.shape
-    with machine.scope(footprint([A, C]), C.intervals) as sc:
+    with machine.profiler.span("syrk"), machine.scope(
+        footprint([A, C]), C.intervals
+    ) as sc:
         if sc.fits:
             c = C.peek()
             a = A.peek()

@@ -41,7 +41,9 @@ def rtrsm(A: BlockRef, U: BlockRef) -> None:
 def _rtrsm(A: BlockRef, U: BlockRef) -> None:
     machine = A.matrix.machine
     m, n = A.shape
-    with machine.scope(footprint([A, U]), A.intervals) as sc:
+    with machine.profiler.span("trsm"), machine.scope(
+        footprint([A, U]), A.intervals
+    ) as sc:
         if sc.fits:
             A.poke(solve_upper_right(A.peek(), U.peek()))
             machine.add_flops(trsm_flops(m, n))

@@ -42,7 +42,7 @@ def _square_rchol(A: BlockRef) -> None:
     machine = A.matrix.machine
     n = A.rows
     ivs = A.intervals
-    with machine.scope(ivs, ivs) as sc:
+    with machine.profiler.span("chol"), machine.scope(ivs, ivs) as sc:
         if sc.fits:
             A.poke(dense_cholesky(A.peek()))
             machine.add_flops(cholesky_flops(n))

@@ -55,23 +55,24 @@ def _rect_rchol(A: BlockRef) -> None:
     m, n = A.shape
     if m < n:
         raise ValueError(f"panel must be at least as tall as wide, got {m}x{n}")
-    if n == 1:
-        _factor_column(A)
-        return
-    k = split_point(n)
-    left, right = A.split_cols(k)       # left: m×k, right: m×(n−k)
-    _rect_rchol(left)                   # L(:, :k)
-    # trailing update of the lower-right (m−k)×(n−k) panel:
-    #   A22 (diagonal block) gets a symmetric update,
-    #   A32 (below it) a general one — together the paper's line 5.
-    l21 = left.sub(k, n, 0, k)          # (n−k)×k
-    a22 = right.sub(k, n, 0, n - k)     # (n−k)×(n−k), diagonal block
-    _rsyrk(a22, l21)
-    if m > n:
-        l31 = left.sub(n, m, 0, k)      # (m−n)×k
-        a32 = right.sub(n, m, 0, n - k) # (m−n)×(n−k)
-        _rmatmul(a32, l31, l21.T, -1.0)
-    _rect_rchol(right.sub(k, m, 0, n - k))
+    with A.matrix.machine.profiler.span("chol"):
+        if n == 1:
+            _factor_column(A)
+            return
+        k = split_point(n)
+        left, right = A.split_cols(k)       # left: m×k, right: m×(n−k)
+        _rect_rchol(left)                   # L(:, :k)
+        # trailing update of the lower-right (m−k)×(n−k) panel:
+        #   A22 (diagonal block) gets a symmetric update,
+        #   A32 (below it) a general one — together the paper's line 5.
+        l21 = left.sub(k, n, 0, k)          # (n−k)×k
+        a22 = right.sub(k, n, 0, n - k)     # (n−k)×(n−k), diagonal block
+        _rsyrk(a22, l21)
+        if m > n:
+            l31 = left.sub(n, m, 0, k)      # (m−n)×k
+            a32 = right.sub(n, m, 0, n - k) # (m−n)×(n−k)
+            _rmatmul(a32, l31, l21.T, -1.0)
+        _rect_rchol(right.sub(k, m, 0, n - k))
 
 
 def _factor_column(A: BlockRef) -> None:
@@ -84,33 +85,34 @@ def _factor_column(A: BlockRef) -> None:
     machine = A.matrix.machine
     m = A.rows
     M = machine.M
-    if m + 1 <= M:
-        col = A.load()
-        _scale(col, float(col[0, 0]), machine, with_sqrt=True)
-        A.store(col)
-        A.release()
-        return
-    # column longer than fast memory: stream pivot-pinned segments
-    if M < 2:
-        raise ModelError(f"toledo base case needs M >= 2, got M={M}")
-    seg = M - 1
-    pivot_ref = A.sub(0, 1, 0, 1)
-    pivot_vals = pivot_ref.load()
-    if pivot_vals[0, 0] <= 0:
-        raise np.linalg.LinAlgError("non-positive pivot: matrix is not SPD")
-    pivot = math.sqrt(float(pivot_vals[0, 0]))
-    pivot_vals[0, 0] = pivot
-    machine.add_flops(1)
-    pivot_ref.store(pivot_vals)
-    for r in range(1, m, seg):
-        re = min(r + seg, m)
-        seg_ref = A.sub(r, re, 0, 1)
-        vals = seg_ref.load()
-        vals /= pivot
-        machine.add_flops(re - r)
-        seg_ref.store(vals)
-        seg_ref.release()
-    pivot_ref.release()
+    with machine.profiler.span("column"):
+        if m + 1 <= M:
+            col = A.load()
+            _scale(col, float(col[0, 0]), machine, with_sqrt=True)
+            A.store(col)
+            A.release()
+            return
+        # column longer than fast memory: stream pivot-pinned segments
+        if M < 2:
+            raise ModelError(f"toledo base case needs M >= 2, got M={M}")
+        seg = M - 1
+        pivot_ref = A.sub(0, 1, 0, 1)
+        pivot_vals = pivot_ref.load()
+        if pivot_vals[0, 0] <= 0:
+            raise np.linalg.LinAlgError("non-positive pivot: matrix is not SPD")
+        pivot = math.sqrt(float(pivot_vals[0, 0]))
+        pivot_vals[0, 0] = pivot
+        machine.add_flops(1)
+        pivot_ref.store(pivot_vals)
+        for r in range(1, m, seg):
+            re = min(r + seg, m)
+            seg_ref = A.sub(r, re, 0, 1)
+            vals = seg_ref.load()
+            vals /= pivot
+            machine.add_flops(re - r)
+            seg_ref.store(vals)
+            seg_ref.release()
+        pivot_ref.release()
 
 
 def _scale(col: np.ndarray, pivot: float, machine, *, with_sqrt: bool) -> None:

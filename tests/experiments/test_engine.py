@@ -93,3 +93,86 @@ class TestArtifacts:
         ExperimentEngine(cache=cache).run(SPEC)
         second = ExperimentEngine(cache=cache).run(SPEC)
         assert all(p["cached"] for p in second.to_dict()["points"])
+
+
+class TestObservedPoints:
+    OBS_SPEC = ExperimentSpec.sequential(
+        "engine_obs_test",
+        algorithms=["lapack"],
+        ns=[16],
+        Ms=[64],
+        observe=True,
+    )
+
+    def test_observe_true_stores_profile_in_artifact(self, tmp_path):
+        from pathlib import Path
+
+        result = run_experiment(self.OBS_SPEC, cache=None)
+        (pr,) = result.points
+        assert pr.measurement.profile is not None
+        data = json.loads(Path(result.save(tmp_path)).read_text())
+        profile = data["points"][0]["measurement"]["profile"]
+        assert profile["name"] == "lapack"
+        from repro.observability import SpanProfile
+
+        tree = SpanProfile.from_dict(profile)
+        assert tree.leaf_total("words") == pr.measurement.words
+
+    def test_observe_is_part_of_the_cache_key(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        plain = ExperimentSpec.sequential(
+            "engine_obs_test", algorithms=["lapack"], ns=[16], Ms=[64]
+        )
+        ExperimentEngine(cache=cache).run(plain)
+        cold = ExperimentEngine(cache=cache).run(self.OBS_SPEC)
+        assert cold.cache_misses == len(self.OBS_SPEC)
+
+    def test_cached_point_round_trips_profile(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        first = ExperimentEngine(cache=cache).run(self.OBS_SPEC)
+        second = ExperimentEngine(cache=cache).run(self.OBS_SPEC)
+        assert second.cache_hits == len(self.OBS_SPEC)
+        assert (
+            second.points[0].measurement.profile
+            == first.points[0].measurement.profile
+        )
+        assert second.measurements == first.measurements
+
+    def test_unobserved_counts_match_observed(self):
+        plain = ExperimentSpec.sequential(
+            "engine_obs_test", algorithms=["lapack"], ns=[16], Ms=[64]
+        )
+        on = run_experiment(self.OBS_SPEC, cache=None).measurements[0]
+        off = run_experiment(plain, cache=None).measurements[0]
+        assert off.profile is None
+        assert (on.words, on.messages, on.flops) == (
+            off.words, off.messages, off.flops,
+        )
+
+
+class TestEngineMetrics:
+    def test_engine_and_cache_publish_counters(self, tmp_path):
+        from repro.observability.metrics import METRICS
+
+        def snap(name, **labels):
+            return METRICS.value(name, **labels) or 0
+
+        hits0 = snap("repro_cache_lookups_total", result="hit")
+        miss0 = snap("repro_cache_lookups_total", result="miss")
+        cached0 = snap("repro_engine_points_total", source="cache")
+        computed0 = snap("repro_engine_points_total", source="computed")
+
+        cache = ResultCache(tmp_path / "c")
+        ExperimentEngine(cache=cache).run(SPEC)
+        ExperimentEngine(cache=cache).run(SPEC)
+
+        n = len(SPEC)
+        assert snap("repro_cache_lookups_total", result="miss") - miss0 == n
+        assert snap("repro_cache_lookups_total", result="hit") - hits0 == n
+        assert (
+            snap("repro_engine_points_total", source="computed") - computed0
+            == n
+        )
+        assert snap("repro_engine_points_total", source="cache") - cached0 == n
+        hist = METRICS.value("repro_point_wall_seconds", kind="sequential")
+        assert hist is not None and hist.count >= n

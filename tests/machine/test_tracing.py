@@ -1,7 +1,15 @@
 """Tests for trace recording."""
 
+import pytest
+
 from repro.machine import SequentialMachine
-from repro.machine.tracing import MachineTrace, ReadEvent, ScopeEvent, WriteEvent
+from repro.machine.tracing import (
+    MachineTrace,
+    ReadEvent,
+    ScopeEvent,
+    TraceOverflow,
+    WriteEvent,
+)
 from repro.util.intervals import IntervalSet
 
 
@@ -35,6 +43,67 @@ class TestEvents:
         t.append(ReadEvent(ivs((3, 5))))
         t.append(WriteEvent(ivs((0, 1))))
         assert list(t.address_stream()) == [(3, False), (4, False), (0, True)]
+
+
+class TestClearAndCap:
+    def test_clear_empties_events(self):
+        t = MachineTrace()
+        t.append(ReadEvent(ivs((0, 2))))
+        t.append(WriteEvent(ivs((0, 2))))
+        t.clear()
+        assert len(t) == 0
+        assert t.total_words() == 0
+        t.append(ReadEvent(ivs((0, 3))))
+        assert t.total_words() == 3
+
+    def test_cap_keeps_prefix_and_marks_overflow(self):
+        t = MachineTrace(max_events=2)
+        for _ in range(5):
+            t.append(ReadEvent(ivs((0, 1))))
+        # two real events + one explicit overflow marker
+        assert len(t.events) == 3
+        assert isinstance(t.events[-1], TraceOverflow)
+        assert t.dropped == 3
+        # transfer iteration skips the marker
+        assert len(list(t.transfers())) == 2
+        assert t.total_words() == 2
+
+    def test_uncapped_never_drops(self):
+        t = MachineTrace()
+        for _ in range(100):
+            t.append(ReadEvent(ivs((0, 1))))
+        assert t.dropped == 0
+        assert len(t) == 100
+
+    def test_clear_resets_overflow(self):
+        t = MachineTrace(max_events=1)
+        t.append(ReadEvent(ivs((0, 1))))
+        t.append(ReadEvent(ivs((0, 1))))
+        assert t.dropped == 1
+        t.clear()
+        assert t.dropped == 0
+        t.append(WriteEvent(ivs((0, 4))))
+        assert t.total_words() == 4
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(ValueError):
+            MachineTrace(max_events=0)
+
+    def test_machine_forwards_cap(self):
+        m = SequentialMachine(64, record_trace=True, trace_max_events=3)
+        for i in range(6):
+            m.read(ivs((i, i + 1)))
+            m.release_all()
+        assert m.trace.max_events == 3
+        assert m.trace.dropped > 0
+        # counters are exact regardless of the trace cap
+        assert m.counters.words_read == 6
+
+    def test_reset_preserves_cap(self):
+        m = SequentialMachine(64, record_trace=True, trace_max_events=3)
+        m.reset()
+        assert m.trace.max_events == 3
+        assert len(m.trace) == 0
 
 
 class TestMachineRecording:

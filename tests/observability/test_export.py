@@ -1,0 +1,99 @@
+"""Exporters: Chrome trace_event JSON and phase reports."""
+
+import json
+
+from repro.observability.export import (
+    chrome_trace_events,
+    phase_report,
+    phase_totals,
+    write_chrome_trace,
+)
+from repro.observability.spans import SpanProfile
+
+REQUIRED_KEYS = ("ph", "ts", "pid", "tid", "name")
+
+
+def sample_profile():
+    syrk = SpanProfile(
+        name="syrk", words=3, messages=1, flops=7,
+        t_start=0.1, t_end=0.2,
+    )
+    trsm = SpanProfile(
+        name="trsm", words=7, messages=2, flops=0,
+        t_start=0.2, t_end=0.4,
+    )
+    outer = SpanProfile(
+        name="panel", attrs=(("J", 0),), words=10, messages=3, flops=7,
+        t_start=0.0, t_end=0.5, children=(syrk, trsm),
+    )
+    return SpanProfile(
+        name="run", words=10, messages=3, flops=7,
+        t_start=0.0, t_end=0.6, children=(outer,),
+    )
+
+
+class TestChromeTrace:
+    def test_required_keys_on_every_event(self):
+        events = chrome_trace_events(sample_profile())
+        assert len(events) == 5  # metadata + 4 spans
+        for ev in events:
+            for key in REQUIRED_KEYS:
+                assert key in ev, (key, ev)
+
+    def test_metadata_then_complete_events(self):
+        events = chrome_trace_events(sample_profile())
+        assert events[0]["ph"] == "M"
+        assert all(ev["ph"] == "X" for ev in events[1:])
+
+    def test_timestamps_microseconds(self):
+        events = chrome_trace_events(sample_profile())
+        syrk = next(ev for ev in events if ev["name"] == "syrk")
+        assert syrk["ts"] == 0.1 * 1e6
+        assert syrk["dur"] == 100000.0  # 0.1 s
+
+    def test_args_carry_attribution(self):
+        events = chrome_trace_events(sample_profile())
+        panel = next(ev for ev in events if ev["name"] == "panel")
+        assert panel["args"]["words"] == 10
+        assert panel["args"]["path"] == "run/panel"
+        assert panel["args"]["J"] == 0
+
+    def test_write_chrome_trace_file(self, tmp_path):
+        path = write_chrome_trace(sample_profile(), str(tmp_path / "t.json"))
+        with open(path, encoding="utf-8") as fh:
+            payload = json.load(fh)
+        assert payload["displayTimeUnit"] == "ms"
+        assert len(payload["traceEvents"]) == 5
+        for ev in payload["traceEvents"]:
+            for key in REQUIRED_KEYS:
+                assert key in ev
+
+
+class TestPhaseReport:
+    def test_totals_are_exclusive_and_partition(self):
+        totals = phase_totals(sample_profile())
+        assert totals["syrk"]["words"] == 3
+        assert totals["trsm"]["words"] == 7
+        assert totals["panel"]["words"] == 0  # 10 inclusive - 10 children
+        assert totals["run"]["words"] == 0
+        assert sum(rec["words"] for rec in totals.values()) == 10
+
+    def test_report_mentions_reconciliation(self):
+        # the sample tree is fully attributed: leaf words == root words
+        text = phase_report(sample_profile())
+        assert "reconciled" in text
+        assert "panel" in text and "syrk" in text
+
+    def test_report_flags_unattributed_traffic(self):
+        p = SpanProfile(
+            name="run", words=10,
+            children=(SpanProfile(name="leaf", words=4),),
+        )
+        assert "UNATTRIBUTED" in phase_report(p)
+
+    def test_max_depth_truncates_tree_only(self):
+        text = phase_report(sample_profile(), max_depth=1)
+        # syrk (depth 2) is cut from the tree but kept in the totals
+        tree_part, totals_part = text.split("exclusive totals")
+        assert "syrk" not in tree_part
+        assert "syrk" in totals_part

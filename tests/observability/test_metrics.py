@@ -1,0 +1,135 @@
+"""Metrics registry: instruments, labels, dumps, publishers."""
+
+import json
+
+import pytest
+
+from repro.machine import SequentialMachine
+from repro.observability.metrics import (
+    METRICS,
+    HistogramMetric,
+    MetricsError,
+    MetricsRegistry,
+    publish_machine,
+    publish_run,
+)
+from repro.util.intervals import IntervalSet
+
+
+class TestCounter:
+    def test_inc_and_labels(self):
+        r = MetricsRegistry()
+        r.counter("hits", kind="a").inc()
+        r.counter("hits", kind="a").inc(2)
+        r.counter("hits", kind="b").inc(5)
+        assert r.value("hits", kind="a") == 3
+        assert r.value("hits", kind="b") == 5
+        assert r.value("hits", kind="missing") is None
+
+    def test_negative_increment_rejected(self):
+        r = MetricsRegistry()
+        with pytest.raises(MetricsError):
+            r.counter("c").inc(-1)
+
+    def test_label_order_irrelevant(self):
+        r = MetricsRegistry()
+        r.counter("c", a="1", b="2").inc()
+        assert r.value("c", b="2", a="1") == 1
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        r = MetricsRegistry()
+        r.gauge("g").set(10)
+        r.gauge("g").set(3)
+        assert r.value("g") == 3
+
+
+class TestHistogram:
+    def test_observe_stats(self):
+        h = HistogramMetric(buckets=(1.0, 10.0))
+        for v in (0.5, 2.0, 100.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == pytest.approx(102.5)
+        assert h.min == 0.5 and h.max == 100.0
+        assert h.mean == pytest.approx(102.5 / 3)
+        assert h.bucket_counts == [1, 1, 1]  # <=1, <=10, +Inf
+
+    def test_registry_histogram_value_returns_instrument(self):
+        r = MetricsRegistry()
+        r.histogram("h", kind="x").observe(0.2)
+        h = r.value("h", kind="x")
+        assert isinstance(h, HistogramMetric)
+        assert h.count == 1
+
+
+class TestRegistry:
+    def test_type_conflict_raises(self):
+        r = MetricsRegistry()
+        r.counter("m")
+        with pytest.raises(MetricsError):
+            r.gauge("m")
+
+    def test_names_sorted(self):
+        r = MetricsRegistry()
+        r.counter("zz")
+        r.gauge("aa")
+        assert r.names() == ("aa", "zz")
+
+    def test_to_dict_is_json_ready(self):
+        r = MetricsRegistry()
+        r.counter("c", kind="x").inc(4)
+        r.histogram("h").observe(0.01)
+        d = json.loads(json.dumps(r.to_dict()))
+        assert d["c"]["type"] == "counter"
+        assert d["c"]["series"][0] == {"labels": {"kind": "x"}, "value": 4}
+        assert d["h"]["series"][0]["count"] == 1
+
+    def test_render_text_prometheus_shape(self):
+        r = MetricsRegistry()
+        r.counter("repro_runs_total", kind="seq").inc(2)
+        r.histogram("lat").observe(0.002)
+        text = r.render_text()
+        assert "# TYPE repro_runs_total counter" in text
+        assert 'repro_runs_total{kind="seq"} 2' in text
+        assert "lat_count 1" in text
+        assert 'lat_bucket{le="+Inf"}' in text
+
+    def test_reset(self):
+        r = MetricsRegistry()
+        r.counter("c").inc()
+        r.reset()
+        assert r.names() == ()
+        assert r.value("c") is None
+
+
+class TestPublishers:
+    def test_publish_run(self):
+        r = MetricsRegistry()
+        publish_run(
+            kind="sequential", algorithm="lapack",
+            words=10, messages=2, flops=30, registry=r,
+        )
+        publish_run(
+            kind="sequential", algorithm="lapack",
+            words=5, messages=1, flops=3, registry=r,
+        )
+        lbl = {"kind": "sequential", "algorithm": "lapack"}
+        assert r.value("repro_runs_total", **lbl) == 2
+        assert r.value("repro_run_words_total", **lbl) == 15
+        assert r.value("repro_run_messages_total", **lbl) == 3
+        assert r.value("repro_run_flops_total", **lbl) == 33
+
+    def test_publish_machine(self):
+        m = SequentialMachine(64)
+        m.read(IntervalSet([(0, 8)]))
+        m.release_all()
+        r = MetricsRegistry()
+        publish_machine(m, r)
+        lvl = m.levels[0].name
+        assert r.value("repro_machine_words", level=lvl) == 8
+        assert r.value("repro_machine_flops") == 0
+
+    def test_global_registry_exists(self):
+        assert isinstance(METRICS, MetricsRegistry)

@@ -1,0 +1,106 @@
+"""Span/counter reconciliation over every instrumented algorithm.
+
+The tentpole invariant: with complete instrumentation, every word the
+machine charges happens inside some innermost (leaf) span, so the sum
+of leaf-span word deltas equals the machine's total words.  And since
+spans are read-only snapshots, enabling observability must not change
+a single count.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sweeps import measure, measure_parallel
+from repro.matrices.generators import random_spd
+from repro.observability.spans import SpanProfile
+from repro.parallel.pxpotrf import pxpotrf
+from repro.parallel.summa import summa
+from repro.sequential.registry import available_algorithms
+
+N, M = 24, 96
+
+CASES = [(algo, "column-major") for algo in available_algorithms()] + [
+    ("square-recursive", "morton"),
+    ("toledo", "morton"),
+]
+
+
+@pytest.mark.parametrize("algorithm,layout", CASES)
+class TestSequentialReconciliation:
+    def test_leaf_spans_cover_all_traffic(self, algorithm, layout):
+        m = measure(algorithm, N, M, layout=layout, observe=True)
+        assert m.correct
+        assert m.profile is not None
+        profile = SpanProfile.from_dict(m.profile)
+        assert profile.leaf_total("words") == m.words
+        assert profile.leaf_total("messages") == m.messages
+        assert profile.leaf_total("flops") == m.flops
+        # inclusive root totals agree too
+        assert profile.words == m.words
+
+    def test_observability_off_counts_identical(self, algorithm, layout):
+        on = measure(algorithm, N, M, layout=layout, observe=True)
+        off = measure(algorithm, N, M, layout=layout, observe=False)
+        assert off.profile is None
+        for field in ("words", "messages", "words_read", "words_written",
+                      "flops"):
+            assert getattr(on, field) == getattr(off, field), field
+
+
+class TestParallelReconciliation:
+    def test_pxpotrf_leaf_spans_cover_critical_path(self):
+        a0 = random_spd(16, seed=3)
+        res = pxpotrf(a0, 4, 4, observe_spans=True)
+        assert np.allclose(res.L @ res.L.T, a0)
+        p = res.profile
+        assert p is not None and p.name == "pxpotrf"
+        assert p.leaf_total("words") == res.critical_words
+        assert p.leaf_total("messages") == res.critical_messages
+
+    def test_pxpotrf_counts_identical_without_spans(self):
+        a0 = random_spd(16, seed=3)
+        on = pxpotrf(a0, 4, 4, observe_spans=True)
+        off = pxpotrf(a0, 4, 4)
+        assert off.profile is None
+        assert on.critical_words == off.critical_words
+        assert on.critical_messages == off.critical_messages
+        assert on.max_flops == off.max_flops
+
+    def test_summa_leaf_spans_cover_critical_path(self):
+        rng = np.random.default_rng(5)
+        a = rng.standard_normal((16, 16))
+        b = rng.standard_normal((16, 16))
+        res = summa(a, b, 4, 4, observe_spans=True)
+        assert np.allclose(res.C, a @ b)
+        assert res.profile.leaf_total("words") == res.critical_words
+        off = summa(a, b, 4, 4)
+        assert off.profile is None
+        assert off.critical_words == res.critical_words
+
+    def test_measure_parallel_observe(self):
+        on = measure_parallel(16, 4, 4, observe=True)
+        off = measure_parallel(16, 4, 4)
+        assert on.profile is not None and off.profile is None
+        assert on.words == off.words and on.messages == off.messages
+        profile = SpanProfile.from_dict(on.profile)
+        assert profile.leaf_total("words") == on.words
+
+
+class TestProfileRoundTrip:
+    def test_measurement_serializes_profile(self):
+        m = measure("lapack", N, M, observe=True)
+        import json
+
+        from repro.results import Measurement
+
+        back = Measurement.from_dict(json.loads(json.dumps(m.to_dict())))
+        assert back.profile == m.profile
+        assert SpanProfile.from_dict(back.profile).leaf_total("words") == \
+            m.words
+
+    def test_run_result_profile_accessor(self):
+        m_on = measure("lapack", N, M, observe=True)
+        assert m_on.run.profile is not None
+        assert m_on.run.profile.leaf_total("words") == m_on.words
+        m_off = measure("lapack", N, M)
+        assert m_off.run.profile is None

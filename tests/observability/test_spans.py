@@ -1,0 +1,231 @@
+"""Span recorder semantics: nesting, deltas, paths, failure modes."""
+
+import pytest
+
+from repro.machine import SequentialMachine
+from repro.observability.spans import (
+    NULL_PROFILER,
+    SpanProfile,
+    SpanRecorder,
+    observe,
+)
+from repro.parallel.network import Network
+from repro.util.intervals import IntervalSet
+
+
+class FakeCounters:
+    """Hand-cranked monotone counter source for deterministic tests."""
+
+    def __init__(self):
+        self.words = 0
+        self.messages = 0
+        self.flops = 0
+
+    def charge(self, words=0, messages=0, flops=0):
+        self.words += words
+        self.messages += messages
+        self.flops += flops
+
+    def __call__(self):
+        return (self.words, self.messages, self.words, 0, self.flops)
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def tick(self, dt=1.0):
+        self.t += dt
+
+    def __call__(self):
+        return self.t
+
+
+def make_recorder(name="run"):
+    c = FakeCounters()
+    clock = FakeClock()
+    return SpanRecorder(c, name=name, clock=clock), c, clock
+
+
+class TestNullProfiler:
+    def test_disabled_and_reusable(self):
+        assert NULL_PROFILER.enabled is False
+        s1 = NULL_PROFILER.span("anything", j=1)
+        s2 = NULL_PROFILER.span("else")
+        assert s1 is s2  # one shared no-op context manager
+        with s1:
+            pass
+        assert NULL_PROFILER.profile() is None
+
+    def test_null_span_does_not_swallow_exceptions(self):
+        with pytest.raises(RuntimeError):
+            with NULL_PROFILER.span("x"):
+                raise RuntimeError("boom")
+
+
+class TestRecorder:
+    def test_nested_deltas(self):
+        rec, c, clock = make_recorder()
+        with rec.span("outer"):
+            c.charge(words=5, messages=1)
+            with rec.span("inner"):
+                c.charge(words=3, messages=1, flops=7)
+            c.charge(words=2, messages=1)
+        p = rec.profile()
+        assert p.name == "run"
+        (outer,) = p.children
+        assert (outer.words, outer.messages, outer.flops) == (10, 3, 7)
+        (inner,) = outer.children
+        assert (inner.words, inner.flops) == (3, 7)
+        # exclusive share subtracts children
+        assert outer.self_words == 7
+        assert outer.self_flops == 0
+
+    def test_attrs_recorded_sorted(self):
+        rec, _c, _clock = make_recorder()
+        with rec.span("panel", j=3, b=2):
+            pass
+        (span,) = rec.profile().children
+        assert span.attrs == (("b", 2), ("j", 3))
+
+    def test_walk_paths_disambiguate_siblings(self):
+        rec, _c, _clock = make_recorder("root")
+        with rec.span("chol"):
+            with rec.span("chol"):
+                pass
+            with rec.span("chol"):
+                pass
+            with rec.span("syrk"):
+                pass
+        paths = [path for path, _ in rec.profile().walk()]
+        assert paths == [
+            "root",
+            "root/chol",
+            "root/chol/chol[0]",
+            "root/chol/chol[1]",
+            "root/chol/syrk",
+        ]
+
+    def test_exception_closes_span(self):
+        rec, c, _clock = make_recorder()
+        with pytest.raises(ValueError):
+            with rec.span("outer"):
+                c.charge(words=4)
+                raise ValueError("failed inside span")
+        assert rec.depth == 0
+        p = rec.profile()
+        assert p.children[0].words == 4
+
+    def test_out_of_order_close_raises(self):
+        rec, _c, _clock = make_recorder()
+        outer = rec.span("outer")
+        inner = rec.span("inner")
+        outer.__enter__()
+        inner.__enter__()
+        with pytest.raises(RuntimeError, match="out of order"):
+            outer.__exit__(None, None, None)
+
+    def test_profile_with_open_spans_raises(self):
+        rec, _c, _clock = make_recorder()
+        ctx = rec.span("open")
+        ctx.__enter__()
+        with pytest.raises(RuntimeError, match="still open"):
+            rec.profile()
+        ctx.__exit__(None, None, None)
+        assert rec.profile().children[0].name == "open"
+
+    def test_profile_idempotent(self):
+        rec, c, _clock = make_recorder()
+        with rec.span("a"):
+            c.charge(words=1)
+        p1 = rec.profile()
+        p2 = rec.profile()
+        assert p1.children == p2.children
+        assert p1.words == p2.words == 1
+
+    def test_timing_uses_injected_clock(self):
+        rec, _c, clock = make_recorder()
+        clock.tick(1.0)
+        with rec.span("timed"):
+            clock.tick(2.5)
+        (span,) = rec.profile().children
+        assert span.t_start == pytest.approx(1.0)
+        assert span.duration == pytest.approx(2.5)
+
+    def test_leaf_total_and_leaves(self):
+        rec, c, _clock = make_recorder()
+        with rec.span("a"):
+            with rec.span("a1"):
+                c.charge(words=2)
+            with rec.span("a2"):
+                c.charge(words=3)
+        with rec.span("b"):
+            c.charge(words=5)
+        p = rec.profile()
+        leaf_names = sorted(s.name for _p, s in p.leaves())
+        assert leaf_names == ["a1", "a2", "b"]
+        assert p.leaf_total("words") == 10 == p.words
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        rec, c, _clock = make_recorder()
+        with rec.span("outer", J=0):
+            c.charge(words=4, messages=2, flops=9)
+            with rec.span("inner"):
+                c.charge(words=1)
+        p = rec.profile()
+        back = SpanProfile.from_dict(p.to_dict())
+        assert back == p
+
+    def test_json_safe(self):
+        import json
+
+        rec, c, _clock = make_recorder()
+        with rec.span("s", idx=1):
+            c.charge(words=2)
+        d = rec.profile().to_dict()
+        assert SpanProfile.from_dict(json.loads(json.dumps(d))) == \
+            SpanProfile.from_dict(d)
+
+
+class TestObserve:
+    def test_observe_machine(self):
+        m = SequentialMachine(64)
+        assert m.profiler is NULL_PROFILER
+        rec = observe(m, name="test")
+        assert m.profiler is rec and rec.enabled
+        with rec.span("io"):
+            m.read(IntervalSet([(0, 8)]))
+            m.release_all()
+        (span,) = rec.profile().children
+        assert span.words == 8
+        assert span.words_read == 8
+        assert span.words_written == 0
+
+    def test_observe_network(self):
+        net = Network(2)
+        assert net.profiler is NULL_PROFILER
+        rec = observe(net)
+        with rec.span("msg"):
+            net.send(0, 1, 10)
+        (span,) = rec.profile().children
+        assert (span.words, span.messages) == (10, 1)
+
+    def test_observe_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            observe(object())
+
+    def test_spans_do_not_change_counts(self):
+        def run(observed):
+            m = SequentialMachine(64)
+            if observed:
+                observe(m)
+            with m.profiler.span("phase"):
+                m.read(IntervalSet([(0, 8)]))
+                m.write(IntervalSet([(0, 8)]))
+                m.release_all()
+            return (m.counters.words_read, m.counters.words_written,
+                    m.levels[0].messages)
+
+        assert run(True) == run(False)

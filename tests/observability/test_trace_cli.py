@@ -1,0 +1,110 @@
+"""The ``repro trace`` subcommand and the ``--require-warm`` gate."""
+
+import json
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main, normalize_algorithm
+
+REQUIRED_KEYS = ("ph", "ts", "pid", "tid", "name")
+
+
+def load_events(path):
+    with open(path, encoding="utf-8") as fh:
+        payload = json.load(fh)
+    return payload["traceEvents"]
+
+
+class TestNormalizeAlgorithm:
+    @pytest.mark.parametrize(
+        "alias,expected",
+        [
+            ("blocked_right", "lapack-right"),
+            ("blocked-right", "lapack-right"),
+            ("lapack_blocked", "lapack"),
+            ("naive", "naive-left"),
+            ("AP00", "square-recursive"),
+            ("square_recursive", "square-recursive"),
+            ("lapack", "lapack"),
+            ("no-such-algo", "no-such-algo"),  # registry rejects later
+        ],
+    )
+    def test_aliases(self, alias, expected):
+        assert normalize_algorithm(alias) == expected
+
+
+class TestTraceSubcommand:
+    def test_sequential_trace_valid_chrome_json(self, tmp_path):
+        out = tmp_path / "trace.json"
+        rc = main(
+            ["trace", "chol", "--algorithm", "blocked_right",
+             "--n", "32", "--out", str(out)]
+        )
+        assert rc == 0
+        events = load_events(out)
+        assert events, "trace must contain events"
+        for ev in events:
+            for key in REQUIRED_KEYS:
+                assert key in ev, (key, ev)
+        names = {ev["name"] for ev in events}
+        assert {"panel", "potf2", "trsm", "update"} <= names
+
+    def test_parallel_trace_valid_chrome_json(self, tmp_path):
+        out = tmp_path / "ptrace.json"
+        rc = main(
+            ["trace", "pxpotrf", "--n", "16", "--block", "4", "--P", "4",
+             "--out", str(out)]
+        )
+        assert rc == 0
+        events = load_events(out)
+        for ev in events:
+            for key in REQUIRED_KEYS:
+                assert key in ev
+        assert any(ev["name"] == "bcast-diag" for ev in events)
+
+    def test_report_to_stdout(self, capsys):
+        rc = main(["trace", "chol", "--n", "24", "--report"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "phase attribution" in out
+        assert "reconciled" in out
+
+    def test_summa_trace(self, tmp_path):
+        out = tmp_path / "strace.json"
+        assert main(
+            ["trace", "summa", "--n", "16", "--block", "4", "--out", str(out)]
+        ) == 0
+        assert any(ev["name"] == "bcast-A" for ev in load_events(out))
+
+    def test_non_square_p_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "pxpotrf", "--n", "16", "--P", "3"])
+
+
+class TestRequireWarm:
+    @staticmethod
+    def tiny_report(engine=None):
+        """A one-point experiment so the warmness gate tests stay fast."""
+        from repro.analysis.report import ReportWriter
+        from repro.experiments import ExperimentSpec
+
+        spec = ExperimentSpec.from_cases(
+            "cli_tiny", [{"algorithm": "lapack", "n": 16, "M": 64}]
+        )
+        engine.run(spec)
+        w = ReportWriter("cli_tiny", directory="reports")  # tmp_path cwd
+        w.add_kv("tiny", [("points", 1)])
+        return w
+
+    def test_cold_fails_warm_passes(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        monkeypatch.setitem(EXPERIMENTS, "tiny", self.tiny_report)
+        cache = str(tmp_path / "cache")
+        argv = ["tiny", "--quiet", "--cache-dir", cache]
+        assert main(argv + ["--require-warm"]) == 1  # cold cache: misses
+        assert main(argv) == 0  # warms the cache
+        assert main(argv + ["--require-warm"]) == 0  # all hits now
+
+    def test_require_warm_contradicts_no_cache(self):
+        with pytest.raises(SystemExit):
+            main(["reduction", "--quiet", "--require-warm", "--no-cache"])

@@ -26,6 +26,7 @@ PACKAGES = [
     "repro.bounds",
     "repro.analysis",
     "repro.experiments",
+    "repro.observability",
 ]
 
 
