@@ -37,6 +37,20 @@ re-runs::
     for m in result.measurements:
         print(m.algorithm, m.n, m.M, m.words, m.messages)
 
+Deterministic fault injection rides on top: a
+:class:`~repro.faults.FaultPlan` (seeded, pure-hash schedule) can be
+attached to any network or machine run — message drops, duplicates,
+corruptions, degraded links, fail-stops with buddy-checkpoint
+recovery, transient read faults — and the same seed always produces
+the same schedule and the same counters (``repro chaos`` on the
+command line; see ``docs/FAULTS.md``)::
+
+    from repro import FaultPlan, pxpotrf
+    res = pxpotrf(random_spd(48), 12, 16,
+                  faults=FaultPlan(seed=1, drop=0.02, failstops=((5, 1),)))
+    assert np.allclose(res.L, np.linalg.cholesky(random_spd(48)))
+    print(res.fault_stats.to_dict())     # realized faults + overhead
+
 Subpackages: ``machine`` (DAM/hierarchy simulators), ``layouts``
 (Figure 2 storage formats), ``matrices`` (generators + tracked
 operands), ``sequential`` (Algorithms 2–8), ``parallel`` (network
@@ -44,9 +58,19 @@ simulator + Algorithm 9), ``starred``/``reduction`` (Table 3 +
 Algorithm 1), ``bounds`` (Theorems 1–3, Corollaries 2.3/2.4/3.2),
 ``analysis`` (stability, sweeps, reports), ``experiments`` (the
 parallel cached experiment engine), ``observability`` (phase spans,
-metrics, Chrome-trace export — ``repro trace`` on the command line).
+metrics, Chrome-trace export — ``repro trace`` on the command line),
+``faults`` (deterministic fault plans, injection and recovery —
+``repro chaos`` on the command line).
 """
 
+from repro.faults import (
+    FaultError,
+    FaultExhausted,
+    FaultInjector,
+    FaultPlan,
+    FaultStats,
+    RankFailed,
+)
 from repro.machine import (
     CapacityError,
     HierarchicalMachine,
@@ -85,6 +109,7 @@ from repro.observability import (
     phase_report,
     write_chrome_trace,
 )
+from repro.util.validation import NotPositiveDefiniteError, ValidationError
 
 __version__ = "0.1.0"
 
@@ -124,5 +149,13 @@ __all__ = [
     "METRICS",
     "phase_report",
     "write_chrome_trace",
+    "FaultPlan",
+    "FaultStats",
+    "FaultInjector",
+    "FaultError",
+    "FaultExhausted",
+    "RankFailed",
+    "ValidationError",
+    "NotPositiveDefiniteError",
     "__version__",
 ]

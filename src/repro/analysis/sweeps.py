@@ -23,11 +23,12 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.faults.plan import FaultPlan
 from repro.layouts.registry import make_layout
 from repro.machine.core import SequentialMachine
 from repro.matrices.generators import random_spd
 from repro.matrices.tracked import TrackedMatrix
-from repro.observability.metrics import publish_run
+from repro.observability.metrics import publish_faults, publish_run
 from repro.observability.spans import observe as attach_spans
 from repro.parallel.pxpotrf import pxpotrf
 from repro.results import Measurement, freeze_params
@@ -53,6 +54,7 @@ def measure(
     seed: int = 0,
     verify: bool = True,
     observe: bool = False,
+    faults: "FaultPlan | None" = None,
     **params,
 ) -> Measurement:
     """Run one sequential configuration and collect its counters.
@@ -68,8 +70,14 @@ def measure(
     the run: the measurement's ``profile`` field then carries the
     phase-attribution tree (spans are read-only snapshots of the
     counters, so every count is identical either way).
+
+    ``faults`` arms the machine with deterministic transient read
+    faults (:class:`~repro.faults.FaultPlan.read_fault`); the
+    measurement's ``faults`` field then reports the realized schedule
+    and its retry cost.
     """
     machine = SequentialMachine(M)
+    machine.attach_faults(faults)
     if observe:
         attach_spans(machine, name=algorithm)
     if layout == "blocked" and layout_block is None:
@@ -95,6 +103,11 @@ def measure(
         flops=machine.flops,
     )
     span_tree = machine.profiler.profile() if observe else None
+    fault_dict = (
+        machine.faults.stats.to_dict() if machine.faults is not None else None
+    )
+    if fault_dict is not None:
+        publish_faults(fault_dict)
     return Measurement(
         algorithm=algorithm,
         layout=lay.name,
@@ -110,6 +123,7 @@ def measure(
         params=freeze_params(recorded),
         run=L,
         profile=None if span_tree is None else span_tree.to_dict(),
+        faults=fault_dict,
     )
 
 
@@ -121,6 +135,7 @@ def measure_parallel(
     seed: int = 0,
     verify: bool = True,
     observe: bool = False,
+    faults: "FaultPlan | None" = None,
 ) -> Measurement:
     """Run one PxPOTRF configuration; report it in the unified schema.
 
@@ -132,7 +147,7 @@ def measure_parallel(
     ``profile`` field (counts are unchanged).
     """
     a0 = random_spd(n, seed=seed)
-    res = pxpotrf(a0, block, P, observe_spans=observe)
+    res = pxpotrf(a0, block, P, observe_spans=observe, faults=faults)
     ok = True
     if verify:
         ok = bool(np.allclose(res.L, np.linalg.cholesky(a0), atol=1e-8))
@@ -144,6 +159,8 @@ def measure_parallel(
         messages=m.messages,
         flops=m.flops,
     )
+    if res.fault_stats is not None:
+        publish_faults(res.fault_stats)
     return replace(m, correct=ok, seed=seed)
 
 

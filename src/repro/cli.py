@@ -23,6 +23,16 @@ and/or a phase-attribution text report::
 
     repro trace chol --algorithm blocked_right --n 256 --out trace.json
     repro trace pxpotrf --n 64 --block 16 --P 4 --out ptrace.json
+
+``repro chaos`` is the robustness subcommand: it runs the same
+configuration twice — once failure-free, once under a deterministic
+:class:`~repro.faults.FaultPlan` — verifies the recovered result is
+*bit-identical* to the clean one, and reports the injected faults and
+the overhead the resilience protocol paid::
+
+    repro chaos pxpotrf --n 48 --block 12 --P 16 --failstop 3:1 --drop 0.02
+    repro chaos summa --n 32 --block 8 --P 4 --corrupt 0.05 --metrics
+    repro chaos chol --algorithm lapack --n 64 --read-fault 0.01
 """
 
 from __future__ import annotations
@@ -342,11 +352,214 @@ def trace_main(argv: "list[str]") -> int:
     return 0
 
 
+def _parse_failstop(text: str) -> "tuple[int, int]":
+    """Parse a ``RANK:ROUND`` fail-stop spec."""
+    try:
+        rank, rnd = text.split(":")
+        return int(rank), int(rnd)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"expected RANK:ROUND, got {text!r}"
+        ) from exc
+
+
+def _parse_slow_link(text: str) -> "tuple[int, int, float]":
+    """Parse a ``SRC:DST:FACTOR`` degraded-link spec."""
+    try:
+        src, dst, factor = text.split(":")
+        return int(src), int(dst), float(factor)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"expected SRC:DST:FACTOR, got {text!r}"
+        ) from exc
+
+
+def chaos_main(argv: "list[str]") -> int:
+    """``repro chaos``: one faulty run vs its failure-free twin.
+
+    Exits 0 only when the run under faults produced a result
+    bit-identical to the clean run — the acceptance check for the
+    recovery protocol — and prints the realized fault schedule plus
+    the overhead (resent/checkpoint/recovery words and messages) the
+    resilience machinery charged.
+    """
+    from repro.faults import FaultPlan
+    from repro.machine import SequentialMachine
+    from repro.matrices.generators import random_spd
+    from repro.observability.metrics import METRICS, publish_faults
+    from repro.parallel.pxpotrf import pxpotrf
+    from repro.parallel.summa import summa
+    from repro.sequential.registry import run_algorithm as _run_algorithm
+
+    parser = argparse.ArgumentParser(
+        prog="repro chaos",
+        description="Run one configuration under a deterministic fault "
+        "plan, verify the result matches the failure-free run exactly, "
+        "and report the injected faults and recovery overhead.",
+    )
+    parser.add_argument(
+        "target",
+        choices=("pxpotrf", "summa", "chol"),
+        help="what to stress: the parallel Cholesky, the SUMMA "
+        "baseline, or a sequential Cholesky ('chol', read faults only)",
+    )
+    parser.add_argument("--n", type=int, default=48, help="matrix dimension")
+    parser.add_argument(
+        "--block", type=int, default=None,
+        help="distribution block size (parallel; default: n/sqrt(P))",
+    )
+    parser.add_argument(
+        "--P", type=int, default=16,
+        help="processors, a perfect square (parallel; default: 16)",
+    )
+    parser.add_argument(
+        "--algorithm", default="lapack", metavar="NAME",
+        help="sequential algorithm (chol only; default: lapack)",
+    )
+    parser.add_argument(
+        "--M", type=int, default=None,
+        help="fast-memory words (chol only; default: 3*n)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="input matrix seed")
+    parser.add_argument(
+        "--fault-seed", type=int, default=1,
+        help="fault-plan seed: same seed, same schedule (default: 1)",
+    )
+    parser.add_argument(
+        "--drop", type=float, default=0.0,
+        help="per-message drop probability (network targets)",
+    )
+    parser.add_argument(
+        "--duplicate", type=float, default=0.0,
+        help="per-message duplication probability",
+    )
+    parser.add_argument(
+        "--corrupt", type=float, default=0.0,
+        help="per-message payload-corruption probability (detected by "
+        "checksum, costs a resend)",
+    )
+    parser.add_argument(
+        "--read-fault", type=float, default=0.0,
+        help="per-read transient fault probability (chol only)",
+    )
+    parser.add_argument(
+        "--failstop", type=_parse_failstop, action="append", default=[],
+        metavar="RANK:ROUND",
+        help="fail-stop rank RANK at round ROUND (repeatable; enables "
+        "buddy checkpointing + recovery)",
+    )
+    parser.add_argument(
+        "--slow", type=_parse_slow_link, action="append", default=[],
+        metavar="SRC:DST:FACTOR",
+        help="degrade the SRC→DST link's inverse bandwidth by FACTOR",
+    )
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="print the Prometheus-style metrics exposition at the end",
+    )
+    args = parser.parse_args(argv)
+
+    plan = FaultPlan(
+        seed=args.fault_seed,
+        drop=args.drop,
+        duplicate=args.duplicate,
+        corrupt=args.corrupt,
+        read_fault=args.read_fault,
+        failstops=tuple(args.failstop),
+        slow_links=tuple(args.slow),
+    )
+    if plan.is_empty():
+        parser.error(
+            "the fault plan is empty; give at least one of --drop, "
+            "--duplicate, --corrupt, --read-fault, --failstop, --slow"
+        )
+
+    a0 = random_spd(args.n, seed=args.seed)
+    if args.target == "chol":
+        if plan.failstops or plan.slow_links or plan.drop or plan.duplicate \
+                or plan.corrupt:
+            if not plan.read_fault:
+                parser.error("chol injects read faults; use --read-fault")
+        algorithm = normalize_algorithm(args.algorithm)
+        M = args.M if args.M is not None else 3 * args.n
+
+        def run(with_faults: bool):
+            machine = SequentialMachine(M)
+            machine.attach_faults(plan if with_faults else None)
+            A = TrackedMatrix(a0, make_layout("column-major", args.n), machine)
+            L = _run_algorithm(algorithm, A)
+            stats = machine.faults.stats if machine.faults else None
+            return L.L, L.measurement, stats
+
+        clean_x, clean_m, _ = run(False)
+        faulty_x, faulty_m, stats = run(True)
+        if stats is not None:
+            publish_faults(stats)
+        overhead_words = faulty_m.words - clean_m.words
+        overhead_msgs = faulty_m.messages - clean_m.messages
+    else:
+        root = math.isqrt(args.P)
+        if root * root != args.P:
+            parser.error(f"--P must be a perfect square, got {args.P}")
+        block = args.block if args.block is not None else max(1, args.n // root)
+        if args.target == "pxpotrf":
+            def factor(faults):
+                return pxpotrf(a0, block, args.P, faults=faults)
+            clean_r = factor(None)
+            faulty_r = factor(plan)
+            clean_x, faulty_x = clean_r.L, faulty_r.L
+        else:
+            rng = np.random.default_rng(args.seed + 1)
+            b0 = rng.standard_normal((args.n, args.n))
+            clean_r = summa(a0, b0, block, args.P)
+            faulty_r = summa(a0, b0, block, args.P, faults=plan)
+            clean_x, faulty_x = clean_r.C, faulty_r.C
+        stats = faulty_r.fault_stats
+        publish_faults(stats)
+        overhead_words = faulty_r.critical_words - clean_r.critical_words
+        overhead_msgs = faulty_r.critical_messages - clean_r.critical_messages
+
+    diff = float(np.max(np.abs(faulty_x - clean_x)))
+    d = stats.to_dict() if stats is not None else {}
+    injected = {
+        k: d.get(k, 0)
+        for k in ("drops", "duplicates", "corruptions", "failstops",
+                  "read_faults")
+        if d.get(k, 0)
+    }
+    overhead = {
+        k: d.get(k, 0)
+        for k in ("resent_messages", "resent_words", "ack_messages",
+                  "checkpoint_words", "checkpoint_messages",
+                  "recovery_words", "recovery_messages",
+                  "read_retry_words", "read_retry_messages")
+        if d.get(k, 0)
+    }
+    print(f"[chaos] plan: {plan.to_dict()}")
+    print(f"[chaos] injected: {injected or 'nothing (schedule was quiet)'}")
+    print(f"[chaos] protocol overhead: {overhead or 'none'}")
+    print(
+        f"[chaos] critical-path overhead: {overhead_words} words, "
+        f"{overhead_msgs} messages"
+    )
+    print(f"[chaos] max |faulty - clean| = {diff}")
+    if args.metrics:
+        print(METRICS.render_text(), end="")
+    if diff != 0.0:
+        print("[chaos] FAIL: faulty run diverged from the clean run",
+              file=sys.stderr)
+        return 1
+    print("[chaos] OK: faulty run matches the failure-free run exactly")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "trace":
         return trace_main(argv[1:])
+    if argv and argv[0] == "chaos":
+        return chaos_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-reports",
         description="Regenerate the paper's tables from (cached) simulations. "

@@ -15,9 +15,14 @@ Layout on disk::
     <cache-dir>/<key[:2]>/<key>.json
 
 Each file holds ``{"key", "code_version", "point", "measurement",
-"wall_time", "created"}``.  Writes are atomic (temp file + rename), so
-a concurrent reader never sees a torn entry; unreadable or corrupt
-entries are treated as misses.
+"wall_time", "created", "digest"}``.  Writes are atomic (temp file +
+rename), so a concurrent reader never sees a torn entry.  ``digest`` is
+a SHA-256 over the canonical JSON of the rest of the entry: a reader
+recomputes it on every ``get``, so bit-level corruption (truncated
+file, flipped byte, hand-edited counters) is *detected* rather than
+served — the entry is logged, counted under the ``corrupt`` metric
+label, and treated as a miss, which means the engine recomputes the
+point and the next ``put`` overwrites the damaged file.
 
 The default location is ``$REPRO_CACHE_DIR`` or ``.repro-cache/`` next
 to the repository root.
@@ -27,6 +32,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import tempfile
 import time
@@ -36,6 +42,15 @@ from repro.experiments.spec import SpecPoint
 from repro.observability.metrics import METRICS
 
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+logger = logging.getLogger("repro.experiments.cache")
+
+
+def entry_digest(entry: dict) -> str:
+    """SHA-256 over the canonical JSON of an entry (sans its digest)."""
+    body = {k: v for k, v in entry.items() if k != "digest"}
+    blob = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
 @lru_cache(maxsize=1)
@@ -113,16 +128,39 @@ class ResultCache:
         return os.path.join(self.directory, key[:2], f"{key}.json")
 
     def get(self, point: SpecPoint) -> dict | None:
-        """Load the entry for ``point``; ``None`` (a miss) if absent/corrupt."""
+        """Load the entry for ``point``; ``None`` (a miss) if absent/corrupt.
+
+        Every hit is digest-verified: an entry whose stored ``digest``
+        is missing or does not match its recomputed content hash is
+        corrupt (truncation, bit flip, manual edit) and is demoted to a
+        logged miss — the caller recomputes and the write-back
+        overwrites the damaged file.  Corruption never crashes a run.
+        """
         path = self.path_for(point)
         try:
             with open(path, "r", encoding="utf-8") as fh:
                 entry = json.load(fh)
             if not isinstance(entry, dict) or "measurement" not in entry:
                 raise ValueError("malformed cache entry")
-        except (OSError, ValueError):
+        except FileNotFoundError:
             self.misses += 1
             METRICS.counter("repro_cache_lookups_total", result="miss").inc()
+            return None
+        except (OSError, ValueError):
+            self.misses += 1
+            METRICS.counter("repro_cache_lookups_total", result="corrupt").inc()
+            logger.warning(
+                "unreadable cache entry at %s; treating as a miss", path
+            )
+            return None
+        if entry.get("digest") != entry_digest(entry):
+            self.misses += 1
+            METRICS.counter("repro_cache_lookups_total", result="corrupt").inc()
+            logger.warning(
+                "cache entry digest mismatch at %s (corrupt or tampered); "
+                "treating as a miss",
+                path,
+            )
             return None
         self.hits += 1
         METRICS.counter("repro_cache_lookups_total", result="hit").inc()
@@ -149,6 +187,7 @@ class ResultCache:
             "wall_time": float(wall_time),
             "created": time.time(),
         }
+        entry["digest"] = entry_digest(entry)
         fd, tmp = tempfile.mkstemp(
             dir=os.path.dirname(path), prefix=".tmp-", suffix=".json"
         )
@@ -172,4 +211,10 @@ class ResultCache:
         return count
 
 
-__all__ = ["ResultCache", "code_version", "default_cache_dir", "CACHE_DIR_ENV"]
+__all__ = [
+    "ResultCache",
+    "code_version",
+    "default_cache_dir",
+    "entry_digest",
+    "CACHE_DIR_ENV",
+]

@@ -19,7 +19,20 @@ Execution model:
 Because each point's seed is fixed by the spec and the simulators are
 deterministic, a ``jobs=N`` run produces measurements identical to a
 serial run — the engine asserts nothing about scheduling, only about
-configurations.
+configurations.  Points carrying a frozen
+:class:`~repro.faults.FaultPlan` run their simulation under that plan
+(the plan is part of the point, so the derived schedule is identical
+under any job count).
+
+Hardened execution: a point that raises is retried with exponential
+backoff (``retries``/``retry_backoff``); a pool that makes no progress
+for ``point_timeout`` seconds is declared stalled and its unfinished
+points failed; a worker-process crash (``BrokenProcessPool``) demotes
+the affected points to an in-process serial retry instead of killing
+the run.  With ``salvage=True`` (default) failed points are recorded
+as error-carrying :class:`PointResult` rows — the artifact keeps every
+completed measurement plus the failure reasons — rather than
+discarding a whole sweep over one bad point.
 """
 
 from __future__ import annotations
@@ -28,7 +41,11 @@ import os
 import re
 import sys
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass
 from typing import Callable, Optional
 
@@ -52,6 +69,7 @@ def execute_point(point: SpecPoint) -> "tuple[Measurement, float]":
     from repro.analysis.sweeps import measure, measure_parallel
 
     t0 = time.perf_counter()
+    plan = point.fault_plan
     if point.kind == PARALLEL:
         m = measure_parallel(
             point.n,
@@ -60,6 +78,7 @@ def execute_point(point: SpecPoint) -> "tuple[Measurement, float]":
             seed=point.seed,
             verify=point.verify,
             observe=point.observe,
+            faults=plan,
         )
     else:
         kwargs = dict(point.params)
@@ -73,6 +92,7 @@ def execute_point(point: SpecPoint) -> "tuple[Measurement, float]":
             seed=point.seed,
             verify=point.verify,
             observe=point.observe,
+            faults=plan,
             **kwargs,
         )
     return m.without_run(), time.perf_counter() - t0
@@ -80,20 +100,35 @@ def execute_point(point: SpecPoint) -> "tuple[Measurement, float]":
 
 @dataclass(frozen=True)
 class PointResult:
-    """One executed (or cache-served) spec point."""
+    """One executed (or cache-served, or failed) spec point.
+
+    A failed-but-salvaged point carries ``measurement=None`` and a
+    human-readable ``error``; everything else about the row (point
+    identity, wall time) is still recorded so the artifact shows *what*
+    failed and *why*, next to the points that succeeded.
+    """
 
     point: SpecPoint
-    measurement: Measurement
+    measurement: "Measurement | None"
     wall_time: float
     cached: bool
+    error: "str | None" = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the point produced a measurement."""
+        return self.measurement is not None
 
     def to_dict(self) -> dict:
         """JSON-ready dict for artifact output."""
         return {
             "point": self.point.to_dict(),
-            "measurement": self.measurement.to_dict(),
+            "measurement": (
+                None if self.measurement is None else self.measurement.to_dict()
+            ),
             "wall_time": float(self.wall_time),
             "cached": bool(self.cached),
+            "error": self.error,
         }
 
 
@@ -107,8 +142,13 @@ class ExperimentResult:
 
     @property
     def measurements(self) -> "list[Measurement]":
-        """The measurements alone, in spec order."""
-        return [p.measurement for p in self.points]
+        """The successful measurements, in spec order (failures skipped)."""
+        return [p.measurement for p in self.points if p.measurement is not None]
+
+    @property
+    def failures(self) -> "list[PointResult]":
+        """The salvaged failed points, in spec order."""
+        return [p for p in self.points if p.error is not None]
 
     @property
     def cache_hits(self) -> int:
@@ -128,6 +168,7 @@ class ExperimentResult:
             "wall_time": float(self.wall_time),
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "failed": len(self.failures),
             "points": [p.to_dict() for p in self.points],
         }
 
@@ -166,6 +207,22 @@ class ExperimentEngine:
         each point resolves.
     verbose:
         Emit per-point progress lines and a summary to stderr.
+    point_timeout:
+        Stall guard for the process pool: if *no* point completes
+        within this many seconds, the pool is declared stalled, its
+        unfinished points are failed (salvaged or raised per
+        ``salvage``), and the run moves on.  ``None`` (default) waits
+        indefinitely.
+    retries:
+        How many times a raising point is re-attempted (after the
+        first try) before it counts as failed.
+    retry_backoff:
+        Base of the exponential retry delay: attempt *k* waits
+        ``retry_backoff · 2^(k-1)`` seconds before re-running.
+    salvage:
+        ``True`` (default) records failed points as error rows in the
+        result instead of raising — one bad point no longer discards a
+        whole sweep.  ``False`` restores fail-fast.
     """
 
     def __init__(
@@ -175,9 +232,17 @@ class ExperimentEngine:
         cache: "ResultCache | str | None" = "default",
         progress: Optional[ProgressFn] = None,
         verbose: bool = False,
+        point_timeout: "float | None" = None,
+        retries: int = 2,
+        retry_backoff: float = 0.5,
+        salvage: bool = True,
     ):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if point_timeout is not None and point_timeout <= 0:
+            raise ValueError(f"point_timeout must be positive, got {point_timeout}")
         self.jobs = int(jobs)
         if cache == "default":
             cache = ResultCache.default()
@@ -186,11 +251,18 @@ class ExperimentEngine:
         self.cache: ResultCache | None = cache
         self.progress = progress
         self.verbose = verbose
+        self.point_timeout = point_timeout
+        self.retries = int(retries)
+        self.retry_backoff = float(retry_backoff)
+        self.salvage = bool(salvage)
         self.results: "list[ExperimentResult]" = []
 
     def _notify(self, done: int, total: int, pr: PointResult, name: str) -> None:
         if self.verbose:
-            tag = "cache" if pr.cached else f"{pr.wall_time:.2f}s"
+            if pr.error is not None:
+                tag = f"FAILED: {pr.error}"
+            else:
+                tag = "cache" if pr.cached else f"{pr.wall_time:.2f}s"
             print(
                 f"[engine] {name}: {done}/{total} {pr.point.label()} ({tag})",
                 file=sys.stderr,
@@ -230,20 +302,94 @@ class ExperimentEngine:
             METRICS.histogram("repro_point_wall_seconds", kind=pt.kind).observe(dt)
             self._notify(done, total, out[i], spec.name)
 
+        def fail(i: int, pt: SpecPoint, err: str, dt: float) -> None:
+            nonlocal done
+            out[i] = PointResult(pt, None, dt, False, error=err)
+            done += 1
+            METRICS.counter("repro_engine_failures_total", kind=pt.kind).inc()
+            self._notify(done, total, out[i], spec.name)
+
+        def run_serial(i: int, pt: SpecPoint) -> None:
+            """Execute one point in-process with bounded backoff retries."""
+            t0p = time.perf_counter()
+            for attempt in range(1, self.retries + 2):
+                try:
+                    m, dt = execute_point(pt)
+                except Exception as exc:  # noqa: BLE001 - salvage boundary
+                    if attempt > self.retries:
+                        if not self.salvage:
+                            raise
+                        fail(
+                            i,
+                            pt,
+                            f"{type(exc).__name__}: {exc}",
+                            time.perf_counter() - t0p,
+                        )
+                        return
+                    METRICS.counter(
+                        "repro_engine_retries_total", kind=pt.kind
+                    ).inc()
+                    time.sleep(self.retry_backoff * (2 ** (attempt - 1)))
+                else:
+                    record(i, pt, m, dt)
+                    return
+
         if pending and self.jobs > 1 and len(pending) > 1:
             workers = min(self.jobs, len(pending))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = {
-                    pool.submit(execute_point, pt): (i, pt) for i, pt in pending
-                }
-                for fut in as_completed(futures):
+            # Points whose worker raised (including a crashed worker
+            # process, which surfaces as BrokenProcessPool on every
+            # outstanding future) are retried serially in-process after
+            # the pool is gone.
+            leftovers: "list[tuple[int, SpecPoint]]" = []
+            pool = ProcessPoolExecutor(max_workers=workers)
+            futures = {
+                pool.submit(execute_point, pt): (i, pt) for i, pt in pending
+            }
+            not_done = set(futures)
+            stalled = False
+            while not_done:
+                finished, not_done = wait(
+                    not_done,
+                    timeout=self.point_timeout,
+                    return_when=FIRST_COMPLETED,
+                )
+                if not finished:
+                    stalled = True
+                    break
+                for fut in finished:
                     i, pt = futures[fut]
-                    m, dt = fut.result()
-                    record(i, pt, m, dt)
+                    try:
+                        m, dt = fut.result()
+                    except Exception:  # noqa: BLE001 - retried serially
+                        leftovers.append((i, pt))
+                    else:
+                        record(i, pt, m, dt)
+            if stalled:
+                # Nothing finished for a whole point_timeout window:
+                # give up on the unfinished points without blocking on
+                # the (possibly hung) workers.
+                for fut in not_done:
+                    fut.cancel()
+                pool.shutdown(wait=False, cancel_futures=True)
+                for fut in sorted(not_done, key=lambda f: futures[f][0]):
+                    i, pt = futures[fut]
+                    METRICS.counter(
+                        "repro_engine_timeouts_total", kind=pt.kind
+                    ).inc()
+                    err = (
+                        f"no progress for {self.point_timeout:.1f}s; "
+                        "point abandoned as stalled"
+                    )
+                    if not self.salvage:
+                        raise TimeoutError(f"{pt.label()}: {err}")
+                    fail(i, pt, err, float(self.point_timeout))
+            else:
+                pool.shutdown(wait=True)
+            for i, pt in sorted(leftovers):
+                run_serial(i, pt)
         else:
             for i, pt in pending:
-                m, dt = execute_point(pt)
-                record(i, pt, m, dt)
+                run_serial(i, pt)
 
         result = ExperimentResult(
             spec=spec,
@@ -257,10 +403,12 @@ class ExperimentEngine:
         """One-line account of everything this engine ran."""
         total = sum(len(r.points) for r in self.results)
         hits = sum(r.cache_hits for r in self.results)
+        failed = sum(len(r.failures) for r in self.results)
         secs = sum(r.wall_time for r in self.results)
+        tail = f", {failed} failed" if failed else ""
         return (
             f"[engine] {total} points across {len(self.results)} spec(s): "
-            f"{hits} from cache, {total - hits} computed, "
+            f"{hits} from cache, {total - hits} computed{tail}, "
             f"jobs={self.jobs}, {secs:.2f}s"
         )
 
@@ -276,10 +424,21 @@ def run_experiment(
     cache: "ResultCache | str | None" = "default",
     progress: Optional[ProgressFn] = None,
     verbose: bool = False,
+    point_timeout: "float | None" = None,
+    retries: int = 2,
+    retry_backoff: float = 0.5,
+    salvage: bool = True,
 ) -> ExperimentResult:
     """One-shot convenience: build an engine, run one spec."""
     engine = ExperimentEngine(
-        jobs=jobs, cache=cache, progress=progress, verbose=verbose
+        jobs=jobs,
+        cache=cache,
+        progress=progress,
+        verbose=verbose,
+        point_timeout=point_timeout,
+        retries=retries,
+        retry_backoff=retry_backoff,
+        salvage=salvage,
     )
     return engine.run(spec)
 

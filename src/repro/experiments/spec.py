@@ -24,10 +24,24 @@ import json
 from dataclasses import dataclass
 from typing import Any, Iterable, Mapping, Sequence
 
+from repro.faults.plan import FaultPlan
 from repro.results import freeze_params
 
 SEQUENTIAL = "sequential"
 PARALLEL = "parallel"
+
+
+def _freeze_faults(faults) -> tuple:
+    """Canonicalize a fault plan (or dict / frozen tuple / None) for a point."""
+    if faults is None:
+        return ()
+    if isinstance(faults, FaultPlan):
+        plan = faults
+    elif isinstance(faults, tuple):
+        plan = FaultPlan.from_frozen(faults)
+    else:
+        plan = FaultPlan.from_dict(faults)
+    return () if plan.is_empty() else plan.freeze()
 
 
 def derive_seed(root: int, *parts: object) -> int:
@@ -67,6 +81,16 @@ class SpecPoint:
     #: the cache key: an observed and an unobserved run store
     #: different payloads (the former carries the span tree).
     observe: bool = False
+    #: Frozen :class:`~repro.faults.FaultPlan` (``FaultPlan.freeze()``),
+    #: or ``()`` for a failure-free point.  Part of the cache key:
+    #: a faulty run and a clean run of the same configuration report
+    #: different counters, so they must never share an entry.
+    faults: tuple = ()
+
+    @property
+    def fault_plan(self) -> "FaultPlan | None":
+        """The point's fault plan as a live object (``None`` if clean)."""
+        return FaultPlan.from_frozen(self.faults) if self.faults else None
 
     def to_dict(self) -> dict:
         """JSON-ready canonical dict (the cache-key input)."""
@@ -82,6 +106,7 @@ class SpecPoint:
             "block": None if self.block is None else int(self.block),
             "params": [[k, v] for k, v in self.params],
             "observe": bool(self.observe),
+            "faults": None if not self.faults else self.fault_plan.to_dict(),
         }
 
     @classmethod
@@ -99,6 +124,7 @@ class SpecPoint:
             block=None if d.get("block") is None else int(d["block"]),
             params=tuple((str(k), v) for k, v in (d.get("params") or ())),
             observe=bool(d.get("observe", False)),
+            faults=_freeze_faults(d.get("faults")),
         )
 
     def key(self) -> str:
@@ -108,9 +134,12 @@ class SpecPoint:
 
     def label(self) -> str:
         """Short human-readable tag for progress lines."""
+        chaos = " +faults" if self.faults else ""
         if self.kind == PARALLEL:
-            return f"{self.algorithm} n={self.n} b={self.block} P={self.P}"
-        return f"{self.algorithm}/{self.layout} n={self.n} M={self.M}"
+            return (
+                f"{self.algorithm} n={self.n} b={self.block} P={self.P}{chaos}"
+            )
+        return f"{self.algorithm}/{self.layout} n={self.n} M={self.M}{chaos}"
 
 
 def _point_seed(root: int, explicit: int | None, *identity: object) -> int:
@@ -145,6 +174,7 @@ class ExperimentSpec:
         seed: int = 0,
         verify: bool = True,
         observe: bool = False,
+        faults: "FaultPlan | None" = None,
     ) -> "ExperimentSpec":
         """Cross an algorithm × layout × n × M (× param) grid.
 
@@ -153,11 +183,14 @@ class ExperimentSpec:
         expanded as an extra cross-product dimension (e.g.
         ``{"block": [4, 16, 64]}`` for a block-size sweep).
         ``observe=True`` records a phase-span profile for every point
-        (stored in the artifact next to the counters).
+        (stored in the artifact next to the counters).  ``faults``
+        applies one deterministic fault plan to every point (part of
+        each point's cache key).
         """
         base = dict(params or {})
         grid_names = sorted(param_grid or {})
         grid_values = [list((param_grid or {})[k]) for k in grid_names]
+        frozen_faults = _freeze_faults(faults)
         pts = []
         for algo, layout, n, M in itertools.product(algorithms, layouts, ns, Ms):
             for combo in itertools.product(*grid_values) if grid_names else [()]:
@@ -174,6 +207,7 @@ class ExperimentSpec:
                         params=frozen,
                         verify=verify,
                         observe=observe,
+                        faults=frozen_faults,
                         seed=derive_seed(seed, algo, layout, n, M, frozen),
                     )
                 )
@@ -188,14 +222,18 @@ class ExperimentSpec:
         seed: int = 0,
         verify: bool = True,
         observe: bool = False,
+        faults: "FaultPlan | None" = None,
     ) -> "ExperimentSpec":
         """Build a spec from explicit case dicts (census-style lists).
 
         Each case needs ``algorithm``, ``n`` and either ``M`` (+
         optional ``layout``/``params``) for a sequential point or
         ``P`` + ``block`` for a parallel one.  A case may pin its own
-        ``seed`` or ``observe``; otherwise the spec-wide values apply.
+        ``seed``, ``observe`` or ``faults`` (a
+        :class:`~repro.faults.FaultPlan` or its dict form); otherwise
+        the spec-wide values apply.
         """
+        spec_faults = _freeze_faults(faults)
         pts = []
         for case in cases:
             algo = case["algorithm"]
@@ -203,6 +241,11 @@ class ExperimentSpec:
             explicit = case.get("seed")
             vfy = bool(case.get("verify", verify))
             obs = bool(case.get("observe", observe))
+            flt = (
+                _freeze_faults(case["faults"])
+                if "faults" in case
+                else spec_faults
+            )
             if case.get("P") is not None:
                 P, block = int(case["P"]), int(case["block"])
                 pts.append(
@@ -215,6 +258,7 @@ class ExperimentSpec:
                         block=block,
                         verify=vfy,
                         observe=obs,
+                        faults=flt,
                         seed=_point_seed(seed, explicit, algo, n, block, P),
                     )
                 )
@@ -232,6 +276,7 @@ class ExperimentSpec:
                         params=frozen,
                         verify=vfy,
                         observe=obs,
+                        faults=flt,
                         seed=_point_seed(seed, explicit, algo, layout, n, M, frozen),
                     )
                 )
@@ -246,6 +291,7 @@ class ExperimentSpec:
         seed: int = 0,
         verify: bool = True,
         observe: bool = False,
+        faults: "FaultPlan | None" = None,
     ) -> "ExperimentSpec":
         """Spec over PxPOTRF configurations ``(n, block, P)``."""
         cases = [
@@ -253,7 +299,8 @@ class ExperimentSpec:
             for n, b, P in configs
         ]
         return cls.from_cases(
-            name, cases, seed=seed, verify=verify, observe=observe
+            name, cases, seed=seed, verify=verify, observe=observe,
+            faults=faults,
         )
 
     def to_dict(self) -> dict:

@@ -1,0 +1,38 @@
+"""Deterministic fault injection and recovery accounting.
+
+The paper's Table 2 assumes a failure-free α-β network; this package
+asks what failures *cost* in the same words/messages/flops currency.
+A seeded :class:`FaultPlan` describes message drop/duplication/
+corruption, slow links, fail-stop ranks and transient machine read
+faults; a :class:`FaultInjector` realizes it deterministically (same
+seed ⇒ byte-identical schedule ⇒ identical counters, across process
+pools); :class:`FaultStats` reports how much extra traffic the
+retry/ack transport, buddy checkpointing and fail-stop recovery cost.
+
+Entry points: ``Network.attach_faults`` /
+``HierarchicalMachine.attach_faults``, the ``faults=`` keyword of
+``pxpotrf``/``summa``/``measure``/``measure_parallel``, the
+``faults=`` field of experiment spec points, and the ``repro chaos``
+CLI.  See ``docs/FAULTS.md``.
+"""
+
+from repro.faults.injector import (
+    FaultError,
+    FaultEvent,
+    FaultExhausted,
+    FaultInjector,
+    FaultStats,
+    RankFailed,
+)
+from repro.faults.plan import FaultPlan, fault_unit
+
+__all__ = [
+    "FaultError",
+    "FaultEvent",
+    "FaultExhausted",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultStats",
+    "RankFailed",
+    "fault_unit",
+]

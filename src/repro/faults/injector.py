@@ -1,0 +1,186 @@
+"""The live side of a fault plan: decisions, event log, statistics.
+
+A :class:`FaultInjector` wraps one :class:`~repro.faults.plan.FaultPlan`
+for one run.  The simulators ask it questions ("is transmission
+``(src, dst, seq, attempt)`` dropped?"); every *positive* answer is
+appended to :attr:`FaultInjector.events` — the realized fault
+schedule — and tallied in :class:`FaultStats`.  Because each answer is
+a pure hash of the plan seed and the decision's identity, two runs of
+the same algorithm under the same plan produce byte-identical event
+lists, which the determinism tests compare directly.
+
+:class:`FaultStats` also accumulates the *cost* of tolerating the
+faults: resent words/messages, ack traffic, backoff time, checkpoint
+traffic and fail-stop recovery traffic.  The simulators charge those
+costs to their ordinary clocks and counters; the stats exist so a
+measurement can report "how much of the total was overhead".
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any, Mapping, NamedTuple
+
+from repro.faults.plan import FaultPlan
+
+
+class FaultError(RuntimeError):
+    """Base class for fault-subsystem failures."""
+
+
+class FaultExhausted(FaultError):
+    """A message could not be delivered within ``max_attempts``."""
+
+
+class RankFailed(FaultError):
+    """A failed (and not yet recovered) rank was asked to communicate."""
+
+
+class FaultEvent(NamedTuple):
+    """One realized fault: what, where, and on which transmission."""
+
+    kind: str  # "drop" | "duplicate" | "corrupt" | "failstop" | "read"
+    src: int
+    dst: int
+    seq: int
+    attempt: int
+
+
+@dataclass
+class FaultStats:
+    """Realized faults plus the charged cost of surviving them."""
+
+    # injected faults
+    drops: int = 0
+    duplicates: int = 0
+    corruptions: int = 0
+    failstops: int = 0
+    read_faults: int = 0
+    # tolerance costs (already charged to the run's ordinary counters)
+    resent_messages: int = 0
+    resent_words: int = 0
+    ack_messages: int = 0
+    backoff_time: float = 0.0
+    checkpoint_words: int = 0
+    checkpoint_messages: int = 0
+    recovery_words: int = 0
+    recovery_messages: int = 0
+    read_retry_words: int = 0
+    read_retry_messages: int = 0
+
+    def any_injected(self) -> bool:
+        """True if at least one fault was realized."""
+        return bool(
+            self.drops
+            or self.duplicates
+            or self.corruptions
+            or self.failstops
+            or self.read_faults
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict (measurement/artifact payload)."""
+        return {k: v for k, v in asdict(self).items()}
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "FaultStats":
+        """Rebuild stats from :meth:`to_dict` output (unknown keys dropped)."""
+        known = {f for f in cls.__dataclass_fields__}
+        return cls(**{k: v for k, v in d.items() if k in known})
+
+
+class FaultInjector:
+    """Deterministic decision oracle + event log for one run."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.stats = FaultStats()
+        self.events: "list[FaultEvent]" = []
+        self._failed: "set[int]" = set()
+
+    # -- message-level decisions ------------------------------------------
+
+    def _decide(self, kind: str, prob: float, src: int, dst: int,
+                seq: int, attempt: int) -> bool:
+        if prob <= 0.0:
+            return False
+        if self.plan.unit(kind, src, dst, seq, attempt) >= prob:
+            return False
+        self.events.append(FaultEvent(kind, src, dst, seq, attempt))
+        return True
+
+    def dropped(self, src: int, dst: int, seq: int, attempt: int) -> bool:
+        """Is this transmission lost in flight?"""
+        hit = self._decide("drop", self.plan.drop, src, dst, seq, attempt)
+        if hit:
+            self.stats.drops += 1
+        return hit
+
+    def corrupted(self, src: int, dst: int, seq: int, attempt: int) -> bool:
+        """Does this transmission arrive checksum-corrupt (and get discarded)?"""
+        hit = self._decide("corrupt", self.plan.corrupt, src, dst, seq, attempt)
+        if hit:
+            self.stats.corruptions += 1
+        return hit
+
+    def duplicated(self, src: int, dst: int, seq: int, attempt: int) -> bool:
+        """Does the network deliver this transmission twice?"""
+        hit = self._decide(
+            "duplicate", self.plan.duplicate, src, dst, seq, attempt
+        )
+        if hit:
+            self.stats.duplicates += 1
+        return hit
+
+    def ack_dropped(self, src: int, dst: int, seq: int, attempt: int) -> bool:
+        """Is the acknowledgement for this transmission lost?"""
+        hit = self._decide("drop-ack", self.plan.drop, src, dst, seq, attempt)
+        if hit:
+            self.stats.drops += 1
+        return hit
+
+    def read_faulted(self, seq: int) -> bool:
+        """Does explicit machine read ``seq`` return garbage (retry needed)?"""
+        if self.plan.read_fault <= 0.0:
+            return False
+        if self.plan.unit("read", seq) >= self.plan.read_fault:
+            return False
+        self.events.append(FaultEvent("read", -1, -1, seq, 0))
+        self.stats.read_faults += 1
+        return True
+
+    # -- link & rank state -------------------------------------------------
+
+    def beta_factor(self, src: int, dst: int) -> float:
+        """Per-link β multiplier (1.0 unless the plan slows this link)."""
+        return self.plan.beta_factor(src, dst)
+
+    def failstops_due(self, round_index: int) -> "list[int]":
+        """Ranks whose fail-stop round is ``round_index`` (each fires once)."""
+        due = [
+            rank
+            for rank, k in self.plan.failstops
+            if k == round_index and rank not in self._failed
+        ]
+        for rank in due:
+            self._failed.add(rank)
+            self.events.append(FaultEvent("failstop", rank, rank, round_index, 0))
+            self.stats.failstops += 1
+        return due
+
+    def schedule_fingerprint(self) -> str:
+        """Stable digest of the realized fault schedule (determinism tests)."""
+        import hashlib
+
+        blob = "\n".join(repr(tuple(e)) for e in self.events)
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+__all__ = [
+    "FaultError",
+    "FaultEvent",
+    "FaultExhausted",
+    "FaultInjector",
+    "FaultStats",
+    "RankFailed",
+]

@@ -1,0 +1,204 @@
+"""Seeded, fully deterministic fault plans.
+
+A :class:`FaultPlan` is a *description* of what can go wrong during a
+run: message drop/duplication/payload-corruption probabilities, slow
+links (a degraded per-link β), fail-stop ranks, and transient read
+faults on the sequential machine.  It carries one seed, and every
+individual fault decision is a pure function of
+
+    ``(seed, kind, identity parts)``
+
+hashed through SHA-256 — never of wall time, process id, or execution
+order.  The same plan therefore produces byte-identical fault
+schedules and identical counters on every run, across ``jobs=1`` and
+``jobs=N``, which is what lets faulty runs live in the same
+content-addressed result cache as clean ones.
+
+An *empty* plan (all probabilities zero, no slow links, no
+fail-stops) is the explicit "nothing can fail" statement: simulators
+treat it exactly like ``faults=None`` and keep their historical
+counters bit-identical (the zero-overhead-when-off guarantee the
+fault tests enforce registry-wide).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, fields, replace
+from typing import Any, Iterable, Mapping
+
+
+def fault_unit(seed: int, *parts: object) -> float:
+    """Deterministic uniform draw in ``[0, 1)`` for one fault decision.
+
+    SHA-256 over the seed plus the decision's identity — stable across
+    processes, Python versions and execution order (unlike ``hash()``
+    or a shared ``random.Random`` stream, either of which would make
+    ``jobs=N`` runs diverge from serial ones).
+    """
+    text = ":".join([str(int(seed)), *(repr(p) for p in parts)])
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+def _check_prob(name: str, p: float) -> float:
+    p = float(p)
+    if not (0.0 <= p < 1.0):
+        raise ValueError(f"{name} must be a probability in [0, 1), got {p}")
+    return p
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic schedule of injectable faults.
+
+    Parameters
+    ----------
+    seed:
+        Root of every fault decision (see :func:`fault_unit`).
+    drop, duplicate, corrupt:
+        Per-transmission probabilities of losing a message, of the
+        network delivering it twice, and of the payload arriving
+        checksum-corrupt (detected and discarded by the receiver, so
+        it costs a resend rather than wrong numerics).
+    slow_links:
+        ``((src, dst, factor), ...)`` β multipliers for individual
+        directed links; ``factor`` > 1 models a degraded link.
+    failstops:
+        ``((rank, round), ...)``: rank fails (loses all state) at the
+        *start* of algorithm round ``round``.  Recovery is the
+        simulated algorithm's job (buddy checkpointing in PxPOTRF /
+        SUMMA).
+    read_fault:
+        Probability that one explicit sequential-machine read returns
+        garbage (detected, e.g. ECC) and must be re-issued — the
+        retry is charged at every level.
+    max_attempts:
+        Bound on transmissions of one logical message before the
+        transport gives up with :class:`~repro.faults.FaultExhausted`.
+    backoff_base, backoff_cap:
+        Retry backoff in units of the network's α: attempt ``k``
+        (0-based) waits ``min(cap, base · 2^k)·α`` before resending.
+    """
+
+    seed: int = 0
+    drop: float = 0.0
+    duplicate: float = 0.0
+    corrupt: float = 0.0
+    slow_links: "tuple[tuple[int, int, float], ...]" = ()
+    failstops: "tuple[tuple[int, int], ...]" = ()
+    read_fault: float = 0.0
+    max_attempts: int = 10
+    backoff_base: float = 1.0
+    backoff_cap: float = 16.0
+
+    def __post_init__(self) -> None:
+        for name in ("drop", "duplicate", "corrupt", "read_fault"):
+            object.__setattr__(self, name, _check_prob(name, getattr(self, name)))
+        if int(self.max_attempts) < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise ValueError("backoff_base and backoff_cap must be >= 0")
+        object.__setattr__(self, "seed", int(self.seed))
+        object.__setattr__(self, "max_attempts", int(self.max_attempts))
+        links = tuple(
+            (int(s), int(d), float(f)) for s, d, f in self.slow_links
+        )
+        for s, d, f in links:
+            if f <= 0:
+                raise ValueError(f"slow link ({s},{d}) needs factor > 0, got {f}")
+        object.__setattr__(self, "slow_links", tuple(sorted(links)))
+        stops = tuple((int(r), int(k)) for r, k in self.failstops)
+        for r, k in stops:
+            if r < 0 or k < 0:
+                raise ValueError(f"failstop ({r},{k}) must be non-negative")
+        ranks = [r for r, _ in stops]
+        if len(set(ranks)) != len(ranks):
+            raise ValueError(f"at most one failstop per rank, got {stops}")
+        object.__setattr__(self, "failstops", tuple(sorted(stops)))
+
+    # -- emptiness -------------------------------------------------------
+
+    def is_empty(self) -> bool:
+        """True if the plan can never inject anything."""
+        return not (
+            self.drop
+            or self.duplicate
+            or self.corrupt
+            or self.read_fault
+            or self.slow_links
+            or self.failstops
+        )
+
+    def __bool__(self) -> bool:
+        return not self.is_empty()
+
+    # -- per-decision draws ----------------------------------------------
+
+    def unit(self, kind: str, *parts: object) -> float:
+        """The plan's deterministic uniform draw for one decision."""
+        return fault_unit(self.seed, kind, *parts)
+
+    def beta_factor(self, src: int, dst: int) -> float:
+        """β multiplier of the directed link ``src → dst`` (1.0 = healthy)."""
+        factor = 1.0
+        for s, d, f in self.slow_links:
+            if s == src and d == dst:
+                factor *= f
+        return factor
+
+    def failstop_round(self, rank: int) -> int | None:
+        """The round at whose start ``rank`` fail-stops, or ``None``."""
+        for r, k in self.failstops:
+            if r == rank:
+                return k
+        return None
+
+    def backoff(self, attempt: int) -> float:
+        """Wait (in α units) before re-transmission ``attempt`` (1-based)."""
+        return min(self.backoff_cap, self.backoff_base * (2.0 ** (attempt - 1)))
+
+    # -- serialization ---------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-ready canonical dict (cache-key and artifact input)."""
+        return {
+            "seed": self.seed,
+            "drop": self.drop,
+            "duplicate": self.duplicate,
+            "corrupt": self.corrupt,
+            "slow_links": [list(t) for t in self.slow_links],
+            "failstops": [list(t) for t in self.failstops],
+            "read_fault": self.read_fault,
+            "max_attempts": self.max_attempts,
+            "backoff_base": self.backoff_base,
+            "backoff_cap": self.backoff_cap,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "FaultPlan":
+        """Rebuild a plan from :meth:`to_dict` output."""
+        kw = dict(d)
+        kw["slow_links"] = tuple(tuple(t) for t in kw.get("slow_links", ()))
+        kw["failstops"] = tuple(tuple(t) for t in kw.get("failstops", ()))
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in kw.items() if k in known})
+
+    def freeze(self) -> tuple:
+        """Hashable canonical form (spec points embed this)."""
+        return tuple(sorted(
+            (k, tuple(map(tuple, v)) if isinstance(v, (list, tuple)) else v)
+            for k, v in self.to_dict().items()
+        ))
+
+    @classmethod
+    def from_frozen(cls, frozen: Iterable) -> "FaultPlan":
+        """Inverse of :meth:`freeze`."""
+        return cls.from_dict({k: v for k, v in frozen})
+
+    def with_seed(self, seed: int) -> "FaultPlan":
+        """The same fault model under a different schedule seed."""
+        return replace(self, seed=int(seed))
+
+
+__all__ = ["FaultPlan", "fault_unit"]

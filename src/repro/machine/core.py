@@ -44,6 +44,8 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Iterator, Sequence
 
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.machine.counters import CommCounters, MemoryLevel
 from repro.machine.tracing import MachineTrace, ReadEvent, ScopeEvent, WriteEvent
 from repro.observability.spans import NULL_PROFILER
@@ -131,8 +133,36 @@ class HierarchicalMachine:
         #: Phase-span recorder; the shared no-op unless
         #: :func:`repro.observability.observe` attaches a live one.
         self.profiler = NULL_PROFILER
+        #: Live fault oracle, or ``None`` for the fault-free machine.
+        self.faults: FaultInjector | None = None
+        self._read_seq: int = 0
         self._scope_depth: int = 0
         self._next_base: int = 0
+
+    def attach_faults(
+        self, plan: "FaultPlan | FaultInjector | None"
+    ) -> FaultInjector | None:
+        """Arm the machine with transient read faults from ``plan``.
+
+        Only the plan's ``read_fault`` probability applies here (the
+        rest describes networks); a plan that schedules no read faults
+        leaves the machine on its zero-overhead path with counters
+        bit-identical to a machine that never heard of faults.
+        """
+        if plan is None:
+            self.faults = None
+            return None
+        injector = plan if isinstance(plan, FaultInjector) else None
+        if injector is None:
+            if plan.read_fault <= 0.0:
+                self.faults = None
+                return None
+            injector = FaultInjector(plan)
+        elif injector.plan.read_fault <= 0.0:
+            self.faults = None
+            return None
+        self.faults = injector
+        return injector
 
     # -- convenience accessors (fastest level) -------------------------
 
@@ -183,6 +213,23 @@ class HierarchicalMachine:
         self._note_resident()
         if self.trace is not None:
             self.trace.append(ReadEvent(ivs))
+        if self.faults is not None:
+            # transient read fault (ECC-detected garbage): the transfer
+            # must be re-issued, and the retry is charged at every
+            # level, exactly like the original
+            seq = self._read_seq
+            self._read_seq += 1
+            if self.faults.read_faulted(seq):
+                for level in self.levels:
+                    level.counters.add_read(
+                        words, ivs.messages(cap=level.capacity)
+                    )
+                self.faults.stats.read_retry_words += words
+                self.faults.stats.read_retry_messages += ivs.messages(
+                    cap=self.fast.capacity
+                )
+                if self.trace is not None:
+                    self.trace.append(ReadEvent(ivs))
 
     def write(self, ivs: IntervalSet) -> None:
         """Explicitly transfer ``ivs`` from fast memory back to slow memory.
@@ -329,6 +376,11 @@ class HierarchicalMachine:
         self.flops = 0
         self.resident = IntervalSet()
         self._scope_depth = 0
+        self._read_seq = 0
+        if self.faults is not None:
+            # fresh injector, same plan: a reused machine replays the
+            # same deterministic fault schedule a fresh one would
+            self.faults = FaultInjector(self.faults.plan)
         if self.trace is not None:
             self.trace = MachineTrace(max_events=self.trace.max_events)
 

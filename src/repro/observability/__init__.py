@@ -45,6 +45,7 @@ from repro.observability.metrics import (
     HistogramMetric,
     MetricsError,
     MetricsRegistry,
+    publish_faults,
     publish_machine,
     publish_run,
 )
@@ -73,6 +74,7 @@ __all__ = [
     "observe",
     "phase_report",
     "phase_totals",
+    "publish_faults",
     "publish_machine",
     "publish_run",
     "write_chrome_trace",

@@ -17,13 +17,24 @@ name                                  type       labels
 ``repro_run_words_total``             counter    ``kind``, ``algorithm``
 ``repro_run_messages_total``          counter    ``kind``, ``algorithm``
 ``repro_run_flops_total``             counter    ``kind``, ``algorithm``
-``repro_cache_lookups_total``         counter    ``result`` (hit/miss)
+``repro_cache_lookups_total``         counter    ``result`` (hit/miss/corrupt)
 ``repro_engine_points_total``         counter    ``source`` (cache/computed)
+``repro_engine_retries_total``        counter    ``kind``
+``repro_engine_failures_total``       counter    ``kind``
+``repro_engine_timeouts_total``       counter    ``kind``
 ``repro_point_wall_seconds``          histogram  ``kind``
 ``repro_machine_words``               gauge      ``level``
 ``repro_machine_messages``            gauge      ``level``
 ``repro_machine_peak_resident``       gauge      ``level``
 ``repro_machine_flops``               gauge      —
+``repro_faults_injected_total``       counter    ``kind`` (drop/duplicate/
+                                                 corrupt/failstop/read)
+``repro_fault_words_total``           counter    ``kind`` (resend/checkpoint/
+                                                 recovery/read_retry)
+``repro_fault_messages_total``        counter    ``kind`` (resend/ack/
+                                                 checkpoint/recovery/
+                                                 read_retry)
+``repro_fault_backoff_time_total``    counter    — (α-units of waiting)
 ====================================  =========  =============================
 
 Instruments are cheap (one dict lookup + integer add) but they are
@@ -286,6 +297,54 @@ def publish_run(
     reg.counter("repro_run_flops_total", **labels).inc(int(flops))
 
 
+#: FaultStats field → ``repro_faults_injected_total`` label.
+_INJECTED_KINDS = (
+    ("drops", "drop"),
+    ("duplicates", "duplicate"),
+    ("corruptions", "corrupt"),
+    ("failstops", "failstop"),
+    ("read_faults", "read"),
+)
+
+#: FaultStats field → (metric suffix, ``kind`` label) for overhead.
+_OVERHEAD_KINDS = (
+    ("resent_words", "words", "resend"),
+    ("checkpoint_words", "words", "checkpoint"),
+    ("recovery_words", "words", "recovery"),
+    ("read_retry_words", "words", "read_retry"),
+    ("resent_messages", "messages", "resend"),
+    ("ack_messages", "messages", "ack"),
+    ("checkpoint_messages", "messages", "checkpoint"),
+    ("recovery_messages", "messages", "recovery"),
+    ("read_retry_messages", "messages", "read_retry"),
+)
+
+
+def publish_faults(stats, registry: "MetricsRegistry | None" = None) -> None:
+    """Publish one run's realized faults and resilience overhead.
+
+    ``stats`` is a :class:`~repro.faults.FaultStats` (or its
+    ``to_dict()`` form).  Injected events land in
+    ``repro_faults_injected_total`` by kind; the overhead the protocol
+    paid lands in ``repro_fault_words_total`` /
+    ``repro_fault_messages_total`` / ``repro_fault_backoff_time_total``.
+    Called once per run, like :func:`publish_run`.
+    """
+    reg = registry if registry is not None else METRICS
+    d = stats.to_dict() if hasattr(stats, "to_dict") else dict(stats)
+    for field, kind in _INJECTED_KINDS:
+        reg.counter("repro_faults_injected_total", kind=kind).inc(
+            int(d.get(field, 0))
+        )
+    for field, suffix, kind in _OVERHEAD_KINDS:
+        reg.counter(f"repro_fault_{suffix}_total", kind=kind).inc(
+            int(d.get(field, 0))
+        )
+    reg.counter("repro_fault_backoff_time_total").inc(
+        float(d.get("backoff_time", 0.0))
+    )
+
+
 __all__ = [
     "DEFAULT_BUCKETS",
     "METRICS",
@@ -294,6 +353,7 @@ __all__ = [
     "HistogramMetric",
     "MetricsError",
     "MetricsRegistry",
+    "publish_faults",
     "publish_machine",
     "publish_run",
 ]

@@ -18,6 +18,20 @@ Numerical payloads ride along with sends into per-processor inboxes;
 the PxPOTRF driver computes only with locally available data, so the
 simulation is a real distributed algorithm, not an accounting layer
 over a sequential one.
+
+**Faults** (:mod:`repro.faults`): with a non-empty
+:class:`~repro.faults.FaultPlan` attached via :meth:`Network.attach_faults`,
+every point-to-point send runs over a stop-and-wait ack/timeout/retry
+transport.  Each transmission attempt — including resends forced by
+drops, detected payload corruption or lost acks — occupies both
+endpoints and is charged to their clocks, path counters and totals,
+exactly like a healthy transfer; acknowledgements are zero-word
+messages (they cost α and one message); timeouts add bounded
+exponential backoff to the sender's clock.  Slow links multiply β for
+that link only.  Fail-stopped ranks lose their store/inbox and refuse
+traffic until :meth:`Network.restart`.  With no plan attached (or an
+empty one) the historical single-transfer path runs unchanged, so
+failure-free counters stay bit-identical.
 """
 
 from __future__ import annotations
@@ -27,6 +41,8 @@ from typing import Any, Dict, Sequence
 
 import numpy as np
 
+from repro.faults.injector import FaultExhausted, FaultInjector, RankFailed
+from repro.faults.plan import FaultPlan
 from repro.observability.spans import NULL_PROFILER
 from repro.util.validation import check_nonnegative_int, check_positive_int
 
@@ -53,6 +69,11 @@ class Processor:
     # private data: owned blocks and received (buffered) payloads
     store: Dict[Any, np.ndarray] = field(default_factory=dict)
     inbox: Dict[Any, Any] = field(default_factory=dict)
+    # buddy checkpoints held *for* other ranks: ckpt[rank][key] = block.
+    # Kept outside ``store`` so owned-footprint accounting
+    # (``peak_memory_words``) keeps measuring the algorithm, not the
+    # resilience protocol; checkpoint traffic is charged separately.
+    ckpt: Dict[int, Dict[Any, np.ndarray]] = field(default_factory=dict)
     # peak transient buffer footprint in words (memory-scalability check)
     buffer_words: int = 0
     peak_buffer_words: int = 0
@@ -87,6 +108,36 @@ class Network:
         #: Phase-span recorder; the shared no-op unless
         #: :func:`repro.observability.observe` attaches a live one.
         self.profiler = NULL_PROFILER
+        #: Live fault oracle, or ``None`` for the failure-free network.
+        self.faults: FaultInjector | None = None
+        #: Ranks currently fail-stopped (state lost, traffic refused).
+        self.failed: "set[int]" = set()
+        # per-directed-link transmission sequence numbers (fault identity)
+        self._link_seq: Dict[tuple, int] = {}
+
+    def attach_faults(
+        self, plan: "FaultPlan | FaultInjector | None"
+    ) -> FaultInjector | None:
+        """Arm the network with a fault plan; returns the live injector.
+
+        An empty plan (or ``None``) leaves the network on its
+        zero-overhead failure-free path — counters stay bit-identical
+        to a network that never heard of faults.
+        """
+        if plan is None:
+            self.faults = None
+            return None
+        injector = plan if isinstance(plan, FaultInjector) else None
+        if injector is None:
+            if plan.is_empty():
+                self.faults = None
+                return None
+            injector = FaultInjector(plan)
+        elif injector.plan.is_empty():
+            self.faults = None
+            return None
+        self.faults = injector
+        return injector
 
     @property
     def P(self) -> int:
@@ -116,10 +167,26 @@ class Network:
         check_nonnegative_int("words", words)
         if src == dst:
             raise NetworkError("a processor cannot message itself")
+        if self.failed and (src in self.failed or dst in self.failed):
+            down = src if src in self.failed else dst
+            raise RankFailed(
+                f"rank {down} is fail-stopped; recover it before messaging"
+            )
         s, d = self[src], self[dst]
+        if self.faults is None:
+            self._transfer(s, d, words)
+            if payload is not None:
+                d.inbox[key] = payload
+                d.note_buffer(words)
+            return
+        self._send_reliable(s, d, words, payload, key)
+
+    def _transfer(self, s: Processor, d: Processor, words: int,
+                  factor: float = 1.0) -> None:
+        """Charge one physical transmission ``s → d`` (the α-β core)."""
         base = s if s.t >= d.t else d
         path = (base.path_words + words, base.path_messages + 1)
-        t_new = max(s.t, d.t) + self.alpha + self.beta * words
+        t_new = max(s.t, d.t) + self.alpha + self.beta * factor * words
         for e in (s, d):
             e.t = t_new
             e.path_words, e.path_messages = path
@@ -127,9 +194,73 @@ class Network:
         s.messages_sent += 1
         d.words_received += words
         d.messages_received += 1
-        if payload is not None:
-            d.inbox[key] = payload
-            d.note_buffer(words)
+
+    def _send_reliable(self, s: Processor, d: Processor, words: int,
+                       payload: Any, key: Any) -> None:
+        """Stop-and-wait transport: data + ack, timeout/backoff resends.
+
+        Every transmission attempt (data or ack, first try or resend)
+        is charged like a healthy transfer; drops and detected payload
+        corruption cost a timeout (backoff on the sender's clock) and
+        a resend; a lost ack costs a redundant data retransmission the
+        receiver discards.  All decisions come from the deterministic
+        injector, so the realized schedule and the counters are a pure
+        function of the fault seed.
+        """
+        inj = self.faults
+        plan = inj.plan
+        src, dst = s.rank, d.rank
+        seq = self._link_seq.get((src, dst), 0)
+        self._link_seq[(src, dst)] = seq + 1
+        fwd = inj.beta_factor(src, dst)
+        rev = inj.beta_factor(dst, src)
+        delivered = False
+        for attempt in range(1, plan.max_attempts + 1):
+            if attempt > 1:
+                wait = plan.backoff(attempt - 1) * self.alpha
+                s.t += wait
+                inj.stats.backoff_time += wait
+                inj.stats.resent_messages += 1
+                inj.stats.resent_words += words
+            self._transfer(s, d, words, factor=fwd)
+            if inj.dropped(src, dst, seq, attempt):
+                continue
+            if inj.corrupted(src, dst, seq, attempt):
+                continue  # checksum fails; receiver discards, sender times out
+            if not delivered:
+                delivered = True
+                if inj.duplicated(src, dst, seq, attempt):
+                    # the network replays the frame: the duplicate occupies
+                    # the link and both endpoints once more, then the
+                    # receiver discards it by sequence number
+                    self._transfer(s, d, words, factor=fwd)
+                if payload is not None:
+                    d.inbox[key] = payload
+                    d.note_buffer(words)
+            # the receiver (re-)acknowledges with a zero-word message
+            self._transfer(d, s, 0, factor=rev)
+            inj.stats.ack_messages += 1
+            if not inj.ack_dropped(src, dst, seq, attempt):
+                return
+        raise FaultExhausted(
+            f"message {src}→{dst} (seq {seq}, {words} words) undelivered "
+            f"after {plan.max_attempts} attempts"
+        )
+
+    # -- fail-stop ---------------------------------------------------------
+
+    def fail(self, rank: int) -> None:
+        """Fail-stop ``rank``: its store and inbox are lost, traffic refused."""
+        p = self[rank]
+        self.failed.add(rank)
+        p.store.clear()
+        p.inbox.clear()
+        p.ckpt.clear()
+        p.buffer_words = 0
+
+    def restart(self, rank: int) -> None:
+        """Bring a fail-stopped rank back (empty-handed; recovery refills it)."""
+        self.failed.discard(rank)
 
     # -- compute -----------------------------------------------------------
 
@@ -223,6 +354,11 @@ class Network:
         return max(self.processors, key=lambda p: p.t)
 
     @property
+    def fault_stats(self):
+        """Realized-fault statistics, or ``None`` on a failure-free network."""
+        return None if self.faults is None else self.faults.stats
+
+    @property
     def critical_time(self) -> float:
         return self.critical().t
 
@@ -263,6 +399,7 @@ class Network:
             "max_words": self.max_words,
             "total_words": sum(p.words_sent for p in self.processors),
             "total_messages": sum(p.messages_sent for p in self.processors),
+            "faults": None if self.faults is None else self.faults.stats.to_dict(),
         }
 
     def __repr__(self) -> str:

@@ -18,6 +18,18 @@ Every processor touches only blocks it owns or has received — a
 forgotten broadcast is a numerically wrong factor, which is what the
 correctness tests would catch.
 
+**Fault tolerance** (:mod:`repro.faults`): with a fault plan attached,
+sends run over the network's ack/retry transport, and per-round buddy
+checkpointing guards against fail-stop ranks.  After every panel each
+rank bundles the blocks it modified that round into one message to its
+buddy ``(rank+1) mod P``; when a rank fail-stops at the start of round
+``k`` it lost everything, but the buddy holds exactly its
+end-of-round-``k−1`` state, so one restore message rebuilds it and the
+factorization continues to the *bit-identical* factor a failure-free
+run produces.  Checkpoint and recovery traffic is charged to the same
+clocks and path counters as the algorithm's own sends and reported
+separately in :class:`~repro.faults.FaultStats`.
+
 §3.3.1's critical-path predictions, which the T2 bench reproduces:
 
     messages = (3/2)·(n/b)·log₂P,
@@ -34,6 +46,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.faults.injector import FaultInjector, FaultStats
+from repro.faults.plan import FaultPlan
 from repro.observability.spans import SpanProfile, observe
 from repro.parallel.blockcyclic import BlockCyclicMatrix
 from repro.parallel.grid import ProcessorGrid
@@ -41,7 +55,11 @@ from repro.parallel.network import Network
 from repro.results import Measurement
 from repro.sequential.flops import cholesky_flops, gemm_flops, syrk_flops, trsm_flops
 from repro.sequential.kernels import dense_cholesky, solve_lower_transposed_right
-from repro.util.validation import check_positive_int
+from repro.util.validation import (
+    ValidationError,
+    check_finite,
+    check_positive_int,
+)
 
 
 @dataclass
@@ -55,6 +73,8 @@ class ParallelRunResult:
     P: int
     #: Span tree of the run (``None`` unless ``observe=True``).
     profile: "SpanProfile | None" = None
+    #: Realized faults + resilience overhead (``None`` on a plain run).
+    fault_stats: "FaultStats | None" = None
 
     @property
     def critical_words(self) -> int:
@@ -104,6 +124,19 @@ class ParallelRunResult:
             P=self.P,
             block=self.block,
             profile=None if self.profile is None else self.profile.to_dict(),
+            faults=None if self.fault_stats is None else self.fault_stats.to_dict(),
+        )
+
+    @property
+    def recovery_words(self) -> int:
+        """Words spent rebuilding fail-stopped ranks (0 on a clean run)."""
+        return 0 if self.fault_stats is None else self.fault_stats.recovery_words
+
+    @property
+    def recovery_messages(self) -> int:
+        """Messages spent rebuilding fail-stopped ranks (0 on a clean run)."""
+        return (
+            0 if self.fault_stats is None else self.fault_stats.recovery_messages
         )
 
     @property
@@ -117,6 +150,68 @@ class ParallelRunResult:
         )
 
 
+def _buddy(rank: int, P: int) -> int:
+    """The rank holding ``rank``'s checkpoints: its grid successor."""
+    return (rank + 1) % P
+
+
+def _checkpoint(
+    network: Network,
+    rank: int,
+    keys,
+    stats: FaultStats,
+) -> None:
+    """Send copies of ``rank``'s blocks under ``keys`` to its buddy.
+
+    One bundled message (the same batching discipline as the panel
+    broadcasts); charged like any other send, tallied as checkpoint
+    overhead.  The buddy files the copies under the owner's rank.
+    """
+    proc = network[rank]
+    blocks = {k: proc.store[k].copy() for k in keys if k in proc.store}
+    if not blocks:
+        return
+    words = sum(int(v.size) for v in blocks.values())
+    buddy = _buddy(rank, network.P)
+    network.send(rank, buddy, words)
+    network[buddy].ckpt.setdefault(rank, {}).update(blocks)
+    stats.checkpoint_words += words
+    stats.checkpoint_messages += 1
+
+
+def _recover(network: Network, rank: int, stats: FaultStats) -> None:
+    """Rebuild a fail-stopped rank from its buddy's checkpoint.
+
+    The rank restarts empty; the buddy streams back its
+    end-of-last-round state in one bundled message.  Because the rank
+    also *held* checkpoints (for its predecessor) that died with it,
+    the predecessor re-checkpoints its current state afterwards —
+    strict state loss, no free lunches.  All traffic is charged to the
+    ordinary counters and tallied as recovery overhead.
+    """
+    P = network.P
+    buddy = _buddy(rank, P)
+    network.fail(rank)
+    network.restart(rank)
+    saved = network[buddy].ckpt.get(rank, {})
+    words = sum(int(v.size) for v in saved.values())
+    network.send(buddy, rank, words)
+    network[rank].store.update({k: v.copy() for k, v in saved.items()})
+    stats.recovery_words += words
+    stats.recovery_messages += 1
+    # the checkpoints this rank held for its predecessor died with it
+    prev = (rank - 1) % P
+    if prev != rank:
+        prev_blocks = {
+            k: v.copy() for k, v in network[prev].store.items()
+        }
+        pwords = sum(int(v.size) for v in prev_blocks.values())
+        network.send(prev, rank, pwords)
+        network[rank].ckpt[prev] = prev_blocks
+        stats.recovery_words += pwords
+        stats.recovery_messages += 1
+
+
 def pxpotrf(
     a: np.ndarray,
     block: int,
@@ -126,6 +221,8 @@ def pxpotrf(
     beta: float = 1.0,
     gamma: float = 0.0,
     observe_spans: bool = False,
+    faults: "FaultPlan | None" = None,
+    checkpoint: bool | None = None,
 ) -> ParallelRunResult:
     """Run Algorithm 9 on a fresh simulated network.
 
@@ -148,31 +245,76 @@ def pxpotrf(
         sub-steps; the tree is returned as the result's ``profile``.
         Counters are read-only snapshots, so the measured counts are
         identical either way.
+    faults:
+        A :class:`~repro.faults.FaultPlan` to inject; panel rounds are
+        the plan's fail-stop rounds.  ``None`` or an empty plan keeps
+        every counter bit-identical to the historical failure-free
+        run.
+    checkpoint:
+        Force buddy checkpointing on/off; by default it is enabled
+        exactly when the plan schedules fail-stops.  Requires P ≥ 2.
 
     Returns a :class:`ParallelRunResult` whose ``L`` satisfies
-    ``L·Lᵀ = a``.
+    ``L·Lᵀ = a`` — under fail-stop faults too (checkpoint recovery
+    reconstructs lost state exactly).
     """
     if isinstance(grid, int):
         grid = ProcessorGrid.square(grid)
     check_positive_int("block", block)
+    check_finite("a", a)
     network = Network(grid.size, alpha=alpha, beta=beta, gamma=gamma)
+    injector = network.attach_faults(faults)
+    ckpt_on = (
+        bool(checkpoint)
+        if checkpoint is not None
+        else bool(injector is not None and injector.plan.failstops)
+    )
+    if injector is not None and injector.plan.failstops and not ckpt_on:
+        raise ValidationError(
+            "fault plan schedules fail-stops but checkpointing is disabled; "
+            "a failed rank could never be recovered"
+        )
+    if ckpt_on and grid.size < 2:
+        raise ValidationError("buddy checkpointing needs at least 2 processors")
+    stats = injector.stats if injector is not None else FaultStats()
     recorder = observe(network, name="pxpotrf") if observe_spans else None
     prof = network.profiler
     dist = BlockCyclicMatrix(a, block, grid, network)
     nb = dist.nblocks
 
+    if ckpt_on:
+        # round "-1" checkpoint: every rank's initial blocks, so a rank
+        # fail-stopping at round 0 is recoverable too
+        with prof.span("checkpoint", J=-1):
+            for rank in range(network.P):
+                _checkpoint(
+                    network, rank, list(network[rank].store.keys()), stats
+                )
+
     for J in range(nb):
+        # fail-stops fire at round boundaries: the rank lost everything
+        # after finishing round J-1, which is exactly the state its
+        # buddy checkpointed — recover before any round-J traffic
+        if injector is not None:
+            for rank in injector.failstops_due(J):
+                with prof.span("recover", J=J, rank=rank):
+                    _recover(network, rank, stats)
+
         jc = J % grid.cols
         w = dist.block_dim(J)
         diag_owner = dist.owner(J, J)
+        dirty: dict[int, set] = defaultdict(set)
 
         with prof.span("panel", J=J):
             # -- 1. local factorization of the diagonal block --------------
             with prof.span("potf2"):
                 owner_proc = network[diag_owner]
-                ljj = dense_cholesky(owner_proc.store[("A", J, J)])
+                ljj = dense_cholesky(
+                    owner_proc.store[("A", J, J)], stage=f"pxpotrf panel J={J}"
+                )
                 owner_proc.store[("A", J, J)] = ljj
                 network.compute(diag_owner, cholesky_flops(w))
+                dirty[diag_owner].add(("A", J, J))
 
             if J == nb - 1:
                 break  # no trailing work after the last panel
@@ -203,6 +345,7 @@ def pxpotrf(
                         proc.store[("A", I, J)] = lij
                         network.compute(rank, trsm_flops(dist.block_dim(I), w))
                         bundle[I] = lij
+                        dirty[rank].add(("A", I, J))
                     r = grid.position(rank)[0]
                     network.broadcast(
                         rank,
@@ -247,11 +390,18 @@ def pxpotrf(
                         proc.store[("A", k, l)] = (
                             proc.store[("A", k, l)] - lkj @ llj.T
                         )
+                        dirty[rank].add(("A", k, l))
                         dk, dl = dist.block_dim(k), dist.block_dim(l)
                         if k == l:
                             network.compute(rank, syrk_flops(dk, w))
                         else:
                             network.compute(rank, gemm_flops(dk, w, dl))
+
+            # -- 6. per-round buddy checkpoint of every modified block ------
+            if ckpt_on:
+                with prof.span("checkpoint", J=J):
+                    for rank in sorted(dirty):
+                        _checkpoint(network, rank, sorted(dirty[rank]), stats)
 
             network.clear_inboxes()
 
@@ -263,4 +413,5 @@ def pxpotrf(
         block=block,
         P=grid.size,
         profile=None if recorder is None else recorder.profile(),
+        fault_stats=stats if (injector is not None or ckpt_on) else None,
     )

@@ -25,12 +25,19 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.faults.injector import FaultStats
+from repro.faults.plan import FaultPlan
 from repro.observability.spans import SpanProfile, observe
 from repro.parallel.grid import ProcessorGrid
 from repro.parallel.network import Network
+from repro.parallel.pxpotrf import _checkpoint, _recover
 from repro.sequential.flops import gemm_flops
 from repro.util.imath import ceil_div
-from repro.util.validation import check_positive_int
+from repro.util.validation import (
+    ValidationError,
+    check_finite,
+    check_positive_int,
+)
 
 
 @dataclass
@@ -44,6 +51,8 @@ class SummaResult:
     P: int
     #: Span tree of the run (``None`` unless ``observe_spans=True``).
     profile: "SpanProfile | None" = None
+    #: Realized faults + resilience overhead (``None`` on a plain run).
+    fault_stats: "FaultStats | None" = None
 
     @property
     def critical_words(self) -> int:
@@ -71,13 +80,19 @@ def summa(
     alpha: float = 1.0,
     beta: float = 1.0,
     observe_spans: bool = False,
+    faults: "FaultPlan | None" = None,
+    checkpoint: bool | None = None,
 ) -> SummaResult:
     """Multiply two square matrices on a simulated 2D grid.
 
     Parameters mirror :func:`repro.parallel.pxpotrf.pxpotrf`; the
     result's ``C`` equals ``a @ b`` (verified in the tests).  With
     ``observe_spans`` the per-step broadcasts and updates are recorded
-    as a span tree on the result's ``profile``.
+    as a span tree on the result's ``profile``.  With a fault plan,
+    sends run over the ack/retry transport and (when fail-stops are
+    scheduled) each rank buddy-checkpoints its accumulators every
+    panel step, so a fail-stopped rank is rebuilt exactly and the
+    product matches the failure-free run bit for bit.
     """
     if isinstance(grid, int):
         grid = ProcessorGrid.square(grid)
@@ -86,8 +101,26 @@ def summa(
     b = np.asarray(b, dtype=np.float64)
     n = a.shape[0]
     if a.shape != (n, n) or b.shape != (n, n):
-        raise ValueError(f"need square operands, got {a.shape} and {b.shape}")
+        raise ValidationError(
+            f"need square operands, got {a.shape} and {b.shape}"
+        )
+    check_finite("a", a)
+    check_finite("b", b)
     network = Network(grid.size, alpha=alpha, beta=beta)
+    injector = network.attach_faults(faults)
+    ckpt_on = (
+        bool(checkpoint)
+        if checkpoint is not None
+        else bool(injector is not None and injector.plan.failstops)
+    )
+    if injector is not None and injector.plan.failstops and not ckpt_on:
+        raise ValidationError(
+            "fault plan schedules fail-stops but checkpointing is disabled; "
+            "a failed rank could never be recovered"
+        )
+    if ckpt_on and grid.size < 2:
+        raise ValidationError("buddy checkpointing needs at least 2 processors")
+    stats = injector.stats if injector is not None else FaultStats()
     recorder = observe(network, name="summa") if observe_spans else None
     prof = network.profiler
     nb = ceil_div(n, block)
@@ -108,7 +141,20 @@ def summa(
             p.store[("B", bi, bj)] = b[r0:r1, c0:c1].copy()
             p.store[("C", bi, bj)] = np.zeros((r1 - r0, c1 - c0))
 
+    if ckpt_on:
+        # step "-1" checkpoint: operands and zeroed accumulators, so a
+        # rank fail-stopping at step 0 is recoverable too
+        with prof.span("checkpoint", K=-1):
+            for rank in range(network.P):
+                _checkpoint(
+                    network, rank, list(network[rank].store.keys()), stats
+                )
+
     for K in range(nb):
+        if injector is not None:
+            for rank in injector.failstops_due(K):
+                with prof.span("recover", K=K, rank=rank):
+                    _recover(network, rank, stats)
         with prof.span("step", K=K):
             # owners of A's column panel K broadcast along their grid rows
             with prof.span("bcast-A"):
@@ -158,6 +204,14 @@ def summa(
                                 ablk.shape[0], ablk.shape[1], bblk.shape[1]
                             ),
                         )
+            # per-step buddy checkpoint: only the accumulators changed
+            if ckpt_on:
+                with prof.span("checkpoint", K=K):
+                    for rank in range(network.P):
+                        ckeys = sorted(
+                            k for k in network[rank].store if k[0] == "C"
+                        )
+                        _checkpoint(network, rank, ckeys, stats)
             network.clear_inboxes()
 
     # gather C (free verification step, like pxpotrf's gather)
@@ -174,4 +228,5 @@ def summa(
         block=block,
         P=grid.size,
         profile=None if recorder is None else recorder.profile(),
+        fault_stats=stats if (injector is not None or ckpt_on) else None,
     )

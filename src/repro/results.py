@@ -81,6 +81,10 @@ class Measurement:
     #: excluded from equality/hash like ``run``; unlike ``run`` it
     #: round-trips through :meth:`to_dict`/:meth:`from_dict`.
     profile: dict | None = field(default=None, compare=False, repr=False)
+    #: Serialized :class:`~repro.faults.FaultStats` when the run had a
+    #: fault plan (or checkpointing) active, else ``None``.  Like
+    #: ``profile``: JSON round-trips, excluded from equality/hash.
+    faults: dict | None = field(default=None, compare=False, repr=False)
 
     @property
     def bandwidth_per_flop(self) -> float:
@@ -105,6 +109,7 @@ class Measurement:
             "seed": None if self.seed is None else int(self.seed),
             "params": [[k, v] for k, v in self.params],
             "profile": self.profile,
+            "faults": self.faults,
         }
 
     @classmethod
@@ -126,6 +131,7 @@ class Measurement:
             seed=None if d.get("seed") is None else int(d["seed"]),
             params=tuple((str(k), v) for k, v in (d.get("params") or ())),
             profile=d.get("profile"),
+            faults=d.get("faults"),
         )
 
     def without_run(self) -> "Measurement":

@@ -17,6 +17,8 @@ from __future__ import annotations
 import numpy as np
 from scipy.linalg import solve_triangular
 
+from repro.util.validation import NotPositiveDefiniteError
+
 
 def sym_from_lower(c: np.ndarray) -> np.ndarray:
     """Symmetric matrix whose lower triangle is ``tril(c)``."""
@@ -24,14 +26,22 @@ def sym_from_lower(c: np.ndarray) -> np.ndarray:
     return low + np.tril(c, -1).T
 
 
-def dense_cholesky(c: np.ndarray) -> np.ndarray:
+def dense_cholesky(c: np.ndarray, *, stage: str = "potf2") -> np.ndarray:
     """Lower Cholesky factor of the symmetric operand in ``tril(c)``.
 
-    Raises ``numpy.linalg.LinAlgError`` if the operand is not positive
-    definite — the loud failure mode the paper's no-pivoting setting
-    implies.
+    Raises :class:`~repro.util.validation.NotPositiveDefiniteError`
+    (carrying ``stage``) if the operand is not positive definite — the
+    loud, structured failure mode the paper's no-pivoting setting
+    implies, instead of a bare LAPACK error bubbling out of the middle
+    of a simulation.
     """
-    return np.linalg.cholesky(sym_from_lower(c))
+    try:
+        return np.linalg.cholesky(sym_from_lower(c))
+    except np.linalg.LinAlgError as exc:
+        raise NotPositiveDefiniteError(
+            f"operand is not positive definite in stage {stage!r}: {exc}",
+            stage=stage,
+        ) from exc
 
 
 def solve_lower_transposed_right(a: np.ndarray, l: np.ndarray) -> np.ndarray:

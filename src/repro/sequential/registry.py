@@ -22,6 +22,7 @@ from repro.sequential.naive import (
 )
 from repro.sequential.square_recursive import square_recursive
 from repro.sequential.toledo import toledo
+from repro.util.validation import NotPositiveDefiniteError, check_finite
 
 Algorithm = Callable[..., np.ndarray]
 
@@ -42,7 +43,13 @@ def available_algorithms() -> tuple[str, ...]:
     return tuple(sorted(ALGORITHMS))
 
 
-def run_algorithm(name: str, A: TrackedMatrix, **params) -> RunResult:
+def run_algorithm(
+    name: str,
+    A: TrackedMatrix,
+    *,
+    spd_shift: float | None = None,
+    **params,
+) -> RunResult:
     """Run a registered algorithm on a tracked matrix.
 
     Parameters
@@ -50,7 +57,20 @@ def run_algorithm(name: str, A: TrackedMatrix, **params) -> RunResult:
     name:
         One of :func:`available_algorithms`.
     A:
-        The tracked operand (overwritten with its factor).
+        The tracked operand (overwritten with its factor).  Validated
+        up front: an operand containing NaN or Inf is rejected with a
+        :class:`~repro.util.validation.ValidationError` *before* any
+        simulation charges accrue — a poisoned input would otherwise
+        surface as an opaque failure deep inside a panel factorization.
+    spd_shift:
+        Optional non-SPD degradation path.  A Cholesky on an input
+        that is not positive definite raises a structured
+        :class:`~repro.util.validation.NotPositiveDefiniteError`
+        (carrying the failing stage); with ``spd_shift=s`` the run is
+        retried **once** on ``A + s·I`` (machine counters reset, so the
+        measurement reflects only the successful attempt) and the
+        result records the shift in its params.  A common choice is a
+        small multiple of the largest diagonal entry.
     params:
         Algorithm-specific keywords (e.g. ``block=`` for ``"lapack"``).
 
@@ -63,12 +83,38 @@ def run_algorithm(name: str, A: TrackedMatrix, **params) -> RunResult:
         raise ValueError(
             f"unknown algorithm {name!r}; available: {available_algorithms()}"
         )
-    L = ALGORITHMS[name](A, **params)
+    # Direct array check, not a tracked read: validation is free in the
+    # communication model.
+    check_finite("A", A.data)
+    recorded = dict(params)
+    snapshot = A.data.copy() if spd_shift is not None else None
+
+    def invoke() -> np.ndarray:
+        # Normalize the failure shape: some algorithms raise the
+        # structured error themselves (via dense_cholesky), the naive
+        # ones surface numpy's bare LinAlgError at the failing pivot.
+        try:
+            return ALGORITHMS[name](A, **params)
+        except NotPositiveDefiniteError:
+            raise
+        except np.linalg.LinAlgError as exc:
+            raise NotPositiveDefiniteError(str(exc), stage=name) from exc
+
+    try:
+        L = invoke()
+    except NotPositiveDefiniteError:
+        if snapshot is None or spd_shift <= 0:
+            raise
+        A.data[:] = snapshot
+        A.data[np.diag_indices_from(A.data)] += float(spd_shift)
+        A.machine.reset()
+        L = invoke()
+        recorded["spd_shift"] = float(spd_shift)
     return RunResult(
         L,
         algorithm=name,
         layout=A.layout.name,
         n=A.layout.n,
-        params=freeze_params(params),
+        params=freeze_params(recorded),
         machine=A.machine,
     )

@@ -10,6 +10,35 @@ from __future__ import annotations
 import numpy as np
 
 
+class ValidationError(ValueError):
+    """An input failed an up-front check (shape, symmetry, finiteness).
+
+    Subclasses ``ValueError`` so historical ``except ValueError``
+    callers keep working; raised with a message naming the offending
+    argument and the exact property violated, instead of letting bad
+    inputs surface later as numerical garbage.
+    """
+
+
+class NotPositiveDefiniteError(np.linalg.LinAlgError, ArithmeticError):
+    """A Cholesky factorization hit a non-positive pivot.
+
+    Carries the ``stage`` that failed (e.g. ``"potf2"``, an algorithm
+    name, or ``"panel J=3"``) and, when known, the pivot index — so a
+    caller can report *where* positive definiteness broke down and
+    decide on a diagonal-shift retry (see
+    :func:`repro.sequential.registry.run_algorithm`).  Also subclasses
+    ``np.linalg.LinAlgError`` so historical
+    ``except LinAlgError`` callers keep working.
+    """
+
+    def __init__(self, message: str, *, stage: str = "cholesky",
+                 index: int | None = None) -> None:
+        super().__init__(message)
+        self.stage = stage
+        self.index = index
+
+
 def check_positive_int(name: str, value: int) -> int:
     """Require ``value`` to be a positive integer; return it as ``int``."""
     if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
@@ -34,16 +63,48 @@ def check_square(name: str, a: np.ndarray) -> np.ndarray:
     """Require a 2-D square ndarray; return it as float64 C-order."""
     arr = np.asarray(a, dtype=np.float64)
     if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
-        raise ValueError(f"{name} must be a square matrix, got shape {arr.shape}")
+        raise ValidationError(
+            f"{name} must be a square matrix, got shape {arr.shape}"
+        )
     return np.ascontiguousarray(arr)
+
+
+def check_finite(name: str, a: np.ndarray) -> np.ndarray:
+    """Require every entry to be finite (no NaN/Inf); return the array.
+
+    A NaN anywhere in the operand silently poisons every downstream
+    count-verifying comparison, so the entry points reject it up front
+    with a message that says which entries are bad.
+    """
+    arr = np.asarray(a)
+    if arr.size and not np.isfinite(arr).all():
+        bad = int(arr.size - np.count_nonzero(np.isfinite(arr)))
+        kinds = []
+        if np.isnan(arr).any():
+            kinds.append("NaN")
+        if np.isinf(arr).any():
+            kinds.append("Inf")
+        raise ValidationError(
+            f"{name} contains {bad} non-finite entr"
+            f"{'y' if bad == 1 else 'ies'} ({'/'.join(kinds)}); "
+            "refusing to factorize garbage input"
+        )
+    return arr
 
 
 def check_symmetric(name: str, a: np.ndarray, tol: float = 1e-12) -> np.ndarray:
     """Require a symmetric square ndarray (within ``tol``, relative)."""
     arr = check_square(name, a)
+    check_finite(name, arr)
     scale = max(1.0, float(np.max(np.abs(arr))) if arr.size else 1.0)
     if not np.allclose(arr, arr.T, atol=tol * scale, rtol=0.0):
-        raise ValueError(f"{name} must be symmetric")
+        ij = np.unravel_index(
+            int(np.argmax(np.abs(arr - arr.T))), arr.shape
+        )
+        raise ValidationError(
+            f"{name} must be symmetric; largest asymmetry at "
+            f"({ij[0]},{ij[1]}): {arr[ij]} vs {arr.T[ij]}"
+        )
     return arr
 
 
@@ -56,5 +117,8 @@ def check_spd_cheap(name: str, a: np.ndarray) -> np.ndarray:
     """
     arr = check_symmetric(name, a)
     if arr.size and np.any(np.diag(arr) <= 0):
-        raise ValueError(f"{name} has a non-positive diagonal entry; not SPD")
+        idx = int(np.argmax(np.diag(arr) <= 0))
+        raise ValidationError(
+            f"{name} has a non-positive diagonal entry at index {idx}; not SPD"
+        )
     return arr

@@ -1,0 +1,242 @@
+"""Hardened engine + cache: corruption, salvage, retries, timeouts."""
+
+import json
+import time
+
+import pytest
+
+from repro.experiments import ExperimentSpec, ResultCache
+from repro.experiments.cache import entry_digest
+from repro.experiments.engine import (
+    ExperimentEngine,
+    execute_point,
+    run_experiment,
+)
+from repro.faults import FaultPlan
+from repro.observability.metrics import METRICS
+
+
+@pytest.fixture()
+def point():
+    return ExperimentSpec.sequential(
+        "t", algorithms=["naive-left"], ns=[8], Ms=[64]
+    ).points[0]
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+class TestCacheCorruption:
+    """Regression: a corrupted/truncated cache file used to be trusted
+    (or crash); now it is digest-detected, logged and treated as a miss,
+    and the recomputed entry overwrites the damaged file."""
+
+    def _seed_entry(self, cache, point):
+        measurement, dt = execute_point(point)
+        cache.put(point, measurement, dt)
+        return measurement
+
+    def test_entries_carry_a_digest(self, cache, point):
+        self._seed_entry(cache, point)
+        entry = json.load(open(cache.path_for(point)))
+        assert entry["digest"] == entry_digest(entry)
+
+    def test_tampered_counter_is_a_miss(self, cache, point, caplog):
+        self._seed_entry(cache, point)
+        path = cache.path_for(point)
+        entry = json.load(open(path))
+        entry["measurement"]["words"] += 1  # one flipped number
+        json.dump(entry, open(path, "w"))
+        with caplog.at_level("WARNING", logger="repro.experiments.cache"):
+            assert cache.get(point) is None
+        assert "digest mismatch" in caplog.text
+        assert cache.misses == 1
+
+    def test_truncated_file_is_a_miss_not_a_crash(self, cache, point):
+        self._seed_entry(cache, point)
+        path = cache.path_for(point)
+        blob = open(path).read()
+        open(path, "w").write(blob[: len(blob) // 2])
+        assert cache.get(point) is None
+
+    def test_legacy_entry_without_digest_is_a_miss(self, cache, point):
+        self._seed_entry(cache, point)
+        path = cache.path_for(point)
+        entry = json.load(open(path))
+        del entry["digest"]
+        json.dump(entry, open(path, "w"))
+        assert cache.get(point) is None
+
+    def test_corruption_metric_incremented(self, cache, point):
+        self._seed_entry(cache, point)
+        open(cache.path_for(point), "w").write("{ not json")
+        before = METRICS.value("repro_cache_lookups_total", result="corrupt") or 0
+        cache.get(point)
+        after = METRICS.value("repro_cache_lookups_total", result="corrupt")
+        assert after == before + 1
+
+    def test_engine_recomputes_and_overwrites(self, tmp_path, point):
+        spec = ExperimentSpec.sequential(
+            "t", algorithms=["naive-left"], ns=[8], Ms=[64]
+        )
+        cache_dir = str(tmp_path / "cache")
+        good = run_experiment(spec, cache=cache_dir).measurements[0]
+        cache = ResultCache(cache_dir)
+        path = cache.path_for(spec.points[0])
+        open(path, "w").write("garbage")
+        redo = run_experiment(spec, cache=cache_dir)
+        assert redo.cache_misses == 1  # corruption demoted it to a miss
+        assert redo.measurements[0].to_dict() == good.to_dict()
+        fixed = json.load(open(path))  # the write-back healed the file
+        assert fixed["digest"] == entry_digest(fixed)
+
+
+class TestSalvage:
+    def test_failed_point_becomes_error_row(self, tmp_path):
+        spec = ExperimentSpec.sequential(
+            "bad", algorithms=["no-such-algorithm"], ns=[8], Ms=[64]
+        )
+        result = run_experiment(
+            spec, cache=None, retries=1, retry_backoff=0.001
+        )
+        assert result.measurements == []
+        (failure,) = result.failures
+        assert not failure.ok
+        assert "no-such-algorithm" in failure.error
+        d = result.to_dict()
+        assert d["failed"] == 1
+        assert d["points"][0]["measurement"] is None
+
+    def test_good_points_survive_a_bad_neighbour(self, tmp_path):
+        spec = ExperimentSpec.from_cases(
+            "mixed",
+            [
+                {"algorithm": "naive-left", "n": 8, "M": 64},
+                {"algorithm": "no-such-algorithm", "n": 8, "M": 64},
+                {"algorithm": "lapack", "n": 8, "M": 64},
+            ],
+        )
+        result = run_experiment(spec, cache=None, retries=0)
+        assert len(result.measurements) == 2
+        assert len(result.failures) == 1
+        # spec order is preserved around the hole
+        assert [m.algorithm for m in result.measurements] == [
+            "naive-left", "lapack",
+        ]
+
+    def test_salvage_false_restores_fail_fast(self):
+        spec = ExperimentSpec.sequential(
+            "bad", algorithms=["no-such-algorithm"], ns=[8], Ms=[64]
+        )
+        with pytest.raises(ValueError):
+            run_experiment(spec, cache=None, retries=0, salvage=False)
+
+    def test_retry_eventually_succeeds(self, monkeypatch):
+        """A transiently failing point is retried with backoff."""
+        import repro.experiments.engine as engine_mod
+
+        real = engine_mod.execute_point
+        calls = {"n": 0}
+
+        def flaky(point):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("transient worker failure")
+            return real(point)
+
+        monkeypatch.setattr(engine_mod, "execute_point", flaky)
+        spec = ExperimentSpec.sequential(
+            "flaky", algorithms=["naive-left"], ns=[8], Ms=[64]
+        )
+        engine = ExperimentEngine(
+            cache=None, retries=2, retry_backoff=0.001
+        )
+        result = engine.run(spec)
+        assert calls["n"] == 2
+        assert len(result.measurements) == 1
+        assert result.failures == []
+
+
+class TestConstructorValidation:
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentEngine(jobs=0)
+        with pytest.raises(ValueError):
+            ExperimentEngine(retries=-1)
+        with pytest.raises(ValueError):
+            ExperimentEngine(point_timeout=0)
+
+
+class TestStallTimeout:
+    def test_stalled_pool_fails_pending_points(self):
+        # 1 ms of allowed stall is far below process-pool startup, so
+        # the first wait() window always expires: both points must come
+        # back as salvaged timeout rows, and the run must not hang.
+        spec = ExperimentSpec.sequential(
+            "stall",
+            algorithms=["naive-left", "lapack"],
+            ns=[32],
+            Ms=[256],
+        )
+        t0 = time.perf_counter()
+        result = run_experiment(
+            spec, jobs=2, cache=None, point_timeout=0.001
+        )
+        assert time.perf_counter() - t0 < 30.0
+        assert len(result.failures) == 2
+        assert all("stalled" in f.error for f in result.failures)
+
+    def test_stall_with_salvage_false_raises(self):
+        spec = ExperimentSpec.sequential(
+            "stall-raise",
+            algorithms=["naive-left", "lapack"],
+            ns=[32],
+            Ms=[256],
+        )
+        with pytest.raises(TimeoutError):
+            run_experiment(
+                spec, jobs=2, cache=None, point_timeout=0.001, salvage=False
+            )
+
+
+class TestFaultsInCacheKey:
+    def test_faulty_and_clean_points_never_share_an_entry(self):
+        clean = ExperimentSpec.parallel("k", [(8, 4, 4)]).points[0]
+        faulty = ExperimentSpec.parallel(
+            "k", [(8, 4, 4)], faults=FaultPlan(seed=1, drop=0.1)
+        ).points[0]
+        assert clean.key() != faulty.key()
+
+    def test_same_plan_same_key(self):
+        plan = FaultPlan(seed=1, drop=0.1)
+        a = ExperimentSpec.parallel("k", [(8, 4, 4)], faults=plan).points[0]
+        b = ExperimentSpec.parallel("k", [(8, 4, 4)], faults=plan).points[0]
+        assert a.key() == b.key()
+
+    def test_per_case_fault_override(self):
+        plan = FaultPlan(seed=1, drop=0.1)
+        spec = ExperimentSpec.from_cases(
+            "mix",
+            [
+                {"algorithm": "pxpotrf", "n": 8, "block": 4, "P": 4},
+                {
+                    "algorithm": "pxpotrf", "n": 8, "block": 4, "P": 4,
+                    "faults": plan,
+                },
+            ],
+        )
+        assert spec.points[0].fault_plan is None
+        assert spec.points[1].fault_plan == plan
+        assert "+faults" in spec.points[1].label()
+
+    def test_cached_faulty_measurement_round_trips(self, tmp_path):
+        plan = FaultPlan(seed=1, drop=0.2)
+        spec = ExperimentSpec.parallel("rt", [(8, 4, 4)], faults=plan)
+        cache_dir = str(tmp_path / "cache")
+        first = run_experiment(spec, cache=cache_dir)
+        second = run_experiment(spec, cache=cache_dir)
+        assert second.cache_hits == 1
+        assert first.measurements[0].to_dict() == second.measurements[0].to_dict()
+        assert second.measurements[0].faults is not None

@@ -1,0 +1,148 @@
+"""Reliable transport on the simulated network: drops, acks, retries.
+
+The contract under test: faults are *charged*, never free (every
+resend and ack moves the clocks and counters), the realized schedule
+is a pure function of the plan seed, and an armed-but-empty plan
+leaves the network bit-identical to one that never heard of faults.
+"""
+
+import pytest
+
+from repro.faults import FaultExhausted, FaultInjector, FaultPlan, RankFailed
+from repro.parallel.network import Network
+
+
+def run_pattern(plan):
+    """A fixed little traffic pattern; returns the network."""
+    net = Network(4)
+    net.attach_faults(plan)
+    net.send(0, 1, 10, payload="a", key="k1")
+    net.send(1, 2, 20, payload="b", key="k2")
+    net.send(2, 3, 30)
+    net.send(3, 0, 5, payload="c", key="k3")
+    return net
+
+
+class TestZeroOverheadWhenOff:
+    def test_none_and_empty_plan_are_identical(self):
+        clean = run_pattern(None)
+        empty = run_pattern(FaultPlan(seed=99))
+        assert empty.faults is None  # empty plan never arms the network
+        assert clean.summary() == empty.summary()
+        for a, b in zip(clean.processors, empty.processors):
+            assert (a.t, a.path_words, a.path_messages) == (
+                b.t, b.path_words, b.path_messages,
+            )
+
+    def test_attach_empty_returns_none(self):
+        net = Network(2)
+        assert net.attach_faults(FaultPlan()) is None
+        assert net.attach_faults(None) is None
+
+
+class TestReliableTransport:
+    def test_payload_still_delivered_under_drops(self):
+        plan = FaultPlan(seed=3, drop=0.4)
+        net = run_pattern(plan)
+        assert net[1].inbox["k1"] == "a"
+        assert net[2].inbox["k2"] == "b"
+        assert net[0].inbox["k3"] == "c"
+
+    def test_every_resend_is_charged(self):
+        plan = FaultPlan(seed=3, drop=0.4)
+        net = run_pattern(plan)
+        clean = run_pattern(None)
+        stats = net.fault_stats
+        assert stats.drops > 0
+        # data traffic grew by exactly the resent words; acks are 0-word
+        total = sum(p.words_sent for p in net.processors)
+        base = sum(p.words_sent for p in clean.processors)
+        assert total == base + stats.resent_words + 0
+        # every attempt that got through was acked
+        assert stats.ack_messages >= 4
+        # backoff moved the clocks
+        assert stats.backoff_time > 0
+        assert net.critical_time > clean.critical_time
+
+    def test_corruption_costs_a_resend_not_wrong_data(self):
+        plan = FaultPlan(seed=2, corrupt=0.5)
+        net = run_pattern(plan)
+        stats = net.fault_stats
+        assert stats.corruptions > 0
+        # corrupt frames are discarded; the payload that lands is intact
+        assert net[1].inbox["k1"] == "a"
+
+    def test_duplicate_charges_an_extra_frame(self):
+        plan = FaultPlan(seed=2, duplicate=0.9)
+        net = run_pattern(plan)
+        clean = run_pattern(None)
+        stats = net.fault_stats
+        assert stats.duplicates > 0
+        dup_words = sum(p.words_sent for p in net.processors) - sum(
+            p.words_sent for p in clean.processors
+        )
+        assert dup_words >= stats.duplicates  # duplicates re-ship real words
+
+    def test_exhausted_after_max_attempts(self):
+        plan = FaultPlan(seed=0, drop=0.99, max_attempts=2)
+        net = Network(2)
+        net.attach_faults(plan)
+        with pytest.raises(FaultExhausted):
+            net.send(0, 1, 10)
+
+    def test_slow_link_stretches_the_clock(self):
+        slow = Network(2)
+        slow.attach_faults(FaultPlan(slow_links=((0, 1, 8.0),)))
+        slow.send(0, 1, 100)
+        healthy = Network(2)
+        healthy.send(0, 1, 100)
+        assert slow.critical_time > healthy.critical_time
+        # words counters are about data moved, not time: unchanged
+        assert slow.critical_words == healthy.critical_words
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule_and_counters(self):
+        plan = FaultPlan(seed=5, drop=0.3, duplicate=0.2, corrupt=0.1)
+        a, b = run_pattern(plan), run_pattern(plan)
+        assert a.faults.events == b.faults.events
+        assert a.faults.schedule_fingerprint() == b.faults.schedule_fingerprint()
+        assert a.faults.stats.to_dict() == b.faults.stats.to_dict()
+        assert a.summary() == b.summary()
+
+    def test_different_seed_different_schedule(self):
+        a = run_pattern(FaultPlan(seed=5, drop=0.3))
+        b = run_pattern(FaultPlan(seed=6, drop=0.3))
+        assert a.faults.events != b.faults.events
+
+    def test_injector_can_be_shared_form(self):
+        # attach_faults accepts a live injector (pre-armed) too
+        injector = FaultInjector(FaultPlan(seed=5, drop=0.3))
+        net = Network(4)
+        assert net.attach_faults(injector) is injector
+
+
+class TestFailStop:
+    def test_failed_rank_refuses_traffic(self):
+        net = Network(4)
+        net[1].store["x"] = object()
+        net.fail(1)
+        with pytest.raises(RankFailed):
+            net.send(0, 1, 10)
+        with pytest.raises(RankFailed):
+            net.send(1, 2, 10)
+
+    def test_fail_wipes_all_state(self):
+        net = Network(4)
+        net[1].store["x"] = object()
+        net[1].inbox["y"] = object()
+        net[1].ckpt[0] = {"z": object()}
+        net.fail(1)
+        assert not net[1].store and not net[1].inbox and not net[1].ckpt
+
+    def test_restart_allows_traffic_again(self):
+        net = Network(4)
+        net.fail(1)
+        net.restart(1)
+        net.send(0, 1, 10, payload="w", key="k")
+        assert net[1].inbox["k"] == "w"

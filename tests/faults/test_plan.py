@@ -1,0 +1,102 @@
+"""FaultPlan: validation, canonicalization, deterministic draws."""
+
+import pytest
+
+from repro.faults import FaultPlan, fault_unit
+
+
+class TestValidation:
+    def test_probabilities_must_be_in_unit_interval(self):
+        for field in ("drop", "duplicate", "corrupt", "read_fault"):
+            with pytest.raises(ValueError):
+                FaultPlan(**{field: 1.0})
+            with pytest.raises(ValueError):
+                FaultPlan(**{field: -0.1})
+
+    def test_max_attempts_positive(self):
+        with pytest.raises(ValueError):
+            FaultPlan(max_attempts=0)
+
+    def test_one_failstop_per_rank(self):
+        with pytest.raises(ValueError):
+            FaultPlan(failstops=((3, 1), (3, 2)))
+
+    def test_failstops_non_negative(self):
+        with pytest.raises(ValueError):
+            FaultPlan(failstops=((-1, 0),))
+
+    def test_slow_link_factor_positive(self):
+        with pytest.raises(ValueError):
+            FaultPlan(slow_links=((0, 1, 0.0),))
+
+    def test_tuples_are_canonically_sorted(self):
+        a = FaultPlan(failstops=((5, 1), (2, 0)), slow_links=((3, 0, 2.0), (0, 1, 4.0)))
+        b = FaultPlan(failstops=((2, 0), (5, 1)), slow_links=((0, 1, 4.0), (3, 0, 2.0)))
+        assert a == b
+        assert a.failstops == ((2, 0), (5, 1))
+
+
+class TestEmptiness:
+    def test_default_plan_is_empty(self):
+        assert FaultPlan().is_empty()
+        assert not FaultPlan()
+
+    def test_any_knob_makes_it_non_empty(self):
+        assert FaultPlan(drop=0.1)
+        assert FaultPlan(read_fault=0.1)
+        assert FaultPlan(failstops=((0, 0),))
+        assert FaultPlan(slow_links=((0, 1, 2.0),))
+
+    def test_seed_alone_keeps_it_empty(self):
+        # A seed with nothing to schedule can never inject anything.
+        assert FaultPlan(seed=12345).is_empty()
+
+
+class TestDeterministicDraws:
+    def test_unit_is_pure_and_stable(self):
+        assert fault_unit(7, "drop", 0, 1, 2, 1) == fault_unit(7, "drop", 0, 1, 2, 1)
+        assert 0.0 <= fault_unit(7, "drop", 0, 1, 2, 1) < 1.0
+
+    def test_unit_depends_on_every_identity_part(self):
+        base = fault_unit(7, "drop", 0, 1, 2, 1)
+        assert base != fault_unit(8, "drop", 0, 1, 2, 1)  # seed
+        assert base != fault_unit(7, "corrupt", 0, 1, 2, 1)  # kind
+        assert base != fault_unit(7, "drop", 0, 1, 3, 1)  # seq
+
+    def test_backoff_doubles_then_caps(self):
+        plan = FaultPlan(backoff_base=1.0, backoff_cap=4.0)
+        assert [plan.backoff(k) for k in (1, 2, 3, 4, 5)] == [
+            1.0, 2.0, 4.0, 4.0, 4.0,
+        ]
+
+    def test_beta_factor_multiplies_matching_links(self):
+        plan = FaultPlan(slow_links=((0, 1, 2.0), (0, 1, 3.0)))
+        assert plan.beta_factor(0, 1) == 6.0
+        assert plan.beta_factor(1, 0) == 1.0
+
+    def test_failstop_round_lookup(self):
+        plan = FaultPlan(failstops=((2, 4),))
+        assert plan.failstop_round(2) == 4
+        assert plan.failstop_round(0) is None
+
+
+class TestSerialization:
+    def test_dict_round_trip(self):
+        plan = FaultPlan(
+            seed=9, drop=0.01, duplicate=0.02, corrupt=0.03,
+            slow_links=((0, 1, 2.0),), failstops=((3, 1),),
+            read_fault=0.04, max_attempts=5, backoff_base=0.5,
+            backoff_cap=8.0,
+        )
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_freeze_round_trip_and_hashability(self):
+        plan = FaultPlan(seed=9, drop=0.01, failstops=((3, 1),))
+        frozen = plan.freeze()
+        hash(frozen)  # must be usable inside frozen SpecPoints
+        assert FaultPlan.from_frozen(frozen) == plan
+
+    def test_with_seed_changes_only_the_seed(self):
+        plan = FaultPlan(seed=1, drop=0.5)
+        other = plan.with_seed(2)
+        assert other.seed == 2 and other.drop == 0.5

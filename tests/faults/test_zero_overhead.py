@@ -1,0 +1,56 @@
+"""Zero-overhead-when-off, enforced registry-wide.
+
+An *empty* fault plan must be indistinguishable from no plan at all:
+for every registered sequential algorithm and for both parallel
+drivers, every counter in the measurement must be bit-identical.  This
+is what keeps the fault subsystem honest — armed-but-quiet
+instrumentation must not perturb the paper's numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sweeps import measure, measure_parallel
+from repro.faults import FaultPlan
+from repro.matrices.generators import random_spd
+from repro.parallel.pxpotrf import pxpotrf
+from repro.parallel.summa import summa
+from repro.sequential.registry import ALGORITHMS
+
+EMPTY = FaultPlan(seed=123)  # a seed alone schedules nothing
+
+
+@pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+def test_sequential_counters_identical(algorithm):
+    layout = "morton" if algorithm == "square-recursive" else "column-major"
+    off = measure(algorithm, 16, 96, layout=layout, faults=None)
+    empty = measure(algorithm, 16, 96, layout=layout, faults=EMPTY)
+    assert off.to_dict() == empty.to_dict()
+    assert empty.faults is None  # no stats payload for a clean run
+
+
+def test_pxpotrf_counters_identical():
+    off = measure_parallel(16, 4, 4, faults=None)
+    empty = measure_parallel(16, 4, 4, faults=EMPTY)
+    assert off.to_dict() == empty.to_dict()
+    assert empty.faults is None
+
+
+def test_pxpotrf_network_summary_identical():
+    a0 = random_spd(16, seed=0)
+    off = pxpotrf(a0, 4, 4)
+    empty = pxpotrf(a0, 4, 4, faults=EMPTY)
+    assert off.network.summary() == empty.network.summary()
+    assert empty.fault_stats is None
+    assert np.array_equal(off.L, empty.L)
+
+
+def test_summa_network_summary_identical():
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((16, 16))
+    b = rng.standard_normal((16, 16))
+    off = summa(a, b, 4, 4)
+    empty = summa(a, b, 4, 4, faults=EMPTY)
+    assert off.network.summary() == empty.network.summary()
+    assert empty.fault_stats is None
+    assert np.array_equal(off.C, empty.C)
