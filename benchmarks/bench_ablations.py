@@ -168,3 +168,8 @@ class TestArithmeticInvariance:
                       "toledo", "square-recursive")
         }
         assert flops == {cholesky_flops(20)}
+
+if __name__ == "__main__":
+    from benchmarks.conftest import run_module
+
+    raise SystemExit(run_module(__file__))

@@ -126,3 +126,8 @@ class TestBlockCyclicShape:
         assert res.critical_words <= sum(
             p.words_sent for p in res.network.processors
         )
+
+if __name__ == "__main__":
+    from benchmarks.conftest import run_module
+
+    raise SystemExit(run_module(__file__))

@@ -125,3 +125,8 @@ class TestCrossovers:
         achieved = cost(w_c, m_c, 1e6) / cost(w_b, m_b, 1e6)
         assert achieved == pytest.approx(asymptotic, rel=0.05)
         assert 8 <= asymptotic <= 32  # ≈ b = 16
+
+if __name__ == "__main__":
+    from benchmarks.conftest import run_module
+
+    raise SystemExit(run_module(__file__))

@@ -95,3 +95,8 @@ class TestBlocksizeShape:
                 block_sweep[("blocked", b)].words
                 == block_sweep[("column-major", b)].words
             )
+
+if __name__ == "__main__":
+    from benchmarks.conftest import run_module
+
+    raise SystemExit(run_module(__file__))

@@ -99,3 +99,8 @@ class TestLayoutGeometry:
     def test_row_major_mirrors_column_major(self, geometry):
         # fetching a *block* is symmetric between the two
         assert geometry["row-major"][0] == geometry["column-major"][0]
+
+if __name__ == "__main__":
+    from benchmarks.conftest import run_module
+
+    raise SystemExit(run_module(__file__))

@@ -127,3 +127,8 @@ class TestMultilevelShape:
         s = hierarchy_runs["AP00"]
         for tl, sl in zip(t.levels[1:], s.levels[1:]):
             assert tl.messages > 5 * sl.messages
+
+if __name__ == "__main__":
+    from benchmarks.conftest import run_module
+
+    raise SystemExit(run_module(__file__))

@@ -125,3 +125,8 @@ class TestSegmentedRegime:
         _, fit_small = sweep_n("naive-left", [16, 32, 64], 24)
         assert fit_big.exponent_close_to(3.0, tol=0.25)
         assert fit_small.exponent_close_to(3.0, tol=0.25)
+
+if __name__ == "__main__":
+    from benchmarks.conftest import run_module
+
+    raise SystemExit(run_module(__file__))

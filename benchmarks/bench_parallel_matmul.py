@@ -113,3 +113,8 @@ class TestKinship:
         for key, (mm, chol) in pairs.items():
             ratio = mm.total_flops / chol.total_flops
             assert ratio == pytest.approx(6.0, rel=0.05), key
+
+if __name__ == "__main__":
+    from benchmarks.conftest import run_module
+
+    raise SystemExit(run_module(__file__))

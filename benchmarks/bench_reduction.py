@@ -130,3 +130,8 @@ class TestReductionShape:
         ]
         assert not any(is_starred(v) for v in l32.flat)
         assert all(is_starred(v) for v in l33_lower)
+
+if __name__ == "__main__":
+    from benchmarks.conftest import run_module
+
+    raise SystemExit(run_module(__file__))

@@ -131,3 +131,8 @@ class TestTheorem3:
         # Θ(n³/M) vs Θ(n³/M^{3/2}): a √M-ish gap
         assert col.messages >= 2.5 * mor.messages
         assert mor.messages <= 40 * (n**3 / M**1.5)
+
+if __name__ == "__main__":
+    from benchmarks.conftest import run_module
+
+    raise SystemExit(run_module(__file__))

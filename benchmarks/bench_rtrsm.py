@@ -96,3 +96,8 @@ class TestRtrsmShape:
         col = run_rtrsm(n, M, ColumnMajorLayout)
         assert col.words == mor.words
         assert col.messages > 2.5 * mor.messages
+
+if __name__ == "__main__":
+    from benchmarks.conftest import run_module
+
+    raise SystemExit(run_module(__file__))

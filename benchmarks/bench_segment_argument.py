@@ -109,3 +109,8 @@ class TestSegmentArgument:
         bound = segment_lower_bound(N, M)
         best = min(m.words for m in measurements.values())
         assert best <= 30 * bound
+
+if __name__ == "__main__":
+    from benchmarks.conftest import run_module
+
+    raise SystemExit(run_module(__file__))

@@ -115,3 +115,8 @@ class TestSquareRecursiveShape:
         the flops are identical across all M."""
         flops = {sq_sweep[("M", M)].flops for M in MS}
         assert len(flops) == 1
+
+if __name__ == "__main__":
+    from benchmarks.conftest import run_module
+
+    raise SystemExit(run_module(__file__))

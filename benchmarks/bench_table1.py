@@ -174,3 +174,8 @@ class TestTable1Shape:
         assert words[("toledo", "column-major")] >= words[
             ("square-recursive", "morton")
         ]
+
+if __name__ == "__main__":
+    from benchmarks.conftest import run_module
+
+    raise SystemExit(run_module(__file__))

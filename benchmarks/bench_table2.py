@@ -149,3 +149,8 @@ class TestTable2Shape:
         assert msgs[4] < msgs[16] < msgs[64]
         # √P log P growth: 64 vs 4 should be ≈ (8·6)/(2·2) = 12×
         assert 4 <= msgs[64] / max(msgs[4], 1) <= 30
+
+if __name__ == "__main__":
+    from benchmarks.conftest import run_module
+
+    raise SystemExit(run_module(__file__))

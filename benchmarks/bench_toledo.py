@@ -120,3 +120,8 @@ class TestToledoShape:
             if M > N ** (2 / 3) * 4:  # comfortably above the threshold
                 assert t.messages > 5 * s.messages, M
         assert ratios == sorted(ratios)  # gap grows with M
+
+if __name__ == "__main__":
+    from benchmarks.conftest import run_module
+
+    raise SystemExit(run_module(__file__))

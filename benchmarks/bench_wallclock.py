@@ -1,0 +1,95 @@
+"""Experiment P4 — wall-clock performance of the simulator itself.
+
+Unlike the other benches, the quantity under test here is host time,
+not modeled communication: the batched interval-charging fast path
+must beat the element-wise reference path by the pinned factors while
+producing *identical* counts (words, messages, flops, peak resident).
+The harness lives in :mod:`repro.analysis.wallclock` and is shared
+with the ``repro bench`` CLI subcommand; this module runs it under
+pytest and asserts the acceptance thresholds, writing ``BENCH_4.json``
+into ``--bench-out`` (repo root by default).
+
+Thresholds are asserted on the small smoke grid so the suite stays
+seconds-scale; the full n=512 grid runs via ``repro bench`` (CI's
+bench-smoke job and the committed ``BENCH_4.json`` cover it).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from benchmarks.conftest import run_module
+from repro.analysis.wallclock import (
+    COUNT_FIELDS,
+    TINY_GRID,
+    run_grid,
+    run_point,
+)
+
+#: Minimum fast/slow speedup per algorithm on the smoke grid.  The
+#: full-grid (n=512) thresholds — 5x for naive-left, 2x for toledo and
+#: square-recursive — are enforced by ``repro bench`` consumers; the
+#: small grid uses a safety margin below its measured ratios.
+SMOKE_THRESHOLDS = {
+    "naive-left": 3.0,
+    "toledo": 1.3,
+    "square-recursive": 2.0,
+}
+
+
+@pytest.fixture(scope="module")
+def wallclock_doc(bench_out):
+    doc = run_grid(TINY_GRID, repeats=3, seed=0)
+    out = bench_out / "BENCH_4.json"
+    with open(out, "w") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+    return doc
+
+
+def test_counts_identical_on_both_paths(wallclock_doc):
+    """The count-identity gate: the speedup must be free."""
+    assert wallclock_doc["all_counts_equal"], [
+        (p["algorithm"], p["counters"], p["counters_slow"])
+        for p in wallclock_doc["grid"]
+        if not p["counts_equal"]
+    ]
+
+
+def test_numerics_match_on_both_paths(wallclock_doc):
+    assert wallclock_doc["all_numerics_match"]
+
+
+def test_counters_reported_complete(wallclock_doc):
+    for p in wallclock_doc["grid"]:
+        assert set(p["counters"]) == set(COUNT_FIELDS)
+        assert all(v >= 0 for v in p["counters"].values())
+
+
+def test_fast_path_actually_batches(wallclock_doc):
+    """Every grid algorithm must exercise the batched charging APIs."""
+    for p in wallclock_doc["grid"]:
+        if p["algorithm"] == "naive-left":
+            assert p["fast"]["batch_hits"] > 0, p["algorithm"]
+
+
+def test_speedup_thresholds(benchmark, wallclock_doc):
+    by_algo = {p["algorithm"]: p for p in wallclock_doc["grid"]}
+    assert set(by_algo) == set(SMOKE_THRESHOLDS)
+    for algo, floor in SMOKE_THRESHOLDS.items():
+        assert by_algo[algo]["speedup"] >= floor, (
+            algo,
+            by_algo[algo]["speedup"],
+        )
+    # timing unit: one fast-path smoke simulation
+    benchmark.pedantic(
+        lambda: run_point(TINY_GRID[0], repeats=1),
+        rounds=3,
+        iterations=1,
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(run_module(__file__))

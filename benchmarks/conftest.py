@@ -17,9 +17,33 @@ Conventions:
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
 
 from repro.analysis.report import ReportWriter
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--bench-out",
+        action="store",
+        default=None,
+        metavar="DIR",
+        help="directory for bench JSON artifacts (e.g. BENCH_4.json); "
+        "defaults to the repository root",
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_out(request: pytest.FixtureRequest) -> Path:
+    """Directory bench modules write their JSON artifacts into."""
+    opt = request.config.getoption("--bench-out")
+    if opt:
+        path = Path(opt)
+        path.mkdir(parents=True, exist_ok=True)
+        return path
+    return Path(__file__).resolve().parent.parent
 
 
 @pytest.fixture(scope="session")
@@ -32,3 +56,16 @@ def reports_emitted():
 def emit_report(writer: ReportWriter) -> str:
     """Print and save a report; returns the saved path."""
     return writer.emit(echo=True)
+
+
+def run_module(path: str, argv: "list[str] | None" = None) -> int:
+    """Run one bench module standalone: ``python -m benchmarks.bench_x``.
+
+    Thin wrapper over ``pytest.main`` so every module's ``__main__``
+    guard stays one line and picks up this conftest (fixtures,
+    ``--bench-out``) exactly as a full ``pytest benchmarks/`` run does.
+    """
+    import sys
+
+    args = list(sys.argv[1:] if argv is None else argv)
+    return pytest.main([path, *args])

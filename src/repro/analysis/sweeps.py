@@ -18,6 +18,7 @@ points out over a process pool.
 
 from __future__ import annotations
 
+import time
 from dataclasses import replace
 from typing import Callable, Sequence
 
@@ -28,7 +29,11 @@ from repro.layouts.registry import make_layout
 from repro.machine.core import SequentialMachine
 from repro.matrices.generators import random_spd
 from repro.matrices.tracked import TrackedMatrix
-from repro.observability.metrics import publish_faults, publish_run
+from repro.observability.metrics import (
+    publish_faults,
+    publish_perf,
+    publish_run,
+)
 from repro.observability.spans import observe as attach_spans
 from repro.parallel.pxpotrf import pxpotrf
 from repro.results import Measurement, freeze_params
@@ -85,7 +90,9 @@ def measure(
     lay = make_layout(layout, n, block=layout_block)
     a0 = random_spd(n, seed=seed)
     A = TrackedMatrix(a0, lay, machine)
+    t0 = time.perf_counter()
     L = run_algorithm(algorithm, A, **params)
+    wall = time.perf_counter() - t0
     ok = True
     if verify:
         ok = bool(np.allclose(L, np.linalg.cholesky(a0), atol=1e-6))
@@ -101,6 +108,12 @@ def measure(
         words=lvl.words,
         messages=lvl.messages,
         flops=machine.flops,
+    )
+    publish_perf(
+        kind="sequential",
+        algorithm=algorithm,
+        wall_seconds=wall,
+        batch_hits=machine.batch_hits,
     )
     span_tree = machine.profiler.profile() if observe else None
     fault_dict = (
@@ -147,7 +160,9 @@ def measure_parallel(
     ``profile`` field (counts are unchanged).
     """
     a0 = random_spd(n, seed=seed)
+    t0 = time.perf_counter()
     res = pxpotrf(a0, block, P, observe_spans=observe, faults=faults)
+    wall = time.perf_counter() - t0
     ok = True
     if verify:
         ok = bool(np.allclose(res.L, np.linalg.cholesky(a0), atol=1e-8))
@@ -158,6 +173,9 @@ def measure_parallel(
         words=m.words,
         messages=m.messages,
         flops=m.flops,
+    )
+    publish_perf(
+        kind="parallel", algorithm="pxpotrf", wall_seconds=wall
     )
     if res.fault_stats is not None:
         publish_faults(res.fault_stats)

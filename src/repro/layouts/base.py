@@ -43,6 +43,11 @@ class Layout(ABC):
     block_contiguous: bool = False
     #: whether only the lower triangle is stored
     packed: bool = False
+    #: uniform distance between column starts when every column's rows
+    #: are one contiguous run (column-major-style layouts); ``None``
+    #: when no such stride exists.  The batched transfer builders use
+    #: this to emit per-column runs in closed form.
+    column_stride: "int | None" = None
 
     def __init__(self, n: int) -> None:
         self.n = check_positive_int("n", n)

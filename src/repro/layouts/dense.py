@@ -9,6 +9,7 @@ the naïve one-column-at-a-time algorithms, but a ``b × b`` block is
 from __future__ import annotations
 
 from repro.layouts.base import Layout, LayoutError
+from repro.util.fastpath import fastpath_enabled
 from repro.util.intervals import IntervalSet, merge_intervals
 
 
@@ -23,6 +24,10 @@ class ColumnMajorLayout(Layout):
     def storage_words(self) -> int:
         return self.n * self.n
 
+    @property
+    def column_stride(self) -> int:
+        return self.n
+
     def address(self, i: int, j: int) -> int:
         if not self.stores(i, j):
             raise LayoutError(f"({i},{j}) outside {self.n}x{self.n} matrix")
@@ -35,6 +40,10 @@ class ColumnMajorLayout(Layout):
         if r0 == 0 and r1 == self.n:
             # full columns are one contiguous run
             return IntervalSet.single(c0 * self.n, c1 * self.n)
+        if fastpath_enabled():
+            # partial-height columns never touch: the per-column runs
+            # are already sorted, disjoint and non-adjacent
+            return IntervalSet.from_strided((r0, r1), (c0, c1), self.n)
         n = self.n
         return IntervalSet(
             merge_intervals(
@@ -70,6 +79,9 @@ class RowMajorLayout(Layout):
             return IntervalSet()
         if c0 == 0 and c1 == self.n:
             return IntervalSet.single(r0 * self.n, r1 * self.n)
+        if fastpath_enabled():
+            # transposed geometry: rows are the strided "columns"
+            return IntervalSet.from_strided((c0, c1), (r0, r1), self.n)
         n = self.n
         return IntervalSet(
             merge_intervals(

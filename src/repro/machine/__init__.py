@@ -36,6 +36,7 @@ from repro.machine.core import (
 from repro.machine.lru import LRUCache
 from repro.machine.stack_distance import StackDistanceAnalyzer
 from repro.machine.tracing import (
+    BatchEvent,
     MachineTrace,
     ReadEvent,
     ScopeEvent,
@@ -56,5 +57,6 @@ __all__ = [
     "ReadEvent",
     "WriteEvent",
     "ScopeEvent",
+    "BatchEvent",
     "TraceOverflow",
 ]

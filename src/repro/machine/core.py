@@ -47,9 +47,16 @@ from typing import Iterator, Sequence
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
 from repro.machine.counters import CommCounters, MemoryLevel
-from repro.machine.tracing import MachineTrace, ReadEvent, ScopeEvent, WriteEvent
+from repro.machine.tracing import (
+    BatchEvent,
+    MachineTrace,
+    ReadEvent,
+    ScopeEvent,
+    WriteEvent,
+)
 from repro.observability.spans import NULL_PROFILER
-from repro.util.intervals import IntervalSet
+from repro.util.fastpath import default_batched, fastpath_enabled
+from repro.util.intervals import IntervalSet, RunBatch
 from repro.util.validation import check_positive_int
 
 
@@ -103,6 +110,13 @@ class HierarchicalMachine:
         stops growing and counts dropped events behind an explicit
         overflow marker (see :class:`~repro.machine.tracing.MachineTrace`).
         ``None`` (default) keeps the historical unbounded behaviour.
+    batched:
+        Whether algorithms should take the batched charging path
+        (:meth:`charge_intervals` and friends) instead of per-transfer
+        ``read``/``write`` calls.  The two paths are count-identical —
+        the golden equality tests assert it — so this is purely a
+        simulator-speed switch.  ``None`` (default) resolves from the
+        environment: on unless ``REPRO_SLOW_PATH=1``.
     """
 
     def __init__(
@@ -112,6 +126,7 @@ class HierarchicalMachine:
         enforce_capacity: bool = True,
         record_trace: bool = False,
         trace_max_events: int | None = None,
+        batched: bool | None = None,
     ) -> None:
         caps = [check_positive_int("capacity", c) for c in capacities]
         if not caps:
@@ -135,6 +150,10 @@ class HierarchicalMachine:
         self.profiler = NULL_PROFILER
         #: Live fault oracle, or ``None`` for the fault-free machine.
         self.faults: FaultInjector | None = None
+        #: Whether algorithms should use the batched charging APIs.
+        self.batched: bool = default_batched() if batched is None else bool(batched)
+        #: How many transfer batches took the O(#intervals) fast path.
+        self.batch_hits: int = 0
         self._read_seq: int = 0
         self._scope_depth: int = 0
         self._next_base: int = 0
@@ -245,11 +264,97 @@ class HierarchicalMachine:
                 f"write of non-resident addresses {missing!r}; "
                 "explicit algorithms must read (or allocate) before writing"
             )
+        self._charge_write(ivs)
+
+    def _charge_write(self, ivs: IntervalSet) -> None:
+        """Charge a write without the residency check (batch internals)."""
         words = ivs.words
         for level in self.levels:
             level.counters.add_write(words, ivs.messages(cap=level.capacity))
         if self.trace is not None:
             self.trace.append(WriteEvent(ivs))
+
+    # -- batched transfers ------------------------------------------------
+
+    def charge_intervals(
+        self, batch: RunBatch, *, peak_extra: int | None = None
+    ) -> None:
+        """Charge an ordered sequence of explicit transfers at once.
+
+        ``batch`` holds one pre-merged interval set per transfer, in
+        the exact order the element-wise path would have issued them;
+        words and messages are charged per level with O(#intervals)
+        array reductions, so the cost no longer scales with the number
+        of transfers, let alone words.  Counters, trace expansion and
+        fault schedules are identical to issuing the per-set
+        ``read``/``write`` calls one by one — that identity is what the
+        golden tests pin down.
+
+        Batched transfers are *transient*: :attr:`resident` is left
+        untouched, mirroring element-wise loops that release every set
+        they stream.  ``peak_extra`` is the largest number of batch
+        words the element-wise loop would have held resident at once
+        (defaults to the largest single set, the
+        one-set-at-a-time streaming pattern); it feeds the same
+        peak-residency tracking and capacity enforcement the
+        element-wise path performs.  Writes in a batch must cover only
+        addresses read earlier in the same batch or already resident —
+        the streaming discipline the element-wise twin enforces
+        per-write.
+
+        With a fault injector attached the batch falls back to per-set
+        transfers so the read-sequence numbering (and therefore the
+        realized fault schedule) stays identical to the element-wise
+        path.
+        """
+        if batch.nsets == 0:
+            return
+        if peak_extra is None:
+            peak_extra = batch.max_set_words()
+        if self.faults is not None:
+            for ivs, is_write in batch.items():
+                if is_write:
+                    self._charge_write(ivs)
+                else:
+                    self.read(ivs)
+                    self.resident = self.resident - ivs
+            self._note_batch_peak(int(peak_extra))
+            return
+        self.batch_hits += 1
+        read_words, write_words = batch.direction_words()
+        for level in self.levels:
+            rm, wm = batch.direction_messages(cap=level.capacity)
+            level.counters.add_batch(read_words, rm, write_words, wm)
+        self._note_batch_peak(int(peak_extra))
+        if self.trace is not None:
+            self.trace.append(BatchEvent(batch))
+
+    def read_batch(
+        self, batch: RunBatch, *, peak_extra: int | None = None
+    ) -> None:
+        """Charge every transfer of ``batch`` as a read (slow → fast)."""
+        if batch.is_write.any():
+            batch = batch.with_writes(False)
+        self.charge_intervals(batch, peak_extra=peak_extra)
+
+    def write_batch(
+        self, batch: RunBatch, *, peak_extra: int | None = None
+    ) -> None:
+        """Charge every transfer of ``batch`` as a write (fast → slow)."""
+        if not batch.is_write.all():
+            batch = batch.with_writes(True)
+        self.charge_intervals(batch, peak_extra=peak_extra)
+
+    def _note_batch_peak(self, extra: int) -> None:
+        """Track (and enforce) the transient peak of a batched charge."""
+        words = self.resident.words + extra
+        for level in self.levels:
+            level.note_resident(words)
+        if self.enforce_capacity and words > self.fast.capacity:
+            raise CapacityError(
+                f"batched working set of {words} words exceeds fast memory "
+                f"capacity M={self.fast.capacity}"
+            )
 
     def allocate(self, ivs: IntervalSet) -> None:
         """Make addresses resident *without* a read (freshly computed data).
@@ -296,6 +401,8 @@ class HierarchicalMachine:
         self,
         read_ivs: IntervalSet,
         write_ivs: IntervalSet | None = None,
+        *,
+        write_covered: bool = False,
     ) -> Iterator[_Scope]:
         """Declare a cache-oblivious recursive subproblem.
 
@@ -306,6 +413,13 @@ class HierarchicalMachine:
             footprint, including any accumulated-into output).
         write_ivs:
             Addresses the subproblem produces; defaults to none.
+        write_covered:
+            Caller's promise that ``write_ivs`` is a subset of
+            ``read_ivs`` (true for every accumulate-into-output kernel,
+            whose read footprint includes the output).  Skips the
+            ``read | write`` union, which would be a no-op merge.
+            Honored only while the count-neutral fast path is enabled,
+            so ``REPRO_SLOW_PATH=1`` still exercises the full union.
 
         For each level whose capacity first covers the footprint here
         (ideal-cache frontier), ``read_ivs`` is charged as a read now
@@ -313,7 +427,13 @@ class HierarchicalMachine:
         handle's ``fits`` flag reports whether the footprint fits the
         fastest level — the signal to stop recursing and compute.
         """
-        footprint = read_ivs if write_ivs is None else (read_ivs | write_ivs)
+        footprint = (
+            read_ivs
+            if write_ivs is None
+            or write_ivs is read_ivs
+            or (write_covered and fastpath_enabled())
+            else (read_ivs | write_ivs)
+        )
         fwords = footprint.words
         self._scope_depth += 1
         handle = _Scope(
@@ -374,6 +494,7 @@ class HierarchicalMachine:
             level.peak_resident = 0
             level.fitted_scope_depth = None
         self.flops = 0
+        self.batch_hits = 0
         self.resident = IntervalSet()
         self._scope_depth = 0
         self._read_seq = 0
@@ -436,10 +557,12 @@ class SequentialMachine(HierarchicalMachine):
         enforce_capacity: bool = True,
         record_trace: bool = False,
         trace_max_events: int | None = None,
+        batched: bool | None = None,
     ) -> None:
         super().__init__(
             [M],
             enforce_capacity=enforce_capacity,
             record_trace=record_trace,
             trace_max_events=trace_max_events,
+            batched=batched,
         )

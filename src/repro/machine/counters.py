@@ -52,6 +52,26 @@ class CommCounters:
         self.words_written += words
         self.messages_written += messages
 
+    def add_batch(
+        self,
+        read_words: int,
+        read_messages: int,
+        write_words: int,
+        write_messages: int,
+    ) -> None:
+        """Charge a whole transfer batch's totals in one call.
+
+        Equivalent to one :meth:`add_read` plus one :meth:`add_write`;
+        exists so the batched fast path charges a batch of any size
+        with O(1) counter work.
+        """
+        if min(read_words, read_messages, write_words, write_messages) < 0:
+            raise ValueError("counter increments must be non-negative")
+        self.words_read += read_words
+        self.messages_read += read_messages
+        self.words_written += write_words
+        self.messages_written += write_messages
+
     def merge(self, other: "CommCounters") -> None:
         """Accumulate another counter set into this one."""
         self.words_read += other.words_read

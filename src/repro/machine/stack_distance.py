@@ -16,8 +16,9 @@ to their address; the stack distance is then a suffix sum.
 
 from __future__ import annotations
 
-from bisect import bisect_right
 from typing import Dict, Iterable, List
+
+import numpy as np
 
 
 class _Fenwick:
@@ -56,6 +57,7 @@ class StackDistanceAnalyzer:
     def __init__(self) -> None:
         self.distances: List[int] = []
         self.cold_misses: int = 0
+        self._sorted: "np.ndarray | None" = None
 
     def analyze(self, addresses: Iterable[int]) -> "StackDistanceAnalyzer":
         """Process a trace (any iterable of integer addresses)."""
@@ -74,11 +76,36 @@ class StackDistanceAnalyzer:
                 tree.add(prev, -1)
             tree.add(t, +1)
             last_seen[addr] = t
+        self._sorted = None
         return self
+
+    def analyze_runs(
+        self, runs: Iterable[tuple[int, int]]
+    ) -> "StackDistanceAnalyzer":
+        """Process ``(start, stop)`` address runs — bulk form of ``analyze``.
+
+        The runs are expanded to the equivalent flat address stream
+        (each run touched in ascending order) in one NumPy pass, so
+        callers holding interval batches never build per-word Python
+        lists themselves.
+        """
+        parts = [
+            np.arange(start, stop, dtype=np.int64)
+            for start, stop in runs
+            if stop > start
+        ]
+        if not parts:
+            return self
+        return self.analyze(np.concatenate(parts).tolist())
 
     @property
     def accesses(self) -> int:
         return self.cold_misses + len(self.distances)
+
+    def _sorted_distances(self) -> np.ndarray:
+        if self._sorted is None:
+            self._sorted = np.sort(np.asarray(self.distances, dtype=np.int64))
+        return self._sorted
 
     def misses(self, capacity: int) -> int:
         """Miss count for an LRU cache of the given capacity.
@@ -88,12 +115,23 @@ class StackDistanceAnalyzer:
         """
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
-        if not hasattr(self, "_sorted"):
-            self._sorted = sorted(self.distances)
+        arr = self._sorted_distances()
         # number of recorded distances >= capacity
-        idx = bisect_right(self._sorted, capacity - 1)
-        return self.cold_misses + (len(self._sorted) - idx)
+        idx = int(np.searchsorted(arr, capacity, side="left"))
+        return self.cold_misses + (len(arr) - idx)
 
     def miss_curve(self, capacities: Iterable[int]) -> Dict[int, int]:
-        """Miss counts for several capacities from the one histogram."""
-        return {m: self.misses(m) for m in capacities}
+        """Miss counts for several capacities from the one histogram.
+
+        One vectorized ``searchsorted`` over the sorted histogram
+        serves every capacity at once.
+        """
+        caps = list(capacities)
+        for m in caps:
+            if m < 1:
+                raise ValueError(f"capacity must be >= 1, got {m}")
+        arr = self._sorted_distances()
+        idx = np.searchsorted(arr, np.asarray(caps, dtype=np.int64), "left")
+        return {
+            m: self.cold_misses + int(len(arr) - i) for m, i in zip(caps, idx)
+        }

@@ -15,10 +15,11 @@ a trace grows with the run.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterator, List, Sequence
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Iterator, Sequence
 
-from repro.util.intervals import IntervalSet
+from repro.util.intervals import IntervalSet, RunBatch
 
 
 @dataclass(frozen=True)
@@ -55,6 +56,32 @@ class ScopeEvent:
         return self.footprint.words
 
 
+@dataclass(frozen=True)
+class BatchEvent:
+    """A coalesced sequence of explicit transfers (one batched charge).
+
+    The batched fast path records one event per
+    :meth:`~repro.machine.core.HierarchicalMachine.charge_intervals`
+    call instead of one per transfer.  :meth:`expand` recovers the
+    per-transfer :class:`ReadEvent`/:class:`WriteEvent` sequence in the
+    exact order the element-wise path would have issued it, which is
+    what keeps trace consumers (LRU replay, heatmaps, message-cap
+    ablations) path-agnostic — :meth:`MachineTrace.transfers` expands
+    batches automatically.
+    """
+
+    batch: RunBatch
+
+    @property
+    def words(self) -> int:
+        return self.batch.words
+
+    def expand(self) -> "Iterator[ReadEvent | WriteEvent]":
+        """Per-transfer events, in element-wise issue order."""
+        for ivs, is_write in self.batch.items():
+            yield WriteEvent(ivs) if is_write else ReadEvent(ivs)
+
+
 @dataclass
 class TraceOverflow:
     """Marker standing in for events dropped past ``max_events``.
@@ -71,43 +98,56 @@ class TraceOverflow:
     dropped: int = 0
 
 
-Event = ReadEvent | WriteEvent | ScopeEvent | TraceOverflow
+Event = ReadEvent | WriteEvent | ScopeEvent | BatchEvent | TraceOverflow
 
 
-@dataclass
 class MachineTrace:
     """Record of machine events, optionally capped.
 
     ``max_events`` bounds memory: a long run with tracing enabled
     historically grew the event list without limit.  With a cap, the
-    first ``max_events`` events are kept verbatim, then a single
-    :class:`TraceOverflow` marker absorbs (and counts) the rest.
+    first ``max_events`` events are kept verbatim in a bounded deque,
+    then a single :class:`TraceOverflow` marker absorbs (and counts)
+    the rest in constant time — no per-append scan, no growth.
     """
 
-    events: List[Event] = field(default_factory=list)
-    max_events: int | None = None
+    __slots__ = ("events", "max_events", "_overflow", "_room")
 
-    def __post_init__(self) -> None:
-        if self.max_events is not None and self.max_events < 1:
+    def __init__(
+        self,
+        events: "Sequence[Event] | None" = None,
+        max_events: int | None = None,
+    ) -> None:
+        if max_events is not None and max_events < 1:
             raise ValueError(
-                f"max_events must be >= 1 or None, got {self.max_events}"
+                f"max_events must be >= 1 or None, got {max_events}"
             )
+        self.max_events = max_events
+        # +1 leaves room for the overflow marker itself
+        self.events: Deque[Event] = deque(
+            maxlen=None if max_events is None else max_events + 1
+        )
         self._overflow: TraceOverflow | None = None
+        self._room = float("inf") if max_events is None else max_events
+        for ev in events or ():
+            self.append(ev)
 
     def append(self, event: Event) -> None:
         """Record one event (or count it as dropped past the cap)."""
-        if self.max_events is not None and len(self.events) >= self.max_events:
-            if self._overflow is None:
-                self._overflow = TraceOverflow()
-                self.events.append(self._overflow)
-            self._overflow.dropped += 1
+        if self._room > 0:
+            self.events.append(event)
+            self._room -= 1
             return
-        self.events.append(event)
+        if self._overflow is None:
+            self._overflow = TraceOverflow()
+            self.events.append(self._overflow)
+        self._overflow.dropped += 1
 
     def clear(self) -> None:
         """Drop all recorded events (reuse the trace between phases)."""
         self.events.clear()
         self._overflow = None
+        self._room = float("inf") if self.max_events is None else self.max_events
 
     @property
     def dropped(self) -> int:
@@ -121,10 +161,17 @@ class MachineTrace:
         return iter(self.events)
 
     def transfers(self) -> Iterator[ReadEvent | WriteEvent]:
-        """Only the explicit transfer events, in order."""
+        """Only the explicit transfer events, in order.
+
+        Coalesced :class:`BatchEvent` records are expanded back into
+        their per-transfer events, so consumers see the same stream on
+        both charging paths.
+        """
         for ev in self.events:
             if isinstance(ev, (ReadEvent, WriteEvent)):
                 yield ev
+            elif isinstance(ev, BatchEvent):
+                yield from ev.expand()
 
     def address_stream(self) -> Iterator[tuple[int, bool]]:
         """Flatten explicit transfers into ``(address, is_write)`` pairs.

@@ -36,8 +36,12 @@ import numpy as np
 
 from repro.layouts.base import Layout
 from repro.machine.core import HierarchicalMachine
-from repro.util.intervals import IntervalSet, union_all
+from repro.util.fastpath import fastpath_enabled
+from repro.util.intervals import IntervalSet, RunBatch, union_all
 from repro.util.validation import check_square
+
+#: Entry cap on the per-matrix interval memo (dropped wholesale past it).
+_INTERVAL_CACHE_MAX = 1 << 16
 
 
 class TrackedMatrix:
@@ -81,6 +85,7 @@ class TrackedMatrix:
             else int(base)
         )
         self.name = name
+        self._interval_cache: "dict[tuple[int, int, int, int], IntervalSet]" = {}
 
     @property
     def n(self) -> int:
@@ -89,8 +94,94 @@ class TrackedMatrix:
     # -- geometry --------------------------------------------------------
 
     def intervals(self, r0: int, r1: int, c0: int, c1: int) -> IntervalSet:
-        """Global (base-shifted) address runs of a rectangle."""
-        return self.layout.intervals(r0, r1, c0, c1).shift(self.base)
+        """Global (base-shifted) address runs of a rectangle.
+
+        Memoized per rectangle on the fast path: the recursive
+        algorithms ask for the same block footprints at every node of
+        their recursion, and the sets are immutable.
+        """
+        if not fastpath_enabled():
+            return self.layout.intervals(r0, r1, c0, c1).shift(self.base)
+        key = (r0, r1, c0, c1)
+        cache = self._interval_cache
+        ivs = cache.get(key)
+        if ivs is None:
+            ivs = self.layout.intervals(r0, r1, c0, c1).shift(self.base)
+            if len(cache) >= _INTERVAL_CACHE_MAX:
+                cache.clear()
+            cache[key] = ivs
+        return ivs
+
+    # -- batched transfers -------------------------------------------------
+
+    def column_batch(
+        self, r0: int, r1: int, c0: int, c1: int, *, is_write: bool = False
+    ) -> RunBatch:
+        """One transfer per column of ``[r0,r1) × [c0,c1)``, in order.
+
+        Each set equals ``self.intervals(r0, r1, c, c+1)`` — what a
+        per-column ``BlockRef.load``/``store`` would charge — built in
+        closed form on layouts with a uniform column stride and by
+        per-column enumeration otherwise.
+        """
+        ld = self.layout.column_stride
+        if ld is not None and not self.layout.packed and fastpath_enabled():
+            return RunBatch.from_strided(
+                (r0, r1), (c0, c1), ld, base=self.base, is_write=is_write
+            )
+        return RunBatch.from_sets(
+            [self.intervals(r0, r1, c, c + 1) for c in range(c0, c1)],
+            is_write=is_write,
+        )
+
+    def rect_batch(
+        self,
+        rects: "Sequence[tuple[int, int, int, int]]",
+        is_write: "bool | Sequence[bool]" = False,
+    ) -> RunBatch:
+        """One transfer per ``(r0, r1, c0, c1)`` rectangle, in order."""
+        return RunBatch.from_sets(
+            [self.intervals(*rect) for rect in rects], is_write=is_write
+        )
+
+    def load_panel(
+        self, r0: int, r1: int, c0: int, c1: int, *, peak_extra: int | None = None
+    ) -> np.ndarray:
+        """Stream the panel through fast memory column by column.
+
+        Charges one batched read per column (count-identical to the
+        load/release loop the element-wise algorithms run) and returns
+        the panel's values.  ``peak_extra`` follows
+        :meth:`~repro.machine.core.HierarchicalMachine.charge_intervals`.
+        """
+        self.machine.read_batch(
+            self.column_batch(r0, r1, c0, c1), peak_extra=peak_extra
+        )
+        return self.data[r0:r1, c0:c1].copy()
+
+    def store_panel(
+        self,
+        r0: int,
+        r1: int,
+        c0: int,
+        c1: int,
+        values: np.ndarray,
+        *,
+        peak_extra: int | None = None,
+    ) -> None:
+        """Write the panel back column by column (batched twin of
+        per-column ``store`` calls)."""
+        target = self.data[r0:r1, c0:c1]
+        v = np.asarray(values, dtype=np.float64)
+        if v.shape != target.shape:
+            raise ValueError(
+                f"value shape {v.shape} != panel shape {target.shape}"
+            )
+        target[...] = v
+        self.machine.write_batch(
+            self.column_batch(r0, r1, c0, c1, is_write=True),
+            peak_extra=peak_extra,
+        )
 
     def block(
         self, r0: int, r1: int, c0: int, c1: int

@@ -23,6 +23,8 @@ name                                  type       labels
 ``repro_engine_failures_total``       counter    ``kind``
 ``repro_engine_timeouts_total``       counter    ``kind``
 ``repro_point_wall_seconds``          histogram  ``kind``
+``repro_simulator_wallclock_seconds``  histogram  ``kind``, ``algorithm``
+``repro_batched_fastpath_hits_total``  counter    ``kind``, ``algorithm``
 ``repro_machine_words``               gauge      ``level``
 ``repro_machine_messages``            gauge      ``level``
 ``repro_machine_peak_resident``       gauge      ``level``
@@ -297,6 +299,33 @@ def publish_run(
     reg.counter("repro_run_flops_total", **labels).inc(int(flops))
 
 
+def publish_perf(
+    *,
+    kind: str,
+    algorithm: str,
+    wall_seconds: float,
+    batch_hits: int = 0,
+    registry: "MetricsRegistry | None" = None,
+) -> None:
+    """Publish one run's simulator performance: wall time and fast-path use.
+
+    ``wall_seconds`` is the wall-clock time the simulation itself took
+    (distinct from ``repro_point_wall_seconds``, which times whole
+    engine points including setup and verification);  ``batch_hits``
+    is the machine's count of interval batches charged through the
+    O(#intervals) fast path (:attr:`Machine.batch_hits`).  Called once
+    per run, like :func:`publish_run`.
+    """
+    reg = registry if registry is not None else METRICS
+    labels = {"kind": kind, "algorithm": algorithm}
+    reg.histogram("repro_simulator_wallclock_seconds", **labels).observe(
+        float(wall_seconds)
+    )
+    reg.counter("repro_batched_fastpath_hits_total", **labels).inc(
+        int(batch_hits)
+    )
+
+
 #: FaultStats field → ``repro_faults_injected_total`` label.
 _INJECTED_KINDS = (
     ("drops", "drop"),
@@ -355,5 +384,6 @@ __all__ = [
     "MetricsRegistry",
     "publish_faults",
     "publish_machine",
+    "publish_perf",
     "publish_run",
 ]

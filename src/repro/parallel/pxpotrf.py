@@ -55,6 +55,7 @@ from repro.parallel.network import Network
 from repro.results import Measurement
 from repro.sequential.flops import cholesky_flops, gemm_flops, syrk_flops, trsm_flops
 from repro.sequential.kernels import dense_cholesky, solve_lower_transposed_right
+from repro.util.fastpath import fastpath_enabled
 from repro.util.validation import (
     ValidationError,
     check_finite,
@@ -376,6 +377,12 @@ def pxpotrf(
                     )
 
             # -- 5. trailing updates with received panel blocks ---------------
+            # No sends interleave with the compute charges below, so the
+            # per-rank flop totals can be applied in one ``compute`` call
+            # per rank: each call only advances that rank's own clock
+            # additively, making the batched charging clock-identical.
+            batch_compute = fastpath_enabled()
+            flops_by_rank: "defaultdict[int, int]" = defaultdict(int)
             with prof.span("update"):
                 for l in range(J + 1, nb):
                     for k in range(l, nb):
@@ -393,9 +400,16 @@ def pxpotrf(
                         dirty[rank].add(("A", k, l))
                         dk, dl = dist.block_dim(k), dist.block_dim(l)
                         if k == l:
-                            network.compute(rank, syrk_flops(dk, w))
+                            flops = syrk_flops(dk, w)
                         else:
-                            network.compute(rank, gemm_flops(dk, w, dl))
+                            flops = gemm_flops(dk, w, dl)
+                        if batch_compute:
+                            flops_by_rank[rank] += flops
+                        else:
+                            network.compute(rank, flops)
+                if batch_compute:
+                    for rank, flops in flops_by_rank.items():
+                        network.compute(rank, flops)
 
             # -- 6. per-round buddy checkpoint of every modified block ------
             if ckpt_on:

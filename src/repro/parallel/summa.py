@@ -32,6 +32,7 @@ from repro.parallel.grid import ProcessorGrid
 from repro.parallel.network import Network
 from repro.parallel.pxpotrf import _checkpoint, _recover
 from repro.sequential.flops import gemm_flops
+from repro.util.fastpath import fastpath_enabled
 from repro.util.imath import ceil_div
 from repro.util.validation import (
     ValidationError,
@@ -188,7 +189,11 @@ def summa(
                         payload=bundle,
                         key=("Bcol", K, c),
                     )
-            # local accumulation
+            # local accumulation; no sends interleave with the compute
+            # charges, so per-rank flop totals applied in one ``compute``
+            # call per rank advance the clocks identically
+            batch_compute = fastpath_enabled()
+            flops_by_rank: "defaultdict[int, int]" = defaultdict(int)
             with prof.span("update"):
                 for bi in range(nb):
                     for bj in range(nb):
@@ -198,12 +203,16 @@ def summa(
                         ablk = proc.inbox[("Arow", K, r)][bi]
                         bblk = proc.inbox[("Bcol", K, c)][bj]
                         proc.store[("C", bi, bj)] += ablk @ bblk
-                        network.compute(
-                            rank,
-                            gemm_flops(
-                                ablk.shape[0], ablk.shape[1], bblk.shape[1]
-                            ),
+                        flops = gemm_flops(
+                            ablk.shape[0], ablk.shape[1], bblk.shape[1]
                         )
+                        if batch_compute:
+                            flops_by_rank[rank] += flops
+                        else:
+                            network.compute(rank, flops)
+                if batch_compute:
+                    for rank, flops in flops_by_rank.items():
+                        network.compute(rank, flops)
             # per-step buddy checkpoint: only the accumulators changed
             if ckpt_on:
                 with prof.span("checkpoint", K=K):

@@ -53,6 +53,7 @@ def lapack_blocked_right(A: TrackedMatrix, block: int | None = None) -> np.ndarr
         return k * b, min((k + 1) * b, n)
 
     prof = machine.profiler
+    batched = machine.batched
     for J in range(nb):
         j0, j1 = edge(J)
         w = j1 - j0
@@ -67,19 +68,40 @@ def lapack_blocked_right(A: TrackedMatrix, block: int | None = None) -> np.ndarr
 
             # panel solve, diagonal factor kept resident (2 blocks)
             with prof.span("trsm"):
-                for I in range(J + 1, nb):
-                    i0, i1 = edge(I)
-                    panel_ref = A.block(i0, i1, j0, j1)
-                    panel = solve_lower_transposed_right(panel_ref.load(), ldiag)
-                    machine.add_flops(trsm_flops(i1 - i0, w))
-                    panel_ref.store(panel)
-                    panel_ref.release()
+                if batched:
+                    if J + 1 < nb:
+                        rects = []
+                        flags = []
+                        for I in range(J + 1, nb):
+                            i0, i1 = edge(I)
+                            rects.append((i0, i1, j0, j1))
+                            rects.append((i0, i1, j0, j1))
+                            flags.extend((False, True))
+                        sub = A.data[j1:n, j0:j1]
+                        sub[...] = solve_lower_transposed_right(sub.copy(), ldiag)
+                        machine.charge_intervals(
+                            A.rect_batch(rects, is_write=flags)
+                        )
+                        machine.add_flops(trsm_flops(n - j1, w))
+                else:
+                    for I in range(J + 1, nb):
+                        i0, i1 = edge(I)
+                        panel_ref = A.block(i0, i1, j0, j1)
+                        panel = solve_lower_transposed_right(panel_ref.load(), ldiag)
+                        machine.add_flops(trsm_flops(i1 - i0, w))
+                        panel_ref.store(panel)
+                        panel_ref.release()
                 diag_ref.release()
 
             # eager trailing update: every remaining block, right now
             with prof.span("update"):
                 for K in range(J + 1, nb):
                     k0, k1 = edge(K)
+                    if batched:
+                        _trailing_update_batched(
+                            A, machine, edge, nb, K, j0, j1, k0, k1, w
+                        )
+                        continue
                     right_ref = A.block(k0, k1, j0, j1)  # L(K,J)
                     right = right_ref.load()
                     for I in range(K, nb):
@@ -100,3 +122,35 @@ def lapack_blocked_right(A: TrackedMatrix, block: int | None = None) -> np.ndarr
 
     machine.release_all()
     return A.lower()
+
+
+def _trailing_update_batched(A, machine, edge, nb, K, j0, j1, k0, k1, w):
+    """Batch block column ``K`` of the eager trailing update.
+
+    Transfer order per the element-wise loop: read ``L(K, J)``, then
+    per target row ``I``: read ``L(I, J)``, read/update/write the
+    target.  The element-wise peak has a wrinkle: at ``I == K`` the
+    left operand aliases ``L(K, J)``, so releasing it also evicts the
+    right operand — later rows hold only a (left, target) pair.
+    ``peak_extra`` reproduces that exactly.
+    """
+    rects = [(k0, k1, j0, j1)]  # right operand L(K,J)
+    flags = [False]
+    for I in range(K, nb):
+        i0, i1 = edge(I)
+        rects.append((i0, i1, j0, j1))
+        rects.append((i0, i1, k0, k1))
+        rects.append((i0, i1, k0, k1))
+        flags.extend((False, False, True))
+    batch = A.rect_batch(rects, is_write=flags)
+    sw = batch.set_words()
+    lefts, targets = sw[1::3], sw[2::3]
+    peak = int(sw[0]) + int(targets[0])  # right + diagonal target
+    if len(lefts) > 1:
+        peak = max(peak, int((lefts[1:] + targets[1:]).max()))
+    n = A.n
+    A.data[k0:n, k0:k1] -= A.data[k0:n, j0:j1] @ A.data[k0:k1, j0:j1].T
+    machine.charge_intervals(batch, peak_extra=peak)
+    machine.add_flops(
+        syrk_flops(k1 - k0, w) + gemm_flops(n - k1, w, k1 - k0)
+    )

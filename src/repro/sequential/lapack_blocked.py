@@ -72,6 +72,7 @@ def lapack_blocked(A: TrackedMatrix, block: int | None = None) -> np.ndarray:
         return k * b, min((k + 1) * b, n)
 
     prof = machine.profiler
+    batched = machine.batched
     for J in range(nb):
         j0, j1 = edge(J)
         w = j1 - j0
@@ -81,13 +82,24 @@ def lapack_blocked(A: TrackedMatrix, block: int | None = None) -> np.ndarray:
             with prof.span("syrk"):
                 diag_ref = A.block(j0, j1, j0, j1)
                 diag = diag_ref.load()
-                for K in range(J):
-                    k0, k1 = edge(K)
-                    hist_ref = A.block(j0, j1, k0, k1)
-                    hist = hist_ref.load()
-                    diag -= hist @ hist.T
-                    machine.add_flops(syrk_flops(w, k1 - k0))
-                    hist_ref.release()
+                if batched:
+                    if J:
+                        machine.read_batch(
+                            A.rect_batch(
+                                [(j0, j1, *edge(K)) for K in range(J)]
+                            )
+                        )
+                        hist = A.data[j0:j1, :j0]
+                        diag -= hist @ hist.T
+                        machine.add_flops(syrk_flops(w, j0))
+                else:
+                    for K in range(J):
+                        k0, k1 = edge(K)
+                        hist_ref = A.block(j0, j1, k0, k1)
+                        hist = hist_ref.load()
+                        diag -= hist @ hist.T
+                        machine.add_flops(syrk_flops(w, k1 - k0))
+                        hist_ref.release()
 
             # --- POTF2: factor the diagonal block in fast memory ---
             with prof.span("potf2"):
@@ -98,22 +110,26 @@ def lapack_blocked(A: TrackedMatrix, block: int | None = None) -> np.ndarray:
 
             # --- GEMM: panel blocks <- panel - A31 A21^T, streaming pairs ---
             with prof.span("gemm"):
-                for I in range(J + 1, nb):
-                    i0, i1 = edge(I)
-                    panel_ref = A.block(i0, i1, j0, j1)
-                    panel = panel_ref.load()
-                    for K in range(J):
-                        k0, k1 = edge(K)
-                        left_ref = A.block(i0, i1, k0, k1)
-                        right_ref = A.block(j0, j1, k0, k1)
-                        left = left_ref.load()
-                        right = right_ref.load()
-                        panel -= left @ right.T
-                        machine.add_flops(gemm_flops(i1 - i0, k1 - k0, w))
-                        left_ref.release()
-                        right_ref.release()
-                    panel_ref.store(panel)
-                    panel_ref.release()
+                if batched:
+                    if J + 1 < nb:
+                        _gemm_phase_batched(A, machine, edge, nb, J, j0, j1, w)
+                else:
+                    for I in range(J + 1, nb):
+                        i0, i1 = edge(I)
+                        panel_ref = A.block(i0, i1, j0, j1)
+                        panel = panel_ref.load()
+                        for K in range(J):
+                            k0, k1 = edge(K)
+                            left_ref = A.block(i0, i1, k0, k1)
+                            right_ref = A.block(j0, j1, k0, k1)
+                            left = left_ref.load()
+                            right = right_ref.load()
+                            panel -= left @ right.T
+                            machine.add_flops(gemm_flops(i1 - i0, k1 - k0, w))
+                            left_ref.release()
+                            right_ref.release()
+                        panel_ref.store(panel)
+                        panel_ref.release()
 
             if J + 1 == nb:
                 break  # no panel below the last diagonal block
@@ -122,15 +138,72 @@ def lapack_blocked(A: TrackedMatrix, block: int | None = None) -> np.ndarray:
             with prof.span("trsm"):
                 diag_ref2 = A.block(j0, j1, j0, j1)
                 ldiag = diag_ref2.load()
-                for I in range(J + 1, nb):
-                    i0, i1 = edge(I)
-                    panel_ref = A.block(i0, i1, j0, j1)
-                    panel = panel_ref.load()
-                    panel = solve_lower_transposed_right(panel, ldiag)
-                    machine.add_flops(trsm_flops(i1 - i0, w))
-                    panel_ref.store(panel)
-                    panel_ref.release()
+                if batched:
+                    rects = []
+                    flags = []
+                    for I in range(J + 1, nb):
+                        i0, i1 = edge(I)
+                        rects.append((i0, i1, j0, j1))
+                        rects.append((i0, i1, j0, j1))
+                        flags.extend((False, True))
+                    sub = A.data[j1:n, j0:j1]
+                    sub[...] = solve_lower_transposed_right(sub.copy(), ldiag)
+                    machine.charge_intervals(A.rect_batch(rects, is_write=flags))
+                    machine.add_flops(trsm_flops(n - j1, w))
+                else:
+                    for I in range(J + 1, nb):
+                        i0, i1 = edge(I)
+                        panel_ref = A.block(i0, i1, j0, j1)
+                        panel = panel_ref.load()
+                        panel = solve_lower_transposed_right(panel, ldiag)
+                        machine.add_flops(trsm_flops(i1 - i0, w))
+                        panel_ref.store(panel)
+                        panel_ref.release()
                 diag_ref2.release()
 
     machine.release_all()
     return A.lower()
+
+
+def _gemm_phase_batched(A, machine, edge, nb, J, j0, j1, w):
+    """One batch for the whole GEMM phase of panel ``J``.
+
+    Per panel block ``I`` (in order): read the block, read the
+    ``(left, right)`` history pair for each ``K < J``, write the block
+    back — the element-wise transfer sequence, coalesced.  The
+    element-wise loop holds the panel block plus one history pair, so
+    ``peak_extra`` is the largest such triple rather than the largest
+    single set.
+    """
+    rects = []
+    flags = []
+    for I in range(J + 1, nb):
+        i0, i1 = edge(I)
+        rects.append((i0, i1, j0, j1))
+        flags.append(False)
+        for K in range(J):
+            k0, k1 = edge(K)
+            rects.append((i0, i1, k0, k1))
+            rects.append((j0, j1, k0, k1))
+            flags.extend((False, False))
+        rects.append((i0, i1, j0, j1))
+        flags.append(True)
+    batch = A.rect_batch(rects, is_write=flags)
+    peak = 0
+    if batch.nsets:
+        sw = batch.set_words()
+        per_block = 2 * J + 2  # read + J pairs + write
+        pos = 0
+        for I in range(J + 1, nb):
+            group = sw[pos : pos + per_block]
+            pair_peak = 0
+            if J:
+                pairs = group[1:-1]
+                pair_peak = int((pairs[0::2] + pairs[1::2]).max())
+            peak = max(peak, int(group[0]) + pair_peak)
+            pos += per_block
+    n = A.n
+    if J:
+        A.data[j1:n, j0:j1] -= A.data[j1:n, :j0] @ A.data[j0:j1, :j0].T
+        machine.add_flops(gemm_flops(n - j1, j0, w))
+    machine.charge_intervals(batch, peak_extra=peak)

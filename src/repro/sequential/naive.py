@@ -42,15 +42,27 @@ def naive_left_looking(A: TrackedMatrix) -> np.ndarray:
     previous columns (re-read from slow memory each time), then scaled
     by the square root of its pivot.
 
+    When the machine's batched fast path is on, the inner re-read loop
+    charges one :class:`~repro.util.intervals.RunBatch` per column and
+    computes the update as a single GEMV — the counts, the trace (after
+    batch expansion), and the numbers match the element-wise loop
+    exactly.
+
     Returns the lower factor ``L`` (also left in ``A``'s lower
     triangle).
     """
     n, machine, M = A.n, A.machine, A.machine.M
     if M >= 2 * n:
-        _left_whole_columns(A)
+        if machine.batched:
+            _left_whole_columns_batched(A)
+        else:
+            _left_whole_columns(A)
     else:
         _require(M >= 4, f"naïve left-looking needs M >= 4, got M={M}")
-        _left_segmented(A)
+        if machine.batched:
+            _left_segmented_batched(A)
+        else:
+            _left_segmented(A)
     machine.release_all()
     return A.lower()
 
@@ -68,6 +80,25 @@ def _left_whole_columns(A: TrackedMatrix) -> None:
                 colj -= colk * colk[0, 0]
                 machine.add_flops(column_update_flops(n - j))
                 colk_ref.release()
+            _scale_column_in_place(colj, machine)
+            colj_ref.store(colj)
+            colj_ref.release()
+
+
+def _left_whole_columns_batched(A: TrackedMatrix) -> None:
+    n, machine = A.n, A.machine
+    prof = machine.profiler
+    for j in range(n):
+        with prof.span("column", j=j):
+            colj_ref = A.block(j, n, j, j + 1)
+            colj = colj_ref.load()
+            if j:
+                # one transfer per previous column k, in k order; each
+                # is held beside the resident colj, exactly like the
+                # load/release loop (default peak_extra = n - j)
+                machine.read_batch(A.column_batch(j, n, 0, j))
+                colj -= A.data[j:n, :j] @ A.data[j, :j, None]
+                machine.add_flops(j * column_update_flops(n - j))
             _scale_column_in_place(colj, machine)
             colj_ref.store(colj)
             colj_ref.release()
@@ -108,6 +139,47 @@ def _left_segmented(A: TrackedMatrix) -> None:
             pivot_ref.release()
 
 
+def _left_segmented_batched(A: TrackedMatrix) -> None:
+    n, machine, M = A.n, A.machine, A.machine.M
+    prof = machine.profiler
+    seg = max(1, (M - 2) // 2)
+    for j in range(n):
+        with prof.span("column", j=j):
+            pivot: float | None = None
+            pivot_ref = A.block(j, j + 1, j, j + 1)
+            for r in range(j, n, seg):
+                re = min(r + seg, n)
+                seg_ref = A.block(r, re, j, j + 1)
+                vals = seg_ref.load()
+                if j:
+                    # element-wise order: (segment k, multiplier a_jk)
+                    # pairs; both are held at once beside the resident
+                    # segment.  In the pivot segment (r == j) the
+                    # multiplier's address lies inside the loaded
+                    # segment, so it adds no extra word there.
+                    rects = []
+                    for k in range(j):
+                        rects.append((r, re, k, k + 1))
+                        rects.append((j, j + 1, k, k + 1))
+                    machine.read_batch(
+                        A.rect_batch(rects),
+                        peak_extra=(re - r) + (1 if r > j else 0),
+                    )
+                    vals -= A.data[r:re, :j] @ A.data[j, :j, None]
+                    machine.add_flops(j * column_update_flops(re - r))
+                if r == j:
+                    _scale_column_in_place(vals, machine)
+                    pivot = float(vals[0, 0])
+                else:
+                    vals /= pivot
+                    machine.add_flops(re - r)
+                seg_ref.store(vals)
+                seg_ref.release()
+                if r == j:
+                    pivot_ref.load()
+            pivot_ref.release()
+
+
 def naive_right_looking(A: TrackedMatrix) -> np.ndarray:
     """Algorithm 3: naïve right-looking Cholesky.
 
@@ -119,10 +191,16 @@ def naive_right_looking(A: TrackedMatrix) -> np.ndarray:
     """
     n, machine, M = A.n, A.machine, A.machine.M
     if M >= 2 * n:
-        _right_whole_columns(A)
+        if machine.batched:
+            _right_whole_columns_batched(A)
+        else:
+            _right_whole_columns(A)
     else:
         _require(M >= 4, f"naïve right-looking needs M >= 4, got M={M}")
-        _right_segmented(A)
+        if machine.batched:
+            _right_segmented_batched(A)
+        else:
+            _right_segmented(A)
     machine.release_all()
     return A.lower()
 
@@ -142,6 +220,32 @@ def _right_whole_columns(A: TrackedMatrix) -> None:
                 machine.add_flops(column_update_flops(n - k))
                 colk_ref.store(colk)
                 colk_ref.release()
+            colj_ref.store(colj)
+            colj_ref.release()
+
+
+def _right_whole_columns_batched(A: TrackedMatrix) -> None:
+    n, machine = A.n, A.machine
+    prof = machine.profiler
+    for j in range(n):
+        with prof.span("column", j=j):
+            colj_ref = A.block(j, n, j, j + 1)
+            colj = colj_ref.load()
+            _scale_column_in_place(colj, machine)
+            if j + 1 < n:
+                # each trailing column k is read, updated and written
+                # back: (read colk, write colk) pairs in k order
+                rects = []
+                flags = []
+                for k in range(j + 1, n):
+                    rects.append((k, n, k, k + 1))
+                    rects.append((k, n, k, k + 1))
+                    flags.extend((False, True))
+                v = colj[1:, 0]
+                # only the stored (lower-triangular) entries change
+                A.data[j + 1 : n, j + 1 : n] -= np.tril(np.outer(v, v))
+                machine.charge_intervals(A.rect_batch(rects, is_write=flags))
+                machine.add_flops((n - j - 1) * (n - j))
             colj_ref.store(colj)
             colj_ref.release()
 
@@ -189,6 +293,61 @@ def _right_segmented(A: TrackedMatrix) -> None:
                 akj_ref.release()
 
 
+def _right_segmented_batched(A: TrackedMatrix) -> None:
+    n, machine, M = A.n, A.machine, A.machine.M
+    prof = machine.profiler
+    seg_f = max(1, M - 1)
+    seg_u = max(1, (M - 1) // 2)
+    for j in range(n):
+        with prof.span("column", j=j):
+            pivot: float | None = None
+            pivot_ref = A.block(j, j + 1, j, j + 1)
+            # factorization phase is O(n / seg) transfers — element-wise
+            for r in range(j, n, seg_f):
+                re = min(r + seg_f, n)
+                seg_ref = A.block(r, re, j, j + 1)
+                vals = seg_ref.load()
+                if r == j:
+                    _scale_column_in_place(vals, machine)
+                    pivot = float(vals[0, 0])
+                else:
+                    vals /= pivot
+                    machine.add_flops(re - r)
+                seg_ref.store(vals)
+                seg_ref.release()
+                if r == j:
+                    pivot_ref.load()
+            pivot_ref.release()
+            for k in range(j + 1, n):
+                akj_ref = A.block(k, k + 1, j, j + 1)
+                akj = akj_ref.load()[0, 0]
+                # per segment: read segj, read segk, write segk; both
+                # sibling segments are held at once.  In the first
+                # segment (r == k) the resident multiplier a_kj lies
+                # inside the loaded segj, so that segment holds one
+                # word fewer than its nominal 2·len.
+                rects = []
+                flags = []
+                sizes = []
+                for r in range(k, n, seg_u):
+                    re = min(r + seg_u, n)
+                    rects.append((r, re, j, j + 1))
+                    rects.append((r, re, k, k + 1))
+                    rects.append((r, re, k, k + 1))
+                    flags.extend((False, False, True))
+                    sizes.append(re - r)
+                peak = 2 * sizes[0] - 1
+                if len(sizes) > 1:
+                    peak = max(peak, 2 * max(sizes[1:]))
+                A.data[k:n, k] -= A.data[k:n, j] * akj
+                machine.charge_intervals(
+                    A.rect_batch(rects, is_write=flags),
+                    peak_extra=peak,
+                )
+                machine.add_flops(2 * (n - k))
+                akj_ref.release()
+
+
 def naive_up_looking(A: TrackedMatrix) -> np.ndarray:
     """The row-wise naïve variant ("up-looking", §3.1.4 closing remark).
 
@@ -205,16 +364,28 @@ def naive_up_looking(A: TrackedMatrix) -> np.ndarray:
         f"naïve up-looking is implemented for M >= 2n (got M={M}, n={n})",
     )
     prof = machine.profiler
+    batched = machine.batched
     for i in range(n):
         with prof.span("row", i=i):
             rowi_ref = A.block(i, i + 1, 0, i + 1)
             rowi = rowi_ref.load()[0]
-            for j in range(i):
-                rowj_ref = A.block(j, j + 1, 0, j + 1)
-                rowj = rowj_ref.load()[0]
-                rowi[j] = (rowi[j] - rowi[:j] @ rowj[:j]) / rowj[j]
-                machine.add_flops(2 * j + 1)
-                rowj_ref.release()
+            if batched and i:
+                # the i previous-row reads coalesce into one batch; the
+                # solve itself stays sequential (rowi[j] feeds rowi[j+1])
+                machine.read_batch(
+                    A.rect_batch([(j, j + 1, 0, j + 1) for j in range(i)])
+                )
+                for j in range(i):
+                    rowj = A.data[j, : j + 1]
+                    rowi[j] = (rowi[j] - rowi[:j] @ rowj[:j]) / rowj[j]
+                machine.add_flops(i * i)
+            else:
+                for j in range(i):
+                    rowj_ref = A.block(j, j + 1, 0, j + 1)
+                    rowj = rowj_ref.load()[0]
+                    rowi[j] = (rowi[j] - rowi[:j] @ rowj[:j]) / rowj[j]
+                    machine.add_flops(2 * j + 1)
+                    rowj_ref.release()
             pivot = rowi[i] - rowi[:i] @ rowi[:i]
             if pivot <= 0:
                 raise np.linalg.LinAlgError(

@@ -47,7 +47,7 @@ def _rmatmul(C: BlockRef, A: BlockRef, B: BlockRef, sign: float) -> None:
     r = B.shape[1]
     reads = footprint([A, B, C])
     with machine.profiler.span("matmul"), machine.scope(
-        reads, C.intervals
+        reads, C.intervals, write_covered=True
     ) as sc:
         if sc.fits:
             c = C.peek()

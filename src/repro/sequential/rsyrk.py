@@ -43,7 +43,7 @@ def _rsyrk(C: BlockRef, A: BlockRef) -> None:
     machine = C.matrix.machine
     m, k = A.shape
     with machine.profiler.span("syrk"), machine.scope(
-        footprint([A, C]), C.intervals
+        footprint([A, C]), C.intervals, write_covered=True
     ) as sc:
         if sc.fits:
             c = C.peek()

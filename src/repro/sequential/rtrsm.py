@@ -42,7 +42,7 @@ def _rtrsm(A: BlockRef, U: BlockRef) -> None:
     machine = A.matrix.machine
     m, n = A.shape
     with machine.profiler.span("trsm"), machine.scope(
-        footprint([A, U]), A.intervals
+        footprint([A, U]), A.intervals, write_covered=True
     ) as sc:
         if sc.fits:
             A.poke(solve_upper_right(A.peek(), U.peek()))

@@ -1,0 +1,56 @@
+"""Process-wide toggle for count-neutral simulator fast paths.
+
+The batched charging layer comes in two independent pieces:
+
+* the *machine-level* ``batched`` flag
+  (:class:`repro.machine.core.HierarchicalMachine`), which selects the
+  batched transfer APIs inside the algorithms;
+* this module's *count-neutral* fast paths (NumPy interval merging,
+  closed-form layout runs, interval memoization), which change no
+  observable count on either machine path.
+
+Both default on and both are disabled by setting ``REPRO_SLOW_PATH=1``
+in the environment, which reproduces the original element-wise code
+paths end to end.  ``set_fastpath``/``fastpath`` let the golden
+count-equality tests and the wall-clock bench A/B the two paths inside
+one process without re-execing.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator
+
+_enabled: bool = os.environ.get("REPRO_SLOW_PATH", "") != "1"
+
+
+def fastpath_enabled() -> bool:
+    """Whether the count-neutral fast paths are currently active."""
+    return _enabled
+
+
+def set_fastpath(enabled: bool) -> bool:
+    """Set the toggle; returns the previous value (for restoration)."""
+    global _enabled
+    prev = _enabled
+    _enabled = bool(enabled)
+    return prev
+
+
+@contextmanager
+def fastpath(enabled: bool) -> Iterator[None]:
+    """Context manager running its body with the toggle forced."""
+    prev = set_fastpath(enabled)
+    try:
+        yield
+    finally:
+        set_fastpath(prev)
+
+
+def default_batched() -> bool:
+    """Default for the machine-level ``batched`` flag (env-controlled)."""
+    return os.environ.get("REPRO_SLOW_PATH", "") != "1"
+
+
+__all__ = ["default_batched", "fastpath", "fastpath_enabled", "set_fastpath"]

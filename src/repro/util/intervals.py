@@ -19,7 +19,33 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator, Sequence, Tuple
 
+import numpy as np
+
+from repro.util.fastpath import fastpath_enabled
+
 Interval = Tuple[int, int]
+
+#: Run count past which the NumPy merge beats the pure-Python one.
+_NP_MERGE_MIN = 64
+
+
+def _merge_intervals_np(pairs: "list[Interval]") -> Tuple[Interval, ...]:
+    """Vectorized merge: argsort + running-max + group-boundary scan."""
+    arr = np.asarray(pairs, dtype=np.int64).reshape(len(pairs), 2)
+    arr = arr[arr[:, 1] > arr[:, 0]]
+    if not len(arr):
+        return ()
+    arr = arr[np.argsort(arr[:, 0], kind="stable")]
+    starts = arr[:, 0]
+    stops = np.maximum.accumulate(arr[:, 1])
+    new_group = np.empty(len(arr), dtype=bool)
+    new_group[0] = True
+    # a strictly larger start than the running max stop opens a new
+    # run; <= merges (overlap or adjacency), same as the python path
+    new_group[1:] = starts[1:] > stops[:-1]
+    first = np.flatnonzero(new_group)
+    last = np.append(first[1:], len(arr)) - 1
+    return tuple(zip(starts[first].tolist(), stops[last].tolist()))
 
 
 def merge_intervals(raw: Iterable[Interval]) -> Tuple[Interval, ...]:
@@ -39,7 +65,10 @@ def merge_intervals(raw: Iterable[Interval]) -> Tuple[Interval, ...]:
     tuple of (start, stop)
         Sorted, disjoint, non-adjacent, non-empty intervals.
     """
-    cleaned = sorted((int(a), int(b)) for a, b in raw if b > a)
+    pairs = raw if isinstance(raw, list) else list(raw)
+    if len(pairs) >= _NP_MERGE_MIN and fastpath_enabled():
+        return _merge_intervals_np(pairs)
+    cleaned = sorted((int(a), int(b)) for a, b in pairs if b > a)
     if not cleaned:
         return ()
     merged: list[Interval] = [cleaned[0]]
@@ -69,10 +98,11 @@ class IntervalSet:
       resident-set tracking of the machines.
     """
 
-    __slots__ = ("_ivs",)
+    __slots__ = ("_ivs", "_words")
 
     def __init__(self, intervals: Iterable[Interval] = ()) -> None:
         self._ivs: Tuple[Interval, ...] = merge_intervals(intervals)
+        self._words: int | None = None
 
     # -- constructors -------------------------------------------------
 
@@ -90,7 +120,37 @@ class IntervalSet:
     def _from_normalized(cls, ivs: Tuple[Interval, ...]) -> "IntervalSet":
         out = cls.__new__(cls)
         out._ivs = ivs
+        out._words = None
         return out
+
+    @classmethod
+    def from_strided(
+        cls,
+        rows: "tuple[int, int]",
+        col_range: "tuple[int, int]",
+        ld: int,
+    ) -> "IntervalSet":
+        """The footprint of rows ``[r0, r1)`` of columns ``[c0, c1)`` in
+        a column-major-style layout with leading dimension ``ld``.
+
+        Column ``c`` contributes the run ``[r0 + c·ld, r1 + c·ld)``, so
+        a panel footprint is built in closed form instead of by merging
+        per-element (or per-column) intervals.  Requires
+        ``0 <= r0 <= r1 <= ld``; full-height panels (``r1 - r0 = ld``)
+        coalesce into a single run, exactly as the merge would.
+        """
+        (r0, r1), (c0, c1) = rows, col_range
+        if r1 <= r0 or c1 <= c0:
+            return EMPTY
+        if not 0 <= r0 <= r1 <= ld:
+            raise ValueError(
+                f"rows [{r0},{r1}) must satisfy 0 <= r0 <= r1 <= ld={ld}"
+            )
+        if r1 - r0 == ld:
+            return cls.single(c0 * ld + r0, (c1 - 1) * ld + r1)
+        return cls._from_normalized(
+            tuple((r0 + c * ld, r1 + c * ld) for c in range(c0, c1))
+        )
 
     # -- basic queries -------------------------------------------------
 
@@ -106,8 +166,17 @@ class IntervalSet:
 
     @property
     def words(self) -> int:
-        """Total number of addresses covered."""
-        return sum(b - a for a, b in self._ivs)
+        """Total number of addresses covered (cached after first use)."""
+        # getattr guards sets unpickled from before the cache slot existed
+        w = getattr(self, "_words", None)
+        if w is None:
+            if len(self._ivs) >= _NP_MERGE_MIN:
+                arr = np.asarray(self._ivs, dtype=np.int64)
+                w = int((arr[:, 1] - arr[:, 0]).sum())
+            else:
+                w = sum(b - a for a, b in self._ivs)
+            self._words = w
+        return w
 
     def messages(self, cap: int | None = None) -> int:
         """Number of messages needed to transfer this set.
@@ -163,6 +232,8 @@ class IntervalSet:
     def shift(self, offset: int) -> "IntervalSet":
         """Translate every interval by ``offset`` (relocating a matrix
         into its slot of a shared slow-memory address space)."""
+        if offset == 0:
+            return self
         return IntervalSet._from_normalized(
             tuple((a + offset, b + offset) for a, b in self._ivs)
         )
@@ -243,12 +314,235 @@ class IntervalSet:
         return f"IntervalSet({inner})"
 
 
+def _merge_sorted_runs(runs: "list[Interval]") -> Tuple[Interval, ...]:
+    """Coalesce already-sorted, non-empty runs (no cleaning pass)."""
+    if not runs:
+        return ()
+    merged: list[Interval] = [runs[0]]
+    for start, stop in runs[1:]:
+        last_start, last_stop = merged[-1]
+        if start <= last_stop:
+            if stop > last_stop:
+                merged[-1] = (last_start, stop)
+        else:
+            merged.append((start, stop))
+    return tuple(merged)
+
+
 def union_all(sets: Sequence[IntervalSet]) -> IntervalSet:
     """Union of many interval sets (single normalization pass)."""
     raw: list[Interval] = []
     for s in sets:
         raw.extend(s.intervals)
+    if fastpath_enabled():
+        # every input run is normalized already: skip the per-pair
+        # cleaning of the general merge
+        if len(raw) >= _NP_MERGE_MIN:
+            return IntervalSet._from_normalized(_merge_intervals_np(raw))
+        raw.sort()
+        return IntervalSet._from_normalized(_merge_sorted_runs(raw))
     return IntervalSet(raw)
+
+
+class RunBatch:
+    """An ordered sequence of per-transfer interval sets, as arrays.
+
+    The batched charging layer's unit of work: each *set* is one
+    explicit transfer (exactly what the element-wise path would pass to
+    ``machine.read``/``machine.write``), kept in issue order.  Runs are
+    stored struct-of-arrays (``starts``/``stops`` per run, ``offsets``
+    delimiting each set's runs, ``is_write`` per set) so words and
+    messages are charged with O(#runs) NumPy reductions instead of
+    O(#words) Python loops.
+
+    Invariants the builders maintain (and the machine relies on):
+
+    * each set's runs are normalized (sorted, disjoint, non-adjacent),
+      i.e. identical to the :class:`IntervalSet` the element-wise path
+      would have charged;
+    * runs are **never** merged across set boundaries — two adjacent
+      transfers stay two messages, exactly as two ``read`` calls would;
+    * empty sets are dropped at build time, mirroring the machine's
+      early return on an empty explicit transfer.
+    """
+
+    __slots__ = ("starts", "stops", "offsets", "is_write")
+
+    def __init__(
+        self,
+        starts: np.ndarray,
+        stops: np.ndarray,
+        offsets: np.ndarray,
+        is_write: "np.ndarray | None" = None,
+    ) -> None:
+        self.starts = np.asarray(starts, dtype=np.int64)
+        self.stops = np.asarray(stops, dtype=np.int64)
+        self.offsets = np.asarray(offsets, dtype=np.int64)
+        nsets = len(self.offsets) - 1
+        if is_write is None:
+            is_write = np.zeros(nsets, dtype=bool)
+        self.is_write = np.asarray(is_write, dtype=bool)
+        if len(self.starts) != len(self.stops):
+            raise ValueError("starts and stops must have equal length")
+        if nsets < 0 or int(self.offsets[-1]) != len(self.starts):
+            raise ValueError("offsets must span all runs")
+        if len(self.is_write) != nsets:
+            raise ValueError("need one is_write flag per set")
+
+    # -- constructors --------------------------------------------------
+
+    @classmethod
+    def empty(cls) -> "RunBatch":
+        return cls(
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.zeros(1, dtype=np.int64),
+        )
+
+    @classmethod
+    def from_sets(
+        cls,
+        sets: "Sequence[IntervalSet]",
+        is_write: "bool | Sequence[bool]" = False,
+    ) -> "RunBatch":
+        """Build from :class:`IntervalSet` transfers, preserving order.
+
+        ``is_write`` is a single flag for the whole batch or one flag
+        per input set (flags of dropped empty sets are dropped too).
+        """
+        uniform = isinstance(is_write, (bool, np.bool_))
+        starts: list[int] = []
+        stops: list[int] = []
+        offsets: list[int] = [0]
+        flags: list[bool] = []
+        for i, s in enumerate(sets):
+            ivs = s.intervals
+            if not ivs:
+                continue
+            for a, b in ivs:
+                starts.append(a)
+                stops.append(b)
+            offsets.append(len(starts))
+            flags.append(bool(is_write) if uniform else bool(is_write[i]))
+        return cls(
+            np.asarray(starts, dtype=np.int64),
+            np.asarray(stops, dtype=np.int64),
+            np.asarray(offsets, dtype=np.int64),
+            np.asarray(flags, dtype=bool),
+        )
+
+    @classmethod
+    def from_strided(
+        cls,
+        rows: "tuple[int, int]",
+        col_range: "tuple[int, int]",
+        ld: int,
+        *,
+        base: int = 0,
+        is_write: bool = False,
+    ) -> "RunBatch":
+        """One single-run set per column of a strided (dense) panel.
+
+        Column ``c`` becomes the transfer ``[base + r0 + c·ld,
+        base + r1 + c·ld)`` — the closed form of what
+        ``layout.intervals(r0, r1, c, c+1)`` yields on a column-major
+        layout, one set per column in column order.
+        """
+        (r0, r1), (c0, c1) = rows, col_range
+        if r1 <= r0 or c1 <= c0:
+            return cls.empty()
+        if not 0 <= r0 <= r1 <= ld:
+            raise ValueError(
+                f"rows [{r0},{r1}) must satisfy 0 <= r0 <= r1 <= ld={ld}"
+            )
+        starts = base + r0 + np.arange(c0, c1, dtype=np.int64) * ld
+        stops = starts + (r1 - r0)
+        nsets = c1 - c0
+        flags = np.full(nsets, bool(is_write), dtype=bool)
+        return cls(starts, stops, np.arange(nsets + 1, dtype=np.int64), flags)
+
+    # -- queries -------------------------------------------------------
+
+    @property
+    def nsets(self) -> int:
+        """Number of transfers in the batch."""
+        return len(self.offsets) - 1
+
+    def __len__(self) -> int:
+        return self.nsets
+
+    @property
+    def words(self) -> int:
+        """Total words across all transfers."""
+        return int((self.stops - self.starts).sum())
+
+    def set_words(self) -> np.ndarray:
+        """Words per transfer (same order as the sets)."""
+        cum = np.concatenate(
+            ([0], np.cumsum(self.stops - self.starts, dtype=np.int64))
+        )
+        return cum[self.offsets[1:]] - cum[self.offsets[:-1]]
+
+    def max_set_words(self) -> int:
+        """Words of the largest single transfer (0 for an empty batch)."""
+        sw = self.set_words()
+        return int(sw.max()) if len(sw) else 0
+
+    def _run_is_write(self) -> np.ndarray:
+        return np.repeat(self.is_write, np.diff(self.offsets))
+
+    def direction_words(self) -> "tuple[int, int]":
+        """``(read_words, write_words)`` totals."""
+        lengths = self.stops - self.starts
+        w = self._run_is_write()
+        return int(lengths[~w].sum()), int(lengths[w].sum())
+
+    def direction_messages(self, cap: int | None = None) -> "tuple[int, int]":
+        """``(read_messages, write_messages)`` under a message cap.
+
+        Per transfer this equals ``IntervalSet.messages(cap)`` — each
+        run costs ``ceil(len/cap)`` messages (1 when uncapped) and runs
+        never merge across transfers.
+        """
+        w = self._run_is_write()
+        if cap is None:
+            return int((~w).sum()), int(w.sum())
+        if cap <= 0:
+            raise ValueError(f"message cap must be positive, got {cap}")
+        msgs = -((self.starts - self.stops) // cap)  # ceil(len / cap)
+        return int(msgs[~w].sum()), int(msgs[w].sum())
+
+    def with_writes(self, is_write: bool) -> "RunBatch":
+        """The same transfers with every direction flag forced."""
+        flags = np.full(self.nsets, bool(is_write), dtype=bool)
+        return RunBatch(self.starts, self.stops, self.offsets, flags)
+
+    # -- expansion (trace replay, fault fallback) ----------------------
+
+    def items(self) -> "Iterator[tuple[IntervalSet, bool]]":
+        """Yield ``(IntervalSet, is_write)`` per transfer, in order."""
+        starts = self.starts.tolist()
+        stops = self.stops.tolist()
+        offs = self.offsets.tolist()
+        for i, w in enumerate(self.is_write.tolist()):
+            lo, hi = offs[i], offs[i + 1]
+            yield (
+                IntervalSet._from_normalized(
+                    tuple(zip(starts[lo:hi], stops[lo:hi]))
+                ),
+                w,
+            )
+
+    def sets(self) -> "Iterator[IntervalSet]":
+        """Yield each transfer's :class:`IntervalSet`, in order."""
+        for ivs, _ in self.items():
+            yield ivs
+
+    def __repr__(self) -> str:
+        return (
+            f"RunBatch(nsets={self.nsets}, runs={len(self.starts)}, "
+            f"words={self.words})"
+        )
 
 
 EMPTY = IntervalSet()

@@ -105,6 +105,22 @@ class TestClearAndCap:
         assert m.trace.max_events == 3
         assert len(m.trace) == 0
 
+    def test_million_event_run_stays_bounded(self):
+        """A 10⁶-event append storm keeps the capped trace at its
+        bound: one overflow marker absorbs the tail in constant time
+        and memory, and the recorded prefix stays addressable."""
+        cap = 1000
+        t = MachineTrace(max_events=cap)
+        one = ReadEvent(ivs((0, 1)))
+        for _ in range(1_000_000):
+            t.append(one)
+        assert len(t.events) == cap + 1  # prefix + the single marker
+        assert t.dropped == 1_000_000 - cap
+        assert isinstance(t.events[0], ReadEvent)
+        assert isinstance(t.events[-1], TraceOverflow)
+        assert len(list(t.transfers())) == cap
+        assert t.total_words() == cap
+
 
 class TestMachineRecording:
     def test_disabled_by_default(self):

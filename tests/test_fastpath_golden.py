@@ -1,0 +1,172 @@
+"""Golden count-equality: batched fast path vs element-wise reference.
+
+The batched charging APIs (:meth:`Machine.charge_intervals` and
+friends) and the count-neutral fast paths behind
+:mod:`repro.util.fastpath` exist purely to make the simulator faster —
+the modeled machine must be unable to tell the difference.  These
+tests run every registry algorithm down both paths and assert the
+complete observable state agrees:
+
+* every counter (words and messages, split by direction, flops, peak
+  resident set);
+* the span-profile tree (phase attribution), up to wall-clock stamps;
+* the recorded trace stream, after :class:`BatchEvent` expansion;
+* the realized fault schedule under a deterministic
+  :class:`~repro.faults.FaultPlan`;
+* the parallel clocks and critical-path counts (PxPOTRF, SUMMA).
+
+Numerics only need ``allclose``: the batched path may reorder float
+accumulations (e.g. one GEMV for a column update instead of k axpys).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.faults.plan import FaultPlan
+from repro.layouts import make_layout
+from repro.machine import SequentialMachine
+from repro.machine.tracing import WriteEvent
+from repro.matrices.generators import random_spd
+from repro.matrices.tracked import TrackedMatrix
+from repro.observability.spans import observe
+from repro.parallel.pxpotrf import pxpotrf
+from repro.parallel.summa import summa
+from repro.sequential.registry import available_algorithms, run_algorithm
+from repro.util.fastpath import set_fastpath
+
+#: Two regimes per algorithm: fast memory holding whole columns, and a
+#: fast memory forcing segmented / multi-panel execution.
+CONFIGS = [
+    pytest.param(48, 112, id="whole-column"),
+    pytest.param(48, 52, id="segmented"),
+]
+
+#: Algorithms whose hot loops issue batched charges (the recursive
+#: algorithms speed up through scope/merge fast paths instead).
+BATCHING_ALGOS = {"naive-left", "naive-right", "naive-up", "lapack",
+                  "lapack-right"}
+
+
+@pytest.fixture(autouse=True)
+def _restore_fastpath():
+    yield
+    set_fastpath(True)
+
+
+def _strip_times(d: dict) -> dict:
+    out = {k: v for k, v in d.items() if k not in ("t_start", "t_end")}
+    out["children"] = [_strip_times(c) for c in d["children"]]
+    return out
+
+
+def _run(algorithm: str, n: int, M: int, *, fast: bool,
+         faults: "FaultPlan | None" = None):
+    """One observed, traced run of ``algorithm`` down one path."""
+    set_fastpath(fast)
+    try:
+        machine = SequentialMachine(M, batched=fast, record_trace=True)
+        machine.attach_faults(faults)
+        recorder = observe(machine, name=algorithm)
+        A = TrackedMatrix(
+            random_spd(n, seed=3), make_layout("column-major", n), machine
+        )
+        L = run_algorithm(algorithm, A)
+    finally:
+        set_fastpath(True)
+    lvl = machine.levels[0]
+    counters = {
+        "words": lvl.words,
+        "messages": lvl.messages,
+        "words_read": lvl.counters.words_read,
+        "words_written": lvl.counters.words_written,
+        "messages_read": lvl.counters.messages_read,
+        "messages_written": lvl.counters.messages_written,
+        "flops": machine.flops,
+        "peak_resident": lvl.peak_resident,
+    }
+    stream = [
+        (isinstance(ev, WriteEvent), ev.intervals.intervals)
+        for ev in machine.trace.transfers()
+    ]
+    profile = _strip_times(recorder.profile().to_dict())
+    fingerprint = (
+        machine.faults.schedule_fingerprint()
+        if machine.faults is not None
+        else None
+    )
+    return np.asarray(L), counters, stream, profile, fingerprint, machine
+
+
+class TestSequentialGolden:
+    @pytest.mark.parametrize("n,M", CONFIGS)
+    @pytest.mark.parametrize("algorithm", available_algorithms())
+    def test_paths_agree(self, algorithm, n, M):
+        if algorithm == "naive-up" and M < 2 * n:
+            pytest.skip("up-looking is whole-row only (M >= 2n)")
+        L_f, counts_f, stream_f, prof_f, _, machine = _run(
+            algorithm, n, M, fast=True
+        )
+        L_s, counts_s, stream_s, prof_s, _, _ = _run(
+            algorithm, n, M, fast=False
+        )
+        assert counts_f == counts_s
+        assert stream_f == stream_s
+        assert prof_f == prof_s
+        assert np.allclose(L_f, L_s, atol=1e-8)
+        if algorithm in BATCHING_ALGOS:
+            assert machine.batch_hits > 0
+
+    @pytest.mark.parametrize("algorithm", available_algorithms())
+    def test_fault_schedules_identical(self, algorithm):
+        """With read faults armed, both paths realize the same schedule."""
+        plan = FaultPlan(seed=11, read_fault=0.05)
+        n, M = 48, 112
+        _, counts_f, _, _, fp_f, _ = _run(algorithm, n, M, fast=True,
+                                          faults=plan)
+        _, counts_s, _, _, fp_s, _ = _run(algorithm, n, M, fast=False,
+                                          faults=plan)
+        assert fp_f is not None
+        assert fp_f == fp_s
+        assert counts_f == counts_s
+
+
+class TestParallelGolden:
+    @staticmethod
+    def _network_state(network):
+        return (
+            network.critical_words,
+            network.critical_messages,
+            network.max_flops,
+            tuple((p.t, p.flops) for p in network.processors),
+        )
+
+    def test_pxpotrf_clock_identical(self):
+        a = random_spd(48, seed=5)
+        results = {}
+        for fast in (True, False):
+            set_fastpath(fast)
+            try:
+                res = pxpotrf(a, 12, 4, observe_spans=True)
+            finally:
+                set_fastpath(True)
+            results[fast] = (
+                self._network_state(res.network),
+                res.L.tobytes(),
+            )
+        assert results[True] == results[False]
+
+    def test_summa_clock_identical(self):
+        rng = np.random.default_rng(6)
+        a, b = rng.standard_normal((2, 32, 32))
+        results = {}
+        for fast in (True, False):
+            set_fastpath(fast)
+            try:
+                res = summa(a, b, 8, 4)
+            finally:
+                set_fastpath(True)
+            results[fast] = (self._network_state(res.network),
+                             res.C.tobytes())
+        assert results[True] == results[False]

@@ -1,0 +1,201 @@
+"""Edge cases and properties of the batched interval machinery.
+
+Covers the fast-path constructors the simulator hot loop relies on:
+``IntervalSet.from_strided`` (closed-form panel footprints),
+``RunBatch`` (struct-of-arrays transfer sequences), and the NumPy
+merge path — each checked against the brute-force element-wise
+construction it replaces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.fastpath import fastpath_enabled, set_fastpath
+from repro.util.intervals import (
+    EMPTY,
+    IntervalSet,
+    RunBatch,
+    merge_intervals,
+    union_all,
+)
+
+
+@pytest.fixture(autouse=True)
+def _restore_fastpath():
+    yield
+    set_fastpath(True)
+
+
+def brute_strided(rows, col_range, ld):
+    """Element-wise reference for a strided panel footprint."""
+    r0, r1 = rows
+    c0, c1 = col_range
+    return IntervalSet(
+        [(r0 + c * ld, r1 + c * ld) for c in range(c0, c1)]
+    )
+
+
+class TestFromStrided:
+    def test_empty_rows(self):
+        assert IntervalSet.from_strided((3, 3), (0, 4), 8) == EMPTY
+
+    def test_empty_cols(self):
+        assert IntervalSet.from_strided((0, 3), (2, 2), 8) == EMPTY
+
+    def test_full_height_panel_coalesces_across_columns(self):
+        """Adjacent per-column runs merge across the panel boundary:
+        a full-height panel is one contiguous run."""
+        s = IntervalSet.from_strided((0, 8), (2, 5), 8)
+        assert s.intervals == ((16, 40),)
+        assert s.runs == 1
+
+    def test_partial_height_keeps_per_column_runs(self):
+        s = IntervalSet.from_strided((1, 5), (0, 3), 8)
+        assert s.intervals == ((1, 5), (9, 13), (17, 21))
+
+    def test_adjacency_at_column_seam_only_when_touching(self):
+        # r1 == ld touches the next column's r0 == 0 start
+        touching = IntervalSet.from_strided((0, 8), (0, 2), 8)
+        assert touching.runs == 1
+        gap = IntervalSet.from_strided((0, 7), (0, 2), 8)
+        assert gap.runs == 2
+
+    @given(
+        st.integers(1, 12),  # ld
+        st.data(),
+    )
+    def test_matches_brute_force(self, ld, data):
+        r0 = data.draw(st.integers(0, ld))
+        r1 = data.draw(st.integers(r0, ld))
+        c0 = data.draw(st.integers(0, 6))
+        c1 = data.draw(st.integers(c0, c0 + 6))
+        fast = IntervalSet.from_strided((r0, r1), (c0, c1), ld)
+        assert fast == brute_strided((r0, r1), (c0, c1), ld)
+        assert fast.words == (r1 - r0) * (c1 - c0)
+
+    def test_rejects_rows_outside_ld(self):
+        with pytest.raises(ValueError):
+            IntervalSet.from_strided((0, 9), (0, 1), 8)
+
+
+class TestRunBatch:
+    def test_empty_sets_dropped(self):
+        batch = RunBatch.from_sets(
+            [EMPTY, IntervalSet([(0, 3)]), EMPTY], is_write=[True, False, True]
+        )
+        assert batch.nsets == 1
+        [(ivs, w)] = list(batch.items())
+        assert ivs == IntervalSet([(0, 3)]) and w is False
+
+    def test_empty_batch(self):
+        batch = RunBatch.from_sets([])
+        assert batch.nsets == 0
+        assert batch.words == 0
+        assert batch.max_set_words() == 0
+        assert batch.direction_words() == (0, 0)
+        assert batch.direction_messages() == (0, 0)
+        assert list(batch.items()) == []
+
+    def test_items_roundtrip_in_order(self):
+        sets = [
+            IntervalSet([(0, 4), (10, 12)]),
+            IntervalSet([(4, 10)]),
+            IntervalSet([(20, 21)]),
+        ]
+        flags = [False, True, False]
+        batch = RunBatch.from_sets(sets, is_write=flags)
+        assert [(s, w) for s, w in batch.items()] == list(zip(sets, flags))
+
+    def test_no_cross_set_merging(self):
+        """Adjacent runs in *different* transfers stay separate — each
+        set is one transfer, exactly like the element-wise path."""
+        batch = RunBatch.from_sets(
+            [IntervalSet([(0, 4)]), IntervalSet([(4, 8)])]
+        )
+        assert batch.nsets == 2
+        assert batch.direction_messages() == (2, 0)
+
+    def test_direction_totals_match_per_set(self):
+        sets = [
+            IntervalSet([(0, 5)]),
+            IntervalSet([(7, 9), (11, 20)]),
+            IntervalSet([(30, 31)]),
+        ]
+        flags = [False, True, True]
+        batch = RunBatch.from_sets(sets, is_write=flags)
+        rw = sum(s.words for s, f in zip(sets, flags) if not f)
+        ww = sum(s.words for s, f in zip(sets, flags) if f)
+        assert batch.direction_words() == (rw, ww)
+        for cap in (None, 1, 3, 100):
+            rm = sum(
+                s.messages(cap) for s, f in zip(sets, flags) if not f
+            )
+            wm = sum(s.messages(cap) for s, f in zip(sets, flags) if f)
+            assert batch.direction_messages(cap) == (rm, wm)
+
+    def test_with_writes_forces_flags(self):
+        batch = RunBatch.from_sets(
+            [IntervalSet([(0, 2)]), IntervalSet([(5, 6)])],
+            is_write=[False, True],
+        )
+        assert all(w for _s, w in batch.with_writes(True).items())
+        assert not any(w for _s, w in batch.with_writes(False).items())
+
+    @given(st.integers(1, 12), st.integers(0, 5), st.integers(0, 12))
+    def test_from_strided_matches_per_column_sets(self, ld, c0, width):
+        r0, r1 = 1, max(1, ld - 1)
+        cols = (c0, c0 + width)
+        batch = RunBatch.from_strided((r0, r1), cols, ld, base=100)
+        per_col = [
+            IntervalSet([(100 + r0 + c * ld, 100 + r1 + c * ld)])
+            for c in range(*cols)
+        ]
+        expected = RunBatch.from_sets(per_col)
+        assert [s for s, _ in batch.items()] == [
+            s for s, _ in expected.items()
+        ]
+        assert np.array_equal(batch.set_words(), expected.set_words())
+
+
+class TestMergeFastPath:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 300), st.integers(0, 40)).map(
+                lambda t: (t[0], t[0] + t[1])
+            ),
+            max_size=150,
+        )
+    )
+    def test_numpy_merge_matches_python_merge(self, raw):
+        set_fastpath(True)
+        fast = merge_intervals(raw)
+        set_fastpath(False)
+        slow = merge_intervals(raw)
+        set_fastpath(True)
+        assert fast == slow
+
+    def test_large_union_all_both_paths(self):
+        sets = [IntervalSet([(i * 3, i * 3 + 2)]) for i in range(200)]
+        set_fastpath(True)
+        fast = union_all(sets)
+        set_fastpath(False)
+        slow = union_all(sets)
+        set_fastpath(True)
+        assert fast == slow
+        assert fast.words == slow.words
+
+    def test_words_vectorized_path(self):
+        # >= the NumPy threshold of disjoint runs
+        s = IntervalSet([(i * 5, i * 5 + 2) for i in range(100)])
+        assert s.words == 200
+
+    def test_fastpath_toggle_roundtrip(self):
+        assert fastpath_enabled()
+        set_fastpath(False)
+        assert not fastpath_enabled()
+        set_fastpath(True)
+        assert fastpath_enabled()
