@@ -1,0 +1,181 @@
+"""Experiment P5 — throughput and latency of the factorization service.
+
+The quantity under test is the serving layer itself: a mixed-priority
+workload (both kinds, chaos fault plans, tight budgets) driven through
+a multi-worker :class:`FactorizationService`, with per-job latency
+taken from the service's own wall-clock accounting.  Asserts the
+service contract (every job terminal, the degraded/shed paths actually
+exercised, sane latency ordering) and writes ``BENCH_5.json`` into
+``--bench-out`` (repo root by default) with throughput and latency
+percentiles — the artifact CI's serve-soak job uploads.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.experiments.spec import SpecPoint
+from repro.faults.plan import FaultPlan
+from repro.serving.budget import Budget
+from repro.serving.jobs import TERMINAL_STATUSES, Job
+from repro.serving.queue import parse_priority
+from repro.serving.service import FactorizationService
+
+BENCH_JOBS = 160
+BENCH_WORKERS = 4
+
+SEQ_ALGOS = ["naive-left", "lapack", "toledo", "square-recursive"]
+PRIORITIES = ["low", "normal", "normal", "high"]
+
+
+def build_workload(count: int, seed: int = 0) -> "list[Job]":
+    """Deterministic mix: both kinds, fault plans, tight budgets."""
+    jobs = []
+    for i in range(count):
+        budget = None
+        if i % 4 == 0:
+            budget = Budget(max_words=2500 + 500 * (i % 5))
+        if i % 5 == 4:
+            n = 16 + 8 * (i % 2)
+            faults = (
+                FaultPlan(seed=seed + i, drop=0.3, max_attempts=3).freeze()
+                if i % 10 == 9
+                else ()
+            )
+            point = SpecPoint(
+                kind="parallel",
+                algorithm="pxpotrf",
+                layout="block-cyclic",
+                n=n,
+                M=None,
+                P=4,
+                block=n // 2,
+                seed=seed + i,
+                verify=False,
+                faults=faults,
+            )
+        else:
+            n = 24 + 8 * (i % 4)
+            point = SpecPoint(
+                kind="sequential",
+                algorithm=SEQ_ALGOS[i % len(SEQ_ALGOS)],
+                layout="column-major",
+                n=n,
+                M=4 * n,
+                seed=seed + i,
+                verify=False,
+            )
+        jobs.append(
+            Job(
+                point=point,
+                priority=parse_priority(PRIORITIES[i % len(PRIORITIES)]),
+                budget=budget,
+            )
+        )
+    return jobs
+
+
+def percentile(sorted_values: "list[float]", q: float) -> float:
+    """Nearest-rank percentile of an ascending list."""
+    if not sorted_values:
+        return 0.0
+    idx = min(
+        len(sorted_values) - 1,
+        max(0, int(round(q / 100.0 * (len(sorted_values) - 1)))),
+    )
+    return sorted_values[idx]
+
+
+@pytest.fixture(scope="module")
+def serving_doc(bench_out):
+    jobs = build_workload(BENCH_JOBS)
+    # the waiting room holds the whole workload: this bench measures
+    # execution throughput and latency, not admission control (the
+    # soak test covers shedding)
+    svc = FactorizationService(
+        workers=BENCH_WORKERS,
+        queue_capacity=BENCH_JOBS,
+        retries=1,
+        breaker_threshold=4,
+        breaker_cooldown=0.05,
+    )
+    t0 = time.perf_counter()
+    try:
+        tickets = [svc.submit(job) for job in jobs]
+        responses = [t.result(timeout=300) for t in tickets]
+    finally:
+        svc.stop()
+    elapsed = time.perf_counter() - t0
+
+    by_status: "dict[str, int]" = {}
+    for r in responses:
+        by_status[r.status] = by_status.get(r.status, 0) + 1
+    # shed jobs never ran; their wall time is queueing accounting only
+    latencies = sorted(
+        r.wall_seconds for r in responses if r.status != "shed"
+    )
+    doc = {
+        "bench": "serving",
+        "generated_at": time.strftime(
+            "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
+        ),
+        "jobs": BENCH_JOBS,
+        "workers": BENCH_WORKERS,
+        "elapsed_seconds": elapsed,
+        "throughput_jobs_per_second": BENCH_JOBS / elapsed,
+        "by_status": by_status,
+        "latency_seconds": {
+            "p50": percentile(latencies, 50),
+            "p90": percentile(latencies, 90),
+            "p99": percentile(latencies, 99),
+            "max": latencies[-1] if latencies else 0.0,
+        },
+        "responses_terminal": len(responses),
+    }
+    out = bench_out / "BENCH_5.json"
+    with open(out, "w") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+    doc["_responses"] = responses
+    return doc
+
+
+def test_every_job_terminal(serving_doc):
+    responses = serving_doc["_responses"]
+    assert len(responses) == BENCH_JOBS
+    for r in responses:
+        assert r.status in TERMINAL_STATUSES
+        if r.status != "done":
+            assert r.reason
+
+
+def test_workload_exercises_the_resilience_paths(serving_doc):
+    by_status = serving_doc["by_status"]
+    assert by_status.get("done", 0) > 0
+    assert by_status.get("degraded", 0) > 0  # tight budgets must bite
+
+
+def test_latency_percentiles_ordered(serving_doc):
+    lat = serving_doc["latency_seconds"]
+    assert 0.0 <= lat["p50"] <= lat["p90"] <= lat["p99"] <= lat["max"]
+    # no job's latency can exceed the whole run (plus scheduling slack)
+    assert lat["max"] <= serving_doc["elapsed_seconds"] + 1.0
+
+
+def test_throughput_positive(benchmark, serving_doc):
+    assert serving_doc["throughput_jobs_per_second"] > 0
+
+    def one_job():
+        svc = FactorizationService(workers=0, queue_capacity=1)
+        try:
+            ticket = svc.submit(build_workload(1)[0])
+            svc.run_pending()
+            return ticket.result(timeout=0)
+        finally:
+            svc.stop()
+
+    response = benchmark(one_job)
+    assert response.status in TERMINAL_STATUSES

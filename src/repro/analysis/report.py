@@ -56,12 +56,12 @@ class ReportWriter:
         return "\n".join(self.sections)
 
     def save(self) -> str:
-        """Write the report to ``reports/<name>.txt``; returns the path."""
+        """Atomically write the report to ``reports/<name>.txt``."""
+        from repro.util.serialization import atomic_write_text
+
         os.makedirs(self.directory, exist_ok=True)
         path = os.path.join(self.directory, f"{self.name}.txt")
-        with open(path, "w", encoding="utf-8") as fh:
-            fh.write(self.render())
-        return path
+        return atomic_write_text(path, self.render())
 
     def emit(self, echo: bool = True) -> str:
         """Print (optionally) and save; returns the saved path."""

@@ -60,6 +60,7 @@ def measure(
     verify: bool = True,
     observe: bool = False,
     faults: "FaultPlan | None" = None,
+    guard=None,
     **params,
 ) -> Measurement:
     """Run one sequential configuration and collect its counters.
@@ -80,9 +81,17 @@ def measure(
     faults (:class:`~repro.faults.FaultPlan.read_fault`); the
     measurement's ``faults`` field then reports the realized schedule
     and its retry cost.
+
+    ``guard`` arms the machine with a live
+    :class:`~repro.serving.budget.BudgetGuard`: the run aborts with
+    :class:`~repro.serving.budget.BudgetExceeded` the moment the
+    charged words/messages/flops cross the guard's caps, and the
+    attempt's spend is folded into the guard's cumulative totals
+    whether the run finishes or not (so retries share one quota).
     """
     machine = SequentialMachine(M)
     machine.attach_faults(faults)
+    machine.attach_guard(guard)
     if observe:
         attach_spans(machine, name=algorithm)
     if layout == "blocked" and layout_block is None:
@@ -91,7 +100,11 @@ def measure(
     a0 = random_spd(n, seed=seed)
     A = TrackedMatrix(a0, lay, machine)
     t0 = time.perf_counter()
-    L = run_algorithm(algorithm, A, **params)
+    try:
+        L = run_algorithm(algorithm, A, **params)
+    finally:
+        if guard is not None:
+            guard.attempt_done(machine)
     wall = time.perf_counter() - t0
     ok = True
     if verify:
@@ -149,6 +162,7 @@ def measure_parallel(
     verify: bool = True,
     observe: bool = False,
     faults: "FaultPlan | None" = None,
+    guard=None,
 ) -> Measurement:
     """Run one PxPOTRF configuration; report it in the unified schema.
 
@@ -157,11 +171,16 @@ def measure_parallel(
     through the same :class:`~repro.results.Measurement` fields the
     sequential path uses, with ``P`` and ``block`` filled in.
     ``observe=True`` records per-panel spans into the measurement's
-    ``profile`` field (counts are unchanged).
+    ``profile`` field (counts are unchanged).  ``guard`` meters the run
+    against a :class:`~repro.serving.budget.BudgetGuard` (see
+    :func:`measure`); the network reports its spend incrementally, so
+    no end-of-attempt folding is needed.
     """
     a0 = random_spd(n, seed=seed)
     t0 = time.perf_counter()
-    res = pxpotrf(a0, block, P, observe_spans=observe, faults=faults)
+    res = pxpotrf(
+        a0, block, P, observe_spans=observe, faults=faults, guard=guard
+    )
     wall = time.perf_counter() - t0
     ok = True
     if verify:

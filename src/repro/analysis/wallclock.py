@@ -242,9 +242,9 @@ def bench_main(argv: "list[str]") -> int:
     echo = None if args.quiet else lambda s: print(s, file=sys.stderr)
     doc = run_grid(GRIDS[args.grid], repeats=args.repeats, seed=args.seed,
                    echo=echo)
-    with open(args.out, "w") as fh:
-        json.dump(doc, fh, indent=2)
-        fh.write("\n")
+    from repro.util.serialization import atomic_write_json
+
+    atomic_write_json(args.out, doc, indent=2)
     print(f"[bench] wrote {args.out}")
     if not doc["all_counts_equal"]:
         bad = [p for p in doc["grid"] if not p["counts_equal"]]

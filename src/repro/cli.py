@@ -304,40 +304,51 @@ def trace_main(argv: "list[str]") -> int:
     )
     args = parser.parse_args(argv)
 
-    if args.target == "chol":
-        algorithm = normalize_algorithm(args.algorithm)
-        if algorithm not in available_algorithms():
-            parser.error(
-                f"unknown algorithm {args.algorithm!r}; "
-                f"available: {', '.join(available_algorithms())}"
+    try:
+        if args.target == "chol":
+            algorithm = normalize_algorithm(args.algorithm)
+            if algorithm not in available_algorithms():
+                parser.error(
+                    f"unknown algorithm {args.algorithm!r}; "
+                    f"available: {', '.join(available_algorithms())}"
+                )
+            M = args.M if args.M is not None else 3 * args.n
+            m = measure(
+                algorithm,
+                args.n,
+                M,
+                layout=args.layout,
+                seed=args.seed,
+                observe=True,
             )
-        M = args.M if args.M is not None else 3 * args.n
-        m = measure(
-            algorithm,
-            args.n,
-            M,
-            layout=args.layout,
-            seed=args.seed,
-            observe=True,
-        )
-        profile = SpanProfile.from_dict(m.profile)
-        words, messages = m.words, m.messages
-    else:
-        root = _math.isqrt(args.P)
-        if root * root != args.P:
-            parser.error(f"--P must be a perfect square, got {args.P}")
-        block = args.block if args.block is not None else max(1, args.n // root)
-        a0 = random_spd(args.n, seed=args.seed)
-        if args.target == "pxpotrf":
-            res = pxpotrf(a0, block, args.P, observe_spans=True)
+            profile = SpanProfile.from_dict(m.profile)
+            words, messages = m.words, m.messages
         else:
-            rng = np.random.default_rng(args.seed + 1)
-            res = summa(
-                a0, rng.standard_normal((args.n, args.n)), block, args.P,
-                observe_spans=True,
+            root = _math.isqrt(args.P)
+            if root * root != args.P:
+                parser.error(f"--P must be a perfect square, got {args.P}")
+            block = (
+                args.block if args.block is not None
+                else max(1, args.n // root)
             )
-        profile = res.profile
-        words, messages = res.critical_words, res.critical_messages
+            a0 = random_spd(args.n, seed=args.seed)
+            if args.target == "pxpotrf":
+                res = pxpotrf(a0, block, args.P, observe_spans=True)
+            else:
+                rng = np.random.default_rng(args.seed + 1)
+                res = summa(
+                    a0, rng.standard_normal((args.n, args.n)), block, args.P,
+                    observe_spans=True,
+                )
+            profile = res.profile
+            words, messages = res.critical_words, res.critical_messages
+    except Exception as exc:  # noqa: BLE001 - CLI boundary
+        # scripts get a stable one-line failure and exit 1, not a traceback
+        print(
+            f"[trace] FAIL: {type(exc).__name__}: {exc}",
+            file=sys.stderr,
+        )
+        return 1
 
     if args.out:
         path = write_chrome_trace(profile, args.out)
@@ -564,6 +575,14 @@ def main(argv: list[str] | None = None) -> int:
         from repro.analysis.wallclock import bench_main
 
         return bench_main(argv[1:])
+    if argv and argv[0] == "serve":
+        from repro.serving.cli import serve_main
+
+        return serve_main(argv[1:])
+    if argv and argv[0] == "submit":
+        from repro.serving.cli import submit_main
+
+        return submit_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-reports",
         description="Regenerate the paper's tables from (cached) simulations. "
@@ -634,6 +653,16 @@ def main(argv: list[str] | None = None) -> int:
         print(f"[saved] {path}", file=sys.stderr)
     if engine.results:
         print(engine.summary(), file=sys.stderr)
+    failed = sum(len(r.failures) for r in engine.results)
+    if failed:
+        # salvage keeps the artifacts, but a run with failed points
+        # must not look green to scripts and CI
+        print(
+            f"[engine] {failed} point(s) failed; see the artifacts for "
+            "per-point errors",
+            file=sys.stderr,
+        )
+        return 1
     if args.require_warm:
         misses = sum(r.cache_misses for r in engine.results)
         if misses:

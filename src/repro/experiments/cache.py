@@ -34,12 +34,12 @@ import hashlib
 import json
 import logging
 import os
-import tempfile
 import time
 from functools import lru_cache
 
 from repro.experiments.spec import SpecPoint
 from repro.observability.metrics import METRICS
+from repro.util.serialization import atomic_write_json
 
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
@@ -188,18 +188,7 @@ class ResultCache:
             "created": time.time(),
         }
         entry["digest"] = entry_digest(entry)
-        fd, tmp = tempfile.mkstemp(
-            dir=os.path.dirname(path), prefix=".tmp-", suffix=".json"
-        )
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                json.dump(entry, fh, sort_keys=True)
-            os.replace(tmp, path)
-        except BaseException:
-            if os.path.exists(tmp):
-                os.unlink(tmp)
-            raise
-        return path
+        return atomic_write_json(path, entry, sort_keys=True)
 
     def __len__(self) -> int:
         """Number of entries currently on disk (all versions)."""

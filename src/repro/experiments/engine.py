@@ -57,12 +57,19 @@ from repro.results import Measurement
 ProgressFn = Callable[[int, int, "PointResult"], None]
 
 
-def execute_point(point: SpecPoint) -> "tuple[Measurement, float]":
+def execute_point(
+    point: SpecPoint, guard=None
+) -> "tuple[Measurement, float]":
     """Run one spec point from scratch; returns (measurement, seconds).
 
     This is the process-pool worker: it takes only a picklable
     :class:`SpecPoint` and returns a detached (``run``-free)
     measurement, so results cross process boundaries cleanly.
+
+    ``guard`` (serving layer, in-process only) arms the simulators with
+    a live :class:`~repro.serving.budget.BudgetGuard`; the run then
+    aborts with :class:`~repro.serving.budget.BudgetExceeded` when the
+    job's simulated-cost quota is crossed.
     """
     # Imported here, not at module top: sweeps imports the engine for
     # its thin wrappers, and the lazy import breaks the cycle.
@@ -79,6 +86,7 @@ def execute_point(point: SpecPoint) -> "tuple[Measurement, float]":
             verify=point.verify,
             observe=point.observe,
             faults=plan,
+            guard=guard,
         )
     else:
         kwargs = dict(point.params)
@@ -93,6 +101,7 @@ def execute_point(point: SpecPoint) -> "tuple[Measurement, float]":
             verify=point.verify,
             observe=point.observe,
             faults=plan,
+            guard=guard,
             **kwargs,
         )
     return m.without_run(), time.perf_counter() - t0
@@ -176,18 +185,18 @@ class ExperimentResult:
         """Write the JSON artifact; returns the path.
 
         Defaults to ``reports/experiments/<spec-name>.json`` next to
-        the text reports.
+        the text reports.  The write is atomic (temp file +
+        ``os.replace``), so a worker killed mid-save never leaves a
+        truncated artifact behind.
         """
-        import json
-
         from repro.analysis.report import default_reports_dir
+        from repro.util.serialization import atomic_write_json
 
         directory = directory or os.path.join(default_reports_dir(), "experiments")
         os.makedirs(directory, exist_ok=True)
         safe = re.sub(r"[^A-Za-z0-9._-]+", "_", self.spec.name) or "experiment"
         path = os.path.join(directory, f"{safe}.json")
-        with open(path, "w", encoding="utf-8") as fh:
-            json.dump(self.to_dict(), fh, indent=1, sort_keys=True)
+        atomic_write_json(path, self.to_dict(), indent=1, sort_keys=True)
         return path
 
 

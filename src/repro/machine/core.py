@@ -150,6 +150,10 @@ class HierarchicalMachine:
         self.profiler = NULL_PROFILER
         #: Live fault oracle, or ``None`` for the fault-free machine.
         self.faults: FaultInjector | None = None
+        #: Live budget enforcer (:class:`repro.serving.budget.BudgetGuard`),
+        #: or ``None`` for the unmetered machine.  The guard only *reads*
+        #: the counters, so counts are bit-identical either way.
+        self.guard = None
         #: Whether algorithms should use the batched charging APIs.
         self.batched: bool = default_batched() if batched is None else bool(batched)
         #: How many transfer batches took the O(#intervals) fast path.
@@ -182,6 +186,17 @@ class HierarchicalMachine:
             return None
         self.faults = injector
         return injector
+
+    def attach_guard(self, guard) -> None:
+        """Arm the machine with a live budget enforcer (or disarm with None).
+
+        The guard polls the fastest level's counters at every charging
+        chokepoint and raises
+        :class:`~repro.serving.budget.BudgetExceeded` the moment a cap
+        is crossed.  With no guard attached the chokepoints cost a
+        single pointer test and the counters stay bit-identical.
+        """
+        self.guard = guard
 
     # -- convenience accessors (fastest level) -------------------------
 
@@ -249,6 +264,8 @@ class HierarchicalMachine:
                 )
                 if self.trace is not None:
                     self.trace.append(ReadEvent(ivs))
+        if self.guard is not None:
+            self.guard.check_machine(self)
 
     def write(self, ivs: IntervalSet) -> None:
         """Explicitly transfer ``ivs`` from fast memory back to slow memory.
@@ -273,6 +290,8 @@ class HierarchicalMachine:
             level.counters.add_write(words, ivs.messages(cap=level.capacity))
         if self.trace is not None:
             self.trace.append(WriteEvent(ivs))
+        if self.guard is not None:
+            self.guard.check_machine(self)
 
     # -- batched transfers ------------------------------------------------
 
@@ -328,6 +347,8 @@ class HierarchicalMachine:
         self._note_batch_peak(int(peak_extra))
         if self.trace is not None:
             self.trace.append(BatchEvent(batch))
+        if self.guard is not None:
+            self.guard.check_machine(self)
 
     def read_batch(
         self, batch: RunBatch, *, peak_extra: int | None = None
@@ -451,6 +472,8 @@ class HierarchicalMachine:
             self.trace.append(
                 ScopeEvent(footprint, fitted=[l.name for l in handle._write_levels])
             )
+        if self.guard is not None:
+            self.guard.check_machine(self)
         try:
             yield handle
         finally:
@@ -461,6 +484,8 @@ class HierarchicalMachine:
                     )
                 level.fitted_scope_depth = None
             self._scope_depth -= 1
+            if self.guard is not None and handle._write_levels:
+                self.guard.check_machine(self)
 
     # -- address-space management ------------------------------------------
 
@@ -484,6 +509,8 @@ class HierarchicalMachine:
         if n < 0:
             raise ValueError("flop count must be non-negative")
         self.flops += n
+        if self.guard is not None:
+            self.guard.check_machine(self)
 
     # -- lifecycle ----------------------------------------------------------
 

@@ -77,12 +77,9 @@ def write_chrome_trace(
         "traceEvents": chrome_trace_events(profile, pid=pid, tid=tid),
         "displayTimeUnit": "ms",
     }
-    parent = os.path.dirname(path)
-    if parent:
-        os.makedirs(parent, exist_ok=True)
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(payload, fh, indent=1)
-    return path
+    from repro.util.serialization import atomic_write_json
+
+    return atomic_write_json(path, payload, indent=1)
 
 
 def phase_totals(profile: SpanProfile) -> "dict[str, dict[str, int]]":

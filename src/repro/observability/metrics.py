@@ -37,6 +37,19 @@ name                                  type       labels
                                                  checkpoint/recovery/
                                                  read_retry)
 ``repro_fault_backoff_time_total``    counter    — (α-units of waiting)
+``repro_service_jobs_total``          counter    ``status``, ``priority``
+``repro_service_shed_total``          counter    ``reason`` (queue-full/
+                                                 evicted/shutdown)
+``repro_service_degraded_total``      counter    ``reason`` (budget-*/
+                                                 breaker-open/deadline/…)
+``repro_service_queue_depth``         gauge      —
+``repro_service_inflight``            gauge      —
+``repro_service_breaker_state``       gauge      ``algorithm`` (0 closed/
+                                                 1 half-open/2 open)
+``repro_service_breaker_transitions_total``  counter  ``algorithm``, ``to``
+``repro_service_job_wall_seconds``    histogram  ``priority``
+``repro_service_canary_runs_total``   counter    ``algorithm``, ``outcome``
+``repro_service_retries_total``       counter    ``algorithm``
 ====================================  =========  =============================
 
 Instruments are cheap (one dict lookup + integer add) but they are

@@ -110,6 +110,10 @@ class Network:
         self.profiler = NULL_PROFILER
         #: Live fault oracle, or ``None`` for the failure-free network.
         self.faults: FaultInjector | None = None
+        #: Live budget enforcer (:class:`repro.serving.budget.BudgetGuard`),
+        #: or ``None`` for the unmetered network.  Fed incrementally per
+        #: physical transmission; never mutates any counter.
+        self.guard = None
         #: Ranks currently fail-stopped (state lost, traffic refused).
         self.failed: "set[int]" = set()
         # per-directed-link transmission sequence numbers (fault identity)
@@ -138,6 +142,18 @@ class Network:
             return None
         self.faults = injector
         return injector
+
+    def attach_guard(self, guard) -> None:
+        """Arm the network with a live budget enforcer (or disarm with None).
+
+        Every physical transmission — including fault-forced resends
+        and zero-word acks — and every ``compute`` call reports its
+        cost; the guard raises
+        :class:`~repro.serving.budget.BudgetExceeded` when a cap is
+        crossed.  With no guard attached the hot paths cost a single
+        pointer test and all counters stay bit-identical.
+        """
+        self.guard = guard
 
     @property
     def P(self) -> int:
@@ -194,6 +210,8 @@ class Network:
         s.messages_sent += 1
         d.words_received += words
         d.messages_received += 1
+        if self.guard is not None:
+            self.guard.spend(words=words, messages=1)
 
     def _send_reliable(self, s: Processor, d: Processor, words: int,
                        payload: Any, key: Any) -> None:
@@ -270,6 +288,8 @@ class Network:
         p = self[rank]
         p.flops += flops
         p.t += self.gamma * flops
+        if self.guard is not None:
+            self.guard.spend(flops=flops)
 
     # -- collectives ----------------------------------------------------------
 

@@ -224,6 +224,7 @@ def pxpotrf(
     observe_spans: bool = False,
     faults: "FaultPlan | None" = None,
     checkpoint: bool | None = None,
+    guard=None,
 ) -> ParallelRunResult:
     """Run Algorithm 9 on a fresh simulated network.
 
@@ -254,6 +255,12 @@ def pxpotrf(
     checkpoint:
         Force buddy checkpointing on/off; by default it is enabled
         exactly when the plan schedules fail-stops.  Requires P ≥ 2.
+    guard:
+        Optional :class:`~repro.serving.budget.BudgetGuard`; every
+        transmission and compute call reports its cost to it, and the
+        run aborts with
+        :class:`~repro.serving.budget.BudgetExceeded` when a cap is
+        crossed.  ``None`` keeps the unmetered fast path.
 
     Returns a :class:`ParallelRunResult` whose ``L`` satisfies
     ``L·Lᵀ = a`` — under fail-stop faults too (checkpoint recovery
@@ -265,6 +272,7 @@ def pxpotrf(
     check_finite("a", a)
     network = Network(grid.size, alpha=alpha, beta=beta, gamma=gamma)
     injector = network.attach_faults(faults)
+    network.attach_guard(guard)
     ckpt_on = (
         bool(checkpoint)
         if checkpoint is not None

@@ -1,0 +1,87 @@
+"""Resilient job-execution layer over the experiment engine.
+
+Admission control and load shedding
+(:class:`~repro.serving.queue.BoundedPriorityQueue`), per-job deadlines
+and simulated-cost budgets (:class:`~repro.serving.budget.Budget`),
+per-algorithm circuit breakers
+(:class:`~repro.serving.breaker.CircuitBreaker`), and graceful
+degradation to the paper's closed-form Table 1/2 predictions
+(:mod:`repro.serving.degrade`) — composed by
+:class:`~repro.serving.service.FactorizationService`.
+
+See ``docs/SERVING.md`` for the full protocol: the admission flow, the
+budget chokepoints, the breaker state machine and the degradation
+ladder with its documented error bounds.
+"""
+
+from repro.serving.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.serving.budget import Budget, BudgetExceeded, BudgetGuard
+from repro.serving.clock import MONOTONIC, ManualClock
+from repro.serving.degrade import (
+    PARALLEL_BOUND_FACTORS,
+    SEQUENTIAL_BOUND_FACTORS,
+    Prediction,
+    degraded_measurement,
+    predict_point,
+)
+from repro.serving.jobs import (
+    DEGRADED,
+    DONE,
+    FAILED,
+    SHED,
+    TERMINAL_STATUSES,
+    Job,
+    JobTicket,
+    ServiceResponse,
+    job_from_dict,
+)
+from repro.serving.queue import (
+    PRIORITY_HIGH,
+    PRIORITY_LOW,
+    PRIORITY_NORMAL,
+    BoundedPriorityQueue,
+    QueueClosed,
+    parse_priority,
+    priority_name,
+)
+from repro.serving.service import (
+    FactorizationService,
+    Overloaded,
+    canary_point,
+)
+
+__all__ = [
+    "Budget",
+    "BudgetExceeded",
+    "BudgetGuard",
+    "BoundedPriorityQueue",
+    "CircuitBreaker",
+    "CLOSED",
+    "DEGRADED",
+    "DONE",
+    "FAILED",
+    "FactorizationService",
+    "HALF_OPEN",
+    "Job",
+    "JobTicket",
+    "MONOTONIC",
+    "ManualClock",
+    "OPEN",
+    "Overloaded",
+    "PARALLEL_BOUND_FACTORS",
+    "PRIORITY_HIGH",
+    "PRIORITY_LOW",
+    "PRIORITY_NORMAL",
+    "Prediction",
+    "QueueClosed",
+    "SEQUENTIAL_BOUND_FACTORS",
+    "SHED",
+    "ServiceResponse",
+    "TERMINAL_STATUSES",
+    "canary_point",
+    "degraded_measurement",
+    "job_from_dict",
+    "parse_priority",
+    "predict_point",
+    "priority_name",
+]

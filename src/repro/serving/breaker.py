@@ -1,0 +1,185 @@
+"""Per-algorithm circuit breakers.
+
+A flaky backend — an algorithm that keeps raising
+:class:`~repro.faults.FaultExhausted` under the current fault plan, or
+keeps timing out against its deadline — should stop being *attempted*:
+every doomed run occupies a worker, burns its budget and delays the
+healthy traffic behind it.  The breaker implements the classic
+three-state machine:
+
+``CLOSED``
+    Normal operation.  ``failure_threshold`` *consecutive* failures
+    trip it to ``OPEN`` (any success resets the streak).
+``OPEN``
+    All traffic is refused (the service serves the degradation ladder
+    instead).  After ``cooldown`` seconds the next ``allow`` call
+    transitions to ``HALF_OPEN``.
+``HALF_OPEN``
+    A limited number of probes (``half_open_probes``) may pass — the
+    service runs a cheap canary before trusting the breaker again.  A
+    probe success closes the breaker; a probe failure re-opens it and
+    restarts the cooldown.
+
+Every decision reads time exclusively through the injected clock
+(:mod:`repro.serving.clock`), never ``time.time``, so tests drive the
+full transition diagram deterministically by advancing a
+:class:`~repro.serving.clock.ManualClock`.  All methods are
+thread-safe.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+from repro.serving.clock import MONOTONIC, Clock
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+#: Gauge encoding of the states (exported to the metrics registry).
+STATE_CODES = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
+
+#: ``on_transition`` callback type: (from_state, to_state).
+TransitionHook = Callable[[str, str], None]
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with clock-injected cooldowns."""
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 3,
+        cooldown: float = 30.0,
+        half_open_probes: int = 1,
+        clock: Clock = MONOTONIC,
+        on_transition: TransitionHook | None = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if cooldown < 0:
+            raise ValueError(f"cooldown must be >= 0, got {cooldown}")
+        if half_open_probes < 1:
+            raise ValueError(
+                f"half_open_probes must be >= 1, got {half_open_probes}"
+            )
+        self.failure_threshold = int(failure_threshold)
+        self.cooldown = float(cooldown)
+        self.half_open_probes = int(half_open_probes)
+        self._clock = clock
+        self._on_transition = on_transition
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: float | None = None
+        self._probes_inflight = 0
+
+    # -- state ------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """Current state (reading it performs no transition)."""
+        with self._lock:
+            return self._state
+
+    @property
+    def consecutive_failures(self) -> int:
+        """Length of the current failure streak (CLOSED bookkeeping)."""
+        with self._lock:
+            return self._consecutive_failures
+
+    def _transition(self, to: str) -> None:
+        """Move to ``to`` (lock held by caller)."""
+        frm = self._state
+        if frm == to:
+            return
+        self._state = to
+        if to == OPEN:
+            self._opened_at = self._clock()
+            self._probes_inflight = 0
+        elif to == HALF_OPEN:
+            self._probes_inflight = 0
+        elif to == CLOSED:
+            self._consecutive_failures = 0
+            self._opened_at = None
+            self._probes_inflight = 0
+        if self._on_transition is not None:
+            self._on_transition(frm, to)
+
+    # -- decisions ---------------------------------------------------------
+
+    def allow(self) -> bool:
+        """May a request proceed right now?
+
+        ``CLOSED`` always allows.  ``OPEN`` refuses until the cooldown
+        has elapsed, at which point the breaker moves to ``HALF_OPEN``
+        and the call is treated as a probe.  ``HALF_OPEN`` allows up to
+        ``half_open_probes`` concurrent probes; each allowed call
+        *claims* a probe slot, which the eventual
+        :meth:`record_success`/:meth:`record_failure` releases.
+        """
+        with self._lock:
+            if self._state == CLOSED:
+                return True
+            if self._state == OPEN:
+                if self._clock() - self._opened_at < self.cooldown:
+                    return False
+                self._transition(HALF_OPEN)
+            # HALF_OPEN: hand out probe slots
+            if self._probes_inflight >= self.half_open_probes:
+                return False
+            self._probes_inflight += 1
+            return True
+
+    def probing(self) -> bool:
+        """True when the breaker is half-open (callers should canary)."""
+        with self._lock:
+            return self._state == HALF_OPEN
+
+    def record_success(self) -> None:
+        """A request (or probe) finished cleanly."""
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._probes_inflight = max(0, self._probes_inflight - 1)
+                self._transition(CLOSED)
+            else:
+                self._consecutive_failures = 0
+
+    def record_failure(self) -> None:
+        """A request (or probe) failed in a breaker-relevant way."""
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._probes_inflight = max(0, self._probes_inflight - 1)
+                self._transition(OPEN)
+                return
+            if self._state == OPEN:
+                return
+            self._consecutive_failures += 1
+            if self._consecutive_failures >= self.failure_threshold:
+                self._transition(OPEN)
+
+    def snapshot(self) -> dict:
+        """JSON-ready state report (health endpoint payload)."""
+        with self._lock:
+            due = (
+                self._state == OPEN
+                and self._clock() - self._opened_at >= self.cooldown
+            )
+            return {
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+                "probe_due": due,
+            }
+
+
+__all__ = [
+    "CLOSED",
+    "HALF_OPEN",
+    "OPEN",
+    "STATE_CODES",
+    "CircuitBreaker",
+]

@@ -1,0 +1,361 @@
+"""``repro serve`` / ``repro submit``: the service from the shell.
+
+``repro submit`` is the one-shot client: build one job (a sequential
+``chol`` or a parallel ``pxpotrf`` point, with optional priority,
+budget caps and deadline), run it through a fresh single-worker
+service, and print the structured :class:`ServiceResponse` as JSON.
+The exit code mirrors the terminal status: 0 for ``done`` and
+``degraded`` (both are answers), 1 for ``failed``, 2 for ``shed``. ::
+
+    repro submit chol --algorithm lapack --n 96 --M 288
+    repro submit chol --algorithm toledo --n 128 --M 384 --max-words 50000
+    repro submit pxpotrf --n 64 --block 16 --P 4 --deadline 5
+
+``repro serve`` is the batch driver: feed a JSON workload (or a
+generated ``--demo`` mix) through a configured service and write one
+response record per job.  Every job reaches a terminal state; the exit
+code is 1 only if any job *failed* (sheds and degradations are the
+service doing its job).  ``--metrics-out`` dumps the metrics registry
+for scraping, ``--chaos-*`` flags wrap every job in a deterministic
+fault plan. ::
+
+    repro serve --workload jobs.json --workers 4 --out responses.json
+    repro serve --demo 50 --queue-capacity 8 --deadline 2 --metrics-out m.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.experiments.spec import PARALLEL, SEQUENTIAL, SpecPoint
+from repro.serving.budget import Budget
+from repro.serving.jobs import FAILED, Job, job_from_dict
+from repro.serving.queue import parse_priority
+from repro.serving.service import FactorizationService
+from repro.util.serialization import atomic_write_json
+
+
+def _budget_from_args(args) -> "Budget | None":
+    budget = Budget(
+        max_words=args.max_words,
+        max_messages=args.max_messages,
+        max_flops=args.max_flops,
+        deadline_seconds=args.deadline,
+    )
+    return None if budget.is_unlimited() else budget
+
+
+def _add_budget_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--max-words", type=int, default=None,
+        help="simulated-cost cap: words moved (cumulative over retries)",
+    )
+    parser.add_argument(
+        "--max-messages", type=int, default=None,
+        help="simulated-cost cap: messages",
+    )
+    parser.add_argument(
+        "--max-flops", type=int, default=None,
+        help="simulated-cost cap: flops",
+    )
+    parser.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="wall-clock deadline, measured from submission",
+    )
+
+
+def submit_main(argv: "list[str]") -> int:
+    """``repro submit``: one job, one structured JSON response."""
+    from repro.cli import normalize_algorithm
+
+    parser = argparse.ArgumentParser(
+        prog="repro submit",
+        description="Submit one factorization job to a fresh service "
+        "instance and print its terminal response as JSON.",
+    )
+    parser.add_argument(
+        "target", choices=("chol", "pxpotrf"),
+        help="sequential Cholesky or the parallel PxPOTRF",
+    )
+    parser.add_argument(
+        "--algorithm", default="lapack", metavar="NAME",
+        help="sequential algorithm (chol only; default: lapack)",
+    )
+    parser.add_argument(
+        "--layout", default="column-major", help="storage layout (chol only)"
+    )
+    parser.add_argument("--n", type=int, default=64, help="matrix dimension")
+    parser.add_argument(
+        "--M", type=int, default=None,
+        help="fast-memory words (chol only; default: 3*n)",
+    )
+    parser.add_argument(
+        "--block", type=int, default=None,
+        help="distribution block (pxpotrf; default: n/sqrt(P))",
+    )
+    parser.add_argument(
+        "--P", type=int, default=4, help="processors (pxpotrf; default: 4)"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="input matrix seed")
+    parser.add_argument(
+        "--priority", default="normal",
+        help="job priority: low/normal/high or an integer (default: normal)",
+    )
+    parser.add_argument(
+        "--no-verify", action="store_true",
+        help="skip the reference-Cholesky correctness check",
+    )
+    _add_budget_args(parser)
+    args = parser.parse_args(argv)
+
+    if args.target == "chol":
+        point = SpecPoint(
+            kind=SEQUENTIAL,
+            algorithm=normalize_algorithm(args.algorithm),
+            layout=args.layout,
+            n=args.n,
+            M=args.M if args.M is not None else 3 * args.n,
+            seed=args.seed,
+            verify=not args.no_verify,
+        )
+    else:
+        import math
+
+        root = math.isqrt(args.P)
+        if root * root != args.P:
+            parser.error(f"--P must be a perfect square, got {args.P}")
+        block = args.block if args.block is not None else max(1, args.n // root)
+        point = SpecPoint(
+            kind=PARALLEL,
+            algorithm="pxpotrf",
+            layout="block-cyclic",
+            n=args.n,
+            M=None,
+            P=args.P,
+            block=block,
+            seed=args.seed,
+            verify=not args.no_verify,
+        )
+
+    job = Job(
+        point=point,
+        priority=parse_priority(args.priority),
+        budget=_budget_from_args(args),
+    )
+    svc = FactorizationService(workers=0, queue_capacity=1)
+    try:
+        ticket = svc.submit(job)
+        svc.run_pending()
+        response = ticket.result(timeout=0)
+    finally:
+        svc.stop()
+    print(json.dumps(response.to_dict(), indent=2, sort_keys=True))
+    if response.status == FAILED:
+        return 1
+    if response.status == "shed":
+        return 2
+    return 0
+
+
+def _demo_workload(count: int, seed: int = 0) -> "list[Job]":
+    """A deterministic mixed-priority, mixed-kind workload."""
+    algorithms = [
+        ("naive-left", "column-major"),
+        ("lapack", "column-major"),
+        ("toledo", "column-major"),
+        ("square-recursive", "column-major"),
+    ]
+    priorities = ["low", "normal", "normal", "high"]
+    jobs = []
+    for i in range(count):
+        if i % 5 == 4:
+            n = 16 + 8 * (i % 3)
+            point = SpecPoint(
+                kind=PARALLEL,
+                algorithm="pxpotrf",
+                layout="block-cyclic",
+                n=n,
+                M=None,
+                P=4,
+                block=max(1, n // 2),
+                seed=seed + i,
+                verify=True,
+            )
+        else:
+            alg, layout = algorithms[i % len(algorithms)]
+            n = 24 + 8 * (i % 4)
+            point = SpecPoint(
+                kind=SEQUENTIAL,
+                algorithm=alg,
+                layout=layout,
+                n=n,
+                M=4 * n,
+                seed=seed + i,
+                verify=True,
+            )
+        jobs.append(
+            Job(
+                point=point,
+                priority=parse_priority(priorities[i % len(priorities)]),
+            )
+        )
+    return jobs
+
+
+def serve_main(argv: "list[str]") -> int:
+    """``repro serve``: drive a workload through the service."""
+    from repro.faults.plan import FaultPlan
+    from repro.observability.metrics import METRICS
+
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Run a job workload through the resilient "
+        "factorization service; every job reaches a terminal "
+        "done/degraded/shed/failed state.",
+    )
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--workload", metavar="FILE",
+        help="JSON list of job records: {point: {...}, priority, budget}",
+    )
+    source.add_argument(
+        "--demo", type=int, metavar="COUNT",
+        help="generate a deterministic mixed workload of COUNT jobs",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2, help="worker threads (default: 2)"
+    )
+    parser.add_argument(
+        "--queue-capacity", type=int, default=16,
+        help="admission-queue bound (default: 16)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=1,
+        help="execution retries per job (default: 1)",
+    )
+    parser.add_argument(
+        "--breaker-threshold", type=int, default=3,
+        help="consecutive failures that trip a breaker (default: 3)",
+    )
+    parser.add_argument(
+        "--breaker-cooldown", type=float, default=1.0,
+        help="seconds an open breaker waits before probing (default: 1)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="workload seed (--demo)"
+    )
+    parser.add_argument(
+        "--chaos-drop", type=float, default=0.0,
+        help="wrap every job in a fault plan with this drop probability",
+    )
+    parser.add_argument(
+        "--chaos-read-fault", type=float, default=0.0,
+        help="wrap every sequential job with this read-fault probability",
+    )
+    parser.add_argument(
+        "--chaos-seed", type=int, default=1, help="fault-plan seed"
+    )
+    parser.add_argument(
+        "--out", metavar="FILE", help="write all responses as a JSON list"
+    )
+    parser.add_argument(
+        "--metrics-out", metavar="FILE",
+        help="dump the metrics registry as JSON at the end",
+    )
+    parser.add_argument(
+        "--backpressure", action="store_true",
+        help="throttle submission to queue capacity instead of "
+        "load-shedding the burst (workers >= 1 only)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-job lines"
+    )
+    _add_budget_args(parser)
+    args = parser.parse_args(argv)
+
+    if args.workload:
+        with open(args.workload, "r", encoding="utf-8") as fh:
+            records = json.load(fh)
+        if not isinstance(records, list):
+            parser.error(f"{args.workload} must hold a JSON list of jobs")
+        jobs = [job_from_dict(r) for r in records]
+    else:
+        jobs = _demo_workload(args.demo, seed=args.seed)
+
+    if args.chaos_drop or args.chaos_read_fault:
+        from dataclasses import replace
+
+        for job in jobs:
+            plan = FaultPlan(
+                seed=args.chaos_seed + job.point.seed,
+                drop=args.chaos_drop if job.point.kind == PARALLEL else 0.0,
+                read_fault=(
+                    args.chaos_read_fault
+                    if job.point.kind != PARALLEL
+                    else 0.0
+                ),
+            )
+            if not plan.is_empty():
+                job.point = replace(job.point, faults=plan.freeze())
+
+    default_budget = _budget_from_args(args)
+    svc = FactorizationService(
+        workers=args.workers,
+        queue_capacity=args.queue_capacity,
+        retries=args.retries,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
+        default_budget=default_budget,
+    )
+    if args.backpressure and args.workers < 1:
+        parser.error("--backpressure needs --workers >= 1 to drain the queue")
+
+    responses = []
+    try:
+        tickets = []
+        for job in jobs:
+            if args.backpressure:
+                import time as _time
+
+                while not svc.readiness()["ready"]:
+                    _time.sleep(0.005)
+            tickets.append(svc.submit(job))
+        if args.workers == 0:
+            svc.run_pending()
+        for ticket in tickets:
+            response = ticket.result(timeout=600)
+            responses.append(response)
+            if not args.quiet:
+                print(
+                    f"[serve] {response.job_id}: {response.status}"
+                    + (f" ({response.reason})" if response.reason else ""),
+                    file=sys.stderr,
+                )
+    finally:
+        svc.stop()
+
+    by_status: "dict[str, int]" = {}
+    for response in responses:
+        by_status[response.status] = by_status.get(response.status, 0) + 1
+    print(f"[serve] {len(responses)} jobs: {by_status}", file=sys.stderr)
+    health = svc.health()
+    print(f"[serve] breakers: {health['breakers']}", file=sys.stderr)
+    if args.out:
+        atomic_write_json(
+            args.out,
+            [r.to_dict() for r in responses],
+            indent=1,
+            sort_keys=True,
+        )
+        print(f"[serve] wrote {args.out}", file=sys.stderr)
+    if args.metrics_out:
+        atomic_write_json(
+            args.metrics_out, METRICS.to_dict(), indent=1, sort_keys=True
+        )
+        print(f"[serve] wrote {args.metrics_out}", file=sys.stderr)
+    return 1 if by_status.get(FAILED, 0) else 0
+
+
+__all__ = ["serve_main", "submit_main"]

@@ -1,0 +1,53 @@
+"""Injectable clocks for the serving layer.
+
+Every time-dependent decision in :mod:`repro.serving` — circuit-breaker
+cooldowns, deadline checks, queue-age accounting — reads time through a
+*clock*: any zero-argument callable returning seconds as a float.  The
+production default is :func:`time.monotonic`; tests inject a
+:class:`ManualClock` and advance it explicitly, so every state
+transition is deterministic and no test ever sleeps to make a breaker
+reopen.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+#: The clock type: any ``() -> float`` callable (monotonic seconds).
+Clock = Callable[[], float]
+
+#: Production clock.
+MONOTONIC: Clock = time.monotonic
+
+
+class ManualClock:
+    """A clock that only moves when told to (deterministic tests).
+
+    Usable anywhere a :data:`Clock` is expected — the instance itself
+    is the callable::
+
+        clock = ManualClock()
+        breaker = CircuitBreaker(cooldown=30.0, clock=clock)
+        clock.advance(31.0)   # the cooldown has now elapsed
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def __call__(self) -> float:
+        return self._now
+
+    def now(self) -> float:
+        """Current reading (same as calling the instance)."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward; returns the new reading."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance time by {seconds} (negative)")
+        self._now += float(seconds)
+        return self._now
+
+
+__all__ = ["Clock", "MONOTONIC", "ManualClock"]

@@ -1,0 +1,176 @@
+"""Bounded priority queue with load-shedding admission.
+
+The service's waiting room.  Capacity is a hard bound: an ``offer``
+against a full queue either *sheds the newcomer* (same or higher
+priority already queued everywhere) or *evicts the lowest-priority
+waiter* to make room for a strictly more important job — the classic
+shed-from-the-tail policy, so a burst of bulk work can never starve
+interactive traffic, and a burst of interactive work sheds the bulk
+backlog first.
+
+Blocking ``pop`` with timeout feeds the worker threads; ``close``
+wakes every popper so shutdown never hangs.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from typing import Any, Generic, Iterable, TypeVar
+
+T = TypeVar("T")
+
+#: Priority levels (larger = more important).  Any int works; these
+#: are the named grades the CLI and the workload generators use.
+PRIORITY_LOW = 0
+PRIORITY_NORMAL = 1
+PRIORITY_HIGH = 2
+
+PRIORITY_NAMES = {
+    PRIORITY_LOW: "low",
+    PRIORITY_NORMAL: "normal",
+    PRIORITY_HIGH: "high",
+}
+
+
+def priority_name(priority: int) -> str:
+    """Human label for a priority grade (falls back to the number)."""
+    return PRIORITY_NAMES.get(int(priority), str(int(priority)))
+
+
+def parse_priority(text: "str | int") -> int:
+    """Accept ``low``/``normal``/``high`` or a bare integer."""
+    if isinstance(text, int):
+        return text
+    key = text.strip().lower()
+    for value, name in PRIORITY_NAMES.items():
+        if key == name:
+            return value
+    try:
+        return int(key)
+    except ValueError:
+        raise ValueError(
+            f"unknown priority {text!r}; use low/normal/high or an integer"
+        ) from None
+
+
+class QueueClosed(RuntimeError):
+    """``offer`` after ``close`` (the service is shutting down)."""
+
+
+class BoundedPriorityQueue(Generic[T]):
+    """Thread-safe bounded max-priority queue with eviction.
+
+    Pops return the highest-priority item; ties break FIFO (earliest
+    ``offer`` first).  ``offer`` never blocks: admission control is a
+    decision, not a wait.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._cond = threading.Condition()
+        # heap entries: (-priority, seq, item); seq keeps FIFO within a
+        # priority and makes entries totally ordered (items never compared)
+        self._heap: "list[tuple[int, int, T]]" = []
+        self._seq = 0
+        self._closed = False
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._heap)
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
+    def offer(self, item: T, priority: int) -> "tuple[bool, T | None]":
+        """Try to admit ``item``; returns ``(admitted, evicted)``.
+
+        * queue has room → ``(True, None)``;
+        * queue full, some waiter has strictly lower priority → the
+          lowest-priority (and, among those, youngest) waiter is
+          evicted and returned: ``(True, evicted_item)`` — the caller
+          owes the evictee a structured shed response;
+        * queue full of same-or-higher priority → ``(False, None)``:
+          the newcomer is shed.
+        """
+        with self._cond:
+            if self._closed:
+                raise QueueClosed("queue is closed to new work")
+            evicted: T | None = None
+            if len(self._heap) >= self.capacity:
+                # find the least-important waiter: max (-neg_pri, seq)
+                idx = max(
+                    range(len(self._heap)),
+                    key=lambda i: (self._heap[i][0], self._heap[i][1]),
+                )
+                neg_pri, _seq, victim = self._heap[idx]
+                if -neg_pri >= priority:
+                    return False, None
+                self._heap[idx] = self._heap[-1]
+                self._heap.pop()
+                heapq.heapify(self._heap)
+                evicted = victim
+            heapq.heappush(self._heap, (-int(priority), self._seq, item))
+            self._seq += 1
+            self._cond.notify()
+            return True, evicted
+
+    def pop(self, timeout: "float | None" = None) -> "T | None":
+        """Highest-priority item, blocking up to ``timeout`` seconds.
+
+        Returns ``None`` on timeout or when the queue is closed and
+        empty (the worker-loop exit signal).
+        """
+        with self._cond:
+            while not self._heap:
+                if self._closed:
+                    return None
+                if not self._cond.wait(timeout=timeout):
+                    return None
+            _neg, _seq, item = heapq.heappop(self._heap)
+            return item
+
+    def drain(self) -> "list[T]":
+        """Remove and return every queued item, best-first (shutdown)."""
+        with self._cond:
+            items = [
+                entry[2] for entry in sorted(self._heap)
+            ]
+            self._heap.clear()
+            return items
+
+    def close(self) -> None:
+        """Refuse further offers and wake all blocked poppers."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    def snapshot(self) -> dict:
+        """JSON-ready occupancy report (health endpoint payload)."""
+        with self._cond:
+            by_priority: "dict[str, int]" = {}
+            for neg, _seq, _item in self._heap:
+                key = priority_name(-neg)
+                by_priority[key] = by_priority.get(key, 0) + 1
+            return {
+                "depth": len(self._heap),
+                "capacity": self.capacity,
+                "closed": self._closed,
+                "by_priority": by_priority,
+            }
+
+
+__all__ = [
+    "BoundedPriorityQueue",
+    "PRIORITY_HIGH",
+    "PRIORITY_LOW",
+    "PRIORITY_NAMES",
+    "PRIORITY_NORMAL",
+    "QueueClosed",
+    "parse_priority",
+    "priority_name",
+]

@@ -60,13 +60,42 @@ def check_nonnegative_int(name: str, value: int) -> int:
 
 
 def check_square(name: str, a: np.ndarray) -> np.ndarray:
-    """Require a 2-D square ndarray; return it as float64 C-order."""
-    arr = np.asarray(a, dtype=np.float64)
+    """Require a real numeric 2-D square ndarray; return it float64 C-order.
+
+    Rejects non-numeric payloads (strings, objects, ragged nests),
+    complex dtypes and wrong shapes with a structured
+    :class:`ValidationError` *before* any float64 coercion — so bad
+    inputs fail here with a message naming the argument, not deep in a
+    layout as a raw ``TypeError``/``IndexError``.
+    """
+    try:
+        arr = np.asarray(a)
+    except Exception as exc:
+        raise ValidationError(
+            f"{name} is not array-like ({type(exc).__name__}: {exc})"
+        ) from exc
+    if arr.dtype == object:
+        raise ValidationError(
+            f"{name} must be numeric; got object dtype (ragged nesting "
+            "or non-numeric entries)"
+        )
+    if np.issubdtype(arr.dtype, np.complexfloating):
+        raise ValidationError(
+            f"{name} must be real; got complex dtype {arr.dtype}"
+        )
+    if not (
+        np.issubdtype(arr.dtype, np.floating)
+        or np.issubdtype(arr.dtype, np.integer)
+        or arr.dtype == bool
+    ):
+        raise ValidationError(
+            f"{name} must be numeric; got dtype {arr.dtype}"
+        )
     if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
         raise ValidationError(
             f"{name} must be a square matrix, got shape {arr.shape}"
         )
-    return np.ascontiguousarray(arr)
+    return np.ascontiguousarray(arr, dtype=np.float64)
 
 
 def check_finite(name: str, a: np.ndarray) -> np.ndarray:

@@ -1,0 +1,97 @@
+"""FaultPlan edge cases: explicit zeros and single-attempt exhaustion.
+
+Two corners the main fault suites skirt:
+
+* a plan whose probabilities are all *explicitly* zero (not just the
+  empty default) must behave exactly like no plan at all — byte-for-
+  byte identical counters through the full engine path;
+* ``max_attempts=1`` removes the retry protocol entirely: the first
+  dropped transmission is immediately fatal, with zero resends
+  charged.
+"""
+
+import pytest
+
+from repro.experiments.engine import execute_point
+from repro.experiments.spec import SpecPoint
+from repro.faults.injector import FaultExhausted
+from repro.faults.plan import FaultPlan
+
+
+def seq_point(faults=(), seed=3):
+    return SpecPoint(
+        kind="sequential",
+        algorithm="lapack",
+        layout="column-major",
+        n=32,
+        M=96,
+        seed=seed,
+        faults=faults,
+    )
+
+
+def par_point(faults=(), seed=3):
+    return SpecPoint(
+        kind="parallel",
+        algorithm="pxpotrf",
+        layout="block-cyclic",
+        n=16,
+        M=None,
+        P=4,
+        block=4,
+        seed=seed,
+        faults=faults,
+    )
+
+
+class TestExplicitZeroPlan:
+    ZERO = FaultPlan(
+        seed=99,
+        drop=0.0,
+        duplicate=0.0,
+        corrupt=0.0,
+        read_fault=0.0,
+        slow_links=(),
+        failstops=(),
+    )
+
+    def test_is_empty(self):
+        assert self.ZERO.is_empty()
+        assert not FaultPlan(seed=99, drop=0.1).is_empty()
+
+    def test_sequential_counters_byte_identical(self):
+        clean, _ = execute_point(seq_point())
+        zeroed, _ = execute_point(seq_point(faults=self.ZERO.freeze()))
+        assert clean.to_dict() == zeroed.to_dict()
+
+    def test_parallel_counters_byte_identical(self):
+        clean, _ = execute_point(par_point())
+        zeroed, _ = execute_point(par_point(faults=self.ZERO.freeze()))
+        assert clean.to_dict() == zeroed.to_dict()
+
+
+class TestSingleAttempt:
+    def test_first_drop_is_fatal_with_zero_resends(self):
+        from repro.parallel.network import Network
+
+        # seed chosen so the very first transmission on link 0→1
+        # (seq 0, attempt 1) draws below the drop probability
+        plan = FaultPlan(seed=0, drop=0.9, max_attempts=1)
+        assert plan.unit("drop", 0, 1, 0, 1) < 0.9
+        net = Network(4)
+        inj = net.attach_faults(plan)
+        with pytest.raises(FaultExhausted):
+            net.send(0, 1, 8)
+        assert inj.stats.resent_messages == 0
+        assert inj.stats.resent_words == 0
+        assert inj.stats.backoff_time == 0.0
+        assert inj.stats.drops == 1
+
+    def test_single_attempt_through_the_engine(self):
+        plan = FaultPlan(seed=0, drop=0.9, max_attempts=1)
+        with pytest.raises(FaultExhausted):
+            execute_point(par_point(faults=plan.freeze()))
+
+    def test_max_attempts_validated(self):
+        with pytest.raises(ValueError):
+            FaultPlan(seed=0, max_attempts=0)

@@ -1,0 +1,199 @@
+"""Circuit-breaker state machine, driven by an injected manual clock.
+
+The full diagram — closed → open → half-open → closed (and the
+half-open → open re-trip) — is walked deterministically; no decision
+ever reads the wall clock.
+"""
+
+import threading
+
+import pytest
+
+from repro.serving.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.serving.clock import ManualClock
+
+
+def make(clock, **kw):
+    kw.setdefault("failure_threshold", 3)
+    kw.setdefault("cooldown", 10.0)
+    return CircuitBreaker(clock=clock, **kw)
+
+
+class TestClosed:
+    def test_starts_closed_and_allows(self):
+        b = make(ManualClock())
+        assert b.state == CLOSED
+        assert b.allow()
+
+    def test_failures_below_threshold_stay_closed(self):
+        b = make(ManualClock())
+        b.record_failure()
+        b.record_failure()
+        assert b.state == CLOSED
+        assert b.consecutive_failures == 2
+
+    def test_success_resets_the_streak(self):
+        b = make(ManualClock())
+        b.record_failure()
+        b.record_failure()
+        b.record_success()
+        assert b.consecutive_failures == 0
+        b.record_failure()
+        b.record_failure()
+        assert b.state == CLOSED
+
+    def test_threshold_consecutive_failures_trip_open(self):
+        b = make(ManualClock())
+        for _ in range(3):
+            b.record_failure()
+        assert b.state == OPEN
+
+
+class TestOpen:
+    def test_open_refuses_before_cooldown(self):
+        clock = ManualClock()
+        b = make(clock)
+        for _ in range(3):
+            b.record_failure()
+        assert not b.allow()
+        clock.advance(9.999)
+        assert not b.allow()
+        assert b.state == OPEN
+
+    def test_cooldown_elapsed_transitions_half_open_and_probes(self):
+        clock = ManualClock()
+        b = make(clock)
+        for _ in range(3):
+            b.record_failure()
+        clock.advance(10.0)
+        assert b.allow()  # the probe
+        assert b.state == HALF_OPEN
+
+    def test_snapshot_reports_probe_due(self):
+        clock = ManualClock()
+        b = make(clock)
+        for _ in range(3):
+            b.record_failure()
+        assert b.snapshot()["probe_due"] is False
+        clock.advance(10.0)
+        assert b.snapshot()["probe_due"] is True
+        assert b.state == OPEN  # snapshot performs no transition
+
+    def test_failures_while_open_are_noops(self):
+        clock = ManualClock()
+        b = make(clock)
+        for _ in range(3):
+            b.record_failure()
+        b.record_failure()
+        clock.advance(10.0)
+        assert b.allow()  # cooldown not restarted by the no-op failure
+
+
+class TestHalfOpen:
+    def _half_open(self, clock, **kw):
+        b = make(clock, **kw)
+        for _ in range(3):
+            b.record_failure()
+        clock.advance(10.0)
+        assert b.allow()
+        assert b.state == HALF_OPEN
+        return b
+
+    def test_probe_slots_are_limited(self):
+        clock = ManualClock()
+        b = self._half_open(clock)  # claims the single default slot
+        assert not b.allow()
+
+    def test_probe_success_closes(self):
+        clock = ManualClock()
+        b = self._half_open(clock)
+        b.record_success()
+        assert b.state == CLOSED
+        assert b.allow()
+        assert b.consecutive_failures == 0
+
+    def test_probe_failure_reopens_and_restarts_cooldown(self):
+        clock = ManualClock()
+        b = self._half_open(clock)
+        b.record_failure()
+        assert b.state == OPEN
+        clock.advance(9.0)
+        assert not b.allow()
+        clock.advance(1.0)
+        assert b.allow()
+        assert b.state == HALF_OPEN
+
+    def test_full_cycle_closed_open_half_open_closed(self):
+        clock = ManualClock()
+        b = make(clock, failure_threshold=2, cooldown=5.0)
+        assert b.state == CLOSED
+        b.record_failure()
+        b.record_failure()
+        assert b.state == OPEN
+        clock.advance(5.0)
+        assert b.allow()
+        assert b.state == HALF_OPEN
+        b.record_success()
+        assert b.state == CLOSED
+        assert b.allow()
+
+    def test_multiple_probe_slots(self):
+        clock = ManualClock()
+        b = self._half_open(clock, half_open_probes=2)
+        assert b.allow()  # second slot
+        assert not b.allow()  # exhausted
+        b.record_success()
+        assert b.state == CLOSED
+
+
+class TestHooksAndValidation:
+    def test_transition_hook_sees_every_edge(self):
+        clock = ManualClock()
+        seen = []
+        b = CircuitBreaker(
+            failure_threshold=1,
+            cooldown=1.0,
+            clock=clock,
+            on_transition=lambda frm, to: seen.append((frm, to)),
+        )
+        b.record_failure()
+        clock.advance(1.0)
+        b.allow()
+        b.record_success()
+        assert seen == [
+            (CLOSED, OPEN),
+            (OPEN, HALF_OPEN),
+            (HALF_OPEN, CLOSED),
+        ]
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"failure_threshold": 0},
+            {"cooldown": -1.0},
+            {"half_open_probes": 0},
+        ],
+    )
+    def test_bad_config_rejected(self, kw):
+        with pytest.raises(ValueError):
+            CircuitBreaker(**kw)
+
+    def test_thread_safety_single_probe_slot(self):
+        clock = ManualClock()
+        b = make(clock, failure_threshold=1)
+        b.record_failure()
+        clock.advance(10.0)
+        grants = []
+        barrier = threading.Barrier(8)
+
+        def contend():
+            barrier.wait()
+            if b.allow():
+                grants.append(1)
+
+        threads = [threading.Thread(target=contend) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sum(grants) == 1  # exactly one thread won the probe slot

@@ -1,0 +1,194 @@
+"""Budgets and their live enforcement at the simulator chokepoints."""
+
+import pytest
+
+from repro.experiments.spec import SpecPoint
+from repro.machine import SequentialMachine
+from repro.parallel.network import Network
+from repro.serving.budget import Budget, BudgetExceeded
+from repro.serving.clock import ManualClock
+
+
+class TestBudgetDeclaration:
+    def test_unlimited_by_default(self):
+        assert Budget().is_unlimited()
+        assert not Budget(max_words=10).is_unlimited()
+        assert not Budget(deadline_seconds=1.0).is_unlimited()
+
+    def test_roundtrip(self):
+        b = Budget(max_words=5, max_flops=7, deadline_seconds=2.5)
+        assert Budget.from_dict(b.to_dict()) == b
+
+    @pytest.mark.parametrize(
+        "kw", [{"max_words": -1}, {"deadline_seconds": -0.1}]
+    )
+    def test_negative_caps_rejected(self, kw):
+        with pytest.raises(ValueError):
+            Budget(**kw)
+
+
+class TestGuardMachine:
+    def test_machine_word_cap_enforced_at_chokepoint(self):
+        guard = Budget(max_words=100).guard(clock=ManualClock())
+        machine = SequentialMachine(256)
+        machine.attach_guard(guard)
+        from repro.util.intervals import IntervalSet
+
+        machine.read(IntervalSet.single(0, 50))  # 50 words, fine
+        with pytest.raises(BudgetExceeded) as exc_info:
+            machine.read(IntervalSet.single(64, 124))  # 110 total
+        assert exc_info.value.reason == "words"
+        assert exc_info.value.spent == 110
+        assert exc_info.value.limit == 100
+
+    def test_flop_cap(self):
+        guard = Budget(max_flops=10).guard(clock=ManualClock())
+        machine = SequentialMachine(64)
+        machine.attach_guard(guard)
+        machine.add_flops(10)
+        with pytest.raises(BudgetExceeded) as exc_info:
+            machine.add_flops(1)
+        assert exc_info.value.reason == "flops"
+
+    def test_tripped_guard_stays_tripped(self):
+        guard = Budget(max_flops=1).guard(clock=ManualClock())
+        machine = SequentialMachine(64)
+        machine.attach_guard(guard)
+        with pytest.raises(BudgetExceeded):
+            machine.add_flops(5)
+        with pytest.raises(BudgetExceeded):
+            guard.check_machine(machine)
+
+    def test_quota_cumulative_across_attempts(self):
+        guard = Budget(max_words=120).guard(clock=ManualClock())
+        from repro.util.intervals import IntervalSet
+
+        m1 = SequentialMachine(256)
+        m1.attach_guard(guard)
+        m1.read(IntervalSet.single(0, 100))
+        guard.attempt_done(m1)  # attempt 1 spent 100 of the 120
+
+        m2 = SequentialMachine(256)
+        m2.attach_guard(guard)
+        with pytest.raises(BudgetExceeded):
+            m2.read(IntervalSet.single(0, 100))  # 200 cumulative
+
+
+class TestGuardNetwork:
+    def test_network_message_cap(self):
+        guard = Budget(max_messages=2).guard(clock=ManualClock())
+        net = Network(2)
+        net.attach_guard(guard)
+        net.send(0, 1, 4)
+        net.send(1, 0, 4)
+        with pytest.raises(BudgetExceeded) as exc_info:
+            net.send(0, 1, 4)
+        assert exc_info.value.reason == "messages"
+
+    def test_network_flops_spend(self):
+        guard = Budget(max_flops=100).guard(clock=ManualClock())
+        net = Network(2)
+        net.attach_guard(guard)
+        net.compute(0, 100)
+        with pytest.raises(BudgetExceeded):
+            net.compute(1, 1)
+
+
+class TestDeadline:
+    def test_deadline_measured_from_start(self):
+        clock = ManualClock()
+        guard = Budget(deadline_seconds=5.0).guard(clock=clock)
+        guard.check_deadline()  # fine at t=0
+        clock.advance(4.999)
+        guard.check_deadline()
+        clock.advance(0.001)
+        with pytest.raises(BudgetExceeded) as exc_info:
+            guard.check_deadline()
+        assert exc_info.value.reason == "deadline"
+
+    def test_explicit_start_covers_queueing_time(self):
+        clock = ManualClock()
+        clock.advance(100.0)
+        guard = Budget(deadline_seconds=5.0).guard(clock=clock, start=97.0)
+        clock.advance(1.999)  # t=101.999, deadline at 102
+        guard.check_deadline()
+        clock.advance(0.002)
+        with pytest.raises(BudgetExceeded):
+            guard.check_deadline()
+
+    def test_remaining_seconds(self):
+        clock = ManualClock()
+        guard = Budget(deadline_seconds=5.0).guard(clock=clock)
+        clock.advance(2.0)
+        assert guard.remaining_seconds() == pytest.approx(3.0)
+        assert Budget(max_words=1).guard(clock=clock).remaining_seconds() is None
+
+    def test_spent_reports_elapsed(self):
+        clock = ManualClock()
+        guard = Budget(max_words=10).guard(clock=clock)
+        clock.advance(1.5)
+        spent = guard.spent()
+        assert spent["elapsed_seconds"] == pytest.approx(1.5)
+        assert spent["words"] == 0
+
+
+class TestEndToEnd:
+    def test_execute_point_cancelled_mid_run(self):
+        from repro.experiments.engine import execute_point
+
+        point = SpecPoint(
+            kind="sequential",
+            algorithm="lapack",
+            layout="column-major",
+            n=48,
+            M=144,
+            seed=0,
+        )
+        m, _ = execute_point(point)
+        # a cap below the exact count must cancel the run...
+        guard = Budget(max_words=m.words - 1).guard(clock=ManualClock())
+        with pytest.raises(BudgetExceeded):
+            execute_point(point, guard=guard)
+        # ...and the guard must have metered real progress before that
+        assert 0 < guard.words <= m.words
+
+    def test_execute_point_within_budget_matches_unmetered(self):
+        from repro.experiments.engine import execute_point
+
+        point = SpecPoint(
+            kind="sequential",
+            algorithm="toledo",
+            layout="column-major",
+            n=32,
+            M=96,
+            seed=3,
+        )
+        m0, _ = execute_point(point)
+        guard = Budget(
+            max_words=m0.words, max_messages=m0.messages, max_flops=m0.flops
+        ).guard(clock=ManualClock())
+        m1, _ = execute_point(point, guard=guard)
+        assert (m1.words, m1.messages, m1.flops) == (
+            m0.words,
+            m0.messages,
+            m0.flops,
+        )
+        assert guard.words == m0.words  # attempt folded into the totals
+
+    def test_parallel_execute_point_cancelled(self):
+        from repro.experiments.engine import execute_point
+
+        point = SpecPoint(
+            kind="parallel",
+            algorithm="pxpotrf",
+            layout="block-cyclic",
+            n=16,
+            P=4,
+            block=4,
+            seed=0,
+        )
+        m, _ = execute_point(point)
+        guard = Budget(max_messages=5).guard(clock=ManualClock())
+        with pytest.raises(BudgetExceeded):
+            execute_point(point, guard=guard)
+        assert guard.messages > 5 - 1

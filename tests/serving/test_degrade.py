@@ -1,0 +1,171 @@
+"""Degradation ladder: closed-form predictions bound the exact counts.
+
+The ISSUE's core promise for degraded answers: every prediction served
+in place of a simulation must contain the exact simulated count within
+its documented per-field bound factor.  The grid below sweeps every
+Table 1 (algorithm, storage) pair the registry can run — including the
+aliased variants — plus a spread of parallel (n, b, P) points, and
+checks containment field by field.
+"""
+
+import pytest
+
+from repro.experiments.engine import execute_point
+from repro.experiments.spec import SpecPoint
+from repro.serving.degrade import (
+    PARALLEL_BOUND_FACTORS,
+    SEQUENTIAL_BOUND_FACTORS,
+    TABLE1_ALIASES,
+    degraded_measurement,
+    predict_point,
+)
+
+
+def seq_point(algorithm, layout, n, M, seed=0):
+    return SpecPoint(
+        kind="sequential",
+        algorithm=algorithm,
+        layout=layout,
+        n=n,
+        M=M,
+        seed=seed,
+    )
+
+
+def par_point(n, block, P, seed=0):
+    return SpecPoint(
+        kind="parallel",
+        algorithm="pxpotrf",
+        layout="block-cyclic",
+        n=n,
+        P=P,
+        block=block,
+        seed=seed,
+    )
+
+
+SEQUENTIAL_GRID = [
+    ("naive-left", "column-major", 32, 96),
+    ("naive-left", "column-major", 48, 144),
+    ("naive-right", "column-major", 32, 96),
+    ("naive-up", "column-major", 32, 96),  # aliased to naive-left
+    ("lapack", "column-major", 48, 144),
+    ("lapack", "column-major", 64, 256),
+    ("lapack-right", "column-major", 48, 144),  # aliased to lapack
+    ("toledo", "column-major", 48, 144),
+    ("square-recursive", "morton", 32, 128),
+    ("square-recursive", "morton", 64, 256),
+]
+
+PARALLEL_GRID = [
+    (16, 4, 4),
+    (24, 4, 4),
+    (32, 8, 4),
+    (36, 6, 9),
+]
+
+
+class TestPredictPoint:
+    def test_sequential_prediction_shape(self):
+        pred = predict_point(seq_point("lapack", "column-major", 64, 192))
+        assert pred is not None
+        assert pred.source == "table1"
+        assert pred.bound_factors == SEQUENTIAL_BOUND_FACTORS
+        assert pred.detail["algorithm"] == "lapack"
+
+    def test_parallel_prediction_shape(self):
+        pred = predict_point(par_point(64, 16, 4))
+        assert pred is not None
+        assert pred.source == "table2"
+        assert pred.bound_factors == PARALLEL_BOUND_FACTORS
+
+    @pytest.mark.parametrize("alias,target", sorted(TABLE1_ALIASES.items()))
+    def test_aliases_resolve_to_sibling_rows(self, alias, target):
+        pa = predict_point(seq_point(alias, "column-major", 32, 96))
+        pt = predict_point(seq_point(target, "column-major", 32, 96))
+        assert pa is not None and pt is not None
+        assert (pa.words, pa.messages, pa.flops) == (
+            pt.words,
+            pt.messages,
+            pt.flops,
+        )
+
+    def test_uncovered_pair_returns_none(self):
+        # Table 1 has no row for naive algorithms on morton storage
+        assert predict_point(seq_point("naive-left", "morton", 32, 96)) is None
+
+    def test_missing_M_returns_none(self):
+        point = SpecPoint(
+            kind="sequential",
+            algorithm="lapack",
+            layout="column-major",
+            n=32,
+            M=None,
+            seed=0,
+        )
+        assert predict_point(point) is None
+
+    def test_bounds_are_symmetric_multiplicative_intervals(self):
+        pred = predict_point(seq_point("lapack", "column-major", 64, 192))
+        bounds = pred.bounds()
+        for name, factor in SEQUENTIAL_BOUND_FACTORS.items():
+            low, high = bounds[name]
+            value = getattr(pred, name)
+            assert low == pytest.approx(value / factor)
+            assert high == pytest.approx(value * factor)
+
+    def test_to_dict_is_json_ready(self):
+        import json
+
+        pred = predict_point(par_point(32, 8, 4))
+        payload = json.loads(json.dumps(pred.to_dict()))
+        assert payload["source"] == "table2"
+        assert set(payload["bounds"]) == {"words", "messages", "flops"}
+
+
+class TestDegradedMeasurement:
+    def test_marked_degraded_and_incorrect(self):
+        point = seq_point("toledo", "column-major", 48, 144)
+        m = degraded_measurement(point, predict_point(point))
+        assert m.correct is False
+        assert ("degraded", True) in m.params
+        assert m.algorithm == "toledo"  # original name, not the alias
+        assert m.words >= 1 and m.flops >= 1
+
+
+class TestDegradedAnswersBoundExactCounts:
+    """The acceptance criterion: prediction intervals contain the truth."""
+
+    @pytest.mark.parametrize(
+        "algorithm,layout,n,M",
+        SEQUENTIAL_GRID,
+        ids=[f"{a}-{lay}-n{n}" for a, lay, n, _ in SEQUENTIAL_GRID],
+    )
+    def test_sequential(self, algorithm, layout, n, M):
+        point = seq_point(algorithm, layout, n, M)
+        pred = predict_point(point)
+        assert pred is not None, "grid point must have a closed form"
+        exact, _ = execute_point(point)
+        bounds = pred.bounds()
+        for name in ("words", "messages", "flops"):
+            low, high = bounds[name]
+            value = getattr(exact, name)
+            assert low <= value <= high, (
+                f"{name}: exact {value} outside [{low:.1f}, {high:.1f}] "
+                f"(prediction {getattr(pred, name):.1f})"
+            )
+        assert pred.contains(exact)
+
+    @pytest.mark.parametrize(
+        "n,block,P",
+        PARALLEL_GRID,
+        ids=[f"n{n}-b{b}-P{P}" for n, b, P in PARALLEL_GRID],
+    )
+    def test_parallel(self, n, block, P):
+        point = par_point(n, block, P)
+        pred = predict_point(point)
+        exact, _ = execute_point(point)
+        assert pred.contains(exact), (
+            f"exact ({exact.words}, {exact.messages}, {exact.flops}) "
+            f"outside bounds {pred.bounds()}"
+        )

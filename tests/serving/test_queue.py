@@ -1,0 +1,146 @@
+"""Bounded priority queue: admission, eviction, ordering, shutdown."""
+
+import threading
+
+import pytest
+
+from repro.serving.queue import (
+    PRIORITY_HIGH,
+    PRIORITY_LOW,
+    PRIORITY_NORMAL,
+    BoundedPriorityQueue,
+    QueueClosed,
+    parse_priority,
+    priority_name,
+)
+
+
+class TestPriorityParsing:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("low", PRIORITY_LOW),
+            ("Normal", PRIORITY_NORMAL),
+            (" HIGH ", PRIORITY_HIGH),
+            ("7", 7),
+            (3, 3),
+        ],
+    )
+    def test_parse(self, text, expected):
+        assert parse_priority(text) == expected
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError, match="unknown priority"):
+            parse_priority("urgent")
+
+    def test_names(self):
+        assert priority_name(PRIORITY_HIGH) == "high"
+        assert priority_name(42) == "42"
+
+
+class TestAdmission:
+    def test_offer_and_pop_priority_order(self):
+        q = BoundedPriorityQueue(8)
+        q.offer("bulk", PRIORITY_LOW)
+        q.offer("interactive", PRIORITY_HIGH)
+        q.offer("default", PRIORITY_NORMAL)
+        assert q.pop(timeout=0) == "interactive"
+        assert q.pop(timeout=0) == "default"
+        assert q.pop(timeout=0) == "bulk"
+
+    def test_fifo_within_priority(self):
+        q = BoundedPriorityQueue(8)
+        for name in ("a", "b", "c"):
+            q.offer(name, PRIORITY_NORMAL)
+        assert [q.pop(timeout=0) for _ in range(3)] == ["a", "b", "c"]
+
+    def test_full_queue_sheds_equal_priority_newcomer(self):
+        q = BoundedPriorityQueue(2)
+        q.offer("a", PRIORITY_NORMAL)
+        q.offer("b", PRIORITY_NORMAL)
+        admitted, evicted = q.offer("c", PRIORITY_NORMAL)
+        assert (admitted, evicted) == (False, None)
+        assert len(q) == 2
+
+    def test_full_queue_sheds_lower_priority_newcomer(self):
+        q = BoundedPriorityQueue(1)
+        q.offer("vip", PRIORITY_HIGH)
+        admitted, evicted = q.offer("bulk", PRIORITY_LOW)
+        assert (admitted, evicted) == (False, None)
+
+    def test_higher_priority_evicts_lowest_waiter(self):
+        q = BoundedPriorityQueue(2)
+        q.offer("bulk", PRIORITY_LOW)
+        q.offer("default", PRIORITY_NORMAL)
+        admitted, evicted = q.offer("vip", PRIORITY_HIGH)
+        assert admitted
+        assert evicted == "bulk"
+        assert q.pop(timeout=0) == "vip"
+        assert q.pop(timeout=0) == "default"
+
+    def test_eviction_picks_youngest_of_the_lowest(self):
+        q = BoundedPriorityQueue(2)
+        q.offer("old-bulk", PRIORITY_LOW)
+        q.offer("new-bulk", PRIORITY_LOW)
+        admitted, evicted = q.offer("vip", PRIORITY_HIGH)
+        assert admitted
+        assert evicted == "new-bulk"  # oldest waiter keeps its place
+        assert q.pop(timeout=0) == "vip"
+        assert q.pop(timeout=0) == "old-bulk"
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            BoundedPriorityQueue(0)
+
+
+class TestPopAndShutdown:
+    def test_pop_timeout_returns_none(self):
+        q = BoundedPriorityQueue(2)
+        assert q.pop(timeout=0) is None
+
+    def test_pop_woken_by_offer(self):
+        q = BoundedPriorityQueue(2)
+        got = []
+
+        def popper():
+            got.append(q.pop(timeout=5))
+
+        t = threading.Thread(target=popper)
+        t.start()
+        q.offer("wake", PRIORITY_NORMAL)
+        t.join(timeout=5)
+        assert got == ["wake"]
+
+    def test_close_refuses_offers_and_wakes_poppers(self):
+        q = BoundedPriorityQueue(2)
+        results = []
+
+        def popper():
+            results.append(q.pop(timeout=10))
+
+        t = threading.Thread(target=popper)
+        t.start()
+        q.close()
+        t.join(timeout=5)
+        assert results == [None]
+        with pytest.raises(QueueClosed):
+            q.offer("late", PRIORITY_HIGH)
+
+    def test_drain_returns_best_first_and_empties(self):
+        q = BoundedPriorityQueue(8)
+        q.offer("bulk", PRIORITY_LOW)
+        q.offer("vip", PRIORITY_HIGH)
+        q.offer("default", PRIORITY_NORMAL)
+        assert q.drain() == ["vip", "default", "bulk"]
+        assert len(q) == 0
+
+    def test_snapshot(self):
+        q = BoundedPriorityQueue(4)
+        q.offer("a", PRIORITY_LOW)
+        q.offer("b", PRIORITY_NORMAL)
+        q.offer("c", PRIORITY_NORMAL)
+        snap = q.snapshot()
+        assert snap["depth"] == 3
+        assert snap["capacity"] == 4
+        assert snap["closed"] is False
+        assert snap["by_priority"] == {"low": 1, "normal": 2}

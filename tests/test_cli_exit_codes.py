@@ -1,0 +1,144 @@
+"""Exit-code contract: every subcommand is nonzero on failure.
+
+Scripts and CI compose the CLI; a run with failed points that exits 0
+is a silent lie.  These tests pin the contract for ``repro run`` (the
+report driver), ``trace``, ``chaos``, ``serve`` and ``submit``.
+"""
+
+import json
+
+import pytest
+
+import repro.cli as cli
+from repro.analysis.report import ReportWriter
+from repro.experiments.spec import ExperimentSpec
+
+
+class TestRunExitCodes:
+    def test_failed_point_turns_exit_nonzero(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+
+        def broken_experiment(engine=None):
+            spec = ExperimentSpec.sequential(
+                name="broken",
+                algorithms=["definitely-not-an-algorithm"],
+                layouts=["column-major"],
+                ns=[16],
+                Ms=[96],
+            )
+            engine.run(spec)
+            # keep the throwaway report out of the repo's reports/
+            return ReportWriter("broken", directory=str(tmp_path))
+
+        monkeypatch.setattr(
+            cli, "EXPERIMENTS", {"broken": broken_experiment}
+        )
+        assert cli.main(["broken", "--quiet", "--no-cache"]) == 1
+
+    def test_clean_run_exits_zero(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert cli.main(["reduction", "--quiet"]) == 0
+
+
+class TestTraceExitCodes:
+    def test_failure_is_structured_exit_1(self, capsys):
+        # an unknown layout raises inside the run; trace must turn
+        # that into a one-line FAIL and exit 1, not a traceback
+        rc = cli.main(
+            ["trace", "chol", "--n", "32", "--M", "96",
+             "--layout", "not-a-layout"]
+        )
+        assert rc == 1
+        assert "FAIL" in capsys.readouterr().err
+
+    def test_success_exits_zero(self, tmp_path, capsys):
+        out = tmp_path / "t.json"
+        rc = cli.main(
+            ["trace", "chol", "--n", "32", "--M", "96", "--out", str(out)]
+        )
+        assert rc == 0
+        assert out.exists()
+
+
+class TestChaosExitCodes:
+    def test_clean_recovery_exits_zero(self, capsys):
+        rc = cli.main(
+            ["chaos", "pxpotrf", "--n", "16", "--P", "4",
+             "--drop", "0.2", "--seed", "3"]
+        )
+        assert rc == 0
+
+
+class TestSubmitExitCodes:
+    def test_done_exits_zero(self, capsys):
+        rc = cli.main(
+            ["submit", "chol", "--algorithm", "lapack", "--n", "24",
+             "--M", "96"]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["status"] == "done"
+
+    def test_degraded_still_exits_zero(self, capsys):
+        # a degraded answer is an answer: exit 0, degraded flag set
+        rc = cli.main(
+            ["submit", "chol", "--algorithm", "lapack", "--n", "64",
+             "--M", "192", "--max-words", "10"]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["status"] == "degraded"
+        assert payload["degraded"] is True
+
+    def test_failed_exits_one(self, capsys):
+        # an uncovered (algorithm, layout) pair has no closed form, so
+        # a budget degrade has no ladder rung to fall to: failed
+        rc = cli.main(
+            ["submit", "chol", "--algorithm", "naive-left", "--n", "32",
+             "--M", "96", "--layout", "row-major", "--max-words", "10"]
+        )
+        assert rc == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["status"] == "failed"
+
+
+class TestServeExitCodes:
+    def test_demo_workload_exits_zero(self, tmp_path, capsys):
+        out = tmp_path / "responses.json"
+        rc = cli.main(
+            ["serve", "--demo", "6", "--workers", "0", "--out", str(out)]
+        )
+        assert rc == 0
+        responses = json.loads(out.read_text())
+        assert len(responses) == 6
+        assert all(r["status"] == "done" for r in responses)
+
+    def test_workload_with_failures_exits_one(self, tmp_path):
+        # near-certain drops, one attempt: the parallel job fails
+        workload = [
+            {
+                "point": {
+                    "kind": "parallel",
+                    "algorithm": "pxpotrf",
+                    "layout": "block-cyclic",
+                    "n": 16,
+                    "M": None,
+                    "P": 4,
+                    "block": 8,
+                    "seed": 0,
+                    "verify": False,
+                    "faults": {
+                        "seed": 0,
+                        "drop": 0.99,
+                        "max_attempts": 1,
+                    },
+                }
+            }
+        ]
+        path = tmp_path / "w.json"
+        path.write_text(json.dumps(workload))
+        rc = cli.main(
+            ["serve", "--workload", str(path), "--workers", "0",
+             "--retries", "0", "--quiet"]
+        )
+        assert rc == 1

@@ -36,11 +36,14 @@ from repro.parallel.summa import summa
 from repro.sequential.registry import available_algorithms, run_algorithm
 from repro.util.fastpath import set_fastpath
 
-#: Two regimes per algorithm: fast memory holding whole columns, and a
-#: fast memory forcing segmented / multi-panel execution.
+#: Three regimes per algorithm: fast memory holding whole columns, a
+#: fast memory forcing segmented / multi-panel execution, and a roomy
+#: cache (M >> n) where the guard/fault/fastpath plumbing must still
+#: leave counters byte-identical.
 CONFIGS = [
     pytest.param(48, 112, id="whole-column"),
     pytest.param(48, 52, id="segmented"),
+    pytest.param(48, 224, id="roomy"),
 ]
 
 #: Algorithms whose hot loops issue batched charges (the recursive

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.util.validation import (
+    ValidationError,
     check_nonnegative_int,
     check_positive_int,
     check_spd_cheap,
@@ -56,3 +57,41 @@ class TestMatrices:
         bad = -np.eye(3)
         with pytest.raises(ValueError):
             check_spd_cheap("A", bad)
+
+
+class TestSquareHardened:
+    """Non-square and non-float payloads die with a structured error."""
+
+    def test_integer_and_bool_inputs_coerce_to_float64(self):
+        a = check_square("A", np.eye(3, dtype=np.int32))
+        assert a.dtype == np.float64
+        b = check_square("A", np.eye(2, dtype=bool))
+        assert b.dtype == np.float64
+
+    @pytest.mark.parametrize(
+        "payload,fragment",
+        [
+            ([["a", "b"], ["c", "d"]], "numeric"),  # strings
+            ([[1, 2], [3]], "numeric|array-like"),  # ragged nesting
+            (np.array([[{}, {}], [{}, {}]]), "numeric"),  # objects
+            (np.eye(2, dtype=complex), "real"),  # complex
+            (np.zeros(4), "square"),  # 1-D
+            (np.zeros((2, 3)), "square"),  # rectangular
+            (np.zeros((2, 2, 2)), "square"),  # 3-D
+        ],
+        ids=[
+            "strings", "ragged", "objects", "complex",
+            "one-dim", "rectangular", "three-dim",
+        ],
+    )
+    def test_rejected_with_validation_error(self, payload, fragment):
+        with pytest.raises(ValidationError, match=fragment):
+            check_square("A", payload)
+
+    def test_error_names_the_argument(self):
+        with pytest.raises(ValidationError, match="input_matrix"):
+            check_square("input_matrix", np.zeros((2, 3)))
+
+    def test_validation_error_is_a_value_error(self):
+        # historical `except ValueError` callers keep working
+        assert issubclass(ValidationError, ValueError)
