@@ -1,13 +1,17 @@
 """Experiment P5 — throughput and latency of the factorization service.
 
-The quantity under test is the serving layer itself: a mixed-priority
-workload (both kinds, chaos fault plans, tight budgets) driven through
-a multi-worker :class:`FactorizationService`, with per-job latency
-taken from the service's own wall-clock accounting.  Asserts the
-service contract (every job terminal, the degraded/shed paths actually
-exercised, sane latency ordering) and writes ``BENCH_5.json`` into
-``--bench-out`` (repo root by default) with throughput and latency
-percentiles — the artifact CI's serve-soak job uploads.
+The quantity under test is the serving layer itself: the shared
+mixed-priority bench workload (both kinds, chaos fault plans, tight
+budgets — :func:`repro.serving.workloads.bench_workload`) driven
+through a multi-worker :class:`FactorizationService` behind the
+:class:`~repro.serving.client.ServingClient` facade, with per-job
+latency taken from the service's own wall-clock accounting.  Asserts
+the service contract (every job terminal, the degraded/shed paths
+actually exercised, sane latency ordering) and writes ``BENCH_5.json``
+into ``--bench-out`` (repo root by default) with throughput and
+latency percentiles — the artifact CI's serve-soak job uploads and
+the single-node baseline the cluster bench (``bench_cluster.py``)
+compares against.
 """
 
 from __future__ import annotations
@@ -17,65 +21,13 @@ import time
 
 import pytest
 
-from repro.experiments.spec import SpecPoint
-from repro.faults.plan import FaultPlan
-from repro.serving.budget import Budget
-from repro.serving.jobs import TERMINAL_STATUSES, Job
-from repro.serving.queue import parse_priority
+from repro.serving.api import TERMINAL_STATUSES
+from repro.serving.client import ServingClient
 from repro.serving.service import FactorizationService
+from repro.serving.workloads import bench_workload
 
 BENCH_JOBS = 160
 BENCH_WORKERS = 4
-
-SEQ_ALGOS = ["naive-left", "lapack", "toledo", "square-recursive"]
-PRIORITIES = ["low", "normal", "normal", "high"]
-
-
-def build_workload(count: int, seed: int = 0) -> "list[Job]":
-    """Deterministic mix: both kinds, fault plans, tight budgets."""
-    jobs = []
-    for i in range(count):
-        budget = None
-        if i % 4 == 0:
-            budget = Budget(max_words=2500 + 500 * (i % 5))
-        if i % 5 == 4:
-            n = 16 + 8 * (i % 2)
-            faults = (
-                FaultPlan(seed=seed + i, drop=0.3, max_attempts=3).freeze()
-                if i % 10 == 9
-                else ()
-            )
-            point = SpecPoint(
-                kind="parallel",
-                algorithm="pxpotrf",
-                layout="block-cyclic",
-                n=n,
-                M=None,
-                P=4,
-                block=n // 2,
-                seed=seed + i,
-                verify=False,
-                faults=faults,
-            )
-        else:
-            n = 24 + 8 * (i % 4)
-            point = SpecPoint(
-                kind="sequential",
-                algorithm=SEQ_ALGOS[i % len(SEQ_ALGOS)],
-                layout="column-major",
-                n=n,
-                M=4 * n,
-                seed=seed + i,
-                verify=False,
-            )
-        jobs.append(
-            Job(
-                point=point,
-                priority=parse_priority(PRIORITIES[i % len(PRIORITIES)]),
-                budget=budget,
-            )
-        )
-    return jobs
 
 
 def percentile(sorted_values: "list[float]", q: float) -> float:
@@ -91,7 +43,7 @@ def percentile(sorted_values: "list[float]", q: float) -> float:
 
 @pytest.fixture(scope="module")
 def serving_doc(bench_out):
-    jobs = build_workload(BENCH_JOBS)
+    jobs = bench_workload(BENCH_JOBS)
     # the waiting room holds the whole workload: this bench measures
     # execution throughput and latency, not admission control (the
     # soak test covers shedding)
@@ -103,11 +55,10 @@ def serving_doc(bench_out):
         breaker_cooldown=0.05,
     )
     t0 = time.perf_counter()
-    try:
-        tickets = [svc.submit(job) for job in jobs]
-        responses = [t.result(timeout=300) for t in tickets]
-    finally:
-        svc.stop()
+    with ServingClient(svc) as client:
+        responses = client.submit_many(
+            jobs, window=BENCH_JOBS, timeout=300
+        )
     elapsed = time.perf_counter() - t0
 
     by_status: "dict[str, int]" = {}
@@ -169,13 +120,8 @@ def test_throughput_positive(benchmark, serving_doc):
     assert serving_doc["throughput_jobs_per_second"] > 0
 
     def one_job():
-        svc = FactorizationService(workers=0, queue_capacity=1)
-        try:
-            ticket = svc.submit(build_workload(1)[0])
-            svc.run_pending()
-            return ticket.result(timeout=0)
-        finally:
-            svc.stop()
+        with ServingClient.local(workers=0, queue_capacity=1) as client:
+            return client.submit(bench_workload(1)[0])
 
     response = benchmark(one_job)
     assert response.status in TERMINAL_STATUSES

@@ -166,11 +166,22 @@ class ResultCache:
         METRICS.counter("repro_cache_lookups_total", result="hit").inc()
         return entry
 
-    def put(self, point: SpecPoint, measurement, wall_time: float) -> str:
+    def put(
+        self,
+        point: SpecPoint,
+        measurement,
+        wall_time: float,
+        *,
+        extra: dict | None = None,
+    ) -> str:
         """Atomically store a computed measurement; returns the path.
 
         ``measurement`` may be a :class:`~repro.results.Measurement`
         (serialized via ``to_dict``) or an already-serialized mapping.
+        ``extra`` is an optional JSON-ready provenance dict stored
+        verbatim under the entry's ``"extra"`` key (and covered by its
+        digest) — the serving cluster's shared result store records the
+        producing shard there so cross-shard hits are attributable.
         """
         path = self.path_for(point)
         os.makedirs(os.path.dirname(path), exist_ok=True)
@@ -187,6 +198,8 @@ class ResultCache:
             "wall_time": float(wall_time),
             "created": time.time(),
         }
+        if extra:
+            entry["extra"] = dict(extra)
         entry["digest"] = entry_digest(entry)
         return atomic_write_json(path, entry, sort_keys=True)
 

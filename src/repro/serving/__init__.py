@@ -1,4 +1,4 @@
-"""Resilient job-execution layer over the experiment engine.
+"""Resilient serving layer over the experiment engine.
 
 Admission control and load shedding
 (:class:`~repro.serving.queue.BoundedPriorityQueue`), per-job deadlines
@@ -7,33 +7,50 @@ per-algorithm circuit breakers
 (:class:`~repro.serving.breaker.CircuitBreaker`), and graceful
 degradation to the paper's closed-form Table 1/2 predictions
 (:mod:`repro.serving.degrade`) — composed by
-:class:`~repro.serving.service.FactorizationService`.
+:class:`~repro.serving.service.FactorizationService`, scaled out by
+the sharded :class:`~repro.serving.cluster.ServingCluster` (a
+consistent-hash front door over N shards sharing one result store),
+and fronted by the one client facade
+(:class:`~repro.serving.client.ServingClient`).  The typed
+request/response schema every layer speaks lives in
+:mod:`repro.serving.api`.
 
 See ``docs/SERVING.md`` for the full protocol: the admission flow, the
-budget chokepoints, the breaker state machine and the degradation
-ladder with its documented error bounds.
+budget chokepoints, the breaker state machine, the degradation ladder
+with its documented error bounds, and the cluster's ring/rebalance
+semantics.
 """
 
+from repro.serving.api import (
+    DEGRADED,
+    DONE,
+    FAILED,
+    SCHEMA_VERSION,
+    SHED,
+    TERMINAL_STATUSES,
+    Job,
+    JobTicket,
+    ServiceResponse,
+    WireError,
+    chol_request,
+    job_from_dict,
+    job_from_wire,
+    job_to_wire,
+    pxpotrf_request,
+    response_from_wire,
+    response_to_wire,
+)
 from repro.serving.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
 from repro.serving.budget import Budget, BudgetExceeded, BudgetGuard
+from repro.serving.client import ServingClient
 from repro.serving.clock import MONOTONIC, ManualClock
+from repro.serving.cluster import ClusterTicket, ServingCluster
 from repro.serving.degrade import (
     PARALLEL_BOUND_FACTORS,
     SEQUENTIAL_BOUND_FACTORS,
     Prediction,
     degraded_measurement,
     predict_point,
-)
-from repro.serving.jobs import (
-    DEGRADED,
-    DONE,
-    FAILED,
-    SHED,
-    TERMINAL_STATUSES,
-    Job,
-    JobTicket,
-    ServiceResponse,
-    job_from_dict,
 )
 from repro.serving.queue import (
     PRIORITY_HIGH,
@@ -44,11 +61,13 @@ from repro.serving.queue import (
     parse_priority,
     priority_name,
 )
+from repro.serving.ring import HashRing
 from repro.serving.service import (
     FactorizationService,
     Overloaded,
     canary_point,
 )
+from repro.serving.store import SharedResultStore, ShardStoreView
 
 __all__ = [
     "Budget",
@@ -57,11 +76,13 @@ __all__ = [
     "BoundedPriorityQueue",
     "CircuitBreaker",
     "CLOSED",
+    "ClusterTicket",
     "DEGRADED",
     "DONE",
     "FAILED",
     "FactorizationService",
     "HALF_OPEN",
+    "HashRing",
     "Job",
     "JobTicket",
     "MONOTONIC",
@@ -74,14 +95,26 @@ __all__ = [
     "PRIORITY_NORMAL",
     "Prediction",
     "QueueClosed",
+    "SCHEMA_VERSION",
     "SEQUENTIAL_BOUND_FACTORS",
     "SHED",
     "ServiceResponse",
+    "ServingClient",
+    "ServingCluster",
+    "SharedResultStore",
+    "ShardStoreView",
     "TERMINAL_STATUSES",
+    "WireError",
     "canary_point",
+    "chol_request",
     "degraded_measurement",
     "job_from_dict",
+    "job_from_wire",
+    "job_to_wire",
     "parse_priority",
     "predict_point",
     "priority_name",
+    "pxpotrf_request",
+    "response_from_wire",
+    "response_to_wire",
 ]

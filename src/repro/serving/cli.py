@@ -1,26 +1,40 @@
-"""``repro serve`` / ``repro submit``: the service from the shell.
+"""``repro serve`` / ``repro submit``: the serving stack from the shell.
+
+Both commands are thin wrappers over the one client facade
+(:class:`~repro.serving.client.ServingClient`) and the typed request
+builders in :mod:`repro.serving.api` — the CLI builds no jobs by hand
+and talks to no backend directly.
 
 ``repro submit`` is the one-shot client: build one job (a sequential
-``chol`` or a parallel ``pxpotrf`` point, with optional priority,
-budget caps and deadline), run it through a fresh single-worker
-service, and print the structured :class:`ServiceResponse` as JSON.
-The exit code mirrors the terminal status: 0 for ``done`` and
-``degraded`` (both are answers), 1 for ``failed``, 2 for ``shed``. ::
+``chol`` or a parallel ``pxpotrf`` request, with optional priority,
+budget caps and deadline) and print the structured
+:class:`ServiceResponse` as JSON.  ``--cluster`` routes the job
+through a sharded inline cluster instead of a single service — same
+request, same response, different substrate.  The exit code mirrors
+the terminal status: 0 for ``done`` and ``degraded`` (both are
+answers), 1 for ``failed``, 2 for ``shed``. ::
 
     repro submit chol --algorithm lapack --n 96 --M 288
     repro submit chol --algorithm toledo --n 128 --M 384 --max-words 50000
     repro submit pxpotrf --n 64 --block 16 --P 4 --deadline 5
+    repro submit chol --n 64 --cluster --shards 3
 
 ``repro serve`` is the batch driver: feed a JSON workload (or a
-generated ``--demo`` mix) through a configured service and write one
-response record per job.  Every job reaches a terminal state; the exit
-code is 1 only if any job *failed* (sheds and degradations are the
-service doing its job).  ``--metrics-out`` dumps the metrics registry
-for scraping, ``--chaos-*`` flags wrap every job in a deterministic
-fault plan. ::
+generated ``--demo`` mix) through a configured backend and write one
+response record per job.  ``--shards N`` serves through a cluster of N
+shard *processes* behind the consistent-hash front door; submission
+then flows through the client's bounded in-flight window
+(``--window``).  ``--kill-shard IDX --kill-after K`` hard-kills a
+shard mid-run to exercise the rebalance/resubmission path.  Every job
+reaches a terminal state; the exit code is 1 only if any job *failed*
+(sheds and degradations are the service doing its job).  ``--out``,
+``--metrics-out`` and ``--health-out`` write their artifacts
+crash-safely (atomic temp-file + rename). ::
 
     repro serve --workload jobs.json --workers 4 --out responses.json
     repro serve --demo 50 --queue-capacity 8 --deadline 2 --metrics-out m.json
+    repro serve --demo 300 --shards 3 --kill-shard 1 --kill-after 80 \\
+        --health-out health.json
 """
 
 from __future__ import annotations
@@ -29,11 +43,16 @@ import argparse
 import json
 import sys
 
-from repro.experiments.spec import PARALLEL, SEQUENTIAL, SpecPoint
+from repro.serving.api import (
+    FAILED,
+    SHED,
+    chol_request,
+    job_from_wire,
+    pxpotrf_request,
+)
 from repro.serving.budget import Budget
-from repro.serving.jobs import FAILED, Job, job_from_dict
+from repro.serving.client import ServingClient
 from repro.serving.queue import parse_priority
-from repro.serving.service import FactorizationService
 from repro.util.serialization import atomic_write_json
 
 
@@ -72,8 +91,8 @@ def submit_main(argv: "list[str]") -> int:
 
     parser = argparse.ArgumentParser(
         prog="repro submit",
-        description="Submit one factorization job to a fresh service "
-        "instance and print its terminal response as JSON.",
+        description="Submit one factorization job through the serving "
+        "client and print its terminal response as JSON.",
     )
     parser.add_argument(
         "target", choices=("chol", "pxpotrf"),
@@ -107,113 +126,64 @@ def submit_main(argv: "list[str]") -> int:
         "--no-verify", action="store_true",
         help="skip the reference-Cholesky correctness check",
     )
+    parser.add_argument(
+        "--cluster", action="store_true",
+        help="route through a sharded (inline) cluster front door "
+        "instead of a single service",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=2,
+        help="shard count for --cluster (default: 2)",
+    )
     _add_budget_args(parser)
     args = parser.parse_args(argv)
 
-    if args.target == "chol":
-        point = SpecPoint(
-            kind=SEQUENTIAL,
-            algorithm=normalize_algorithm(args.algorithm),
-            layout=args.layout,
-            n=args.n,
-            M=args.M if args.M is not None else 3 * args.n,
-            seed=args.seed,
-            verify=not args.no_verify,
-        )
-    else:
-        import math
-
-        root = math.isqrt(args.P)
-        if root * root != args.P:
-            parser.error(f"--P must be a perfect square, got {args.P}")
-        block = args.block if args.block is not None else max(1, args.n // root)
-        point = SpecPoint(
-            kind=PARALLEL,
-            algorithm="pxpotrf",
-            layout="block-cyclic",
-            n=args.n,
-            M=None,
-            P=args.P,
-            block=block,
-            seed=args.seed,
-            verify=not args.no_verify,
-        )
-
-    job = Job(
-        point=point,
+    common = dict(
+        n=args.n,
+        seed=args.seed,
+        verify=not args.no_verify,
         priority=parse_priority(args.priority),
         budget=_budget_from_args(args),
     )
-    svc = FactorizationService(workers=0, queue_capacity=1)
     try:
-        ticket = svc.submit(job)
-        svc.run_pending()
-        response = ticket.result(timeout=0)
-    finally:
-        svc.stop()
+        if args.target == "chol":
+            job = chol_request(
+                algorithm=normalize_algorithm(args.algorithm),
+                layout=args.layout,
+                M=args.M,
+                **common,
+            )
+        else:
+            job = pxpotrf_request(P=args.P, block=args.block, **common)
+    except ValueError as exc:
+        parser.error(str(exc))
+
+    if args.cluster:
+        client = ServingClient.cluster(shards=args.shards, mode="inline")
+    else:
+        client = ServingClient.local(workers=0, queue_capacity=1)
+    with client:
+        response = client.submit(job)
     print(json.dumps(response.to_dict(), indent=2, sort_keys=True))
     if response.status == FAILED:
         return 1
-    if response.status == "shed":
+    if response.status == SHED:
         return 2
     return 0
 
 
-def _demo_workload(count: int, seed: int = 0) -> "list[Job]":
-    """A deterministic mixed-priority, mixed-kind workload."""
-    algorithms = [
-        ("naive-left", "column-major"),
-        ("lapack", "column-major"),
-        ("toledo", "column-major"),
-        ("square-recursive", "column-major"),
-    ]
-    priorities = ["low", "normal", "normal", "high"]
-    jobs = []
-    for i in range(count):
-        if i % 5 == 4:
-            n = 16 + 8 * (i % 3)
-            point = SpecPoint(
-                kind=PARALLEL,
-                algorithm="pxpotrf",
-                layout="block-cyclic",
-                n=n,
-                M=None,
-                P=4,
-                block=max(1, n // 2),
-                seed=seed + i,
-                verify=True,
-            )
-        else:
-            alg, layout = algorithms[i % len(algorithms)]
-            n = 24 + 8 * (i % 4)
-            point = SpecPoint(
-                kind=SEQUENTIAL,
-                algorithm=alg,
-                layout=layout,
-                n=n,
-                M=4 * n,
-                seed=seed + i,
-                verify=True,
-            )
-        jobs.append(
-            Job(
-                point=point,
-                priority=parse_priority(priorities[i % len(priorities)]),
-            )
-        )
-    return jobs
-
-
 def serve_main(argv: "list[str]") -> int:
-    """``repro serve``: drive a workload through the service."""
+    """``repro serve``: drive a workload through a service or a cluster."""
+    from repro.experiments.spec import PARALLEL
     from repro.faults.plan import FaultPlan
     from repro.observability.metrics import METRICS
+    from repro.serving.workloads import demo_workload
 
     parser = argparse.ArgumentParser(
         prog="repro serve",
         description="Run a job workload through the resilient "
-        "factorization service; every job reaches a terminal "
-        "done/degraded/shed/failed state.",
+        "factorization service (or a sharded cluster of them); every "
+        "job reaches a terminal done/degraded/shed/failed state.",
     )
     source = parser.add_mutually_exclusive_group(required=True)
     source.add_argument(
@@ -225,11 +195,17 @@ def serve_main(argv: "list[str]") -> int:
         help="generate a deterministic mixed workload of COUNT jobs",
     )
     parser.add_argument(
-        "--workers", type=int, default=2, help="worker threads (default: 2)"
+        "--shards", type=int, default=0, metavar="N",
+        help="serve through a cluster of N shard processes behind the "
+        "consistent-hash front door (default: 0 = one in-process service)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2,
+        help="worker threads (per shard with --shards; default: 2)",
     )
     parser.add_argument(
         "--queue-capacity", type=int, default=16,
-        help="admission-queue bound (default: 16)",
+        help="admission-queue bound (per shard; default: 16)",
     )
     parser.add_argument(
         "--retries", type=int, default=1,
@@ -258,11 +234,39 @@ def serve_main(argv: "list[str]") -> int:
         "--chaos-seed", type=int, default=1, help="fault-plan seed"
     )
     parser.add_argument(
+        "--window", type=int, default=None, metavar="N",
+        help="bounded in-flight submission window (default: total queue "
+        "capacity across shards)",
+    )
+    parser.add_argument(
+        "--store-dir", metavar="DIR",
+        help="shared result store directory (--shards; default: a "
+        "temporary directory removed at exit)",
+    )
+    parser.add_argument(
+        "--health-dir", metavar="DIR",
+        help="per-shard health snapshots are atomically written here on "
+        "every heartbeat (--shards)",
+    )
+    parser.add_argument(
+        "--kill-shard", type=int, default=None, metavar="IDX",
+        help="chaos: hard-kill shard IDX mid-run (--shards)",
+    )
+    parser.add_argument(
+        "--kill-after", type=int, default=0, metavar="COUNT",
+        help="completions to wait for before --kill-shard fires "
+        "(default: 0 = immediately after submission starts)",
+    )
+    parser.add_argument(
         "--out", metavar="FILE", help="write all responses as a JSON list"
     )
     parser.add_argument(
         "--metrics-out", metavar="FILE",
         help="dump the metrics registry as JSON at the end",
+    )
+    parser.add_argument(
+        "--health-out", metavar="FILE",
+        help="write the final health/readiness snapshot as JSON",
     )
     parser.add_argument(
         "--backpressure", action="store_true",
@@ -280,9 +284,9 @@ def serve_main(argv: "list[str]") -> int:
             records = json.load(fh)
         if not isinstance(records, list):
             parser.error(f"{args.workload} must hold a JSON list of jobs")
-        jobs = [job_from_dict(r) for r in records]
+        jobs = [job_from_wire(r) for r in records]
     else:
-        jobs = _demo_workload(args.demo, seed=args.seed)
+        jobs = demo_workload(args.demo, seed=args.seed)
 
     if args.chaos_drop or args.chaos_read_fault:
         from dataclasses import replace
@@ -301,47 +305,82 @@ def serve_main(argv: "list[str]") -> int:
                 job.point = replace(job.point, faults=plan.freeze())
 
     default_budget = _budget_from_args(args)
-    svc = FactorizationService(
-        workers=args.workers,
-        queue_capacity=args.queue_capacity,
-        retries=args.retries,
-        breaker_threshold=args.breaker_threshold,
-        breaker_cooldown=args.breaker_cooldown,
-        default_budget=default_budget,
-    )
-    if args.backpressure and args.workers < 1:
-        parser.error("--backpressure needs --workers >= 1 to drain the queue")
+    if args.shards > 0:
+        if args.workers < 1:
+            parser.error("--shards needs --workers >= 1 in each shard")
+        client = ServingClient.cluster(
+            shards=args.shards,
+            mode="process",
+            workers_per_shard=args.workers,
+            queue_capacity=args.queue_capacity,
+            retries=args.retries,
+            breaker_threshold=args.breaker_threshold,
+            breaker_cooldown=args.breaker_cooldown,
+            default_budget=default_budget,
+            store_dir=args.store_dir,
+            health_dir=args.health_dir,
+            monitor_interval=0.5,
+        )
+        window = args.window or args.queue_capacity * args.shards
+    else:
+        if args.backpressure and args.workers < 1:
+            parser.error(
+                "--backpressure needs --workers >= 1 to drain the queue"
+            )
+        if args.kill_shard is not None:
+            parser.error("--kill-shard needs --shards")
+        client = ServingClient.local(
+            workers=args.workers,
+            queue_capacity=args.queue_capacity,
+            retries=args.retries,
+            breaker_threshold=args.breaker_threshold,
+            breaker_cooldown=args.breaker_cooldown,
+            default_budget=default_budget,
+        )
+        # --backpressure's historical contract: throttle submission to
+        # the waiting room's capacity.  The client's bounded window is
+        # exactly that throttle.
+        window = args.window or (
+            args.queue_capacity if args.backpressure else max(len(jobs), 1)
+        )
 
     responses = []
+    kill_name = (
+        f"shard-{args.kill_shard}" if args.kill_shard is not None else None
+    )
     try:
-        tickets = []
-        for job in jobs:
-            if args.backpressure:
-                import time as _time
-
-                while not svc.readiness()["ready"]:
-                    _time.sleep(0.005)
-            tickets.append(svc.submit(job))
-        if args.workers == 0:
-            svc.run_pending()
-        for ticket in tickets:
-            response = ticket.result(timeout=600)
+        completed = 0
+        for job, response in client.stream(jobs, window=window, timeout=600):
             responses.append(response)
+            completed += 1
             if not args.quiet:
                 print(
                     f"[serve] {response.job_id}: {response.status}"
                     + (f" ({response.reason})" if response.reason else ""),
                     file=sys.stderr,
                 )
+            if kill_name is not None and completed >= args.kill_after:
+                print(f"[serve] killing {kill_name}", file=sys.stderr)
+                client.backend.kill_shard(kill_name)
+                kill_name = None
+        health = client.health()
+        readiness = client.readiness()
     finally:
-        svc.stop()
+        client.close()
 
     by_status: "dict[str, int]" = {}
     for response in responses:
         by_status[response.status] = by_status.get(response.status, 0) + 1
     print(f"[serve] {len(responses)} jobs: {by_status}", file=sys.stderr)
-    health = svc.health()
-    print(f"[serve] breakers: {health['breakers']}", file=sys.stderr)
+    if args.shards > 0:
+        print(
+            f"[serve] ring: {health['ring']['nodes']} "
+            f"rebalances={health['rebalances']} "
+            f"resubmitted={health['resubmitted']} store={health['store']}",
+            file=sys.stderr,
+        )
+    else:
+        print(f"[serve] breakers: {health['breakers']}", file=sys.stderr)
     if args.out:
         atomic_write_json(
             args.out,
@@ -355,6 +394,14 @@ def serve_main(argv: "list[str]") -> int:
             args.metrics_out, METRICS.to_dict(), indent=1, sort_keys=True
         )
         print(f"[serve] wrote {args.metrics_out}", file=sys.stderr)
+    if args.health_out:
+        atomic_write_json(
+            args.health_out,
+            {"health": health, "readiness": readiness},
+            indent=1,
+            sort_keys=True,
+        )
+        print(f"[serve] wrote {args.health_out}", file=sys.stderr)
     return 1 if by_status.get(FAILED, 0) else 0
 
 

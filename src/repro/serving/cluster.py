@@ -1,0 +1,962 @@
+"""Sharded serving cluster: a consistent-hash front door over N shards.
+
+:class:`ServingCluster` scales the single-process
+:class:`~repro.serving.service.FactorizationService` out to N
+independent shards behind one submit surface:
+
+* **Routing** — jobs hash onto a :class:`~repro.serving.ring.HashRing`
+  by their spec's content key, so identical specs always land on the
+  same shard and hit its warm in-memory result tier.  Optional
+  bounded-load spill (``spill_depth``) diverts a job to its
+  second-choice shard when the owner's backlog is deep — affinity with
+  a cap on imbalance.
+* **Shared results** — every shard reads and writes one
+  :class:`~repro.serving.store.SharedResultStore`, so after a
+  rebalance the new owner of a key serves the old owner's work from
+  the store instead of recomputing (see the store module docstring for
+  the 2.5D-replication analogy).
+* **Health aggregation and rebalancing** — the front door tracks shard
+  liveness (process exit, stale heartbeats) and breaker state; a dead
+  or hard-open shard is removed from the ring (its keys fall through
+  to clockwise neighbours), a recovered shard is re-added, and every
+  in-flight job of a *dead* shard is resubmitted to a survivor — an
+  accepted job is never lost, it is re-routed.
+
+Two substrates, one API:
+
+``mode="inline"``
+    Shards are in-process services with ``workers=0``, executed by
+    :meth:`ServingCluster.run_pending` in deterministic ring order on
+    the caller's thread, with a shared
+    :class:`~repro.serving.clock.ManualClock` by default.  This is the
+    virtual-clock mode the determinism suite runs: same seed, same
+    submission order → identical responses and identical shard
+    assignments, for any shard count.
+``mode="process"``
+    Each shard is a real OS process (``multiprocessing`` spawn) running
+    its own service with worker threads, fed over a duplex pipe with
+    the versioned wire schema from :mod:`repro.serving.api`.  Shard
+    processes emit heartbeats (and, when ``health_dir`` is set, write
+    crash-safe health snapshots via
+    :func:`~repro.util.serialization.atomic_write_json`); the parent's
+    monitor removes silent or dead shards from the ring and resubmits
+    their in-flight jobs.
+
+Clients should not call this class directly for request/response work
+— :class:`~repro.serving.client.ServingClient` wraps either a cluster
+or a single service behind one typed API.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import tempfile
+import threading
+import time
+from typing import Any, Callable, Mapping
+
+from repro.experiments.spec import SpecPoint
+from repro.observability.metrics import METRICS
+from repro.serving.api import (
+    FAILED,
+    SHED,
+    Job,
+    ServiceResponse,
+    job_from_wire,
+    job_to_wire,
+    response_from_wire,
+    response_to_wire,
+)
+from repro.serving.clock import MONOTONIC, Clock, ManualClock
+from repro.serving.ring import HashRing
+from repro.serving.service import FactorizationService, _validate_job_point
+from repro.serving.store import SharedResultStore
+from repro.util.serialization import atomic_write_json
+
+INLINE = "inline"
+PROCESS = "process"
+
+#: Breaker states considered "hard open" (cooldown still running).
+_OPEN = "open"
+
+
+class ClusterTicket:
+    """Front-door handle for one job: await its terminal response.
+
+    Mirrors :class:`~repro.serving.api.JobTicket`'s interface but
+    resolves idempotently: a job that was resubmitted after a shard
+    death may, in pathological timing, produce two answers — the first
+    wins and the duplicate is counted, never raised.
+    """
+
+    def __init__(self, job: Job) -> None:
+        self.job = job
+        self._event = threading.Event()
+        self._response: "ServiceResponse | None" = None
+        self._callbacks: "list[Callable[[ServiceResponse], None]]" = []
+        self._lock = threading.Lock()
+
+    @property
+    def job_id(self) -> str:
+        return self.job.job_id
+
+    def done(self) -> bool:
+        """Has the job reached a terminal state?"""
+        return self._event.is_set()
+
+    def add_done_callback(self, fn: "Callable[[ServiceResponse], None]") -> None:
+        """Run ``fn(response)`` at resolution (immediately if resolved)."""
+        with self._lock:
+            if self._response is None:
+                self._callbacks.append(fn)
+                return
+            response = self._response
+        fn(response)
+
+    def resolve_once(self, response: ServiceResponse) -> bool:
+        """First resolution wins; returns False for a duplicate."""
+        with self._lock:
+            if self._event.is_set():
+                return False
+            self._response = response
+            callbacks, self._callbacks = self._callbacks, []
+            self._event.set()
+        for fn in callbacks:
+            fn(response)
+        return True
+
+    def result(self, timeout: "float | None" = None) -> ServiceResponse:
+        """Block until terminal; raises ``TimeoutError`` on timeout."""
+        if not self._event.wait(timeout=timeout):
+            raise TimeoutError(f"{self.job_id} not terminal within {timeout}s")
+        assert self._response is not None
+        return self._response
+
+
+class _Tracked:
+    """Cluster-side record of one in-flight job (assignment + ticket)."""
+
+    __slots__ = ("job", "ticket", "shard")
+
+    def __init__(self, job: Job, ticket: ClusterTicket, shard: str) -> None:
+        self.job = job
+        self.ticket = ticket
+        self.shard = shard
+
+
+class InlineShard:
+    """An in-process shard: a ``workers=0`` service pumped by the cluster."""
+
+    def __init__(self, name: str, service: FactorizationService, view) -> None:
+        self.name = name
+        self.service = service
+        self.view = view
+        self.alive = True
+
+    def submit(self, job: Job, done_cb) -> None:
+        """Admit one job; ``done_cb`` fires at its terminal response."""
+        ticket = self.service.submit(job)
+        ticket.add_done_callback(done_cb)
+
+    def pump(self, max_jobs: "int | None" = None) -> int:
+        """Run queued jobs on the calling thread; dead shards run nothing."""
+        if not self.alive:
+            return 0
+        return self.service.run_pending(max_jobs)
+
+    def health(self, timeout: float = 0.0) -> dict:
+        """The shard's liveness snapshot plus its store-tier stats."""
+        h = self.service.health()
+        h["reachable"] = self.alive
+        h["store"] = self.view.stats()
+        return h
+
+    def kill(self) -> None:
+        """Simulated crash: stop executing; queued work is stranded."""
+        self.alive = False
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Graceful shutdown of the underlying service."""
+        self.service.stop(timeout=timeout)
+
+
+def _shed_response(job: Job, reason: str, detail: "dict | None" = None) -> ServiceResponse:
+    """A front-door shed: nothing ran, structured reason attached."""
+    return ServiceResponse(
+        job_id=job.job_id,
+        status=SHED,
+        reason=reason,
+        detail=dict(detail or {}),
+        priority=job.priority,
+    )
+
+
+def _shard_process_main(conn, name: str, config: dict) -> None:
+    """Entry point of one shard process (``mode="process"``).
+
+    Builds a :class:`FactorizationService` over a view of the shared
+    store, then serves ops from the duplex pipe: ``submit`` (job wire
+    in, ``result`` wire out at terminal), ``health`` (snapshot RPC),
+    ``stop`` (graceful shutdown: queued jobs shed, results flushed,
+    then ``bye``).  A daemon heartbeat thread emits liveness pings and
+    — when ``health_dir`` is set — writes the shard's health snapshot
+    crash-safely via :func:`atomic_write_json`, so an external reader
+    (or the parent after a crash) never sees a torn snapshot.
+    """
+    from repro.util.validation import ValidationError
+
+    store = SharedResultStore(
+        config["store_dir"],
+        version=config.get("store_version"),
+        memory_capacity=config.get("memory_capacity", 512),
+    )
+    view = store.view(name)
+    budget_wire = config.get("default_budget")
+    from repro.serving.budget import Budget
+
+    svc = FactorizationService(
+        workers=config.get("workers", 2),
+        queue_capacity=config.get("queue_capacity", 64),
+        retries=config.get("retries", 1),
+        breaker_threshold=config.get("breaker_threshold", 3),
+        breaker_cooldown=config.get("breaker_cooldown", 30.0),
+        half_open_probes=config.get("half_open_probes", 1),
+        canary_n=config.get("canary_n", 16),
+        default_budget=(
+            None if budget_wire is None else Budget.from_dict(budget_wire)
+        ),
+        cache=view,
+    )
+    send_lock = threading.Lock()
+
+    def send(msg: dict) -> None:
+        with send_lock:
+            try:
+                conn.send(msg)
+            except (OSError, BrokenPipeError):
+                pass  # parent is gone; we are about to exit anyway
+
+    health_dir = config.get("health_dir")
+    hb_interval = float(config.get("heartbeat_interval", 1.0))
+    stopping = threading.Event()
+
+    def snapshot() -> dict:
+        h = svc.health()
+        h["reachable"] = True
+        h["store"] = view.stats()
+        return {
+            "shard": name,
+            "ready": svc.readiness(),
+            "health": h,
+            "written_at": time.time(),
+        }
+
+    def heartbeat_loop() -> None:
+        while not stopping.wait(hb_interval):
+            send({"op": "heartbeat"})
+            if health_dir:
+                # the crash-safe write is the point: a reader (or the
+                # parent post-mortem) must never see a torn snapshot
+                atomic_write_json(
+                    os.path.join(health_dir, f"{name}.json"),
+                    snapshot(),
+                    indent=1,
+                    sort_keys=True,
+                )
+
+    threading.Thread(target=heartbeat_loop, daemon=True).start()
+    send({"op": "ready"})
+
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                break
+            op = msg.get("op")
+            if op == "submit":
+                job = job_from_wire(msg["job"])
+
+                def on_done(r: ServiceResponse, jid=job.job_id) -> None:
+                    send({
+                        "op": "result",
+                        "job_id": jid,
+                        "response": response_to_wire(r),
+                    })
+
+                try:
+                    ticket = svc.submit(job)
+                except ValidationError as exc:
+                    on_done(
+                        ServiceResponse(
+                            job_id=job.job_id,
+                            status=FAILED,
+                            reason="invalid-point",
+                            detail={"error": f"{type(exc).__name__}: {exc}"},
+                            priority=job.priority,
+                        )
+                    )
+                else:
+                    ticket.add_done_callback(on_done)
+            elif op == "health":
+                send({
+                    "op": "health",
+                    "seq": msg.get("seq"),
+                    "payload": snapshot()["health"],
+                })
+            elif op == "stop":
+                break
+    finally:
+        stopping.set()
+        svc.stop()  # sheds the backlog; callbacks flush results out
+        if health_dir:
+            atomic_write_json(
+                os.path.join(health_dir, f"{name}.json"),
+                snapshot(),
+                indent=1,
+                sort_keys=True,
+            )
+        send({"op": "bye"})
+        conn.close()
+
+
+class ProcessShard:
+    """Parent-side handle on one shard process (pipe + reader thread)."""
+
+    def __init__(self, name: str, ctx, config: dict) -> None:
+        self.name = name
+        self._conn, child_conn = ctx.Pipe(duplex=True)
+        self.process = ctx.Process(
+            target=_shard_process_main,
+            args=(child_conn, name, config),
+            name=f"repro-shard-{name}",
+            daemon=True,
+        )
+        self._child_conn = child_conn
+        self._send_lock = threading.Lock()
+        self._pending: "dict[str, Callable[[ServiceResponse], None]]" = {}
+        self._pending_lock = threading.Lock()
+        self._ready = threading.Event()
+        self._bye = threading.Event()
+        self._health_seq = 0
+        self._health_payload: "dict | None" = None
+        self._health_event = threading.Event()
+        self.last_heartbeat = MONOTONIC()
+        self.alive = False
+        self.on_down: "Callable[[ProcessShard], None] | None" = None
+
+    def launch(self) -> None:
+        """Spawn the process and its reader; ``wait_ready`` completes it."""
+        self.process.start()
+        self._child_conn.close()
+        self.alive = True
+        threading.Thread(
+            target=self._reader, name=f"repro-shard-{self.name}-rx", daemon=True
+        ).start()
+
+    def wait_ready(self, timeout: float = 120.0) -> None:
+        """Block until the child's ``ready`` handshake arrives."""
+        if not self._ready.wait(timeout=timeout):
+            raise TimeoutError(f"shard {self.name} did not come up")
+        self.last_heartbeat = MONOTONIC()
+
+    def _send(self, msg: dict) -> bool:
+        with self._send_lock:
+            try:
+                self._conn.send(msg)
+                return True
+            except (OSError, BrokenPipeError):
+                return False
+
+    def _reader(self) -> None:
+        while True:
+            try:
+                msg = self._conn.recv()
+            except (EOFError, OSError):
+                break
+            op = msg.get("op")
+            if op == "result":
+                with self._pending_lock:
+                    cb = self._pending.pop(msg["job_id"], None)
+                if cb is not None:
+                    cb(response_from_wire(msg["response"]))
+            elif op == "heartbeat":
+                self.last_heartbeat = MONOTONIC()
+            elif op == "ready":
+                self._ready.set()
+            elif op == "health":
+                self._health_payload = msg.get("payload")
+                self._health_event.set()
+            elif op == "bye":
+                self._bye.set()
+        was_alive, self.alive = self.alive, False
+        self._health_event.set()  # unblock any waiting health RPC
+        if was_alive and not self._bye.is_set() and self.on_down is not None:
+            self.on_down(self)
+
+    def submit(self, job: Job, done_cb) -> None:
+        """Ship one job over the pipe; ``done_cb`` fires on its result."""
+        with self._pending_lock:
+            self._pending[job.job_id] = done_cb
+        if not self._send({"op": "submit", "job": job_to_wire(job)}):
+            with self._pending_lock:
+                self._pending.pop(job.job_id, None)
+            raise BrokenPipeError(f"shard {self.name} is unreachable")
+
+    def pump(self, max_jobs: "int | None" = None) -> int:
+        """No-op: a process shard's workers drain its queue themselves."""
+        return 0
+
+    def health(self, timeout: float = 5.0) -> dict:
+        """RPC the shard's snapshot; unreachable shards report as such."""
+        if not self.alive:
+            return {"reachable": False}
+        self._health_event.clear()
+        self._health_seq += 1
+        if not self._send({"op": "health", "seq": self._health_seq}):
+            return {"reachable": False}
+        if not self._health_event.wait(timeout=timeout) or not self.alive:
+            return {"reachable": False}
+        payload = self._health_payload or {}
+        payload.setdefault("reachable", True)
+        return payload
+
+    def pending_count(self) -> int:
+        """Jobs shipped to this shard that have not answered yet."""
+        with self._pending_lock:
+            return len(self._pending)
+
+    def kill(self) -> None:
+        """Hard-kill the shard process (chaos / soak testing)."""
+        if self.process.is_alive():
+            self.process.terminate()
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Graceful shutdown: drain the shed responses, then join."""
+        if self.alive:
+            self._send({"op": "stop"})
+            self._bye.wait(timeout=timeout)
+        self.process.join(timeout=timeout)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=5.0)
+        self.alive = False
+
+
+class ServingCluster:
+    """N independent factorization shards behind one consistent-hash door.
+
+    Parameters
+    ----------
+    shards:
+        Shard count (or pass explicit ``shard_names``).
+    mode:
+        ``"process"`` (default) spawns one OS process per shard;
+        ``"inline"`` builds deterministic in-process shards pumped by
+        :meth:`run_pending` on a virtual clock.
+    workers_per_shard / queue_capacity / retries / breaker_* / canary_n
+    / default_budget:
+        Per-shard :class:`FactorizationService` configuration (inline
+        shards always run ``workers=0``).
+    store / store_dir / memory_capacity:
+        The shared result store (an instance, or a directory to build
+        one in; default a fresh temp directory cleaned up at
+        :meth:`stop`).
+    replicas / spill_depth:
+        Ring geometry, and the bounded-load threshold: when the
+        owner's outstanding backlog reaches ``spill_depth`` and its
+        second choice is shallower, the job spills there (``None``
+        disables spill — strict affinity).
+    clock:
+        Front-door time source; defaults to a fresh
+        :class:`ManualClock` in inline mode and the monotonic clock in
+        process mode.
+    heartbeat_interval / heartbeat_timeout / monitor_interval:
+        Process-mode liveness: shards ping every ``interval`` seconds;
+        a shard silent for ``timeout`` seconds is treated as dead.
+        ``monitor_interval`` starts a background thread calling
+        :meth:`check_shards`; ``None`` leaves checks to the caller.
+    health_dir:
+        When set (process mode), every shard writes its health
+        snapshot there crash-safely on each heartbeat.
+    """
+
+    def __init__(
+        self,
+        *,
+        shards: int = 3,
+        mode: str = PROCESS,
+        workers_per_shard: int = 2,
+        queue_capacity: int = 64,
+        retries: int = 1,
+        breaker_threshold: int = 3,
+        breaker_cooldown: float = 30.0,
+        half_open_probes: int = 1,
+        canary_n: int = 16,
+        default_budget=None,
+        store: "SharedResultStore | None" = None,
+        store_dir: "str | None" = None,
+        memory_capacity: int = 512,
+        replicas: int = 64,
+        spill_depth: "int | None" = None,
+        clock: "Clock | None" = None,
+        heartbeat_interval: float = 1.0,
+        heartbeat_timeout: float = 10.0,
+        monitor_interval: "float | None" = None,
+        health_dir: "str | None" = None,
+        shard_names: "list[str] | None" = None,
+    ) -> None:
+        if mode not in (INLINE, PROCESS):
+            raise ValueError(f"mode must be 'inline' or 'process', got {mode!r}")
+        names = list(shard_names or [])
+        if not names:
+            if shards < 1:
+                raise ValueError(f"shards must be >= 1, got {shards}")
+            names = [f"shard-{i}" for i in range(int(shards))]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate shard names in {names}")
+        self.mode = mode
+        self.spill_depth = spill_depth
+        self.heartbeat_timeout = float(heartbeat_timeout)
+        self._clock: Clock = clock or (ManualClock() if mode == INLINE else MONOTONIC)
+        self._owns_store_dir: "str | None" = None
+        if store is None:
+            directory = store_dir
+            if directory is None:
+                directory = tempfile.mkdtemp(prefix="repro-cluster-store-")
+                self._owns_store_dir = directory
+            store = SharedResultStore(directory, memory_capacity=memory_capacity)
+        self.store = store
+        self.health_dir = health_dir
+        if health_dir:
+            os.makedirs(health_dir, exist_ok=True)
+
+        self._lock = threading.Lock()
+        self._inflight: "dict[str, _Tracked]" = {}
+        self._outstanding: "dict[str, int]" = {name: 0 for name in names}
+        self._assignment_log: "list[tuple[str, str]]" = []
+        self._status_counts: "dict[str, int]" = {}
+        self._rebalances = 0
+        self._resubmitted = 0
+        self._closed = False
+        self.ring = HashRing(names, replicas=replicas)
+
+        self.shards: "dict[str, InlineShard | ProcessShard]" = {}
+        if mode == INLINE:
+            for name in names:
+                view = self.store.view(name)
+                svc = FactorizationService(
+                    workers=0,
+                    queue_capacity=queue_capacity,
+                    retries=retries,
+                    breaker_threshold=breaker_threshold,
+                    breaker_cooldown=breaker_cooldown,
+                    half_open_probes=half_open_probes,
+                    canary_n=canary_n,
+                    default_budget=default_budget,
+                    cache=view,
+                    clock=self._clock,
+                )
+                self.shards[name] = InlineShard(name, svc, view)
+        else:
+            ctx = multiprocessing.get_context("spawn")
+            config = {
+                "store_dir": self.store.directory,
+                "store_version": self.store.cache.version,
+                "memory_capacity": memory_capacity,
+                "workers": workers_per_shard,
+                "queue_capacity": queue_capacity,
+                "retries": retries,
+                "breaker_threshold": breaker_threshold,
+                "breaker_cooldown": breaker_cooldown,
+                "half_open_probes": half_open_probes,
+                "canary_n": canary_n,
+                "default_budget": (
+                    None if default_budget is None else default_budget.to_dict()
+                ),
+                "heartbeat_interval": heartbeat_interval,
+                "health_dir": health_dir,
+            }
+            for name in names:
+                shard = ProcessShard(name, ctx, config)
+                shard.on_down = self._on_shard_down
+                self.shards[name] = shard
+            for shard in self.shards.values():
+                shard.launch()
+            deadline = MONOTONIC() + 120.0
+            for shard in self.shards.values():
+                shard.wait_ready(timeout=max(0.1, deadline - MONOTONIC()))
+
+        self._monitor_stop = threading.Event()
+        self._monitor: "threading.Thread | None" = None
+        if monitor_interval is not None and mode == PROCESS:
+            self._monitor = threading.Thread(
+                target=self._monitor_loop,
+                args=(float(monitor_interval),),
+                name="repro-cluster-monitor",
+                daemon=True,
+            )
+            self._monitor.start()
+
+    # -- routing -----------------------------------------------------------
+
+    @property
+    def clock(self) -> Clock:
+        """The front door's time source (a ManualClock in inline mode)."""
+        return self._clock
+
+    @property
+    def needs_pump(self) -> bool:
+        """True when the caller must drive :meth:`run_pending` (inline)."""
+        return self.mode == INLINE
+
+    @property
+    def assignments(self) -> "tuple[tuple[str, str], ...]":
+        """``(job_id, shard)`` pairs in submission order (determinism)."""
+        with self._lock:
+            return tuple(self._assignment_log)
+
+    def route_key(self, point: SpecPoint) -> str:
+        """The ring key for a point: its content hash (cache key core)."""
+        return point.key()
+
+    def _pick_shard(self, key: str) -> "str | None":
+        """The owner, or its second choice under bounded-load spill."""
+        candidates = self.ring.nodes_for(key, 2 if self.spill_depth else 1)
+        candidates = [c for c in candidates if self.shards[c].alive]
+        if not candidates:
+            return None
+        owner = candidates[0]
+        if (
+            self.spill_depth is not None
+            and len(candidates) > 1
+            and self._outstanding.get(owner, 0) >= self.spill_depth
+            and self._outstanding.get(candidates[1], 0)
+            < self._outstanding.get(owner, 0)
+        ):
+            METRICS.counter("repro_cluster_spills_total").inc()
+            return candidates[1]
+        return owner
+
+    def submit(self, job: "Job | SpecPoint | Mapping") -> ClusterTicket:
+        """Route one job to its shard; returns the front-door ticket.
+
+        Accepts the same shapes as ``FactorizationService.submit``: a
+        :class:`Job`, a bare :class:`SpecPoint`, or a job wire
+        document.  Structural validation happens here — before
+        anything crosses a pipe.  With no routable shard (empty ring,
+        shutdown) the ticket resolves immediately with a structured
+        shed response; nothing hangs.
+        """
+        if isinstance(job, SpecPoint):
+            job = Job(point=job)
+        elif isinstance(job, Mapping):
+            job = job_from_wire(job)
+        _validate_job_point(job.point)
+        ticket = ClusterTicket(job)
+        with self._lock:
+            if self._closed:
+                shard_name = None
+                reason = "shutdown"
+            else:
+                shard_name = self._pick_shard(self.route_key(job.point))
+                reason = "no-shards"
+            if shard_name is not None:
+                self._inflight[job.job_id] = _Tracked(job, ticket, shard_name)
+                self._outstanding[shard_name] = (
+                    self._outstanding.get(shard_name, 0) + 1
+                )
+                self._assignment_log.append((job.job_id, shard_name))
+        if shard_name is None:
+            METRICS.counter("repro_cluster_shed_total", reason=reason).inc()
+            self._finish(ticket, _shed_response(
+                job, reason, {"ring": self.ring.snapshot()}
+            ))
+            return ticket
+        self._publish_depth(shard_name)
+        self._dispatch(shard_name, job)
+        return ticket
+
+    def _dispatch(self, shard_name: str, job: Job) -> None:
+        shard = self.shards[shard_name]
+
+        def on_done(response: ServiceResponse, jid=job.job_id) -> None:
+            self._on_result(jid, response)
+
+        try:
+            shard.submit(job, on_done)
+        except (BrokenPipeError, OSError):
+            # the shard died between routing and send: the reader's
+            # death path will (or already did) resubmit; make sure
+            self._on_shard_down(shard)
+
+    def _on_result(self, job_id: str, response: ServiceResponse) -> None:
+        with self._lock:
+            tracked = self._inflight.pop(job_id, None)
+            if tracked is not None:
+                self._outstanding[tracked.shard] = max(
+                    0, self._outstanding.get(tracked.shard, 0) - 1
+                )
+                self._status_counts[response.status] = (
+                    self._status_counts.get(response.status, 0) + 1
+                )
+        if tracked is None:
+            METRICS.counter("repro_cluster_duplicate_results_total").inc()
+            return
+        METRICS.counter(
+            "repro_cluster_jobs_total",
+            shard=tracked.shard,
+            status=response.status,
+        ).inc()
+        self._publish_depth(tracked.shard)
+        tracked.ticket.resolve_once(response)
+
+    def _finish(self, ticket: ClusterTicket, response: ServiceResponse) -> None:
+        with self._lock:
+            self._status_counts[response.status] = (
+                self._status_counts.get(response.status, 0) + 1
+            )
+        ticket.resolve_once(response)
+
+    def _publish_depth(self, shard_name: str) -> None:
+        with self._lock:
+            depth = self._outstanding.get(shard_name, 0)
+        METRICS.gauge(
+            "repro_cluster_shard_depth", shard=shard_name
+        ).set(depth)
+
+    # -- rebalancing -------------------------------------------------------
+
+    def _remove_from_ring(self, name: str) -> bool:
+        removed = self.ring.remove(name)
+        if removed:
+            self._rebalances += 1
+            METRICS.counter(
+                "repro_cluster_ring_rebalances_total", direction="remove"
+            ).inc()
+        return removed
+
+    def _on_shard_down(self, shard) -> None:
+        """Death path: de-ring the shard, resubmit its in-flight jobs."""
+        shard.alive = False
+        with self._lock:
+            self._remove_from_ring(shard.name)
+            victims = [
+                t for t in self._inflight.values() if t.shard == shard.name
+            ]
+            self._outstanding[shard.name] = 0
+        for tracked in victims:
+            self._resubmit(tracked)
+
+    def _resubmit(self, tracked: _Tracked) -> None:
+        with self._lock:
+            if tracked.ticket.done():
+                return
+            new_shard = self._pick_shard(self.route_key(tracked.job.point))
+            if new_shard is not None:
+                old = tracked.shard
+                tracked.shard = new_shard
+                self._outstanding[new_shard] = (
+                    self._outstanding.get(new_shard, 0) + 1
+                )
+                self._resubmitted += 1
+        if new_shard is None:
+            self._inflight.pop(tracked.job.job_id, None)
+            self._finish(
+                tracked.ticket,
+                _shed_response(
+                    tracked.job, "no-shards", {"ring": self.ring.snapshot()}
+                ),
+            )
+            return
+        METRICS.counter(
+            "repro_cluster_resubmitted_jobs_total", from_shard=old
+        ).inc()
+        self._publish_depth(new_shard)
+        self._dispatch(new_shard, tracked.job)
+
+    def kill_shard(self, name: str) -> None:
+        """Chaos hook: hard-kill one shard and run the death path now."""
+        shard = self.shards[name]
+        shard.kill()
+        self._on_shard_down(shard)
+
+    def _shard_healthy(self, shard, health: dict) -> bool:
+        """Alive, heartbeating, and not every breaker hard-open."""
+        if not shard.alive or not health.get("reachable", False):
+            return False
+        if self.mode == PROCESS:
+            if MONOTONIC() - shard.last_heartbeat > self.heartbeat_timeout:
+                return False
+        breakers = health.get("breakers") or {}
+        if breakers and all(
+            b.get("state") == _OPEN and not b.get("probe_due")
+            for b in breakers.values()
+        ):
+            return False
+        return True
+
+    def check_shards(self) -> dict:
+        """One health-aggregation pass; rebalances the ring as needed.
+
+        Dead shards (process gone, heartbeat stale) are removed and
+        their in-flight jobs resubmitted; shards that are alive but
+        unhealthy (every breaker hard-open) are *quarantined* — removed
+        from the ring so no new keys route to them, but left to finish
+        their backlog; quarantined shards that recovered are re-added.
+        Returns the actions taken, keyed by shard name.
+        """
+        actions: "dict[str, str]" = {}
+        for name, shard in list(self.shards.items()):
+            health = shard.health()
+            stale = (
+                self.mode == PROCESS
+                and shard.alive
+                and MONOTONIC() - shard.last_heartbeat > self.heartbeat_timeout
+            )
+            if not shard.alive or stale:
+                if stale:
+                    shard.kill()
+                with self._lock:
+                    pending_here = any(
+                        t.shard == name for t in self._inflight.values()
+                    )
+                    in_ring = name in self.ring
+                if in_ring or pending_here:
+                    self._on_shard_down(shard)
+                    actions[name] = "removed-dead"
+                continue
+            healthy = self._shard_healthy(shard, health)
+            with self._lock:
+                in_ring = name in self.ring
+                if in_ring and not healthy:
+                    self._remove_from_ring(name)
+                    actions[name] = "quarantined"
+                elif not in_ring and healthy:
+                    if self.ring.add(name):
+                        self._rebalances += 1
+                        METRICS.counter(
+                            "repro_cluster_ring_rebalances_total",
+                            direction="add",
+                        ).inc()
+                        actions[name] = "restored"
+        return actions
+
+    def _monitor_loop(self, interval: float) -> None:
+        while not self._monitor_stop.wait(interval):
+            try:
+                self.check_shards()
+            except Exception:  # noqa: BLE001 - the monitor must survive
+                pass
+
+    # -- execution (inline mode) -------------------------------------------
+
+    def run_pending(self, max_jobs: "int | None" = None) -> int:
+        """Pump inline shards in deterministic ring order; returns runs.
+
+        Iterates sorted shard names repeatedly until no shard makes
+        progress, so work created *during* the pass (resubmissions
+        after a :meth:`kill_shard`, cache write-backs) still runs.
+        Process-mode shards drain themselves; this is then a no-op.
+        """
+        total = 0
+        while True:
+            progressed = 0
+            for name in sorted(self.shards):
+                shard = self.shards[name]
+                budget = None if max_jobs is None else max_jobs - total
+                if budget is not None and budget <= 0:
+                    return total
+                progressed += shard.pump(budget)
+            total += progressed
+            if progressed == 0:
+                return total
+
+    # -- introspection -----------------------------------------------------
+
+    def health(self) -> dict:
+        """Aggregated cluster snapshot: ring, shards, store, jobs."""
+        shard_healths = {
+            name: shard.health() for name, shard in sorted(self.shards.items())
+        }
+        store_totals = {"memory": 0, "shared": 0, "disk": 0, "miss": 0, "puts": 0}
+        for h in shard_healths.values():
+            for k, v in (h.get("store") or {}).items():
+                store_totals[k] = store_totals.get(k, 0) + v
+        with self._lock:
+            counts = dict(self._status_counts)
+            inflight = len(self._inflight)
+            rebalances = self._rebalances
+            resubmitted = self._resubmitted
+            closed = self._closed
+        return {
+            "mode": self.mode,
+            "accepting": not closed and len(self.ring) > 0,
+            "ring": self.ring.snapshot(),
+            "rebalances": rebalances,
+            "resubmitted": resubmitted,
+            "inflight": inflight,
+            "jobs": counts,
+            "shards": shard_healths,
+            "store": store_totals,
+        }
+
+    def readiness(self) -> dict:
+        """May the front door take new traffic right now?"""
+        with self._lock:
+            closed = self._closed
+        ready = not closed and len(self.ring) > 0
+        return {
+            "ready": ready,
+            "accepting": not closed,
+            "ring": self.ring.snapshot(),
+        }
+
+    def write_health(self, path: str) -> str:
+        """Crash-safely persist the aggregate health snapshot to ``path``."""
+        doc = self.health()
+        doc["readiness"] = self.readiness()
+        return atomic_write_json(path, doc, indent=1, sort_keys=True)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def stop(self, timeout: float = 15.0) -> None:
+        """Shut down every shard; unresolved jobs resolve as shed."""
+        with self._lock:
+            self._closed = True
+        self._monitor_stop.set()
+        if self._monitor is not None:
+            self._monitor.join(timeout=timeout)
+        for shard in self.shards.values():
+            shard.stop(timeout=timeout)
+        # anything still unresolved (e.g. stranded on a killed shard
+        # with no survivors) gets a structured terminal answer
+        with self._lock:
+            leftovers = list(self._inflight.values())
+            self._inflight.clear()
+        for tracked in leftovers:
+            if not tracked.ticket.done():
+                self._finish(
+                    tracked.ticket, _shed_response(tracked.job, "shutdown")
+                )
+        if self._owns_store_dir:
+            import shutil
+
+            shutil.rmtree(self._owns_store_dir, ignore_errors=True)
+
+    def __enter__(self) -> "ServingCluster":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+__all__ = [
+    "INLINE",
+    "PROCESS",
+    "ClusterTicket",
+    "InlineShard",
+    "ProcessShard",
+    "ServingCluster",
+]

@@ -95,6 +95,22 @@ class Prediction:
             "detail": dict(self.detail),
         }
 
+    @classmethod
+    def from_dict(cls, d) -> "Prediction":
+        """Rebuild a prediction from :meth:`to_dict` output.
+
+        The derived ``bounds`` field is recomputed from the factors,
+        never trusted from the document.
+        """
+        return cls(
+            source=str(d["source"]),
+            words=float(d["words"]),
+            messages=float(d["messages"]),
+            flops=float(d["flops"]),
+            bound_factors=dict(d.get("bound_factors") or {}),
+            detail=dict(d.get("detail") or {}),
+        )
+
 
 def predict_point(point: SpecPoint) -> "Prediction | None":
     """The closed-form Table 1/2 answer for ``point``, or ``None``.

@@ -1,169 +1,24 @@
-"""Jobs, tickets and structured responses.
+"""Deprecated alias module: the job/response types moved to :mod:`repro.serving.api`.
 
-A :class:`Job` wraps one :class:`~repro.experiments.spec.SpecPoint` —
-the same execution unit the experiment engine runs — with the serving
-metadata admission control needs: a priority grade, a
-:class:`~repro.serving.budget.Budget`, and the submission timestamp
-deadlines are measured from.
-
-Every job ends in exactly one terminal :class:`ServiceResponse` whose
-``status`` is one of
-
-``done``
-    The full simulation ran within budget; ``measurement`` is exact.
-``degraded``
-    The budget, deadline or breaker forbade full simulation; the
-    closed-form Table 1/2 prediction is served instead
-    (``measurement`` holds the predicted counts, ``prediction``
-    carries the documented error bounds, ``reason`` says why).
-``shed``
-    Admission control refused the job (queue full, in-flight limit,
-    eviction by higher priority, shutdown); nothing ran.
-``failed``
-    The simulation failed for a non-budget reason (fault exhaustion,
-    a non-SPD input, an invalid configuration) and no closed form was
-    applicable or permitted.
-
-``reason`` is always machine-readable (a stable slug like
-``queue-full`` or ``budget-words``); ``detail`` carries the structured
-specifics (limits, spends, queue occupancy, predictions).
+Everything this module used to define — :class:`Job`,
+:class:`JobTicket`, :class:`ServiceResponse`, the terminal status
+constants and :func:`job_from_dict` — now lives in
+:mod:`repro.serving.api`, which additionally carries the versioned
+JSON wire schema and the typed request builders.  Importing any of
+those names from here still works but emits a
+:class:`DeprecationWarning`; new code should import from
+``repro.serving.api`` (or the ``repro.serving`` package root, which
+re-exports the public names).
 """
 
 from __future__ import annotations
 
-import itertools
-import threading
-from dataclasses import dataclass, field
-from typing import Any, Mapping
+import warnings
 
-from repro.experiments.spec import SpecPoint
-from repro.results import Measurement
-from repro.serving.budget import Budget
-from repro.serving.degrade import Prediction
-from repro.serving.queue import PRIORITY_NORMAL, priority_name
+from repro.serving import api as _api
 
-#: Terminal response statuses.
-DONE = "done"
-DEGRADED = "degraded"
-SHED = "shed"
-FAILED = "failed"
-
-TERMINAL_STATUSES = (DONE, DEGRADED, SHED, FAILED)
-
-_job_ids = itertools.count(1)
-
-
-@dataclass
-class Job:
-    """One admitted (or about-to-be-admitted) unit of work."""
-
-    point: SpecPoint
-    priority: int = PRIORITY_NORMAL
-    budget: "Budget | None" = None
-    submitted_at: float = 0.0
-    job_id: str = field(default_factory=lambda: f"job-{next(_job_ids)}")
-
-    def label(self) -> str:
-        """Short progress-line tag."""
-        return f"{self.job_id} [{priority_name(self.priority)}] {self.point.label()}"
-
-
-@dataclass(frozen=True)
-class ServiceResponse:
-    """The terminal answer for one job (see module docstring)."""
-
-    job_id: str
-    status: str
-    reason: "str | None" = None
-    detail: dict = field(default_factory=dict)
-    measurement: "Measurement | None" = None
-    prediction: "Prediction | None" = None
-    attempts: int = 0
-    wall_seconds: float = 0.0
-    priority: int = PRIORITY_NORMAL
-
-    @property
-    def degraded(self) -> bool:
-        """True when the answer is a closed-form bound, not a simulation."""
-        return self.status == DEGRADED
-
-    @property
-    def ok(self) -> bool:
-        """True when the job produced an answer (exact or degraded)."""
-        return self.status in (DONE, DEGRADED)
-
-    def to_dict(self) -> dict:
-        """JSON-ready dict (CLI output, soak artifacts)."""
-        return {
-            "job_id": self.job_id,
-            "status": self.status,
-            "degraded": self.degraded,
-            "reason": self.reason,
-            "detail": dict(self.detail),
-            "measurement": (
-                None if self.measurement is None else self.measurement.to_dict()
-            ),
-            "prediction": (
-                None if self.prediction is None else self.prediction.to_dict()
-            ),
-            "attempts": int(self.attempts),
-            "wall_seconds": float(self.wall_seconds),
-            "priority": priority_name(self.priority),
-        }
-
-
-class JobTicket:
-    """Handle returned by ``submit``: await the job's terminal response."""
-
-    def __init__(self, job: Job) -> None:
-        self.job = job
-        self._event = threading.Event()
-        self._response: "ServiceResponse | None" = None
-
-    @property
-    def job_id(self) -> str:
-        return self.job.job_id
-
-    def done(self) -> bool:
-        """Has the job reached a terminal state?"""
-        return self._event.is_set()
-
-    def resolve(self, response: ServiceResponse) -> None:
-        """Attach the terminal response (service-internal; idempotent-safe)."""
-        if self._event.is_set():
-            raise RuntimeError(f"{self.job_id} already resolved")
-        self._response = response
-        self._event.set()
-
-    def result(self, timeout: "float | None" = None) -> ServiceResponse:
-        """Block until terminal; raises ``TimeoutError`` on timeout."""
-        if not self._event.wait(timeout=timeout):
-            raise TimeoutError(
-                f"{self.job_id} not terminal within {timeout}s"
-            )
-        assert self._response is not None
-        return self._response
-
-
-def job_from_dict(d: Mapping[str, Any]) -> Job:
-    """Build a job from a workload-file record.
-
-    The record is ``{"point": <SpecPoint.to_dict()>, "priority":
-    "high"|"normal"|"low"|int, "budget": <Budget.to_dict()>}`` with
-    everything but ``point`` optional.
-    """
-    from repro.serving.queue import parse_priority
-
-    point = SpecPoint.from_dict(d["point"])
-    budget = None if d.get("budget") is None else Budget.from_dict(d["budget"])
-    return Job(
-        point=point,
-        priority=parse_priority(d.get("priority", PRIORITY_NORMAL)),
-        budget=budget,
-    )
-
-
-__all__ = [
+#: Names this module re-exports from :mod:`repro.serving.api`.
+_MOVED = (
     "DEGRADED",
     "DONE",
     "FAILED",
@@ -173,4 +28,23 @@ __all__ = [
     "JobTicket",
     "ServiceResponse",
     "job_from_dict",
-]
+)
+
+__all__ = list(_MOVED)
+
+
+def __getattr__(name: str):
+    """Serve the moved names with a deprecation warning (PEP 562)."""
+    if name in _MOVED:
+        warnings.warn(
+            f"repro.serving.jobs.{name} moved to repro.serving.api; "
+            "this alias will be removed in a future release",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return getattr(_api, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_MOVED))

@@ -58,7 +58,7 @@ from repro.serving.degrade import (
     degraded_measurement,
     predict_point,
 )
-from repro.serving.jobs import (
+from repro.serving.api import (
     DEGRADED,
     DONE,
     FAILED,

@@ -1,0 +1,208 @@
+"""The cluster's shared, content-addressed result store.
+
+Layered directly over the experiment cache
+(:class:`~repro.experiments.cache.ResultCache`): one on-disk directory
+shared by every shard, plus one small in-memory "warm" tier per shard.
+A lookup walks the tiers cheapest-first:
+
+``memory``
+    The shard's own bounded LRU of recently served entries.  The
+    consistent-hash front door routes identical specs to the same
+    shard, so this tier has high hit rates under repeat traffic.
+``shared``
+    The on-disk store, *entry produced by a different shard*.  This is
+    what makes the cluster more than N isolated caches: after a
+    rebalance (shard death, breaker quarantine) the new owner of a key
+    serves the old owner's work instead of recomputing it.  The
+    memory-for-recomputation trade is the serving-side analogue of
+    2.5D replication (Kwasniewski et al., arXiv:2108.09337): spend
+    redundant storage, save redundant work and cross-shard traffic.
+``disk``
+    The on-disk store, entry produced by this shard earlier (e.g.
+    evicted from the memory tier, or a previous process incarnation).
+
+Writes go through :meth:`ResultCache.put`'s atomic temp-file +
+``os.replace`` discipline with the producing shard recorded in the
+entry's ``extra`` provenance, so concurrent shard processes never read
+torn entries and every cross-shard hit is attributable.  Disk-tier
+integrity (digest verification, corrupt-entry demotion to a miss) is
+inherited from the cache.
+
+A :class:`ShardStoreView` duck-types the ``get(point)`` /
+``put(point, measurement, wall_time)`` interface
+:class:`~repro.serving.service.FactorizationService` expects from its
+``cache`` parameter, so a shard's service needs no cluster-specific
+code path.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+from repro.experiments.cache import ResultCache
+from repro.experiments.spec import SpecPoint
+from repro.observability.metrics import METRICS
+
+#: Lookup outcome tiers (metric label values, cheapest first).
+TIER_MEMORY = "memory"
+TIER_SHARED = "shared"
+TIER_DISK = "disk"
+TIER_MISS = "miss"
+
+
+class SharedResultStore:
+    """One shared on-disk store; hands out per-shard views.
+
+    Parameters
+    ----------
+    directory:
+        Root of the shared cache tree.  Shard processes constructed
+        with the same directory (and code version) see each other's
+        results immediately after the atomic rename.
+    version:
+        Code-version token, defaulting to the package digest (see
+        :func:`repro.experiments.cache.code_version`); tests inject
+        fixed tokens.
+    memory_capacity:
+        Per-shard warm-tier bound (entries, LRU-evicted).
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        *,
+        version: "str | None" = None,
+        memory_capacity: int = 512,
+    ) -> None:
+        self.cache = ResultCache(directory, version=version)
+        self.memory_capacity = int(memory_capacity)
+        self._views: "dict[str, ShardStoreView]" = {}
+
+    @property
+    def directory(self) -> str:
+        """The shared on-disk root."""
+        return self.cache.directory
+
+    def view(self, shard_id: str) -> "ShardStoreView":
+        """The (memoized) view shard ``shard_id`` reads/writes through."""
+        if shard_id not in self._views:
+            self._views[shard_id] = ShardStoreView(
+                self, shard_id, memory_capacity=self.memory_capacity
+            )
+        return self._views[shard_id]
+
+    def key_for(self, point: SpecPoint) -> str:
+        """Content-address of a point (shared-store coordinates)."""
+        return self.cache.key_for(point)
+
+    def stats(self) -> dict:
+        """Aggregate lookup stats over every view this process holds.
+
+        Cluster-level totals come from summing each shard's own stats
+        (reported through its health payload in process mode, since a
+        child's views live in the child).
+        """
+        totals = {
+            TIER_MEMORY: 0, TIER_SHARED: 0, TIER_DISK: 0, TIER_MISS: 0,
+            "puts": 0,
+        }
+        for view in self._views.values():
+            for k, v in view.stats().items():
+                totals[k] += v
+        return totals
+
+
+class ShardStoreView:
+    """One shard's handle on the shared store (memory tier + provenance).
+
+    Thread-safe: a shard's worker threads share one view.
+    """
+
+    def __init__(
+        self, store: SharedResultStore, shard_id: str, *, memory_capacity: int
+    ) -> None:
+        self.store = store
+        self.shard_id = str(shard_id)
+        self.memory_capacity = int(memory_capacity)
+        self._memory: "OrderedDict[str, dict]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._counts = {
+            TIER_MEMORY: 0, TIER_SHARED: 0, TIER_DISK: 0, TIER_MISS: 0,
+            "puts": 0,
+        }
+
+    def _count(self, tier: str) -> None:
+        with self._lock:
+            self._counts[tier] += 1
+        METRICS.counter(
+            "repro_cluster_store_lookups_total",
+            shard=self.shard_id,
+            tier=tier,
+        ).inc()
+
+    def _remember(self, key: str, entry: dict) -> None:
+        with self._lock:
+            self._memory[key] = entry
+            self._memory.move_to_end(key)
+            while len(self._memory) > self.memory_capacity:
+                self._memory.popitem(last=False)
+
+    def get(self, point: SpecPoint) -> "dict | None":
+        """Tiered lookup; ``None`` is a miss (caller simulates)."""
+        key = self.store.key_for(point)
+        with self._lock:
+            entry = self._memory.get(key)
+            if entry is not None:
+                self._memory.move_to_end(key)
+        if entry is not None:
+            self._count(TIER_MEMORY)
+            return entry
+        entry = self.store.cache.get(point)
+        if entry is None:
+            self._count(TIER_MISS)
+            return None
+        producer = (entry.get("extra") or {}).get("producer")
+        tier = TIER_DISK if producer == self.shard_id else TIER_SHARED
+        self._count(tier)
+        self._remember(key, entry)
+        return entry
+
+    def put(self, point: SpecPoint, measurement, wall_time: float) -> str:
+        """Write through to disk (atomic) and the memory tier."""
+        path = self.store.cache.put(
+            point,
+            measurement,
+            wall_time,
+            extra={"producer": self.shard_id},
+        )
+        serialized = (
+            measurement.to_dict()
+            if hasattr(measurement, "to_dict")
+            else dict(measurement)
+        )
+        self._remember(
+            self.store.key_for(point),
+            {
+                "measurement": serialized,
+                "extra": {"producer": self.shard_id},
+            },
+        )
+        with self._lock:
+            self._counts["puts"] += 1
+        return path
+
+    def stats(self) -> dict:
+        """Lookup counts by tier plus writes (health payload)."""
+        with self._lock:
+            return dict(self._counts)
+
+
+__all__ = [
+    "SharedResultStore",
+    "ShardStoreView",
+    "TIER_DISK",
+    "TIER_MEMORY",
+    "TIER_MISS",
+    "TIER_SHARED",
+]

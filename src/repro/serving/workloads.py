@@ -1,0 +1,226 @@
+"""Deterministic workload builders shared by the CLI, benches and soaks.
+
+One place to construct the canonical job mixes, so ``repro serve
+--demo``, the serving/cluster benchmarks and the soak suites all drive
+the *same* traffic shapes instead of each hand-rolling a divergent
+copy.  Every builder is a pure function of ``(count, seed)`` — the
+determinism suites rely on byte-identical workloads across runs and
+across processes.
+
+Builders
+--------
+:func:`demo_workload`
+    Clean mixed-priority, mixed-kind jobs (verification on, no faults,
+    no budgets) — the ``repro serve --demo`` shape.
+:func:`bench_workload`
+    The throughput-bench mix: both kinds, occasional fault plans and
+    tight word budgets (the historical ``BENCH_5`` workload).
+:func:`soak_workload`
+    The chaos mix: heavier faults, word *and* flop budgets — what the
+    CI soak drives through admission control.
+:func:`repeated_spec_workload`
+    ``count`` jobs cycling over a small pool of ``unique`` distinct
+    specs.  Repeat-heavy traffic is the serving regime the cluster's
+    consistent-hash affinity and shared result store are built for;
+    this is the job mix the cluster benchmark feeds to both sides of
+    its baseline/cluster comparison.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.spec import PARALLEL, SEQUENTIAL, SpecPoint
+from repro.faults.plan import FaultPlan
+from repro.serving.api import Job
+from repro.serving.budget import Budget
+from repro.serving.queue import parse_priority
+
+#: The sequential algorithms the mixes cycle through.
+SEQ_ALGOS = ("naive-left", "lapack", "toledo", "square-recursive")
+#: The priority rotation (normal-heavy, as real traffic is).
+PRIORITIES = ("low", "normal", "normal", "high")
+
+
+def demo_workload(count: int, seed: int = 0) -> "list[Job]":
+    """Clean deterministic mix: both kinds, verification on."""
+    jobs = []
+    for i in range(count):
+        if i % 5 == 4:
+            n = 16 + 8 * (i % 3)
+            point = SpecPoint(
+                kind=PARALLEL,
+                algorithm="pxpotrf",
+                layout="block-cyclic",
+                n=n,
+                M=None,
+                P=4,
+                block=max(1, n // 2),
+                seed=seed + i,
+                verify=True,
+            )
+        else:
+            n = 24 + 8 * (i % 4)
+            point = SpecPoint(
+                kind=SEQUENTIAL,
+                algorithm=SEQ_ALGOS[i % len(SEQ_ALGOS)],
+                layout="column-major",
+                n=n,
+                M=4 * n,
+                seed=seed + i,
+                verify=True,
+            )
+        jobs.append(
+            Job(point=point, priority=parse_priority(PRIORITIES[i % 4]))
+        )
+    return jobs
+
+
+def bench_workload(count: int, seed: int = 0) -> "list[Job]":
+    """The throughput-bench mix: fault plans and tight word budgets."""
+    jobs = []
+    for i in range(count):
+        budget = None
+        if i % 4 == 0:
+            budget = Budget(max_words=2500 + 500 * (i % 5))
+        if i % 5 == 4:
+            n = 16 + 8 * (i % 2)
+            faults = (
+                FaultPlan(seed=seed + i, drop=0.3, max_attempts=3).freeze()
+                if i % 10 == 9
+                else ()
+            )
+            point = SpecPoint(
+                kind=PARALLEL,
+                algorithm="pxpotrf",
+                layout="block-cyclic",
+                n=n,
+                M=None,
+                P=4,
+                block=n // 2,
+                seed=seed + i,
+                verify=False,
+                faults=faults,
+            )
+        else:
+            n = 24 + 8 * (i % 4)
+            point = SpecPoint(
+                kind=SEQUENTIAL,
+                algorithm=SEQ_ALGOS[i % len(SEQ_ALGOS)],
+                layout="column-major",
+                n=n,
+                M=4 * n,
+                seed=seed + i,
+                verify=False,
+            )
+        jobs.append(
+            Job(
+                point=point,
+                priority=parse_priority(PRIORITIES[i % 4]),
+                budget=budget,
+            )
+        )
+    return jobs
+
+
+def soak_workload(count: int, seed: int = 0) -> "list[Job]":
+    """The chaos mix: heavier faults, word and flop budgets."""
+    jobs = []
+    for i in range(count):
+        priority = parse_priority(PRIORITIES[i % 4])
+        budget = None
+        if i % 3 == 0:
+            # tight simulated-cost caps: some of these will cancel
+            budget = Budget(max_words=2000 + 500 * (i % 7))
+        elif i % 3 == 1:
+            budget = Budget(max_flops=4000 + 1000 * (i % 5))
+        if i % 5 == 4:
+            n = 16 + 8 * (i % 2)
+            faults = None
+            if i % 10 == 9:
+                # heavy drops, few attempts: some FaultExhausted
+                faults = FaultPlan(
+                    seed=seed + i, drop=0.4, max_attempts=2
+                ).freeze()
+            point = SpecPoint(
+                kind=PARALLEL,
+                algorithm="pxpotrf",
+                layout="block-cyclic",
+                n=n,
+                M=None,
+                P=4,
+                block=n // 2,
+                seed=seed + i,
+                verify=False,
+                faults=faults or (),
+            )
+        else:
+            faults = None
+            if i % 7 == 6:
+                faults = FaultPlan(
+                    seed=seed + i, read_fault=0.05, max_attempts=3
+                ).freeze()
+            n = 24 + 8 * (i % 4)
+            point = SpecPoint(
+                kind=SEQUENTIAL,
+                algorithm=SEQ_ALGOS[i % len(SEQ_ALGOS)],
+                layout="column-major",
+                n=n,
+                M=4 * n,
+                seed=seed + i,
+                verify=False,
+                faults=faults or (),
+            )
+        jobs.append(Job(point=point, priority=priority, budget=budget))
+    return jobs
+
+
+def repeated_spec_workload(
+    count: int, seed: int = 0, *, unique: int = 12, n: "int | None" = None
+) -> "list[Job]":
+    """``count`` jobs cycling a pool of ``unique`` distinct specs.
+
+    The specs come from :func:`demo_workload`'s clean mix (seeded), so
+    the pool spans both kinds and all sequential algorithms; the i-th
+    job reuses spec ``i % unique``.  Identical specs hash to the same
+    shard (affinity) and, once computed, are cache hits everywhere —
+    the workload that separates a cluster with a shared result store
+    from N isolated services.
+
+    ``n`` rebases the pool's matrix dimensions (keeping the demo mix's
+    per-spec stagger and the derived ``M``/``block``): the cluster
+    benchmark uses it to make one spec's simulation expensive relative
+    to a cache hit, which is the regime repeat-heavy serving lives in.
+    """
+    if unique < 1:
+        raise ValueError(f"unique must be >= 1, got {unique}")
+    pool = demo_workload(unique, seed=seed)
+    if n is not None:
+        from dataclasses import replace
+
+        rebased = []
+        for i, template in enumerate(pool):
+            point = template.point
+            if point.kind == PARALLEL:
+                nn = int(n) + 8 * (i % 3)
+                point = replace(point, n=nn, block=max(1, nn // 2))
+            else:
+                nn = int(n) + 8 * (i % 4)
+                point = replace(point, n=nn, M=4 * nn)
+            rebased.append(Job(point=point, priority=template.priority))
+        pool = rebased
+    jobs = []
+    for i in range(count):
+        template = pool[i % unique]
+        jobs.append(
+            Job(point=template.point, priority=template.priority)
+        )
+    return jobs
+
+
+__all__ = [
+    "PRIORITIES",
+    "SEQ_ALGOS",
+    "bench_workload",
+    "demo_workload",
+    "repeated_spec_workload",
+    "soak_workload",
+]

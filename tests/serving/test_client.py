@@ -1,0 +1,120 @@
+"""The unified client facade: coercion, windowing, pump detection."""
+
+import pytest
+
+from repro.serving.api import DONE, Job, JobTicket, ServiceResponse, chol_request
+from repro.serving.client import ServingClient
+from repro.serving.workloads import demo_workload
+
+
+class FakeBackend:
+    """A pumped backend that records how deep the in-flight window got."""
+
+    needs_pump = True
+
+    def __init__(self, per_pump: int = 1) -> None:
+        self.per_pump = per_pump
+        self.queue: "list[JobTicket]" = []
+        self.outstanding = 0
+        self.max_outstanding = 0
+        self.stopped = False
+
+    def submit(self, job: Job) -> JobTicket:
+        ticket = JobTicket(job)
+        self.queue.append(ticket)
+        self.outstanding += 1
+        self.max_outstanding = max(self.max_outstanding, self.outstanding)
+        return ticket
+
+    def run_pending(self, max_jobs=None) -> int:
+        ran = 0
+        while self.queue and ran < self.per_pump:
+            ticket = self.queue.pop(0)
+            self.outstanding -= 1
+            ticket.resolve(
+                ServiceResponse(job_id=ticket.job_id, status=DONE)
+            )
+            ran += 1
+        return ran
+
+    def stop(self) -> None:
+        self.stopped = True
+
+
+def test_request_coercion_accepts_all_three_shapes():
+    with ServingClient.local(workers=0, queue_capacity=4) as client:
+        job = chol_request(n=16, verify=False)
+        assert client.submit(job).status == DONE
+        assert client.submit(job.point).status == DONE
+        assert client.submit(job.to_wire()).status == DONE
+        with pytest.raises(TypeError, match="expected Job"):
+            client.submit(42)
+
+
+def test_pump_detection_local_vs_threaded():
+    with ServingClient.local(workers=0, queue_capacity=2) as pumped:
+        assert pumped.needs_pump
+    with ServingClient.local(workers=1, queue_capacity=2) as threaded:
+        assert not threaded.needs_pump
+        assert threaded.pump() == 0  # no-op, not an error
+
+
+def test_stream_bounds_the_in_flight_window():
+    backend = FakeBackend(per_pump=1)
+    client = ServingClient(backend)
+    results = list(
+        client.stream([chol_request(n=8) for _ in range(20)], window=5)
+    )
+    assert len(results) == 20
+    assert backend.max_outstanding <= 5
+    # the window was actually used, not degraded to one-at-a-time
+    assert backend.max_outstanding == 5
+
+
+def test_stream_yields_in_completion_order_with_jobs_attached():
+    with ServingClient.local(workers=0, queue_capacity=64) as client:
+        jobs = demo_workload(10)
+        seen = list(client.stream(jobs, window=4))
+        assert len(seen) == 10
+        for job, response in seen:
+            assert isinstance(job, Job)
+            assert response.job_id == job.job_id
+
+
+def test_submit_many_returns_submission_order():
+    with ServingClient.local(workers=0, queue_capacity=64) as client:
+        jobs = [chol_request(n=16, seed=s, verify=False) for s in range(8)]
+        responses = client.submit_many(jobs, window=3)
+        assert [r.job_id for r in responses] == [j.job_id for j in jobs]
+        for job, response in zip(jobs, responses):
+            assert response.status == DONE
+            assert response.measurement.seed == job.point.seed
+
+
+def test_stranded_pumped_backend_raises_instead_of_hanging():
+    class Stuck(FakeBackend):
+        def run_pending(self, max_jobs=None) -> int:
+            return 0  # never makes progress
+
+    client = ServingClient(Stuck())
+    with pytest.raises(RuntimeError, match="no progress"):
+        list(client.stream([chol_request(n=8)], window=2))
+
+
+def test_close_owns_the_backend_and_refuses_new_work():
+    backend = FakeBackend()
+    client = ServingClient(backend)
+    client.close()
+    assert backend.stopped
+    with pytest.raises(RuntimeError, match="closed"):
+        client.submit_async(chol_request(n=8))
+    # unowned backends are left running
+    other = FakeBackend()
+    ServingClient(other, own_backend=False).close()
+    assert not other.stopped
+
+
+def test_window_must_be_positive():
+    with ServingClient.local(workers=0, queue_capacity=4) as client:
+        with pytest.raises(ValueError, match="window"):
+            list(client.stream([chol_request(n=8)], window=0))

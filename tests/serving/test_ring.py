@@ -1,0 +1,75 @@
+"""The consistent-hash ring: determinism, balance, minimal disruption."""
+
+from repro.serving.ring import HashRing, ring_hash
+
+KEYS = [f"key-{i}" for i in range(600)]
+
+
+def test_ring_hash_is_stable_and_process_independent():
+    # regression pin: a SHA-256 prefix, not Python's salted hash()
+    assert ring_hash("abc") == int.from_bytes(
+        bytes.fromhex("ba7816bf8f01cfea"), "big"
+    )
+    assert ring_hash("abc") == ring_hash("abc")
+    assert ring_hash("abc") != ring_hash("abd")
+
+
+def test_routing_is_a_pure_function_of_ring_state():
+    a = HashRing(["s0", "s1", "s2"], replicas=32)
+    b = HashRing(["s2", "s0", "s1"], replicas=32)  # insertion order differs
+    for key in KEYS:
+        assert a.node_for(key) == b.node_for(key)
+
+
+def test_every_key_routes_and_spread_is_reasonable():
+    ring = HashRing(["s0", "s1", "s2"], replicas=64)
+    spread = ring.spread(KEYS)
+    assert sum(spread.values()) == len(KEYS)
+    # virtual replicas keep the imbalance bounded: nobody starves
+    assert all(count > len(KEYS) * 0.1 for count in spread.values()), spread
+
+
+def test_removal_only_reassigns_the_dead_nodes_keys():
+    ring = HashRing(["s0", "s1", "s2"], replicas=64)
+    before = {key: ring.node_for(key) for key in KEYS}
+    assert ring.remove("s1")
+    for key in KEYS:
+        after = ring.node_for(key)
+        if before[key] == "s1":
+            assert after in ("s0", "s2")
+        else:
+            assert after == before[key], f"{key} moved needlessly"
+
+
+def test_nodes_for_is_a_distinct_preference_list():
+    ring = HashRing(["s0", "s1", "s2"], replicas=64)
+    for key in KEYS[:100]:
+        prefs = ring.nodes_for(key, count=3)
+        assert prefs[0] == ring.node_for(key)
+        assert len(prefs) == 3
+        assert len(set(prefs)) == 3
+    # count capped at the node population
+    assert len(ring.nodes_for("x", count=10)) == 3
+
+
+def test_add_remove_membership_and_snapshot():
+    ring = HashRing(replicas=8)
+    assert ring.node_for("k") is None
+    assert ring.nodes_for("k") == []
+    assert ring.add("a")
+    assert not ring.add("a")  # duplicate
+    assert "a" in ring and len(ring) == 1
+    assert ring.node_for("anything") == "a"
+    snap = ring.snapshot()
+    assert snap == {"nodes": ["a"], "replicas": 8, "points": 8}
+    assert ring.remove("a")
+    assert not ring.remove("a")
+    assert ring.node_for("k") is None
+
+
+def test_readding_a_node_restores_its_exact_positions():
+    ring = HashRing(["s0", "s1", "s2"], replicas=32)
+    before = {key: ring.node_for(key) for key in KEYS}
+    ring.remove("s2")
+    ring.add("s2")
+    assert {key: ring.node_for(key) for key in KEYS} == before

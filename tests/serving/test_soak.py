@@ -2,7 +2,11 @@
 
 The CI ``serve-soak`` job runs this with ``REPRO_SOAK_JOBS=500``; the
 default tier-1 run uses a smaller workload with the same structure.
-The invariants are the service's whole contract:
+The workload comes from the shared generator
+(:func:`repro.serving.workloads.soak_workload`) and is driven through
+the :class:`~repro.serving.client.ServingClient` facade — the same
+path the CLI and the benchmarks use.  The invariants are the service's
+whole contract:
 
 * every submitted job reaches exactly one terminal state — no hangs,
   no lost tickets;
@@ -17,75 +21,18 @@ import os
 import pytest
 
 from repro.experiments.engine import execute_point
-from repro.experiments.spec import SpecPoint
-from repro.faults.plan import FaultPlan
-from repro.serving.budget import Budget
-from repro.serving.jobs import TERMINAL_STATUSES, Job
-from repro.serving.queue import parse_priority
+from repro.serving.api import TERMINAL_STATUSES
+from repro.serving.client import ServingClient
 from repro.serving.service import FactorizationService
+from repro.serving.workloads import soak_workload
 
 SOAK_JOBS = int(os.environ.get("REPRO_SOAK_JOBS", "120"))
 SOAK_WORKERS = int(os.environ.get("REPRO_SOAK_WORKERS", "4"))
 
-SEQ_ALGOS = ["naive-left", "lapack", "toledo", "square-recursive"]
-PRIORITIES = ["low", "normal", "normal", "high"]
-
-
-def build_workload(count: int, seed: int = 0) -> "list[Job]":
-    """Deterministic chaos mix: faults, tight budgets, both kinds."""
-    jobs = []
-    for i in range(count):
-        priority = parse_priority(PRIORITIES[i % len(PRIORITIES)])
-        budget = None
-        if i % 3 == 0:
-            # tight simulated-cost caps: some of these will cancel
-            budget = Budget(max_words=2000 + 500 * (i % 7))
-        elif i % 3 == 1:
-            budget = Budget(max_flops=4000 + 1000 * (i % 5))
-        if i % 5 == 4:
-            n = 16 + 8 * (i % 2)
-            faults = None
-            if i % 10 == 9:
-                # heavy drops, few attempts: some FaultExhausted
-                faults = FaultPlan(
-                    seed=seed + i, drop=0.4, max_attempts=2
-                ).freeze()
-            point = SpecPoint(
-                kind="parallel",
-                algorithm="pxpotrf",
-                layout="block-cyclic",
-                n=n,
-                M=None,
-                P=4,
-                block=n // 2,
-                seed=seed + i,
-                verify=False,
-                faults=faults or (),
-            )
-        else:
-            faults = None
-            if i % 7 == 6:
-                faults = FaultPlan(
-                    seed=seed + i, read_fault=0.05, max_attempts=3
-                ).freeze()
-            n = 24 + 8 * (i % 4)
-            point = SpecPoint(
-                kind="sequential",
-                algorithm=SEQ_ALGOS[i % len(SEQ_ALGOS)],
-                layout="column-major",
-                n=n,
-                M=4 * n,
-                seed=seed + i,
-                verify=False,
-                faults=faults or (),
-            )
-        jobs.append(Job(point=point, priority=priority, budget=budget))
-    return jobs
-
 
 @pytest.mark.slow
 def test_soak_every_job_terminal_and_degraded_answers_bounded():
-    jobs = build_workload(SOAK_JOBS)
+    jobs = soak_workload(SOAK_JOBS)
     svc = FactorizationService(
         workers=SOAK_WORKERS,
         queue_capacity=max(8, SOAK_JOBS // 10),
@@ -93,55 +40,55 @@ def test_soak_every_job_terminal_and_degraded_answers_bounded():
         breaker_threshold=4,
         breaker_cooldown=0.05,
     )
-    try:
-        tickets = [svc.submit(job) for job in jobs]
-        responses = [t.result(timeout=300) for t in tickets]
-    finally:
-        svc.stop()
-
-    # 1. every job terminal, machine-readable reasons on non-done
-    assert len(responses) == SOAK_JOBS
-    for r in responses:
-        assert r.status in TERMINAL_STATUSES
-        if r.status != "done":
-            assert r.reason, f"{r.job_id} non-done without a reason"
-        payload = r.to_dict()
-        assert payload["status"] == r.status
-
-    by_status = {}
-    for r in responses:
-        by_status[r.status] = by_status.get(r.status, 0) + 1
-    # the chaos mix must actually exercise the interesting paths
-    assert by_status.get("done", 0) > 0
-    assert by_status.get("degraded", 0) > 0
-
-    # 2. degraded answers bound the exact counts (memoized clean runs)
-    exact_cache = {}
-    checked = 0
-    for r, job in zip(responses, jobs):
-        if r.status != "degraded":
-            continue
-        assert r.prediction is not None
-        assert ("degraded", True) in r.measurement.params
-        from dataclasses import replace
-
-        clean = replace(job.point, faults=())
-        if clean not in exact_cache:
-            exact_cache[clean] = execute_point(clean)[0]
-        assert r.prediction.contains(exact_cache[clean]), (
-            f"{r.job_id} ({r.reason}): exact counts escape the "
-            f"documented bounds for {job.point.label()}"
+    with ServingClient(svc) as client:
+        # the full burst at once: admission control must shed, not hang
+        responses = client.submit_many(
+            jobs, window=max(SOAK_JOBS, 1), timeout=300
         )
-        checked += 1
-    assert checked > 0
 
-    # 3. metrics agree with the tally
-    from repro.observability.metrics import METRICS
+        # 1. every job terminal, machine-readable reasons on non-done
+        assert len(responses) == SOAK_JOBS
+        for r in responses:
+            assert r.status in TERMINAL_STATUSES
+            if r.status != "done":
+                assert r.reason, f"{r.job_id} non-done without a reason"
+            payload = r.to_dict()
+            assert payload["status"] == r.status
 
-    family = METRICS.to_dict().get("repro_service_jobs_total", {})
-    jobs_total = sum(s["value"] for s in family.get("series", []))
-    assert jobs_total >= SOAK_JOBS
+        by_status = {}
+        for r in responses:
+            by_status[r.status] = by_status.get(r.status, 0) + 1
+        # the chaos mix must actually exercise the interesting paths
+        assert by_status.get("done", 0) > 0
+        assert by_status.get("degraded", 0) > 0
 
-    health = svc.health()
-    assert health["inflight"] == 0
-    assert sum(health["jobs"].values()) == SOAK_JOBS
+        # 2. degraded answers bound the exact counts (memoized clean runs)
+        exact_cache = {}
+        checked = 0
+        for r, job in zip(responses, jobs):
+            if r.status != "degraded":
+                continue
+            assert r.prediction is not None
+            assert ("degraded", True) in r.measurement.params
+            from dataclasses import replace
+
+            clean = replace(job.point, faults=())
+            if clean not in exact_cache:
+                exact_cache[clean] = execute_point(clean)[0]
+            assert r.prediction.contains(exact_cache[clean]), (
+                f"{r.job_id} ({r.reason}): exact counts escape the "
+                f"documented bounds for {job.point.label()}"
+            )
+            checked += 1
+        assert checked > 0
+
+        # 3. metrics agree with the tally
+        from repro.observability.metrics import METRICS
+
+        family = METRICS.to_dict().get("repro_service_jobs_total", {})
+        jobs_total = sum(s["value"] for s in family.get("series", []))
+        assert jobs_total >= SOAK_JOBS
+
+        health = client.health()
+        assert health["inflight"] == 0
+        assert sum(health["jobs"].values()) == SOAK_JOBS
