@@ -583,6 +583,14 @@ def main(argv: list[str] | None = None) -> int:
         from repro.serving.cli import submit_main
 
         return submit_main(argv[1:])
+    if argv and argv[0] == "top":
+        from repro.serving.top import top_main
+
+        return top_main(argv[1:])
+    if argv and argv[0] == "metrics":
+        from repro.observability.export import metrics_main
+
+        return metrics_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-reports",
         description="Regenerate the paper's tables from (cached) simulations. "

@@ -144,8 +144,54 @@ def phase_report(profile: SpanProfile, *, max_depth: int | None = None) -> str:
     return "\n".join(lines) + "\n"
 
 
+def metrics_main(argv: "list[str] | None" = None) -> int:
+    """``repro metrics``: render a metrics snapshot as Prometheus text.
+
+    With ``--from FILE`` the JSON dump a serve run wrote via
+    ``--metrics-out`` (a :meth:`MetricsRegistry.to_dict` document) is
+    loaded into a fresh registry and rendered; without it, the
+    process-wide registry's current contents are rendered — what a
+    ``/metrics`` scrape of this process would return.
+    """
+    import argparse
+
+    from repro.observability.metrics import METRICS, MetricsRegistry
+
+    parser = argparse.ArgumentParser(
+        prog="repro metrics",
+        description="Render a Prometheus-style metrics exposition.",
+    )
+    parser.add_argument(
+        "--from",
+        dest="source",
+        metavar="FILE",
+        default=None,
+        help="render a previously written JSON metrics dump "
+        "(default: this process's live registry)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the JSON dump form instead of Prometheus text",
+    )
+    args = parser.parse_args(argv)
+
+    if args.source is None:
+        registry = METRICS
+    else:
+        registry = MetricsRegistry()
+        with open(args.source, "r", encoding="utf-8") as fh:
+            registry.load_dict(json.load(fh))
+    if args.json:
+        print(json.dumps(registry.to_dict(), indent=1, sort_keys=True))
+    else:
+        print(registry.render_text(), end="")
+    return 0
+
+
 __all__ = [
     "chrome_trace_events",
+    "metrics_main",
     "phase_report",
     "phase_totals",
     "write_chrome_trace",

@@ -50,15 +50,30 @@ name                                  type       labels
 ``repro_service_job_wall_seconds``    histogram  ``priority``
 ``repro_service_canary_runs_total``   counter    ``algorithm``, ``outcome``
 ``repro_service_retries_total``       counter    ``algorithm``
+``repro_telemetry_events_total``      counter    ``shard``, ``kind``
+``repro_shard_queue_wait_seconds``    histogram  ``shard``
+``repro_shard_store_events_total``    counter    ``shard``, ``tier``
+``repro_cluster_breaker_state``       gauge      ``shard``, ``algorithm``
+``repro_slo_latency_seconds``         histogram  ``algorithm``, ``status``
+``repro_slo_availability``            gauge      ``objective``
+``repro_slo_error_budget_burn``       gauge      ``objective``
+``repro_slo_violations_total``        counter    ``objective``
 ====================================  =========  =============================
 
 Instruments are cheap (one dict lookup + integer add) but they are
 *not* on the per-transfer hot path: the simulators publish once per
 run, never per word.
+
+Thread safety: the cluster front door aggregates telemetry from shard
+reader threads while the monitor thread publishes health, so every
+instrument guards its mutations with a lock and the registry guards
+series creation and dumps.  Lock scope is one increment or one dump —
+no instrument lock is ever held while taking the registry lock.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Iterable, Mapping
 
 #: Default histogram bucket upper bounds (seconds-flavored).
@@ -76,35 +91,41 @@ def _freeze_labels(labels: Mapping[str, Any]) -> tuple:
 class CounterMetric:
     """A monotonically increasing count for one label set."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: int | float = 1) -> None:
         """Add ``amount`` (must be non-negative) to the counter."""
         if amount < 0:
             raise MetricsError(f"counter increment must be >= 0, got {amount}")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 class GaugeMetric:
     """A point-in-time value for one label set (set, not accumulated)."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
         self.value: float | int = 0
+        self._lock = threading.Lock()
 
     def set(self, value: int | float) -> None:
         """Record the current value."""
-        self.value = value
+        with self._lock:
+            self.value = value
 
 
 class HistogramMetric:
     """A distribution summary: count/sum/min/max plus bucket counts."""
 
-    __slots__ = ("buckets", "bucket_counts", "count", "total", "min", "max")
+    __slots__ = (
+        "buckets", "bucket_counts", "count", "total", "min", "max", "_lock"
+    )
 
     def __init__(self, buckets: "tuple[float, ...]" = DEFAULT_BUCKETS) -> None:
         self.buckets = tuple(sorted(buckets))
@@ -113,19 +134,21 @@ class HistogramMetric:
         self.total = 0.0
         self.min: float | None = None
         self.max: float | None = None
+        self._lock = threading.Lock()
 
     def observe(self, value: int | float) -> None:
         """Record one sample."""
         v = float(value)
-        self.count += 1
-        self.total += v
-        self.min = v if self.min is None else min(self.min, v)
-        self.max = v if self.max is None else max(self.max, v)
-        for i, bound in enumerate(self.buckets):
-            if v <= bound:
-                self.bucket_counts[i] += 1
-                return
-        self.bucket_counts[-1] += 1
+        with self._lock:
+            self.count += 1
+            self.total += v
+            self.min = v if self.min is None else min(self.min, v)
+            self.max = v if self.max is None else max(self.max, v)
+            for i, bound in enumerate(self.buckets):
+                if v <= bound:
+                    self.bucket_counts[i] += 1
+                    return
+            self.bucket_counts[-1] += 1
 
     @property
     def mean(self) -> float:
@@ -150,23 +173,25 @@ class MetricsRegistry:
     def __init__(self) -> None:
         # name -> {"type": str, "series": {labels_tuple: instrument}}
         self._metrics: "dict[str, dict]" = {}
+        self._lock = threading.RLock()
 
     def _series(self, kind: str, name: str, labels: Mapping[str, Any], **kw):
-        entry = self._metrics.get(name)
-        if entry is None:
-            entry = {"type": kind, "series": {}}
-            self._metrics[name] = entry
-        elif entry["type"] != kind:
-            raise MetricsError(
-                f"metric {name!r} already registered as {entry['type']}, "
-                f"requested as {kind}"
-            )
-        key = _freeze_labels(labels)
-        inst = entry["series"].get(key)
-        if inst is None:
-            inst = self._TYPES[kind](**kw)
-            entry["series"][key] = inst
-        return inst
+        with self._lock:
+            entry = self._metrics.get(name)
+            if entry is None:
+                entry = {"type": kind, "series": {}}
+                self._metrics[name] = entry
+            elif entry["type"] != kind:
+                raise MetricsError(
+                    f"metric {name!r} already registered as {entry['type']}, "
+                    f"requested as {kind}"
+                )
+            key = _freeze_labels(labels)
+            inst = entry["series"].get(key)
+            if inst is None:
+                inst = self._TYPES[kind](**kw)
+                entry["series"][key] = inst
+            return inst
 
     def counter(self, name: str, **labels: Any) -> CounterMetric:
         """The counter for ``name`` with this label set."""
@@ -197,22 +222,26 @@ class MetricsRegistry:
 
         For histograms returns the :class:`HistogramMetric` itself.
         """
-        entry = self._metrics.get(name)
-        if entry is None:
-            return None
-        inst = entry["series"].get(_freeze_labels(labels))
+        with self._lock:
+            entry = self._metrics.get(name)
+            if entry is None:
+                return None
+            inst = entry["series"].get(_freeze_labels(labels))
         if inst is None:
             return None
         return inst if isinstance(inst, HistogramMetric) else inst.value
 
     def names(self) -> "tuple[str, ...]":
         """All registered metric names, sorted."""
-        return tuple(sorted(self._metrics))
+        with self._lock:
+            return tuple(sorted(self._metrics))
 
     def to_dict(self) -> dict:
         """JSON-ready dump of every series."""
         out: dict = {}
-        for name in sorted(self._metrics):
+        with self._lock:
+            names = sorted(self._metrics)
+        for name in names:
             entry = self._metrics[name]
             series = []
             for key in sorted(entry["series"]):
@@ -238,10 +267,44 @@ class MetricsRegistry:
             out[name] = {"type": entry["type"], "series": series}
         return out
 
+    def load_dict(self, doc: Mapping[str, Any]) -> None:
+        """Reconstruct series from a :meth:`to_dict` dump.
+
+        The inverse of :meth:`to_dict`, used by ``repro metrics`` to
+        render a previously written JSON snapshot (e.g. the
+        ``--metrics-out`` artifact of a serve run) as Prometheus text.
+        Loaded series merge over whatever the registry already holds;
+        call :meth:`reset` first for a clean render.
+        """
+        for name, entry in doc.items():
+            kind = entry.get("type")
+            if kind not in self._TYPES:
+                raise MetricsError(f"metric {name!r} has unknown type {kind!r}")
+            for rec in entry.get("series", ()):
+                labels = dict(rec.get("labels", {}))
+                if kind == "counter":
+                    self._series("counter", name, labels).value = rec["value"]
+                elif kind == "gauge":
+                    self._series("gauge", name, labels).value = rec["value"]
+                else:
+                    buckets = tuple(
+                        b["le"] for b in rec["buckets"] if b["le"] != "+Inf"
+                    )
+                    hist = self._series(
+                        "histogram", name, labels, buckets=buckets
+                    )
+                    hist.count = rec["count"]
+                    hist.total = rec["sum"]
+                    hist.min = rec["min"]
+                    hist.max = rec["max"]
+                    hist.bucket_counts = [b["count"] for b in rec["buckets"]]
+
     def render_text(self) -> str:
         """Prometheus-style plain-text exposition of every series."""
         lines: list[str] = []
-        for name in sorted(self._metrics):
+        with self._lock:
+            names = sorted(self._metrics)
+        for name in names:
             entry = self._metrics[name]
             lines.append(f"# TYPE {name} {entry['type']}")
             for key in sorted(entry["series"]):
@@ -269,7 +332,8 @@ class MetricsRegistry:
 
     def reset(self) -> None:
         """Drop every registered metric (tests and fresh CLI runs)."""
-        self._metrics.clear()
+        with self._lock:
+            self._metrics.clear()
 
 
 #: The process-wide registry the library publishes into.

@@ -1,0 +1,262 @@
+"""SLO accounting: latency percentiles and error budgets for serving.
+
+The cluster front door (:mod:`repro.serving.cluster`) records every
+terminal response here with its client-observed latency; the tracker
+keeps exact per-``(algorithm, status)`` sample sets and answers the
+questions operators actually ask:
+
+* per-algorithm / per-status latency distributions with exact
+  p50/p90/p99/p999 (samples are retained up to a bound, not sketched —
+  workloads here are thousands of jobs, not billions, and exactness
+  keeps the inline determinism suite byte-stable);
+* availability against a declared :class:`SLOTarget` — shed and failed
+  jobs spend error budget, degraded jobs count as served (the
+  degradation ladder exists precisely so overload does not burn
+  budget);
+* error-budget burn: how much of the allowed failure fraction the
+  observed traffic has consumed.
+
+Everything is pure accounting on values the caller passes in — no
+clock reads, no I/O — so the tracker inherits the cluster's injected
+clock discipline and stays deterministic in inline mode (where every
+latency is 0.0 by construction).
+
+Results are published into the shared metrics registry as
+``repro_slo_latency_seconds{algorithm,status}`` histograms and
+``repro_slo_error_budget_burn{objective}`` /
+``repro_slo_violations_total{objective}`` under the caller's control
+(:meth:`SLOTracker.publish`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.observability.metrics import METRICS, MetricsRegistry
+
+#: Quantiles reported by :meth:`SLOTracker.snapshot`.
+QUANTILES = (("p50", 0.50), ("p90", 0.90), ("p99", 0.99), ("p999", 0.999))
+
+#: Statuses that spend error budget.  Degraded responses are *served*
+#: (that is the whole point of the degradation ladder).
+BUDGET_SPENDING = ("failed", "shed")
+
+#: Histogram bucket bounds for published latency metrics (seconds).
+LATENCY_BUCKETS = (
+    0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0
+)
+
+
+@dataclass(frozen=True)
+class SLOTarget:
+    """A declared service-level objective.
+
+    ``availability`` is the floor on the served fraction (DONE +
+    DEGRADED over all terminal responses); ``latency_p99`` is an
+    optional ceiling on the 99th-percentile latency of *served*
+    responses, in seconds (``None`` = latency not in the objective).
+    """
+
+    name: str = "default"
+    availability: float = 0.999
+    latency_p99: "float | None" = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.availability <= 1.0:
+            raise ValueError(
+                f"availability must be in (0, 1], got {self.availability}"
+            )
+        if self.latency_p99 is not None and self.latency_p99 <= 0.0:
+            raise ValueError(
+                f"latency_p99 must be positive, got {self.latency_p99}"
+            )
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (embedded in health snapshots)."""
+        return {
+            "name": self.name,
+            "availability": self.availability,
+            "latency_p99": self.latency_p99,
+        }
+
+
+def percentile(samples: "list[float]", q: float) -> float:
+    """Exact quantile by the nearest-rank method (samples need not be sorted).
+
+    Nearest-rank (ceil(q·n)) rather than interpolation: every reported
+    value is an actually-observed latency, and the result is stable
+    under any ordering of equal inputs.
+    """
+    if not samples:
+        return 0.0
+    if not 0.0 < q <= 1.0:
+        raise ValueError(f"quantile must be in (0, 1], got {q}")
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1]
+
+
+class SLOTracker:
+    """Accumulates terminal responses and accounts them against a target.
+
+    ``max_samples`` bounds per-series memory; when a series overflows,
+    the oldest samples are dropped (the counts keep exact totals — only
+    the latency *distribution* becomes a sliding window).
+    """
+
+    def __init__(
+        self, target: "SLOTarget | None" = None, *, max_samples: int = 4096
+    ) -> None:
+        self.target = target if target is not None else SLOTarget()
+        if max_samples < 1:
+            raise ValueError(f"max_samples must be >= 1, got {max_samples}")
+        self.max_samples = int(max_samples)
+        #: (algorithm, status) -> retained latency samples, oldest first.
+        self._samples: "dict[tuple[str, str], list[float]]" = {}
+        #: (algorithm, status) -> exact count of all responses ever seen.
+        self._counts: "dict[tuple[str, str], int]" = {}
+
+    # -- recording ---------------------------------------------------------
+
+    def record(self, algorithm: str, status: str, latency: float) -> None:
+        """Account one terminal response."""
+        key = (str(algorithm), str(status))
+        self._counts[key] = self._counts.get(key, 0) + 1
+        series = self._samples.setdefault(key, [])
+        series.append(float(latency))
+        if len(series) > self.max_samples:
+            del series[: len(series) - self.max_samples]
+
+    # -- accounting --------------------------------------------------------
+
+    @property
+    def total(self) -> int:
+        """All terminal responses ever recorded."""
+        return sum(self._counts.values())
+
+    def count(
+        self, algorithm: "str | None" = None, status: "str | None" = None
+    ) -> int:
+        """Responses matching the given algorithm and/or status filters."""
+        return sum(
+            n
+            for (alg, st), n in self._counts.items()
+            if (algorithm is None or alg == algorithm)
+            and (status is None or st == status)
+        )
+
+    def availability(self) -> float:
+        """Served fraction: 1 minus the budget-spending fraction.
+
+        An empty tracker reports 1.0 — no traffic, no budget spent.
+        """
+        total = self.total
+        if total == 0:
+            return 1.0
+        bad = sum(self.count(status=s) for s in BUDGET_SPENDING)
+        return 1.0 - bad / total
+
+    def error_budget(self) -> "dict[str, float]":
+        """Budget arithmetic against the availability objective.
+
+        ``allowed`` is the number of budget-spending responses the
+        target permits for the observed traffic volume, ``spent`` the
+        number observed, ``burn`` their ratio (0.0 when nothing is
+        allowed *and* nothing spent; ``inf`` when budget is spent
+        against a zero allowance).
+        """
+        total = self.total
+        allowed = (1.0 - self.target.availability) * total
+        spent = float(sum(self.count(status=s) for s in BUDGET_SPENDING))
+        if allowed > 0.0:
+            burn = spent / allowed
+        else:
+            burn = 0.0 if spent == 0.0 else float("inf")
+        return {"allowed": allowed, "spent": spent, "burn": burn}
+
+    def latency_quantiles(
+        self, algorithm: "str | None" = None, status: "str | None" = None
+    ) -> "dict[str, float]":
+        """Exact quantiles over the retained samples matching the filters."""
+        pool: "list[float]" = []
+        for (alg, st), series in self._samples.items():
+            if (algorithm is None or alg == algorithm) and (
+                status is None or st == status
+            ):
+                pool.extend(series)
+        return {name: percentile(pool, q) for name, q in QUANTILES}
+
+    def violations(self) -> "list[str]":
+        """Objective clauses currently violated (empty = SLO met)."""
+        out: "list[str]" = []
+        if self.availability() < self.target.availability:
+            out.append("availability")
+        if self.target.latency_p99 is not None and self.total:
+            served = self.latency_quantiles(status="done")
+            degraded = self.latency_quantiles(status="degraded")
+            worst = max(served["p99"], degraded["p99"])
+            if worst > self.target.latency_p99:
+                out.append("latency_p99")
+        return out
+
+    def snapshot(self) -> dict:
+        """JSON-ready summary (embedded in cluster health / `repro top`)."""
+        by_series = {}
+        for (alg, st), n in sorted(self._counts.items()):
+            q = self.latency_quantiles(algorithm=alg, status=st)
+            by_series[f"{alg}/{st}"] = {"count": n, **q}
+        return {
+            "target": self.target.to_dict(),
+            "total": self.total,
+            "availability": self.availability(),
+            "error_budget": self.error_budget(),
+            "violations": self.violations(),
+            "latency": {name: q for name, q in self.latency_quantiles().items()},
+            "series": by_series,
+        }
+
+    # -- metrics export ----------------------------------------------------
+
+    def publish(self, registry: "MetricsRegistry | None" = None) -> None:
+        """Publish the current accounting into a metrics registry.
+
+        Latency histograms are rebuilt from retained samples on every
+        publish (the registry's reset-then-observe pattern is avoided
+        by publishing monotonically from counts — callers publish once
+        per scrape/snapshot, which is how the cluster uses it).
+        """
+        reg = registry if registry is not None else METRICS
+        for (alg, st), series in sorted(self._samples.items()):
+            hist = reg.histogram(
+                "repro_slo_latency_seconds",
+                buckets=LATENCY_BUCKETS,
+                algorithm=alg,
+                status=st,
+            )
+            for sample in series[hist.count :]:
+                hist.observe(sample)
+        budget = self.error_budget()
+        reg.gauge(
+            "repro_slo_error_budget_burn", objective=self.target.name
+        ).set(budget["burn"] if math.isfinite(budget["burn"]) else -1.0)
+        reg.gauge(
+            "repro_slo_availability", objective=self.target.name
+        ).set(self.availability())
+        violations = reg.counter(
+            "repro_slo_violations_total", objective=self.target.name
+        )
+        current = len(self.violations())
+        if current > violations.value:
+            violations.inc(current - violations.value)
+
+
+__all__ = [
+    "BUDGET_SPENDING",
+    "LATENCY_BUCKETS",
+    "QUANTILES",
+    "SLOTarget",
+    "SLOTracker",
+    "percentile",
+]

@@ -59,6 +59,14 @@ wire document from an incompatible future schema with
 
 * **1** — initial versioned schema (PR 6).  Unversioned job records
   (the pre-PR-6 workload-file format) are accepted as version 1.
+* **2** — distributed tracing (PR 7): jobs may carry a ``trace``
+  context (:class:`~repro.observability.tracing.TraceContext` dict)
+  minted at submission, and terminal responses may carry ``trace`` —
+  the job's cross-process span records
+  (:class:`~repro.observability.tracing.SpanRecord` dicts).  Both
+  keys are **omitted when absent**, so an untraced job's wire
+  documents are byte-identical to version 1 apart from the stamp,
+  and version-1 readers that ignore unknown keys keep working.
 """
 
 from __future__ import annotations
@@ -71,6 +79,7 @@ from typing import Any, Callable, Mapping
 
 from repro.experiments.spec import PARALLEL, SEQUENTIAL, SpecPoint
 from repro.faults.plan import FaultPlan
+from repro.observability.tracing import SpanRecord, TraceContext
 from repro.results import Measurement, freeze_params
 from repro.serving.budget import Budget
 from repro.serving.degrade import Prediction
@@ -78,7 +87,7 @@ from repro.serving.queue import PRIORITY_NORMAL, parse_priority, priority_name
 
 #: Version stamp every wire document carries.  Bump on any change to
 #: the job/response wire layout and keep the old readers working.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 #: Terminal response statuses.
 DONE = "done"
@@ -122,6 +131,9 @@ class Job:
     budget: "Budget | None" = None
     submitted_at: float = 0.0
     job_id: str = field(default_factory=lambda: f"job-{next(_job_ids)}")
+    #: Trace context minted at submission when tracing is enabled; an
+    #: untraced job carries ``None`` and records nothing anywhere.
+    trace: "TraceContext | None" = None
 
     def label(self) -> str:
         """Short progress-line tag."""
@@ -129,13 +141,16 @@ class Job:
 
     def to_wire(self) -> dict:
         """Versioned JSON-ready wire document for this request."""
-        return {
+        wire = {
             "schema_version": SCHEMA_VERSION,
             "job_id": self.job_id,
             "point": self.point.to_dict(),
             "priority": priority_name(self.priority),
             "budget": None if self.budget is None else self.budget.to_dict(),
         }
+        if self.trace is not None:
+            wire["trace"] = self.trace.to_dict()
+        return wire
 
     @classmethod
     def from_wire(cls, d: Mapping[str, Any]) -> "Job":
@@ -156,6 +171,9 @@ class ServiceResponse:
     attempts: int = 0
     wall_seconds: float = 0.0
     priority: int = PRIORITY_NORMAL
+    #: The job's cross-process span records (schema v2); ``None`` for
+    #: untraced jobs, so disabled-mode payloads match version 1 exactly.
+    trace: "tuple[SpanRecord, ...] | None" = None
 
     @property
     def degraded(self) -> bool:
@@ -169,7 +187,7 @@ class ServiceResponse:
 
     def to_dict(self) -> dict:
         """JSON-ready dict (CLI output, soak artifacts)."""
-        return {
+        out = {
             "job_id": self.job_id,
             "status": self.status,
             "degraded": self.degraded,
@@ -185,6 +203,9 @@ class ServiceResponse:
             "wall_seconds": float(self.wall_seconds),
             "priority": priority_name(self.priority),
         }
+        if self.trace is not None:
+            out["trace"] = [r.to_dict() for r in self.trace]
+        return out
 
     def to_wire(self) -> dict:
         """Versioned JSON-ready wire document for this response."""
@@ -346,6 +367,8 @@ def job_from_wire(d: Mapping[str, Any]) -> Job:
     kwargs: dict = {}
     if d.get("job_id") is not None:
         kwargs["job_id"] = str(d["job_id"])
+    if d.get("trace") is not None:
+        kwargs["trace"] = TraceContext.from_dict(d["trace"])
     return Job(
         point=point,
         priority=parse_priority(d.get("priority", PRIORITY_NORMAL)),
@@ -384,6 +407,11 @@ def response_from_wire(d: Mapping[str, Any]) -> ServiceResponse:
         if d.get("prediction") is None
         else Prediction.from_dict(d["prediction"])
     )
+    trace = (
+        None
+        if d.get("trace") is None
+        else tuple(SpanRecord.from_dict(r) for r in d["trace"])
+    )
     return ServiceResponse(
         job_id=job_id,
         status=status,
@@ -394,6 +422,7 @@ def response_from_wire(d: Mapping[str, Any]) -> ServiceResponse:
         attempts=int(d.get("attempts", 0)),
         wall_seconds=float(d.get("wall_seconds", 0.0)),
         priority=parse_priority(d.get("priority", PRIORITY_NORMAL)),
+        trace=trace,
     )
 
 

@@ -274,6 +274,26 @@ def serve_main(argv: "list[str]") -> int:
         "load-shedding the burst (workers >= 1 only)",
     )
     parser.add_argument(
+        "--tracing", action="store_true",
+        help="mint a trace context per job and return merged "
+        "cross-process span trees on every response",
+    )
+    parser.add_argument(
+        "--trace-out", metavar="FILE",
+        help="write the merged cluster Chrome trace_event JSON here "
+        "(implies --tracing)",
+    )
+    parser.add_argument(
+        "--slo-availability", type=float, default=None, metavar="FRAC",
+        help="declared availability objective, e.g. 0.999 (default: "
+        "the tracker's built-in 0.999)",
+    )
+    parser.add_argument(
+        "--slo-p99", type=float, default=None, metavar="SECONDS",
+        help="declared p99 latency objective in seconds (default: no "
+        "latency clause)",
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="suppress per-job lines"
     )
     _add_budget_args(parser)
@@ -305,6 +325,20 @@ def serve_main(argv: "list[str]") -> int:
                 job.point = replace(job.point, faults=plan.freeze())
 
     default_budget = _budget_from_args(args)
+    tracing = args.tracing or bool(args.trace_out)
+    slo_target = None
+    if args.slo_availability is not None or args.slo_p99 is not None:
+        from repro.observability.slo import SLOTarget
+
+        slo_target = SLOTarget(
+            name="cli",
+            availability=(
+                args.slo_availability
+                if args.slo_availability is not None
+                else 0.999
+            ),
+            latency_p99=args.slo_p99,
+        )
     if args.shards > 0:
         if args.workers < 1:
             parser.error("--shards needs --workers >= 1 in each shard")
@@ -320,6 +354,9 @@ def serve_main(argv: "list[str]") -> int:
             store_dir=args.store_dir,
             health_dir=args.health_dir,
             monitor_interval=0.5,
+            tracing=tracing,
+            telemetry=tracing,
+            slo_target=slo_target,
         )
         window = args.window or args.queue_capacity * args.shards
     else:
@@ -336,6 +373,7 @@ def serve_main(argv: "list[str]") -> int:
             breaker_threshold=args.breaker_threshold,
             breaker_cooldown=args.breaker_cooldown,
             default_budget=default_budget,
+            tracing=tracing,
         )
         # --backpressure's historical contract: throttle submission to
         # the waiting room's capacity.  The client's bounded window is
@@ -381,6 +419,24 @@ def serve_main(argv: "list[str]") -> int:
         )
     else:
         print(f"[serve] breakers: {health['breakers']}", file=sys.stderr)
+    if args.shards > 0 and "slo" in health:
+        slo = health["slo"]
+        budget_doc = slo.get("error_budget") or {}
+        print(
+            f"[serve] slo: availability={slo.get('availability', 1.0):.5f} "
+            f"burn={budget_doc.get('burn', 0.0):.2f} "
+            f"violations={slo.get('violations') or 'none'}",
+            file=sys.stderr,
+        )
+    if args.trace_out:
+        from repro.observability.tracing import write_cluster_trace
+
+        traces = [r.trace for r in responses if r.trace]
+        path = write_cluster_trace(traces, args.trace_out)
+        print(
+            f"[serve] wrote {path} ({len(traces)} trace(s))",
+            file=sys.stderr,
+        )
     if args.out:
         atomic_write_json(
             args.out,

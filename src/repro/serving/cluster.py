@@ -49,6 +49,7 @@ or a single service behind one typed API.
 
 from __future__ import annotations
 
+import dataclasses
 import multiprocessing
 import os
 import tempfile
@@ -58,6 +59,15 @@ from typing import Any, Callable, Mapping
 
 from repro.experiments.spec import SpecPoint
 from repro.observability.metrics import METRICS
+from repro.observability.slo import SLOTarget, SLOTracker
+from repro.observability.tracing import (
+    ROOT_SPAN,
+    SpanRecord,
+    TraceLog,
+    derive_span_id,
+    root_context,
+    write_cluster_trace,
+)
 from repro.serving.api import (
     FAILED,
     SHED,
@@ -72,7 +82,11 @@ from repro.serving.clock import MONOTONIC, Clock, ManualClock
 from repro.serving.ring import HashRing
 from repro.serving.service import FactorizationService, _validate_job_point
 from repro.serving.store import SharedResultStore
+from repro.serving.telemetry import ClusterTelemetry, TelemetryBus, make_event
 from repro.util.serialization import atomic_write_json
+
+#: Process label for front-door span records and telemetry events.
+FRONTDOOR = "frontdoor"
 
 INLINE = "inline"
 PROCESS = "process"
@@ -137,12 +151,17 @@ class ClusterTicket:
 class _Tracked:
     """Cluster-side record of one in-flight job (assignment + ticket)."""
 
-    __slots__ = ("job", "ticket", "shard")
+    __slots__ = ("job", "ticket", "shard", "t_submit")
 
-    def __init__(self, job: Job, ticket: ClusterTicket, shard: str) -> None:
+    def __init__(
+        self, job: Job, ticket: ClusterTicket, shard: str, t_submit: float = 0.0
+    ) -> None:
         self.job = job
         self.ticket = ticket
         self.shard = shard
+        #: Front-door clock reading at submission — the origin of the
+        #: client-observed latency window the root span covers.
+        self.t_submit = t_submit
 
 
 class InlineShard:
@@ -215,6 +234,14 @@ def _shard_process_main(conn, name: str, config: dict) -> None:
     budget_wire = config.get("default_budget")
     from repro.serving.budget import Budget
 
+    bus: "TelemetryBus | None" = (
+        TelemetryBus(name) if config.get("telemetry") else None
+    )
+    if bus is not None:
+        view.on_lookup = lambda tier: bus.emit(
+            "store", time.monotonic(), {"tier": tier}
+        )
+
     svc = FactorizationService(
         workers=config.get("workers", 2),
         queue_capacity=config.get("queue_capacity", 64),
@@ -227,6 +254,12 @@ def _shard_process_main(conn, name: str, config: dict) -> None:
             None if budget_wire is None else Budget.from_dict(budget_wire)
         ),
         cache=view,
+        name=name,
+        on_event=(
+            None
+            if bus is None
+            else lambda kind, t, attrs: bus.emit(kind, t, attrs)
+        ),
     )
     send_lock = threading.Lock()
 
@@ -236,6 +269,14 @@ def _shard_process_main(conn, name: str, config: dict) -> None:
                 conn.send(msg)
             except (OSError, BrokenPipeError):
                 pass  # parent is gone; we are about to exit anyway
+
+    def flush_telemetry() -> None:
+        # batched, not per-event: events ride the pipe piggybacked on
+        # result sends and heartbeat ticks, never one message each
+        if bus is not None:
+            events = bus.drain_wire()
+            if events:
+                send({"op": "telemetry", "events": events})
 
     health_dir = config.get("health_dir")
     hb_interval = float(config.get("heartbeat_interval", 1.0))
@@ -254,7 +295,10 @@ def _shard_process_main(conn, name: str, config: dict) -> None:
 
     def heartbeat_loop() -> None:
         while not stopping.wait(hb_interval):
+            if bus is not None:
+                bus.emit("heartbeat", time.monotonic(), {})
             send({"op": "heartbeat"})
+            flush_telemetry()
             if health_dir:
                 # the crash-safe write is the point: a reader (or the
                 # parent post-mortem) must never see a torn snapshot
@@ -284,6 +328,7 @@ def _shard_process_main(conn, name: str, config: dict) -> None:
                         "job_id": jid,
                         "response": response_to_wire(r),
                     })
+                    flush_telemetry()
 
                 try:
                     ticket = svc.submit(job)
@@ -310,6 +355,7 @@ def _shard_process_main(conn, name: str, config: dict) -> None:
     finally:
         stopping.set()
         svc.stop()  # sheds the backlog; callbacks flush results out
+        flush_telemetry()
         if health_dir:
             atomic_write_json(
                 os.path.join(health_dir, f"{name}.json"),
@@ -345,6 +391,8 @@ class ProcessShard:
         self.last_heartbeat = MONOTONIC()
         self.alive = False
         self.on_down: "Callable[[ProcessShard], None] | None" = None
+        #: Sink for batched telemetry events (wire dicts) off the pipe.
+        self.on_telemetry: "Callable[[list], None] | None" = None
 
     def launch(self) -> None:
         """Spawn the process and its reader; ``wait_ready`` completes it."""
@@ -383,6 +431,9 @@ class ProcessShard:
                     cb(response_from_wire(msg["response"]))
             elif op == "heartbeat":
                 self.last_heartbeat = MONOTONIC()
+            elif op == "telemetry":
+                if self.on_telemetry is not None:
+                    self.on_telemetry(msg.get("events") or [])
             elif op == "ready":
                 self._ready.set()
             elif op == "health":
@@ -480,6 +531,24 @@ class ServingCluster:
     health_dir:
         When set (process mode), every shard writes its health
         snapshot there crash-safely on each heartbeat.
+    tracing:
+        When true, the front door mints a trace context for every job
+        (from its spec cache key), shards record their stages under
+        it, and each terminal response carries the merged
+        cross-process span tree (kept for :meth:`write_trace`).  Off
+        by default: payloads stay byte-identical to the untraced
+        schema.
+    telemetry:
+        When true, shards emit structured events (queue waits, sheds,
+        breaker transitions, store tiers, retries, heartbeats) to a
+        central :class:`~repro.serving.telemetry.ClusterTelemetry`
+        aggregator — over the pipes in process mode, synchronously in
+        inline mode — published with per-shard labels.
+    slo_target:
+        Declared :class:`~repro.observability.slo.SLOTarget` the
+        always-on :class:`~repro.observability.slo.SLOTracker`
+        accounts terminal responses against (default objective:
+        99.9% availability, no latency clause).
     """
 
     def __init__(
@@ -506,6 +575,9 @@ class ServingCluster:
         monitor_interval: "float | None" = None,
         health_dir: "str | None" = None,
         shard_names: "list[str] | None" = None,
+        tracing: bool = False,
+        telemetry: bool = False,
+        slo_target: "SLOTarget | None" = None,
     ) -> None:
         if mode not in (INLINE, PROCESS):
             raise ValueError(f"mode must be 'inline' or 'process', got {mode!r}")
@@ -520,6 +592,15 @@ class ServingCluster:
         self.spill_depth = spill_depth
         self.heartbeat_timeout = float(heartbeat_timeout)
         self._clock: Clock = clock or (ManualClock() if mode == INLINE else MONOTONIC)
+        self.tracing = bool(tracing)
+        self.telemetry: "ClusterTelemetry | None" = (
+            ClusterTelemetry() if telemetry else None
+        )
+        self.slo = SLOTracker(slo_target)
+        #: job_id -> merged span records of resolved traced jobs
+        #: (bounded; oldest evicted first — insertion order).
+        self._traces: "dict[str, tuple[SpanRecord, ...]]" = {}
+        self._trace_capacity = 4096
         self._owns_store_dir: "str | None" = None
         if store is None:
             directory = store_dir
@@ -546,6 +627,22 @@ class ServingCluster:
         if mode == INLINE:
             for name in names:
                 view = self.store.view(name)
+                on_event = None
+                if self.telemetry is not None:
+                    # inline shards feed the aggregator synchronously,
+                    # stamped with the shard's name (same event shape
+                    # the pipe batches carry in process mode)
+                    def on_event(kind, t, attrs, _shard=name):
+                        self.telemetry.ingest(make_event(kind, _shard, t, attrs))
+
+                    def on_lookup(tier, _shard=name):
+                        self.telemetry.ingest(
+                            make_event(
+                                "store", _shard, self._clock(), {"tier": tier}
+                            )
+                        )
+
+                    view.on_lookup = on_lookup
                 svc = FactorizationService(
                     workers=0,
                     queue_capacity=queue_capacity,
@@ -557,6 +654,8 @@ class ServingCluster:
                     default_budget=default_budget,
                     cache=view,
                     clock=self._clock,
+                    name=name,
+                    on_event=on_event,
                 )
                 self.shards[name] = InlineShard(name, svc, view)
         else:
@@ -577,10 +676,13 @@ class ServingCluster:
                 ),
                 "heartbeat_interval": heartbeat_interval,
                 "health_dir": health_dir,
+                "telemetry": self.telemetry is not None,
             }
             for name in names:
                 shard = ProcessShard(name, ctx, config)
                 shard.on_down = self._on_shard_down
+                if self.telemetry is not None:
+                    shard.on_telemetry = self.telemetry.ingest_wire
                 self.shards[name] = shard
             for shard in self.shards.values():
                 shard.launch()
@@ -654,6 +756,12 @@ class ServingCluster:
         elif isinstance(job, Mapping):
             job = job_from_wire(job)
         _validate_job_point(job.point)
+        # The front door is the client-facing boundary, so it mints the
+        # trace context (deterministically, from the spec cache key)
+        # and owns the root span: opened here, closed at resolution.
+        if self.tracing and job.trace is None:
+            job.trace = root_context(job.point.key())
+        t_submit = self._clock()
         ticket = ClusterTicket(job)
         with self._lock:
             if self._closed:
@@ -663,7 +771,9 @@ class ServingCluster:
                 shard_name = self._pick_shard(self.route_key(job.point))
                 reason = "no-shards"
             if shard_name is not None:
-                self._inflight[job.job_id] = _Tracked(job, ticket, shard_name)
+                self._inflight[job.job_id] = _Tracked(
+                    job, ticket, shard_name, t_submit
+                )
                 self._outstanding[shard_name] = (
                     self._outstanding.get(shard_name, 0) + 1
                 )
@@ -692,6 +802,7 @@ class ServingCluster:
             self._on_shard_down(shard)
 
     def _on_result(self, job_id: str, response: ServiceResponse) -> None:
+        now = self._clock()
         with self._lock:
             tracked = self._inflight.pop(job_id, None)
             if tracked is not None:
@@ -709,10 +820,130 @@ class ServingCluster:
             shard=tracked.shard,
             status=response.status,
         ).inc()
+        self.slo.record(
+            tracked.job.point.algorithm,
+            response.status,
+            max(0.0, now - tracked.t_submit),
+        )
+        if tracked.job.trace is not None:
+            response = self._merge_trace(tracked, response, now)
+            self._store_trace(job_id, response.trace)
         self._publish_depth(tracked.shard)
         tracked.ticket.resolve_once(response)
 
+    def _merge_trace(
+        self, tracked: _Tracked, response: ServiceResponse, now: float
+    ) -> ServiceResponse:
+        """Graft the shard's span records under the front door's root.
+
+        The root span covers exactly the client-observed window
+        (front-door submit → resolution); a zero-width ``route`` child
+        pins which shard served the job (a volatile attr, excluded
+        from the canonical form).  In process mode the shard's records
+        are on the *child's* clock — they are re-based so the shard's
+        first stage starts at the front-door submit instant, which is
+        exact in inline mode (shared clock, delta 0) and off by only
+        the pipe transit in process mode.
+        """
+        ctx = tracked.job.trace
+        shard_records = list(response.trace or ())
+        if shard_records:
+            base = min(r.t_start for r in shard_records)
+            delta = tracked.t_submit - base
+            if delta:
+                shard_records = [
+                    dataclasses.replace(
+                        r, t_start=r.t_start + delta, t_end=r.t_end + delta
+                    )
+                    for r in shard_records
+                ]
+        m = response.measurement
+        root = SpanRecord(
+            trace_id=ctx.trace_id,
+            span_id=ctx.span_id,
+            parent_span_id=None,
+            name=ROOT_SPAN,
+            process=FRONTDOOR,
+            t_start=tracked.t_submit,
+            t_end=now,
+            status=response.status,
+            words=0 if m is None else int(m.words),
+            messages=0 if m is None else int(m.messages),
+            flops=0 if m is None else int(m.flops),
+            attrs=(
+                ("algorithm", tracked.job.point.algorithm),
+                ("job_id", tracked.job.job_id),
+            ),
+        )
+        route = SpanRecord(
+            trace_id=ctx.trace_id,
+            span_id=derive_span_id(ctx.trace_id, ctx.span_id, "route", 0),
+            parent_span_id=ctx.span_id,
+            name="route",
+            process=FRONTDOOR,
+            t_start=tracked.t_submit,
+            t_end=tracked.t_submit,
+            attrs=(("shard", tracked.shard),),
+        )
+        # the tail of the window the shard's stages don't explain —
+        # response pipe transit plus front-door merge (zero-width under
+        # the inline shared clock); with it, the recorded stages tile
+        # the client-observed window completely.
+        shard_end = (
+            max(r.t_end for r in shard_records)
+            if shard_records
+            else tracked.t_submit
+        )
+        resolve = SpanRecord(
+            trace_id=ctx.trace_id,
+            span_id=derive_span_id(ctx.trace_id, ctx.span_id, "resolve", 0),
+            parent_span_id=ctx.span_id,
+            name="resolve",
+            process=FRONTDOOR,
+            t_start=min(shard_end, now),
+            t_end=now,
+        )
+        return dataclasses.replace(
+            response, trace=tuple([root, route] + shard_records + [resolve])
+        )
+
+    def _store_trace(self, job_id: str, records) -> None:
+        with self._lock:
+            self._traces[job_id] = tuple(records)
+            while len(self._traces) > self._trace_capacity:
+                self._traces.pop(next(iter(self._traces)))
+
     def _finish(self, ticket: ClusterTicket, response: ServiceResponse) -> None:
+        """Resolve a job the front door itself terminates (sheds).
+
+        Nothing crossed a pipe, so the whole trace — root plus an
+        ``admission`` leaf — is front-door-local and zero-counter.
+        """
+        job = ticket.job
+        now = self._clock()
+        if job.trace is not None and response.trace is None:
+            log = TraceLog(
+                job.trace, process=FRONTDOOR, minted_root=True, start=now
+            )
+            log.add(
+                "admission", now, status=response.status, reason=response.reason
+            )
+            log.close_root(
+                now,
+                t_start=now,
+                status=response.status,
+                algorithm=job.point.algorithm,
+                job_id=job.job_id,
+            )
+            response = dataclasses.replace(response, trace=log.records())
+            self._store_trace(job.job_id, response.trace)
+        self.slo.record(job.point.algorithm, response.status, 0.0)
+        if self.telemetry is not None:
+            self.telemetry.ingest(
+                make_event(
+                    "shed", FRONTDOOR, now, {"reason": response.reason}
+                )
+            )
         with self._lock:
             self._status_counts[response.status] = (
                 self._status_counts.get(response.status, 0) + 1
@@ -890,7 +1121,8 @@ class ServingCluster:
             rebalances = self._rebalances
             resubmitted = self._resubmitted
             closed = self._closed
-        return {
+        self.slo.publish()
+        doc = {
             "mode": self.mode,
             "accepting": not closed and len(self.ring) > 0,
             "ring": self.ring.snapshot(),
@@ -900,7 +1132,11 @@ class ServingCluster:
             "jobs": counts,
             "shards": shard_healths,
             "store": store_totals,
+            "slo": self.slo.snapshot(),
         }
+        if self.telemetry is not None:
+            doc["telemetry"] = self.telemetry.counts()
+        return doc
 
     def readiness(self) -> dict:
         """May the front door take new traffic right now?"""
@@ -918,6 +1154,20 @@ class ServingCluster:
         doc = self.health()
         doc["readiness"] = self.readiness()
         return atomic_write_json(path, doc, indent=1, sort_keys=True)
+
+    def job_traces(self) -> "dict[str, tuple[SpanRecord, ...]]":
+        """Merged span records of resolved traced jobs, by job id."""
+        with self._lock:
+            return dict(self._traces)
+
+    def write_trace(self, path: str) -> str:
+        """Write one merged Chrome trace over every retained job trace.
+
+        One track per process (front door + each shard that served
+        work), slices linked by trace id — load it in
+        ``chrome://tracing`` / Perfetto.
+        """
+        return write_cluster_trace(self.job_traces().values(), path)
 
     # -- lifecycle ---------------------------------------------------------
 

@@ -32,6 +32,17 @@ _MOVED = (
 
 __all__ = list(_MOVED)
 
+# The import itself is deprecated, not just the attribute accesses:
+# `import repro.serving.jobs` in a `from ... import *`-free module
+# would otherwise warn only at first use, long after the import line
+# that needs fixing.
+warnings.warn(
+    "repro.serving.jobs is deprecated; import from repro.serving.api "
+    "(it will be removed in a future release)",
+    DeprecationWarning,
+    stacklevel=2,
+)
+
 
 def __getattr__(name: str):
     """Serve the moved names with a deprecation warning (PEP 562)."""

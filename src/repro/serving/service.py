@@ -42,14 +42,16 @@ state machine — deadlines, cooldowns, probes — is testable with a
 
 from __future__ import annotations
 
+import dataclasses
 import threading
-from typing import Mapping
+from typing import Any, Callable, Mapping
 
 from repro.experiments.cache import ResultCache
 from repro.experiments.engine import execute_point
 from repro.experiments.spec import PARALLEL, SpecPoint
 from repro.faults.injector import FaultExhausted
 from repro.observability.metrics import METRICS
+from repro.observability.tracing import TraceLog, root_context
 from repro.results import Measurement
 from repro.serving.breaker import OPEN, STATE_CODES, CircuitBreaker
 from repro.serving.budget import Budget, BudgetExceeded
@@ -170,6 +172,20 @@ class FactorizationService:
         Budget applied to jobs that carry none.
     clock:
         Time source for deadlines, cooldowns and latency metrics.
+    tracing:
+        When true, jobs that arrive without a trace context get one
+        minted from their spec cache key and every terminal response
+        carries the job's span records.  Off by default: an untraced
+        job allocates no log and its payload is byte-identical to the
+        pre-tracing schema (the golden suite enforces this).
+    name:
+        The process label stamped on span records and telemetry events
+        (the cluster names each shard; standalone default "service").
+    on_event:
+        Optional telemetry sink called as ``on_event(kind, t, attrs)``
+        for queue waits, sheds, degradations, retries, breaker
+        transitions, canaries and completions.  ``None`` (default)
+        emits nothing — not even an event object is built.
     """
 
     def __init__(
@@ -185,6 +201,9 @@ class FactorizationService:
         canary_n: int = 16,
         default_budget: "Budget | None" = None,
         clock: Clock = MONOTONIC,
+        tracing: bool = False,
+        name: str = "service",
+        on_event: "Callable[[str, float, dict], None] | None" = None,
     ) -> None:
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
@@ -192,6 +211,9 @@ class FactorizationService:
             raise ValueError(f"retries must be >= 0, got {retries}")
         self.workers = int(workers)
         self.retries = int(retries)
+        self.tracing = bool(tracing)
+        self.name = str(name)
+        self.on_event = on_event
         if cache == "default":
             cache = ResultCache.default()
         elif isinstance(cache, str):
@@ -208,6 +230,7 @@ class FactorizationService:
         )
         self._lock = threading.Lock()
         self._tickets: "dict[str, JobTicket]" = {}
+        self._trace_logs: "dict[str, TraceLog]" = {}
         self._breakers: "dict[str, CircuitBreaker]" = {}
         self._inflight = 0
         self._closed = False
@@ -221,6 +244,17 @@ class FactorizationService:
             )
             t.start()
             self._threads.append(t)
+
+    # -- telemetry ---------------------------------------------------------
+
+    def _emit(self, kind: str, **attrs: Any) -> None:
+        """Hand one structured event to the telemetry sink, if any.
+
+        The ``None`` check is the entire disabled-mode cost — no event
+        object, no clock read, nothing (the golden suite relies on it).
+        """
+        if self.on_event is not None:
+            self.on_event(kind, self._clock(), attrs)
 
     # -- breakers ---------------------------------------------------------
 
@@ -238,6 +272,7 @@ class FactorizationService:
                         algorithm=alg,
                         to=to,
                     ).inc()
+                    self._emit("breaker", algorithm=alg, to=to)
 
                 b = CircuitBreaker(
                     failure_threshold=self.breaker_threshold,
@@ -281,6 +316,24 @@ class FactorizationService:
         with self._lock:
             self._tickets[job.job_id] = ticket
         job.submitted_at = self._clock()
+
+        # Tracing: a job may arrive already carrying a context (the
+        # cluster front door minted it and owns the root span); with
+        # ``tracing=True`` a bare job gets one minted here, in which
+        # case this service emits the root record too.  Untraced jobs
+        # skip all of this — no log, no records, no wire change.
+        minted_root = False
+        if job.trace is None and self.tracing:
+            job.trace = root_context(job.point.key())
+            minted_root = True
+        if job.trace is not None:
+            with self._lock:
+                self._trace_logs[job.job_id] = TraceLog(
+                    job.trace,
+                    process=self.name,
+                    minted_root=minted_root,
+                    start=job.submitted_at,
+                )
 
         if self._closed:
             self._finish_shed(job, reason="shutdown")
@@ -389,6 +442,18 @@ class FactorizationService:
 
     def _run_job(self, job: Job) -> None:
         point = job.point
+        if job.trace is not None or self.on_event is not None:
+            popped_at = self._clock()
+            with self._lock:
+                log = self._trace_logs.get(job.job_id)
+            if log is not None:
+                log.add("queue", popped_at, job_id=job.job_id)
+            self._emit(
+                "queue_wait",
+                seconds=max(0.0, popped_at - job.submitted_at),
+                job_id=job.job_id,
+                priority=priority_name(job.priority),
+            )
         breaker = self._breaker(point.algorithm)
         budget = job.budget or self.default_budget
         guard = None
@@ -482,6 +547,13 @@ class FactorizationService:
                     "repro_service_retries_total",
                     algorithm=point.algorithm,
                 ).inc()
+                self._emit(
+                    "retry",
+                    algorithm=point.algorithm,
+                    job_id=job.job_id,
+                    attempt=attempt,
+                    error=type(exc).__name__,
+                )
                 if breaker.state == OPEN:
                     # the breaker tripped on this job's own failures;
                     # stop hammering the backend and serve the ladder
@@ -534,17 +606,95 @@ class FactorizationService:
                 algorithm=point.algorithm,
                 outcome="failure",
             ).inc()
+            self._emit("canary", algorithm=point.algorithm, outcome="failure")
             return False
         METRICS.counter(
             "repro_service_canary_runs_total",
             algorithm=point.algorithm,
             outcome="success",
         ).inc()
+        self._emit("canary", algorithm=point.algorithm, outcome="success")
         return True
 
     # -- terminal transitions ----------------------------------------------
 
+    def _attach_trace(
+        self, log: TraceLog, job: Job, response: ServiceResponse
+    ) -> ServiceResponse:
+        """Record the terminal span (and root, if minted) onto ``response``.
+
+        The terminal span is the job's *work* leaf and carries the
+        measurement's simulated counter deltas; everything before it
+        (queue, admission) is zero-counter, so the leaf-sum invariant
+        (:func:`repro.observability.tracing.validate_trace`) holds by
+        construction.  When the engine observed the run, the
+        measurement's span-profile tree is grafted under ``execute``,
+        splitting the same counters into per-phase leaves.
+        """
+        now = self._clock()
+        m = response.measurement
+        counts = {
+            "words": 0 if m is None else int(m.words),
+            "messages": 0 if m is None else int(m.messages),
+            "flops": 0 if m is None else int(m.flops),
+        }
+        if response.status == DONE:
+            name = "cache" if response.detail.get("cached") else "execute"
+            span = log.add(
+                name,
+                now,
+                status=DONE,
+                attempts=response.attempts,
+                **counts,
+            )
+            if name == "execute" and m is not None and m.profile:
+                log.graft_profile(span, m.profile)
+        elif response.status == DEGRADED:
+            log.add(
+                "degrade",
+                now,
+                status=DEGRADED,
+                reason=response.reason,
+                attempts=response.attempts,
+                **counts,
+            )
+        elif response.status == SHED:
+            log.add("admission", now, status=SHED, reason=response.reason)
+        else:
+            log.add(
+                "failed",
+                now,
+                status=FAILED,
+                reason=response.reason,
+                attempts=response.attempts,
+            )
+        if log.minted_root:
+            log.close_root(
+                now,
+                t_start=job.submitted_at,
+                status=response.status,
+                algorithm=job.point.algorithm,
+                job_id=job.job_id,
+                **counts,
+            )
+        return dataclasses.replace(response, trace=log.records())
+
+    def _emit_terminal(self, job: Job, response: ServiceResponse) -> None:
+        attrs = {"job_id": job.job_id, "algorithm": job.point.algorithm}
+        if response.status == DONE:
+            self._emit(
+                "done", cached=bool(response.detail.get("cached")), **attrs
+            )
+        else:
+            self._emit(response.status, reason=response.reason, **attrs)
+
     def _finish(self, job: Job, response: ServiceResponse) -> None:
+        with self._lock:
+            log = self._trace_logs.pop(job.job_id, None)
+        if log is not None:
+            response = self._attach_trace(log, job, response)
+        if self.on_event is not None:
+            self._emit_terminal(job, response)
         with self._lock:
             ticket = self._tickets.get(job.job_id)
             self._status_counts[response.status] = (

@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
+from typing import Callable
 
 from repro.experiments.cache import ResultCache
 from repro.experiments.spec import SpecPoint
@@ -131,6 +132,10 @@ class ShardStoreView:
             TIER_MEMORY: 0, TIER_SHARED: 0, TIER_DISK: 0, TIER_MISS: 0,
             "puts": 0,
         }
+        #: Optional telemetry hook called with the tier of every lookup
+        #: (the cluster wires it to the shard's event bus; ``None``
+        #: costs nothing).
+        self.on_lookup: "Callable[[str], None] | None" = None
 
     def _count(self, tier: str) -> None:
         with self._lock:
@@ -140,6 +145,8 @@ class ShardStoreView:
             shard=self.shard_id,
             tier=tier,
         ).inc()
+        if self.on_lookup is not None:
+            self.on_lookup(tier)
 
     def _remember(self, key: str, entry: dict) -> None:
         with self._lock:

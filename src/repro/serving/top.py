@@ -1,0 +1,236 @@
+"""``repro top``: a live terminal dashboard over the serving cluster.
+
+Renders, once per refresh interval, what an operator staring at the
+cluster wants on one screen:
+
+* per-shard rows — liveness, queue depth/capacity, in-flight count,
+  worst breaker state, job counts by status, store-tier hits;
+* the SLO panel — availability vs target, error-budget burn, exact
+  p50/p90/p99/p999 latency over terminal responses;
+* the telemetry tail — the most recent structured events off the bus
+  (sheds, breaker transitions, retries, store tiers).
+
+Two ways to drive it:
+
+* ``repro top --demo N`` builds its own cluster (inline by default —
+  fully deterministic; ``--process`` for real shard subprocesses),
+  pushes a demo workload through it and renders ``--frames`` frames.
+  This is also what CI smoke-tests.
+* ``render_dashboard`` is a pure function of the health/SLO/telemetry
+  snapshots — embed it over any live cluster (``repro serve`` holds
+  one) or feed it persisted health JSON.
+
+Rendering is plain text with no cursor tricks beyond an ANSI
+clear-screen between frames (suppressed by ``--no-clear``, which CI
+uses to keep logs readable).
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Any, Iterable, Mapping
+
+#: Breaker state -> compact glyph for the shard table.
+_BREAKER_GLYPH = {"closed": "ok", "half-open": "half", "open": "OPEN"}
+
+#: Terminal statuses in display order.
+_STATUSES = ("done", "degraded", "shed", "failed")
+
+
+def _fmt_latency(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    return f"{seconds * 1e3:.1f}ms"
+
+
+def _shard_row(name: str, h: Mapping[str, Any]) -> str:
+    if not h.get("reachable", False):
+        return f"  {name:<12} DOWN"
+    q = h.get("queue") or {}
+    jobs = h.get("jobs") or {}
+    store = h.get("store") or {}
+    breakers = h.get("breakers") or {}
+    worst = "closed"
+    for snap in breakers.values():
+        state = snap.get("state", "closed")
+        if state == "open":
+            worst = "open"
+            break
+        if state == "half-open":
+            worst = "half-open"
+    counts = "/".join(str(jobs.get(s, 0)) for s in _STATUSES)
+    tiers = (
+        f"{store.get('memory', 0)}m {store.get('shared', 0)}s "
+        f"{store.get('disk', 0)}d {store.get('miss', 0)}x"
+    )
+    return (
+        f"  {name:<12} up   q {q.get('depth', 0):>3}/{q.get('capacity', 0):<3}"
+        f" infl {h.get('inflight', 0):>3}  brk {_BREAKER_GLYPH[worst]:<4}"
+        f" jobs {counts:<15} store {tiers}"
+    )
+
+
+def render_dashboard(
+    health: Mapping[str, Any],
+    *,
+    slo: "Mapping[str, Any] | None" = None,
+    events: "Iterable[Any] | None" = None,
+    title: str = "repro top",
+    max_events: int = 8,
+) -> str:
+    """Render one dashboard frame from snapshots (pure — no I/O, no clock).
+
+    ``health`` is :meth:`ServingCluster.health` output (``slo``
+    defaults to its embedded ``"slo"`` key); ``events`` is an optional
+    iterable of :class:`~repro.serving.telemetry.TelemetryEvent`.
+    """
+    slo = slo if slo is not None else health.get("slo")
+    lines = []
+    ring = health.get("ring") or {}
+    jobs = health.get("jobs") or {}
+    total_jobs = sum(jobs.values())
+    lines.append(
+        f"{title} — mode {health.get('mode', '?')}"
+        f"  ring {len(ring.get('nodes', ()))} shard(s)"
+        f"  accepting {'yes' if health.get('accepting') else 'NO'}"
+        f"  inflight {health.get('inflight', 0)}"
+        f"  rebalances {health.get('rebalances', 0)}"
+    )
+    counts = "  ".join(f"{s} {jobs.get(s, 0)}" for s in _STATUSES)
+    lines.append(f"jobs {total_jobs}: {counts}")
+    lines.append("")
+    lines.append("shards")
+    for name, h in sorted((health.get("shards") or {}).items()):
+        lines.append(_shard_row(name, h))
+    if slo:
+        target = slo.get("target") or {}
+        budget = slo.get("error_budget") or {}
+        lat = slo.get("latency") or {}
+        burn = budget.get("burn", 0.0)
+        violations = slo.get("violations") or []
+        lines.append("")
+        lines.append(
+            f"slo [{target.get('name', 'default')}]"
+            f"  avail {slo.get('availability', 1.0) * 100:.3f}%"
+            f" (target {target.get('availability', 0.0) * 100:.3f}%)"
+            f"  budget burn {burn:.2f}x"
+            f"  {'VIOLATED: ' + ','.join(violations) if violations else 'ok'}"
+        )
+        lines.append(
+            "latency  "
+            + "  ".join(
+                f"{q} {_fmt_latency(lat.get(q, 0.0))}"
+                for q in ("p50", "p90", "p99", "p999")
+            )
+        )
+    if events is not None:
+        tail = list(events)[-max_events:]
+        lines.append("")
+        lines.append(f"events (last {len(tail)})")
+        for e in tail:
+            attrs = " ".join(f"{k}={v}" for k, v in e.attrs)
+            lines.append(f"  {e.t:>10.3f} {e.shard:<12} {e.kind:<10} {attrs}")
+    return "\n".join(lines) + "\n"
+
+
+def _demo_cluster(args) -> "tuple[Any, Any]":
+    """Build the demo cluster + workload iterator for ``--demo``."""
+    from repro.serving.client import ServingClient
+    from repro.serving.workloads import demo_workload
+
+    client = ServingClient.cluster(
+        shards=args.shards,
+        mode="process" if args.process else "inline",
+        tracing=True,
+        telemetry=True,
+        monitor_interval=0.5 if args.process else None,
+        health_dir=args.health_dir,
+    )
+    return client, demo_workload(args.demo)
+
+
+def top_main(argv: "list[str] | None" = None) -> int:
+    """``repro top`` entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro top",
+        description="Live terminal dashboard over a serving cluster.",
+    )
+    parser.add_argument(
+        "--demo",
+        type=int,
+        default=24,
+        metavar="N",
+        help="drive N demo jobs through a self-contained cluster "
+        "(default 24)",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=3, help="shard count (default 3)"
+    )
+    parser.add_argument(
+        "--process",
+        action="store_true",
+        help="real shard subprocesses (default: deterministic inline)",
+    )
+    parser.add_argument(
+        "--frames",
+        type=int,
+        default=0,
+        metavar="K",
+        help="render K frames then exit (0 = until the workload drains); "
+        "CI uses small K",
+    )
+    parser.add_argument(
+        "--interval",
+        type=float,
+        default=0.5,
+        help="seconds between frames in process mode (default 0.5)",
+    )
+    parser.add_argument(
+        "--no-clear",
+        action="store_true",
+        help="do not clear the screen between frames (log-friendly)",
+    )
+    parser.add_argument(
+        "--health-dir",
+        default=None,
+        help="process mode: shard health snapshot directory",
+    )
+    args = parser.parse_args(argv)
+
+    import time as _time
+
+    client, workload = _demo_cluster(args)
+    try:
+        tickets = [client.submit_async(job) for job in workload]
+        frame = 0
+        while True:
+            if client.needs_pump:
+                # inline: a bounded slice of work per frame, so the
+                # dashboard shows the workload actually draining
+                client.pump(max_jobs=max(1, len(tickets) // 4))
+            backend = client.backend
+            text = render_dashboard(
+                backend.health(),
+                events=(
+                    backend.telemetry.recent()
+                    if backend.telemetry is not None
+                    else None
+                ),
+            )
+            if not args.no_clear:
+                print("\x1b[2J\x1b[H", end="")
+            print(text, end="", flush=True)
+            frame += 1
+            done = all(t.done() for t in tickets)
+            if args.frames and frame >= args.frames:
+                break
+            if not args.frames and done:
+                break
+            if not client.needs_pump:
+                _time.sleep(args.interval)
+        return 0
+    finally:
+        client.close()
+
+
+__all__ = ["render_dashboard", "top_main"]

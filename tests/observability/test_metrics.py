@@ -104,6 +104,108 @@ class TestRegistry:
         assert r.value("c") is None
 
 
+class TestConcurrency:
+    """Shard reader threads and worker threads hammer one registry."""
+
+    THREADS = 8
+    PER_THREAD = 2000
+
+    def test_counter_increments_are_not_lost(self):
+        import threading
+
+        r = MetricsRegistry()
+        start = threading.Barrier(self.THREADS)
+
+        def worker(idx):
+            start.wait()
+            for _ in range(self.PER_THREAD):
+                r.counter("hits", shard=f"s{idx % 2}").inc()
+
+        threads = [
+            threading.Thread(target=worker, args=(i,))
+            for i in range(self.THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        total = sum(
+            r.value("hits", shard=f"s{i}") for i in range(2)
+        )
+        assert total == self.THREADS * self.PER_THREAD
+
+    def test_histogram_observations_are_not_lost(self):
+        import threading
+
+        r = MetricsRegistry()
+        start = threading.Barrier(self.THREADS)
+
+        def worker(idx):
+            start.wait()
+            for j in range(self.PER_THREAD):
+                r.histogram("lat", kind="x").observe(0.001 * (j % 10))
+
+        threads = [
+            threading.Thread(target=worker, args=(i,))
+            for i in range(self.THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        h = r.value("lat", kind="x")
+        assert h.count == self.THREADS * self.PER_THREAD
+        assert sum(h.bucket_counts) == h.count
+
+    def test_concurrent_label_series_creation_is_consistent(self):
+        import threading
+
+        r = MetricsRegistry()
+        start = threading.Barrier(self.THREADS)
+
+        def worker(idx):
+            start.wait()
+            for j in range(200):
+                r.counter("c", series=str(j % 50)).inc()
+                r.gauge("g", series=str(j % 50)).set(j)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,))
+            for i in range(self.THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # exactly 50 series each, no torn/duplicated label tuples
+        assert len(r.to_dict()["c"]["series"]) == 50
+        assert len(r.to_dict()["g"]["series"]) == 50
+        total = sum(
+            r.value("c", series=str(j)) for j in range(50)
+        )
+        assert total == self.THREADS * 200
+
+
+class TestLoadDict:
+    def test_roundtrip_counters_gauges_histograms(self):
+        r = MetricsRegistry()
+        r.counter("c", kind="x").inc(7)
+        r.gauge("g").set(2.5)
+        h = r.histogram("h", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(5.0)
+        doc = json.loads(json.dumps(r.to_dict()))
+        restored = MetricsRegistry()
+        restored.load_dict(doc)
+        assert restored.to_dict() == r.to_dict()
+        assert restored.render_text() == r.render_text()
+
+    def test_unknown_type_rejected(self):
+        restored = MetricsRegistry()
+        with pytest.raises(MetricsError):
+            restored.load_dict({"m": {"type": "summary", "series": []}})
+
+
 class TestPublishers:
     def test_publish_run(self):
         r = MetricsRegistry()

@@ -1,0 +1,124 @@
+"""SLO accounting: percentiles, error budgets, violations, publishing."""
+
+import math
+
+import pytest
+
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.slo import (
+    BUDGET_SPENDING,
+    SLOTarget,
+    SLOTracker,
+    percentile,
+)
+
+
+class TestPercentile:
+    def test_nearest_rank_exactness(self):
+        samples = [float(i) for i in range(1, 101)]  # 1..100
+        assert percentile(samples, 0.50) == 50.0
+        assert percentile(samples, 0.90) == 90.0
+        assert percentile(samples, 0.99) == 99.0
+        assert percentile(samples, 1.0) == 100.0
+
+    def test_every_result_is_an_observed_sample(self):
+        samples = [0.1, 7.0, 3.0]
+        for q in (0.1, 0.5, 0.9, 0.999):
+            assert percentile(samples, q) in samples
+
+    def test_empty_is_zero_and_bad_q_raises(self):
+        assert percentile([], 0.5) == 0.0
+        with pytest.raises(ValueError):
+            percentile([1.0], 0.0)
+
+
+class TestTarget:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SLOTarget(availability=0.0)
+        with pytest.raises(ValueError):
+            SLOTarget(latency_p99=0.0)
+        t = SLOTarget(name="tight", availability=0.99, latency_p99=0.5)
+        assert t.to_dict()["latency_p99"] == 0.5
+
+
+class TestTracker:
+    def test_degraded_does_not_spend_budget(self):
+        assert BUDGET_SPENDING == ("failed", "shed")
+        tracker = SLOTracker(SLOTarget(availability=0.9))
+        for _ in range(8):
+            tracker.record("lapack", "done", 0.01)
+        tracker.record("lapack", "degraded", 0.01)
+        tracker.record("lapack", "failed", 0.01)
+        assert tracker.total == 10
+        assert tracker.availability() == pytest.approx(0.9)
+        assert tracker.violations() == []
+        budget = tracker.error_budget()
+        assert budget["spent"] == 1.0
+        assert budget["burn"] == pytest.approx(1.0)
+
+    def test_availability_violation(self):
+        tracker = SLOTracker(SLOTarget(availability=0.999))
+        tracker.record("lapack", "done", 0.01)
+        tracker.record("lapack", "shed", 0.0)
+        assert "availability" in tracker.violations()
+        assert math.isinf(tracker.error_budget()["burn"]) or \
+            tracker.error_budget()["burn"] > 1.0
+
+    def test_latency_violation_over_served_only(self):
+        tracker = SLOTracker(SLOTarget(availability=0.5, latency_p99=0.1))
+        for _ in range(10):
+            tracker.record("lapack", "done", 0.01)
+        tracker.record("lapack", "failed", 99.0)  # failures don't count
+        assert tracker.violations() == []
+        tracker.record("lapack", "done", 5.0)
+        assert "latency_p99" in tracker.violations()
+
+    def test_empty_tracker_is_healthy(self):
+        tracker = SLOTracker()
+        assert tracker.availability() == 1.0
+        assert tracker.error_budget()["burn"] == 0.0
+        assert tracker.violations() == []
+
+    def test_sample_window_is_bounded_but_counts_exact(self):
+        tracker = SLOTracker(max_samples=4)
+        for i in range(10):
+            tracker.record("a", "done", float(i))
+        assert tracker.count("a", "done") == 10
+        # only the 4 newest latencies remain in the distribution
+        assert tracker.latency_quantiles()["p50"] >= 6.0
+
+    def test_snapshot_shape(self):
+        tracker = SLOTracker(SLOTarget(name="t"))
+        tracker.record("lapack", "done", 0.02)
+        snap = tracker.snapshot()
+        assert snap["target"]["name"] == "t"
+        assert snap["total"] == 1
+        assert snap["series"]["lapack/done"]["count"] == 1
+        assert set(snap["latency"]) == {"p50", "p90", "p99", "p999"}
+
+
+class TestPublish:
+    def test_publish_is_idempotent_per_sample(self):
+        reg = MetricsRegistry()
+        tracker = SLOTracker(SLOTarget(name="obj"))
+        tracker.record("lapack", "done", 0.02)
+        tracker.publish(reg)
+        tracker.publish(reg)  # re-publishing must not double-observe
+        hist = reg.value(
+            "repro_slo_latency_seconds", algorithm="lapack", status="done"
+        )
+        assert hist.count == 1
+        tracker.record("lapack", "done", 0.04)
+        tracker.publish(reg)
+        assert hist.count == 2
+        assert reg.value("repro_slo_availability", objective="obj") == 1.0
+
+    def test_infinite_burn_published_as_sentinel(self):
+        reg = MetricsRegistry()
+        tracker = SLOTracker(SLOTarget(availability=1.0))
+        tracker.record("lapack", "shed", 0.0)
+        assert math.isinf(tracker.error_budget()["burn"])
+        tracker.publish(reg)
+        assert reg.value("repro_slo_error_budget_burn", objective="default") \
+            == -1.0

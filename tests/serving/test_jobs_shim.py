@@ -1,0 +1,59 @@
+"""The deprecated ``repro.serving.jobs`` shim warns at import; the API doesn't.
+
+The attribute-level aliasing tests live in ``test_api.py``; this file
+pins the *import-time* contract: merely importing the shim module emits
+a :class:`DeprecationWarning` (so a stale ``import repro.serving.jobs``
+line is flagged even if no attribute is touched), while importing the
+replacement :mod:`repro.serving.api` stays completely silent.
+"""
+
+import importlib
+import sys
+import warnings
+
+
+def _fresh_import(module_name):
+    """Import ``module_name`` as if for the first time this process.
+
+    The original module object is restored into ``sys.modules``
+    afterwards, so identities held by already-imported code (e.g. the
+    ``Job`` class bound inside the client) stay intact for later tests.
+    """
+    original = sys.modules.pop(module_name, None)
+    try:
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            importlib.import_module(module_name)
+        return caught
+    finally:
+        if original is not None:
+            sys.modules[module_name] = original
+        else:
+            sys.modules.pop(module_name, None)
+
+
+def test_importing_the_shim_warns():
+    caught = _fresh_import("repro.serving.jobs")
+    deprecations = [
+        w for w in caught if issubclass(w.category, DeprecationWarning)
+    ]
+    assert deprecations, "import repro.serving.jobs must warn"
+    message = str(deprecations[0].message)
+    assert "repro.serving.jobs is deprecated" in message
+    assert "repro.serving.api" in message
+
+
+def test_importing_the_api_is_warning_free():
+    caught = _fresh_import("repro.serving.api")
+    assert [str(w.message) for w in caught] == []
+
+
+def test_shim_names_still_resolve():
+    import repro.serving.api as api
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        sys.modules.pop("repro.serving.jobs", None)
+        jobs = importlib.import_module("repro.serving.jobs")
+        assert jobs.Job is api.Job
+        assert jobs.DONE is api.DONE

@@ -14,7 +14,7 @@ from repro.experiments.spec import SpecPoint
 from repro.faults.plan import FaultPlan
 from repro.serving.budget import Budget
 from repro.serving.clock import ManualClock
-from repro.serving.jobs import DEGRADED, DONE, FAILED, SHED, Job
+from repro.serving.api import DEGRADED, DONE, FAILED, SHED, Job
 from repro.serving.queue import PRIORITY_HIGH, PRIORITY_LOW
 from repro.serving.service import FactorizationService, Overloaded, canary_point
 from repro.util.validation import ValidationError

@@ -135,6 +135,55 @@ class TestSequentialGolden:
         assert counts_f == counts_s
 
 
+class TestServingObservabilityGolden:
+    """Tracing/telemetry must be invisible to the modeled machine.
+
+    The serving-side analogue of the fastpath contract: an inline
+    cluster run with tracing and telemetry ON must produce, job for
+    job, exactly the same terminal responses — status, reason, counts,
+    fault fingerprints, span-profile trees — as a run with them OFF.
+    The only permitted difference is the presence of the ``trace`` key.
+    """
+
+    def _run(self, *, tracing: bool):
+        from repro.serving.cluster import ServingCluster
+        from repro.serving.workloads import soak_workload
+
+        cluster = ServingCluster(
+            shards=2, mode="inline", tracing=tracing, telemetry=tracing
+        )
+        try:
+            tickets = [cluster.submit(j) for j in soak_workload(16)]
+            cluster.run_pending()
+            return [t.result(timeout=0).to_dict() for t in tickets]
+        finally:
+            cluster.stop()
+
+    @staticmethod
+    def _strip(doc: dict) -> dict:
+        out = {
+            k: v
+            for k, v in doc.items()
+            if k not in ("trace", "job_id", "wall_seconds")
+        }
+        m = out.get("measurement")
+        if m:
+            out["measurement"] = {
+                k: v for k, v in m.items() if k != "run"
+            }
+        return out
+
+    def test_observability_on_is_count_identical_to_off(self):
+        off = self._run(tracing=False)
+        on = self._run(tracing=True)
+        assert len(off) == len(on) == 16
+        for doc_off, doc_on in zip(off, on):
+            assert "trace" not in doc_off
+            if doc_on["status"] in ("done", "degraded"):
+                assert "trace" in doc_on
+            assert self._strip(doc_off) == self._strip(doc_on)
+
+
 class TestParallelGolden:
     @staticmethod
     def _network_state(network):
