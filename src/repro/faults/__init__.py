@@ -24,9 +24,10 @@ from repro.faults.injector import (
     FaultStats,
     RankFailed,
 )
-from repro.faults.plan import FaultPlan, fault_unit
+from repro.faults.plan import ClusterFaultPlan, FaultPlan, fault_unit
 
 __all__ = [
+    "ClusterFaultPlan",
     "FaultError",
     "FaultEvent",
     "FaultExhausted",

@@ -201,4 +201,193 @@ class FaultPlan:
         return replace(self, seed=int(seed))
 
 
-__all__ = ["FaultPlan", "fault_unit"]
+@dataclass(frozen=True)
+class ClusterFaultPlan:
+    """Seeded chaos at the *cluster* layer (the serving front door).
+
+    Extends the :class:`FaultPlan` discipline — one seed, every
+    decision a pure SHA-256 function of ``(seed, kind, identity)`` —
+    from the simulated machine up to the serving cluster, so a chaos
+    soak (which shards die, which dispatches drop, which jobs are
+    poisoned, when the front door itself crashes) is byte-reproducible
+    run to run.  Decisions are keyed by the *submission index* and the
+    job's content-address, never by process-global job ids or wall
+    time, so two same-seed soaks realize the identical schedule.
+
+    Parameters
+    ----------
+    seed:
+        Root of every chaos decision.
+    kill_every:
+        Deterministic shard kills: at every ``kill_every``-th
+        submission, hard-kill one live shard (chosen by a seeded draw;
+        the last live shard is never killed — chaos degrades the ring,
+        it does not empty it).  ``0`` disables.
+    shard_kill / shard_stall:
+        Per-submission probabilities of killing / heartbeat-stalling a
+        shard (stall only applies to process-mode shards: the victim
+        stops heartbeating for ``stall_seconds`` while staying alive —
+        the supervisor's debounce/evict/respawn path under test).
+    stall_seconds:
+        Length of one injected heartbeat stall.
+    pipe_drop:
+        Per-dispatch probability that the submit message is lost on
+        the pipe; the front door detects the drop and redelivers
+        (draws are per-attempt, so redelivery terminates).
+    pipe_delay / delay_seconds:
+        Per-dispatch probability of delaying the send, and the delay.
+    poison:
+        Per-submission probability that the job is poisoned: its point
+        is wrapped in a fatal :class:`FaultPlan` (first read faults,
+        one attempt), driving the shard's failure/breaker path.
+    crash_at_record:
+        Front-door crash: after the journal durably writes record
+        ``k``, the front door dies (see
+        :class:`repro.serving.journal.JobJournal`).  ``None`` disables.
+    """
+
+    seed: int = 0
+    kill_every: int = 0
+    shard_kill: float = 0.0
+    shard_stall: float = 0.0
+    stall_seconds: float = 2.0
+    pipe_drop: float = 0.0
+    pipe_delay: float = 0.0
+    delay_seconds: float = 0.05
+    poison: float = 0.0
+    crash_at_record: "int | None" = None
+
+    def __post_init__(self) -> None:
+        for name in ("shard_kill", "shard_stall", "pipe_drop", "pipe_delay",
+                     "poison"):
+            object.__setattr__(self, name, _check_prob(name, getattr(self, name)))
+        object.__setattr__(self, "seed", int(self.seed))
+        object.__setattr__(self, "kill_every", int(self.kill_every))
+        if self.kill_every < 0:
+            raise ValueError(f"kill_every must be >= 0, got {self.kill_every}")
+        if self.stall_seconds < 0 or self.delay_seconds < 0:
+            raise ValueError("stall_seconds and delay_seconds must be >= 0")
+        if self.crash_at_record is not None:
+            object.__setattr__(
+                self, "crash_at_record", int(self.crash_at_record)
+            )
+            if self.crash_at_record < 1:
+                raise ValueError(
+                    f"crash_at_record must be >= 1, got {self.crash_at_record}"
+                )
+
+    # -- emptiness -------------------------------------------------------
+
+    def is_empty(self) -> bool:
+        """True if the plan can never inject anything at the cluster."""
+        return not (
+            self.kill_every
+            or self.shard_kill
+            or self.shard_stall
+            or self.pipe_drop
+            or self.pipe_delay
+            or self.poison
+            or self.crash_at_record
+        )
+
+    def __bool__(self) -> bool:
+        return not self.is_empty()
+
+    # -- per-decision draws ----------------------------------------------
+
+    def unit(self, kind: str, *parts: object) -> float:
+        """The plan's deterministic uniform draw for one decision."""
+        return fault_unit(self.seed, "cluster", kind, *parts)
+
+    def _pick(self, kind: str, index: int, names: "list[str]") -> str:
+        i = int(self.unit(kind + "-pick", index) * len(names))
+        return sorted(names)[min(i, len(names) - 1)]
+
+    def kill_target(self, index: int, live: "Iterable[str]") -> "str | None":
+        """The shard to kill at submission ``index``, or ``None``.
+
+        Never names the last live shard: with one survivor the ring
+        stays serving and accepted jobs keep terminating.
+        """
+        names = sorted(live)
+        if len(names) < 2:
+            return None
+        if self.kill_every and index % self.kill_every == 0 and index > 0:
+            return self._pick("kill", index, names)
+        if self.shard_kill and self.unit("kill", index) < self.shard_kill:
+            return self._pick("kill", index, names)
+        return None
+
+    def stall_target(self, index: int, live: "Iterable[str]") -> "str | None":
+        """The shard to heartbeat-stall at submission ``index``, or ``None``."""
+        names = sorted(live)
+        if not names or not self.shard_stall:
+            return None
+        if self.unit("stall", index) < self.shard_stall:
+            return self._pick("stall", index, names)
+        return None
+
+    def drops_dispatch(self, index: int, key: str, attempt: int) -> bool:
+        """Is delivery ``attempt`` (0-based) of this dispatch lost?"""
+        if not self.pipe_drop:
+            return False
+        return self.unit("pipe-drop", index, key, attempt) < self.pipe_drop
+
+    def dispatch_delay(self, index: int, key: str) -> float:
+        """Seconds to delay this dispatch (0.0 almost always)."""
+        if not self.pipe_delay:
+            return 0.0
+        if self.unit("pipe-delay", index, key) < self.pipe_delay:
+            return self.delay_seconds
+        return 0.0
+
+    def poisons(self, index: int, key: str) -> bool:
+        """Is the job at submission ``index`` poisoned?"""
+        if not self.poison:
+            return False
+        return self.unit("poison", index, key) < self.poison
+
+    def poison_plan(self, index: int, key: str) -> FaultPlan:
+        """The fatal per-job fault plan a poisoned job is wrapped in.
+
+        First explicit read faults with a single permitted attempt:
+        the job fails fast and deterministically
+        (:class:`~repro.faults.FaultExhausted` inside the shard) —
+        cheap, loud, and the same failure every run.
+        """
+        return FaultPlan(
+            seed=int(self.unit("poison-seed", index, key) * (1 << 31)),
+            read_fault=0.999,
+            drop=0.999,
+            max_attempts=1,
+        )
+
+    # -- serialization ---------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-ready canonical dict (artifact / CI input)."""
+        return {
+            "seed": self.seed,
+            "kill_every": self.kill_every,
+            "shard_kill": self.shard_kill,
+            "shard_stall": self.shard_stall,
+            "stall_seconds": self.stall_seconds,
+            "pipe_drop": self.pipe_drop,
+            "pipe_delay": self.pipe_delay,
+            "delay_seconds": self.delay_seconds,
+            "poison": self.poison,
+            "crash_at_record": self.crash_at_record,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "ClusterFaultPlan":
+        """Rebuild a plan from :meth:`to_dict` output."""
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in dict(d).items() if k in known})
+
+    def with_seed(self, seed: int) -> "ClusterFaultPlan":
+        """The same chaos model under a different schedule seed."""
+        return replace(self, seed=int(seed))
+
+
+__all__ = ["ClusterFaultPlan", "FaultPlan", "fault_unit"]

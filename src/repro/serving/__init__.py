@@ -15,10 +15,18 @@ and fronted by the one client facade
 request/response schema every layer speaks lives in
 :mod:`repro.serving.api`.
 
+Durability and self-healing: the front door can write-ahead journal
+every job lifecycle transition (:class:`~repro.serving.journal.JobJournal`)
+and replay it after a crash (:meth:`ServingCluster.recover`), dead
+shards are respawned under a seeded backoff/budget policy
+(:class:`~repro.serving.supervisor.ShardSupervisor`), and a
+:class:`~repro.faults.ClusterFaultPlan` drives byte-reproducible
+cluster chaos soaks.
+
 See ``docs/SERVING.md`` for the full protocol: the admission flow, the
 budget chokepoints, the breaker state machine, the degradation ladder
-with its documented error bounds, and the cluster's ring/rebalance
-semantics.
+with its documented error bounds, the cluster's ring/rebalance
+semantics, and the journal/supervision durability contract.
 """
 
 from repro.serving.api import (
@@ -45,6 +53,13 @@ from repro.serving.budget import Budget, BudgetExceeded, BudgetGuard
 from repro.serving.client import ServingClient
 from repro.serving.clock import MONOTONIC, ManualClock
 from repro.serving.cluster import ClusterTicket, ServingCluster
+from repro.serving.journal import (
+    CRASH_EXIT_CODE,
+    JobJournal,
+    JournalCrash,
+    JournalReplay,
+    replay_journal,
+)
 from repro.serving.degrade import (
     PARALLEL_BOUND_FACTORS,
     SEQUENTIAL_BOUND_FACTORS,
@@ -68,6 +83,7 @@ from repro.serving.service import (
     canary_point,
 )
 from repro.serving.store import SharedResultStore, ShardStoreView
+from repro.serving.supervisor import ShardSupervisor
 
 __all__ = [
     "Budget",
@@ -76,6 +92,7 @@ __all__ = [
     "BoundedPriorityQueue",
     "CircuitBreaker",
     "CLOSED",
+    "CRASH_EXIT_CODE",
     "ClusterTicket",
     "DEGRADED",
     "DONE",
@@ -84,7 +101,10 @@ __all__ = [
     "HALF_OPEN",
     "HashRing",
     "Job",
+    "JobJournal",
     "JobTicket",
+    "JournalCrash",
+    "JournalReplay",
     "MONOTONIC",
     "ManualClock",
     "OPEN",
@@ -101,6 +121,7 @@ __all__ = [
     "ServiceResponse",
     "ServingClient",
     "ServingCluster",
+    "ShardSupervisor",
     "SharedResultStore",
     "ShardStoreView",
     "TERMINAL_STATUSES",
@@ -115,6 +136,7 @@ __all__ = [
     "predict_point",
     "priority_name",
     "pxpotrf_request",
+    "replay_journal",
     "response_from_wire",
     "response_to_wire",
 ]

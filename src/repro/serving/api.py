@@ -67,6 +67,14 @@ wire document from an incompatible future schema with
   keys are **omitted when absent**, so an untraced job's wire
   documents are byte-identical to version 1 apart from the stamp,
   and version-1 readers that ignore unknown keys keep working.
+
+The write-ahead job journal (PR 8,
+:mod:`repro.serving.journal`) embeds each accepted job's version-2
+wire document verbatim inside its ``accepted`` records, so journal
+replay goes through :func:`job_from_wire` and inherits this exact
+compatibility contract — including the preservation of the original
+``job_id``, which is what lets a recovery run match its terminal
+records against a previous incarnation's acceptances.
 """
 
 from __future__ import annotations

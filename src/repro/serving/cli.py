@@ -10,9 +10,13 @@ and talks to no backend directly.
 budget caps and deadline) and print the structured
 :class:`ServiceResponse` as JSON.  ``--cluster`` routes the job
 through a sharded inline cluster instead of a single service — same
-request, same response, different substrate.  The exit code mirrors
-the terminal status: 0 for ``done`` and ``degraded`` (both are
-answers), 1 for ``failed``, 2 for ``shed``. ::
+request, same response, different substrate.  Transient transport
+faults (a broken pipe, a submission timeout) are retried a bounded
+number of times (``--transport-retries``) with seeded, jittered
+exponential backoff before giving up.  The exit code mirrors the
+terminal status and is stable for scripting: 0 for ``done`` and
+``degraded`` (both are answers), 1 for ``failed``, 2 for ``shed``,
+3 for a transport failure that survived every retry. ::
 
     repro submit chol --algorithm lapack --n 96 --M 288
     repro submit chol --algorithm toledo --n 128 --M 384 --max-words 50000
@@ -29,12 +33,29 @@ shard mid-run to exercise the rebalance/resubmission path.  Every job
 reaches a terminal state; the exit code is 1 only if any job *failed*
 (sheds and degradations are the service doing its job).  ``--out``,
 ``--metrics-out`` and ``--health-out`` write their artifacts
-crash-safely (atomic temp-file + rename). ::
+crash-safely (atomic temp-file + rename).
+
+Durability (``--shards`` only): ``--journal-dir DIR`` write-ahead
+journals every job lifecycle transition; after a front-door crash,
+``--recover --journal-dir DIR`` replays the journal and resubmits
+every accepted-but-unterminated job (no ``--workload``/``--demo``
+needed — recovery is its own workload source; the shared store
+defaults to ``DIR/store`` so already-computed results are reused, not
+recomputed).  ``--supervise`` respawns dead shards under a seeded
+backoff/restart-budget policy; ``--heartbeat-timeout`` and
+``--rebalance-debounce`` tune the eviction trigger.  The
+``--chaos-*-cluster`` family drives a seeded
+:class:`~repro.faults.ClusterFaultPlan` (shard kills, pipe drops,
+poison jobs, a front-door crash at journal record K — the crash exits
+with code 75). ::
 
     repro serve --workload jobs.json --workers 4 --out responses.json
     repro serve --demo 50 --queue-capacity 8 --deadline 2 --metrics-out m.json
     repro serve --demo 300 --shards 3 --kill-shard 1 --kill-after 80 \\
         --health-out health.json
+    repro serve --demo 300 --shards 3 --journal-dir wal --supervise \\
+        --chaos-kill-every 60 --chaos-crash-at-record 400
+    repro serve --recover --journal-dir wal --shards 3 --supervise
 """
 
 from __future__ import annotations
@@ -54,6 +75,62 @@ from repro.serving.budget import Budget
 from repro.serving.client import ServingClient
 from repro.serving.queue import parse_priority
 from repro.util.serialization import atomic_write_json
+
+
+#: Exit code of ``repro submit`` when transport retries are exhausted.
+EXIT_TRANSPORT = 3
+
+#: Exception types treated as transient transport faults (retryable).
+TRANSIENT_ERRORS = (
+    BrokenPipeError,
+    ConnectionError,
+    TimeoutError,
+    OSError,
+)
+
+
+def _submit_with_retry(
+    client,
+    job,
+    *,
+    attempts: int = 3,
+    seed: int = 0,
+    backoff_base: float = 0.05,
+    sleep=None,
+):
+    """Submit with bounded, seeded-jitter retries on transport faults.
+
+    Retries only :data:`TRANSIENT_ERRORS` (a dead pipe, a submission
+    timeout) — a *terminal* response, including ``failed``/``shed``,
+    is an answer and is returned as-is.  The backoff before retry
+    ``r`` is ``backoff_base · 2^r`` jittered by a deterministic
+    [0.5, 1.5) factor drawn through
+    :func:`~repro.faults.plan.fault_unit`, so retry schedules are
+    reproducible under a fixed seed.  Re-raises the last error once
+    the attempts are spent.
+    """
+    import time as _time
+
+    from repro.faults.plan import fault_unit
+
+    if attempts < 1:
+        raise ValueError(f"attempts must be >= 1, got {attempts}")
+    sleep = sleep if sleep is not None else _time.sleep
+    last = None
+    for attempt in range(attempts):
+        try:
+            return client.submit(job)
+        except TRANSIENT_ERRORS as exc:
+            last = exc
+            if attempt + 1 >= attempts:
+                break
+            delay = (
+                backoff_base
+                * (2.0 ** attempt)
+                * (0.5 + fault_unit(seed, "submit-retry", attempt))
+            )
+            sleep(delay)
+    raise last
 
 
 def _budget_from_args(args) -> "Budget | None":
@@ -135,6 +212,15 @@ def submit_main(argv: "list[str]") -> int:
         "--shards", type=int, default=2,
         help="shard count for --cluster (default: 2)",
     )
+    parser.add_argument(
+        "--transport-retries", type=int, default=3, metavar="N",
+        help="attempts before a transient transport fault (broken pipe, "
+        "submission timeout) becomes exit code 3 (default: 3)",
+    )
+    parser.add_argument(
+        "--retry-seed", type=int, default=0,
+        help="seed of the deterministic retry-backoff jitter",
+    )
     _add_budget_args(parser)
     args = parser.parse_args(argv)
 
@@ -162,8 +248,21 @@ def submit_main(argv: "list[str]") -> int:
         client = ServingClient.cluster(shards=args.shards, mode="inline")
     else:
         client = ServingClient.local(workers=0, queue_capacity=1)
-    with client:
-        response = client.submit(job)
+    try:
+        with client:
+            response = _submit_with_retry(
+                client,
+                job,
+                attempts=args.transport_retries,
+                seed=args.retry_seed,
+            )
+    except TRANSIENT_ERRORS as exc:
+        print(
+            f"[submit] transport failure after {args.transport_retries} "
+            f"attempt(s): {exc}",
+            file=sys.stderr,
+        )
+        return EXIT_TRANSPORT
     print(json.dumps(response.to_dict(), indent=2, sort_keys=True))
     if response.status == FAILED:
         return 1
@@ -185,7 +284,7 @@ def serve_main(argv: "list[str]") -> int:
         "factorization service (or a sharded cluster of them); every "
         "job reaches a terminal done/degraded/shed/failed state.",
     )
-    source = parser.add_mutually_exclusive_group(required=True)
+    source = parser.add_mutually_exclusive_group()
     source.add_argument(
         "--workload", metavar="FILE",
         help="JSON list of job records: {point: {...}, priority, budget}",
@@ -249,6 +348,64 @@ def serve_main(argv: "list[str]") -> int:
         "every heartbeat (--shards)",
     )
     parser.add_argument(
+        "--journal-dir", metavar="DIR",
+        help="write-ahead journal every job lifecycle transition here "
+        "(--shards); enables --recover after a crash",
+    )
+    parser.add_argument(
+        "--recover", action="store_true",
+        help="replay the journal in --journal-dir and resubmit every "
+        "accepted-but-unterminated job (then serve --workload/--demo "
+        "jobs, if any)",
+    )
+    parser.add_argument(
+        "--supervise", action="store_true",
+        help="respawn dead shards under seeded backoff and a per-shard "
+        "restart budget (--shards)",
+    )
+    parser.add_argument(
+        "--restart-budget", type=int, default=3, metavar="N",
+        help="respawns allowed per shard before it stays down "
+        "(default: 3)",
+    )
+    parser.add_argument(
+        "--heartbeat-timeout", type=float, default=10.0, metavar="SECONDS",
+        help="a shard silent this long is considered stale (default: 10)",
+    )
+    parser.add_argument(
+        "--rebalance-debounce", type=float, default=0.0, metavar="SECONDS",
+        help="staleness must persist this long before a shard is "
+        "evicted from the ring (default: 0 = evict immediately)",
+    )
+    parser.add_argument(
+        "--chaos-cluster-seed", type=int, default=0,
+        help="seed of the cluster chaos plan (--chaos-kill-every etc.)",
+    )
+    parser.add_argument(
+        "--chaos-kill-every", type=int, default=0, metavar="N",
+        help="chaos: kill a seeded-chosen shard at every N-th "
+        "submission (--shards)",
+    )
+    parser.add_argument(
+        "--chaos-shard-kill", type=float, default=0.0, metavar="PROB",
+        help="chaos: per-submission shard-kill probability (--shards)",
+    )
+    parser.add_argument(
+        "--chaos-pipe-drop", type=float, default=0.0, metavar="PROB",
+        help="chaos: per-dispatch pipe-drop probability; the front "
+        "door redelivers (--shards)",
+    )
+    parser.add_argument(
+        "--chaos-poison", type=float, default=0.0, metavar="PROB",
+        help="chaos: per-submission probability a job is wrapped in a "
+        "fatal fault plan (--shards)",
+    )
+    parser.add_argument(
+        "--chaos-crash-at-record", type=int, default=None, metavar="K",
+        help="chaos: crash the front door (exit 75) right after the "
+        "journal durably writes record K (--shards --journal-dir)",
+    )
+    parser.add_argument(
         "--kill-shard", type=int, default=None, metavar="IDX",
         help="chaos: hard-kill shard IDX mid-run (--shards)",
     )
@@ -299,14 +456,39 @@ def serve_main(argv: "list[str]") -> int:
     _add_budget_args(parser)
     args = parser.parse_args(argv)
 
+    if not args.workload and args.demo is None and not args.recover:
+        parser.error("one of --workload, --demo or --recover is required")
+    if args.recover and not args.journal_dir:
+        parser.error("--recover needs --journal-dir")
+    chaos_flags = (
+        args.chaos_kill_every
+        or args.chaos_shard_kill
+        or args.chaos_pipe_drop
+        or args.chaos_poison
+        or args.chaos_crash_at_record
+    )
+    if args.shards <= 0:
+        for flag, name in (
+            (args.journal_dir, "--journal-dir"),
+            (args.recover, "--recover"),
+            (args.supervise, "--supervise"),
+            (chaos_flags, "--chaos-*-cluster flags"),
+        ):
+            if flag:
+                parser.error(f"{name} needs --shards")
+    if args.chaos_crash_at_record and not args.journal_dir:
+        parser.error("--chaos-crash-at-record needs --journal-dir")
+
     if args.workload:
         with open(args.workload, "r", encoding="utf-8") as fh:
             records = json.load(fh)
         if not isinstance(records, list):
             parser.error(f"{args.workload} must hold a JSON list of jobs")
         jobs = [job_from_wire(r) for r in records]
-    else:
+    elif args.demo is not None:
         jobs = demo_workload(args.demo, seed=args.seed)
+    else:
+        jobs = []
 
     if args.chaos_drop or args.chaos_read_fault:
         from dataclasses import replace
@@ -342,7 +524,26 @@ def serve_main(argv: "list[str]") -> int:
     if args.shards > 0:
         if args.workers < 1:
             parser.error("--shards needs --workers >= 1 in each shard")
-        client = ServingClient.cluster(
+        store_dir = args.store_dir
+        if store_dir is None and args.journal_dir:
+            # co-locate the shared store with the journal so a recovery
+            # run reuses the crashed incarnation's computed results
+            import os as _os
+
+            store_dir = _os.path.join(args.journal_dir, "store")
+        chaos = None
+        if chaos_flags:
+            from repro.faults.plan import ClusterFaultPlan
+
+            chaos = ClusterFaultPlan(
+                seed=args.chaos_cluster_seed,
+                kill_every=args.chaos_kill_every,
+                shard_kill=args.chaos_shard_kill,
+                pipe_drop=args.chaos_pipe_drop,
+                poison=args.chaos_poison,
+                crash_at_record=args.chaos_crash_at_record,
+            )
+        cluster_kwargs = dict(
             shards=args.shards,
             mode="process",
             workers_per_shard=args.workers,
@@ -351,13 +552,32 @@ def serve_main(argv: "list[str]") -> int:
             breaker_threshold=args.breaker_threshold,
             breaker_cooldown=args.breaker_cooldown,
             default_budget=default_budget,
-            store_dir=args.store_dir,
+            store_dir=store_dir,
             health_dir=args.health_dir,
-            monitor_interval=0.5,
+            # tight enough that a supervised respawn (backoff ~0.1-0.2s)
+            # lands while a short soak is still draining
+            monitor_interval=0.2,
+            heartbeat_timeout=args.heartbeat_timeout,
+            rebalance_debounce=args.rebalance_debounce,
             tracing=tracing,
             telemetry=tracing,
             slo_target=slo_target,
+            journal_dir=args.journal_dir,
+            # an armed crash models SIGKILL: no cleanup, exit code 75
+            journal_crash_mode="exit",
+            chaos=chaos,
+            supervise=args.supervise,
+            restart_budget=args.restart_budget,
         )
+        if args.recover:
+            from repro.serving.cluster import ServingCluster
+
+            cluster_kwargs.pop("journal_dir")
+            client = ServingClient(
+                ServingCluster.recover(args.journal_dir, **cluster_kwargs)
+            )
+        else:
+            client = ServingClient.cluster(**cluster_kwargs)
         window = args.window or args.queue_capacity * args.shards
     else:
         if args.backpressure and args.workers < 1:
@@ -388,6 +608,22 @@ def serve_main(argv: "list[str]") -> int:
     )
     try:
         completed = 0
+        for ticket in getattr(client.backend, "recovered", ()):
+            response = ticket.result(timeout=600)
+            responses.append(response)
+            completed += 1
+            if not args.quiet:
+                print(
+                    f"[serve] recovered {response.job_id}: {response.status}"
+                    + (f" ({response.reason})" if response.reason else ""),
+                    file=sys.stderr,
+                )
+        if args.recover:
+            print(
+                f"[serve] journal replay: {len(responses)} job(s) "
+                "resubmitted and terminal",
+                file=sys.stderr,
+            )
         for job, response in client.stream(jobs, window=window, timeout=600):
             responses.append(response)
             completed += 1
@@ -417,6 +653,17 @@ def serve_main(argv: "list[str]") -> int:
             f"resubmitted={health['resubmitted']} store={health['store']}",
             file=sys.stderr,
         )
+        if "journal" in health:
+            print(
+                f"[serve] journal: {health['journal']['records']} record(s) "
+                f"at {health['journal']['path']}",
+                file=sys.stderr,
+            )
+        if "supervisor" in health:
+            print(
+                f"[serve] supervisor: respawns={health['supervisor']['respawns']}",
+                file=sys.stderr,
+            )
     else:
         print(f"[serve] breakers: {health['breakers']}", file=sys.stderr)
     if args.shards > 0 and "slo" in health:

@@ -42,6 +42,31 @@ Two substrates, one API:
     monitor removes silent or dead shards from the ring and resubmits
     their in-flight jobs.
 
+Durability and self-healing (PR 8):
+
+* **Write-ahead job journal** — with ``journal_dir`` set, every
+  front-door lifecycle transition (``accepted`` with the full job wire
+  document, ``assigned``, ``completed``/``shed``) is durably appended
+  to a :class:`~repro.serving.journal.JobJournal` *before* the next
+  step proceeds, keyed by the job's content-address.
+  :meth:`ServingCluster.recover` folds the journal back and resubmits
+  every accepted-but-unterminated job, so a front-door crash loses no
+  accepted job: each reaches exactly one terminal response, with
+  already-computed work deduplicated through the shared store (replay
+  is a cache hit, not a recomputation).
+* **Shard supervisor** — with ``supervise=True`` the health pass
+  consults a :class:`~repro.serving.supervisor.ShardSupervisor`:
+  a dead shard is respawned under seeded exponential backoff and a
+  per-shard restart budget, rejoined to the ring, and (process mode)
+  warmed from the shared store tier; ``repro_cluster_respawn_total``
+  and the ``repro_cluster_restart_state`` gauge track it.
+* **Seeded cluster chaos** — a
+  :class:`~repro.faults.plan.ClusterFaultPlan` injects shard
+  kills/stalls, dispatch drops/delays, poison jobs and a
+  front-door crash-at-record-k, every decision a pure SHA-256
+  function of the submission index — a chaos soak replays
+  byte-identically under the same seed.
+
 Clients should not call this class directly for request/response work
 — :class:`~repro.serving.client.ServingClient` wraps either a cluster
 or a single service behind one typed API.
@@ -58,6 +83,7 @@ import time
 from typing import Any, Callable, Mapping
 
 from repro.experiments.spec import SpecPoint
+from repro.faults.plan import ClusterFaultPlan
 from repro.observability.metrics import METRICS
 from repro.observability.slo import SLOTarget, SLOTracker
 from repro.observability.tracing import (
@@ -79,9 +105,16 @@ from repro.serving.api import (
     response_to_wire,
 )
 from repro.serving.clock import MONOTONIC, Clock, ManualClock
+from repro.serving.journal import JobJournal, replay_journal
 from repro.serving.ring import HashRing
 from repro.serving.service import FactorizationService, _validate_job_point
 from repro.serving.store import SharedResultStore
+from repro.serving.supervisor import (
+    DECIDE_RESPAWN,
+    DECIDE_WAIT,
+    STATE_GAUGE,
+    ShardSupervisor,
+)
 from repro.serving.telemetry import ClusterTelemetry, TelemetryBus, make_event
 from repro.util.serialization import atomic_write_json
 
@@ -151,10 +184,15 @@ class ClusterTicket:
 class _Tracked:
     """Cluster-side record of one in-flight job (assignment + ticket)."""
 
-    __slots__ = ("job", "ticket", "shard", "t_submit")
+    __slots__ = ("job", "ticket", "shard", "t_submit", "index")
 
     def __init__(
-        self, job: Job, ticket: ClusterTicket, shard: str, t_submit: float = 0.0
+        self,
+        job: Job,
+        ticket: ClusterTicket,
+        shard: str,
+        t_submit: float = 0.0,
+        index: int = 0,
     ) -> None:
         self.job = job
         self.ticket = ticket
@@ -162,6 +200,9 @@ class _Tracked:
         #: Front-door clock reading at submission — the origin of the
         #: client-observed latency window the root span covers.
         self.t_submit = t_submit
+        #: Submission index — the chaos plan's decision key, kept so
+        #: redelivery draws after a resubmission stay deterministic.
+        self.index = index
 
 
 class InlineShard:
@@ -194,6 +235,10 @@ class InlineShard:
     def kill(self) -> None:
         """Simulated crash: stop executing; queued work is stranded."""
         self.alive = False
+
+    def stall(self, seconds: float) -> bool:
+        """No-op: inline shards have no heartbeats to suppress."""
+        return False
 
     def stop(self, timeout: float = 10.0) -> None:
         """Graceful shutdown of the underlying service."""
@@ -281,6 +326,10 @@ def _shard_process_main(conn, name: str, config: dict) -> None:
     health_dir = config.get("health_dir")
     hb_interval = float(config.get("heartbeat_interval", 1.0))
     stopping = threading.Event()
+    #: Chaos: monotonic instant until which heartbeats are suppressed
+    #: (the shard keeps working — it just goes silent; the parent's
+    #: staleness/debounce/supervisor path is what's under test).
+    stall_until = [0.0]
 
     def snapshot() -> dict:
         h = svc.health()
@@ -295,6 +344,8 @@ def _shard_process_main(conn, name: str, config: dict) -> None:
 
     def heartbeat_loop() -> None:
         while not stopping.wait(hb_interval):
+            if time.monotonic() < stall_until[0]:
+                continue  # injected stall: stay alive but go silent
             if bus is not None:
                 bus.emit("heartbeat", time.monotonic(), {})
             send({"op": "heartbeat"})
@@ -350,6 +401,23 @@ def _shard_process_main(conn, name: str, config: dict) -> None:
                     "seq": msg.get("seq"),
                     "payload": snapshot()["health"],
                 })
+            elif op == "warm":
+                # supervisor respawn: promote recently served entries
+                # from the shared disk tier into this (fresh) shard's
+                # memory tier before traffic lands on it
+                warmed = 0
+                for pd in msg.get("points") or []:
+                    try:
+                        if view.get(SpecPoint.from_dict(pd)) is not None:
+                            warmed += 1
+                    except Exception:  # noqa: BLE001 - warming is best-effort
+                        pass
+                if bus is not None:
+                    bus.emit("warm", time.monotonic(), {"count": warmed})
+            elif op == "stall":
+                stall_until[0] = time.monotonic() + float(
+                    msg.get("seconds", 0.0)
+                )
             elif op == "stop":
                 break
     finally:
@@ -483,6 +551,10 @@ class ProcessShard:
         if self.process.is_alive():
             self.process.terminate()
 
+    def stall(self, seconds: float) -> bool:
+        """Chaos: suppress the shard's heartbeats for ``seconds``."""
+        return self._send({"op": "stall", "seconds": float(seconds)})
+
     def stop(self, timeout: float = 10.0) -> None:
         """Graceful shutdown: drain the shed responses, then join."""
         if self.alive:
@@ -528,6 +600,36 @@ class ServingCluster:
         a shard silent for ``timeout`` seconds is treated as dead.
         ``monitor_interval`` starts a background thread calling
         :meth:`check_shards`; ``None`` leaves checks to the caller.
+    rebalance_debounce:
+        Grace window (seconds) a heartbeat-stale shard gets before
+        eviction: staleness must *persist* that long across health
+        passes.  A slow-but-alive shard (GC pause, CPU contention)
+        that resumes heartbeating inside the window is never evicted.
+        Default 0.0 — evict on first stale observation (the PR 6
+        behavior).
+    journal_dir / journal_sync / journal_crash_mode:
+        When ``journal_dir`` is set, the front door write-ahead
+        journals every accepted/assigned/terminal transition there
+        (see :mod:`repro.serving.journal`); :meth:`recover` replays
+        it after a crash.  ``journal_sync=False`` trades the fsync
+        per record for speed; ``journal_crash_mode`` selects how an
+        armed ``crash_at_record`` chaos fault dies (``"raise"`` /
+        ``"exit"``).  Off (``None``) by default — zero cost, responses
+        byte-identical to the unjournaled cluster.
+    chaos:
+        A seeded :class:`~repro.faults.plan.ClusterFaultPlan`; every
+        injection decision is a pure function of the submission index
+        (shard kills/stalls, dispatch drops/delays, poison jobs,
+        front-door crash-at-record-k).  ``None`` (default) injects
+        nothing and costs nothing.
+    supervise / supervisor / restart_budget / restart_backoff_base /
+    restart_backoff_cap / supervisor_seed:
+        ``supervise=True`` (or an explicit ``supervisor``) makes
+        :meth:`check_shards` respawn dead shards under the
+        :class:`~repro.serving.supervisor.ShardSupervisor` policy:
+        seeded exponential backoff between attempts, at most
+        ``restart_budget`` respawns per shard, ring rejoin + shared
+        store warm-up on success.  Off by default.
     health_dir:
         When set (process mode), every shard writes its health
         snapshot there crash-safely on each heartbeat.
@@ -573,11 +675,22 @@ class ServingCluster:
         heartbeat_interval: float = 1.0,
         heartbeat_timeout: float = 10.0,
         monitor_interval: "float | None" = None,
+        rebalance_debounce: float = 0.0,
         health_dir: "str | None" = None,
         shard_names: "list[str] | None" = None,
         tracing: bool = False,
         telemetry: bool = False,
         slo_target: "SLOTarget | None" = None,
+        journal_dir: "str | None" = None,
+        journal_sync: bool = True,
+        journal_crash_mode: str = "raise",
+        chaos: "ClusterFaultPlan | None" = None,
+        supervise: bool = False,
+        supervisor: "ShardSupervisor | None" = None,
+        restart_budget: int = 3,
+        restart_backoff_base: float = 0.1,
+        restart_backoff_cap: float = 5.0,
+        supervisor_seed: int = 0,
     ) -> None:
         if mode not in (INLINE, PROCESS):
             raise ValueError(f"mode must be 'inline' or 'process', got {mode!r}")
@@ -591,12 +704,43 @@ class ServingCluster:
         self.mode = mode
         self.spill_depth = spill_depth
         self.heartbeat_timeout = float(heartbeat_timeout)
+        self.rebalance_debounce = float(rebalance_debounce)
         self._clock: Clock = clock or (ManualClock() if mode == INLINE else MONOTONIC)
         self.tracing = bool(tracing)
         self.telemetry: "ClusterTelemetry | None" = (
             ClusterTelemetry() if telemetry else None
         )
         self.slo = SLOTracker(slo_target)
+        self._chaos = chaos if (chaos is not None and not chaos.is_empty()) else None
+        self._journal: "JobJournal | None" = None
+        if journal_dir is not None:
+            self._journal = JobJournal(
+                journal_dir,
+                clock=self._clock,
+                sync=journal_sync,
+                crash_at_record=(
+                    self._chaos.crash_at_record if self._chaos else None
+                ),
+                crash_mode=journal_crash_mode,
+            )
+        self._supervisor: "ShardSupervisor | None" = supervisor
+        if self._supervisor is None and supervise:
+            self._supervisor = ShardSupervisor(
+                seed=supervisor_seed,
+                restart_budget=restart_budget,
+                backoff_base=restart_backoff_base,
+                backoff_cap=restart_backoff_cap,
+            )
+        #: shard name -> first time its heartbeat was observed stale
+        #: (the rebalance-debounce state machine; see check_shards).
+        self._stale_since: "dict[str, float]" = {}
+        #: monotone submission counter — the chaos plan's decision index.
+        self._submit_index = 0
+        #: recently resolved points, newest last (respawn warm-up set).
+        self._recent_points: "list[SpecPoint]" = []
+        self._recent_points_cap = 64
+        #: tickets :meth:`recover` resubmitted from the journal.
+        self.recovered: "tuple[ClusterTicket, ...]" = ()
         #: job_id -> merged span records of resolved traced jobs
         #: (bounded; oldest evicted first — insertion order).
         self._traces: "dict[str, tuple[SpanRecord, ...]]" = {}
@@ -623,44 +767,26 @@ class ServingCluster:
         self._closed = False
         self.ring = HashRing(names, replicas=replicas)
 
+        # Shard construction configs are stashed so the supervisor can
+        # rebuild a shard from scratch on respawn (both modes).
+        self._service_config = {
+            "queue_capacity": queue_capacity,
+            "retries": retries,
+            "breaker_threshold": breaker_threshold,
+            "breaker_cooldown": breaker_cooldown,
+            "half_open_probes": half_open_probes,
+            "canary_n": canary_n,
+            "default_budget": default_budget,
+        }
+        self._ctx = None
+        self._shard_config: "dict | None" = None
         self.shards: "dict[str, InlineShard | ProcessShard]" = {}
         if mode == INLINE:
             for name in names:
-                view = self.store.view(name)
-                on_event = None
-                if self.telemetry is not None:
-                    # inline shards feed the aggregator synchronously,
-                    # stamped with the shard's name (same event shape
-                    # the pipe batches carry in process mode)
-                    def on_event(kind, t, attrs, _shard=name):
-                        self.telemetry.ingest(make_event(kind, _shard, t, attrs))
-
-                    def on_lookup(tier, _shard=name):
-                        self.telemetry.ingest(
-                            make_event(
-                                "store", _shard, self._clock(), {"tier": tier}
-                            )
-                        )
-
-                    view.on_lookup = on_lookup
-                svc = FactorizationService(
-                    workers=0,
-                    queue_capacity=queue_capacity,
-                    retries=retries,
-                    breaker_threshold=breaker_threshold,
-                    breaker_cooldown=breaker_cooldown,
-                    half_open_probes=half_open_probes,
-                    canary_n=canary_n,
-                    default_budget=default_budget,
-                    cache=view,
-                    clock=self._clock,
-                    name=name,
-                    on_event=on_event,
-                )
-                self.shards[name] = InlineShard(name, svc, view)
+                self.shards[name] = self._make_inline_shard(name)
         else:
-            ctx = multiprocessing.get_context("spawn")
-            config = {
+            self._ctx = multiprocessing.get_context("spawn")
+            self._shard_config = {
                 "store_dir": self.store.directory,
                 "store_version": self.store.cache.version,
                 "memory_capacity": memory_capacity,
@@ -679,11 +805,7 @@ class ServingCluster:
                 "telemetry": self.telemetry is not None,
             }
             for name in names:
-                shard = ProcessShard(name, ctx, config)
-                shard.on_down = self._on_shard_down
-                if self.telemetry is not None:
-                    shard.on_telemetry = self.telemetry.ingest_wire
-                self.shards[name] = shard
+                self.shards[name] = self._make_process_shard(name)
             for shard in self.shards.values():
                 shard.launch()
             deadline = MONOTONIC() + 120.0
@@ -700,6 +822,41 @@ class ServingCluster:
                 daemon=True,
             )
             self._monitor.start()
+
+    # -- shard construction ------------------------------------------------
+
+    def _make_inline_shard(self, name: str) -> InlineShard:
+        view = self.store.view(name)
+        on_event = None
+        if self.telemetry is not None:
+            # inline shards feed the aggregator synchronously, stamped
+            # with the shard's name (same event shape the pipe batches
+            # carry in process mode)
+            def on_event(kind, t, attrs, _shard=name):
+                self.telemetry.ingest(make_event(kind, _shard, t, attrs))
+
+            def on_lookup(tier, _shard=name):
+                self.telemetry.ingest(
+                    make_event("store", _shard, self._clock(), {"tier": tier})
+                )
+
+            view.on_lookup = on_lookup
+        svc = FactorizationService(
+            workers=0,
+            cache=view,
+            clock=self._clock,
+            name=name,
+            on_event=on_event,
+            **self._service_config,
+        )
+        return InlineShard(name, svc, view)
+
+    def _make_process_shard(self, name: str) -> "ProcessShard":
+        shard = ProcessShard(name, self._ctx, self._shard_config)
+        shard.on_down = self._on_shard_down
+        if self.telemetry is not None:
+            shard.on_telemetry = self.telemetry.ingest_wire
+        return shard
 
     # -- routing -----------------------------------------------------------
 
@@ -741,7 +898,9 @@ class ServingCluster:
             return candidates[1]
         return owner
 
-    def submit(self, job: "Job | SpecPoint | Mapping") -> ClusterTicket:
+    def submit(
+        self, job: "Job | SpecPoint | Mapping", *, _recovered: bool = False
+    ) -> ClusterTicket:
         """Route one job to its shard; returns the front-door ticket.
 
         Accepts the same shapes as ``FactorizationService.submit``: a
@@ -750,17 +909,33 @@ class ServingCluster:
         anything crosses a pipe.  With no routable shard (empty ring,
         shutdown) the ticket resolves immediately with a structured
         shed response; nothing hangs.
+
+        With a journal attached the job's wire document is durably
+        appended *before* routing (the write-ahead contract); with a
+        chaos plan attached, this submission's seeded injections
+        (shard kill/stall, poison) fire first.
         """
         if isinstance(job, SpecPoint):
             job = Job(point=job)
         elif isinstance(job, Mapping):
             job = job_from_wire(job)
         _validate_job_point(job.point)
+        with self._lock:
+            index = self._submit_index
+            self._submit_index += 1
+        if self._chaos is not None:
+            job = self._inject_chaos(index, job)
         # The front door is the client-facing boundary, so it mints the
         # trace context (deterministically, from the spec cache key)
         # and owns the root span: opened here, closed at resolution.
         if self.tracing and job.trace is None:
             job.trace = root_context(job.point.key())
+        key = self.route_key(job.point)
+        if self._journal is not None:
+            # the WAL write: from here on, a crashed front door will
+            # resubmit this job on recovery unless a terminal record
+            # also made it to disk
+            self._journal.record_accepted(job, key, recovered=_recovered)
         t_submit = self._clock()
         ticket = ClusterTicket(job)
         with self._lock:
@@ -768,11 +943,11 @@ class ServingCluster:
                 shard_name = None
                 reason = "shutdown"
             else:
-                shard_name = self._pick_shard(self.route_key(job.point))
+                shard_name = self._pick_shard(key)
                 reason = "no-shards"
             if shard_name is not None:
                 self._inflight[job.job_id] = _Tracked(
-                    job, ticket, shard_name, t_submit
+                    job, ticket, shard_name, t_submit, index
                 )
                 self._outstanding[shard_name] = (
                     self._outstanding.get(shard_name, 0) + 1
@@ -784,12 +959,60 @@ class ServingCluster:
                 job, reason, {"ring": self.ring.snapshot()}
             ))
             return ticket
+        if self._journal is not None:
+            self._journal.record_assigned(job.job_id, key, shard_name)
         self._publish_depth(shard_name)
-        self._dispatch(shard_name, job)
+        self._dispatch(shard_name, job, index)
         return ticket
 
-    def _dispatch(self, shard_name: str, job: Job) -> None:
+    def _inject_chaos(self, index: int, job: Job) -> Job:
+        """Fire this submission's seeded cluster faults; returns the job
+        (point wrapped in a fatal fault plan if the draw poisons it)."""
+        chaos = self._chaos
+        key = job.point.key()
+        with self._lock:
+            live = [
+                n
+                for n, s in self.shards.items()
+                if s.alive and n in self.ring
+            ]
+        victim = chaos.kill_target(index, live)
+        if victim is not None:
+            METRICS.counter("repro_cluster_chaos_total", kind="kill").inc()
+            self.kill_shard(victim)
+        target = chaos.stall_target(index, live)
+        if target is not None:
+            shard = self.shards.get(target)
+            if (
+                shard is not None
+                and shard.alive
+                and shard.stall(chaos.stall_seconds)
+            ):
+                METRICS.counter("repro_cluster_chaos_total", kind="stall").inc()
+        if chaos.poisons(index, key):
+            METRICS.counter("repro_cluster_chaos_total", kind="poison").inc()
+            plan = chaos.poison_plan(index, key)
+            job.point = dataclasses.replace(job.point, faults=plan.freeze())
+        return job
+
+    def _dispatch(self, shard_name: str, job: Job, index: int = 0) -> None:
         shard = self.shards[shard_name]
+        if self._chaos is not None:
+            key = job.point.key()
+            attempt = 0
+            while self._chaos.drops_dispatch(index, key, attempt):
+                # the pipe ate the submit; the front door redelivers
+                # (draws are per-attempt, so the loop terminates)
+                attempt += 1
+                METRICS.counter(
+                    "repro_cluster_pipe_drops_total", shard=shard_name
+                ).inc()
+            delay = self._chaos.dispatch_delay(index, key)
+            if delay:
+                if isinstance(self._clock, ManualClock):
+                    self._clock.advance(delay)
+                else:
+                    time.sleep(delay)
 
         def on_done(response: ServiceResponse, jid=job.job_id) -> None:
             self._on_result(jid, response)
@@ -829,7 +1052,28 @@ class ServingCluster:
             response = self._merge_trace(tracked, response, now)
             self._store_trace(job_id, response.trace)
         self._publish_depth(tracked.shard)
-        tracked.ticket.resolve_once(response)
+        delivered = tracked.ticket.resolve_once(response)
+        if delivered and self._journal is not None:
+            # terminal record strictly *after* delivery: a crash in the
+            # gap resubmits the job on recovery, deduplicated by its
+            # content-address — at-least-once inside, exactly one
+            # terminal response outside
+            self._journal.record_terminal(
+                job_id,
+                tracked.job.point.key(),
+                response.status,
+                reason=response.reason,
+            )
+        if self._supervisor is not None and response.status not in (FAILED, SHED):
+            self._note_recent_point(tracked.job.point)
+
+    def _note_recent_point(self, point: SpecPoint) -> None:
+        """Remember a served point for the respawn warm-up set."""
+        with self._lock:
+            self._recent_points.append(point)
+            excess = len(self._recent_points) - self._recent_points_cap
+            if excess > 0:
+                del self._recent_points[:excess]
 
     def _merge_trace(
         self, tracked: _Tracked, response: ServiceResponse, now: float
@@ -948,7 +1192,13 @@ class ServingCluster:
             self._status_counts[response.status] = (
                 self._status_counts.get(response.status, 0) + 1
             )
-        ticket.resolve_once(response)
+        if ticket.resolve_once(response) and self._journal is not None:
+            self._journal.record_terminal(
+                job.job_id,
+                job.point.key(),
+                response.status,
+                reason=response.reason,
+            )
 
     def _publish_depth(self, shard_name: str) -> None:
         with self._lock:
@@ -1004,8 +1254,14 @@ class ServingCluster:
         METRICS.counter(
             "repro_cluster_resubmitted_jobs_total", from_shard=old
         ).inc()
+        if self._journal is not None:
+            self._journal.record_assigned(
+                tracked.job.job_id,
+                self.route_key(tracked.job.point),
+                new_shard,
+            )
         self._publish_depth(new_shard)
-        self._dispatch(new_shard, tracked.job)
+        self._dispatch(new_shard, tracked.job, tracked.index)
 
     def kill_shard(self, name: str) -> None:
         """Chaos hook: hard-kill one shard and run the death path now."""
@@ -1013,13 +1269,19 @@ class ServingCluster:
         shard.kill()
         self._on_shard_down(shard)
 
+    def stall_shard(self, name: str, seconds: float) -> bool:
+        """Chaos hook: suppress one process shard's heartbeats."""
+        return self.shards[name].stall(seconds)
+
     def _shard_healthy(self, shard, health: dict) -> bool:
-        """Alive, heartbeating, and not every breaker hard-open."""
+        """Alive, reachable, and not every breaker hard-open.
+
+        Heartbeat staleness is *not* re-checked here — check_shards
+        already classified the shard through the debounce state
+        machine, and a merely-suspect shard must not be quarantined.
+        """
         if not shard.alive or not health.get("reachable", False):
             return False
-        if self.mode == PROCESS:
-            if MONOTONIC() - shard.last_heartbeat > self.heartbeat_timeout:
-                return False
         breakers = health.get("breakers") or {}
         if breakers and all(
             b.get("state") == _OPEN and not b.get("probe_due")
@@ -1028,25 +1290,46 @@ class ServingCluster:
             return False
         return True
 
+    def _supervisor_now(self) -> float:
+        """Supervision timebase: heartbeat clock in process mode (the
+        one staleness is measured on), the injected clock inline."""
+        return MONOTONIC() if self.mode == PROCESS else float(self._clock())
+
     def check_shards(self) -> dict:
         """One health-aggregation pass; rebalances the ring as needed.
 
-        Dead shards (process gone, heartbeat stale) are removed and
-        their in-flight jobs resubmitted; shards that are alive but
-        unhealthy (every breaker hard-open) are *quarantined* — removed
-        from the ring so no new keys route to them, but left to finish
-        their backlog; quarantined shards that recovered are re-added.
-        Returns the actions taken, keyed by shard name.
+        Dead shards (process gone, heartbeat stale beyond the
+        debounce) are removed and their in-flight jobs resubmitted; a
+        stale-but-within-debounce shard is merely *suspect* — left in
+        the ring untouched until staleness persists or the heartbeat
+        resumes.  Shards that are alive but unhealthy (every breaker
+        hard-open) are *quarantined* — removed from the ring so no new
+        keys route to them, but left to finish their backlog;
+        quarantined shards that recovered are re-added.  Under a
+        supervisor, dead shards are respawned (seeded backoff, restart
+        budget) and rejoin the ring.  Returns the actions taken, keyed
+        by shard name.
         """
         actions: "dict[str, str]" = {}
+        now = self._supervisor_now()
         for name, shard in list(self.shards.items()):
             health = shard.health()
-            stale = (
-                self.mode == PROCESS
-                and shard.alive
-                and MONOTONIC() - shard.last_heartbeat > self.heartbeat_timeout
-            )
+            stale = False
+            if self.mode == PROCESS and shard.alive:
+                silent = MONOTONIC() - shard.last_heartbeat
+                if silent > self.heartbeat_timeout:
+                    first = self._stale_since.setdefault(name, now)
+                    if now - first >= self.rebalance_debounce:
+                        stale = True
+                    else:
+                        # suspect: stale, but inside the debounce
+                        # window — no eviction, no quarantine
+                        actions[name] = "suspect"
+                        continue
+                else:
+                    self._stale_since.pop(name, None)
             if not shard.alive or stale:
+                self._stale_since.pop(name, None)
                 if stale:
                     shard.kill()
                 with self._lock:
@@ -1057,6 +1340,9 @@ class ServingCluster:
                 if in_ring or pending_here:
                     self._on_shard_down(shard)
                     actions[name] = "removed-dead"
+                decision = self._maybe_respawn(name, now)
+                if decision is not None:
+                    actions[name] = decision
                 continue
             healthy = self._shard_healthy(shard, health)
             with self._lock:
@@ -1073,6 +1359,77 @@ class ServingCluster:
                         ).inc()
                         actions[name] = "restored"
         return actions
+
+    # -- supervision -------------------------------------------------------
+
+    def _publish_restart_state(self, name: str) -> None:
+        METRICS.gauge("repro_cluster_restart_state", shard=name).set(
+            STATE_GAUGE[self._supervisor.state_of(name)]
+        )
+
+    def _maybe_respawn(self, name: str, now: float) -> "str | None":
+        """Consult the supervisor about one dead shard; maybe respawn."""
+        sup = self._supervisor
+        if sup is None or self._closed:
+            return None
+        decision = sup.on_dead(name, now)
+        self._publish_restart_state(name)
+        if decision == DECIDE_WAIT:
+            return "backoff"
+        if decision != DECIDE_RESPAWN:
+            return "exhausted"
+        try:
+            self._respawn_shard(name)
+        except Exception:  # noqa: BLE001 - a failed spawn charges budget
+            sup.note_respawn_failed(name, now)
+            self._publish_restart_state(name)
+            return "respawn-failed"
+        restarts = sup.note_respawned(name)
+        self._publish_restart_state(name)
+        METRICS.counter("repro_cluster_respawn_total", shard=name).inc()
+        if self.telemetry is not None:
+            self.telemetry.ingest(
+                make_event(
+                    "respawn", name, self._clock(), {"restarts": restarts}
+                )
+            )
+        with self._lock:
+            if self.ring.add(name):
+                self._rebalances += 1
+                METRICS.counter(
+                    "repro_cluster_ring_rebalances_total", direction="add"
+                ).inc()
+        return "respawned"
+
+    def _respawn_shard(self, name: str):
+        """Rebuild one shard from its stashed config and warm it."""
+        if self.mode == INLINE:
+            shard = self._make_inline_shard(name)
+            self.shards[name] = shard
+        else:
+            shard = self._make_process_shard(name)
+            shard.launch()
+            shard.wait_ready(timeout=30.0)
+            self.shards[name] = shard
+        with self._lock:
+            self._outstanding[name] = 0
+        self._warm_shard(shard)
+        return shard
+
+    def _warm_shard(self, shard) -> None:
+        """Promote recently served keys into the fresh shard's memory
+        tier from the shared store (no recomputation)."""
+        with self._lock:
+            points = list(self._recent_points)
+        if not points:
+            return
+        if self.mode == PROCESS:
+            shard._send(
+                {"op": "warm", "points": [p.to_dict() for p in points]}
+            )
+        else:
+            for p in points:
+                shard.view.get(p)
 
     def _monitor_loop(self, interval: float) -> None:
         while not self._monitor_stop.wait(interval):
@@ -1136,6 +1493,16 @@ class ServingCluster:
         }
         if self.telemetry is not None:
             doc["telemetry"] = self.telemetry.counts()
+        if self._journal is not None:
+            doc["journal"] = self._journal.stats()
+        if self._supervisor is not None:
+            doc["supervisor"] = {
+                "respawns": self._supervisor.respawns,
+                "budget": self._supervisor.restart_budget,
+                "shards": self._supervisor.snapshot(),
+            }
+        if self.recovered:
+            doc["recovered"] = len(self.recovered)
         return doc
 
     def readiness(self) -> dict:
@@ -1171,6 +1538,40 @@ class ServingCluster:
 
     # -- lifecycle ---------------------------------------------------------
 
+    @classmethod
+    def recover(cls, journal_dir: str, **kwargs) -> "ServingCluster":
+        """Rebuild a cluster from a crashed front door's journal.
+
+        Folds the journal in ``journal_dir`` (tolerating a torn tail),
+        builds a fresh cluster journaling into the *same* directory
+        (so the merged history stays replayable), and resubmits every
+        accepted-but-unterminated job in its original acceptance
+        order, preserving original job ids.  The resubmitted tickets
+        are exposed as :attr:`recovered`; each resolves to exactly one
+        terminal response, with already-computed work served from the
+        shared store rather than recomputed.  Extra keyword arguments
+        are the regular constructor's.
+        """
+        replay = replay_journal(journal_dir)
+        kwargs.setdefault("journal_dir", journal_dir)
+        cluster = cls(**kwargs)
+        counts = replay.counts()
+        METRICS.counter("repro_cluster_recovered_jobs_total").inc(
+            counts["open"]
+        )
+        if cluster.telemetry is not None:
+            cluster.telemetry.ingest(
+                make_event(
+                    "recovered", FRONTDOOR, cluster._clock(), dict(counts)
+                )
+            )
+        tickets = [
+            cluster.submit(wire, _recovered=True)
+            for wire in replay.unterminated()
+        ]
+        cluster.recovered = tuple(tickets)
+        return cluster
+
     def stop(self, timeout: float = 15.0) -> None:
         """Shut down every shard; unresolved jobs resolve as shed."""
         with self._lock:
@@ -1190,6 +1591,8 @@ class ServingCluster:
                 self._finish(
                     tracked.ticket, _shed_response(tracked.job, "shutdown")
                 )
+        if self._journal is not None:
+            self._journal.close()
         if self._owns_store_dir:
             import shutil
 

@@ -26,7 +26,11 @@ Writes go through :meth:`ResultCache.put`'s atomic temp-file +
 entry's ``extra`` provenance, so concurrent shard processes never read
 torn entries and every cross-shard hit is attributable.  Disk-tier
 integrity (digest verification, corrupt-entry demotion to a miss) is
-inherited from the cache.
+inherited from the cache; the view adds a structural check on top — an
+entry whose measurement payload is not a mapping is counted as torn
+and served as a miss, and the recompute's write-back heals the damaged
+file in place.  A torn or truncated entry therefore costs one
+recomputation, never a crash and never a poisoned response.
 
 A :class:`ShardStoreView` duck-types the ``get(point)`` /
 ``put(point, measurement, wall_time)`` interface
@@ -166,6 +170,14 @@ class ShardStoreView:
             self._count(TIER_MEMORY)
             return entry
         entry = self.store.cache.get(point)
+        if entry is not None and not isinstance(entry.get("measurement"), dict):
+            # digest-valid but structurally unusable (e.g. written by a
+            # foreign tool): torn for our purposes — recompute and let
+            # the write-back heal the file
+            METRICS.counter(
+                "repro_cluster_store_torn_total", shard=self.shard_id
+            ).inc()
+            entry = None
         if entry is None:
             self._count(TIER_MISS)
             return None

@@ -1,0 +1,174 @@
+"""Shard supervisor policy: seeded backoff + restart budgets.
+
+PR 6's death path removes a crashed or heartbeat-stale shard from the
+ring and resubmits its in-flight jobs — correct, but terminal: a long
+soak monotonically shrinks the ring.  :class:`ShardSupervisor` is the
+missing half of the loop, the policy object
+:meth:`ServingCluster.check_shards` consults to *respawn* dead shards:
+
+* **Seeded exponential backoff** — restart ``r`` of a shard waits
+  ``min(cap, base · 2^r)`` seconds, jittered by a deterministic
+  ±25% drawn through :func:`~repro.faults.plan.fault_unit` from
+  ``(seed, shard, r)``.  The jitter decorrelates simultaneous
+  respawns (no thundering herd after a correlated kill) while staying
+  byte-reproducible: same seed, same delays, every run.
+* **Restart budgets** — after ``restart_budget`` respawns a shard is
+  *exhausted* and stays out of the ring for good; a crash-looping
+  shard cannot flap the ring forever.  Budgets are per shard.
+* **States** — each supervised shard is ``running``, ``backoff``
+  (death noticed, respawn scheduled), or ``exhausted``; the cluster
+  publishes them as the ``repro_cluster_restart_state`` gauge
+  (0/1/2) and ``repro top`` renders them.
+
+The supervisor is pure policy: it holds no threads, spawns no
+processes, and reads time only through the ``now`` its caller passes —
+inline clusters drive it on the virtual clock, which is what makes the
+respawn tests deterministic.
+"""
+
+from __future__ import annotations
+
+from repro.faults.plan import fault_unit
+
+#: Supervision states (gauge values for repro_cluster_restart_state).
+RUNNING = "running"
+BACKOFF = "backoff"
+EXHAUSTED = "exhausted"
+
+STATE_GAUGE = {RUNNING: 0, BACKOFF: 1, EXHAUSTED: 2}
+
+#: check_shards decisions for one dead supervised shard.
+DECIDE_WAIT = "wait"
+DECIDE_RESPAWN = "respawn"
+DECIDE_EXHAUSTED = "exhausted"
+
+
+class _ShardState:
+    __slots__ = ("restarts", "due", "state")
+
+    def __init__(self) -> None:
+        self.restarts = 0
+        self.due: "float | None" = None
+        self.state = RUNNING
+
+
+class ShardSupervisor:
+    """Respawn policy for a cluster's shards (see module docstring).
+
+    Parameters
+    ----------
+    seed:
+        Root of the backoff jitter draws (deterministic).
+    restart_budget:
+        Respawns allowed per shard before it is declared exhausted.
+    backoff_base / backoff_cap:
+        Exponential-backoff geometry in seconds: restart ``r`` waits
+        ``min(cap, base · 2^r)``, jittered ±25%.
+    """
+
+    def __init__(
+        self,
+        *,
+        seed: int = 0,
+        restart_budget: int = 3,
+        backoff_base: float = 0.1,
+        backoff_cap: float = 5.0,
+    ) -> None:
+        if int(restart_budget) < 0:
+            raise ValueError(
+                f"restart_budget must be >= 0, got {restart_budget}"
+            )
+        if backoff_base < 0 or backoff_cap < 0:
+            raise ValueError("backoff_base and backoff_cap must be >= 0")
+        self.seed = int(seed)
+        self.restart_budget = int(restart_budget)
+        self.backoff_base = float(backoff_base)
+        self.backoff_cap = float(backoff_cap)
+        self._shards: "dict[str, _ShardState]" = {}
+        #: Total successful respawns across all shards.
+        self.respawns = 0
+
+    def _state(self, name: str) -> _ShardState:
+        if name not in self._shards:
+            self._shards[name] = _ShardState()
+        return self._shards[name]
+
+    # -- policy ----------------------------------------------------------
+
+    def delay(self, name: str, restarts: int) -> float:
+        """Backoff before restart ``restarts`` (0-based), jittered ±25%."""
+        base = min(self.backoff_cap, self.backoff_base * (2.0 ** restarts))
+        jitter = 0.75 + 0.5 * fault_unit(self.seed, "respawn", name, restarts)
+        return base * jitter
+
+    def on_dead(self, name: str, now: float) -> str:
+        """One supervision decision for a dead shard at time ``now``.
+
+        Returns :data:`DECIDE_EXHAUSTED` (budget spent — leave it
+        down), :data:`DECIDE_WAIT` (backoff running), or
+        :data:`DECIDE_RESPAWN` (the backoff elapsed: the caller should
+        attempt a respawn and report back via :meth:`note_respawned`
+        or :meth:`note_respawn_failed`).
+        """
+        st = self._state(name)
+        if st.state == EXHAUSTED or st.restarts >= self.restart_budget:
+            st.state = EXHAUSTED
+            st.due = None
+            return DECIDE_EXHAUSTED
+        if st.due is None:
+            st.due = float(now) + self.delay(name, st.restarts)
+            st.state = BACKOFF
+            return DECIDE_WAIT
+        if now < st.due:
+            return DECIDE_WAIT
+        return DECIDE_RESPAWN
+
+    def note_respawned(self, name: str) -> int:
+        """A respawn succeeded; returns the shard's restart count."""
+        st = self._state(name)
+        st.restarts += 1
+        st.due = None
+        st.state = RUNNING
+        self.respawns += 1
+        return st.restarts
+
+    def note_respawn_failed(self, name: str, now: float) -> None:
+        """A respawn attempt failed: charge the budget, back off again."""
+        st = self._state(name)
+        st.restarts += 1
+        if st.restarts >= self.restart_budget:
+            st.state = EXHAUSTED
+            st.due = None
+            return
+        st.due = float(now) + self.delay(name, st.restarts)
+        st.state = BACKOFF
+
+    # -- introspection ---------------------------------------------------
+
+    def state_of(self, name: str) -> str:
+        """The shard's supervision state name."""
+        return self._state(name).state
+
+    def snapshot(self) -> dict:
+        """Health-payload form: per-shard restarts/state/budget."""
+        return {
+            name: {
+                "restarts": st.restarts,
+                "budget": self.restart_budget,
+                "state": st.state,
+                "due": st.due,
+            }
+            for name, st in sorted(self._shards.items())
+        }
+
+
+__all__ = [
+    "BACKOFF",
+    "DECIDE_EXHAUSTED",
+    "DECIDE_RESPAWN",
+    "DECIDE_WAIT",
+    "EXHAUSTED",
+    "RUNNING",
+    "STATE_GAUGE",
+    "ShardSupervisor",
+]

@@ -40,6 +40,9 @@ kind               meaning / attrs
 ``canary``         half-open probe outcome; ``algorithm``, ``outcome``
 ``store``          store-view lookup; ``tier`` (memory/shared/disk/miss)
 ``heartbeat``      shard liveness tick (process mode); ``inflight``
+``warm``           respawned shard pre-warmed from the store; ``count``
+``respawn``        supervisor restarted a dead shard; ``restarts``
+``recovered``      journal replay resubmitted jobs; replay counts
 =================  ========================================================
 
 Zero cost when disabled: services emit through an optional ``on_event``

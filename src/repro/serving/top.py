@@ -7,8 +7,11 @@ cluster wants on one screen:
   worst breaker state, job counts by status, store-tier hits;
 * the SLO panel — availability vs target, error-budget burn, exact
   p50/p90/p99/p999 latency over terminal responses;
+* the durability panel (when the cluster journals and/or supervises) —
+  journal path and records written, per-shard supervision state and
+  restarts-vs-budget, total respawns, recovered-job count;
 * the telemetry tail — the most recent structured events off the bus
-  (sheds, breaker transitions, retries, store tiers).
+  (sheds, breaker transitions, retries, store tiers, respawns).
 
 Two ways to drive it:
 
@@ -123,6 +126,27 @@ def render_dashboard(
                 for q in ("p50", "p90", "p99", "p999")
             )
         )
+    journal = health.get("journal")
+    supervisor = health.get("supervisor")
+    if journal or supervisor or health.get("recovered"):
+        lines.append("")
+        bits = []
+        if journal:
+            sync = "fsync" if journal.get("sync", True) else "nosync"
+            bits.append(
+                f"journal {journal.get('records', 0)} rec ({sync})"
+                f" @ {journal.get('path', '?')}"
+            )
+        if health.get("recovered"):
+            bits.append(f"recovered {health['recovered']}")
+        if supervisor:
+            bits.append(f"respawns {supervisor.get('respawns', 0)}")
+        lines.append("durability  " + "  ".join(bits))
+        for name, st in sorted((supervisor or {}).get("shards", {}).items()):
+            lines.append(
+                f"  {name:<12} {st.get('state', '?'):<10}"
+                f" restarts {st.get('restarts', 0)}/{st.get('budget', 0)}"
+            )
     if events is not None:
         tail = list(events)[-max_events:]
         lines.append("")

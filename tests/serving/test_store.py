@@ -1,0 +1,109 @@
+"""Shared-store disk-tier integrity: torn entries miss, write-backs heal.
+
+Two distinct damage classes, two distinct detectors:
+
+* *bit-level* corruption (truncated file, flipped byte) fails the
+  cache's digest verification and is already demoted to a logged miss;
+* *structural* corruption — a digest-valid entry whose measurement
+  payload is not a mapping (e.g. written by a foreign tool against the
+  same key) — passes the digest check, so the view adds its own check
+  and counts it under ``repro_cluster_store_torn_total``.
+
+Either way the contract is the same: the lookup is a miss (the shard
+recomputes), never a crash and never a poisoned response, and the
+recompute's atomic write-back overwrites the damaged file so the next
+lookup hits the disk tier again.
+"""
+
+import json
+
+from repro.experiments.cache import entry_digest
+from repro.observability.metrics import METRICS
+from repro.serving.store import (
+    SharedResultStore,
+    TIER_DISK,
+    TIER_MISS,
+)
+from repro.serving.workloads import repeated_spec_workload
+
+MEASUREMENT = {"words": 123.0, "messages": 4.0}
+
+
+def _store(tmp_path):
+    return SharedResultStore(str(tmp_path / "store"), version="test")
+
+
+def _point():
+    return repeated_spec_workload(1, seed=0, unique=1)[0].point
+
+
+def test_truncated_entry_is_a_miss_and_put_heals_it(tmp_path):
+    store = _store(tmp_path)
+    point = _point()
+    writer = store.view("shard-0")
+    path = writer.put(point, MEASUREMENT, wall_time=0.5)
+
+    # truncate mid-file: the digest check fails on the next disk read
+    blob = open(path, encoding="utf-8").read()
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(blob[: len(blob) // 2])
+
+    # a fresh view (empty memory tier) must hit the damaged disk entry
+    reader = SharedResultStore(store.directory, version="test").view("shard-0")
+    assert reader.get(point) is None
+    assert reader.stats()[TIER_MISS] == 1
+
+    # the recompute write-back heals the file in place
+    reader.put(point, MEASUREMENT, wall_time=0.5)
+    healed = SharedResultStore(store.directory, version="test").view("shard-0")
+    entry = healed.get(point)
+    assert entry is not None
+    assert entry["measurement"] == MEASUREMENT
+    assert healed.stats()[TIER_DISK] == 1
+
+
+def test_digest_valid_but_structurally_torn_entry_counts_as_torn(tmp_path):
+    store = _store(tmp_path)
+    point = _point()
+    view = store.view("shard-0")
+    path = view.put(point, MEASUREMENT, wall_time=0.5)
+
+    # rewrite the entry with a non-mapping measurement and a *matching*
+    # digest: the cache's integrity check passes, the view's structural
+    # check must not
+    entry = json.load(open(path, encoding="utf-8"))
+    entry["measurement"] = "not-a-mapping"
+    entry["digest"] = entry_digest(entry)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(entry, fh, sort_keys=True)
+
+    before = METRICS.value(
+        "repro_cluster_store_torn_total", shard="shard-1"
+    ) or 0
+    reader = SharedResultStore(store.directory, version="test").view("shard-1")
+    assert reader.get(point) is None
+    assert reader.stats()[TIER_MISS] == 1
+    after = METRICS.value("repro_cluster_store_torn_total", shard="shard-1")
+    assert after == before + 1
+
+    # heal on write-back, then the same view serves it from memory and
+    # a fresh view from disk
+    reader.put(point, MEASUREMENT, wall_time=0.5)
+    fresh = SharedResultStore(store.directory, version="test").view("shard-2")
+    entry = fresh.get(point)
+    assert entry is not None
+    assert entry["measurement"] == MEASUREMENT
+
+
+def test_memory_tier_shields_a_view_from_later_disk_damage(tmp_path):
+    store = _store(tmp_path)
+    point = _point()
+    view = store.view("shard-0")
+    path = view.put(point, MEASUREMENT, wall_time=0.5)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write("{")  # destroy the disk entry outright
+    # the producing view still serves from its warm tier
+    entry = view.get(point)
+    assert entry is not None
+    assert entry["measurement"] == MEASUREMENT
+    assert view.stats()["memory"] == 1

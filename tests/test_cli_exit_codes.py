@@ -142,3 +142,109 @@ class TestServeExitCodes:
              "--retries", "0", "--quiet"]
         )
         assert rc == 1
+
+
+class TestSubmitTransportRetry:
+    """Satellite of the durability PR: ``repro submit --cluster`` must
+    ride out transient pipe faults with bounded, seeded backoff, and
+    exit with the stable transport code (3) once retries are spent."""
+
+    class _FlakyClient:
+        def __init__(self, failures, exc=BrokenPipeError("pipe gone")):
+            self.failures = failures
+            self.exc = exc
+            self.calls = 0
+
+        def submit(self, job):
+            self.calls += 1
+            if self.calls <= self.failures:
+                raise self.exc
+            return job  # stand-in terminal response
+
+    def test_transient_failures_are_retried_then_succeed(self):
+        from repro.serving.cli import _submit_with_retry
+
+        client = self._FlakyClient(failures=2)
+        slept = []
+        result = _submit_with_retry(
+            client, "job", attempts=3, seed=5, sleep=slept.append
+        )
+        assert result == "job"
+        assert client.calls == 3
+        assert len(slept) == 2
+        # backoff doubles, jitter stays in [0.5, 1.5) of the envelope
+        for attempt, delay in enumerate(slept):
+            envelope = 0.05 * 2.0 ** attempt
+            assert 0.5 * envelope <= delay < 1.5 * envelope
+
+    def test_retry_schedule_is_seeded_and_reproducible(self):
+        from repro.serving.cli import _submit_with_retry
+
+        def schedule(seed):
+            client = self._FlakyClient(failures=3)
+            slept = []
+            _submit_with_retry(
+                client, "job", attempts=4, seed=seed, sleep=slept.append
+            )
+            return slept
+
+        assert schedule(7) == schedule(7)
+        assert schedule(7) != schedule(8)
+
+    def test_exhausted_retries_reraise_the_last_error(self):
+        from repro.serving.cli import _submit_with_retry
+
+        client = self._FlakyClient(failures=99)
+        with pytest.raises(BrokenPipeError):
+            _submit_with_retry(client, "job", attempts=2, sleep=lambda _: None)
+        assert client.calls == 2
+
+    def test_non_transient_errors_are_not_retried(self):
+        from repro.serving.cli import _submit_with_retry
+
+        class Broken:
+            calls = 0
+
+            def submit(self, job):
+                self.calls += 1
+                raise ValueError("not a transport problem")
+
+        client = Broken()
+        with pytest.raises(ValueError):
+            _submit_with_retry(client, "job", attempts=5, sleep=lambda _: None)
+        assert client.calls == 1
+
+    def test_transport_exhaustion_exits_three(self, monkeypatch, capsys):
+        from repro.serving import cli as serving_cli
+
+        class DeadCluster:
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+            def submit(self, job):
+                raise BrokenPipeError("front door gone")
+
+        monkeypatch.setattr(
+            serving_cli.ServingClient,
+            "cluster",
+            classmethod(lambda cls, **kw: DeadCluster()),
+        )
+        # the real seeded backoff runs: ~0.05s for one retry
+        rc = cli.main(
+            ["submit", "chol", "--n", "24", "--cluster",
+             "--transport-retries", "2"]
+        )
+        assert rc == 3
+        err = capsys.readouterr().err
+        assert "transport failure after 2 attempt(s)" in err
+
+    def test_cluster_submit_happy_path_exits_zero(self, capsys):
+        rc = cli.main(
+            ["submit", "chol", "--n", "24", "--cluster", "--shards", "2"]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["status"] == "done"

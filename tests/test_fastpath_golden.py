@@ -183,6 +183,32 @@ class TestServingObservabilityGolden:
                 assert "trace" in doc_on
             assert self._strip(doc_off) == self._strip(doc_on)
 
+    def test_durability_on_is_response_identical_to_off(self, tmp_path):
+        """Journaling + supervision are pure bookkeeping: with both ON,
+        every terminal response matches the plain run's exactly."""
+        from repro.serving.cluster import ServingCluster
+        from repro.serving.journal import replay_journal
+        from repro.serving.workloads import soak_workload
+
+        off = self._run(tracing=False)
+        cluster = ServingCluster(
+            shards=2,
+            mode="inline",
+            journal_dir=str(tmp_path / "wal"),
+            supervise=True,
+        )
+        try:
+            tickets = [cluster.submit(j) for j in soak_workload(16)]
+            cluster.run_pending()
+            on = [t.result(timeout=0).to_dict() for t in tickets]
+        finally:
+            cluster.stop()
+        assert len(on) == 16
+        for doc_off, doc_on in zip(off, on):
+            assert self._strip(doc_off) == self._strip(doc_on)
+        # and the journal closed out every accepted job
+        assert replay_journal(str(tmp_path / "wal")).counts()["open"] == 0
+
 
 class TestParallelGolden:
     @staticmethod
