@@ -12,6 +12,14 @@ into ``--bench-out`` (repo root by default).
 Thresholds are asserted on the small smoke grid so the suite stays
 seconds-scale; the full n=512 grid runs via ``repro bench`` (CI's
 bench-smoke job and the committed ``BENCH_4.json`` cover it).
+
+Experiment P8 rides in the same module: the schedule JIT (capture one
+run, replay later same-shape runs as array folds — see
+:mod:`repro.schedule`) is timed on the registry smoke grid and written
+to ``BENCH_8.json``.  Every registry algorithm must replay at >= 10x
+over the element-wise reference path with identical counts; the
+committed repo-root ``BENCH_8.json`` holds the full n=512 grid from
+``repro bench --grid registry --gate 10``.
 """
 
 from __future__ import annotations
@@ -23,6 +31,7 @@ import pytest
 from benchmarks.conftest import run_module
 from repro.analysis.wallclock import (
     COUNT_FIELDS,
+    REGISTRY_TINY,
     TINY_GRID,
     run_grid,
     run_point,
@@ -39,10 +48,27 @@ SMOKE_THRESHOLDS = {
 }
 
 
+#: Minimum compiled-replay speedup over the element-wise path for the
+#: registry smoke grid (same gate as the full n=512 ``BENCH_8.json``).
+COMPILED_GATE = 10.0
+
+
 @pytest.fixture(scope="module")
 def wallclock_doc(bench_out):
-    doc = run_grid(TINY_GRID, repeats=3, seed=0)
+    # compiled=False: BENCH_4 measures the batched *interpreter*, not
+    # the schedule JIT (that is BENCH_8 below).
+    doc = run_grid(TINY_GRID, repeats=3, seed=0, compiled=False)
     out = bench_out / "BENCH_4.json"
+    with open(out, "w") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+    return doc
+
+
+@pytest.fixture(scope="module")
+def compiled_doc(bench_out):
+    doc = run_grid(REGISTRY_TINY, repeats=3, seed=0, slow_repeats=1)
+    out = bench_out / "BENCH_8.json"
     with open(out, "w") as fh:
         json.dump(doc, fh, indent=2)
         fh.write("\n")
@@ -89,6 +115,63 @@ def test_speedup_thresholds(benchmark, wallclock_doc):
         rounds=3,
         iterations=1,
     )
+
+
+def test_compiled_counts_identical(compiled_doc):
+    """Replayed schedules must reproduce the reference counts exactly."""
+    assert compiled_doc["compile"] is True
+    assert compiled_doc["all_counts_equal"], [
+        (p["algorithm"], p["counters"], p["counters_slow"])
+        for p in compiled_doc["grid"]
+        if not p["counts_equal"]
+    ]
+    assert compiled_doc["all_numerics_match"]
+
+
+def test_compiled_every_registry_algorithm_replays(compiled_doc):
+    """All timed repeats must come from schedule replay, never capture."""
+    algos = {p["algorithm"] for p in compiled_doc["grid"]}
+    assert {"toledo", "square-recursive"} <= algos
+    for p in compiled_doc["grid"]:
+        assert p["schedule"]["compile"] is True
+        assert set(p["schedule"]["modes"]) == {"replay"}, (
+            p["algorithm"],
+            p["schedule"]["modes"],
+        )
+        # batch_hits is restored by the replay, so the batching gate
+        # (the toledo batch_hits:0 regression) is visible here too.
+        assert p["fast"]["batch_hits"] > 0, p["algorithm"]
+
+
+def test_compiled_speedup_gate(compiled_doc):
+    """Every registry algorithm >= 10x over the element-wise path."""
+    for p in compiled_doc["grid"]:
+        assert p["speedup"] >= COMPILED_GATE, (
+            p["algorithm"],
+            p["speedup"],
+        )
+
+
+def test_compiled_bounds_crosscheck(compiled_doc):
+    """Replayed totals sit where the closed forms say they should.
+
+    Table 1 rows are Theta-forms without constants, so the gate is a
+    sanity band on the measured/predicted ratio, plus the lower-bound
+    ratio staying O(1): traffic tracks Omega(n^3 / sqrt(M)) up to the
+    constant slack the bound's small-n form leaves (lapack dips to
+    ~0.8x of the closed-form constant at n=96).
+    """
+    for p in compiled_doc["grid"]:
+        bounds = p["bounds"]
+        assert 0.25 <= bounds["words_over_lower_bound"] <= 100.0, (
+            p["algorithm"],
+            bounds["words_over_lower_bound"],
+        )
+        for row in bounds["table1"]:
+            assert 0.1 <= row["words_ratio"] <= 10.0, (
+                p["algorithm"],
+                row,
+            )
 
 
 if __name__ == "__main__":

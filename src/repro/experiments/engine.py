@@ -410,15 +410,24 @@ class ExperimentEngine:
 
     def summary(self) -> str:
         """One-line account of everything this engine ran."""
+        from repro.schedule import default_cache
+
         total = sum(len(r.points) for r in self.results)
         hits = sum(r.cache_hits for r in self.results)
         failed = sum(len(r.failures) for r in self.results)
         secs = sum(r.wall_time for r in self.results)
         tail = f", {failed} failed" if failed else ""
+        sched = default_cache().stats()
+        sched_hits = sched["hits_memory"] + sched["hits_disk"]
+        sched_tail = (
+            f", schedules {sched_hits} replayed/{sched['misses']} compiled"
+            if sched_hits or sched["misses"]
+            else ""
+        )
         return (
             f"[engine] {total} points across {len(self.results)} spec(s): "
             f"{hits} from cache, {total - hits} computed{tail}, "
-            f"jobs={self.jobs}, {secs:.2f}s"
+            f"jobs={self.jobs}, {secs:.2f}s{sched_tail}"
         )
 
     def save_artifacts(self, directory: str | None = None) -> "list[str]":

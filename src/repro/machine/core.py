@@ -78,12 +78,13 @@ class _Scope:
     NumPy instead of recursing to scalar base cases.
     """
 
-    __slots__ = ("fits", "depth", "_write_levels")
+    __slots__ = ("fits", "depth", "_write_levels", "_mask")
 
     def __init__(self, fits: bool, depth: int) -> None:
         self.fits = fits
         self.depth = depth
         self._write_levels: list[MemoryLevel] = []
+        self._mask: int = 0  # bitmask of newly-fitted levels (recorder)
 
 
 class HierarchicalMachine:
@@ -158,6 +159,11 @@ class HierarchicalMachine:
         self.batched: bool = default_batched() if batched is None else bool(batched)
         #: How many transfer batches took the O(#intervals) fast path.
         self.batch_hits: int = 0
+        #: Live :class:`~repro.schedule.compiled.ScheduleRecorder`
+        #: capturing this run into a replayable schedule, or ``None``.
+        #: Attached by :func:`repro.schedule.compiled_session` around
+        #: eligible runs; pure observation, counts are unchanged.
+        self.recorder = None
         self._read_seq: int = 0
         self._scope_depth: int = 0
         self._next_base: int = 0
@@ -245,6 +251,8 @@ class HierarchicalMachine:
             level.counters.add_read(words, ivs.messages(cap=level.capacity))
         self.resident = self.resident | ivs
         self._note_resident()
+        if self.recorder is not None:
+            self.recorder.record_set(ivs, False)
         if self.trace is not None:
             self.trace.append(ReadEvent(ivs))
         if self.faults is not None:
@@ -262,6 +270,9 @@ class HierarchicalMachine:
                 self.faults.stats.read_retry_messages += ivs.messages(
                     cap=self.fast.capacity
                 )
+                if self.recorder is not None:
+                    self.recorder.record_set(ivs, False)
+                    self.recorder.record_fault(seq)
                 if self.trace is not None:
                     self.trace.append(ReadEvent(ivs))
         if self.guard is not None:
@@ -288,6 +299,8 @@ class HierarchicalMachine:
         words = ivs.words
         for level in self.levels:
             level.counters.add_write(words, ivs.messages(cap=level.capacity))
+        if self.recorder is not None:
+            self.recorder.record_set(ivs, True)
         if self.trace is not None:
             self.trace.append(WriteEvent(ivs))
         if self.guard is not None:
@@ -345,6 +358,8 @@ class HierarchicalMachine:
             rm, wm = batch.direction_messages(cap=level.capacity)
             level.counters.add_batch(read_words, rm, write_words, wm)
         self._note_batch_peak(int(peak_extra))
+        if self.recorder is not None:
+            self.recorder.record_batch(batch)
         if self.trace is not None:
             self.trace.append(BatchEvent(batch))
         if self.guard is not None:
@@ -460,7 +475,7 @@ class HierarchicalMachine:
         handle = _Scope(
             fits=fwords <= self.fast.capacity, depth=self._scope_depth
         )
-        for level in self.levels:
+        for i, level in enumerate(self.levels):
             if level.fitted_scope_depth is None and fwords <= level.capacity:
                 level.fitted_scope_depth = self._scope_depth
                 level.counters.add_read(
@@ -468,6 +483,9 @@ class HierarchicalMachine:
                 )
                 level.note_resident(fwords)
                 handle._write_levels.append(level)
+                handle._mask |= 1 << i
+        if self.recorder is not None and handle._mask:
+            self.recorder.record_set(read_ivs, False, handle._mask)
         if self.trace is not None:
             self.trace.append(
                 ScopeEvent(footprint, fitted=[l.name for l in handle._write_levels])
@@ -483,9 +501,103 @@ class HierarchicalMachine:
                         write_ivs.words, write_ivs.messages(cap=level.capacity)
                     )
                 level.fitted_scope_depth = None
+            if (
+                self.recorder is not None
+                and handle._mask
+                and write_ivs is not None
+                and not write_ivs.is_empty()
+            ):
+                self.recorder.record_set(write_ivs, True, handle._mask)
             self._scope_depth -= 1
             if self.guard is not None and handle._write_levels:
                 self.guard.check_machine(self)
+
+    def leaf_charge(
+        self,
+        read_ivs: IntervalSet,
+        write_ivs: IntervalSet | None = None,
+        *,
+        write_covered: bool = False,
+    ) -> bool:
+        """Charge a fitting recursion leaf in one shot (batched scopes).
+
+        The batched twin of an ``sc.fits`` scope: when the footprint
+        fits the fastest level, this charges exactly what entering and
+        exiting :meth:`scope` around the leaf computation would — the
+        same newly-fitted levels, the same reads/writes/peaks, one
+        :class:`ScopeEvent` — and returns ``True`` so the caller can
+        compute the leaf directly.  When the footprint does not fit it
+        charges nothing and returns ``False``; the caller falls back
+        to a full :meth:`scope` (which may still charge outer levels)
+        and recursion.  Counts are identical to the element-wise scope
+        path either way; the golden suite pins that.  Each successful
+        leaf counts one :attr:`batch_hits`.
+        """
+        footprint = (
+            read_ivs
+            if write_ivs is None
+            or write_ivs is read_ivs
+            or (write_covered and fastpath_enabled())
+            else (read_ivs | write_ivs)
+        )
+        fwords = footprint.words
+        if fwords > self.fast.capacity:
+            return False
+        self._scope_depth += 1
+        try:
+            fitted: list[MemoryLevel] = []
+            mask = 0
+            for i, level in enumerate(self.levels):
+                if (
+                    level.fitted_scope_depth is None
+                    and fwords <= level.capacity
+                ):
+                    level.fitted_scope_depth = self._scope_depth
+                    level.counters.add_read(
+                        read_ivs.words, read_ivs.messages(cap=level.capacity)
+                    )
+                    level.note_resident(fwords)
+                    fitted.append(level)
+                    mask |= 1 << i
+            self.batch_hits += 1
+            if self.recorder is not None and mask:
+                self.recorder.record_set(read_ivs, False, mask)
+            if self.trace is not None:
+                self.trace.append(
+                    ScopeEvent(footprint, fitted=[l.name for l in fitted])
+                )
+            if self.guard is not None:
+                self.guard.check_machine(self)
+            write = write_ivs is not None and not write_ivs.is_empty()
+            for level in fitted:
+                if write:
+                    level.counters.add_write(
+                        write_ivs.words, write_ivs.messages(cap=level.capacity)
+                    )
+                level.fitted_scope_depth = None
+            if self.recorder is not None and mask and write:
+                self.recorder.record_set(write_ivs, True, mask)
+            if self.guard is not None and fitted:
+                self.guard.check_machine(self)
+        finally:
+            self._scope_depth -= 1
+        return True
+
+    # -- compiled replay ---------------------------------------------------
+
+    def replay_schedule(self, schedule) -> None:
+        """Fold a compiled :class:`~repro.schedule.TransferSchedule`
+        into this machine in one shot.
+
+        The bulk-charging entry point of the schedule JIT: per-level
+        counter totals, peak residency, flops, batch hits, the read
+        sequence and (with a matching fault plan armed) the realized
+        fault schedule all land exactly as the captured run left them.
+        Validation happens before any mutation — on
+        :class:`~repro.schedule.ScheduleError` the machine is
+        untouched.
+        """
+        schedule.apply(self)
 
     # -- address-space management ------------------------------------------
 
@@ -522,6 +634,7 @@ class HierarchicalMachine:
             level.fitted_scope_depth = None
         self.flops = 0
         self.batch_hits = 0
+        self.recorder = None
         self.resident = IntervalSet()
         self._scope_depth = 0
         self._read_seq = 0

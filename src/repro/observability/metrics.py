@@ -18,6 +18,10 @@ name                                  type       labels
 ``repro_run_messages_total``          counter    ``kind``, ``algorithm``
 ``repro_run_flops_total``             counter    ``kind``, ``algorithm``
 ``repro_cache_lookups_total``         counter    ``result`` (hit/miss/corrupt)
+``repro_schedule_cache_hits_total``   counter    ``tier`` (memory/disk)
+``repro_schedule_cache_misses_total``  counter    —
+``repro_schedule_events_total``       counter    ``event`` (capture/replay/
+                                                 discard/apply-mismatch)
 ``repro_engine_points_total``         counter    ``source`` (cache/computed)
 ``repro_engine_retries_total``        counter    ``kind``
 ``repro_engine_failures_total``       counter    ``kind``

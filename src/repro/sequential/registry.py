@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.matrices.tracked import TrackedMatrix
 from repro.results import RunResult, freeze_params
+from repro.schedule import compiled_session, note_run_mode
 from repro.sequential.blocked_right import lapack_blocked_right
 from repro.sequential.lapack_blocked import lapack_blocked
 from repro.sequential.naive import (
@@ -88,12 +89,20 @@ def run_algorithm(
     check_finite("A", A.data)
     recorded = dict(params)
     snapshot = A.data.copy() if spd_shift is not None else None
+    note_run_mode("off")
 
     def invoke() -> np.ndarray:
         # Normalize the failure shape: some algorithms raise the
         # structured error themselves (via dense_cholesky), the naive
         # ones surface numpy's bare LinAlgError at the failing pivot.
+        # An eligible (pristine, unobserved) run goes through the
+        # schedule JIT: replay a cached same-shape schedule, or run
+        # interpreted under capture.  Re-checked per attempt — the
+        # spd_shift retry resets the machine back to eligibility.
+        session = compiled_session(name, A, params)
         try:
+            if session is not None:
+                return session.run(lambda: ALGORITHMS[name](A, **params))
             return ALGORITHMS[name](A, **params)
         except NotPositiveDefiniteError:
             raise

@@ -46,6 +46,18 @@ def _rmatmul(C: BlockRef, A: BlockRef, B: BlockRef, sign: float) -> None:
     m, k = A.shape
     r = B.shape[1]
     reads = footprint([A, B, C])
+    # Batched leaf vs interpreted scope: see _rsyrk for the contract.
+    if machine.batched:
+        with machine.profiler.span("matmul"):
+            if machine.leaf_charge(reads, C.intervals, write_covered=True):
+                c = C.peek()
+                c += sign * (A.peek() @ B.peek())
+                C.poke(c)
+                machine.add_flops(gemm_flops(m, k, r))
+                return
+            with machine.scope(reads, C.intervals, write_covered=True):
+                _rmatmul_recurse(C, A, B, sign, machine, m, k, r)
+        return
     with machine.profiler.span("matmul"), machine.scope(
         reads, C.intervals, write_covered=True
     ) as sc:
@@ -55,27 +67,35 @@ def _rmatmul(C: BlockRef, A: BlockRef, B: BlockRef, sign: float) -> None:
             C.poke(c)
             machine.add_flops(gemm_flops(m, k, r))
             return
-        big = max(m, k, r)
-        if big == 1:
-            raise ModelError(
-                f"fast memory (M={machine.M}) cannot hold even a "
-                "1x1x1 multiplication working set"
-            )
-        if m == big:
-            h = split_point(m)
-            a_top, a_bot = A.split_rows(h)
-            c_top, c_bot = C.split_rows(h)
-            _rmatmul(c_top, a_top, B, sign)
-            _rmatmul(c_bot, a_bot, B, sign)
-        elif k == big:
-            h = split_point(k)
-            a_left, a_right = A.split_cols(h)
-            b_top, b_bot = B.split_rows(h)
-            _rmatmul(C, a_left, b_top, sign)
-            _rmatmul(C, a_right, b_bot, sign)
-        else:
-            h = split_point(r)
-            b_left, b_right = B.split_cols(h)
-            c_left, c_right = C.split_cols(h)
-            _rmatmul(c_left, A, b_left, sign)
-            _rmatmul(c_right, A, b_right, sign)
+        _rmatmul_recurse(C, A, B, sign, machine, m, k, r)
+
+
+def _rmatmul_recurse(
+    C: BlockRef, A: BlockRef, B: BlockRef, sign: float, machine,
+    m: int, k: int, r: int,
+) -> None:
+    """Split a too-big multiplication (shared by both charge paths)."""
+    big = max(m, k, r)
+    if big == 1:
+        raise ModelError(
+            f"fast memory (M={machine.M}) cannot hold even a "
+            "1x1x1 multiplication working set"
+        )
+    if m == big:
+        h = split_point(m)
+        a_top, a_bot = A.split_rows(h)
+        c_top, c_bot = C.split_rows(h)
+        _rmatmul(c_top, a_top, B, sign)
+        _rmatmul(c_bot, a_bot, B, sign)
+    elif k == big:
+        h = split_point(k)
+        a_left, a_right = A.split_cols(h)
+        b_top, b_bot = B.split_rows(h)
+        _rmatmul(C, a_left, b_top, sign)
+        _rmatmul(C, a_right, b_bot, sign)
+    else:
+        h = split_point(r)
+        b_left, b_right = B.split_cols(h)
+        c_left, c_right = C.split_cols(h)
+        _rmatmul(c_left, A, b_left, sign)
+        _rmatmul(c_right, A, b_right, sign)

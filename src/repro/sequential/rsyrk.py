@@ -42,8 +42,27 @@ def rsyrk(C: BlockRef, A: BlockRef) -> None:
 def _rsyrk(C: BlockRef, A: BlockRef) -> None:
     machine = C.matrix.machine
     m, k = A.shape
+    reads = footprint([A, C])
+    # Batched leaf: a fitting subproblem takes one coalesced charge
+    # (a batch hit the schedule recorder captures as a single scope
+    # set) instead of an interpreted context-managed scope.  A
+    # non-fitting subproblem still opens the scope — it may be the
+    # first fit of an *outer* hierarchy level.  Counts are identical
+    # to the element-wise scope path; the goldens pin that.
+    if machine.batched:
+        with machine.profiler.span("syrk"):
+            if machine.leaf_charge(reads, C.intervals, write_covered=True):
+                c = C.peek()
+                a = A.peek()
+                c -= a @ a.T
+                C.poke(c)
+                machine.add_flops(syrk_flops(m, k))
+                return
+            with machine.scope(reads, C.intervals, write_covered=True):
+                _rsyrk_recurse(C, A, machine, m, k)
+        return
     with machine.profiler.span("syrk"), machine.scope(
-        footprint([A, C]), C.intervals, write_covered=True
+        reads, C.intervals, write_covered=True
     ) as sc:
         if sc.fits:
             c = C.peek()
@@ -52,21 +71,26 @@ def _rsyrk(C: BlockRef, A: BlockRef) -> None:
             C.poke(c)
             machine.add_flops(syrk_flops(m, k))
             return
-        if max(m, k) == 1:
-            raise ModelError(
-                f"fast memory (M={machine.M}) cannot hold a 1x1 "
-                "symmetric update working set"
-            )
-        if k > m:
-            # long inner dimension: split A's columns, two half updates
-            h = split_point(k)
-            a_left, a_right = A.split_cols(h)
-            _rsyrk(C, a_left)
-            _rsyrk(C, a_right)
-            return
-        h = split_point(m)
-        c11, _c12, c21, c22 = C.quadrants(h, h)
-        a_top, a_bot = A.split_rows(h)
-        _rsyrk(c11, a_top)
-        _rmatmul(c21, a_bot, a_top.T, -1.0)
-        _rsyrk(c22, a_bot)
+        _rsyrk_recurse(C, A, machine, m, k)
+
+
+def _rsyrk_recurse(C: BlockRef, A: BlockRef, machine, m: int, k: int) -> None:
+    """Split a too-big symmetric update (shared by both charge paths)."""
+    if max(m, k) == 1:
+        raise ModelError(
+            f"fast memory (M={machine.M}) cannot hold a 1x1 "
+            "symmetric update working set"
+        )
+    if k > m:
+        # long inner dimension: split A's columns, two half updates
+        h = split_point(k)
+        a_left, a_right = A.split_cols(h)
+        _rsyrk(C, a_left)
+        _rsyrk(C, a_right)
+        return
+    h = split_point(m)
+    c11, _c12, c21, c22 = C.quadrants(h, h)
+    a_top, a_bot = A.split_rows(h)
+    _rsyrk(c11, a_top)
+    _rmatmul(c21, a_bot, a_top.T, -1.0)
+    _rsyrk(c22, a_bot)

@@ -41,29 +41,45 @@ def rtrsm(A: BlockRef, U: BlockRef) -> None:
 def _rtrsm(A: BlockRef, U: BlockRef) -> None:
     machine = A.matrix.machine
     m, n = A.shape
+    reads = footprint([A, U])
+    # Batched leaf vs interpreted scope: see _rsyrk for the contract.
+    if machine.batched:
+        with machine.profiler.span("trsm"):
+            if machine.leaf_charge(reads, A.intervals, write_covered=True):
+                A.poke(solve_upper_right(A.peek(), U.peek()))
+                machine.add_flops(trsm_flops(m, n))
+                return
+            with machine.scope(reads, A.intervals, write_covered=True):
+                _rtrsm_recurse(A, U, machine, m, n)
+        return
     with machine.profiler.span("trsm"), machine.scope(
-        footprint([A, U]), A.intervals, write_covered=True
+        reads, A.intervals, write_covered=True
     ) as sc:
         if sc.fits:
             A.poke(solve_upper_right(A.peek(), U.peek()))
             machine.add_flops(trsm_flops(m, n))
             return
-        if m >= n and m > 1:
-            # tall A: the two row halves solve independently
-            h = split_point(m)
-            a_top, a_bot = A.split_rows(h)
-            _rtrsm(a_top, U)
-            _rtrsm(a_bot, U)
-            return
-        if n == 1:
-            raise ModelError(
-                f"fast memory (M={machine.M}) cannot hold a single "
-                "column triangular-solve working set"
-            )
-        # wide A: forward substitution over U's column blocks
-        h = split_point(n)
-        a_left, a_right = A.split_cols(h)
-        u11, u12, _u21, u22 = U.quadrants(h, h)
-        _rtrsm(a_left, u11)
-        _rmatmul(a_right, a_left, u12, -1.0)
-        _rtrsm(a_right, u22)
+        _rtrsm_recurse(A, U, machine, m, n)
+
+
+def _rtrsm_recurse(A: BlockRef, U: BlockRef, machine, m: int, n: int) -> None:
+    """Split a too-big triangular solve (shared by both charge paths)."""
+    if m >= n and m > 1:
+        # tall A: the two row halves solve independently
+        h = split_point(m)
+        a_top, a_bot = A.split_rows(h)
+        _rtrsm(a_top, U)
+        _rtrsm(a_bot, U)
+        return
+    if n == 1:
+        raise ModelError(
+            f"fast memory (M={machine.M}) cannot hold a single "
+            "column triangular-solve working set"
+        )
+    # wide A: forward substitution over U's column blocks
+    h = split_point(n)
+    a_left, a_right = A.split_cols(h)
+    u11, u12, _u21, u22 = U.quadrants(h, h)
+    _rtrsm(a_left, u11)
+    _rmatmul(a_right, a_left, u12, -1.0)
+    _rtrsm(a_right, u22)

@@ -42,16 +42,33 @@ def _square_rchol(A: BlockRef) -> None:
     machine = A.matrix.machine
     n = A.rows
     ivs = A.intervals
+    # Batched leaf vs interpreted scope: see _rsyrk for the contract.
+    if machine.batched:
+        with machine.profiler.span("chol"):
+            if machine.leaf_charge(ivs, ivs):
+                A.poke(dense_cholesky(A.peek()))
+                machine.add_flops(cholesky_flops(n))
+                return
+            with machine.scope(ivs, ivs):
+                _square_rchol_recurse(A, n)
+        return
     with machine.profiler.span("chol"), machine.scope(ivs, ivs) as sc:
         if sc.fits:
             A.poke(dense_cholesky(A.peek()))
             machine.add_flops(cholesky_flops(n))
             return
-        # n == 1 always fits (footprint of one word, M >= 1), so a
-        # non-fitting scope is guaranteed splittable.
-        k = split_point(n)
-        a11, _a12, a21, a22 = A.quadrants(k, k)
-        _square_rchol(a11)             # L11 = Chol(A11)
-        _rtrsm(a21, a11.T)             # L21 = A21 · L11^{-T}
-        _rsyrk(a22, a21)               # A22 <- A22 - L21 L21^T
-        _square_rchol(a22)             # L22 = Chol(A22)
+        _square_rchol_recurse(A, n)
+
+
+def _square_rchol_recurse(A: BlockRef, n: int) -> None:
+    """Quadrant split (shared by both charge paths).
+
+    n == 1 always fits (footprint of one word, M >= 1), so a
+    non-fitting subproblem is guaranteed splittable.
+    """
+    k = split_point(n)
+    a11, _a12, a21, a22 = A.quadrants(k, k)
+    _square_rchol(a11)             # L11 = Chol(A11)
+    _rtrsm(a21, a11.T)             # L21 = A21 · L11^{-T}
+    _rsyrk(a22, a21)               # A22 <- A22 - L21 L21^T
+    _square_rchol(a22)             # L22 = Chol(A22)

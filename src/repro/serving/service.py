@@ -640,12 +640,22 @@ class FactorizationService:
         }
         if response.status == DONE:
             name = "cache" if response.detail.get("cached") else "execute"
+            extra = {}
+            if name == "execute":
+                # Compile-vs-replay attribution lives on the span only
+                # (the trace key is stripped from golden comparisons);
+                # same worker thread as the run, so the thread-local
+                # mode is this job's.
+                from repro.schedule import last_run_mode
+
+                extra["schedule"] = last_run_mode()
             span = log.add(
                 name,
                 now,
                 status=DONE,
                 attempts=response.attempts,
                 **counts,
+                **extra,
             )
             if name == "execute" and m is not None and m.profile:
                 log.graft_profile(span, m.profile)

@@ -1,0 +1,193 @@
+"""Schedule-cache keying, tiers and invalidation.
+
+The key is the whole correctness story of the JIT: replaying a
+schedule captured for a *different* shape would silently report the
+wrong counts, so distinct (algorithm, n, M, block, layout, fault
+plan) tuples must never collide, identical shapes must always reuse,
+and any code change (version token) must invalidate everything.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults.plan import FaultPlan
+from repro.layouts import make_layout
+from repro.machine import SequentialMachine
+from repro.schedule import (
+    ScheduleCache,
+    TransferSchedule,
+    fault_plan_digest,
+    schedule_key,
+)
+
+# One run shape, drawn coordinate-wise.  ``block`` only matters for
+# the blocked layout; the fault seed ``None`` means fault-free.
+shapes = st.tuples(
+    st.sampled_from(["naive-left", "toledo", "square-recursive"]),
+    st.sampled_from(["column-major", "packed", "morton", "blocked"]),
+    st.sampled_from([8, 16, 24, 32]),  # n
+    st.sampled_from([64, 128, 256]),  # M
+    st.sampled_from([4, 8]),  # block (blocked layout only)
+    st.sampled_from([None, 1, 2]),  # fault seed
+)
+
+
+def _key(shape, *, version="testver", base=0, params=None):
+    algorithm, layout_name, n, M, block, fseed = shape
+    layout = make_layout(
+        layout_name, n, block=block if layout_name == "blocked" else None
+    )
+    machine = SequentialMachine(M, batched=True)
+    plan = None if fseed is None else FaultPlan(seed=fseed, read_fault=0.05)
+    return schedule_key(
+        algorithm=algorithm,
+        layout=layout,
+        base=base,
+        machine=machine,
+        params=params or {},
+        fault_plan=plan,
+        version=version,
+    )
+
+
+def _canonical(shape):
+    """What the key must separate: blocked layouts keep their block."""
+    algorithm, layout_name, n, M, block, fseed = shape
+    if layout_name != "blocked":
+        block = None
+    return (algorithm, layout_name, n, M, block, fseed)
+
+
+class TestKeying:
+    @settings(max_examples=60, deadline=None)
+    @given(shapes, shapes)
+    def test_distinct_shapes_never_collide(self, a, b):
+        ka, kb = _key(a), _key(b)
+        if _canonical(a) == _canonical(b):
+            assert ka == kb
+        else:
+            assert ka != kb
+
+    @settings(max_examples=20, deadline=None)
+    @given(shapes)
+    def test_same_shape_reuses_key(self, shape):
+        assert _key(shape) == _key(shape)
+
+    @settings(max_examples=20, deadline=None)
+    @given(shapes)
+    def test_version_change_invalidates(self, shape):
+        assert _key(shape, version="aaaa") != _key(shape, version="bbbb")
+
+    def test_params_distinguish(self):
+        shape = ("naive-left", "column-major", 16, 64, 4, None)
+        assert _key(shape, params={"b": 4}) != _key(shape, params={"b": 8})
+        assert _key(shape, params={"b": 4}) != _key(shape)
+
+    def test_base_address_distinguishes(self):
+        shape = ("naive-left", "column-major", 16, 64, 4, None)
+        assert _key(shape, base=0) != _key(shape, base=640)
+
+    def test_unserializable_param_raises(self):
+        shape = ("naive-left", "column-major", 16, 64, 4, None)
+        with pytest.raises(TypeError):
+            _key(shape, params={"cb": object()})
+
+    def test_fault_plan_digest_separates_plans(self):
+        assert fault_plan_digest(None) is None
+        a = fault_plan_digest(FaultPlan(seed=1, read_fault=0.05))
+        b = fault_plan_digest(FaultPlan(seed=2, read_fault=0.05))
+        c = fault_plan_digest(FaultPlan(seed=1, read_fault=0.10))
+        assert len({a, b, c}) == 3
+        assert a == fault_plan_digest(FaultPlan(seed=1, read_fault=0.05))
+
+
+def tiny_schedule(cap: int = 64) -> TransferSchedule:
+    """A minimal hand-built schedule that passes its self-check."""
+    return TransferSchedule(
+        starts=np.array([0, 10], dtype=np.int64),
+        stops=np.array([5, 14], dtype=np.int64),
+        kinds=np.array([False, True]),
+        masks=np.array([1, 1], dtype=np.int64),
+        capacities=[cap],
+        enforce_capacity=True,
+        flops=3,
+        batch_hits=1,
+        read_calls=1,
+        peaks=[5],
+        totals=[(5, 1, 4, 1)],
+    )
+
+
+class TestTiers:
+    def test_memory_hit(self):
+        cache = ScheduleCache(None, version="v")
+        cache.put("k" * 64, tiny_schedule())
+        assert cache.get("k" * 64) is not None
+        assert cache.stats()["hits_memory"] == 1
+        assert cache.stats()["misses"] == 0
+
+    def test_miss_counts(self):
+        cache = ScheduleCache(None, version="v")
+        assert cache.get("absent") is None
+        assert cache.stats()["misses"] == 1
+
+    def test_disk_round_trip_promotes(self, tmp_path):
+        key = "ab" + "0" * 62
+        writer = ScheduleCache(tmp_path / "sched", version="v")
+        writer.put(key, tiny_schedule())
+        reader = ScheduleCache(tmp_path / "sched", version="v")
+        sched = reader.get(key)
+        assert sched is not None
+        assert sched.totals == ((5, 1, 4, 1),)
+        assert reader.stats()["hits_disk"] == 1
+        # promoted to memory: second get is a memory hit
+        assert reader.get(key) is not None
+        assert reader.stats()["hits_memory"] == 1
+        # entries shard by key prefix, like the result cache
+        assert (tmp_path / "sched" / "ab" / f"{key}.json").exists()
+
+    def test_stale_version_is_a_miss(self, tmp_path):
+        key = "cd" + "0" * 62
+        ScheduleCache(tmp_path / "s", version="old").put(key, tiny_schedule())
+        assert ScheduleCache(tmp_path / "s", version="new").get(key) is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        key = "ef" + "0" * 62
+        writer = ScheduleCache(tmp_path / "s", version="v")
+        writer.put(key, tiny_schedule())
+        path = tmp_path / "s" / "ef" / f"{key}.json"
+        path.write_text("{not json")
+        assert ScheduleCache(tmp_path / "s", version="v").get(key) is None
+
+    def test_tampered_payload_fails_digest(self, tmp_path):
+        import json
+
+        key = "01" + "0" * 62
+        writer = ScheduleCache(tmp_path / "s", version="v")
+        writer.put(key, tiny_schedule())
+        path = tmp_path / "s" / "01" / f"{key}.json"
+        entry = json.loads(path.read_text())
+        entry["schedule"]["flops"] = 999  # damage without touching digest
+        path.write_text(json.dumps(entry))
+        assert ScheduleCache(tmp_path / "s", version="v").get(key) is None
+
+    def test_lru_eviction_falls_back_to_disk(self, tmp_path):
+        cache = ScheduleCache(tmp_path / "s", version="v", memory_entries=2)
+        keys = [c * 64 for c in "abc"]
+        for k in keys:
+            cache.put(k, tiny_schedule())
+        assert cache.stats()["entries_memory"] == 2
+        # the evicted key is served from disk, not lost
+        assert cache.get(keys[0]) is not None
+        assert cache.stats()["hits_disk"] == 1
+
+    def test_oversized_schedule_stays_memory_only(self, tmp_path):
+        cache = ScheduleCache(tmp_path / "s", version="v", max_disk_runs=1)
+        key = "aa" + "0" * 62
+        cache.put(key, tiny_schedule())  # 2 runs > cap of 1
+        assert not (tmp_path / "s" / "aa" / f"{key}.json").exists()
+        assert cache.get(key) is not None  # memory tier still serves it

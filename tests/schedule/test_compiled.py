@@ -1,0 +1,251 @@
+"""Capture / replay mechanics of the schedule JIT.
+
+These pin the layer's safety contract: a recorder only attaches to a
+pristine machine, a finalized schedule always reproduces the captured
+counters or is discarded, ``apply`` validates everything *before*
+mutating anything, and the bulk analysis entry points
+(``LRUCache.replay_schedule``, ``StackDistanceAnalyzer.analyze_schedule``)
+agree with their per-run equivalents.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.layouts import make_layout
+from repro.machine import HierarchicalMachine, SequentialMachine
+from repro.machine.lru import LRUCache
+from repro.machine.stack_distance import StackDistanceAnalyzer
+from repro.matrices.generators import random_spd
+from repro.matrices.tracked import TrackedMatrix
+from repro.schedule import (
+    ScheduleCache,
+    ScheduleError,
+    ScheduleRecorder,
+    TransferSchedule,
+    compile_disabled,
+    last_run_mode,
+    set_default_cache,
+)
+from repro.sequential.registry import run_algorithm
+from repro.util.intervals import IntervalSet
+
+
+@pytest.fixture()
+def fresh_cache():
+    """Isolate each test from the ambient process-wide schedule cache."""
+    cache = ScheduleCache(None, version="test")
+    prev = set_default_cache(cache)
+    yield cache
+    set_default_cache(prev)
+
+
+def _counters(machine):
+    return [
+        (
+            lvl.counters.words_read,
+            lvl.counters.messages_read,
+            lvl.counters.words_written,
+            lvl.counters.messages_written,
+            lvl.peak_resident,
+        )
+        for lvl in machine.levels
+    ] + [machine.flops, machine.batch_hits]
+
+
+def _capture(make_machine, work) -> "tuple[TransferSchedule, list]":
+    """Run ``work(machine)`` under a recorder; return schedule + counters."""
+    machine = make_machine()
+    recorder = ScheduleRecorder(machine)
+    machine.recorder = recorder
+    try:
+        work(machine)
+    finally:
+        machine.recorder = None
+    schedule = recorder.finalize()
+    assert schedule is not None
+    return schedule, _counters(machine)
+
+
+def _explicit_work(machine):
+    a = IntervalSet.single(0, 10)
+    b = IntervalSet.single(32, 40)
+    machine.read(a)
+    machine.write(a)
+    machine.read(b)
+    machine.add_flops(7)
+    machine.release_all()
+
+
+class TestCaptureReplay:
+    def test_explicit_transfers_round_trip(self):
+        schedule, want = _capture(
+            lambda: SequentialMachine(32, batched=True), _explicit_work
+        )
+        fresh = SequentialMachine(32, batched=True)
+        fresh.replay_schedule(schedule)
+        assert _counters(fresh) == want
+
+    def test_scope_charges_round_trip_multilevel(self):
+        def work(machine):
+            ivs = IntervalSet.single(0, 40)
+            inner = IntervalSet.single(0, 6)
+            with machine.scope(ivs, ivs):  # fits L2 only
+                with machine.scope(inner, inner):  # newly fits L1
+                    machine.add_flops(3)
+
+        schedule, want = _capture(
+            lambda: HierarchicalMachine([8, 64]), work
+        )
+        # the two scopes charged different levels: masks must differ
+        assert len(set(schedule.masks.tolist())) > 1
+        fresh = HierarchicalMachine([8, 64])
+        fresh.replay_schedule(schedule)
+        assert _counters(fresh) == want
+
+    def test_recorder_requires_pristine_machine(self):
+        machine = SequentialMachine(32, batched=True)
+        machine.read(IntervalSet.single(0, 4))
+        with pytest.raises(ScheduleError):
+            ScheduleRecorder(machine)
+
+    def test_missed_chokepoint_discards_capture(self):
+        """If charges happen that the recorder never saw, finalize
+        must refuse to produce a schedule (never under-count)."""
+        machine = SequentialMachine(32, batched=True)
+        recorder = ScheduleRecorder(machine)
+        machine.recorder = recorder
+        machine.read(IntervalSet.single(0, 4))
+        machine.recorder = None
+        machine.read(IntervalSet.single(8, 12))  # unrecorded charge
+        assert recorder.finalize() is None
+
+
+class TestApplyValidation:
+    def _schedule(self):
+        schedule, _ = _capture(
+            lambda: SequentialMachine(32, batched=True), _explicit_work
+        )
+        return schedule
+
+    def test_apply_rejects_wrong_shape(self):
+        schedule = self._schedule()
+        other = SequentialMachine(64, batched=True)
+        with pytest.raises(ScheduleError):
+            other.replay_schedule(schedule)
+        assert other.words == 0  # untouched
+
+    def test_apply_rejects_dirty_machine(self):
+        schedule = self._schedule()
+        machine = SequentialMachine(32, batched=True)
+        machine.read(IntervalSet.single(0, 2))
+        machine.release_all()
+        before = _counters(machine)
+        with pytest.raises(ScheduleError):
+            machine.replay_schedule(schedule)
+        assert _counters(machine) == before
+
+    def test_apply_rejects_tracing_machine(self):
+        schedule = self._schedule()
+        machine = SequentialMachine(32, batched=True, record_trace=True)
+        with pytest.raises(ScheduleError):
+            machine.replay_schedule(schedule)
+
+    def test_tampered_totals_fail_self_check(self):
+        schedule = self._schedule()
+        doc = schedule.to_dict()
+        doc["totals"][0][0] += 1
+        with pytest.raises(ScheduleError):
+            TransferSchedule.from_dict(doc).verify()
+
+    def test_apply_is_idempotent_only_on_pristine(self):
+        schedule = self._schedule()
+        machine = SequentialMachine(32, batched=True)
+        machine.replay_schedule(schedule)
+        with pytest.raises(ScheduleError):  # second apply: not pristine
+            machine.replay_schedule(schedule)
+
+
+class TestSerialization:
+    def test_round_trip_preserves_digest(self):
+        schedule, _ = _capture(
+            lambda: SequentialMachine(32, batched=True), _explicit_work
+        )
+        clone = TransferSchedule.from_dict(schedule.to_dict())
+        assert clone.digest() == schedule.digest()
+        assert clone.totals == schedule.totals
+        assert np.array_equal(clone.starts, schedule.starts)
+        assert np.array_equal(clone.masks, schedule.masks)
+
+    def test_unknown_format_is_rejected(self):
+        schedule, _ = _capture(
+            lambda: SequentialMachine(32, batched=True), _explicit_work
+        )
+        doc = schedule.to_dict()
+        doc["format"] = 999
+        with pytest.raises(ScheduleError):
+            TransferSchedule.from_dict(doc)
+
+
+class TestAnalysisEntryPoints:
+    def _schedule(self):
+        schedule, _ = _capture(
+            lambda: SequentialMachine(32, batched=True), _explicit_work
+        )
+        return schedule
+
+    def test_lru_replay_schedule_matches_replay_runs(self):
+        schedule = self._schedule()
+        runs = list(schedule.level_runs(0))
+        assert runs  # the capture produced real traffic
+        a = LRUCache(8).replay_schedule(schedule)
+        b = LRUCache(8).replay_runs(runs)
+        assert a == b
+
+    def test_stack_distance_matches_analyze_runs(self):
+        schedule = self._schedule()
+        a = StackDistanceAnalyzer().analyze_schedule(schedule)
+        b = StackDistanceAnalyzer().analyze_runs(
+            (s, t) for s, t, _w in schedule.level_runs(0)
+        )
+        assert a.distances == b.distances
+        assert a.cold_misses == b.cold_misses
+
+
+class TestEndToEndReuse:
+    def _run(self, n=24, M=96):
+        machine = SequentialMachine(M, batched=True)
+        A = TrackedMatrix(
+            random_spd(n, seed=3), make_layout("column-major", n), machine
+        )
+        L = run_algorithm("naive-left", A)
+        return np.asarray(L), _counters(machine)
+
+    def test_second_run_replays_first_runs_schedule(self, fresh_cache):
+        L1, c1 = self._run()
+        assert last_run_mode() == "capture"
+        L2, c2 = self._run()
+        assert last_run_mode() == "replay"
+        assert c1 == c2
+        assert np.allclose(L1, L2, atol=1e-8)
+        stats = fresh_cache.stats()
+        assert stats["misses"] == 1 and stats["hits_memory"] == 1
+
+    def test_different_shape_does_not_reuse(self, fresh_cache):
+        self._run(n=24, M=96)
+        self._run(n=24, M=128)  # different capacity: new capture
+        assert last_run_mode() == "capture"
+        assert fresh_cache.stats()["misses"] == 2
+
+    def test_compile_disabled_is_zero_cost(self, fresh_cache):
+        with compile_disabled():
+            self._run()
+            assert last_run_mode() == "off"
+        stats = fresh_cache.stats()
+        assert stats == {
+            "hits_memory": 0,
+            "hits_disk": 0,
+            "misses": 0,
+            "entries_memory": 0,
+        }

@@ -27,6 +27,7 @@ PACKAGES = [
     "repro.analysis",
     "repro.experiments",
     "repro.observability",
+    "repro.schedule",
 ]
 
 

@@ -135,6 +135,131 @@ class TestSequentialGolden:
         assert counts_f == counts_s
 
 
+class TestCompiledReplayGolden:
+    """Schedule replay must be count-identical to both charging paths.
+
+    The JIT's contract extends the fastpath one: a replayed run folds
+    a compiled :class:`~repro.schedule.TransferSchedule` into the
+    machine instead of interpreting the algorithm, and the machine
+    must end in exactly the state either interpreted path leaves it in
+    — counters, peaks, flops, batch hits, and (with faults armed) the
+    byte-identical realized fault schedule.  Machines any observer is
+    watching must never compile, and with compilation off the cache
+    must not even be consulted.
+    """
+
+    @pytest.fixture(autouse=True)
+    def _fresh_schedule_cache(self):
+        from repro.schedule import ScheduleCache, set_default_cache
+
+        self.cache = ScheduleCache(None, version="golden")
+        prev = set_default_cache(self.cache)
+        yield
+        set_default_cache(prev)
+
+    def _plain_run(self, algorithm, n, M, *, fast=True, faults=None):
+        """One unobserved run (no trace, no spans) down one path."""
+        from repro.schedule import last_run_mode
+
+        set_fastpath(fast)
+        try:
+            machine = SequentialMachine(M, batched=fast)
+            machine.attach_faults(faults)
+            A = TrackedMatrix(
+                random_spd(n, seed=3), make_layout("column-major", n), machine
+            )
+            L = run_algorithm(algorithm, A)
+        finally:
+            set_fastpath(True)
+        lvl = machine.levels[0]
+        counters = {
+            "words": lvl.words,
+            "messages": lvl.messages,
+            "words_read": lvl.counters.words_read,
+            "words_written": lvl.counters.words_written,
+            "messages_read": lvl.counters.messages_read,
+            "messages_written": lvl.counters.messages_written,
+            "flops": machine.flops,
+            "peak_resident": lvl.peak_resident,
+            "batch_hits": machine.batch_hits,
+        }
+        fingerprint = (
+            machine.faults.schedule_fingerprint()
+            if machine.faults is not None
+            else None
+        )
+        return np.asarray(L), counters, fingerprint, last_run_mode()
+
+    @pytest.mark.parametrize("n,M", CONFIGS)
+    @pytest.mark.parametrize("algorithm", available_algorithms())
+    def test_replay_count_identical(self, algorithm, n, M):
+        if algorithm == "naive-up" and M < 2 * n:
+            pytest.skip("up-looking is whole-row only (M >= 2n)")
+        L_c, counts_c, _, mode_c = self._plain_run(algorithm, n, M)
+        L_r, counts_r, _, mode_r = self._plain_run(algorithm, n, M)
+        L_s, counts_s, _, mode_s = self._plain_run(algorithm, n, M,
+                                                   fast=False)
+        assert (mode_c, mode_r, mode_s) == ("capture", "replay", "off")
+        # batch_hits is fastpath bookkeeping, not modeled state: the
+        # element-wise path never batches, both compiled modes must.
+        counts_r.pop("batch_hits")
+        slow_hits = counts_s.pop("batch_hits")
+        assert slow_hits == 0
+        assert counts_c.pop("batch_hits") > 0
+        assert counts_c == counts_r == counts_s
+        assert np.allclose(L_c, L_r, atol=1e-8)
+        assert np.allclose(L_c, L_s, atol=1e-8)
+        stats = self.cache.stats()
+        assert stats["misses"] == 1 and stats["hits_memory"] == 1
+
+    @pytest.mark.parametrize("algorithm", available_algorithms())
+    def test_replayed_fault_schedule_identical(self, algorithm):
+        plan = FaultPlan(seed=11, read_fault=0.05)
+        n, M = 48, 112
+        _, counts_c, fp_c, mode_c = self._plain_run(algorithm, n, M,
+                                                    faults=plan)
+        _, counts_r, fp_r, mode_r = self._plain_run(algorithm, n, M,
+                                                    faults=plan)
+        _, counts_s, fp_s, _ = self._plain_run(algorithm, n, M,
+                                               fast=False, faults=plan)
+        assert (mode_c, mode_r) == ("capture", "replay")
+        assert fp_c is not None
+        assert fp_c == fp_r == fp_s
+        for counts in (counts_c, counts_r, counts_s):
+            counts.pop("batch_hits")
+        assert counts_c == counts_r == counts_s
+
+    def test_observed_machines_never_compile(self):
+        """Traces and span profilers see per-event state a bulk replay
+        cannot reproduce — such machines must run interpreted."""
+        from repro.schedule import last_run_mode
+
+        _run("naive-left", 48, 112, fast=True)  # record_trace + observe
+        assert last_run_mode() == "off"
+        assert self.cache.stats() == {
+            "hits_memory": 0,
+            "hits_disk": 0,
+            "misses": 0,
+            "entries_memory": 0,
+        }
+
+    def test_compile_off_never_touches_the_cache(self):
+        from repro.schedule import compile_disabled, last_run_mode
+
+        with compile_disabled():
+            _, counts_a, _, mode = self._plain_run("naive-left", 48, 112)
+            assert mode == "off"
+            _, counts_b, _, mode = self._plain_run("naive-left", 48, 112)
+            assert mode == "off"
+        assert counts_a == counts_b
+        assert self.cache.stats() == {
+            "hits_memory": 0,
+            "hits_disk": 0,
+            "misses": 0,
+            "entries_memory": 0,
+        }
+
+
 class TestServingObservabilityGolden:
     """Tracing/telemetry must be invisible to the modeled machine.
 
