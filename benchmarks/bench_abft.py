@@ -1,0 +1,257 @@
+"""Experiment P9 — what checksum protection costs, in the model's own units.
+
+The ABFT PR claims its overhead is *lower-order*: an ``h x w`` block
+ships ``h + w`` checksum words and pays ``2*h*w`` verification flops,
+an O(n^2) tax on an O(n^3) computation, so the protected algorithms
+keep the Table 1 / Table 2 asymptotics.  This bench measures that
+claim end to end at n in {256, 512} for every checksummed driver:
+
+* **sequential** (``lapack``, ``toledo``, ``square-recursive``) —
+  protected vs. unprotected words, messages, flops, and the modeled
+  wall-clock ``alpha*messages + beta*words + gamma*flops`` at unit
+  cost parameters, both sides interpreted (``compile_disabled``: the
+  protected path never replays a compiled schedule, so comparing it
+  against a replayed run would measure the compiler, not ABFT);
+* **parallel** (``pxpotrf``, ``summa``) — protected vs. unprotected
+  critical-path words, messages, and ``critical_time``, the alpha-beta
+  model's wall-clock.
+
+Gates, enforced loudly below:
+
+* the word and modeled wall-clock overhead *ratios strictly shrink*
+  as n doubles, for every driver — the lower-order signature;
+* modeled wall-clock overhead is at most :data:`MAX_WALL_RATIO`
+  (1.35x) at the largest size, for every driver;
+* the parallel drivers add **zero messages**: checksum words ride
+  inside the broadcasts that already exist, so latency (the alpha
+  term) is untouched;
+* the overhead is *honestly accounted*: the sequential word, message,
+  and flop deltas equal the ``abft`` counter group exactly, and the
+  parallel critical-path word delta is bounded by it (the critical
+  path holds one processor's share of the total checksum traffic);
+* every protected run reports ``verified: True`` with an attestation.
+
+Wall-clock here is the *model's* — the quantity this simulator exists
+to predict.  Host-process seconds are recorded in the artifact for
+inspection but not gated: they time the Python interpreter running
+the guardian, not the machine being modeled, and the interpreted
+guardian's constant factors say nothing about the O(n^2)-vs-O(n^3)
+claim the paper's accounting makes.
+
+Writes ``BENCH_9.json``, which CI's silent-chaos job uploads.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.analysis.sweeps import measure
+from repro.matrices.generators import random_spd
+from repro.parallel.pxpotrf import pxpotrf
+from repro.parallel.summa import summa
+from repro.schedule import compile_disabled
+
+#: Problem sizes; the lower-order gates compare consecutive entries.
+NS = (256, 512)
+#: Fast-memory capacity per sequential size (the Table 1 regime M ~ n).
+M_OF = {n: 3 * n for n in NS}
+#: Parallel grid and per-size block (a 4x4 torus of square tiles).
+P = 16
+BLOCK_OF = {n: n // 4 for n in NS}
+
+SEQUENTIAL = ("lapack", "toledo", "square-recursive")
+PARALLEL = ("pxpotrf", "summa")
+
+#: Acceptance gate: modeled wall-clock overhead at the largest size.
+MAX_WALL_RATIO = 1.35
+
+
+def _modeled_time(m) -> float:
+    """Sequential modeled wall-clock at unit alpha = beta = gamma."""
+    return float(m.messages + m.words + m.flops)
+
+
+def _sequential_pair(algorithm: str, n: int) -> dict:
+    with compile_disabled():
+        t0 = time.perf_counter()
+        plain = measure(algorithm, n, M_OF[n])
+        t1 = time.perf_counter()
+        prot = measure(algorithm, n, M_OF[n], abft=True)
+        t2 = time.perf_counter()
+    stats = prot.abft["stats"]
+    return {
+        "n": n,
+        "M": M_OF[n],
+        "plain": {
+            "words": plain.words,
+            "messages": plain.messages,
+            "flops": plain.flops,
+            "modeled_time": _modeled_time(plain),
+            "host_seconds": t1 - t0,
+        },
+        "protected": {
+            "words": prot.words,
+            "messages": prot.messages,
+            "flops": prot.flops,
+            "modeled_time": _modeled_time(prot),
+            "host_seconds": t2 - t1,
+            "verified": stats["verified"],
+            "attestation": prot.abft["attestation"],
+        },
+        "abft_counters": {
+            "checksum_words": stats["checksum_words"],
+            "checksum_messages": stats["checksum_messages"],
+            "checksum_flops": stats["checksum_flops"],
+            "boundaries": stats["boundaries"],
+        },
+        "ratios": {
+            "words": prot.words / plain.words,
+            "messages": prot.messages / plain.messages,
+            "flops": prot.flops / plain.flops,
+            "modeled_time": _modeled_time(prot) / _modeled_time(plain),
+        },
+    }
+
+
+def _parallel_pair(driver: str, n: int) -> dict:
+    a = random_spd(n, seed=1)
+    block = BLOCK_OF[n]
+    if driver == "pxpotrf":
+        run = lambda **kw: pxpotrf(a, block, P, **kw)  # noqa: E731
+    else:
+        run = lambda **kw: summa(a, a, block, P, **kw)  # noqa: E731
+    t0 = time.perf_counter()
+    plain = run()
+    t1 = time.perf_counter()
+    prot = run(abft=True)
+    t2 = time.perf_counter()
+    stats = prot.abft["stats"]
+    pn, qn = plain.network, prot.network
+    return {
+        "n": n,
+        "block": block,
+        "P": P,
+        "plain": {
+            "critical_words": pn.critical_words,
+            "critical_messages": pn.critical_messages,
+            "critical_time": pn.critical_time,
+            "host_seconds": t1 - t0,
+        },
+        "protected": {
+            "critical_words": qn.critical_words,
+            "critical_messages": qn.critical_messages,
+            "critical_time": qn.critical_time,
+            "host_seconds": t2 - t1,
+            "verified": stats["verified"],
+            "attestation": prot.abft["attestation"],
+        },
+        "abft_counters": {
+            "checksum_words": stats["checksum_words"],
+            "checksum_messages": stats["checksum_messages"],
+            "checksum_flops": stats["checksum_flops"],
+        },
+        "ratios": {
+            "words": qn.critical_words / pn.critical_words,
+            "messages": qn.critical_messages / pn.critical_messages,
+            "modeled_time": qn.critical_time / pn.critical_time,
+        },
+    }
+
+
+@pytest.fixture(scope="module")
+def abft_doc(bench_out):
+    doc = {
+        "bench": "abft-overhead",
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "ns": list(NS),
+        "max_wall_ratio": MAX_WALL_RATIO,
+        "sequential": {
+            algo: [_sequential_pair(algo, n) for n in NS]
+            for algo in SEQUENTIAL
+        },
+        "parallel": {
+            drv: [_parallel_pair(drv, n) for n in NS] for drv in PARALLEL
+        },
+    }
+    out = bench_out / "BENCH_9.json"
+    with open(out, "w") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+    return doc
+
+
+def _all_rows(doc):
+    for algo, rows in doc["sequential"].items():
+        yield algo, rows
+    for drv, rows in doc["parallel"].items():
+        yield drv, rows
+
+
+def test_word_overhead_is_lower_order(abft_doc):
+    """Doubling n must strictly shrink the word-overhead ratio."""
+    for name, rows in _all_rows(abft_doc):
+        ratios = [r["ratios"]["words"] for r in rows]
+        assert all(r > 1.0 for r in ratios), (name, ratios)
+        for small, large in zip(ratios, ratios[1:]):
+            assert large < small, (name, ratios)
+
+
+def test_modeled_wall_clock_is_lower_order_and_bounded(abft_doc):
+    """Modeled wall overhead shrinks with n and ends at most 1.35x."""
+    for name, rows in _all_rows(abft_doc):
+        ratios = [r["ratios"]["modeled_time"] for r in rows]
+        for small, large in zip(ratios, ratios[1:]):
+            assert large < small, (name, ratios)
+        assert ratios[-1] <= MAX_WALL_RATIO, (name, ratios)
+
+
+def test_parallel_checksums_add_zero_messages(abft_doc):
+    """Sealed blocks ride the existing broadcasts: no extra alpha."""
+    for drv, rows in abft_doc["parallel"].items():
+        for row in rows:
+            assert (
+                row["protected"]["critical_messages"]
+                == row["plain"]["critical_messages"]
+            ), (drv, row["n"])
+
+
+def test_sequential_overhead_matches_abft_counters_exactly(abft_doc):
+    """The words/messages/flops deltas ARE the abft counter group —
+    protection traffic is charged through the normal chokepoints, not
+    estimated on the side."""
+    for algo, rows in abft_doc["sequential"].items():
+        for row in rows:
+            plain, prot, cs = (
+                row["plain"], row["protected"], row["abft_counters"],
+            )
+            assert prot["words"] - plain["words"] == cs["checksum_words"]
+            assert (
+                prot["messages"] - plain["messages"]
+                == cs["checksum_messages"]
+            )
+            assert prot["flops"] - plain["flops"] == cs["checksum_flops"]
+
+
+def test_parallel_critical_word_delta_bounded_by_counters(abft_doc):
+    """One processor's critical path carries at most the total
+    checksum traffic."""
+    for drv, rows in abft_doc["parallel"].items():
+        for row in rows:
+            delta = (
+                row["protected"]["critical_words"]
+                - row["plain"]["critical_words"]
+            )
+            assert 0 < delta <= row["abft_counters"]["checksum_words"], (
+                drv,
+                row["n"],
+            )
+
+
+def test_every_protected_run_is_verified(abft_doc):
+    for name, rows in _all_rows(abft_doc):
+        for row in rows:
+            assert row["protected"]["verified"] is True, (name, row["n"])
+            assert len(row["protected"]["attestation"]) == 64

@@ -24,12 +24,14 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.abft import AbftConfig
 from repro.faults.plan import FaultPlan
 from repro.layouts.registry import make_layout
 from repro.machine.core import SequentialMachine
 from repro.matrices.generators import random_spd
 from repro.matrices.tracked import TrackedMatrix
 from repro.observability.metrics import (
+    publish_abft,
     publish_faults,
     publish_perf,
     publish_run,
@@ -61,6 +63,7 @@ def measure(
     observe: bool = False,
     faults: "FaultPlan | None" = None,
     guard=None,
+    abft=None,
     **params,
 ) -> Measurement:
     """Run one sequential configuration and collect its counters.
@@ -88,10 +91,20 @@ def measure(
     charged words/messages/flops cross the guard's caps, and the
     attempt's spend is folded into the guard's cumulative totals
     whether the run finishes or not (so retries share one quota).
+
+    ``abft`` (an :class:`~repro.abft.AbftConfig`, dict, or ``True``)
+    runs the algorithm checksum-protected: the measurement then
+    carries the ``abft`` record (counters + factor attestation) and
+    the detection/correction totals are published to the registry.
     """
     machine = SequentialMachine(M)
     machine.attach_faults(faults)
     machine.attach_guard(guard)
+    cfg = AbftConfig.coerce(abft)
+    if cfg is not None:
+        # a silent-only plan arms neither the machine's read-fault
+        # injector nor any transport, so the guardian must carry it
+        abft = cfg.with_plan(faults)
     if observe:
         attach_spans(machine, name=algorithm)
     if layout == "blocked" and layout_block is None:
@@ -101,7 +114,7 @@ def measure(
     A = TrackedMatrix(a0, lay, machine)
     t0 = time.perf_counter()
     try:
-        L = run_algorithm(algorithm, A, **params)
+        L = run_algorithm(algorithm, A, abft=abft, **params)
     finally:
         if guard is not None:
             guard.attempt_done(machine)
@@ -134,6 +147,9 @@ def measure(
     )
     if fault_dict is not None:
         publish_faults(fault_dict)
+    abft_rec = getattr(L, "abft", None)
+    if abft_rec is not None:
+        publish_abft(abft_rec)
     return Measurement(
         algorithm=algorithm,
         layout=lay.name,
@@ -150,6 +166,7 @@ def measure(
         run=L,
         profile=None if span_tree is None else span_tree.to_dict(),
         faults=fault_dict,
+        abft=abft_rec,
     )
 
 
@@ -163,6 +180,7 @@ def measure_parallel(
     observe: bool = False,
     faults: "FaultPlan | None" = None,
     guard=None,
+    abft=None,
 ) -> Measurement:
     """Run one PxPOTRF configuration; report it in the unified schema.
 
@@ -179,7 +197,8 @@ def measure_parallel(
     a0 = random_spd(n, seed=seed)
     t0 = time.perf_counter()
     res = pxpotrf(
-        a0, block, P, observe_spans=observe, faults=faults, guard=guard
+        a0, block, P, observe_spans=observe, faults=faults, guard=guard,
+        abft=abft,
     )
     wall = time.perf_counter() - t0
     ok = True
@@ -198,6 +217,8 @@ def measure_parallel(
     )
     if res.fault_stats is not None:
         publish_faults(res.fault_stats)
+    if res.abft is not None:
+        publish_abft(res.abft)
     return replace(m, correct=ok, seed=seed)
 
 

@@ -394,10 +394,15 @@ def chaos_main(argv: "list[str]") -> int:
     the overhead (resent/checkpoint/recovery words and messages) the
     resilience machinery charged.
     """
+    from repro.abft import AbftConfig
     from repro.faults import FaultPlan
     from repro.machine import SequentialMachine
     from repro.matrices.generators import random_spd
-    from repro.observability.metrics import METRICS, publish_faults
+    from repro.observability.metrics import (
+        METRICS,
+        publish_abft,
+        publish_faults,
+    )
     from repro.parallel.pxpotrf import pxpotrf
     from repro.parallel.summa import summa
     from repro.sequential.registry import run_algorithm as _run_algorithm
@@ -454,6 +459,26 @@ def chaos_main(argv: "list[str]") -> int:
         help="per-read transient fault probability (chol only)",
     )
     parser.add_argument(
+        "--silent", type=float, default=0.0,
+        help="per-boundary/per-payload silent bit-flip probability; "
+        "undetectable by the transport, so this arms the ABFT checksum "
+        "protection automatically",
+    )
+    parser.add_argument(
+        "--silent-double", type=float, default=0.0,
+        help="probability a silent strike is a double fault in one "
+        "protection tile (uncorrectable: forces the retry ladder)",
+    )
+    parser.add_argument(
+        "--abft", action="store_true",
+        help="run checksum-protected even without silent faults "
+        "(measures pure protection overhead)",
+    )
+    parser.add_argument(
+        "--abft-attempts", type=int, default=3,
+        help="ABFT retry-ladder bound (default: 3)",
+    )
+    parser.add_argument(
         "--failstop", type=_parse_failstop, action="append", default=[],
         metavar="RANK:ROUND",
         help="fail-stop rank RANK at round ROUND (repeatable; enables "
@@ -476,14 +501,28 @@ def chaos_main(argv: "list[str]") -> int:
         duplicate=args.duplicate,
         corrupt=args.corrupt,
         read_fault=args.read_fault,
+        silent=args.silent,
+        silent_double=args.silent_double,
         failstops=tuple(args.failstop),
         slow_links=tuple(args.slow),
     )
     if plan.is_empty():
         parser.error(
             "the fault plan is empty; give at least one of --drop, "
-            "--duplicate, --corrupt, --read-fault, --failstop, --slow"
+            "--duplicate, --corrupt, --read-fault, --silent, "
+            "--failstop, --slow"
         )
+    # A silent-only plan arms neither the machine nor the transport, so
+    # the guardian must carry it explicitly; the clean baseline runs
+    # under the same (plan-less) config so both factors come off the
+    # identical interpreted ABFT path and compare bit-for-bit.
+    abft_on = args.abft or plan.has_silent()
+    abft_clean_cfg = (
+        AbftConfig(max_attempts=args.abft_attempts) if abft_on else None
+    )
+    abft_cfg = (
+        abft_clean_cfg.with_plan(plan) if abft_clean_cfg is not None else None
+    )
 
     a0 = random_spd(args.n, seed=args.seed)
     if args.target == "chol":
@@ -498,12 +537,14 @@ def chaos_main(argv: "list[str]") -> int:
             machine = SequentialMachine(M)
             machine.attach_faults(plan if with_faults else None)
             A = TrackedMatrix(a0, make_layout("column-major", args.n), machine)
-            L = _run_algorithm(algorithm, A)
+            L = _run_algorithm(
+                algorithm, A, abft=abft_cfg if with_faults else abft_clean_cfg
+            )
             stats = machine.faults.stats if machine.faults else None
-            return L.L, L.measurement, stats
+            return L.L, L.measurement, stats, getattr(L, "abft", None)
 
-        clean_x, clean_m, _ = run(False)
-        faulty_x, faulty_m, stats = run(True)
+        clean_x, clean_m, _, _ = run(False)
+        faulty_x, faulty_m, stats, abft_rec = run(True)
         if stats is not None:
             publish_faults(stats)
         overhead_words = faulty_m.words - clean_m.words
@@ -514,19 +555,23 @@ def chaos_main(argv: "list[str]") -> int:
             parser.error(f"--P must be a perfect square, got {args.P}")
         block = args.block if args.block is not None else max(1, args.n // root)
         if args.target == "pxpotrf":
-            def factor(faults):
-                return pxpotrf(a0, block, args.P, faults=faults)
-            clean_r = factor(None)
-            faulty_r = factor(plan)
+            def factor(faults, abft=None):
+                return pxpotrf(a0, block, args.P, faults=faults, abft=abft)
+            clean_r = factor(None, abft=abft_clean_cfg)
+            faulty_r = factor(plan, abft=abft_cfg)
             clean_x, faulty_x = clean_r.L, faulty_r.L
         else:
             rng = np.random.default_rng(args.seed + 1)
             b0 = rng.standard_normal((args.n, args.n))
-            clean_r = summa(a0, b0, block, args.P)
-            faulty_r = summa(a0, b0, block, args.P, faults=plan)
+            clean_r = summa(a0, b0, block, args.P, abft=abft_clean_cfg)
+            faulty_r = summa(
+                a0, b0, block, args.P, faults=plan, abft=abft_cfg
+            )
             clean_x, faulty_x = clean_r.C, faulty_r.C
         stats = faulty_r.fault_stats
-        publish_faults(stats)
+        abft_rec = faulty_r.abft
+        if stats is not None:
+            publish_faults(stats)
         overhead_words = faulty_r.critical_words - clean_r.critical_words
         overhead_msgs = faulty_r.critical_messages - clean_r.critical_messages
 
@@ -549,6 +594,16 @@ def chaos_main(argv: "list[str]") -> int:
     print(f"[chaos] plan: {plan.to_dict()}")
     print(f"[chaos] injected: {injected or 'nothing (schedule was quiet)'}")
     print(f"[chaos] protocol overhead: {overhead or 'none'}")
+    if abft_rec is not None:
+        s = abft_rec["stats"]
+        publish_abft(abft_rec)
+        print(
+            f"[chaos] abft: injected {s['injected_single']} single + "
+            f"{s['injected_double']} double, detected {s['detected']}, "
+            f"corrected {s['corrected']}, attempts {s['attempts']}, "
+            f"verified {s['verified']}"
+        )
+        print(f"[chaos] abft attestation: {abft_rec['attestation']}")
     print(
         f"[chaos] critical-path overhead: {overhead_words} words, "
         f"{overhead_msgs} messages"

@@ -77,6 +77,7 @@ def execute_point(
 
     t0 = time.perf_counter()
     plan = point.fault_plan
+    abft = point.abft_config
     if point.kind == PARALLEL:
         m = measure_parallel(
             point.n,
@@ -87,6 +88,7 @@ def execute_point(
             observe=point.observe,
             faults=plan,
             guard=guard,
+            abft=abft,
         )
     else:
         kwargs = dict(point.params)
@@ -102,6 +104,7 @@ def execute_point(
             observe=point.observe,
             faults=plan,
             guard=guard,
+            abft=abft,
             **kwargs,
         )
     return m.without_run(), time.perf_counter() - t0

@@ -24,6 +24,7 @@ import json
 from dataclasses import dataclass
 from typing import Any, Iterable, Mapping, Sequence
 
+from repro.abft import AbftConfig
 from repro.faults.plan import FaultPlan
 from repro.results import freeze_params
 
@@ -42,6 +43,14 @@ def _freeze_faults(faults) -> tuple:
     else:
         plan = FaultPlan.from_dict(faults)
     return () if plan.is_empty() else plan.freeze()
+
+
+def _freeze_abft(abft) -> tuple:
+    """Canonicalize an ABFT config (config/dict/bool/frozen/None) for a point."""
+    if isinstance(abft, tuple):
+        return () if not abft else AbftConfig.from_frozen(abft).freeze()
+    cfg = AbftConfig.coerce(abft)
+    return () if cfg is None else cfg.freeze()
 
 
 def derive_seed(root: int, *parts: object) -> int:
@@ -86,15 +95,26 @@ class SpecPoint:
     #: a faulty run and a clean run of the same configuration report
     #: different counters, so they must never share an entry.
     faults: tuple = ()
+    #: Frozen :class:`~repro.abft.AbftConfig` (``AbftConfig.freeze()``),
+    #: or ``()`` for an unprotected point.  Part of the cache key — a
+    #: protected run carries checksum overhead in its counters plus the
+    #: ``abft`` record — but *omitted* from the canonical dict when
+    #: off, so every pre-ABFT cache entry keeps its key.
+    abft: tuple = ()
 
     @property
     def fault_plan(self) -> "FaultPlan | None":
         """The point's fault plan as a live object (``None`` if clean)."""
         return FaultPlan.from_frozen(self.faults) if self.faults else None
 
+    @property
+    def abft_config(self) -> "AbftConfig | None":
+        """The point's ABFT config as a live object (``None`` if off)."""
+        return AbftConfig.from_frozen(self.abft) if self.abft else None
+
     def to_dict(self) -> dict:
         """JSON-ready canonical dict (the cache-key input)."""
-        return {
+        d = {
             "kind": self.kind,
             "algorithm": self.algorithm,
             "layout": self.layout,
@@ -108,6 +128,9 @@ class SpecPoint:
             "observe": bool(self.observe),
             "faults": None if not self.faults else self.fault_plan.to_dict(),
         }
+        if self.abft:
+            d["abft"] = self.abft_config.to_dict()
+        return d
 
     @classmethod
     def from_dict(cls, d: Mapping[str, Any]) -> "SpecPoint":
@@ -125,6 +148,7 @@ class SpecPoint:
             params=tuple((str(k), v) for k, v in (d.get("params") or ())),
             observe=bool(d.get("observe", False)),
             faults=_freeze_faults(d.get("faults")),
+            abft=_freeze_abft(d.get("abft")),
         )
 
     def key(self) -> str:
@@ -135,6 +159,7 @@ class SpecPoint:
     def label(self) -> str:
         """Short human-readable tag for progress lines."""
         chaos = " +faults" if self.faults else ""
+        chaos += " +abft" if self.abft else ""
         if self.kind == PARALLEL:
             return (
                 f"{self.algorithm} n={self.n} b={self.block} P={self.P}{chaos}"
@@ -175,6 +200,7 @@ class ExperimentSpec:
         verify: bool = True,
         observe: bool = False,
         faults: "FaultPlan | None" = None,
+        abft=None,
     ) -> "ExperimentSpec":
         """Cross an algorithm × layout × n × M (× param) grid.
 
@@ -185,12 +211,14 @@ class ExperimentSpec:
         ``observe=True`` records a phase-span profile for every point
         (stored in the artifact next to the counters).  ``faults``
         applies one deterministic fault plan to every point (part of
-        each point's cache key).
+        each point's cache key).  ``abft`` (config/dict/``True``) runs
+        every point checksum-protected (also part of the cache key).
         """
         base = dict(params or {})
         grid_names = sorted(param_grid or {})
         grid_values = [list((param_grid or {})[k]) for k in grid_names]
         frozen_faults = _freeze_faults(faults)
+        frozen_abft = _freeze_abft(abft)
         pts = []
         for algo, layout, n, M in itertools.product(algorithms, layouts, ns, Ms):
             for combo in itertools.product(*grid_values) if grid_names else [()]:
@@ -208,6 +236,7 @@ class ExperimentSpec:
                         verify=verify,
                         observe=observe,
                         faults=frozen_faults,
+                        abft=frozen_abft,
                         seed=derive_seed(seed, algo, layout, n, M, frozen),
                     )
                 )
@@ -223,17 +252,19 @@ class ExperimentSpec:
         verify: bool = True,
         observe: bool = False,
         faults: "FaultPlan | None" = None,
+        abft=None,
     ) -> "ExperimentSpec":
         """Build a spec from explicit case dicts (census-style lists).
 
         Each case needs ``algorithm``, ``n`` and either ``M`` (+
         optional ``layout``/``params``) for a sequential point or
         ``P`` + ``block`` for a parallel one.  A case may pin its own
-        ``seed``, ``observe`` or ``faults`` (a
-        :class:`~repro.faults.FaultPlan` or its dict form); otherwise
-        the spec-wide values apply.
+        ``seed``, ``observe``, ``faults`` (a
+        :class:`~repro.faults.FaultPlan` or its dict form) or ``abft``;
+        otherwise the spec-wide values apply.
         """
         spec_faults = _freeze_faults(faults)
+        spec_abft = _freeze_abft(abft)
         pts = []
         for case in cases:
             algo = case["algorithm"]
@@ -245,6 +276,9 @@ class ExperimentSpec:
                 _freeze_faults(case["faults"])
                 if "faults" in case
                 else spec_faults
+            )
+            abf = (
+                _freeze_abft(case["abft"]) if "abft" in case else spec_abft
             )
             if case.get("P") is not None:
                 P, block = int(case["P"]), int(case["block"])
@@ -259,6 +293,7 @@ class ExperimentSpec:
                         verify=vfy,
                         observe=obs,
                         faults=flt,
+                        abft=abf,
                         seed=_point_seed(seed, explicit, algo, n, block, P),
                     )
                 )
@@ -277,6 +312,7 @@ class ExperimentSpec:
                         verify=vfy,
                         observe=obs,
                         faults=flt,
+                        abft=abf,
                         seed=_point_seed(seed, explicit, algo, layout, n, M, frozen),
                     )
                 )
@@ -292,6 +328,7 @@ class ExperimentSpec:
         verify: bool = True,
         observe: bool = False,
         faults: "FaultPlan | None" = None,
+        abft=None,
     ) -> "ExperimentSpec":
         """Spec over PxPOTRF configurations ``(n, block, P)``."""
         cases = [
@@ -300,7 +337,7 @@ class ExperimentSpec:
         ]
         return cls.from_cases(
             name, cases, seed=seed, verify=verify, observe=observe,
-            faults=faults,
+            faults=faults, abft=abft,
         )
 
     def to_dict(self) -> dict:

@@ -73,6 +73,20 @@ class FaultPlan:
         Probability that one explicit sequential-machine read returns
         garbage (detected, e.g. ECC) and must be re-issued — the
         retry is charged at every level.
+    silent:
+        Probability that one ABFT checkpoint boundary suffers a
+        *silent* single-element bit flip — in the tracked matrix (the
+        resident working set's backing blocks) for sequential runs, or
+        in a broadcast payload for the parallel drivers — with nothing
+        at the transport layer noticing.  Only the checksum guardian
+        (:mod:`repro.abft`) can detect and correct it; without ABFT
+        armed these strikes never happen, because the guardian *is*
+        the injection point.
+    silent_double:
+        Conditional probability that a silent strike flips a *second*
+        element in the same protection tile — an uncorrectable double
+        fault that must escalate as
+        :class:`~repro.abft.SilentCorruptionError`.
     max_attempts:
         Bound on transmissions of one logical message before the
         transport gives up with :class:`~repro.faults.FaultExhausted`.
@@ -88,12 +102,15 @@ class FaultPlan:
     slow_links: "tuple[tuple[int, int, float], ...]" = ()
     failstops: "tuple[tuple[int, int], ...]" = ()
     read_fault: float = 0.0
+    silent: float = 0.0
+    silent_double: float = 0.0
     max_attempts: int = 10
     backoff_base: float = 1.0
     backoff_cap: float = 16.0
 
     def __post_init__(self) -> None:
-        for name in ("drop", "duplicate", "corrupt", "read_fault"):
+        for name in ("drop", "duplicate", "corrupt", "read_fault", "silent",
+                     "silent_double"):
             object.__setattr__(self, name, _check_prob(name, getattr(self, name)))
         if int(self.max_attempts) < 1:
             raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
@@ -126,9 +143,30 @@ class FaultPlan:
             or self.duplicate
             or self.corrupt
             or self.read_fault
+            or self.silent
             or self.slow_links
             or self.failstops
         )
+
+    def has_transport_faults(self) -> bool:
+        """True if the *network transport* layer must arm for this plan.
+
+        Silent faults deliberately bypass the reliable transport (that
+        is what makes them silent), so a silent-only plan must not pay
+        stop-and-wait ack/backoff overhead — the checksum guardian is
+        its only observer.
+        """
+        return bool(
+            self.drop
+            or self.duplicate
+            or self.corrupt
+            or self.slow_links
+            or self.failstops
+        )
+
+    def has_silent(self) -> bool:
+        """True if the plan schedules silent (ABFT-only) corruption."""
+        return bool(self.silent)
 
     def __bool__(self) -> bool:
         return not self.is_empty()
@@ -170,6 +208,8 @@ class FaultPlan:
             "slow_links": [list(t) for t in self.slow_links],
             "failstops": [list(t) for t in self.failstops],
             "read_fault": self.read_fault,
+            "silent": self.silent,
+            "silent_double": self.silent_double,
             "max_attempts": self.max_attempts,
             "backoff_base": self.backoff_base,
             "backoff_cap": self.backoff_cap,

@@ -164,6 +164,12 @@ class HierarchicalMachine:
         #: Attached by :func:`repro.schedule.compiled_session` around
         #: eligible runs; pure observation, counts are unchanged.
         self.recorder = None
+        #: Live :class:`~repro.abft.ChecksumGuardian` protecting the
+        #: current run, or ``None`` when ABFT is off.  Algorithms probe
+        #: this attribute at their block boundaries; with it unset the
+        #: probe is a single attribute test and counts are bit-identical
+        #: to a machine that never heard of ABFT.
+        self.abft = None
         self._read_seq: int = 0
         self._scope_depth: int = 0
         self._next_base: int = 0

@@ -41,6 +41,14 @@ name                                  type       labels
                                                  checkpoint/recovery/
                                                  read_retry)
 ``repro_fault_backoff_time_total``    counter    — (α-units of waiting)
+``repro_abft_injected_total``         counter    ``kind`` (single/double)
+``repro_abft_detected_total``         counter    —
+``repro_abft_corrected_total``        counter    —
+``repro_abft_double_faults_total``    counter    —
+``repro_abft_retries_total``          counter    —
+``repro_abft_overhead_total``         counter    ``unit`` (words/
+                                                 messages/flops)
+``repro_abft_verified_runs_total``    counter    —
 ``repro_service_jobs_total``          counter    ``status``, ``priority``
 ``repro_service_shed_total``          counter    ``reason`` (queue-full/
                                                  evicted/shutdown)
@@ -455,6 +463,43 @@ def publish_faults(stats, registry: "MetricsRegistry | None" = None) -> None:
     )
 
 
+def publish_abft(record, registry: "MetricsRegistry | None" = None) -> None:
+    """Publish one run's ABFT detection/correction outcome.
+
+    ``record`` is a ``Measurement.abft`` dict (``{"config", "stats",
+    "attestation"}``) or a bare :class:`~repro.abft.AbftStats` /
+    stats dict.  Injections land in ``repro_abft_injected_total`` by
+    kind, detections/corrections/escalations in their own counters,
+    and the checksum overhead the protection paid (words, messages,
+    flops — all already charged through the machine/network clocks) in
+    ``repro_abft_overhead_total`` by unit.  Called once per run, like
+    :func:`publish_run`.
+    """
+    reg = registry if registry is not None else METRICS
+    d = record.to_dict() if hasattr(record, "to_dict") else dict(record)
+    d = d.get("stats", d)
+    reg.counter("repro_abft_injected_total", kind="single").inc(
+        int(d.get("injected_single", 0))
+    )
+    reg.counter("repro_abft_injected_total", kind="double").inc(
+        int(d.get("injected_double", 0))
+    )
+    reg.counter("repro_abft_detected_total").inc(int(d.get("detected", 0)))
+    reg.counter("repro_abft_corrected_total").inc(int(d.get("corrected", 0)))
+    reg.counter("repro_abft_double_faults_total").inc(
+        int(d.get("double_faults", 0))
+    )
+    reg.counter("repro_abft_retries_total").inc(
+        max(0, int(d.get("attempts", 1)) - 1)
+    )
+    for unit in ("words", "messages", "flops"):
+        reg.counter("repro_abft_overhead_total", unit=unit).inc(
+            int(d.get(f"checksum_{unit}", 0))
+        )
+    if d.get("verified"):
+        reg.counter("repro_abft_verified_runs_total").inc()
+
+
 __all__ = [
     "DEFAULT_BUCKETS",
     "METRICS",
@@ -463,6 +508,7 @@ __all__ = [
     "HistogramMetric",
     "MetricsError",
     "MetricsRegistry",
+    "publish_abft",
     "publish_faults",
     "publish_machine",
     "publish_perf",

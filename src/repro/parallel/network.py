@@ -124,20 +124,25 @@ class Network:
     ) -> FaultInjector | None:
         """Arm the network with a fault plan; returns the live injector.
 
-        An empty plan (or ``None``) leaves the network on its
-        zero-overhead failure-free path — counters stay bit-identical
-        to a network that never heard of faults.
+        Only the plan's *transport* faults (drops, duplicates, detected
+        corruption, slow links, fail-stops) arm the stop-and-wait
+        layer.  A silent-only plan — flips the transport by definition
+        cannot see — leaves the network on its zero-overhead
+        failure-free path; those strikes are the ABFT layer's to catch
+        (:mod:`repro.abft.sealing`).  An empty plan (or ``None``)
+        likewise keeps counters bit-identical to a network that never
+        heard of faults.
         """
         if plan is None:
             self.faults = None
             return None
         injector = plan if isinstance(plan, FaultInjector) else None
         if injector is None:
-            if plan.is_empty():
+            if not plan.has_transport_faults():
                 self.faults = None
                 return None
             injector = FaultInjector(plan)
-        elif injector.plan.is_empty():
+        elif not injector.plan.has_transport_faults():
             self.faults = None
             return None
         self.faults = injector

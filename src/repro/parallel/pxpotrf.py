@@ -46,6 +46,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.abft import AbftConfig, SilentCorruptionError, factor_attestation
+from repro.abft.guardian import AbftStats, SilentInjector
+from repro.abft.sealing import open_sealed, seal
 from repro.faults.injector import FaultInjector, FaultStats
 from repro.faults.plan import FaultPlan
 from repro.observability.spans import SpanProfile, observe
@@ -76,6 +79,9 @@ class ParallelRunResult:
     profile: "SpanProfile | None" = None
     #: Realized faults + resilience overhead (``None`` on a plain run).
     fault_stats: "FaultStats | None" = None
+    #: The ``abft`` counter group (config + stats + attestation) when
+    #: the run was checksum-protected, else ``None``.
+    abft: "dict | None" = None
 
     @property
     def critical_words(self) -> int:
@@ -126,6 +132,7 @@ class ParallelRunResult:
             block=self.block,
             profile=None if self.profile is None else self.profile.to_dict(),
             faults=None if self.fault_stats is None else self.fault_stats.to_dict(),
+            abft=self.abft,
         )
 
     @property
@@ -225,8 +232,61 @@ def pxpotrf(
     faults: "FaultPlan | None" = None,
     checkpoint: bool | None = None,
     guard=None,
+    abft: "AbftConfig | dict | bool | None" = None,
 ) -> ParallelRunResult:
     """Run Algorithm 9 on a fresh simulated network.
+
+    With ``abft`` set (an :class:`~repro.abft.AbftConfig`, a config
+    dict, or ``True``), every broadcast payload travels checksum-sealed
+    (:mod:`repro.abft.sealing`): receivers verify on open, correct a
+    single silently flipped element in place, and escalate double
+    faults by rebuilding the network and re-running under an
+    attempt-salted fault schedule (``max_attempts`` bound).  Checksum
+    words ride the same broadcasts and receiver re-summing flops go
+    through the per-rank compute clock; the result's ``abft`` record
+    carries the counter group and a factor attestation digest.
+    """
+    cfg = AbftConfig.coerce(abft)
+    if cfg is None:
+        return _pxpotrf_once(
+            a, block, grid, alpha=alpha, beta=beta, gamma=gamma,
+            observe_spans=observe_spans, faults=faults,
+            checkpoint=checkpoint, guard=guard,
+        )
+    abft_stats = AbftStats()
+    attempt = 0
+    while True:
+        abft_stats.attempts = attempt + 1
+        try:
+            return _pxpotrf_once(
+                a, block, grid, alpha=alpha, beta=beta, gamma=gamma,
+                observe_spans=observe_spans, faults=faults,
+                checkpoint=checkpoint, guard=guard,
+                abft_cfg=cfg, abft_stats=abft_stats, abft_attempt=attempt,
+            )
+        except SilentCorruptionError:
+            attempt += 1
+            if attempt >= cfg.max_attempts:
+                raise
+
+
+def _pxpotrf_once(
+    a: np.ndarray,
+    block: int,
+    grid: ProcessorGrid | int,
+    *,
+    alpha: float = 1.0,
+    beta: float = 1.0,
+    gamma: float = 0.0,
+    observe_spans: bool = False,
+    faults: "FaultPlan | None" = None,
+    checkpoint: bool | None = None,
+    guard=None,
+    abft_cfg: "AbftConfig | None" = None,
+    abft_stats: "AbftStats | None" = None,
+    abft_attempt: int = 0,
+) -> ParallelRunResult:
+    """One attempt of Algorithm 9 on a fresh simulated network.
 
     Parameters
     ----------
@@ -291,6 +351,53 @@ def pxpotrf(
     dist = BlockCyclicMatrix(a, block, grid, network)
     nb = dist.nblocks
 
+    # -- ABFT: sealed broadcast channel -------------------------------
+    # Every broadcast payload travels as a SealedBlock (data + exact
+    # uint64 row/column checksums).  Receivers open-and-verify before
+    # *using* a block, so a silently flipped payload element either
+    # heals in place (single fault) or raises SilentCorruptionError
+    # before it can contaminate any trailing update.  Strike decisions
+    # hash the logical message identity plus the receiving rank — never
+    # the content or delivery order — so schedules are byte-identical
+    # across runs and worker counts.
+    ab_armed = abft_cfg is not None
+    ab_injector = (
+        SilentInjector(abft_cfg.plan or faults, abft_attempt)
+        if ab_armed
+        else None
+    )
+    opened: dict = {}
+
+    def seal_block(rank: int, data: np.ndarray):
+        """Seal one payload, charging the summing flops to the sender."""
+        sealed = seal(data)
+        h, ww = sealed.shape
+        network.compute(rank, 2 * h * ww)
+        abft_stats.checksum_flops += 2 * h * ww
+        return sealed
+
+    def open_block(rank: int, key: tuple, idx: "int | None" = None):
+        """Verify-and-open a sealed inbox payload, once per receiver.
+
+        The memo means a rank that uses the same received block in
+        several trailing updates pays the 2·h·w verification flops
+        (charged to its compute clock) exactly once per round.
+        """
+        memo = (rank, key, idx)
+        if memo in opened:
+            return opened[memo]
+        sealed = network[rank].inbox[key]
+        if idx is not None:
+            sealed = sealed[idx]
+        ident = key + ((idx,) if idx is not None else ()) + (rank,)
+        data = open_sealed(
+            sealed, injector=ab_injector, stats=abft_stats, key=ident
+        )
+        h, ww = data.shape
+        network.compute(rank, 2 * h * ww)
+        opened[memo] = data
+        return data
+
     if ckpt_on:
         # round "-1" checkpoint: every rank's initial blocks, so a rank
         # fail-stopping at round 0 is recoverable too
@@ -330,13 +437,24 @@ def pxpotrf(
 
             # -- 2. broadcast the factor down the owning grid column -------
             with prof.span("bcast-diag"):
-                network.broadcast(
-                    diag_owner,
-                    grid.col_group(jc),
-                    words=w * (w + 1) // 2,
-                    payload=ljj,
-                    key=("diag", J),
-                )
+                if ab_armed:
+                    # checksum words (2·w) ride the same broadcast and
+                    # are charged through the same network chokepoint
+                    network.broadcast(
+                        diag_owner,
+                        grid.col_group(jc),
+                        words=w * (w + 1) // 2 + 2 * w,
+                        payload=seal_block(diag_owner, ljj),
+                        key=("diag", J),
+                    )
+                else:
+                    network.broadcast(
+                        diag_owner,
+                        grid.col_group(jc),
+                        words=w * (w + 1) // 2,
+                        payload=ljj,
+                        key=("diag", J),
+                    )
 
             # -- 3. panel solves + bundled row broadcasts --------------------
             with prof.span("panel-solve"):
@@ -345,21 +463,33 @@ def pxpotrf(
                     panel_by_owner[dist.owner(I, J)].append(I)
                 for rank, rows in sorted(panel_by_owner.items()):
                     proc = network[rank]
-                    ljj_local = proc.inbox[("diag", J)]
-                    bundle: dict[int, np.ndarray] = {}
+                    if ab_armed:
+                        ljj_local = open_block(rank, ("diag", J))
+                    else:
+                        ljj_local = proc.inbox[("diag", J)]
+                    bundle: dict = {}
                     for I in rows:
                         lij = solve_lower_transposed_right(
                             proc.store[("A", I, J)], ljj_local
                         )
                         proc.store[("A", I, J)] = lij
                         network.compute(rank, trsm_flops(dist.block_dim(I), w))
-                        bundle[I] = lij
+                        bundle[I] = (
+                            seal_block(rank, lij) if ab_armed else lij
+                        )
                         dirty[rank].add(("A", I, J))
                     r = grid.position(rank)[0]
+                    if ab_armed:
+                        bwords = sum(
+                            v.data.size + v.overhead_words
+                            for v in bundle.values()
+                        )
+                    else:
+                        bwords = sum(v.size for v in bundle.values())
                     network.broadcast(
                         rank,
                         grid.row_group(r),
-                        words=sum(v.size for v in bundle.values()),
+                        words=bwords,
                         payload=bundle,
                         key=("panelrow", J, r),
                     )
@@ -373,13 +503,24 @@ def pxpotrf(
                     proc = network[rank]
                     r, c = grid.position(rank)
                     row_bundle = proc.inbox[("panelrow", J, r)]
+                    # when sealed, forward the SealedBlocks verbatim —
+                    # this rank never *uses* the values, so it need not
+                    # (and must not) open them: the checksum envelope
+                    # keeps protecting the payload through the re-hop
                     col_bundle = {l: row_bundle[l] for l in diags}
+                    if ab_armed:
+                        cwords = sum(
+                            v.data.size + v.overhead_words
+                            for v in col_bundle.values()
+                        )
+                    else:
+                        cwords = sum(v.size for v in col_bundle.values())
                     # key includes the source grid row: on non-square grids a
                     # column hosts several diagonal owners (one per grid row)
                     network.broadcast(
                         rank,
                         grid.col_group(c),
-                        words=sum(v.size for v in col_bundle.values()),
+                        words=cwords,
                         payload=col_bundle,
                         key=("panelcol", J, c, r),
                     )
@@ -396,12 +537,24 @@ def pxpotrf(
                     for k in range(l, nb):
                         rank = dist.owner(k, l)
                         proc = network[rank]
-                        lkj = proc.inbox[
-                            ("panelrow", J, grid.position(rank)[0])
-                        ][k]
-                        llj = proc.inbox[
-                            ("panelcol", J, l % grid.cols, l % grid.rows)
-                        ][l]
+                        if ab_armed:
+                            lkj = open_block(
+                                rank,
+                                ("panelrow", J, grid.position(rank)[0]),
+                                k,
+                            )
+                            llj = open_block(
+                                rank,
+                                ("panelcol", J, l % grid.cols, l % grid.rows),
+                                l,
+                            )
+                        else:
+                            lkj = proc.inbox[
+                                ("panelrow", J, grid.position(rank)[0])
+                            ][k]
+                            llj = proc.inbox[
+                                ("panelcol", J, l % grid.cols, l % grid.rows)
+                            ][l]
                         proc.store[("A", k, l)] = (
                             proc.store[("A", k, l)] - lkj @ llj.T
                         )
@@ -426,8 +579,17 @@ def pxpotrf(
                         _checkpoint(network, rank, sorted(dirty[rank]), stats)
 
             network.clear_inboxes()
+            opened.clear()
 
     L = dist.gather_lower()
+    abft_rec = None
+    if ab_armed:
+        abft_stats.verified = True
+        abft_rec = {
+            "config": abft_cfg.to_dict(),
+            "stats": abft_stats.to_dict(),
+            "attestation": factor_attestation(L),
+        }
     return ParallelRunResult(
         L=L,
         network=network,
@@ -436,4 +598,5 @@ def pxpotrf(
         P=grid.size,
         profile=None if recorder is None else recorder.profile(),
         fault_stats=stats if (injector is not None or ckpt_on) else None,
+        abft=abft_rec,
     )

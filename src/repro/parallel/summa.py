@@ -25,6 +25,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.abft import AbftConfig, SilentCorruptionError, factor_attestation
+from repro.abft.guardian import AbftStats, SilentInjector
+from repro.abft.sealing import open_sealed, seal
 from repro.faults.injector import FaultStats
 from repro.faults.plan import FaultPlan
 from repro.observability.spans import SpanProfile, observe
@@ -54,6 +57,9 @@ class SummaResult:
     profile: "SpanProfile | None" = None
     #: Realized faults + resilience overhead (``None`` on a plain run).
     fault_stats: "FaultStats | None" = None
+    #: The ``abft`` counter group (config + stats + attestation) when
+    #: the run was checksum-protected, else ``None``.
+    abft: "dict | None" = None
 
     @property
     def critical_words(self) -> int:
@@ -83,6 +89,7 @@ def summa(
     observe_spans: bool = False,
     faults: "FaultPlan | None" = None,
     checkpoint: bool | None = None,
+    abft: "AbftConfig | dict | bool | None" = None,
 ) -> SummaResult:
     """Multiply two square matrices on a simulated 2D grid.
 
@@ -93,8 +100,52 @@ def summa(
     sends run over the ack/retry transport and (when fail-stops are
     scheduled) each rank buddy-checkpoints its accumulators every
     panel step, so a fail-stopped rank is rebuilt exactly and the
-    product matches the failure-free run bit for bit.
+    product matches the failure-free run bit for bit.  With ``abft``
+    set, the panel broadcasts travel checksum-sealed exactly as in
+    :func:`~repro.parallel.pxpotrf.pxpotrf`: single silently flipped
+    payload elements heal on open, uncorrectable doubles rebuild the
+    network and re-run under an attempt-salted schedule.
     """
+    cfg = AbftConfig.coerce(abft)
+    if cfg is None:
+        return _summa_once(
+            a, b, block, grid, alpha=alpha, beta=beta,
+            observe_spans=observe_spans, faults=faults,
+            checkpoint=checkpoint,
+        )
+    abft_stats = AbftStats()
+    attempt = 0
+    while True:
+        abft_stats.attempts = attempt + 1
+        try:
+            return _summa_once(
+                a, b, block, grid, alpha=alpha, beta=beta,
+                observe_spans=observe_spans, faults=faults,
+                checkpoint=checkpoint,
+                abft_cfg=cfg, abft_stats=abft_stats, abft_attempt=attempt,
+            )
+        except SilentCorruptionError:
+            attempt += 1
+            if attempt >= cfg.max_attempts:
+                raise
+
+
+def _summa_once(
+    a: np.ndarray,
+    b: np.ndarray,
+    block: int,
+    grid: ProcessorGrid | int,
+    *,
+    alpha: float = 1.0,
+    beta: float = 1.0,
+    observe_spans: bool = False,
+    faults: "FaultPlan | None" = None,
+    checkpoint: bool | None = None,
+    abft_cfg: "AbftConfig | None" = None,
+    abft_stats: "AbftStats | None" = None,
+    abft_attempt: int = 0,
+) -> SummaResult:
+    """One attempt of SUMMA on a fresh simulated network."""
     if isinstance(grid, int):
         grid = ProcessorGrid.square(grid)
     check_positive_int("block", block)
@@ -132,6 +183,44 @@ def summa(
     def owner(bi: int, bj: int) -> int:
         return grid.block_owner(bi, bj)
 
+    # -- ABFT: sealed broadcast channel (see pxpotrf) ------------------
+    ab_armed = abft_cfg is not None
+    ab_injector = (
+        SilentInjector(abft_cfg.plan or faults, abft_attempt)
+        if ab_armed
+        else None
+    )
+    opened: dict = {}
+
+    def seal_block(rank: int, data: np.ndarray):
+        sealed = seal(data)
+        h, w = sealed.shape
+        network.compute(rank, 2 * h * w)
+        abft_stats.checksum_flops += 2 * h * w
+        return sealed
+
+    def seal_bundle(rank: int, bundle: dict) -> "tuple[dict, int]":
+        """Seal every block of a panel bundle; returns (bundle, words)."""
+        out = {k: seal_block(rank, v) for k, v in bundle.items()}
+        words = sum(v.data.size + v.overhead_words for v in out.values())
+        return out, words
+
+    def open_block(rank: int, key: tuple, idx: int):
+        memo = (rank, key, idx)
+        if memo in opened:
+            return opened[memo]
+        sealed = network[rank].inbox[key][idx]
+        data = open_sealed(
+            sealed,
+            injector=ab_injector,
+            stats=abft_stats,
+            key=key + (idx, rank),
+        )
+        h, w = data.shape
+        network.compute(rank, 2 * h * w)
+        opened[memo] = data
+        return data
+
     # scatter A, B; zero local C blocks
     for bi in range(nb):
         r0, r1 = brange(bi)
@@ -165,11 +254,15 @@ def summa(
                 for rank, rows in sorted(a_by_owner.items()):
                     proc = network[rank]
                     bundle = {bi: proc.store[("A", bi, K)] for bi in rows}
+                    if ab_armed:
+                        bundle, bwords = seal_bundle(rank, bundle)
+                    else:
+                        bwords = sum(v.size for v in bundle.values())
                     r = grid.position(rank)[0]
                     network.broadcast(
                         rank,
                         grid.row_group(r),
-                        words=sum(v.size for v in bundle.values()),
+                        words=bwords,
                         payload=bundle,
                         key=("Arow", K, r),
                     )
@@ -181,11 +274,15 @@ def summa(
                 for rank, cols in sorted(b_by_owner.items()):
                     proc = network[rank]
                     bundle = {bj: proc.store[("B", K, bj)] for bj in cols}
+                    if ab_armed:
+                        bundle, bwords = seal_bundle(rank, bundle)
+                    else:
+                        bwords = sum(v.size for v in bundle.values())
                     c = grid.position(rank)[1]
                     network.broadcast(
                         rank,
                         grid.col_group(c),
-                        words=sum(v.size for v in bundle.values()),
+                        words=bwords,
                         payload=bundle,
                         key=("Bcol", K, c),
                     )
@@ -200,8 +297,12 @@ def summa(
                         rank = owner(bi, bj)
                         proc = network[rank]
                         r, c = grid.position(rank)
-                        ablk = proc.inbox[("Arow", K, r)][bi]
-                        bblk = proc.inbox[("Bcol", K, c)][bj]
+                        if ab_armed:
+                            ablk = open_block(rank, ("Arow", K, r), bi)
+                            bblk = open_block(rank, ("Bcol", K, c), bj)
+                        else:
+                            ablk = proc.inbox[("Arow", K, r)][bi]
+                            bblk = proc.inbox[("Bcol", K, c)][bj]
                         proc.store[("C", bi, bj)] += ablk @ bblk
                         flops = gemm_flops(
                             ablk.shape[0], ablk.shape[1], bblk.shape[1]
@@ -222,6 +323,7 @@ def summa(
                         )
                         _checkpoint(network, rank, ckeys, stats)
             network.clear_inboxes()
+            opened.clear()
 
     # gather C (free verification step, like pxpotrf's gather)
     out = np.zeros((n, n))
@@ -230,6 +332,14 @@ def summa(
         for bj in range(nb):
             c0, c1 = brange(bj)
             out[r0:r1, c0:c1] = network[owner(bi, bj)].store[("C", bi, bj)]
+    abft_rec = None
+    if ab_armed:
+        abft_stats.verified = True
+        abft_rec = {
+            "config": abft_cfg.to_dict(),
+            "stats": abft_stats.to_dict(),
+            "attestation": factor_attestation(out),
+        }
     return SummaResult(
         C=out,
         network=network,
@@ -238,4 +348,5 @@ def summa(
         P=grid.size,
         profile=None if recorder is None else recorder.profile(),
         fault_stats=stats if (injector is not None or ckpt_on) else None,
+        abft=abft_rec,
     )

@@ -85,6 +85,12 @@ class Measurement:
     #: fault plan (or checkpointing) active, else ``None``.  Like
     #: ``profile``: JSON round-trips, excluded from equality/hash.
     faults: dict | None = field(default=None, compare=False, repr=False)
+    #: The ``abft`` counter group (:class:`~repro.abft.AbftStats` dict
+    #: plus config and factor attestation) when the run was
+    #: checksum-protected, else ``None``.  Omitted entirely from
+    #: :meth:`to_dict` when ``None`` so unprotected measurements
+    #: serialize byte-identically to the pre-ABFT schema.
+    abft: dict | None = field(default=None, compare=False, repr=False)
 
     @property
     def bandwidth_per_flop(self) -> float:
@@ -93,7 +99,7 @@ class Measurement:
 
     def to_dict(self) -> dict:
         """JSON-ready dict (canonical types; ``run`` is dropped)."""
-        return {
+        d = {
             "algorithm": str(self.algorithm),
             "layout": str(self.layout),
             "n": int(self.n),
@@ -111,6 +117,9 @@ class Measurement:
             "profile": self.profile,
             "faults": self.faults,
         }
+        if self.abft is not None:
+            d["abft"] = self.abft
+        return d
 
     @classmethod
     def from_dict(cls, d: Mapping[str, Any]) -> "Measurement":
@@ -132,6 +141,7 @@ class Measurement:
             params=tuple((str(k), v) for k, v in (d.get("params") or ())),
             profile=d.get("profile"),
             faults=d.get("faults"),
+            abft=d.get("abft"),
         )
 
     def without_run(self) -> "Measurement":
@@ -165,7 +175,10 @@ class RunResult(np.ndarray):
     :class:`Measurement` schema.
     """
 
-    _provenance = ("algorithm", "layout", "n", "params", "seed", "machine", "verified")
+    _provenance = (
+        "algorithm", "layout", "n", "params", "seed", "machine", "verified",
+        "abft",
+    )
 
     def __new__(
         cls,
@@ -178,6 +191,7 @@ class RunResult(np.ndarray):
         seed: int | None = None,
         machine=None,
         verified: bool | None = None,
+        abft: dict | None = None,
     ):
         obj = np.asarray(L).view(cls)
         obj.algorithm = algorithm
@@ -187,6 +201,7 @@ class RunResult(np.ndarray):
         obj.seed = seed
         obj.machine = machine
         obj.verified = verified
+        obj.abft = abft
         return obj
 
     def __array_finalize__(self, obj):
@@ -251,6 +266,7 @@ class RunResult(np.ndarray):
             params=self.params or (),
             run=self,
             profile=None if span_tree is None else span_tree.to_dict(),
+            abft=self.abft,
         )
 
 

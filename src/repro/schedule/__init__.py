@@ -131,6 +131,10 @@ def _machine_eligible(machine) -> bool:
         and machine.trace is None
         and machine.profiler is NULL_PROFILER
         and machine.guard is None
+        # an armed ChecksumGuardian must observe every boundary live:
+        # a bulk replay recomputes the factor without running the
+        # algorithm, so it could mask an injected silent fault
+        and getattr(machine, "abft", None) is None
         and getattr(machine, "recorder", None) is None
         and machine._scope_depth == 0
         and machine.resident.is_empty()
@@ -234,15 +238,21 @@ class _CompiledSession:
 
 
 def compiled_session(
-    algorithm: str, A, params: dict
+    algorithm: str, A, params: dict, abft=None
 ) -> "_CompiledSession | None":
     """Build the compile/replay plan for one run, if it is eligible.
 
     Returns ``None`` (caller runs uncompiled) when compilation is off,
     the machine is being observed or is not pristine, or the params
-    cannot be canonically keyed.
+    cannot be canonically keyed.  ``abft`` (a protection config) makes
+    the run ineligible outright — the registry never compiles
+    protected runs — but is still threaded into :func:`schedule_key`
+    so any future keyed variant cannot collide with unprotected
+    schedules.
     """
     if not compile_enabled():
+        return None
+    if abft is not None:
         return None
     machine = A.machine
     if not _machine_eligible(machine):
@@ -255,6 +265,7 @@ def compiled_session(
             machine=machine,
             params=params,
             fault_plan=machine.faults.plan if machine.faults else None,
+            abft=abft,
         )
     except TypeError:
         return None

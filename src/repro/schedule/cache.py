@@ -65,34 +65,43 @@ def schedule_key(
     machine,
     params: dict,
     fault_plan=None,
+    abft=None,
     version: str | None = None,
 ) -> str:
     """Content-address of one run shape under the current code version.
 
     Raises ``TypeError`` for params that have no canonical JSON form —
     the caller treats that as "not compilable" and runs uncompiled.
+    ``abft`` is the run's protection mode (an
+    :class:`~repro.abft.AbftConfig` or its dict form): protected runs
+    never share a key with unprotected ones, and an unprotected run's
+    key is byte-identical to the pre-ABFT format so existing cached
+    schedules stay valid.
     """
     if version is None:
         from repro.experiments.cache import code_version
 
         version = code_version()
-    blob = json.dumps(
-        {
-            "version": version,
-            "algorithm": algorithm,
-            "layout": {
-                "name": layout.name,
-                "n": layout.n,
-                "block": getattr(layout, "block", None),
-                "packed": layout.packed,
-                "storage_words": layout.storage_words,
-            },
-            "base": int(base),
-            "capacities": [lvl.capacity for lvl in machine.levels],
-            "enforce_capacity": machine.enforce_capacity,
-            "params": sorted((str(k), v) for k, v in params.items()),
-            "faults": fault_plan_digest(fault_plan),
+    payload = {
+        "version": version,
+        "algorithm": algorithm,
+        "layout": {
+            "name": layout.name,
+            "n": layout.n,
+            "block": getattr(layout, "block", None),
+            "packed": layout.packed,
+            "storage_words": layout.storage_words,
         },
+        "base": int(base),
+        "capacities": [lvl.capacity for lvl in machine.levels],
+        "enforce_capacity": machine.enforce_capacity,
+        "params": sorted((str(k), v) for k, v in params.items()),
+        "faults": fault_plan_digest(fault_plan),
+    }
+    if abft is not None:
+        payload["abft"] = abft if isinstance(abft, dict) else abft.to_dict()
+    blob = json.dumps(
+        payload,
         sort_keys=True,
         separators=(",", ":"),
         default=_reject_unknown,

@@ -73,6 +73,7 @@ def lapack_blocked(A: TrackedMatrix, block: int | None = None) -> np.ndarray:
 
     prof = machine.profiler
     batched = machine.batched
+    guard = machine.abft
     for J in range(nb):
         j0, j1 = edge(J)
         w = j1 - j0
@@ -132,6 +133,9 @@ def lapack_blocked(A: TrackedMatrix, block: int | None = None) -> np.ndarray:
                         panel_ref.release()
 
             if J + 1 == nb:
+                if guard is not None:
+                    # last panel is the diagonal block alone
+                    guard.phase(j0, j1, j0, j1)
                 break  # no panel below the last diagonal block
 
             # --- TRSM: panel blocks <- panel * L22^{-T} ---
@@ -160,6 +164,11 @@ def lapack_blocked(A: TrackedMatrix, block: int | None = None) -> np.ndarray:
                         panel_ref.store(panel)
                         panel_ref.release()
                 diag_ref2.release()
+
+            if guard is not None:
+                # panel J finished: everything modified since the last
+                # boundary lives in [j0, n) × [j0, j1)
+                guard.phase(j0, n, j0, j1)
 
     machine.release_all()
     return A.lower()

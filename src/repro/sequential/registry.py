@@ -11,6 +11,13 @@ from typing import Callable, Dict
 
 import numpy as np
 
+from repro.abft import (
+    AbftConfig,
+    ChecksumGuardian,
+    SilentCorruptionError,
+    factor_attestation,
+)
+from repro.abft.guardian import AbftStats
 from repro.matrices.tracked import TrackedMatrix
 from repro.results import RunResult, freeze_params
 from repro.schedule import compiled_session, note_run_mode
@@ -49,6 +56,7 @@ def run_algorithm(
     A: TrackedMatrix,
     *,
     spd_shift: float | None = None,
+    abft: "AbftConfig | dict | bool | None" = None,
     **params,
 ) -> RunResult:
     """Run a registered algorithm on a tracked matrix.
@@ -72,6 +80,18 @@ def run_algorithm(
         measurement reflects only the successful attempt) and the
         result records the shift in its params.  A common choice is a
         small multiple of the largest diagonal entry.
+    abft:
+        Checksum protection (:class:`~repro.abft.AbftConfig`, a config
+        dict, or ``True`` for defaults).  The run is guarded by a
+        :class:`~repro.abft.ChecksumGuardian`: single silent faults
+        are corrected in place, uncorrectable double faults restore
+        the input snapshot and re-run (counters reset, attempt-salted
+        fault schedule) up to ``max_attempts`` times before the
+        :class:`~repro.abft.SilentCorruptionError` propagates.
+        Protected runs bypass the schedule JIT — a compiled replay
+        could never observe (let alone heal) an injected silent fault.
+        The result carries ``verified=True`` and the ``abft`` counter
+        group including a factor attestation digest.
     params:
         Algorithm-specific keywords (e.g. ``block=`` for ``"lapack"``).
 
@@ -88,6 +108,9 @@ def run_algorithm(
     # communication model.
     check_finite("A", A.data)
     recorded = dict(params)
+    cfg = AbftConfig.coerce(abft)
+    if cfg is not None:
+        return _run_protected(name, A, cfg, spd_shift, recorded, params)
     snapshot = A.data.copy() if spd_shift is not None else None
     note_run_mode("off")
 
@@ -126,4 +149,82 @@ def run_algorithm(
         n=A.layout.n,
         params=freeze_params(recorded),
         machine=A.machine,
+    )
+
+
+def _run_protected(
+    name: str,
+    A: TrackedMatrix,
+    cfg: AbftConfig,
+    spd_shift: "float | None",
+    recorded: dict,
+    params: dict,
+) -> RunResult:
+    """The checksum-guarded twin of the :func:`run_algorithm` body.
+
+    Bypasses the schedule JIT entirely (``note_run_mode("off")``): a
+    replayed :class:`~repro.schedule.TransferSchedule` recomputes the
+    factor from captured transfers without running the algorithm, so
+    it could silently mask an injected fault instead of detecting it.
+    Uncorrectable double faults restore the pristine input, reset the
+    machine (the measurement reflects the successful attempt, the
+    spd_shift precedent) and re-run under an attempt-salted fault
+    schedule.
+    """
+    machine = A.machine
+    plan = cfg.plan if cfg.plan is not None else (
+        machine.faults.plan if machine.faults is not None else None
+    )
+    note_run_mode("off")
+    stats = AbftStats()
+    pristine = A.data.copy()
+    shifted = False
+    attempt = 0
+
+    def restore() -> None:
+        A.data[:] = pristine
+        if shifted:
+            A.data[np.diag_indices_from(A.data)] += float(spd_shift)
+        machine.reset()
+
+    while True:
+        stats.attempts = attempt + 1
+        guardian = ChecksumGuardian(A, cfg, plan, attempt=attempt, stats=stats)
+        machine.abft = guardian
+        try:
+            guardian.initialize()
+            try:
+                L = ALGORITHMS[name](A, **params)
+            except NotPositiveDefiniteError:
+                raise
+            except np.linalg.LinAlgError as exc:
+                raise NotPositiveDefiniteError(str(exc), stage=name) from exc
+            guardian.finalize()
+            break
+        except SilentCorruptionError:
+            attempt += 1
+            if attempt >= cfg.max_attempts:
+                raise
+            restore()
+        except NotPositiveDefiniteError:
+            if shifted or spd_shift is None or spd_shift <= 0:
+                raise
+            shifted = True
+            recorded["spd_shift"] = float(spd_shift)
+            restore()
+        finally:
+            machine.abft = None
+    return RunResult(
+        L,
+        algorithm=name,
+        layout=A.layout.name,
+        n=A.layout.n,
+        params=freeze_params(recorded),
+        machine=machine,
+        verified=True,
+        abft={
+            "config": cfg.to_dict(),
+            "stats": stats.to_dict(),
+            "attestation": factor_attestation(L),
+        },
     )

@@ -40,6 +40,17 @@ def square_recursive(A: TrackedMatrix) -> np.ndarray:
 
 def _square_rchol(A: BlockRef) -> None:
     machine = A.matrix.machine
+    guard = machine.abft
+    if guard is not None:
+        guard.enter()
+    try:
+        _square_rchol_body(A, machine, guard)
+    finally:
+        if guard is not None:
+            guard.exit()
+
+
+def _square_rchol_body(A: BlockRef, machine, guard) -> None:
     n = A.rows
     ivs = A.intervals
     # Batched leaf vs interpreted scope: see _rsyrk for the contract.
@@ -48,27 +59,44 @@ def _square_rchol(A: BlockRef) -> None:
             if machine.leaf_charge(ivs, ivs):
                 A.poke(dense_cholesky(A.peek()))
                 machine.add_flops(cholesky_flops(n))
+                if guard is not None:
+                    guard.phase(A.r0, A.r1, A.c0, A.c1)
                 return
             with machine.scope(ivs, ivs):
-                _square_rchol_recurse(A, n)
+                _square_rchol_recurse(A, n, guard)
         return
     with machine.profiler.span("chol"), machine.scope(ivs, ivs) as sc:
         if sc.fits:
             A.poke(dense_cholesky(A.peek()))
             machine.add_flops(cholesky_flops(n))
+            if guard is not None:
+                guard.phase(A.r0, A.r1, A.c0, A.c1)
             return
-        _square_rchol_recurse(A, n)
+        _square_rchol_recurse(A, n, guard)
 
 
-def _square_rchol_recurse(A: BlockRef, n: int) -> None:
+def _square_rchol_recurse(A: BlockRef, n: int, guard=None) -> None:
     """Quadrant split (shared by both charge paths).
 
     n == 1 always fits (footprint of one word, M >= 1), so a
     non-fitting subproblem is guaranteed splittable.
+
+    The ABFT phases only act at recursion depth 1 (see
+    :meth:`~repro.abft.ChecksumGuardian.phase`): the top level commits
+    each child's whole footprint after the child returns, so the
+    checkpoint schedule is independent of how deep the recursion goes.
     """
     k = split_point(n)
     a11, _a12, a21, a22 = A.quadrants(k, k)
     _square_rchol(a11)             # L11 = Chol(A11)
+    if guard is not None:
+        guard.phase(a11.r0, a11.r1, a11.c0, a11.c1)
     _rtrsm(a21, a11.T)             # L21 = A21 · L11^{-T}
+    if guard is not None:
+        guard.phase(a21.r0, a21.r1, a21.c0, a21.c1)
     _rsyrk(a22, a21)               # A22 <- A22 - L21 L21^T
+    if guard is not None:
+        guard.phase(a22.r0, a22.r1, a22.c0, a22.c1)
     _square_rchol(a22)             # L22 = Chol(A22)
+    if guard is not None:
+        guard.phase(a22.r0, a22.r1, a22.c0, a22.c1)

@@ -53,27 +53,50 @@ def _rect_rchol(A: BlockRef) -> None:
     its top ``n × n`` block is factored, the rest of the panel is
     transformed into the corresponding rows of ``L``.
     """
+    machine = A.matrix.machine
+    guard = machine.abft
+    if guard is not None:
+        guard.enter()
+    try:
+        _rect_rchol_body(A, guard)
+    finally:
+        if guard is not None:
+            guard.exit()
+
+
+def _rect_rchol_body(A: BlockRef, guard) -> None:
     m, n = A.shape
     if m < n:
         raise ValueError(f"panel must be at least as tall as wide, got {m}x{n}")
     with A.matrix.machine.profiler.span("chol"):
         if n == 1:
             _factor_column(A)
+            if guard is not None:
+                guard.phase(A.r0, A.r1, A.c0, A.c1)
             return
         k = split_point(n)
         left, right = A.split_cols(k)       # left: m×k, right: m×(n−k)
         _rect_rchol(left)                   # L(:, :k)
+        if guard is not None:
+            guard.phase(left.r0, left.r1, left.c0, left.c1)
         # trailing update of the lower-right (m−k)×(n−k) panel:
         #   A22 (diagonal block) gets a symmetric update,
         #   A32 (below it) a general one — together the paper's line 5.
         l21 = left.sub(k, n, 0, k)          # (n−k)×k
         a22 = right.sub(k, n, 0, n - k)     # (n−k)×(n−k), diagonal block
         _rsyrk(a22, l21)
+        if guard is not None:
+            guard.phase(a22.r0, a22.r1, a22.c0, a22.c1)
         if m > n:
             l31 = left.sub(n, m, 0, k)      # (m−n)×k
             a32 = right.sub(n, m, 0, n - k) # (m−n)×(n−k)
             _rmatmul(a32, l31, l21.T, -1.0)
-        _rect_rchol(right.sub(k, m, 0, n - k))
+            if guard is not None:
+                guard.phase(a32.r0, a32.r1, a32.c0, a32.c1)
+        tail = right.sub(k, m, 0, n - k)
+        _rect_rchol(tail)
+        if guard is not None:
+            guard.phase(tail.r0, tail.r1, tail.c0, tail.c1)
 
 
 def _factor_column(A: BlockRef) -> None:

@@ -68,6 +68,15 @@ wire document from an incompatible future schema with
   documents are byte-identical to version 1 apart from the stamp,
   and version-1 readers that ignore unknown keys keep working.
 
+* **3** — ABFT (this PR): jobs' points may carry an ``abft``
+  protection config (inside ``point``, omitted when off, exactly like
+  the version-2 ``trace`` discipline), and terminal responses may
+  carry ``verified`` — ``True`` when the measurement's checksum
+  protection ran end-to-end and the factor attestation was recorded,
+  ``False`` when protection was requested but could not complete.
+  Omitted for unprotected jobs, so their wire documents are
+  byte-identical to version 2 apart from the stamp.
+
 The write-ahead job journal (PR 8,
 :mod:`repro.serving.journal`) embeds each accepted job's version-2
 wire document verbatim inside its ``accepted`` records, so journal
@@ -85,7 +94,12 @@ import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping
 
-from repro.experiments.spec import PARALLEL, SEQUENTIAL, SpecPoint
+from repro.experiments.spec import (
+    PARALLEL,
+    SEQUENTIAL,
+    SpecPoint,
+    _freeze_abft,
+)
 from repro.faults.plan import FaultPlan
 from repro.observability.tracing import SpanRecord, TraceContext
 from repro.results import Measurement, freeze_params
@@ -95,7 +109,7 @@ from repro.serving.queue import PRIORITY_NORMAL, parse_priority, priority_name
 
 #: Version stamp every wire document carries.  Bump on any change to
 #: the job/response wire layout and keep the old readers working.
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 #: Terminal response statuses.
 DONE = "done"
@@ -182,6 +196,11 @@ class ServiceResponse:
     #: The job's cross-process span records (schema v2); ``None`` for
     #: untraced jobs, so disabled-mode payloads match version 1 exactly.
     trace: "tuple[SpanRecord, ...] | None" = None
+    #: ABFT outcome (schema v3): ``True`` when the measurement's
+    #: checksum protection verified end-to-end, ``False`` when
+    #: protection was requested but did not complete; ``None`` (and
+    #: omitted on the wire) for unprotected jobs.
+    verified: "bool | None" = None
 
     @property
     def degraded(self) -> bool:
@@ -213,6 +232,8 @@ class ServiceResponse:
         }
         if self.trace is not None:
             out["trace"] = [r.to_dict() for r in self.trace]
+        if self.verified is not None:
+            out["verified"] = bool(self.verified)
         return out
 
     def to_wire(self) -> dict:
@@ -296,12 +317,15 @@ def chol_request(
     faults: "FaultPlan | None" = None,
     priority: "str | int" = PRIORITY_NORMAL,
     budget: "Budget | None" = None,
+    abft=None,
 ) -> Job:
     """A sequential-Cholesky job request (``M`` defaults to ``3*n``).
 
     This is the one construction path for ``chol`` jobs — the CLI, the
     demo/bench/soak workload generators and the docs examples all call
-    it, so the default shapes can never drift apart again.
+    it, so the default shapes can never drift apart again.  ``abft``
+    (config/dict/``True``) requests checksum protection; the terminal
+    response then carries ``verified``.
     """
     point = SpecPoint(
         kind=SEQUENTIAL,
@@ -313,6 +337,7 @@ def chol_request(
         verify=bool(verify),
         params=freeze_params(params),
         faults=() if faults is None or faults.is_empty() else faults.freeze(),
+        abft=_freeze_abft(abft),
     )
     return Job(point=point, priority=parse_priority(priority), budget=budget)
 
@@ -327,11 +352,13 @@ def pxpotrf_request(
     faults: "FaultPlan | None" = None,
     priority: "str | int" = PRIORITY_NORMAL,
     budget: "Budget | None" = None,
+    abft=None,
 ) -> Job:
     """A parallel PxPOTRF job request.
 
     ``P`` must be a perfect square (the 2D processor grid); ``block``
-    defaults to ``n // sqrt(P)``.
+    defaults to ``n // sqrt(P)``.  ``abft`` requests checksum-sealed
+    broadcasts (see :func:`chol_request`).
     """
     root = math.isqrt(int(P))
     if root * root != int(P):
@@ -347,6 +374,7 @@ def pxpotrf_request(
         seed=int(seed),
         verify=bool(verify),
         faults=() if faults is None or faults.is_empty() else faults.freeze(),
+        abft=_freeze_abft(abft),
     )
     return Job(point=point, priority=parse_priority(priority), budget=budget)
 
@@ -431,6 +459,9 @@ def response_from_wire(d: Mapping[str, Any]) -> ServiceResponse:
         wall_seconds=float(d.get("wall_seconds", 0.0)),
         priority=parse_priority(d.get("priority", PRIORITY_NORMAL)),
         trace=trace,
+        verified=(
+            None if d.get("verified") is None else bool(d["verified"])
+        ),
     )
 
 

@@ -330,6 +330,25 @@ def serve_main(argv: "list[str]") -> int:
         help="wrap every sequential job with this read-fault probability",
     )
     parser.add_argument(
+        "--chaos-silent", type=float, default=0.0, metavar="PROB",
+        help="wrap every job with this silent bit-flip probability and "
+        "arm ABFT checksum protection (implies --abft)",
+    )
+    parser.add_argument(
+        "--chaos-silent-double", type=float, default=0.0, metavar="PROB",
+        help="probability a silent strike is an uncorrectable double "
+        "(exercises the detect-and-rerun ladder)",
+    )
+    parser.add_argument(
+        "--abft", action="store_true",
+        help="run every job checksum-protected (responses carry "
+        "verified=true and a factor attestation)",
+    )
+    parser.add_argument(
+        "--abft-attempts", type=int, default=3, metavar="N",
+        help="ABFT retry-ladder bound per job (default: 3)",
+    )
+    parser.add_argument(
         "--chaos-seed", type=int, default=1, help="fault-plan seed"
     )
     parser.add_argument(
@@ -490,9 +509,17 @@ def serve_main(argv: "list[str]") -> int:
     else:
         jobs = []
 
-    if args.chaos_drop or args.chaos_read_fault:
+    abft_on = args.abft or args.chaos_silent > 0
+    if args.chaos_drop or args.chaos_read_fault or args.chaos_silent or abft_on:
         from dataclasses import replace
 
+        from repro.experiments.spec import _freeze_abft
+
+        frozen_abft = (
+            _freeze_abft({"max_attempts": args.abft_attempts})
+            if abft_on
+            else ()
+        )
         for job in jobs:
             plan = FaultPlan(
                 seed=args.chaos_seed + job.point.seed,
@@ -502,9 +529,16 @@ def serve_main(argv: "list[str]") -> int:
                     if job.point.kind != PARALLEL
                     else 0.0
                 ),
+                silent=args.chaos_silent,
+                silent_double=args.chaos_silent_double,
             )
+            updates: dict = {}
             if not plan.is_empty():
-                job.point = replace(job.point, faults=plan.freeze())
+                updates["faults"] = plan.freeze()
+            if frozen_abft:
+                updates["abft"] = frozen_abft
+            if updates:
+                job.point = replace(job.point, **updates)
 
     default_budget = _budget_from_args(args)
     tracing = args.tracing or bool(args.trace_out)

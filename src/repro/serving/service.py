@@ -46,6 +46,7 @@ import dataclasses
 import threading
 from typing import Any, Callable, Mapping
 
+from repro.abft import SilentCorruptionError
 from repro.experiments.cache import ResultCache
 from repro.experiments.engine import execute_point
 from repro.experiments.spec import PARALLEL, SpecPoint
@@ -592,6 +593,10 @@ class FactorizationService:
     def _classify_error(exc: "Exception | None") -> str:
         if isinstance(exc, FaultExhausted):
             return "fault-exhausted"
+        if isinstance(exc, SilentCorruptionError):
+            # the ABFT retry ladder exhausted its attempts with an
+            # uncorrectable double fault every time
+            return "silent-corruption"
         if isinstance(exc, NotPositiveDefiniteError):
             return "not-positive-definite"
         return "execution-error"
@@ -649,6 +654,11 @@ class FactorizationService:
                 from repro.schedule import last_run_mode
 
                 extra["schedule"] = last_run_mode()
+            if m is not None and getattr(m, "abft", None):
+                stats = (m.abft or {}).get("stats") or {}
+                extra["abft_detected"] = int(stats.get("detected", 0))
+                extra["abft_corrected"] = int(stats.get("corrected", 0))
+                extra["abft_verified"] = bool(stats.get("verified"))
             span = log.add(
                 name,
                 now,
@@ -728,6 +738,15 @@ class FactorizationService:
     def _finish_done(
         self, job: Job, m: Measurement, *, attempts: int, detail: dict
     ) -> None:
+        # schema v3: a protected job's response says whether the
+        # checksum protection verified end-to-end; unprotected jobs
+        # omit the key entirely
+        verified = None
+        abft_rec = getattr(m, "abft", None)
+        if abft_rec is not None:
+            verified = bool((abft_rec.get("stats") or {}).get("verified"))
+        elif job.point.abft:
+            verified = False
         self._finish(
             job,
             ServiceResponse(
@@ -738,6 +757,7 @@ class FactorizationService:
                 wall_seconds=self._wall(job),
                 priority=job.priority,
                 detail=detail,
+                verified=verified,
             ),
         )
 
@@ -775,6 +795,8 @@ class FactorizationService:
                 attempts=attempts,
                 wall_seconds=self._wall(job),
                 priority=job.priority,
+                # a closed-form answer never ran the protection
+                verified=False if job.point.abft else None,
             ),
         )
 
@@ -813,6 +835,7 @@ class FactorizationService:
                 attempts=attempts,
                 wall_seconds=self._wall(job),
                 priority=job.priority,
+                verified=False if job.point.abft else None,
             ),
         )
 

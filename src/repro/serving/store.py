@@ -41,6 +41,8 @@ code path.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import threading
 from collections import OrderedDict
 from typing import Callable
@@ -48,6 +50,21 @@ from typing import Callable
 from repro.experiments.cache import ResultCache
 from repro.experiments.spec import SpecPoint
 from repro.observability.metrics import METRICS
+
+
+def measurement_attestation(measurement) -> str:
+    """Content digest of a serialized measurement payload.
+
+    Stamped into an entry's ``extra`` provenance at write time and
+    recomputed at read time: a stored payload whose bits drifted while
+    its structural envelope still validates is caught as a counted
+    miss instead of being served, and the recompute's write-back heals
+    the entry — the store-tier leg of the ABFT end-to-end guarantee.
+    """
+    blob = json.dumps(
+        measurement, sort_keys=True, separators=(",", ":"), default=str
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 #: Lookup outcome tiers (metric label values, cheapest first).
 TIER_MEMORY = "memory"
@@ -178,6 +195,19 @@ class ShardStoreView:
                 "repro_cluster_store_torn_total", shard=self.shard_id
             ).inc()
             entry = None
+        if entry is not None:
+            att = (entry.get("extra") or {}).get("attestation")
+            if att is not None and att != measurement_attestation(
+                entry["measurement"]
+            ):
+                # digest-valid envelope, silently drifted payload:
+                # counted as a failed attestation, served as a miss,
+                # healed by the recompute's write-back
+                METRICS.counter(
+                    "repro_cluster_store_attestation_failures_total",
+                    shard=self.shard_id,
+                ).inc()
+                entry = None
         if entry is None:
             self._count(TIER_MISS)
             return None
@@ -188,23 +218,32 @@ class ShardStoreView:
         return entry
 
     def put(self, point: SpecPoint, measurement, wall_time: float) -> str:
-        """Write through to disk (atomic) and the memory tier."""
-        path = self.store.cache.put(
-            point,
-            measurement,
-            wall_time,
-            extra={"producer": self.shard_id},
-        )
+        """Write through to disk (atomic) and the memory tier.
+
+        The entry's provenance records the producing shard *and* an
+        attestation digest of the serialized payload, which every
+        later read re-verifies.
+        """
         serialized = (
             measurement.to_dict()
             if hasattr(measurement, "to_dict")
             else dict(measurement)
         )
+        extra = {
+            "producer": self.shard_id,
+            "attestation": measurement_attestation(serialized),
+        }
+        path = self.store.cache.put(
+            point,
+            measurement,
+            wall_time,
+            extra=extra,
+        )
         self._remember(
             self.store.key_for(point),
             {
                 "measurement": serialized,
-                "extra": {"producer": self.shard_id},
+                "extra": extra,
             },
         )
         with self._lock:

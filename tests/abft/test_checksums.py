@@ -1,0 +1,156 @@
+"""Exactness of the bit-pattern checksum layer.
+
+The ABFT carrier is modular uint64 arithmetic over IEEE-754 bit
+patterns, so detection is exact (no tolerance tuning), correction is
+bit-identical (not merely close), and a clean block can never trip a
+false positive — the properties every higher layer builds on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.abft import (
+    SealedBlock,
+    SilentCorruptionError,
+    AbftStats,
+    block_checksums,
+    flip_bit,
+    open_sealed,
+    seal,
+    verify_block,
+)
+
+
+def _random_block(rng, shape=None):
+    if shape is None:
+        shape = (int(rng.integers(1, 9)), int(rng.integers(1, 9)))
+    return rng.standard_normal(shape)
+
+
+class TestVerifyBlock:
+    def test_clean_block_verifies_with_zero_corrections(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            a = _random_block(rng)
+            r, c = block_checksums(a)
+            before = a.copy()
+            assert verify_block(a, r, c) == 0
+            assert np.array_equal(a.view(np.uint64), before.view(np.uint64))
+
+    def test_single_flip_is_located_and_corrected_bit_identically(self):
+        rng = np.random.default_rng(1)
+        for trial in range(300):
+            a = _random_block(rng)
+            original = a.copy()
+            r, c = block_checksums(a)
+            i = int(rng.integers(a.shape[0]))
+            j = int(rng.integers(a.shape[1]))
+            bit = int(rng.integers(64))
+            flip_bit(a, i, j, bit)
+            # a bit flip always changes the pattern, so it is always
+            # detectable — even when the float compares equal (0.0
+            # vs -0.0 under a sign flip)
+            assert verify_block(a, r, c) == 1, f"trial {trial}"
+            assert np.array_equal(
+                a.view(np.uint64), original.view(np.uint64)
+            ), f"trial {trial}: correction not bit-exact"
+
+    def test_exponent_flip_through_nan_is_still_corrected(self):
+        # flipping high exponent bits can turn a finite value into
+        # inf/nan; the uint64 carrier must not care
+        a = np.full((3, 3), 1.5)
+        original = a.copy()
+        r, c = block_checksums(a)
+        for bit in (52, 62, 63):
+            flip_bit(a, 1, 1, bit)
+            assert verify_block(a, r, c) == 1
+            assert np.array_equal(a.view(np.uint64), original.view(np.uint64))
+
+    def test_double_flip_in_distinct_rows_and_columns_escalates(self):
+        rng = np.random.default_rng(2)
+        a = _random_block(rng, (6, 6))
+        r, c = block_checksums(a)
+        flip_bit(a, 0, 1, 17)
+        flip_bit(a, 3, 4, 41)
+        with pytest.raises(SilentCorruptionError):
+            verify_block(a, r, c, tile=("unit", 0))
+
+    def test_double_flip_sharing_a_row_escalates(self):
+        rng = np.random.default_rng(3)
+        a = _random_block(rng, (5, 5))
+        r, c = block_checksums(a)
+        flip_bit(a, 2, 0, 5)
+        flip_bit(a, 2, 4, 9)
+        with pytest.raises(SilentCorruptionError):
+            verify_block(a, r, c)
+
+    def test_same_bit_flipped_twice_cancels(self):
+        # an even number of identical flips restores the pattern;
+        # nothing to detect, nothing falsely flagged
+        rng = np.random.default_rng(4)
+        a = _random_block(rng, (4, 4))
+        r, c = block_checksums(a)
+        flip_bit(a, 1, 2, 30)
+        flip_bit(a, 1, 2, 30)
+        assert verify_block(a, r, c) == 0
+
+
+class TestSealedPayloads:
+    def test_clean_open_is_zero_copy(self):
+        rng = np.random.default_rng(5)
+        sealed = seal(np.ascontiguousarray(_random_block(rng, (4, 6))))
+        out = open_sealed(sealed)
+        assert out is sealed.data
+
+    def test_overhead_words_is_h_plus_w(self):
+        sealed = SealedBlock(np.zeros((3, 7)))
+        assert sealed.overhead_words == 10
+
+    def test_healed_open_preserves_payload_object_identity(self):
+        """Regression: a healed strike must hand back the *shared*
+        payload object, not the private scratch copy.
+
+        numpy dispatches aliased operands differently (``a @ a.T``
+        goes to syrk, distinct buffers to gemm) with different
+        low-order rounding, so returning the copy would make a
+        corrected pxpotrf diverge from the failure-free run at the
+        diagonal updates even though every value matches bit-for-bit.
+        """
+
+        class OneStrike:
+            armed = True
+
+            def payload_strikes(self, key, h, w):
+                return [(0, 0, 13)]
+
+        rng = np.random.default_rng(6)
+        sealed = seal(np.ascontiguousarray(_random_block(rng, (4, 4))))
+        stats = AbftStats()
+        out = open_sealed(sealed, injector=OneStrike(), stats=stats, key=("k",))
+        assert out is sealed.data
+        assert stats.injected_single == 1
+        assert stats.detected == 1
+        assert stats.corrected == 1
+
+    def test_double_strike_open_escalates_without_touching_payload(self):
+        class DoubleStrike:
+            armed = True
+
+            def payload_strikes(self, key, h, w):
+                return [(0, 1, 3), (2, 3, 44)]
+
+        rng = np.random.default_rng(7)
+        data = np.ascontiguousarray(_random_block(rng, (4, 4)))
+        original = data.copy()
+        sealed = seal(data)
+        stats = AbftStats()
+        with pytest.raises(SilentCorruptionError):
+            open_sealed(
+                sealed, injector=DoubleStrike(), stats=stats, key=("k",)
+            )
+        # the shared payload object is never corrupted by a strike
+        assert np.array_equal(
+            sealed.data.view(np.uint64), original.view(np.uint64)
+        )
+        assert stats.injected_double == 1
+        assert stats.double_faults == 1

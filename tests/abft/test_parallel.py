@@ -1,0 +1,115 @@
+"""Sealed-payload ABFT for the parallel drivers (pxpotrf, SUMMA).
+
+Every broadcast block travels with its checksums; receivers verify at
+open, heal single strikes bit-identically, and escalate doubles into
+the whole-run retry ladder.  The clean protected run must match the
+unprotected run bit-for-bit, and checksum traffic must ride the
+modeled network.
+"""
+
+import numpy as np
+import pytest
+
+from repro.abft import AbftConfig, SilentCorruptionError
+from repro.faults import FaultPlan
+from repro.matrices.generators import random_spd
+from repro.parallel.pxpotrf import pxpotrf
+from repro.parallel.summa import summa
+
+N, BLOCK, P = 48, 12, 16
+
+
+def _spd():
+    return random_spd(N, seed=1)
+
+
+class TestPxpotrf:
+    def test_clean_protected_run_is_bit_identical(self):
+        plain = pxpotrf(_spd(), BLOCK, P)
+        protected = pxpotrf(_spd(), BLOCK, P, abft=True)
+        assert np.array_equal(plain.L, protected.L)
+        stats = protected.abft["stats"]
+        assert stats["verified"] is True
+        assert stats["detected"] == 0
+        assert stats["corrected"] == 0
+
+    def test_checksum_words_ride_the_network(self):
+        plain = pxpotrf(_spd(), BLOCK, P)
+        protected = pxpotrf(_spd(), BLOCK, P, abft=True)
+        stats = protected.abft["stats"]
+        assert stats["checksum_words"] > 0
+        assert (
+            protected.network.critical_words
+            > plain.network.critical_words
+        )
+
+    def test_single_strikes_are_corrected_bit_identically(self):
+        plan = FaultPlan(seed=1, silent=0.1)
+        clean = pxpotrf(_spd(), BLOCK, P, abft=True)
+        struck = pxpotrf(_spd(), BLOCK, P, abft=AbftConfig(plan=plan))
+        stats = struck.abft["stats"]
+        assert stats["injected_single"] >= 1
+        assert stats["corrected"] == stats["detected"]
+        assert stats["verified"] is True
+        assert np.array_equal(clean.L, struck.L)
+        assert clean.abft["attestation"] == struck.abft["attestation"]
+
+    def test_double_faults_rerun_and_terminate_verified(self):
+        plan = FaultPlan(seed=2, silent=0.05, silent_double=0.5)
+        clean = pxpotrf(_spd(), BLOCK, P, abft=True)
+        struck = pxpotrf(
+            _spd(), BLOCK, P, abft=AbftConfig(plan=plan, max_attempts=10)
+        )
+        stats = struck.abft["stats"]
+        assert stats["verified"] is True
+        assert np.array_equal(clean.L, struck.L)
+
+    def test_exhausted_ladder_raises(self):
+        plan = FaultPlan(seed=1, silent=0.3, silent_double=0.99)
+        with pytest.raises(SilentCorruptionError):
+            pxpotrf(_spd(), BLOCK, P, abft=AbftConfig(plan=plan, max_attempts=1))
+
+    def test_silent_only_plan_leaves_transport_unarmed(self):
+        # silent faults must not trip the stop-and-wait transport: the
+        # run carries no fault_stats, only the abft record
+        plan = FaultPlan(seed=1, silent=0.1)
+        res = pxpotrf(_spd(), BLOCK, P, faults=plan, abft=True)
+        assert res.fault_stats is None
+        assert res.abft["stats"]["injected_single"] >= 1
+
+
+class TestSumma:
+    def _operands(self):
+        rng = np.random.default_rng(9)
+        return rng.standard_normal((N, N)), rng.standard_normal((N, N))
+
+    def test_clean_protected_run_is_bit_identical(self):
+        a, b = self._operands()
+        plain = summa(a, b, BLOCK, P)
+        protected = summa(a, b, BLOCK, P, abft=True)
+        assert np.array_equal(plain.C, protected.C)
+        assert protected.abft["stats"]["verified"] is True
+        assert protected.abft["stats"]["detected"] == 0
+
+    def test_single_strikes_are_corrected_bit_identically(self):
+        a, b = self._operands()
+        plan = FaultPlan(seed=1, silent=0.1)
+        clean = summa(a, b, BLOCK, P, abft=True)
+        struck = summa(a, b, BLOCK, P, abft=AbftConfig(plan=plan))
+        stats = struck.abft["stats"]
+        assert stats["injected_single"] >= 1
+        assert stats["corrected"] == stats["detected"]
+        assert np.array_equal(clean.C, struck.C)
+
+    def test_double_faults_rerun_and_terminate_verified(self):
+        a, b = self._operands()
+        plan = FaultPlan(seed=1, silent=0.02, silent_double=0.5)
+        clean = summa(a, b, BLOCK, P, abft=True)
+        struck = summa(
+            a, b, BLOCK, P, abft=AbftConfig(plan=plan, max_attempts=10)
+        )
+        stats = struck.abft["stats"]
+        assert stats["double_faults"] >= 1
+        assert stats["attempts"] > 1
+        assert stats["verified"] is True
+        assert np.array_equal(clean.C, struck.C)

@@ -1,0 +1,106 @@
+"""Checksum-protected sequential Cholesky: end-to-end guarantees.
+
+Protection must be numerically invisible (a clean protected run
+returns the exact bits of the unprotected interpreter), silent single
+faults must be corrected in place, doubles must escalate into the
+attempt ladder, and the checksum overhead must show up in the normal
+machine counters plus the separate ``abft`` group.
+"""
+
+import numpy as np
+import pytest
+
+from repro.abft import AbftConfig, SilentCorruptionError
+from repro.faults import FaultPlan
+from repro.layouts import make_layout
+from repro.machine import SequentialMachine
+from repro.matrices.generators import random_spd
+from repro.matrices.tracked import TrackedMatrix
+from repro.schedule import compile_disabled
+from repro.sequential.registry import available_algorithms, run_algorithm
+
+N, M = 48, 144
+
+
+def _run(algorithm, *, abft=None, faults=None, n=N, M_=M):
+    machine = SequentialMachine(M_)
+    machine.attach_faults(faults)
+    A = TrackedMatrix(
+        random_spd(n, seed=3), make_layout("column-major", n), machine
+    )
+    res = run_algorithm(algorithm, A, abft=abft)
+    return res, machine
+
+
+@pytest.mark.parametrize("algorithm", available_algorithms())
+class TestCleanRuns:
+    def test_protected_factor_is_bit_identical_to_unprotected(self, algorithm):
+        with compile_disabled():
+            plain, _ = _run(algorithm)
+            protected, _ = _run(algorithm, abft=True)
+        assert np.array_equal(
+            np.asarray(plain.L), np.asarray(protected.L)
+        ), "ABFT must not perturb a failure-free factorization"
+
+    def test_no_false_positives_and_verified(self, algorithm):
+        protected, _ = _run(algorithm, abft=True)
+        stats = protected.abft["stats"]
+        assert stats["injected_single"] == 0
+        assert stats["detected"] == 0
+        assert stats["corrected"] == 0
+        assert stats["attempts"] == 1
+        assert stats["verified"] is True
+
+    def test_checksum_overhead_is_charged(self, algorithm):
+        plain, m_plain = _run(algorithm)
+        protected, m_prot = _run(algorithm, abft=True)
+        stats = protected.abft["stats"]
+        assert stats["checksum_flops"] > 0
+        assert stats["boundaries"] > 0
+        # the overhead rides the modeled machine, not a side channel
+        assert m_prot.flops > m_plain.flops
+        assert m_prot.levels[0].words > m_plain.levels[0].words
+
+
+@pytest.mark.parametrize("algorithm", available_algorithms())
+def test_single_silent_faults_are_corrected_bit_identically(algorithm):
+    plan = FaultPlan(seed=7, silent=0.2)
+    with compile_disabled():
+        clean, _ = _run(algorithm, abft=True)
+        struck, _ = _run(algorithm, abft=AbftConfig(plan=plan))
+    stats = struck.abft["stats"]
+    assert stats["verified"] is True
+    assert stats["corrected"] == stats["detected"]
+    assert np.array_equal(np.asarray(clean.L), np.asarray(struck.L))
+    # the attestation matches because the factors match
+    assert clean.abft["attestation"] == struck.abft["attestation"]
+
+
+def test_double_faults_escalate_and_the_ladder_recovers():
+    plan = FaultPlan(seed=17, silent=0.15, silent_double=0.7)
+    with compile_disabled():
+        clean, _ = _run("lapack", abft=True)
+        struck, _ = _run(
+            "lapack", abft=AbftConfig(plan=plan, max_attempts=10)
+        )
+    stats = struck.abft["stats"]
+    assert stats["double_faults"] >= 1
+    assert stats["attempts"] > 1
+    assert stats["verified"] is True
+    assert np.array_equal(np.asarray(clean.L), np.asarray(struck.L))
+
+
+def test_exhausted_ladder_raises():
+    plan = FaultPlan(seed=6, silent=0.15, silent_double=0.7)
+    with pytest.raises(SilentCorruptionError):
+        _run("lapack", abft=AbftConfig(plan=plan, max_attempts=2))
+
+
+def test_silent_plan_rides_the_machine_fault_plan():
+    # silent probabilities on the run's ordinary FaultPlan reach the
+    # guardian through the machine even though they arm no read faults
+    plan = FaultPlan(seed=7, silent=0.2, read_fault=0.01)
+    with compile_disabled():
+        res, machine = _run("lapack", abft=True, faults=plan)
+    assert res.abft["stats"]["injected_single"] >= 1
+    assert res.abft["stats"]["verified"] is True

@@ -257,7 +257,7 @@ def test_journal_records_serialize_to_a_stable_golden(tmp_path):
     )
     expected = [
         '{"job":{"budget":null,"job_id":"job-golden","point":' + point
-        + ',"priority":"normal","schema_version":2},"job_id":"job-golden",'
+        + ',"priority":"normal","schema_version":3},"job_id":"job-golden",'
         '"key":"k-abc","record":"accepted","seq":1,"t":1.5}',
         '{"job_id":"job-golden","key":"k-abc","record":"assigned","seq":2,'
         '"shard":"shard-0","t":1.5}',

@@ -238,7 +238,7 @@ class TestWireSchema:
     def test_job_roundtrip_carries_trace(self):
         job = Job(point=seq_point(), trace=root_context(seq_point().key()))
         wire = job.to_wire()
-        assert wire["schema_version"] == SCHEMA_VERSION == 2
+        assert wire["schema_version"] == SCHEMA_VERSION == 3
         back = job_from_wire(json.loads(json.dumps(wire)))
         assert back.trace == job.trace
 

@@ -373,3 +373,74 @@ class TestParallelGolden:
             results[fast] = (self._network_state(res.network),
                              res.C.tobytes())
         assert results[True] == results[False]
+
+
+class TestAbftGolden:
+    """ABFT off must be free: no counters move, no wire bytes change.
+
+    The checksum machinery may only cost anything when armed — a run
+    with ``abft=None`` must be state-identical to one that has never
+    heard of ABFT, and an *armed* run must never go through the
+    schedule compiler (a replay reconstructs the factor from captured
+    transfers, which would silently mask an injected fault).
+    """
+
+    def _machine_state(self, machine):
+        lvl = machine.levels[0]
+        return (
+            lvl.words, lvl.messages, lvl.counters.words_read,
+            lvl.counters.words_written, machine.flops, lvl.peak_resident,
+        )
+
+    def test_abft_none_is_state_identical(self):
+        from repro.schedule import compile_disabled
+
+        states = {}
+        with compile_disabled():
+            for label, kwargs in (("default", {}), ("off", {"abft": None}),
+                                  ("false", {"abft": False})):
+                machine = SequentialMachine(112)
+                A = TrackedMatrix(
+                    random_spd(48, seed=3),
+                    make_layout("column-major", 48),
+                    machine,
+                )
+                res = run_algorithm("lapack", A, **kwargs)
+                assert getattr(res, "abft", None) is None
+                states[label] = (
+                    self._machine_state(machine),
+                    np.asarray(res.L).tobytes(),
+                )
+        assert states["default"] == states["off"] == states["false"]
+
+    def test_abft_off_point_serializes_without_abft_key(self):
+        # cache keys predating ABFT must not shift
+        from repro.experiments.spec import SpecPoint
+        from repro.serving.workloads import demo_workload
+
+        for job in demo_workload(8, seed=0):
+            d = job.point.to_dict()
+            assert "abft" not in d
+            assert SpecPoint.from_dict(d) == job.point
+
+    def test_armed_runs_never_compile(self):
+        from repro.schedule import (
+            ScheduleCache,
+            last_run_mode,
+            set_default_cache,
+        )
+
+        cache = ScheduleCache(None, version="golden-abft")
+        prev = set_default_cache(cache)
+        try:
+            machine = SequentialMachine(112)
+            A = TrackedMatrix(
+                random_spd(48, seed=3), make_layout("column-major", 48),
+                machine,
+            )
+            run_algorithm("lapack", A, abft=True)
+            assert last_run_mode() == "off"
+            assert cache.stats()["misses"] == 0
+            assert cache.stats()["entries_memory"] == 0
+        finally:
+            set_default_cache(prev)
